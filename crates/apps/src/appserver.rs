@@ -1,0 +1,369 @@
+//! Tomcat-like servlet container (§8.4).
+//!
+//! A pool of worker threads serves page requests; each TPC-W
+//! interaction is implemented by its own servlet (a distinct call-path
+//! frame, which is what lets Whodunit extend a separate transaction
+//! context from Tomcat to MySQL per interaction). A servlet computes,
+//! issues its database RPC, renders, and replies.
+//!
+//! With [`AppServerConfig::caching`] enabled, the BestSellers and
+//! SearchResult servlets cache their query results for 30 seconds
+//! (TPC-W clause 6.3.3.1), the optimization Figures 11/12 evaluate.
+
+use crate::dbserver::{DbReply, DbReq};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use whodunit_core::cost::ms_to_cycles;
+use whodunit_core::frame::FrameId;
+use whodunit_core::ids::ChanId;
+use whodunit_sim::{Cycles, Msg, Op, Sim, ThreadBody, ThreadCx, Wake};
+use whodunit_workload::Interaction;
+
+/// A page request from the tier above (squid).
+#[derive(Debug)]
+pub struct PageReq {
+    /// The interaction to execute.
+    pub interaction: Interaction,
+    /// Key for caches/rows (subject id, search term, item row…).
+    pub key: u64,
+    /// Routing tag the requester uses to match the reply.
+    pub tag: u64,
+    /// Channel to reply on.
+    pub reply: ChanId,
+}
+
+/// A static-content request (image/thumbnail; §8.4's static content).
+#[derive(Debug)]
+pub struct StaticReq {
+    /// Object id.
+    pub id: u64,
+    /// Channel to reply on.
+    pub reply: ChanId,
+}
+
+/// A static object.
+#[derive(Debug)]
+pub struct StaticReply {
+    /// Object id.
+    pub id: u64,
+    /// Object size in bytes.
+    pub bytes: u64,
+}
+
+/// Bytes per static image.
+pub const IMAGE_BYTES: u64 = 4 * 1024;
+
+/// A rendered page.
+#[derive(Debug)]
+pub struct PageReply {
+    /// The interaction that was executed.
+    pub interaction: Interaction,
+    /// The requester's routing tag.
+    pub tag: u64,
+}
+
+/// Application-server configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct AppServerConfig {
+    /// Worker threads.
+    pub workers: u32,
+    /// Enable the §8.4 result caching optimization.
+    pub caching: bool,
+    /// CPU cost of servlet logic per request.
+    pub servlet_cost: Cycles,
+    /// CPU cost of rendering the response.
+    pub render_cost: Cycles,
+    /// Cache TTL (TPC-W allows 30 s).
+    pub cache_ttl: Cycles,
+}
+
+impl Default for AppServerConfig {
+    fn default() -> Self {
+        AppServerConfig {
+            workers: 96,
+            caching: false,
+            servlet_cost: ms_to_cycles(5.0),
+            render_cost: ms_to_cycles(1.0),
+            cache_ttl: 30 * whodunit_core::cost::CPU_HZ,
+        }
+    }
+}
+
+/// Internal calls per servlet cycle (drives the gprof baseline; Java
+/// servlet code is call-dense).
+pub const CYCLES_PER_CALL: u64 = 700;
+
+/// Shared application-server state.
+pub struct AppShared {
+    cfg: AppServerConfig,
+    /// `(interaction, key)` → cache-entry expiry time.
+    cache: HashMap<(Interaction, u64), Cycles>,
+    /// Database queries issued.
+    pub db_queries: u64,
+    /// Cache hits (queries avoided).
+    pub cache_hits: u64,
+    /// Pages served.
+    pub pages: u64,
+}
+
+impl AppShared {
+    fn cacheable(&self, i: Interaction) -> bool {
+        self.cfg.caching && matches!(i, Interaction::BestSellers | Interaction::SearchResult)
+    }
+
+    fn cache_lookup(&mut self, i: Interaction, key: u64, now: Cycles) -> bool {
+        if !self.cacheable(i) {
+            return false;
+        }
+        match self.cache.get(&(i, key)) {
+            Some(&expiry) if expiry > now => {
+                self.cache_hits += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn cache_insert(&mut self, i: Interaction, key: u64, now: Cycles) {
+        if self.cacheable(i) {
+            let ttl = self.cfg.cache_ttl;
+            self.cache.insert((i, key), now + ttl);
+        }
+    }
+}
+
+enum SState {
+    Init,
+    WaitReq,
+    Serviced(Option<PageReq>),
+    WaitDb(Option<PageReq>),
+    Rendered(Option<PageReq>),
+    StaticServed(Option<StaticReq>),
+    Replied,
+}
+
+struct ServletWorker {
+    shared: Rc<RefCell<AppShared>>,
+    in_chan: ChanId,
+    db_chan: ChanId,
+    db_reply: ChanId,
+    f_main: FrameId,
+    f_servlets: HashMap<Interaction, FrameId>,
+    f_call: FrameId,
+    f_static: FrameId,
+    state: SState,
+}
+
+impl ThreadBody for ServletWorker {
+    fn resume(&mut self, cx: &mut ThreadCx<'_>, wake: Wake) -> Op {
+        match std::mem::replace(&mut self.state, SState::WaitReq) {
+            SState::Init => {
+                cx.push_frame(self.f_main);
+                self.state = SState::WaitReq;
+                Op::Recv(self.in_chan)
+            }
+            SState::WaitReq => {
+                let Wake::Received(msg) = wake else {
+                    unreachable!("servlet worker waits for requests");
+                };
+                match msg.try_take::<PageReq>() {
+                    Ok(req) => {
+                        cx.push_frame(self.f_servlets[&req.interaction]);
+                        let cost = self.shared.borrow().cfg.servlet_cost;
+                        cx.count_calls(self.f_call, cost / CYCLES_PER_CALL);
+                        self.state = SState::Serviced(Some(req));
+                        Op::Compute(cost)
+                    }
+                    Err(msg) => {
+                        // Static content: served from disk, no DB.
+                        let req = msg.take::<StaticReq>();
+                        cx.push_frame(self.f_static);
+                        self.state = SState::StaticServed(Some(req));
+                        Op::Compute(ms_to_cycles(0.3))
+                    }
+                }
+            }
+            SState::StaticServed(req) => {
+                let r = req.expect("static request present");
+                cx.pop_frame();
+                self.state = SState::Replied;
+                Op::Send(
+                    r.reply,
+                    Msg::new(
+                        StaticReply {
+                            id: r.id,
+                            bytes: IMAGE_BYTES,
+                        },
+                        IMAGE_BYTES,
+                    ),
+                )
+            }
+            SState::Serviced(req) => {
+                let r = req.as_ref().expect("request present");
+                let hit = self
+                    .shared
+                    .borrow_mut()
+                    .cache_lookup(r.interaction, r.key, cx.now());
+                if hit {
+                    let cost = self.shared.borrow().cfg.render_cost;
+                    self.state = SState::Rendered(req);
+                    Op::Compute(cost)
+                } else {
+                    self.shared.borrow_mut().db_queries += 1;
+                    let db_req = DbReq {
+                        interaction: r.interaction,
+                        row: r.key,
+                        reply: self.db_reply,
+                    };
+                    self.state = SState::WaitDb(req);
+                    Op::Send(self.db_chan, Msg::new(db_req, 600))
+                }
+            }
+            SState::WaitDb(req) => match wake {
+                Wake::Done => {
+                    self.state = SState::WaitDb(req);
+                    Op::Recv(self.db_reply)
+                }
+                Wake::Received(msg) => {
+                    let _ = msg.take::<DbReply>();
+                    let r = req.as_ref().expect("request present");
+                    self.shared
+                        .borrow_mut()
+                        .cache_insert(r.interaction, r.key, cx.now());
+                    let cost = self.shared.borrow().cfg.render_cost;
+                    self.state = SState::Rendered(req);
+                    Op::Compute(cost)
+                }
+                _ => unreachable!("WaitDb sees send-done then reply"),
+            },
+            SState::Rendered(req) => {
+                let r = req.expect("request present");
+                cx.pop_frame();
+                self.shared.borrow_mut().pages += 1;
+                self.state = SState::Replied;
+                Op::Send(
+                    r.reply,
+                    Msg::new(
+                        PageReply {
+                            interaction: r.interaction,
+                            tag: r.tag,
+                        },
+                        8 * 1024,
+                    ),
+                )
+            }
+            SState::Replied => {
+                self.state = SState::WaitReq;
+                Op::Recv(self.in_chan)
+            }
+        }
+    }
+}
+
+/// Handles returned by [`build_appserver`].
+pub struct AppHandles {
+    /// The page-request channel.
+    pub req_chan: ChanId,
+    /// Shared state (cache stats).
+    pub shared: Rc<RefCell<AppShared>>,
+}
+
+/// Builds the application-server tier into `sim`.
+pub fn build_appserver(
+    sim: &mut Sim,
+    proc: whodunit_core::ids::ProcId,
+    machine: whodunit_sim::MachineId,
+    db_chan: ChanId,
+    cfg: AppServerConfig,
+) -> AppHandles {
+    let shared = Rc::new(RefCell::new(AppShared {
+        cfg,
+        cache: HashMap::new(),
+        db_queries: 0,
+        cache_hits: 0,
+        pages: 0,
+    }));
+    let req_chan = sim.add_channel(240_000, 20);
+    let f_main = sim.frame("tomcat_service");
+    let f_call = sim.frame("servlet_internal");
+    let f_static = sim.frame("default_servlet_static");
+    let mut f_servlets = HashMap::new();
+    for it in Interaction::ALL {
+        f_servlets.insert(it, sim.frame(it.servlet()));
+    }
+    for i in 0..cfg.workers {
+        let db_reply = sim.add_channel(240_000, 20);
+        sim.spawn(
+            proc,
+            machine,
+            &format!("tomcat{i}"),
+            Box::new(ServletWorker {
+                shared: shared.clone(),
+                in_chan: req_chan,
+                db_chan,
+                db_reply,
+                f_main,
+                f_servlets: f_servlets.clone(),
+                f_call,
+                f_static,
+                state: SState::Init,
+            }),
+        );
+    }
+    AppHandles { req_chan, shared }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shared(caching: bool) -> AppShared {
+        AppShared {
+            cfg: AppServerConfig {
+                caching,
+                ..AppServerConfig::default()
+            },
+            cache: HashMap::new(),
+            db_queries: 0,
+            cache_hits: 0,
+            pages: 0,
+        }
+    }
+
+    #[test]
+    fn caching_disabled_never_hits() {
+        let mut s = shared(false);
+        s.cache_insert(Interaction::BestSellers, 1, 0);
+        assert!(!s.cache_lookup(Interaction::BestSellers, 1, 1));
+        assert_eq!(s.cache_hits, 0);
+    }
+
+    #[test]
+    fn only_bestsellers_and_searchresult_are_cacheable() {
+        let s = shared(true);
+        assert!(s.cacheable(Interaction::BestSellers));
+        assert!(s.cacheable(Interaction::SearchResult));
+        assert!(!s.cacheable(Interaction::Home));
+        assert!(!s.cacheable(Interaction::AdminConfirm));
+    }
+
+    #[test]
+    fn entries_expire_after_ttl() {
+        let mut s = shared(true);
+        let ttl = s.cfg.cache_ttl;
+        s.cache_insert(Interaction::BestSellers, 7, 1000);
+        assert!(s.cache_lookup(Interaction::BestSellers, 7, 1000 + ttl - 1));
+        assert!(!s.cache_lookup(Interaction::BestSellers, 7, 1000 + ttl));
+        assert_eq!(s.cache_hits, 1);
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let mut s = shared(true);
+        s.cache_insert(Interaction::SearchResult, 1, 0);
+        assert!(!s.cache_lookup(Interaction::SearchResult, 2, 1));
+        assert!(!s.cache_lookup(Interaction::BestSellers, 1, 1));
+        assert!(s.cache_lookup(Interaction::SearchResult, 1, 1));
+    }
+}

@@ -1,0 +1,27 @@
+//! Behavioural models of the paper's subject systems, built on the
+//! `whodunit-sim` substrate.
+//!
+//! | Module | Models | Paper use |
+//! |---|---|---|
+//! | [`httpd`] | Apache 2.x: listener + worker pool sharing a VM-emulated fd queue (Figure 1) | Fig 8, §9.2, Table 3 |
+//! | [`dbserver`] | MySQL 4.x: tables, MyISAM table locks vs InnoDB row locks, query cost model, the §8.1 shared counter | Table 1, Figs 11–12 |
+//! | [`proxy`] | Squid: event-driven proxy cache (`httpAccept`, `clientReadRequest`, `commConnectHandle`, `httpReadReply`, `commHandleWrite`) | Fig 9, §9.3 |
+//! | [`sedasrv`] | Haboob: SEDA web server (ListenStage … WriteStage) | Fig 10, §9.3 |
+//! | [`appserver`] | Tomcat: one servlet per TPC-W interaction, DB RPCs, optional 30 s result caching | §8.4, Table 2 |
+//! | [`tpcw`] | The 3-tier assembly squid → tomcat → mysql with closed-loop clients | Table 1, Figs 11–12, Table 2 |
+//!
+//! Each module exposes a `run_*` harness that wires a complete
+//! simulation, runs it for a configured virtual duration, and returns a
+//! report with the measurements the corresponding table/figure needs.
+
+#![warn(missing_docs)]
+
+pub mod appserver;
+pub mod dbserver;
+pub mod dnsd;
+pub mod httpd;
+pub mod metrics;
+pub mod proxy;
+pub mod rtconf;
+pub mod sedasrv;
+pub mod tpcw;

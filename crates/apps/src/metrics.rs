@@ -1,0 +1,77 @@
+//! Small measurement helpers shared by the app harnesses.
+
+use whodunit_core::cost::CPU_HZ;
+
+/// Online mean/count accumulator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MeanAcc {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+}
+
+impl MeanAcc {
+    /// Adds an observation.
+    pub fn add(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// The mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Converts `bytes` transferred over `cycles` of virtual time into
+/// megabits per second (the paper's throughput unit for Apache, Squid
+/// and Haboob).
+pub fn mbps(bytes: u64, cycles: u64) -> f64 {
+    if cycles == 0 {
+        return 0.0;
+    }
+    let secs = cycles as f64 / CPU_HZ as f64;
+    bytes as f64 * 8.0 / 1e6 / secs
+}
+
+/// Converts `count` events over `cycles` into events per minute (the
+/// paper's TPC-W throughput unit).
+pub fn per_minute(count: u64, cycles: u64) -> f64 {
+    if cycles == 0 {
+        return 0.0;
+    }
+    let secs = cycles as f64 / CPU_HZ as f64;
+    count as f64 * 60.0 / secs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_acc_basics() {
+        let mut m = MeanAcc::default();
+        assert_eq!(m.mean(), 0.0);
+        m.add(10);
+        m.add(20);
+        assert_eq!(m.count, 2);
+        assert!((m.mean() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mbps_conversion() {
+        // 1 MB over 1 second = 8 Mb/s.
+        assert!((mbps(1_000_000, CPU_HZ) - 8.0).abs() < 1e-9);
+        assert_eq!(mbps(1, 0), 0.0);
+    }
+
+    #[test]
+    fn per_minute_conversion() {
+        assert!((per_minute(60, CPU_HZ) - 3600.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,669 @@
+//! Squid-like event-driven proxy cache (Figure 9, §8.2, §9.3).
+//!
+//! A single event-loop thread (`comm_poll`) dispatches five handlers,
+//! exactly Squid's main handlers from the paper:
+//!
+//! - `httpAccept` — a client opened a connection;
+//! - `clientReadRequest` — a request arrived on a connection;
+//! - `commConnectHandle` — an origin connection is being opened (miss);
+//! - `httpReadReply` — content arrived from the origin server;
+//! - `commHandleWrite` — the response is written back to the client.
+//!
+//! Each handler execution is reported to the runtime through the §4.1
+//! event hooks: the handler runs under the continuation context stored
+//! on its connection and leaves a new continuation behind. A cache hit
+//! executes `commHandleWrite` under the context
+//! `[httpAccept, clientReadRequest]`; a miss goes through
+//! `commConnectHandle`/`httpReadReply` first — which is how Whodunit
+//! distinguishes the hit and miss appearances of `commHandleWrite`
+//! (Figure 9), something a regular profiler cannot do. Persistent
+//! connections re-execute `clientReadRequest` after `commHandleWrite`;
+//! the §4.1 loop pruning keeps contexts finite.
+
+use crate::metrics::mbps;
+use crate::rtconf::{make_runtime, ProcRuntime, RtKind};
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+use whodunit_core::cost::{ms_to_cycles, CPU_HZ};
+use whodunit_core::events::EventCtx;
+use whodunit_core::frame::FrameId;
+use whodunit_core::ids::ChanId;
+use whodunit_sim::{Cycles, Msg, Op, Sim, SimConfig, ThreadBody, ThreadCx, Wake};
+use whodunit_workload::{WebTrace, WebTraceConfig};
+
+/// Handler CPU costs.
+const ACCEPT_COST: Cycles = 120_000;
+const READ_REQ_COST: Cycles = 150_000;
+const CONNECT_COST: Cycles = 90_000;
+const READ_REPLY_BASE: Cycles = 60_000;
+const READ_REPLY_PER_BYTE: Cycles = 50;
+const WRITE_BASE: Cycles = 50_000;
+const WRITE_PER_BYTE: Cycles = 55;
+
+/// Messages arriving at the proxy's poll channel.
+#[derive(Debug)]
+enum ProxyMsg {
+    /// A client opened a connection.
+    NewConn { conn: u64, reply: ChanId },
+    /// A request on an open connection.
+    Request { conn: u64, file: u32 },
+    /// Origin content for an outstanding miss.
+    OriginData { conn: u64, file: u32, bytes: u64 },
+}
+
+/// A request to the origin server.
+#[derive(Debug)]
+struct OriginReq {
+    conn: u64,
+    file: u32,
+    reply: ChanId,
+}
+
+struct ConnState {
+    reply: ChanId,
+    ev: EventCtx,
+}
+
+/// Cache with a byte-capacity bound and FIFO eviction.
+struct ByteCache {
+    entries: HashMap<u32, u64>,
+    order: VecDeque<u32>,
+    bytes: u64,
+    capacity: u64,
+    /// Requests that hit.
+    pub hits: u64,
+    /// Requests that missed.
+    pub misses: u64,
+}
+
+impl ByteCache {
+    fn new(capacity: u64) -> Self {
+        ByteCache {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            bytes: 0,
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn lookup(&mut self, file: u32) -> Option<u64> {
+        match self.entries.get(&file).copied() {
+            Some(b) => {
+                self.hits += 1;
+                Some(b)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, file: u32, bytes: u64) {
+        if self.entries.contains_key(&file) {
+            return;
+        }
+        self.entries.insert(file, bytes);
+        self.order.push_back(file);
+        self.bytes += bytes;
+        while self.bytes > self.capacity {
+            let Some(victim) = self.order.pop_front() else {
+                break;
+            };
+            if let Some(b) = self.entries.remove(&victim) {
+                self.bytes -= b;
+            }
+        }
+    }
+}
+
+/// Shared proxy state.
+pub struct ProxyShared {
+    conns: HashMap<u64, ConnState>,
+    cache: ByteCache,
+    /// Bytes served to clients.
+    pub served_bytes: u64,
+    /// Requests served.
+    pub served_reqs: u64,
+    /// Cache hits.
+    pub hits: u64,
+    /// Cache misses.
+    pub misses: u64,
+}
+
+enum PState {
+    Init,
+    WaitMsg,
+    AcceptDone { conn: u64 },
+    ReadDone { conn: u64, file: u32 },
+    ConnectDone { conn: u64, file: u32 },
+    ReadReplyDone { conn: u64, file: u32, bytes: u64 },
+    WriteDone { conn: u64, bytes: u64 },
+    Sent,
+}
+
+/// The `comm_poll` event-loop thread.
+struct EventLoop {
+    shared: Rc<RefCell<ProxyShared>>,
+    poll: ChanId,
+    origin: ChanId,
+    f_accept: FrameId,
+    f_read: FrameId,
+    f_connect: FrameId,
+    f_read_reply: FrameId,
+    f_write: FrameId,
+    state: PState,
+}
+
+impl EventLoop {
+    /// Figure 4 lines 5–7: dispatch `handler` for the continuation
+    /// `ev`, entering the handler's frame.
+    fn dispatch(&self, cx: &mut ThreadCx<'_>, ev: EventCtx, handler: FrameId) {
+        cx.runtime()
+            .borrow_mut()
+            .on_event_dispatch(cx.me(), ev, handler);
+        cx.push_frame(handler);
+    }
+
+    /// The handler returned: capture its continuation for `conn`.
+    fn finish(&self, cx: &mut ThreadCx<'_>, conn: u64) -> EventCtx {
+        let ev = cx.runtime().borrow_mut().on_event_create(cx.me());
+        cx.runtime().borrow_mut().on_handler_done(cx.me());
+        cx.pop_frame();
+        if let Some(c) = self.shared.borrow_mut().conns.get_mut(&conn) {
+            c.ev = ev;
+        }
+        ev
+    }
+}
+
+impl ThreadBody for EventLoop {
+    fn resume(&mut self, cx: &mut ThreadCx<'_>, wake: Wake) -> Op {
+        match std::mem::replace(&mut self.state, PState::WaitMsg) {
+            PState::Init => {
+                cx.push_frame(cx.frame("comm_poll"));
+                self.state = PState::WaitMsg;
+                Op::Recv(self.poll)
+            }
+            PState::WaitMsg => {
+                let Wake::Received(msg) = wake else {
+                    unreachable!("event loop waits on the poll channel");
+                };
+                match msg.take::<ProxyMsg>() {
+                    ProxyMsg::NewConn { conn, reply } => {
+                        self.shared.borrow_mut().conns.insert(
+                            conn,
+                            ConnState {
+                                reply,
+                                ev: EventCtx::default(),
+                            },
+                        );
+                        self.dispatch(cx, EventCtx::default(), self.f_accept);
+                        self.state = PState::AcceptDone { conn };
+                        Op::Compute(ACCEPT_COST)
+                    }
+                    ProxyMsg::Request { conn, file } => {
+                        let ev = self.shared.borrow().conns[&conn].ev;
+                        self.dispatch(cx, ev, self.f_read);
+                        self.state = PState::ReadDone { conn, file };
+                        Op::Compute(READ_REQ_COST)
+                    }
+                    ProxyMsg::OriginData { conn, file, bytes } => {
+                        let ev = self.shared.borrow().conns[&conn].ev;
+                        self.dispatch(cx, ev, self.f_read_reply);
+                        self.state = PState::ReadReplyDone { conn, file, bytes };
+                        Op::Compute(READ_REPLY_BASE + bytes * READ_REPLY_PER_BYTE)
+                    }
+                }
+            }
+            PState::AcceptDone { conn } => {
+                self.finish(cx, conn);
+                self.state = PState::WaitMsg;
+                Op::Recv(self.poll)
+            }
+            PState::ReadDone { conn, file } => {
+                let ev = self.finish(cx, conn);
+                let hit = self.shared.borrow_mut().cache.lookup(file);
+                match hit {
+                    Some(bytes) => {
+                        self.shared.borrow_mut().hits += 1;
+                        self.dispatch(cx, ev, self.f_write);
+                        self.state = PState::WriteDone { conn, bytes };
+                        Op::Compute(WRITE_BASE + bytes * WRITE_PER_BYTE)
+                    }
+                    None => {
+                        self.shared.borrow_mut().misses += 1;
+                        self.dispatch(cx, ev, self.f_connect);
+                        self.state = PState::ConnectDone { conn, file };
+                        Op::Compute(CONNECT_COST)
+                    }
+                }
+            }
+            PState::ConnectDone { conn, file } => {
+                self.finish(cx, conn);
+                self.state = PState::Sent;
+                Op::Send(
+                    self.origin,
+                    Msg::new(
+                        OriginReq {
+                            conn,
+                            file,
+                            reply: self.poll,
+                        },
+                        400,
+                    ),
+                )
+            }
+            PState::ReadReplyDone { conn, file, bytes } => {
+                let ev = self.finish(cx, conn);
+                self.shared.borrow_mut().cache.insert(file, bytes);
+                self.dispatch(cx, ev, self.f_write);
+                self.state = PState::WriteDone { conn, bytes };
+                Op::Compute(WRITE_BASE + bytes * WRITE_PER_BYTE)
+            }
+            PState::WriteDone { conn, bytes } => {
+                self.finish(cx, conn);
+                let reply = self.shared.borrow().conns[&conn].reply;
+                {
+                    let mut sh = self.shared.borrow_mut();
+                    sh.served_bytes += bytes;
+                    sh.served_reqs += 1;
+                }
+                self.state = PState::Sent;
+                Op::Send(reply, Msg::new(bytes, bytes))
+            }
+            PState::Sent => {
+                self.state = PState::WaitMsg;
+                Op::Recv(self.poll)
+            }
+        }
+    }
+}
+
+/// Origin-server worker: returns file content with a small compute.
+struct OriginWorker {
+    in_chan: ChanId,
+    sizes: Rc<Vec<u64>>,
+    f_main: FrameId,
+    state: OState,
+}
+
+enum OState {
+    Init,
+    WaitReq,
+    Serve { req: Option<OriginReq> },
+    Sent,
+}
+
+impl ThreadBody for OriginWorker {
+    fn resume(&mut self, cx: &mut ThreadCx<'_>, wake: Wake) -> Op {
+        match std::mem::replace(&mut self.state, OState::WaitReq) {
+            OState::Init => {
+                cx.push_frame(self.f_main);
+                self.state = OState::WaitReq;
+                Op::Recv(self.in_chan)
+            }
+            OState::WaitReq => {
+                let Wake::Received(msg) = wake else {
+                    unreachable!("origin waits for requests");
+                };
+                let req = msg.take::<OriginReq>();
+                let bytes = self.sizes[req.file as usize];
+                self.state = OState::Serve { req: Some(req) };
+                Op::Compute(80_000 + bytes * 12)
+            }
+            OState::Serve { req } => {
+                let r = req.expect("request present");
+                let bytes = self.sizes[r.file as usize];
+                self.state = OState::Sent;
+                Op::Send(
+                    r.reply,
+                    Msg::new(
+                        ProxyMsg::OriginData {
+                            conn: r.conn,
+                            file: r.file,
+                            bytes,
+                        },
+                        bytes,
+                    ),
+                )
+            }
+            OState::Sent => {
+                self.state = OState::WaitReq;
+                Op::Recv(self.in_chan)
+            }
+        }
+    }
+}
+
+/// A closed-loop proxy client: per connection, send the requests one
+/// at a time, waiting for each response.
+struct ProxyClient {
+    trace: WebTrace,
+    proxy: ChanId,
+    reply: ChanId,
+    conn_seq: u64,
+    id: u64,
+    state: ClState,
+}
+
+enum ClState {
+    OpenConn,
+    SendReq { left: Vec<u32>, conn: u64 },
+    WaitResp { left: Vec<u32>, conn: u64 },
+}
+
+impl ProxyClient {
+    fn new_conn_files(&mut self) -> Vec<u32> {
+        let mut files = Vec::new();
+        loop {
+            let r = self.trace.next_request();
+            files.push(r.file);
+            if r.last_on_connection {
+                break;
+            }
+        }
+        files.reverse();
+        files
+    }
+}
+
+impl ThreadBody for ProxyClient {
+    fn resume(&mut self, _cx: &mut ThreadCx<'_>, wake: Wake) -> Op {
+        loop {
+            match std::mem::replace(&mut self.state, ClState::OpenConn) {
+                ClState::OpenConn => {
+                    let files = self.new_conn_files();
+                    self.conn_seq += 1;
+                    let conn = (self.id << 32) | self.conn_seq;
+                    self.state = ClState::SendReq { left: files, conn };
+                    return Op::Send(
+                        self.proxy,
+                        Msg::new(
+                            ProxyMsg::NewConn {
+                                conn,
+                                reply: self.reply,
+                            },
+                            300,
+                        ),
+                    );
+                }
+                ClState::SendReq { mut left, conn } => {
+                    // Entered with Wake::Done from the previous send.
+                    match left.pop() {
+                        Some(file) => {
+                            self.state = ClState::WaitResp { left, conn };
+                            return Op::Send(
+                                self.proxy,
+                                Msg::new(ProxyMsg::Request { conn, file }, 350),
+                            );
+                        }
+                        None => {
+                            self.state = ClState::OpenConn;
+                            continue;
+                        }
+                    }
+                }
+                ClState::WaitResp { left, conn } => match wake {
+                    Wake::Done => {
+                        self.state = ClState::WaitResp { left, conn };
+                        return Op::Recv(self.reply);
+                    }
+                    Wake::Received(_) => {
+                        self.state = ClState::SendReq { left, conn };
+                        continue;
+                    }
+                    _ => unreachable!("client waits for responses"),
+                },
+            }
+        }
+    }
+}
+
+/// Proxy experiment configuration.
+#[derive(Clone, Debug)]
+pub struct ProxyConfig {
+    /// Closed-loop clients.
+    pub clients: u32,
+    /// Cache capacity in bytes.
+    pub cache_bytes: u64,
+    /// Profiler installed in the proxy process.
+    pub rt: RtKind,
+    /// Virtual run duration.
+    pub duration: Cycles,
+    /// Trace parameters.
+    pub trace: WebTraceConfig,
+}
+
+impl Default for ProxyConfig {
+    fn default() -> Self {
+        ProxyConfig {
+            clients: 24,
+            cache_bytes: 24 * 1024 * 1024,
+            rt: RtKind::Whodunit,
+            duration: 20 * CPU_HZ,
+            trace: WebTraceConfig {
+                files: 5000,
+                ..WebTraceConfig::default()
+            },
+        }
+    }
+}
+
+/// Results of one proxy run.
+pub struct ProxyReport {
+    /// Client-facing throughput in Mb/s.
+    pub throughput_mbps: f64,
+    /// Requests served.
+    pub reqs: u64,
+    /// Request hit fraction.
+    pub hit_rate: f64,
+    /// The proxy process runtime.
+    pub runtime: ProcRuntime,
+    /// Virtual duration.
+    pub duration: Cycles,
+}
+
+/// Runs the Squid-like proxy with an origin server behind it.
+pub fn run_proxy(cfg: ProxyConfig) -> ProxyReport {
+    let mut sim = Sim::new(SimConfig::default());
+    let proxy_m = sim.add_machine(1);
+    let origin_m = sim.add_machine(2);
+    let client_m = sim.add_machine(8);
+
+    let pr = make_runtime(cfg.rt, whodunit_core::ids::ProcId(0), "squid", sim.frames());
+    let proxy_proc = sim.add_process("squid", pr.rt.clone());
+    let origin_proc = sim.add_unprofiled_process("origin");
+    let client_proc = sim.add_unprofiled_process("clients");
+
+    let poll = sim.add_channel(240_000, 20);
+    let origin_chan = sim.add_channel(240_000, 20);
+
+    let shared = Rc::new(RefCell::new(ProxyShared {
+        conns: HashMap::new(),
+        cache: ByteCache::new(cfg.cache_bytes),
+        served_bytes: 0,
+        served_reqs: 0,
+        hits: 0,
+        misses: 0,
+    }));
+
+    let f_accept = sim.frame("httpAccept");
+    let f_read = sim.frame("clientReadRequest");
+    let f_connect = sim.frame("commConnectHandle");
+    let f_read_reply = sim.frame("httpReadReply");
+    let f_write = sim.frame("commHandleWrite");
+
+    sim.spawn(
+        proxy_proc,
+        proxy_m,
+        "comm_poll",
+        Box::new(EventLoop {
+            shared: shared.clone(),
+            poll,
+            origin: origin_chan,
+            f_accept,
+            f_read,
+            f_connect,
+            f_read_reply,
+            f_write,
+            state: PState::Init,
+        }),
+    );
+
+    // The origin serves the shared file population.
+    let master = WebTrace::new(cfg.trace.clone());
+    let sizes: Rc<Vec<u64>> = Rc::new(
+        (0..master.files())
+            .map(|f| master.file_size(f as u32))
+            .collect(),
+    );
+    let f_origin = sim.frame("origin_serve");
+    for i in 0..4 {
+        sim.spawn(
+            origin_proc,
+            origin_m,
+            &format!("origin{i}"),
+            Box::new(OriginWorker {
+                in_chan: origin_chan,
+                sizes: sizes.clone(),
+                f_main: f_origin,
+                state: OState::Init,
+            }),
+        );
+    }
+
+    for i in 0..cfg.clients {
+        let reply = sim.add_channel(240_000, 20);
+        let mut tc = cfg.trace.clone();
+        tc.stream = i as u64 + 1;
+        sim.spawn(
+            client_proc,
+            client_m,
+            &format!("client{i}"),
+            Box::new(ProxyClient {
+                trace: WebTrace::new(tc),
+                proxy: poll,
+                reply,
+                conn_seq: 0,
+                id: i as u64,
+                state: ClState::OpenConn,
+            }),
+        );
+    }
+
+    sim.run_until(cfg.duration);
+
+    let sh = shared.borrow();
+    let hit_rate = if sh.hits + sh.misses == 0 {
+        0.0
+    } else {
+        sh.hits as f64 / (sh.hits + sh.misses) as f64
+    };
+    // Silence the unused-constant path for ms_to_cycles (kept for
+    // future handler calibration).
+    let _ = ms_to_cycles;
+    ProxyReport {
+        throughput_mbps: mbps(sh.served_bytes, cfg.duration),
+        reqs: sh.served_reqs,
+        hit_rate,
+        runtime: pr,
+        duration: cfg.duration,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_cache_evicts_fifo_at_capacity() {
+        let mut c = ByteCache::new(100);
+        c.insert(1, 60);
+        c.insert(2, 30);
+        assert_eq!(c.lookup(1), Some(60));
+        // Third insert overflows: the oldest entry goes.
+        c.insert(3, 50);
+        assert_eq!(c.lookup(1), None, "file 1 evicted");
+        assert_eq!(c.lookup(2), Some(30));
+        assert_eq!(c.lookup(3), Some(50));
+        assert_eq!(c.hits, 3);
+        assert_eq!(c.misses, 1);
+    }
+
+    #[test]
+    fn byte_cache_reinsert_is_idempotent() {
+        let mut c = ByteCache::new(100);
+        c.insert(1, 40);
+        c.insert(1, 40);
+        assert_eq!(c.bytes, 40);
+    }
+
+    fn quick(rt: RtKind) -> ProxyReport {
+        run_proxy(ProxyConfig {
+            clients: 12,
+            duration: 5 * CPU_HZ,
+            rt,
+            ..ProxyConfig::default()
+        })
+    }
+
+    #[test]
+    fn proxy_serves_and_caches() {
+        let r = quick(RtKind::Whodunit);
+        assert!(r.reqs > 200, "reqs {}", r.reqs);
+        assert!(r.hit_rate > 0.3, "hit rate {}", r.hit_rate);
+        assert!(r.hit_rate < 0.999);
+    }
+
+    #[test]
+    fn write_handler_appears_in_two_contexts() {
+        // Figure 9's headline: commHandleWrite under the hit context
+        // [httpAccept, clientReadRequest, commHandleWrite] and the miss
+        // context [... commConnectHandle, httpReadReply, commHandleWrite].
+        let r = quick(RtKind::Whodunit);
+        let w = r.runtime.whodunit.as_ref().unwrap().borrow();
+        let ctxs: Vec<String> = w
+            .profiled_contexts()
+            .iter()
+            .map(|&c| w.ctx_string(c))
+            .collect();
+        let hit = ctxs
+            .iter()
+            .any(|s| s == "httpAccept -> clientReadRequest -> commHandleWrite");
+        let miss = ctxs.iter().any(|s| {
+            s == "httpAccept -> clientReadRequest -> commConnectHandle -> httpReadReply -> commHandleWrite"
+        });
+        assert!(hit, "hit context missing: {ctxs:?}");
+        assert!(miss, "miss context missing: {ctxs:?}");
+    }
+
+    #[test]
+    fn persistent_connections_prune_loops() {
+        // Later requests on a connection re-dispatch clientReadRequest
+        // after commHandleWrite; pruning keeps every context's handler
+        // list duplicate-free.
+        let r = quick(RtKind::Whodunit);
+        let w = r.runtime.whodunit.as_ref().unwrap().borrow();
+        for &c in &w.profiled_contexts() {
+            let s = w.ctx_string(c);
+            let parts: Vec<&str> = s.split(" -> ").collect();
+            let mut dedup = parts.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(dedup.len(), parts.len(), "looping context {s}");
+        }
+    }
+
+    #[test]
+    fn profiling_overhead_is_moderate() {
+        let base = quick(RtKind::None);
+        let prof = quick(RtKind::Whodunit);
+        let oh = 1.0 - prof.throughput_mbps / base.throughput_mbps;
+        assert!(oh < 0.15, "overhead {:.1}%", oh * 100.0);
+        assert!(base.throughput_mbps > 0.0);
+    }
+}

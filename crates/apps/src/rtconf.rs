@@ -1,0 +1,141 @@
+//! Profiler selection shared by all app harnesses.
+//!
+//! Table 2 compares four configurations — no profiling, csprof,
+//! Whodunit, gprof — that differ only in the runtime installed in each
+//! process. [`RtKind`] names them; [`make_runtime`] builds the runtime
+//! for one process.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use whodunit_baselines::{CsprofRuntime, GprofRuntime, TmonRuntime};
+use whodunit_core::frame::SharedFrameTable;
+use whodunit_core::ids::ProcId;
+use whodunit_core::profiler::{Whodunit, WhodunitConfig};
+use whodunit_core::rt::{NullRuntime, Runtime};
+
+/// Which profiler to install (Table 2's four columns).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RtKind {
+    /// No profiling.
+    None,
+    /// csprof-style sampling only.
+    Csprof,
+    /// Full Whodunit transactional profiling.
+    Whodunit,
+    /// gprof-style per-call instrumentation.
+    Gprof,
+    /// Whodunit with loop pruning and collapse disabled (ablation:
+    /// complete context histories, §4.1's "useful for debugging").
+    WhodunitFullHistory,
+    /// Whodunit with the §7.2 emulation bail-out disabled (ablation).
+    WhodunitAlwaysEmulate,
+    /// Whodunit with stochastic (seeded exponential-gap) sampling
+    /// instead of the deterministic analytic placement (ablation).
+    WhodunitStochastic,
+    /// Tmon-style per-thread lock-wait measurement (§6's comparison
+    /// point: lock waits without transaction attribution).
+    Tmon,
+}
+
+impl RtKind {
+    /// Display name matching Table 2's column headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            RtKind::None => "No profile",
+            RtKind::Csprof => "csprof",
+            RtKind::Whodunit => "Whodunit",
+            RtKind::Gprof => "gprof",
+            RtKind::WhodunitFullHistory => "Whodunit (full history)",
+            RtKind::WhodunitAlwaysEmulate => "Whodunit (no emulation bail-out)",
+            RtKind::WhodunitStochastic => "Whodunit (stochastic sampling)",
+            RtKind::Tmon => "Tmon (per-thread lock waits)",
+        }
+    }
+}
+
+/// The runtime handles a harness keeps: the erased hook object plus a
+/// typed handle to Whodunit when installed (for reading profiles).
+pub struct ProcRuntime {
+    /// The hook object installed into the simulator.
+    pub rt: Rc<RefCell<dyn Runtime>>,
+    /// Typed handle when `kind == Whodunit`.
+    pub whodunit: Option<Rc<RefCell<Whodunit>>>,
+}
+
+/// Builds the runtime of `kind` for process `proc` named `name`.
+pub fn make_runtime(
+    kind: RtKind,
+    proc: ProcId,
+    name: &str,
+    frames: SharedFrameTable,
+) -> ProcRuntime {
+    match kind {
+        RtKind::None => ProcRuntime {
+            rt: Rc::new(RefCell::new(NullRuntime)),
+            whodunit: None,
+        },
+        RtKind::Csprof => ProcRuntime {
+            rt: Rc::new(RefCell::new(CsprofRuntime::default())),
+            whodunit: None,
+        },
+        RtKind::Gprof => ProcRuntime {
+            rt: Rc::new(RefCell::new(GprofRuntime::default())),
+            whodunit: None,
+        },
+        RtKind::Tmon => ProcRuntime {
+            rt: Rc::new(RefCell::new(TmonRuntime::new())),
+            whodunit: None,
+        },
+        RtKind::Whodunit
+        | RtKind::WhodunitFullHistory
+        | RtKind::WhodunitAlwaysEmulate
+        | RtKind::WhodunitStochastic => {
+            let mut cfg = WhodunitConfig::new(proc, name);
+            if kind == RtKind::WhodunitFullHistory {
+                cfg = cfg.with_policy(whodunit_core::context::ContextPolicy::full_history());
+            }
+            if kind == RtKind::WhodunitAlwaysEmulate {
+                cfg = cfg.with_always_emulate(true);
+            }
+            if kind == RtKind::WhodunitStochastic {
+                cfg = cfg.with_sampling(whodunit_core::cost::Sampling::Stochastic(
+                    0x5eed ^ proc.0 as u64,
+                ));
+            }
+            let w = Rc::new(RefCell::new(Whodunit::new(cfg, frames)));
+            ProcRuntime {
+                rt: w.clone(),
+                whodunit: Some(w),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whodunit_core::frame::shared_frame_table;
+
+    #[test]
+    fn kinds_build_expected_runtimes() {
+        let f = shared_frame_table();
+        for (kind, name) in [
+            (RtKind::None, "none"),
+            (RtKind::Csprof, "csprof"),
+            (RtKind::Whodunit, "whodunit"),
+            (RtKind::Gprof, "gprof"),
+        ] {
+            let pr = make_runtime(kind, ProcId(0), "p", f.clone());
+            assert_eq!(pr.rt.borrow().name(), name);
+            assert_eq!(pr.whodunit.is_some(), kind == RtKind::Whodunit);
+            let fh = make_runtime(RtKind::WhodunitFullHistory, ProcId(0), "p", f.clone());
+            assert!(fh.whodunit.is_some());
+        }
+    }
+
+    #[test]
+    fn labels_match_table2() {
+        assert_eq!(RtKind::None.label(), "No profile");
+        assert_eq!(RtKind::Whodunit.label(), "Whodunit");
+    }
+}

@@ -1,0 +1,683 @@
+//! The TPC-W 3-tier assembly: squid → tomcat → mysql (§8.4).
+//!
+//! All requests flow through a Squid-like front tier to the Tomcat-like
+//! servlet container and on to the MySQL-like database, each tier a
+//! separate profiled process. Closed-loop emulated clients sample the
+//! browsing mix with exponential think times and record per-interaction
+//! response times.
+//!
+//! The front tier forwards every dynamic request through the *same*
+//! call path, so — as §8.4 observes — it transfers the same transaction
+//! context to Tomcat, and the per-interaction distinction arises from
+//! Tomcat's per-servlet call paths; Whodunit then maintains separate
+//! contexts (and crosstalk attribution) at MySQL for every interaction.
+
+use crate::appserver::{
+    build_appserver, AppHandles, AppServerConfig, PageReply, PageReq, StaticReply, StaticReq,
+    IMAGE_BYTES,
+};
+use crate::dbserver::{build_dbserver, DbConfig, DbHandles, Engine};
+use crate::metrics::{per_minute, MeanAcc};
+use crate::rtconf::{make_runtime, ProcRuntime, RtKind};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use whodunit_core::cost::{cycles_to_ms, ms_to_cycles, CPU_HZ};
+use whodunit_core::frame::FrameId;
+use whodunit_core::ids::{ChanId, ProcId};
+use whodunit_core::stitch::StageDump;
+use whodunit_sim::{Cycles, Msg, Op, Sim, SimConfig, ThreadBody, ThreadCx, Wake};
+use whodunit_workload::{Interaction, Mix, TpcwMix};
+
+/// Number of BestSellers subjects (cache key space).
+pub const SUBJECTS: u64 = 24;
+
+/// Messages arriving at the squid forwarder's poll channel.
+#[derive(Debug)]
+enum SquidMsg {
+    FromClient {
+        interaction: Interaction,
+        key: u64,
+        reply: ChanId,
+    },
+    /// A static image request (§8.4: Squid caches TPC-W's static
+    /// content; only misses travel to Tomcat).
+    ImageReq { id: u64, reply: ChanId },
+}
+
+/// Squid-tier shared state: the static-content cache.
+#[derive(Debug, Default)]
+pub struct SquidShared {
+    img_cache: std::collections::HashSet<u64>,
+    /// Image requests served from the cache.
+    pub img_hits: u64,
+    /// Image requests forwarded to Tomcat.
+    pub img_misses: u64,
+}
+
+/// The squid front tier: a forwarding thread per worker. Every request
+/// takes the same call path (client_http_request → forward), matching
+/// §8.4's observation.
+struct SquidWorker {
+    shared: Rc<RefCell<SquidShared>>,
+    in_chan: ChanId,
+    tomcat: ChanId,
+    my_reply: ChanId,
+    f_main: FrameId,
+    f_fwd: FrameId,
+    f_img: FrameId,
+    state: FState,
+}
+
+enum FState {
+    Init,
+    WaitMsg,
+    Forward(Option<(Interaction, u64, ChanId)>),
+    WaitTomcat(Option<ChanId>),
+    Reply(Option<(Interaction, ChanId)>),
+    /// Serving an image from the cache.
+    ImgHit(Option<(u64, ChanId)>),
+    /// Fetching a missed image from Tomcat.
+    ImgForward(Option<(u64, ChanId)>),
+    WaitImg(Option<ChanId>),
+    ImgReply(Option<(u64, ChanId)>),
+    Done,
+}
+
+impl ThreadBody for SquidWorker {
+    fn resume(&mut self, cx: &mut ThreadCx<'_>, wake: Wake) -> Op {
+        match std::mem::replace(&mut self.state, FState::WaitMsg) {
+            FState::Init => {
+                cx.push_frame(self.f_main);
+                self.state = FState::WaitMsg;
+                Op::Recv(self.in_chan)
+            }
+            FState::WaitMsg => {
+                let Wake::Received(msg) = wake else {
+                    unreachable!("squid worker waits for client requests");
+                };
+                match msg.take::<SquidMsg>() {
+                    SquidMsg::FromClient {
+                        interaction,
+                        key,
+                        reply,
+                    } => {
+                        cx.push_frame(self.f_fwd);
+                        self.state = FState::Forward(Some((interaction, key, reply)));
+                        Op::Compute(ms_to_cycles(0.5))
+                    }
+                    SquidMsg::ImageReq { id, reply } => {
+                        cx.push_frame(self.f_img);
+                        if self.shared.borrow().img_cache.contains(&id) {
+                            self.shared.borrow_mut().img_hits += 1;
+                            self.state = FState::ImgHit(Some((id, reply)));
+                            Op::Compute(ms_to_cycles(0.12))
+                        } else {
+                            self.shared.borrow_mut().img_misses += 1;
+                            self.state = FState::ImgForward(Some((id, reply)));
+                            Op::Compute(ms_to_cycles(0.2))
+                        }
+                    }
+                }
+            }
+            FState::ImgHit(data) => {
+                let (id, reply) = data.expect("image data");
+                cx.pop_frame();
+                self.state = FState::Done;
+                Op::Send(
+                    reply,
+                    Msg::new(
+                        StaticReply {
+                            id,
+                            bytes: IMAGE_BYTES,
+                        },
+                        IMAGE_BYTES,
+                    ),
+                )
+            }
+            FState::ImgForward(data) => {
+                let (id, reply) = data.expect("image data");
+                self.state = FState::WaitImg(Some(reply));
+                Op::Send(
+                    self.tomcat,
+                    Msg::new(
+                        StaticReq {
+                            id,
+                            reply: self.my_reply,
+                        },
+                        300,
+                    ),
+                )
+            }
+            FState::WaitImg(reply) => match wake {
+                Wake::Done => {
+                    self.state = FState::WaitImg(reply);
+                    Op::Recv(self.my_reply)
+                }
+                Wake::Received(msg) => {
+                    let sr = msg.take::<StaticReply>();
+                    self.shared.borrow_mut().img_cache.insert(sr.id);
+                    self.state = FState::ImgReply(Some((sr.id, reply.expect("client chan"))));
+                    Op::Compute(ms_to_cycles(0.1))
+                }
+                _ => unreachable!("WaitImg sees send-done then reply"),
+            },
+            FState::ImgReply(data) => {
+                let (id, reply) = data.expect("image data");
+                cx.pop_frame();
+                self.state = FState::Done;
+                Op::Send(
+                    reply,
+                    Msg::new(
+                        StaticReply {
+                            id,
+                            bytes: IMAGE_BYTES,
+                        },
+                        IMAGE_BYTES,
+                    ),
+                )
+            }
+            FState::Forward(data) => {
+                let (interaction, key, reply) = data.expect("request data");
+                let req = PageReq {
+                    interaction,
+                    key,
+                    tag: 0,
+                    reply: self.my_reply,
+                };
+                self.state = FState::WaitTomcat(Some(reply));
+                Op::Send(self.tomcat, Msg::new(req, 500))
+            }
+            FState::WaitTomcat(reply) => match wake {
+                Wake::Done => {
+                    self.state = FState::WaitTomcat(reply);
+                    Op::Recv(self.my_reply)
+                }
+                Wake::Received(msg) => {
+                    let pr = msg.take::<PageReply>();
+                    let client = reply.expect("client reply channel");
+                    self.state = FState::Reply(Some((pr.interaction, client)));
+                    Op::Compute(ms_to_cycles(0.3))
+                }
+                _ => unreachable!("WaitTomcat sees send-done then reply"),
+            },
+            FState::Reply(data) => {
+                let (interaction, client) = data.expect("reply data");
+                cx.pop_frame();
+                self.state = FState::Done;
+                Op::Send(
+                    client,
+                    Msg::new(
+                        PageReply {
+                            interaction,
+                            tag: 0,
+                        },
+                        8 * 1024,
+                    ),
+                )
+            }
+            FState::Done => {
+                self.state = FState::WaitMsg;
+                Op::Recv(self.in_chan)
+            }
+        }
+    }
+}
+
+/// Per-interaction client-side measurements.
+#[derive(Debug, Default)]
+pub struct ClientStats {
+    /// Response-time accumulators per interaction (cycles), measured
+    /// after warmup.
+    pub rt: HashMap<Interaction, MeanAcc>,
+    /// Interactions completed after warmup.
+    pub completed: u64,
+}
+
+struct TpcwClient {
+    mix: TpcwMix,
+    rng: SmallRng,
+    squid: ChanId,
+    reply: ChanId,
+    stats: Rc<RefCell<ClientStats>>,
+    warmup: Cycles,
+    search_terms: u64,
+    images_per_page: u32,
+    current: Option<(Interaction, Cycles)>,
+    state: CState,
+}
+
+enum CState {
+    Think,
+    Sent,
+    WaitReply,
+    /// Fetching the page's static images (id base, remaining).
+    FetchImage {
+        base: u64,
+        left: u32,
+    },
+    WaitImage {
+        base: u64,
+        left: u32,
+    },
+}
+
+impl TpcwClient {
+    fn draw_key(&mut self, i: Interaction) -> u64 {
+        match i {
+            Interaction::BestSellers => self.rng.gen_range(0..SUBJECTS),
+            Interaction::SearchResult => {
+                // Zipf-ish search terms: a hot head (popular subjects
+                // and titles, highly cacheable within the 30 s TTL) and
+                // a long tail of rare terms.
+                if self.rng.gen::<f64>() < 0.70 {
+                    self.rng.gen_range(0..30)
+                } else {
+                    30 + self.rng.gen_range(0..self.search_terms)
+                }
+            }
+            _ => self.rng.gen::<u64>() >> 16,
+        }
+    }
+}
+
+impl ThreadBody for TpcwClient {
+    fn resume(&mut self, cx: &mut ThreadCx<'_>, wake: Wake) -> Op {
+        match std::mem::replace(&mut self.state, CState::Think) {
+            CState::Think => {
+                // After Start or after a completed interaction: think,
+                // then issue the next request.
+                if matches!(wake, Wake::Slept) {
+                    let i = self.mix.next_interaction();
+                    let key = self.draw_key(i);
+                    self.current = Some((i, cx.now()));
+                    self.state = CState::Sent;
+                    Op::Send(
+                        self.squid,
+                        Msg::new(
+                            SquidMsg::FromClient {
+                                interaction: i,
+                                key,
+                                reply: self.reply,
+                            },
+                            400,
+                        ),
+                    )
+                } else {
+                    self.state = CState::Think;
+                    Op::Sleep(self.mix.think_time())
+                }
+            }
+            CState::Sent => {
+                self.state = CState::WaitReply;
+                Op::Recv(self.reply)
+            }
+            CState::WaitReply => {
+                let Wake::Received(msg) = wake else {
+                    unreachable!("client waits for its page");
+                };
+                let pr = msg.take::<PageReply>();
+                let (i, started) = self.current.take().expect("in flight");
+                debug_assert_eq!(pr.interaction, i);
+                if started >= self.warmup {
+                    let mut st = self.stats.borrow_mut();
+                    st.rt.entry(i).or_default().add(cx.now() - started);
+                    st.completed += 1;
+                }
+                if self.images_per_page > 0 {
+                    // The page embeds thumbnails; fetch them through
+                    // squid's static-content cache.
+                    let base = (self.rng.gen::<u64>() % 150) * 8;
+                    self.state = CState::FetchImage {
+                        base,
+                        left: self.images_per_page,
+                    };
+                    // Fall through via an instant no-op sleep.
+                    return Op::Sleep(1);
+                }
+                self.state = CState::Think;
+                Op::Sleep(self.mix.think_time())
+            }
+            CState::FetchImage { base, left } => {
+                if left == 0 {
+                    self.state = CState::Think;
+                    return Op::Sleep(self.mix.think_time());
+                }
+                self.state = CState::WaitImage { base, left };
+                Op::Send(
+                    self.squid,
+                    Msg::new(
+                        SquidMsg::ImageReq {
+                            id: base + left as u64,
+                            reply: self.reply,
+                        },
+                        300,
+                    ),
+                )
+            }
+            CState::WaitImage { base, left } => match wake {
+                Wake::Done => {
+                    self.state = CState::WaitImage { base, left };
+                    Op::Recv(self.reply)
+                }
+                Wake::Received(_) => {
+                    self.state = CState::FetchImage {
+                        base,
+                        left: left - 1,
+                    };
+                    // Continue immediately with the next image.
+                    Op::Sleep(1)
+                }
+                _ => unreachable!("client waits for its image"),
+            },
+        }
+    }
+}
+
+/// TPC-W experiment configuration.
+#[derive(Clone, Debug)]
+pub struct TpcwConfig {
+    /// Concurrent emulated browsers.
+    pub clients: u32,
+    /// Database storage engine (Figure 11's MyISAM → InnoDB knob).
+    pub engine: Engine,
+    /// Servlet result caching (Figures 11–12's caching knob).
+    pub caching: bool,
+    /// Profiler installed in all three server tiers.
+    pub rt: RtKind,
+    /// Virtual run duration (including warmup).
+    pub duration: Cycles,
+    /// Measurements start after this much virtual time.
+    pub warmup: Cycles,
+    /// Distinct search terms (SearchResult cache key space).
+    pub search_terms: u64,
+    /// Static images fetched per page (through squid's cache).
+    pub images_per_page: u32,
+    /// The TPC-W interaction mix (the paper uses browsing).
+    pub mix: Mix,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TpcwConfig {
+    fn default() -> Self {
+        TpcwConfig {
+            clients: 100,
+            engine: Engine::MyIsam,
+            caching: false,
+            rt: RtKind::Whodunit,
+            duration: 400 * CPU_HZ,
+            warmup: 60 * CPU_HZ,
+            search_terms: 2000,
+            images_per_page: 3,
+            mix: Mix::Browsing,
+            seed: 1,
+        }
+    }
+}
+
+/// Results of one TPC-W run.
+pub struct TpcwReport {
+    /// Interactions per minute completed in the measurement window.
+    pub throughput_per_min: f64,
+    /// Mean response time per interaction, in milliseconds.
+    pub rt_ms: HashMap<Interaction, f64>,
+    /// Ground-truth DB CPU cycles per interaction (from the simulator,
+    /// for validating the profiler).
+    pub db_cpu_truth: HashMap<Interaction, u64>,
+    /// Queries served per interaction.
+    pub db_served: HashMap<Interaction, u64>,
+    /// Application-server cache hits.
+    pub cache_hits: u64,
+    /// Squid static-content cache hits.
+    pub img_hits: u64,
+    /// Squid static-content cache misses.
+    pub img_misses: u64,
+    /// Stage dumps (squid, tomcat, mysql) when Whodunit was installed.
+    pub dumps: Vec<StageDump>,
+    /// The three tier runtimes (squid, tomcat, mysql).
+    pub runtimes: Vec<ProcRuntime>,
+    /// The database handles' counter lock (§8.1 checks).
+    pub counter_lock: whodunit_core::ids::LockId,
+    /// Measurement window length in cycles.
+    pub window: Cycles,
+    /// Total bytes sent over every channel (application data plus
+    /// synopsis piggyback) — the denominator of §9.1's communication
+    /// overhead.
+    pub wire_bytes: u64,
+    /// Synopsis piggyback bytes across all profiled stages.
+    pub piggyback_bytes: u64,
+}
+
+/// Runs the TPC-W assembly.
+pub fn run_tpcw(cfg: TpcwConfig) -> TpcwReport {
+    let mut sim = Sim::new(SimConfig::default());
+    let client_m = sim.add_machine(8);
+    let squid_m = sim.add_machine(1);
+    let tomcat_m = sim.add_machine(2);
+    let mysql_m = sim.add_machine(1);
+
+    let squid_pr = make_runtime(cfg.rt, ProcId(0), "squid", sim.frames());
+    let tomcat_pr = make_runtime(cfg.rt, ProcId(1), "tomcat", sim.frames());
+    let mysql_pr = make_runtime(cfg.rt, ProcId(2), "mysql", sim.frames());
+    let squid_proc = sim.add_process("squid", squid_pr.rt.clone());
+    let tomcat_proc = sim.add_process("tomcat", tomcat_pr.rt.clone());
+    let mysql_proc = sim.add_process("mysql", mysql_pr.rt.clone());
+    let client_proc = sim.add_unprofiled_process("clients");
+
+    let db: DbHandles = build_dbserver(
+        &mut sim,
+        mysql_proc,
+        mysql_m,
+        DbConfig {
+            engine: cfg.engine,
+            executors: 64,
+        },
+    );
+    let app: AppHandles = build_appserver(
+        &mut sim,
+        tomcat_proc,
+        tomcat_m,
+        db.req_chan,
+        AppServerConfig {
+            caching: cfg.caching,
+            ..AppServerConfig::default()
+        },
+    );
+
+    let squid_in = sim.add_channel(240_000, 20);
+    let f_sq_main = sim.frame("comm_poll");
+    let f_sq_fwd = sim.frame("client_http_request");
+    let f_sq_img = sim.frame("clientCacheHit_static");
+    let squid_shared = Rc::new(RefCell::new(SquidShared::default()));
+    for i in 0..32 {
+        let my_reply = sim.add_channel(240_000, 20);
+        sim.spawn(
+            squid_proc,
+            squid_m,
+            &format!("squid{i}"),
+            Box::new(SquidWorker {
+                shared: squid_shared.clone(),
+                in_chan: squid_in,
+                tomcat: app.req_chan,
+                my_reply,
+                f_main: f_sq_main,
+                f_fwd: f_sq_fwd,
+                f_img: f_sq_img,
+                state: FState::Init,
+            }),
+        );
+    }
+
+    let stats = Rc::new(RefCell::new(ClientStats::default()));
+    for i in 0..cfg.clients {
+        let reply = sim.add_channel(240_000, 20);
+        sim.spawn(
+            client_proc,
+            client_m,
+            &format!("eb{i}"),
+            Box::new(TpcwClient {
+                mix: TpcwMix::with_mix(
+                    cfg.seed.wrapping_add(i as u64).wrapping_mul(0x9e37),
+                    cfg.mix,
+                ),
+                rng: SmallRng::seed_from_u64(cfg.seed ^ (i as u64) << 20),
+                squid: squid_in,
+                reply,
+                stats: stats.clone(),
+                warmup: cfg.warmup,
+                search_terms: cfg.search_terms,
+                images_per_page: cfg.images_per_page,
+                current: None,
+                state: CState::Think,
+            }),
+        );
+    }
+
+    sim.run_until(cfg.duration);
+
+    let wire_bytes = sim.chans.total_bytes();
+    let window = cfg.duration - cfg.warmup;
+    let st = stats.borrow();
+    let rt_ms = st
+        .rt
+        .iter()
+        .map(|(&i, acc)| (i, cycles_to_ms(acc.mean() as u64)))
+        .collect();
+    let sh = db.shared.borrow();
+    let db_cpu_truth = sh
+        .served
+        .iter()
+        .map(|(&i, &n)| (i, n * crate::dbserver::query_for(i).cost()))
+        .collect();
+    let cache_hits = app.shared.borrow().cache_hits;
+    let img_hits = squid_shared.borrow().img_hits;
+    let img_misses = squid_shared.borrow().img_misses;
+    let db_served = sh.served.clone();
+    let mut dumps = Vec::new();
+    for pr in [&squid_pr, &tomcat_pr, &mysql_pr] {
+        if let Some(d) = pr.rt.borrow().dump() {
+            dumps.push(d);
+        }
+    }
+    let piggyback_bytes = dumps.iter().map(|d| d.piggyback_bytes).sum();
+    TpcwReport {
+        throughput_per_min: per_minute(st.completed, window),
+        rt_ms,
+        db_cpu_truth,
+        db_served,
+        cache_hits,
+        img_hits,
+        img_misses,
+        dumps,
+        runtimes: vec![squid_pr, tomcat_pr, mysql_pr],
+        counter_lock: db.counter_lock,
+        window,
+        wire_bytes,
+        piggyback_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(clients: u32, caching: bool, engine: Engine) -> TpcwReport {
+        run_tpcw(TpcwConfig {
+            clients,
+            caching,
+            engine,
+            duration: 120 * CPU_HZ,
+            warmup: 30 * CPU_HZ,
+            ..TpcwConfig::default()
+        })
+    }
+
+    #[test]
+    fn tpcw_serves_interactions_end_to_end() {
+        let r = quick(40, false, Engine::MyIsam);
+        assert!(
+            r.throughput_per_min > 100.0,
+            "tput {}",
+            r.throughput_per_min
+        );
+        assert!(
+            r.db_served.len() >= 8,
+            "interaction coverage {:?}",
+            r.db_served.len()
+        );
+        assert_eq!(r.dumps.len(), 3, "three profiled stages");
+    }
+
+    #[test]
+    fn bestsellers_dominates_db_cpu() {
+        let r = quick(40, false, Engine::MyIsam);
+        let total: u64 = r.db_cpu_truth.values().sum();
+        let bs = *r.db_cpu_truth.get(&Interaction::BestSellers).unwrap_or(&0);
+        let sr = *r.db_cpu_truth.get(&Interaction::SearchResult).unwrap_or(&0);
+        assert!(bs + sr > total / 2, "BS+SR = {}, total {}", bs + sr, total);
+    }
+
+    #[test]
+    fn caching_reduces_db_queries() {
+        let plain = quick(40, false, Engine::MyIsam);
+        let cached = quick(40, true, Engine::MyIsam);
+        assert!(cached.cache_hits > 0);
+        let plain_q: u64 = plain.db_served.values().sum();
+        let cached_q: u64 = cached.db_served.values().sum();
+        assert!(cached_q < plain_q, "cached {cached_q} vs plain {plain_q}");
+    }
+
+    #[test]
+    fn mysql_counter_flow_is_excluded() {
+        let r = quick(20, false, Engine::MyIsam);
+        let w = r.runtimes[2].whodunit.as_ref().unwrap().borrow();
+        // §8.1: the shared counter is seen (its lock has activity) but
+        // no transaction flow is inferred in MySQL.
+        assert!(!w
+            .flow_log()
+            .iter()
+            .any(|e| matches!(e, whodunit_core::shm::FlowEvent::Consumed { .. })));
+        let stats = w.detector().lock_stats(r.counter_lock);
+        assert_eq!(stats.producers, 0, "counter increments are non-MOV");
+    }
+
+    #[test]
+    fn communication_overhead_is_about_one_percent() {
+        // §9.1: "92.52 MB of data and 0.95 MB of transaction context is
+        // transferred among the stages — a communication overhead of
+        // about 1%".
+        let r = quick(60, false, Engine::MyIsam);
+        assert!(r.piggyback_bytes > 0);
+        let pct = r.piggyback_bytes as f64 * 100.0 / r.wire_bytes as f64;
+        assert!(pct < 3.0, "communication overhead {pct:.2}%");
+        assert!(pct > 0.01, "piggyback is actually being counted: {pct:.4}%");
+    }
+
+    #[test]
+    fn static_images_flow_through_squid_cache() {
+        let r = quick(40, false, Engine::MyIsam);
+        assert!(r.img_hits + r.img_misses > 100, "images requested");
+        assert!(
+            r.img_hits > r.img_misses,
+            "the cache absorbs most image traffic: {} hits vs {} misses",
+            r.img_hits,
+            r.img_misses
+        );
+    }
+
+    #[test]
+    fn mysql_contexts_distinguish_interactions() {
+        let r = quick(60, false, Engine::MyIsam);
+        let w = r.runtimes[2].whodunit.as_ref().unwrap().borrow();
+        let remote_ctxs = w
+            .profiled_contexts()
+            .into_iter()
+            .filter(|&c| w.ctx_string(c).starts_with("remote("))
+            .count();
+        // One remote context per interaction type that reached MySQL.
+        assert!(remote_ctxs >= 6, "distinct MySQL contexts: {remote_ctxs}");
+    }
+}

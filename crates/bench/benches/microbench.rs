@@ -1,0 +1,194 @@
+//! Criterion microbenchmarks of Whodunit's hot primitives (real wall
+//! time, complementing the virtual-time experiments):
+//!
+//! - CCT sample recording (the per-sample cost csprof/Whodunit pay);
+//! - transaction-context append with collapse/pruning (§4.1);
+//! - synopsis minting and chain classification (§7.4);
+//! - the §3 flow detector on a produce/consume round;
+//! - guest-code emulation of the fd-queue critical sections (Table 3's
+//!   real-time analogue);
+//! - a full simulated Apache second (substrate end-to-end).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use whodunit_apps::httpd::{run_httpd, HttpdConfig};
+use whodunit_apps::rtconf::RtKind;
+use whodunit_core::cct::{Cct, Metrics};
+use whodunit_core::context::{ContextTable, CtxId};
+use whodunit_core::frame::FrameId;
+use whodunit_core::ids::{LockId, ThreadId};
+use whodunit_core::ipc::IpcTracker;
+use whodunit_core::shm::{FlowDetector, Loc, MemEvent};
+use whodunit_core::synopsis::SynopsisTable;
+use whodunit_vm::programs::FdQueue;
+use whodunit_vm::{Cpu, CsEmulator, ExecMode, GuestMem, TranslationCache};
+
+fn bench_cct(c: &mut Criterion) {
+    let paths: Vec<Vec<FrameId>> = (0..64)
+        .map(|i| (0..6).map(|d| FrameId((i * 7 + d * 3) % 40)).collect())
+        .collect();
+    c.bench_function("cct_record_sample", |b| {
+        let mut cct = Cct::new();
+        let mut i = 0;
+        b.iter(|| {
+            cct.record(
+                black_box(&paths[i % paths.len()]),
+                Metrics {
+                    samples: 1,
+                    cycles: 100,
+                    calls: 0,
+                },
+            );
+            i += 1;
+        });
+    });
+}
+
+fn bench_context(c: &mut Criterion) {
+    c.bench_function("context_append_frame_pruned", |b| {
+        let mut t = ContextTable::default();
+        let mut ctx = CtxId::ROOT;
+        let mut i = 0u32;
+        b.iter(|| {
+            ctx = t.append_frame(ctx, FrameId(i % 5));
+            i += 1;
+            black_box(ctx)
+        });
+    });
+}
+
+fn bench_synopsis(c: &mut Criterion) {
+    c.bench_function("synopsis_mint_and_send", |b| {
+        let mut ctxs = ContextTable::default();
+        let mut syns = SynopsisTable::new(1u32);
+        let mut ipc = IpcTracker::new();
+        let mut i = 0u32;
+        b.iter(|| {
+            let path = [FrameId(i % 17), FrameId(1)];
+            let send_ctx = ctxs.append_path(CtxId::ROOT, &path);
+            let chain = ipc.send(&ctxs, &mut syns, CtxId::ROOT, send_ctx);
+            i += 1;
+            black_box(chain)
+        });
+    });
+}
+
+fn bench_flow_detector(c: &mut Criterion) {
+    c.bench_function("flow_detector_produce_consume_round", |b| {
+        let mut d = FlowDetector::default();
+        let lock = LockId(1);
+        let prod = ThreadId(1);
+        let cons = ThreadId(2);
+        let mut out = Vec::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            let slot = 100 + (i % 32);
+            d.on_event(prod, CtxId(7), &MemEvent::CsEnter { lock }, &mut out);
+            d.on_event(
+                prod,
+                CtxId(7),
+                &MemEvent::Mov {
+                    src: Loc::Mem(1),
+                    dst: Loc::Reg(prod, 1),
+                },
+                &mut out,
+            );
+            d.on_event(
+                prod,
+                CtxId(7),
+                &MemEvent::Mov {
+                    src: Loc::Reg(prod, 1),
+                    dst: Loc::Mem(slot),
+                },
+                &mut out,
+            );
+            d.on_event(prod, CtxId(7), &MemEvent::CsExit, &mut out);
+            d.on_event(cons, CtxId(8), &MemEvent::CsEnter { lock }, &mut out);
+            d.on_event(
+                cons,
+                CtxId(8),
+                &MemEvent::Mov {
+                    src: Loc::Mem(slot),
+                    dst: Loc::Reg(cons, 1),
+                },
+                &mut out,
+            );
+            d.on_event(cons, CtxId(8), &MemEvent::CsExit, &mut out);
+            d.on_event(
+                cons,
+                CtxId(8),
+                &MemEvent::Use {
+                    loc: Loc::Reg(cons, 1),
+                },
+                &mut out,
+            );
+            out.clear();
+            i += 1;
+        });
+    });
+}
+
+fn bench_emulation(c: &mut Criterion) {
+    let q = FdQueue::new(3);
+    let mut group = c.benchmark_group("fd_queue_guest");
+    group.bench_function("push_direct", |b| {
+        let mut mem = GuestMem::new(FdQueue::mem_words(512));
+        FdQueue::init(&mut mem, 500);
+        let emu = CsEmulator::default();
+        b.iter(|| {
+            mem.write(0, 0); // reset nelts
+            let mut cpu = Cpu::new(ThreadId(1));
+            cpu.regs[1] = 42;
+            emu.run(&q.push, &mut cpu, &mut mem, ExecMode::Direct, &mut |_| {})
+        });
+    });
+    group.bench_function("push_emulated_cached", |b| {
+        let mut mem = GuestMem::new(FdQueue::mem_words(512));
+        FdQueue::init(&mut mem, 500);
+        let mut tc = TranslationCache::new();
+        let emu = CsEmulator::default();
+        b.iter(|| {
+            mem.write(0, 0);
+            let mut cpu = Cpu::new(ThreadId(1));
+            cpu.regs[1] = 42;
+            emu.run(
+                &q.push,
+                &mut cpu,
+                &mut mem,
+                ExecMode::Emulated { tcache: &mut tc },
+                &mut |e| {
+                    black_box(e);
+                },
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(10);
+    group.bench_function("httpd_one_virtual_second", |b| {
+        b.iter(|| {
+            run_httpd(HttpdConfig {
+                clients: 8,
+                workers: 4,
+                duration: 2_400_000_000,
+                rt: RtKind::Whodunit,
+                ..HttpdConfig::default()
+            })
+            .reqs
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cct,
+    bench_context,
+    bench_synopsis,
+    bench_flow_detector,
+    bench_emulation,
+    bench_substrate
+);
+criterion_main!(benches);

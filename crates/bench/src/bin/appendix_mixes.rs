@@ -1,0 +1,60 @@
+//! Extension study (beyond the paper): the TPC-W shopping and ordering
+//! mixes through the same profiled 3-tier assembly.
+//!
+//! The paper evaluates the browsing mix only. TPC-W's other two mixes
+//! shift weight from the heavy read queries (BestSellers/SearchResult)
+//! toward order placement — so the database bottleneck relaxes, peak
+//! throughput rises, and MySQL's transactional profile is dominated by
+//! different interactions. Whodunit's per-interaction attribution makes
+//! the shift directly visible.
+
+use whodunit_apps::dbserver::Engine;
+use whodunit_apps::rtconf::RtKind;
+use whodunit_apps::tpcw::{run_tpcw, TpcwConfig};
+use whodunit_bench::header;
+use whodunit_core::cost::CPU_HZ;
+use whodunit_core::stitch::Stitched;
+use whodunit_report::tpcw::table1;
+use whodunit_workload::{Interaction, Mix};
+
+fn label_of(frame: &str) -> Option<String> {
+    Interaction::ALL
+        .iter()
+        .find(|i| i.servlet() == frame)
+        .map(|i| i.name().to_owned())
+}
+
+fn main() {
+    header(
+        "Appendix (extension)",
+        "TPC-W mixes: browsing vs shopping vs ordering through the profiled assembly",
+    );
+    for mix in [Mix::Browsing, Mix::Shopping, Mix::Ordering] {
+        let r = run_tpcw(TpcwConfig {
+            clients: 150,
+            engine: Engine::MyIsam,
+            caching: false,
+            rt: RtKind::Whodunit,
+            mix,
+            duration: 200 * CPU_HZ,
+            warmup: 50 * CPU_HZ,
+            ..TpcwConfig::default()
+        });
+        let stitched = Stitched::new(r.dumps.clone());
+        let mut rows = table1(&stitched, 2, &|n| label_of(n));
+        rows.sort_by(|a, b| b.cpu_pct.partial_cmp(&a.cpu_pct).unwrap());
+        println!(
+            "\n{mix:?} mix: {:.0} interactions/min; top MySQL consumers:",
+            r.throughput_per_min
+        );
+        for row in rows.iter().take(4) {
+            println!(
+                "  {:<22} {:6.2}% CPU   {:8.2} ms crosstalk",
+                row.interaction, row.cpu_pct, row.crosstalk_ms
+            );
+        }
+    }
+    println!("\n(The heavy sorts shrink outside the browsing mix; throughput rises as");
+    println!(" the database bottleneck relaxes — the same attribution machinery,");
+    println!(" new workload, no code changes.)");
+}

@@ -1,0 +1,89 @@
+//! Table 3: execution cost of Apache's fd-queue critical sections under
+//! direct execution, translation + emulation, and cached emulation.
+
+use whodunit_bench::{compare, header};
+use whodunit_core::ids::ThreadId;
+use whodunit_vm::programs::FdQueue;
+use whodunit_vm::{Cpu, CsEmulator, ExecMode, GuestMem, Program, TranslationCache};
+
+fn run(prog: &Program, mem: &mut GuestMem, mode: ExecMode<'_>, args: &[(usize, i64)]) -> u64 {
+    let mut cpu = Cpu::new(ThreadId(1));
+    for &(r, v) in args {
+        cpu.regs[r] = v;
+    }
+    let emu = CsEmulator::default();
+    emu.run(prog, &mut cpu, mem, mode, &mut |_| {}).cycles
+}
+
+fn main() {
+    header(
+        "Table 3",
+        "cycles per fd-queue critical section: direct / translate+emulate / cached emulation",
+    );
+    let q = FdQueue::new(3);
+    let mut mem = GuestMem::new(FdQueue::mem_words(16));
+
+    // Direct execution.
+    let push_direct = run(&q.push, &mut mem, ExecMode::Direct, &[(1, 10), (2, 20)]);
+    let pop_direct = run(&q.pop, &mut mem, ExecMode::Direct, &[]);
+
+    // Translation + emulation (cold cache).
+    let mut tc = TranslationCache::new();
+    let push_cold = run(
+        &q.push,
+        &mut mem,
+        ExecMode::Emulated { tcache: &mut tc },
+        &[(1, 10), (2, 20)],
+    );
+    let pop_cold = run(
+        &q.pop,
+        &mut mem,
+        ExecMode::Emulated { tcache: &mut tc },
+        &[],
+    );
+
+    // Cached emulation.
+    let push_warm = run(
+        &q.push,
+        &mut mem,
+        ExecMode::Emulated { tcache: &mut tc },
+        &[(1, 10), (2, 20)],
+    );
+    let pop_warm = run(
+        &q.pop,
+        &mut mem,
+        ExecMode::Emulated { tcache: &mut tc },
+        &[],
+    );
+
+    compare("ap_queue_push direct", 131.64, push_direct as f64, "cycles");
+    compare(
+        "ap_queue_push translate+emulate",
+        62_508.0,
+        push_cold as f64,
+        "cycles",
+    );
+    compare(
+        "ap_queue_push cached emulation",
+        11_606.8,
+        push_warm as f64,
+        "cycles",
+    );
+    compare("ap_queue_pop direct", 109.72, pop_direct as f64, "cycles");
+    compare(
+        "ap_queue_pop translate+emulate",
+        40_852.0,
+        pop_cold as f64,
+        "cycles",
+    );
+    compare(
+        "ap_queue_pop cached emulation",
+        12_118.0,
+        pop_warm as f64,
+        "cycles",
+    );
+
+    assert!(push_direct < push_warm && push_warm < push_cold);
+    assert!(pop_direct < pop_warm && pop_warm < pop_cold);
+    println!("\nOrdering direct < cached emulation < translate+emulate holds.");
+}

@@ -1,0 +1,24 @@
+//! Shared helpers for the experiment binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper's evaluation, printing the paper's reported values next to the
+//! measured ones so shape agreement (who wins, by what factor, where
+//! knees fall) is visible at a glance. `EXPERIMENTS.md` records the
+//! outcomes.
+
+/// Prints a standard experiment header.
+pub fn header(id: &str, title: &str) {
+    println!("==========================================================");
+    println!("{id}: {title}");
+    println!("==========================================================");
+}
+
+/// Formats a paper-vs-measured comparison line.
+pub fn compare(label: &str, paper: f64, measured: f64, unit: &str) {
+    let ratio = if paper != 0.0 {
+        measured / paper
+    } else {
+        f64::NAN
+    };
+    println!("{label:<44} paper {paper:>10.2} {unit:<8} measured {measured:>10.2} {unit:<8} (x{ratio:.2})");
+}

@@ -1,0 +1,337 @@
+//! Calling Context Trees (§7.1).
+//!
+//! Whodunit's call-path profiler core maintains one Calling Context Tree
+//! (CCT, Ammons–Ball–Larus) per transaction context. Each node names a
+//! procedure frame; the path from the root to a node is a call path.
+//! Profile samples are accumulated at the node whose root-path equals
+//! the sampled call stack.
+//!
+//! Metrics are *exclusive* per node; inclusive values are computed on
+//! demand by summing subtrees.
+
+use crate::frame::FrameId;
+use std::collections::HashMap;
+
+/// Index of a node within one [`Cct`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct CctNodeId(pub u32);
+
+impl CctNodeId {
+    /// The root node of every CCT.
+    pub const ROOT: CctNodeId = CctNodeId(0);
+}
+
+/// Exclusive profile metrics accumulated at one CCT node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Metrics {
+    /// Statistical profile samples attributed here.
+    pub samples: u64,
+    /// Exact CPU cycles attributed here (ground truth the simulator
+    /// knows; real csprof only has samples).
+    pub cycles: u64,
+    /// Procedure invocations counted here (used by the gprof baseline).
+    pub calls: u64,
+}
+
+impl Metrics {
+    /// Component-wise sum.
+    pub fn add(&mut self, other: Metrics) {
+        self.samples += other.samples;
+        self.cycles += other.cycles;
+        self.calls += other.calls;
+    }
+}
+
+#[derive(Debug)]
+struct Node {
+    frame: Option<FrameId>,
+    parent: Option<CctNodeId>,
+    children: HashMap<FrameId, CctNodeId>,
+    metrics: Metrics,
+}
+
+/// A Calling Context Tree with per-node exclusive metrics.
+///
+/// # Examples
+///
+/// ```
+/// use whodunit_core::cct::{Cct, Metrics};
+/// use whodunit_core::frame::FrameId;
+///
+/// let mut cct = Cct::new();
+/// let path = [FrameId(0), FrameId(1)];
+/// cct.record(&path, Metrics { samples: 3, cycles: 300, calls: 1 });
+/// let node = cct.path_node(&path);
+/// assert_eq!(cct.metrics(node).cycles, 300);
+/// assert_eq!(cct.total().samples, 3);
+/// ```
+#[derive(Debug)]
+pub struct Cct {
+    nodes: Vec<Node>,
+}
+
+impl Default for Cct {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Cct {
+    /// Creates a CCT holding only the (frameless) root.
+    pub fn new() -> Self {
+        Cct {
+            nodes: vec![Node {
+                frame: None,
+                parent: None,
+                children: HashMap::new(),
+                metrics: Metrics::default(),
+            }],
+        }
+    }
+
+    /// Number of nodes including the root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// The frame at `node` (`None` for the root).
+    pub fn frame(&self, node: CctNodeId) -> Option<FrameId> {
+        self.nodes[node.0 as usize].frame
+    }
+
+    /// The parent of `node` (`None` for the root).
+    pub fn parent(&self, node: CctNodeId) -> Option<CctNodeId> {
+        self.nodes[node.0 as usize].parent
+    }
+
+    /// Exclusive metrics at `node`.
+    pub fn metrics(&self, node: CctNodeId) -> Metrics {
+        self.nodes[node.0 as usize].metrics
+    }
+
+    /// Child of `node` for `frame`, creating it if missing.
+    pub fn child(&mut self, node: CctNodeId, frame: FrameId) -> CctNodeId {
+        if let Some(&c) = self.nodes[node.0 as usize].children.get(&frame) {
+            return c;
+        }
+        let id = CctNodeId(u32::try_from(self.nodes.len()).expect("more than u32::MAX CCT nodes"));
+        self.nodes.push(Node {
+            frame: Some(frame),
+            parent: Some(node),
+            children: HashMap::new(),
+            metrics: Metrics::default(),
+        });
+        self.nodes[node.0 as usize].children.insert(frame, id);
+        id
+    }
+
+    /// Child of `node` for `frame` without creating it.
+    pub fn find_child(&self, node: CctNodeId, frame: FrameId) -> Option<CctNodeId> {
+        self.nodes[node.0 as usize].children.get(&frame).copied()
+    }
+
+    /// Resolves (creating as needed) the node for a full call path.
+    pub fn path_node(&mut self, path: &[FrameId]) -> CctNodeId {
+        let mut n = CctNodeId::ROOT;
+        for &f in path {
+            n = self.child(n, f);
+        }
+        n
+    }
+
+    /// Records exclusive metrics at the node for `path`.
+    pub fn record(&mut self, path: &[FrameId], m: Metrics) {
+        let n = self.path_node(path);
+        self.nodes[n.0 as usize].metrics.add(m);
+    }
+
+    /// Records exclusive metrics at an already resolved node.
+    pub fn record_at(&mut self, node: CctNodeId, m: Metrics) {
+        self.nodes[node.0 as usize].metrics.add(m);
+    }
+
+    /// The call path from the root to `node` (root excluded).
+    pub fn path_of(&self, node: CctNodeId) -> Vec<FrameId> {
+        let mut path = Vec::new();
+        let mut cur = Some(node);
+        while let Some(n) = cur {
+            if let Some(f) = self.nodes[n.0 as usize].frame {
+                path.push(f);
+            }
+            cur = self.nodes[n.0 as usize].parent;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Inclusive metrics of `node`: its own plus all descendants'.
+    pub fn inclusive(&self, node: CctNodeId) -> Metrics {
+        let mut total = self.nodes[node.0 as usize].metrics;
+        let mut stack: Vec<CctNodeId> = self.nodes[node.0 as usize]
+            .children
+            .values()
+            .copied()
+            .collect();
+        while let Some(n) = stack.pop() {
+            total.add(self.nodes[n.0 as usize].metrics);
+            stack.extend(self.nodes[n.0 as usize].children.values().copied());
+        }
+        total
+    }
+
+    /// Total metrics in the whole tree.
+    pub fn total(&self) -> Metrics {
+        self.inclusive(CctNodeId::ROOT)
+    }
+
+    /// Children of `node`, sorted by frame id for deterministic output.
+    pub fn children_sorted(&self, node: CctNodeId) -> Vec<CctNodeId> {
+        let mut v: Vec<_> = self.nodes[node.0 as usize]
+            .children
+            .iter()
+            .map(|(&f, &c)| (f, c))
+            .collect();
+        v.sort_by_key(|&(f, _)| f);
+        v.into_iter().map(|(_, c)| c).collect()
+    }
+
+    /// Iterates over every node id (root first, then creation order).
+    pub fn node_ids(&self) -> impl Iterator<Item = CctNodeId> {
+        (0..self.nodes.len() as u32).map(CctNodeId)
+    }
+
+    /// The `n` call paths with the largest exclusive sample counts,
+    /// heaviest first (a profiler's "hot paths" view).
+    pub fn hot_paths(&self, n: usize) -> Vec<(Vec<FrameId>, Metrics)> {
+        let mut v: Vec<(Vec<FrameId>, Metrics)> = self
+            .node_ids()
+            .filter(|&id| self.nodes[id.0 as usize].metrics.samples > 0)
+            .map(|id| (self.path_of(id), self.metrics(id)))
+            .collect();
+        v.sort_by(|a, b| b.1.samples.cmp(&a.1.samples).then(a.0.cmp(&b.0)));
+        v.truncate(n);
+        v
+    }
+
+    /// Merges `other` into `self`, node by node along matching paths.
+    pub fn merge(&mut self, other: &Cct) {
+        // Walk `other` depth-first, carrying the corresponding node in
+        // `self`; the pair always names the same call path.
+        let mut stack = vec![(CctNodeId::ROOT, CctNodeId::ROOT)];
+        while let Some((mine, theirs)) = stack.pop() {
+            self.nodes[mine.0 as usize]
+                .metrics
+                .add(other.nodes[theirs.0 as usize].metrics);
+            for (&f, &tc) in &other.nodes[theirs.0 as usize].children {
+                let mc = self.child(mine, f);
+                stack.push((mc, tc));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fid(n: u32) -> FrameId {
+        FrameId(n)
+    }
+
+    fn m(samples: u64, cycles: u64) -> Metrics {
+        Metrics {
+            samples,
+            cycles,
+            calls: 0,
+        }
+    }
+
+    #[test]
+    fn child_creation_is_idempotent() {
+        let mut cct = Cct::new();
+        let a = cct.child(CctNodeId::ROOT, fid(1));
+        let b = cct.child(CctNodeId::ROOT, fid(1));
+        assert_eq!(a, b);
+        assert_eq!(cct.len(), 2);
+        assert_eq!(cct.frame(a), Some(fid(1)));
+        assert_eq!(cct.parent(a), Some(CctNodeId::ROOT));
+    }
+
+    #[test]
+    fn record_and_path_roundtrip() {
+        let mut cct = Cct::new();
+        let path = [fid(1), fid(2), fid(3)];
+        cct.record(&path, m(1, 100));
+        let n = cct.path_node(&path);
+        assert_eq!(cct.metrics(n).cycles, 100);
+        assert_eq!(cct.path_of(n), path.to_vec());
+    }
+
+    #[test]
+    fn inclusive_sums_subtree() {
+        let mut cct = Cct::new();
+        cct.record(&[fid(1)], m(0, 10));
+        cct.record(&[fid(1), fid(2)], m(0, 20));
+        cct.record(&[fid(1), fid(3)], m(0, 30));
+        cct.record(&[fid(4)], m(0, 5));
+        let n1 = cct.path_node(&[fid(1)]);
+        assert_eq!(cct.inclusive(n1).cycles, 60);
+        assert_eq!(cct.total().cycles, 65);
+        assert_eq!(cct.metrics(n1).cycles, 10);
+    }
+
+    #[test]
+    fn merge_adds_along_matching_paths() {
+        let mut a = Cct::new();
+        a.record(&[fid(1), fid(2)], m(1, 10));
+        let mut b = Cct::new();
+        b.record(&[fid(1), fid(2)], m(2, 20));
+        b.record(&[fid(3)], m(1, 7));
+        a.merge(&b);
+        assert_eq!(a.total().cycles, 37);
+        let n = a.path_node(&[fid(1), fid(2)]);
+        assert_eq!(a.metrics(n).samples, 3);
+        let n3 = a.path_node(&[fid(3)]);
+        assert_eq!(a.metrics(n3).cycles, 7);
+    }
+
+    #[test]
+    fn hot_paths_rank_by_exclusive_samples() {
+        let mut cct = Cct::new();
+        cct.record(&[fid(1)], m(5, 0));
+        cct.record(&[fid(1), fid(2)], m(20, 0));
+        cct.record(&[fid(3)], m(10, 0));
+        let hot = cct.hot_paths(2);
+        assert_eq!(hot.len(), 2);
+        assert_eq!(hot[0].0, vec![fid(1), fid(2)]);
+        assert_eq!(hot[0].1.samples, 20);
+        assert_eq!(hot[1].0, vec![fid(3)]);
+    }
+
+    #[test]
+    fn children_sorted_is_deterministic() {
+        let mut cct = Cct::new();
+        for f in [5u32, 1, 3, 2, 4] {
+            cct.child(CctNodeId::ROOT, fid(f));
+        }
+        let frames: Vec<_> = cct
+            .children_sorted(CctNodeId::ROOT)
+            .into_iter()
+            .map(|n| cct.frame(n).unwrap().0)
+            .collect();
+        assert_eq!(frames, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn empty_tree_reports_empty() {
+        let cct = Cct::new();
+        assert!(cct.is_empty());
+        assert_eq!(cct.total(), Metrics::default());
+        assert_eq!(cct.path_of(CctNodeId::ROOT), Vec::<FrameId>::new());
+    }
+}

@@ -1,0 +1,369 @@
+//! Transaction contexts (§2, §4.1).
+//!
+//! A transaction context is the complete execution history of a request
+//! through the stages of a multi-tier application: the call paths and
+//! handler/stage sequences of every stage it crossed, concatenated in
+//! execution order. Contexts are interned into [`CtxId`]s so the rest of
+//! the profiler (dictionaries, CCT registries, crosstalk pairs) can use
+//! cheap integer keys.
+//!
+//! Two normalization rules from §4.1 apply when a handler or stage frame
+//! is appended:
+//!
+//! 1. **Collapse**: consecutive occurrences of the same handler (a
+//!    handler rescheduled until its I/O completes) are collapsed into
+//!    one occurrence.
+//! 2. **Loop pruning**: when appending a handler that already occurs in
+//!    the trailing handler sequence (e.g. `read, write, read, write, …`
+//!    on a persistent connection), the suffix that closes the loop is
+//!    pruned: `[accept, read, write] + read → [accept, read]`.
+
+use crate::frame::FrameId;
+use crate::synopsis::SynChain;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// An interned transaction context.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CtxId(pub u32);
+
+impl CtxId {
+    /// The root (empty) context: a transaction that has not crossed any
+    /// produce/consume point yet.
+    pub const ROOT: CtxId = CtxId(0);
+}
+
+impl fmt::Display for CtxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ctx{}", self.0)
+    }
+}
+
+/// One element of a transaction context.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ContextAtom {
+    /// An event handler or SEDA stage executed for the transaction.
+    Frame(FrameId),
+    /// A call path captured at a produce point (shared-memory produce or
+    /// message send).
+    Path(Rc<[FrameId]>),
+    /// A synopsis chain received from another process; it stands for the
+    /// entire upstream history, which only the stitcher can expand.
+    Remote(SynChain),
+}
+
+/// Normalization policy applied when appending handler/stage frames.
+#[derive(Clone, Copy, Debug)]
+pub struct ContextPolicy {
+    /// Collapse consecutive occurrences of the same frame (§4.1).
+    pub collapse_consecutive: bool,
+    /// Prune suffixes that close a loop in the frame sequence (§4.1).
+    ///
+    /// The paper notes this is "not strictly necessary for profiling"
+    /// and that the full context may be useful for debugging; turning
+    /// this off keeps complete histories.
+    pub prune_loops: bool,
+}
+
+impl Default for ContextPolicy {
+    fn default() -> Self {
+        ContextPolicy {
+            collapse_consecutive: true,
+            prune_loops: true,
+        }
+    }
+}
+
+impl ContextPolicy {
+    /// The debugging policy: keep complete, unpruned histories.
+    pub fn full_history() -> Self {
+        ContextPolicy {
+            collapse_consecutive: false,
+            prune_loops: false,
+        }
+    }
+}
+
+/// An owned transaction context value (a sequence of atoms).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct TransactionContext(pub Vec<ContextAtom>);
+
+impl TransactionContext {
+    /// The empty context.
+    pub fn root() -> Self {
+        TransactionContext(Vec::new())
+    }
+
+    /// The atoms of this context.
+    pub fn atoms(&self) -> &[ContextAtom] {
+        &self.0
+    }
+
+    /// Appends a handler/stage frame under `policy`, applying the §4.1
+    /// collapse and loop-pruning rules to the trailing frame run.
+    pub fn append_frame(&self, frame: FrameId, policy: ContextPolicy) -> Self {
+        let mut atoms = self.0.clone();
+        // The window of trailing `Frame` atoms that normalization may
+        // inspect; pruning never reaches across a `Path` or `Remote`
+        // atom because those mark a different stage's history.
+        let run_start = atoms
+            .iter()
+            .rposition(|a| !matches!(a, ContextAtom::Frame(_)))
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        if policy.collapse_consecutive {
+            if let Some(ContextAtom::Frame(last)) = atoms.last() {
+                if *last == frame {
+                    return TransactionContext(atoms);
+                }
+            }
+        }
+        if policy.prune_loops {
+            let pos = atoms[run_start..]
+                .iter()
+                .position(|a| matches!(a, ContextAtom::Frame(f) if *f == frame));
+            if let Some(p) = pos {
+                atoms.truncate(run_start + p + 1);
+                return TransactionContext(atoms);
+            }
+        }
+        atoms.push(ContextAtom::Frame(frame));
+        TransactionContext(atoms)
+    }
+
+    /// Appends a call path captured at a produce point.
+    pub fn append_path(&self, path: &[FrameId]) -> Self {
+        let mut atoms = self.0.clone();
+        atoms.push(ContextAtom::Path(path.into()));
+        TransactionContext(atoms)
+    }
+
+    /// Builds a context that stands for a remote upstream history.
+    pub fn from_remote(chain: SynChain) -> Self {
+        TransactionContext(vec![ContextAtom::Remote(chain)])
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether this is the root (empty) context.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// Intern table for transaction contexts.
+///
+/// [`CtxId::ROOT`] is always present and maps to the empty context.
+///
+/// # Examples
+///
+/// The §4.1 loop-pruning rule on a persistent connection's handler
+/// sequence:
+///
+/// ```
+/// use whodunit_core::context::{ContextTable, CtxId};
+/// use whodunit_core::frame::FrameId;
+///
+/// let mut t = ContextTable::default();
+/// let (accept, read, write) = (FrameId(0), FrameId(1), FrameId(2));
+/// let c = t.append_frame(CtxId::ROOT, accept);
+/// let c = t.append_frame(c, read);
+/// let after_read = c;
+/// let c = t.append_frame(c, write);
+/// // The next read on the same connection closes a loop and prunes:
+/// assert_eq!(t.append_frame(c, read), after_read);
+/// ```
+#[derive(Debug)]
+pub struct ContextTable {
+    by_value: HashMap<TransactionContext, CtxId>,
+    values: Vec<TransactionContext>,
+    policy: ContextPolicy,
+}
+
+impl Default for ContextTable {
+    fn default() -> Self {
+        Self::new(ContextPolicy::default())
+    }
+}
+
+impl ContextTable {
+    /// Creates a table with the given normalization policy.
+    pub fn new(policy: ContextPolicy) -> Self {
+        let root = TransactionContext::root();
+        let mut by_value = HashMap::new();
+        by_value.insert(root.clone(), CtxId::ROOT);
+        ContextTable {
+            by_value,
+            values: vec![root],
+            policy,
+        }
+    }
+
+    /// The normalization policy in force.
+    pub fn policy(&self) -> ContextPolicy {
+        self.policy
+    }
+
+    /// Interns an owned context value.
+    pub fn intern(&mut self, value: TransactionContext) -> CtxId {
+        if let Some(&id) = self.by_value.get(&value) {
+            return id;
+        }
+        let id = CtxId(
+            u32::try_from(self.values.len()).expect("more than u32::MAX transaction contexts"),
+        );
+        self.by_value.insert(value.clone(), id);
+        self.values.push(value);
+        id
+    }
+
+    /// Returns the value of an interned context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table.
+    pub fn value(&self, id: CtxId) -> &TransactionContext {
+        &self.values[id.0 as usize]
+    }
+
+    /// Interns `ctx + frame` under the table's policy (§4.1).
+    pub fn append_frame(&mut self, ctx: CtxId, frame: FrameId) -> CtxId {
+        let v = self.value(ctx).append_frame(frame, self.policy);
+        self.intern(v)
+    }
+
+    /// Interns `ctx + path` (a produce-point call path).
+    pub fn append_path(&mut self, ctx: CtxId, path: &[FrameId]) -> CtxId {
+        let v = self.value(ctx).append_path(path);
+        self.intern(v)
+    }
+
+    /// Interns the context standing for a received remote chain.
+    pub fn from_remote(&mut self, chain: SynChain) -> CtxId {
+        let v = TransactionContext::from_remote(chain);
+        self.intern(v)
+    }
+
+    /// Number of interned contexts (including the root).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether only the root context exists.
+    pub fn is_empty(&self) -> bool {
+        self.values.len() <= 1
+    }
+
+    /// Iterates over all interned contexts in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (CtxId, &TransactionContext)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (CtxId(i as u32), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synopsis::Synopsis;
+
+    fn fid(n: u32) -> FrameId {
+        FrameId(n)
+    }
+
+    #[test]
+    fn root_is_interned_as_zero() {
+        let t = ContextTable::default();
+        assert_eq!(t.value(CtxId::ROOT), &TransactionContext::root());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn append_frame_builds_sequences() {
+        let mut t = ContextTable::default();
+        let a = t.append_frame(CtxId::ROOT, fid(1));
+        let ab = t.append_frame(a, fid(2));
+        assert_ne!(a, ab);
+        assert_eq!(
+            t.value(ab).atoms(),
+            &[ContextAtom::Frame(fid(1)), ContextAtom::Frame(fid(2))]
+        );
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let mut t = ContextTable::default();
+        let a1 = t.append_frame(CtxId::ROOT, fid(1));
+        let a2 = t.append_frame(CtxId::ROOT, fid(1));
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn consecutive_duplicates_collapse() {
+        // §4.1: `[A, B, B, B]` collapses to `[A, B]`.
+        let mut t = ContextTable::default();
+        let a = t.append_frame(CtxId::ROOT, fid(1));
+        let ab = t.append_frame(a, fid(2));
+        let abb = t.append_frame(ab, fid(2));
+        assert_eq!(ab, abb);
+    }
+
+    #[test]
+    fn loops_are_pruned_to_first_occurrence() {
+        // §4.1: `[accept, read, write] + read → [accept, read]`.
+        let mut t = ContextTable::default();
+        let accept = fid(10);
+        let read = fid(11);
+        let write = fid(12);
+        let c = t.append_frame(CtxId::ROOT, accept);
+        let c = t.append_frame(c, read);
+        let full = t.append_frame(c, write);
+        let pruned = t.append_frame(full, read);
+        assert_eq!(pruned, c);
+    }
+
+    #[test]
+    fn pruning_does_not_cross_path_atoms() {
+        // A `Path` atom marks another stage's history; a handler of the
+        // same name after it must not prune back across it.
+        let mut t = ContextTable::default();
+        let h = fid(1);
+        let c = t.append_frame(CtxId::ROOT, h);
+        let c = t.append_path(c, &[fid(7), fid(8)]);
+        let c2 = t.append_frame(c, h);
+        assert_eq!(t.value(c2).len(), 3);
+    }
+
+    #[test]
+    fn full_history_policy_keeps_everything() {
+        let mut t = ContextTable::new(ContextPolicy::full_history());
+        let c = t.append_frame(CtxId::ROOT, fid(1));
+        let c = t.append_frame(c, fid(1));
+        let c = t.append_frame(c, fid(2));
+        let c = t.append_frame(c, fid(1));
+        assert_eq!(t.value(c).len(), 4);
+    }
+
+    #[test]
+    fn remote_contexts_intern() {
+        let mut t = ContextTable::default();
+        let chain = SynChain::request(Synopsis::new(1, 5));
+        let a = t.from_remote(chain.clone());
+        let b = t.from_remote(chain);
+        assert_eq!(a, b);
+        assert!(matches!(t.value(a).atoms(), [ContextAtom::Remote(_)]));
+    }
+
+    #[test]
+    fn iter_covers_all_contexts() {
+        let mut t = ContextTable::default();
+        t.append_frame(CtxId::ROOT, fid(1));
+        t.append_frame(CtxId::ROOT, fid(2));
+        assert_eq!(t.iter().count(), 3);
+    }
+}

@@ -1,0 +1,135 @@
+//! Transaction flow through events (§4.1, Figure 4).
+//!
+//! An event-driven program executes a transaction as a sequence of event
+//! handlers, linked by continuations. The paper's instrumented
+//! `libevent` (Figure 4) does two things:
+//!
+//! 1. In the event loop, before a handler runs, the *current transaction
+//!    context* becomes the event's stored context concatenated with the
+//!    handler (collapsing repeats and pruning loops).
+//! 2. When a new event is registered, it captures the current
+//!    transaction context.
+//!
+//! [`EventTracker`] is that logic, independent of any concrete event
+//! loop; `whodunit-sim`'s event loop and the profiler drive it.
+
+use crate::context::{ContextTable, CtxId};
+use crate::frame::FrameId;
+
+/// Transaction context stored on an event/continuation.
+///
+/// This is the paper's `ev_tran_ctxt` field added to `struct event`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EventCtx(pub CtxId);
+
+impl Default for EventCtx {
+    fn default() -> Self {
+        EventCtx(CtxId::ROOT)
+    }
+}
+
+/// The Figure 4 bookkeeping: tracks `curr_tran_ctxt` for one event loop.
+#[derive(Debug, Default)]
+pub struct EventTracker {
+    current: Option<CtxId>,
+}
+
+impl EventTracker {
+    /// Creates a tracker with no transaction executing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current transaction context (`curr_tran_ctxt`), if a handler
+    /// is executing.
+    pub fn current(&self) -> Option<CtxId> {
+        self.current
+    }
+
+    /// Figure 4 lines 5–6: a handler is about to run for `ev`.
+    ///
+    /// Computes and installs the new current context: the event's stored
+    /// context concatenated with the handler frame (the table's policy
+    /// collapses repeats and prunes loops). Returns the installed
+    /// context so the profiler can switch CCTs.
+    pub fn dispatch(&mut self, table: &mut ContextTable, ev: EventCtx, handler: FrameId) -> CtxId {
+        let ctx = table.append_frame(ev.0, handler);
+        self.current = Some(ctx);
+        ctx
+    }
+
+    /// Figure 4 line 12: a new event is created and registered while a
+    /// handler executes; it captures the current transaction context.
+    ///
+    /// When called outside any handler (the initial event registration
+    /// in `main`), the captured context is the root, matching the paper:
+    /// "when the initial event handler is scheduled, its transaction
+    /// context is simply the call path".
+    pub fn make_event(&self) -> EventCtx {
+        EventCtx(self.current.unwrap_or(CtxId::ROOT))
+    }
+
+    /// The handler returned: no transaction context is current anymore.
+    pub fn handler_done(&mut self) {
+        self.current = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ContextAtom;
+
+    #[test]
+    fn initial_event_carries_root_context() {
+        let t = EventTracker::new();
+        assert_eq!(t.make_event(), EventCtx(CtxId::ROOT));
+    }
+
+    #[test]
+    fn handler_sequences_accumulate() {
+        let mut ctxs = ContextTable::default();
+        let mut t = EventTracker::new();
+        let accept = FrameId(1);
+        let read = FrameId(2);
+
+        let c1 = t.dispatch(&mut ctxs, EventCtx::default(), accept);
+        let ev = t.make_event();
+        assert_eq!(ev.0, c1);
+        t.handler_done();
+        assert_eq!(t.current(), None);
+
+        let c2 = t.dispatch(&mut ctxs, ev, read);
+        assert_eq!(
+            ctxs.value(c2).atoms(),
+            &[ContextAtom::Frame(accept), ContextAtom::Frame(read)]
+        );
+    }
+
+    #[test]
+    fn rescheduled_handler_collapses() {
+        // §4.1: a read handler that needs several iterations appears
+        // once in the context.
+        let mut ctxs = ContextTable::default();
+        let mut t = EventTracker::new();
+        let read = FrameId(2);
+        let c1 = t.dispatch(&mut ctxs, EventCtx::default(), read);
+        let ev = t.make_event();
+        let c2 = t.dispatch(&mut ctxs, ev, read);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn persistent_connection_loops_prune() {
+        // §4.1: [accept, read, write] + read → [accept, read].
+        let mut ctxs = ContextTable::default();
+        let mut t = EventTracker::new();
+        let (accept, read, write) = (FrameId(1), FrameId(2), FrameId(3));
+        let c = t.dispatch(&mut ctxs, EventCtx::default(), accept);
+        let c = t.dispatch(&mut ctxs, EventCtx(c), read);
+        let after_read = c;
+        let c = t.dispatch(&mut ctxs, EventCtx(c), write);
+        let c = t.dispatch(&mut ctxs, EventCtx(c), read);
+        assert_eq!(c, after_read);
+    }
+}

@@ -1,0 +1,170 @@
+//! Interned frame names.
+//!
+//! A *frame* is one element of an execution path: a procedure in a call
+//! path, an event handler in an event-driven program, or a stage in a
+//! SEDA program (§2.1 of the paper treats all three uniformly as
+//! "stages" of execution). Frames are interned into small integer ids so
+//! call paths and transaction contexts are cheap to hash and compare.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// An interned frame name.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FrameId(pub u32);
+
+impl fmt::Display for FrameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// What kind of execution element a frame names.
+///
+/// The kind does not change any tracking semantics — the paper treats
+/// procedures, handlers, and stages uniformly — but it makes rendered
+/// profiles much easier to read.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum FrameKind {
+    /// An ordinary procedure in a call path.
+    #[default]
+    Procedure,
+    /// An event handler in an event-driven program (§4.1).
+    EventHandler,
+    /// A SEDA stage (§4.2).
+    Stage,
+}
+
+/// Bidirectional intern table for frame names.
+#[derive(Debug, Default)]
+pub struct FrameTable {
+    by_name: HashMap<String, FrameId>,
+    names: Vec<String>,
+    kinds: Vec<FrameKind>,
+}
+
+impl FrameTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name` as a [`FrameKind::Procedure`].
+    pub fn intern(&mut self, name: &str) -> FrameId {
+        self.intern_kind(name, FrameKind::Procedure)
+    }
+
+    /// Interns `name` with an explicit kind.
+    ///
+    /// If the name is already interned, the existing id is returned and
+    /// the previously recorded kind is kept.
+    pub fn intern_kind(&mut self, name: &str, kind: FrameKind) -> FrameId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id =
+            FrameId(u32::try_from(self.names.len()).expect("more than u32::MAX interned frames"));
+        self.by_name.insert(name.to_owned(), id);
+        self.names.push(name.to_owned());
+        self.kinds.push(kind);
+        id
+    }
+
+    /// Looks up an already interned name.
+    pub fn get(&self, name: &str) -> Option<FrameId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the name for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table.
+    pub fn name(&self, id: FrameId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// Returns the kind recorded for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table.
+    pub fn kind(&self, id: FrameId) -> FrameKind {
+        self.kinds[id.0 as usize]
+    }
+
+    /// Number of interned frames.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (FrameId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (FrameId(i as u32), n.as_str()))
+    }
+}
+
+/// A frame table shared between a substrate and its profiling runtimes.
+///
+/// The simulation is single-threaded, so `Rc<RefCell<_>>` suffices.
+pub type SharedFrameTable = Rc<RefCell<FrameTable>>;
+
+/// Creates a new shared frame table.
+pub fn shared_frame_table() -> SharedFrameTable {
+    Rc::new(RefCell::new(FrameTable::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = FrameTable::new();
+        let a = t.intern("main");
+        let b = t.intern("main");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.name(a), "main");
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_ids() {
+        let mut t = FrameTable::new();
+        let a = t.intern("foo");
+        let b = t.intern("bar");
+        assert_ne!(a, b);
+        assert_eq!(t.name(a), "foo");
+        assert_eq!(t.name(b), "bar");
+        assert_eq!(t.get("foo"), Some(a));
+        assert_eq!(t.get("baz"), None);
+    }
+
+    #[test]
+    fn kind_is_kept_from_first_intern() {
+        let mut t = FrameTable::new();
+        let a = t.intern_kind("ReadStage", FrameKind::Stage);
+        let b = t.intern_kind("ReadStage", FrameKind::Procedure);
+        assert_eq!(a, b);
+        assert_eq!(t.kind(a), FrameKind::Stage);
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut t = FrameTable::new();
+        t.intern("a");
+        t.intern("b");
+        let v: Vec<_> = t.iter().map(|(_, n)| n.to_owned()).collect();
+        assert_eq!(v, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Shared identifier vocabulary.
+//!
+//! These newtypes are the common language spoken between the profiling
+//! runtimes in this crate and the execution substrates that drive them
+//! (the discrete-event simulator in `whodunit-sim`, the instruction
+//! emulator in `whodunit-vm`). Keeping them here lets every crate agree
+//! on what a thread, lock, or channel *is* without depending on a
+//! particular substrate.
+
+use std::fmt;
+
+/// A simulated thread, unique across the whole simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ThreadId(pub u32);
+
+/// A simulated process (an application *stage* boundary for profiling).
+///
+/// Each process has its own profiling runtime, mirroring the paper's
+/// per-process preloaded Whodunit library (§7.1). Transaction contexts
+/// cross process boundaries only via message synopses (§5).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProcId(pub u32);
+
+/// A lock object (mutex or reader-writer lock), unique per simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LockId(pub u32);
+
+/// A communication channel (socket or pipe) between two processes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ChanId(pub u32);
+
+/// The mode in which a lock is requested (§6).
+///
+/// Shared acquisitions coexist; an exclusive acquisition excludes all
+/// others. Plain mutexes always use [`LockMode::Exclusive`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LockMode {
+    /// Reader (shared) access.
+    Shared,
+    /// Writer (exclusive) access.
+    Exclusive,
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for LockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lock{}", self.0)
+    }
+}
+
+impl fmt::Display for ChanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chan{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ThreadId(3).to_string(), "t3");
+        assert_eq!(ProcId(1).to_string(), "p1");
+        assert_eq!(LockId(9).to_string(), "lock9");
+        assert_eq!(ChanId(0).to_string(), "chan0");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(LockId(1));
+        set.insert(LockId(1));
+        set.insert(LockId(2));
+        assert_eq!(set.len(), 2);
+        assert!(ThreadId(1) < ThreadId(2));
+    }
+}

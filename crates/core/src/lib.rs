@@ -1,0 +1,58 @@
+//! Whodunit core: transactional profiling for multi-tier applications.
+//!
+//! This crate implements the primary contribution of *Whodunit:
+//! Transactional Profiling for Multi-Tier Applications* (Chanda, Cox,
+//! Zwaenepoel — EuroSys 2007):
+//!
+//! - **Transaction contexts** ([`context`]): the concatenated execution
+//!   path of a request through the stages of a multi-tier application,
+//!   with the paper's collapse and loop-pruning rules (§2, §4.1).
+//! - **Calling Context Trees** ([`cct`]): the per-context call-path
+//!   profile store, following csprof/Ammons et al. (§7.1).
+//! - **Shared-memory transaction-flow detection** ([`shm`]): the §3
+//!   algorithm over `MOV`/non-`MOV` operations in critical sections,
+//!   including the invalid-context rule, lock-tag flushing, and the
+//!   producer/consumer-list exclusion of allocator-like patterns.
+//! - **Event and SEDA stage tracking** ([`events`], [`seda`]): the §4
+//!   continuation / stage-queue context propagation.
+//! - **Message-passing propagation** ([`synopsis`], [`ipc`]): 4-byte
+//!   transaction-context synopses, `#`-delimited chains, and
+//!   caller-prefix response detection (§5, §7.4).
+//! - **Transaction crosstalk** ([`crosstalk`]): lock-wait attribution
+//!   between concurrent transactions (§6, §7.5).
+//! - **The Whodunit runtime** ([`profiler`]): ties everything together
+//!   behind the [`rt::Runtime`] hook interface that execution substrates
+//!   (the discrete-event simulator, the instruction emulator) drive.
+//! - **Post-mortem stitching** ([`stitch`]): joining per-stage profiles
+//!   into one end-to-end transactional profile (§5, Figure 7).
+//!
+//! The crate is substrate-agnostic: it never performs I/O or spawns
+//! threads; it only reacts to hook invocations and hands back overhead
+//! costs expressed in CPU cycles so the substrate can charge them.
+
+#![warn(missing_docs)]
+
+pub mod cct;
+pub mod context;
+pub mod cost;
+pub mod crosstalk;
+pub mod events;
+pub mod frame;
+pub mod ids;
+pub mod ipc;
+pub mod profiler;
+pub mod rt;
+pub mod seda;
+pub mod shm;
+pub mod stitch;
+pub mod synopsis;
+
+pub use cct::{Cct, CctNodeId, Metrics};
+pub use context::{ContextAtom, ContextPolicy, ContextTable, CtxId, TransactionContext};
+pub use crosstalk::{CrosstalkRecorder, CrosstalkReport};
+pub use frame::{FrameId, FrameKind, FrameTable, SharedFrameTable};
+pub use ids::{ChanId, LockId, LockMode, ProcId, ThreadId};
+pub use profiler::{Whodunit, WhodunitConfig};
+pub use rt::{NullRuntime, Runtime};
+pub use shm::{FlowDetector, FlowEvent, Loc, MemEvent};
+pub use synopsis::{SynChain, Synopsis, SynopsisTable};

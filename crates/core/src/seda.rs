@@ -1,0 +1,134 @@
+//! Transaction flow through SEDA stages (§4.2, Figure 5).
+//!
+//! SEDA stages communicate via stage queues; each queue element carries
+//! a transaction context (`elem->tran_ctxt`). When a stage worker
+//! dequeues an element, the current context becomes the element's
+//! context concatenated with the executing stage; when it enqueues a new
+//! element, the element captures the current context.
+//!
+//! The logic is deliberately the same shape as [`crate::events`] — the
+//! paper stresses the similarity of Figures 4 and 5 — but it is tracked
+//! *per worker thread*, because a SEDA program runs many stage workers
+//! concurrently while an event loop is single-threaded.
+
+use crate::context::{ContextTable, CtxId};
+use crate::frame::FrameId;
+use crate::ids::ThreadId;
+use std::collections::HashMap;
+
+/// Transaction context attached to a stage-queue element.
+///
+/// This is the paper's `elem->tran_ctxt` field.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StageElemCtx(pub CtxId);
+
+impl Default for StageElemCtx {
+    fn default() -> Self {
+        StageElemCtx(CtxId::ROOT)
+    }
+}
+
+/// The Figure 5 bookkeeping for all stage worker threads of a process.
+#[derive(Debug, Default)]
+pub struct StageTracker {
+    current: HashMap<ThreadId, CtxId>,
+}
+
+impl StageTracker {
+    /// Creates a tracker with no element executing anywhere.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current transaction context of worker `t`, if it is
+    /// executing a dequeued element.
+    pub fn current(&self, t: ThreadId) -> Option<CtxId> {
+        self.current.get(&t).copied()
+    }
+
+    /// Figure 5 lines 5–6: worker `t` dequeued `elem` and starts
+    /// executing it in `stage`.
+    pub fn dequeue(
+        &mut self,
+        table: &mut ContextTable,
+        t: ThreadId,
+        elem: StageElemCtx,
+        stage: FrameId,
+    ) -> CtxId {
+        let ctx = table.append_frame(elem.0, stage);
+        self.current.insert(t, ctx);
+        ctx
+    }
+
+    /// Figure 5 line 12: worker `t` creates a new queue element; it
+    /// captures the worker's current transaction context.
+    pub fn make_elem(&self, t: ThreadId) -> StageElemCtx {
+        StageElemCtx(self.current.get(&t).copied().unwrap_or(CtxId::ROOT))
+    }
+
+    /// Worker `t` finished executing its element.
+    pub fn elem_done(&mut self, t: ThreadId) {
+        self.current.remove(&t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ContextAtom;
+
+    const W1: ThreadId = ThreadId(1);
+    const W2: ThreadId = ThreadId(2);
+
+    #[test]
+    fn stages_accumulate_per_worker() {
+        let mut ctxs = ContextTable::default();
+        let mut t = StageTracker::new();
+        let listen = FrameId(1);
+        let read = FrameId(2);
+
+        let c1 = t.dequeue(&mut ctxs, W1, StageElemCtx::default(), listen);
+        let elem = t.make_elem(W1);
+        assert_eq!(elem.0, c1);
+        t.elem_done(W1);
+
+        let c2 = t.dequeue(&mut ctxs, W2, elem, read);
+        assert_eq!(
+            ctxs.value(c2).atoms(),
+            &[ContextAtom::Frame(listen), ContextAtom::Frame(read)]
+        );
+    }
+
+    #[test]
+    fn workers_are_independent() {
+        let mut ctxs = ContextTable::default();
+        let mut t = StageTracker::new();
+        let a = FrameId(1);
+        let b = FrameId(2);
+        t.dequeue(&mut ctxs, W1, StageElemCtx::default(), a);
+        t.dequeue(&mut ctxs, W2, StageElemCtx::default(), b);
+        assert_ne!(t.current(W1), t.current(W2));
+        let e1 = t.make_elem(W1);
+        let e2 = t.make_elem(W2);
+        assert_ne!(e1.0, e2.0);
+    }
+
+    #[test]
+    fn elem_created_outside_execution_is_root() {
+        let t = StageTracker::new();
+        assert_eq!(t.make_elem(W1).0, CtxId::ROOT);
+    }
+
+    #[test]
+    fn stage_loops_prune_like_events() {
+        let mut ctxs = ContextTable::default();
+        let mut t = StageTracker::new();
+        let (s1, s2, s3) = (FrameId(1), FrameId(2), FrameId(3));
+        let c = t.dequeue(&mut ctxs, W1, StageElemCtx::default(), s1);
+        let c = t.dequeue(&mut ctxs, W1, StageElemCtx(c), s2);
+        let keep = c;
+        let c = t.dequeue(&mut ctxs, W1, StageElemCtx(c), s3);
+        let c = t.dequeue(&mut ctxs, W1, StageElemCtx(c), s2);
+        assert_eq!(c, keep);
+    }
+}

@@ -1,0 +1,400 @@
+//! Post-mortem profile stitching (§5 Figure 7, §7.1).
+//!
+//! Each stage's Whodunit instance writes its profile to disk when the
+//! program exits; a final presentation phase stitches the per-stage
+//! profiles together using the transaction-context annotations. The
+//! [`StageDump`] types here are the on-disk format (serde-serializable),
+//! and [`Stitched`] is the cross-stage index: it resolves synopses back
+//! to the contexts and stages that minted them, follows remote chains to
+//! the originating transaction, and enumerates the request edges that
+//! connect caller send points to callee CCTs.
+
+use crate::cct::{Cct, CctNodeId};
+use crate::context::{ContextAtom, TransactionContext};
+use crate::synopsis::Synopsis;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One atom of a dumped transaction context.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum DumpAtom {
+    /// A handler/stage frame (index into [`StageDump::frames`]).
+    Frame(u32),
+    /// A call path (frame indices).
+    Path(Vec<u32>),
+    /// A received synopsis chain (raw synopsis values).
+    Remote(Vec<u32>),
+}
+
+/// A dumped transaction context.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize, Default)]
+pub struct DumpContext {
+    /// The atoms in order.
+    pub atoms: Vec<DumpAtom>,
+}
+
+/// One dumped CCT node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct DumpNode {
+    /// Frame index (`None` for the root).
+    pub frame: Option<u32>,
+    /// Parent node index (`None` for the root).
+    pub parent: Option<u32>,
+    /// Exclusive samples.
+    pub samples: u64,
+    /// Exclusive cycles.
+    pub cycles: u64,
+    /// Exclusive call count.
+    pub calls: u64,
+}
+
+/// A dumped CCT, labeled by the context it is annotated with (§7.1).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct DumpCct {
+    /// Index into [`StageDump::contexts`].
+    pub ctx: u32,
+    /// Nodes; index 0 is the root, parents precede children.
+    pub nodes: Vec<DumpNode>,
+}
+
+/// Crosstalk aggregate rows of one stage.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct DumpCrosstalkPair {
+    /// Waiter context index.
+    pub waiter: u32,
+    /// Holder context index.
+    pub holder: u32,
+    /// Number of waits.
+    pub count: u64,
+    /// Total cycles waited.
+    pub total_wait: u64,
+}
+
+/// Per-waiter crosstalk aggregate (all acquires).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct DumpCrosstalkWaiter {
+    /// Waiter context index.
+    pub waiter: u32,
+    /// Number of acquires.
+    pub count: u64,
+    /// Total cycles waited.
+    pub total_wait: u64,
+}
+
+/// The complete serialized profile of one stage (process).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize, Default)]
+pub struct StageDump {
+    /// Process id.
+    pub proc: u32,
+    /// Human-readable stage name.
+    pub stage_name: String,
+    /// Interned frame names; indices are local to this dump.
+    pub frames: Vec<String>,
+    /// Interned contexts; indices are local to this dump.
+    pub contexts: Vec<DumpContext>,
+    /// One CCT per context that accumulated profile data.
+    pub ccts: Vec<DumpCct>,
+    /// `(raw synopsis, context index)` pairs this stage minted.
+    pub synopses: Vec<(u32, u32)>,
+    /// Crosstalk pair aggregates.
+    pub crosstalk_pairs: Vec<DumpCrosstalkPair>,
+    /// Crosstalk waiter aggregates.
+    pub crosstalk_waiters: Vec<DumpCrosstalkWaiter>,
+    /// Total piggyback bytes this stage sent.
+    pub piggyback_bytes: u64,
+    /// Messages sent with a piggyback.
+    pub messages: u64,
+}
+
+impl StageDump {
+    /// Reconstructs a [`Cct`] from a dumped tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dump's parent indices are malformed (a parent must
+    /// precede its children).
+    pub fn rebuild_cct(&self, d: &DumpCct) -> Cct {
+        let mut cct = Cct::new();
+        let mut map: Vec<CctNodeId> = Vec::with_capacity(d.nodes.len());
+        for (i, n) in d.nodes.iter().enumerate() {
+            let id = if i == 0 {
+                CctNodeId::ROOT
+            } else {
+                let parent = map[n.parent.expect("non-root node must have a parent") as usize];
+                cct.child(
+                    parent,
+                    crate::frame::FrameId(n.frame.expect("non-root frame")),
+                )
+            };
+            cct.record_at(
+                id,
+                crate::cct::Metrics {
+                    samples: n.samples,
+                    cycles: n.cycles,
+                    calls: n.calls,
+                },
+            );
+            map.push(id);
+        }
+        cct
+    }
+
+    /// Renders a dumped context as a human-readable string.
+    pub fn ctx_string(&self, ctx: u32) -> String {
+        let c = &self.contexts[ctx as usize];
+        if c.atoms.is_empty() {
+            return "<root>".to_owned();
+        }
+        let mut parts = Vec::new();
+        for a in &c.atoms {
+            match a {
+                DumpAtom::Frame(f) => parts.push(self.frames[*f as usize].clone()),
+                DumpAtom::Path(p) => parts.push(format!(
+                    "[{}]",
+                    p.iter()
+                        .map(|f| self.frames[*f as usize].as_str())
+                        .collect::<Vec<_>>()
+                        .join(">")
+                )),
+                DumpAtom::Remote(chain) => parts.push(format!(
+                    "remote({})",
+                    chain
+                        .iter()
+                        .map(|s| Synopsis(*s).to_string())
+                        .collect::<Vec<_>>()
+                        .join("#")
+                )),
+            }
+        }
+        parts.join(" -> ")
+    }
+}
+
+/// Converts a live [`TransactionContext`] into dump form.
+pub fn dump_context(value: &TransactionContext) -> DumpContext {
+    DumpContext {
+        atoms: value
+            .atoms()
+            .iter()
+            .map(|a| match a {
+                ContextAtom::Frame(f) => DumpAtom::Frame(f.0),
+                ContextAtom::Path(p) => DumpAtom::Path(p.iter().map(|f| f.0).collect()),
+                ContextAtom::Remote(c) => DumpAtom::Remote(c.0.iter().map(|s| s.0).collect()),
+            })
+            .collect(),
+    }
+}
+
+/// A request edge in the stitched transactional profile: the send point
+/// in one stage that a remote context in another stage came from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RequestEdge {
+    /// Index of the sending stage in the stitched set.
+    pub from_stage: usize,
+    /// Context index (in the sending stage) at the send point.
+    pub from_ctx: u32,
+    /// Index of the receiving stage.
+    pub to_stage: usize,
+    /// The receiving stage's remote context index.
+    pub to_ctx: u32,
+}
+
+/// Cross-stage index over a set of [`StageDump`]s.
+#[derive(Debug)]
+pub struct Stitched {
+    /// The stage dumps, in the order given.
+    pub stages: Vec<StageDump>,
+    /// Raw synopsis → (stage index, context index) that minted it.
+    minted: HashMap<u32, (usize, u32)>,
+}
+
+impl Stitched {
+    /// Builds the index.
+    pub fn new(stages: Vec<StageDump>) -> Self {
+        let mut minted = HashMap::new();
+        for (si, d) in stages.iter().enumerate() {
+            for &(raw, ctx) in &d.synopses {
+                minted.insert(raw, (si, ctx));
+            }
+        }
+        Stitched { stages, minted }
+    }
+
+    /// Resolves a raw synopsis to the (stage, context) that minted it.
+    pub fn resolve(&self, raw: u32) -> Option<(usize, u32)> {
+        self.minted.get(&raw).copied()
+    }
+
+    /// Follows remote chains from `(stage, ctx)` back to the
+    /// originating stage's context (the transaction's entry point).
+    ///
+    /// A context whose first atom is `Remote(chain)` originated at the
+    /// stage that minted the *first* synopsis of the chain.
+    pub fn origin(&self, stage: usize, ctx: u32) -> (usize, u32) {
+        let mut cur = (stage, ctx);
+        // Chains are acyclic in well-formed profiles; the guard bounds
+        // damage from a malformed dump.
+        for _ in 0..64 {
+            let d = &self.stages[cur.0];
+            let Some(DumpAtom::Remote(chain)) = d.contexts[cur.1 as usize].atoms.first() else {
+                return cur;
+            };
+            let Some(&head) = chain.first() else {
+                return cur;
+            };
+            let Some(next) = self.resolve(head) else {
+                return cur;
+            };
+            if next == cur {
+                return cur;
+            }
+            cur = next;
+        }
+        cur
+    }
+
+    /// All request edges: for every remote context, the send point that
+    /// produced the *last* synopsis in its chain (the immediate sender).
+    pub fn request_edges(&self) -> Vec<RequestEdge> {
+        let mut edges = Vec::new();
+        for (si, d) in self.stages.iter().enumerate() {
+            for (ci, c) in d.contexts.iter().enumerate() {
+                if let Some(DumpAtom::Remote(chain)) = c.atoms.first() {
+                    if let Some(&last) = chain.last() {
+                        if let Some((fs, fc)) = self.resolve(last) {
+                            edges.push(RequestEdge {
+                                from_stage: fs,
+                                from_ctx: fc,
+                                to_stage: si,
+                                to_ctx: ci as u32,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        edges.sort_by_key(|e| (e.to_stage, e.to_ctx, e.from_stage, e.from_ctx));
+        edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cct::Metrics;
+    use crate::frame::FrameId;
+
+    fn dump_with_ctx(proc: u32, atoms: Vec<DumpAtom>, synopses: Vec<(u32, u32)>) -> StageDump {
+        StageDump {
+            proc,
+            stage_name: format!("stage{proc}"),
+            frames: vec!["main".into(), "foo".into(), "send".into()],
+            contexts: vec![DumpContext::default(), DumpContext { atoms }],
+            ccts: Vec::new(),
+            synopses,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn cct_rebuild_roundtrip() {
+        let mut cct = Cct::new();
+        cct.record(
+            &[FrameId(0), FrameId(1)],
+            Metrics {
+                samples: 3,
+                cycles: 30,
+                calls: 1,
+            },
+        );
+        cct.record(
+            &[FrameId(2)],
+            Metrics {
+                samples: 1,
+                cycles: 5,
+                calls: 2,
+            },
+        );
+        // Dump by hand in creation order (root first).
+        let mut nodes = Vec::new();
+        for id in cct.node_ids() {
+            nodes.push(DumpNode {
+                frame: cct.frame(id).map(|f| f.0),
+                parent: cct.parent(id).map(|p| p.0),
+                samples: cct.metrics(id).samples,
+                cycles: cct.metrics(id).cycles,
+                calls: cct.metrics(id).calls,
+            });
+        }
+        let d = StageDump {
+            frames: vec!["a".into(), "b".into(), "c".into()],
+            ..Default::default()
+        };
+        let mut rebuilt = d.rebuild_cct(&DumpCct { ctx: 0, nodes });
+        assert_eq!(rebuilt.total().cycles, 35);
+        assert_eq!(rebuilt.total().samples, 4);
+        let n = rebuilt.path_node(&[FrameId(0), FrameId(1)]);
+        assert_eq!(rebuilt.metrics(n).cycles, 30);
+    }
+
+    #[test]
+    fn origin_follows_remote_chains() {
+        // Stage 0 mints synopsis 100 for its local ctx 1; stage 1's ctx
+        // 1 is remote([100]) and mints 200; stage 2's ctx 1 is
+        // remote([100, 200]).
+        let s0 = dump_with_ctx(0, vec![DumpAtom::Path(vec![0, 1])], vec![(100, 1)]);
+        let s1 = dump_with_ctx(1, vec![DumpAtom::Remote(vec![100])], vec![(200, 1)]);
+        let s2 = dump_with_ctx(2, vec![DumpAtom::Remote(vec![100, 200])], vec![]);
+        let st = Stitched::new(vec![s0, s1, s2]);
+        assert_eq!(st.origin(2, 1), (0, 1));
+        assert_eq!(st.origin(1, 1), (0, 1));
+        assert_eq!(st.origin(0, 1), (0, 1));
+    }
+
+    #[test]
+    fn request_edges_point_at_immediate_sender() {
+        let s0 = dump_with_ctx(0, vec![DumpAtom::Path(vec![0, 1])], vec![(100, 1)]);
+        let s1 = dump_with_ctx(1, vec![DumpAtom::Remote(vec![100])], vec![(200, 1)]);
+        let s2 = dump_with_ctx(2, vec![DumpAtom::Remote(vec![100, 200])], vec![]);
+        let st = Stitched::new(vec![s0, s1, s2]);
+        let edges = st.request_edges();
+        assert_eq!(edges.len(), 2);
+        // Stage 1's remote ctx came from stage 0; stage 2's from stage 1.
+        assert!(edges.contains(&RequestEdge {
+            from_stage: 0,
+            from_ctx: 1,
+            to_stage: 1,
+            to_ctx: 1
+        }));
+        assert!(edges.contains(&RequestEdge {
+            from_stage: 1,
+            from_ctx: 1,
+            to_stage: 2,
+            to_ctx: 1
+        }));
+    }
+
+    #[test]
+    fn ctx_string_is_readable() {
+        let d = dump_with_ctx(
+            0,
+            vec![
+                DumpAtom::Frame(1),
+                DumpAtom::Path(vec![0, 2]),
+                DumpAtom::Remote(vec![0x0100_0005]),
+            ],
+            vec![],
+        );
+        let s = d.ctx_string(1);
+        assert_eq!(s, "foo -> [main>send] -> remote(s1:5)");
+        assert_eq!(d.ctx_string(0), "<root>");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let d = dump_with_ctx(3, vec![DumpAtom::Frame(0)], vec![(7, 1)]);
+        let json = serde_json::to_string(&d).unwrap();
+        let back: StageDump = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+}

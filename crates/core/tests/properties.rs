@@ -1,0 +1,232 @@
+//! Property-based tests of the core data structures and algorithms.
+
+use proptest::prelude::*;
+use whodunit_core::cct::{Cct, Metrics};
+use whodunit_core::context::{ContextAtom, ContextPolicy, ContextTable, CtxId};
+use whodunit_core::crosstalk::CrosstalkRecorder;
+use whodunit_core::frame::FrameId;
+use whodunit_core::ids::{LockId, LockMode, ThreadId};
+use whodunit_core::ipc::{IpcTracker, RecvKind};
+use whodunit_core::shm::{FlowDetector, FlowEvent, Loc, MemEvent};
+use whodunit_core::synopsis::SynopsisTable;
+
+proptest! {
+    /// After any sequence of frame appends under the pruning policy,
+    /// the trailing frame run contains no duplicates, and appending is
+    /// deterministic (same input → same interned id).
+    #[test]
+    fn context_pruning_keeps_frame_runs_duplicate_free(
+        frames in proptest::collection::vec(0u32..6, 1..40)
+    ) {
+        let mut t = ContextTable::new(ContextPolicy::default());
+        let mut ctx = CtxId::ROOT;
+        for &f in &frames {
+            ctx = t.append_frame(ctx, FrameId(f));
+            let atoms = t.value(ctx).atoms();
+            let run: Vec<u32> = atoms
+                .iter()
+                .rev()
+                .take_while(|a| matches!(a, ContextAtom::Frame(_)))
+                .map(|a| match a {
+                    ContextAtom::Frame(f) => f.0,
+                    _ => unreachable!(),
+                })
+                .collect();
+            let mut dedup = run.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), run.len(), "duplicate in run {:?}", run);
+        }
+        // Replay gives the same context id.
+        let mut t2 = ContextTable::new(ContextPolicy::default());
+        let mut ctx2 = CtxId::ROOT;
+        for &f in &frames {
+            ctx2 = t2.append_frame(ctx2, FrameId(f));
+        }
+        prop_assert_eq!(t.value(ctx), t2.value(ctx2));
+    }
+
+    /// Appending the same frame twice in a row never changes the
+    /// context (collapse rule is idempotent).
+    #[test]
+    fn context_collapse_is_idempotent(frames in proptest::collection::vec(0u32..6, 1..20)) {
+        let mut t = ContextTable::new(ContextPolicy::default());
+        let mut ctx = CtxId::ROOT;
+        for &f in &frames {
+            ctx = t.append_frame(ctx, FrameId(f));
+            let again = t.append_frame(ctx, FrameId(f));
+            prop_assert_eq!(ctx, again);
+        }
+    }
+
+    /// CCT invariants: the root's inclusive metrics equal the sum of
+    /// all recordings, and every recorded path resolves back to itself.
+    #[test]
+    fn cct_totals_and_paths(
+        records in proptest::collection::vec(
+            (proptest::collection::vec(0u32..8, 1..6), 0u64..1000, 0u64..100),
+            1..40
+        )
+    ) {
+        let mut cct = Cct::new();
+        let mut want_cycles = 0u64;
+        let mut want_samples = 0u64;
+        for (path, cycles, samples) in &records {
+            let p: Vec<FrameId> = path.iter().map(|&f| FrameId(f)).collect();
+            cct.record(&p, Metrics { samples: *samples, cycles: *cycles, calls: 0 });
+            want_cycles += cycles;
+            want_samples += samples;
+            let n = cct.path_node(&p);
+            prop_assert_eq!(cct.path_of(n), p);
+        }
+        let total = cct.total();
+        prop_assert_eq!(total.cycles, want_cycles);
+        prop_assert_eq!(total.samples, want_samples);
+        // Merging into an empty tree preserves totals.
+        let mut other = Cct::new();
+        other.merge(&cct);
+        prop_assert_eq!(other.total(), total);
+    }
+
+    /// Synopsis tables: every minted synopsis resolves back to its
+    /// context; distinct contexts get distinct synopses.
+    #[test]
+    fn synopsis_roundtrip(ctxs in proptest::collection::vec(0u32..500, 1..100)) {
+        let mut t = SynopsisTable::new(3u32);
+        let mut seen = std::collections::HashMap::new();
+        for &c in &ctxs {
+            let s = t.synopsis_of(CtxId(c));
+            prop_assert_eq!(t.ctx_of(s), Some(CtxId(c)));
+            if let Some(prev) = seen.insert(c, s) {
+                prop_assert_eq!(prev, s, "same context, same synopsis");
+            }
+        }
+        let distinct: std::collections::HashSet<_> = seen.values().collect();
+        prop_assert_eq!(distinct.len(), seen.len());
+    }
+
+    /// The producer–consumer discipline always transfers the producer's
+    /// context, regardless of slot choice and interleaving.
+    #[test]
+    fn shm_producer_consumer_always_flows(
+        ops in proptest::collection::vec((0u64..8, 5u32..100), 1..30)
+    ) {
+        let mut d = FlowDetector::default();
+        let lock = LockId(1);
+        let prod = ThreadId(1);
+        let cons = ThreadId(2);
+        let mut out = Vec::new();
+        for (i, &(slot, ctx)) in ops.iter().enumerate() {
+            let slot_addr = 100 + slot;
+            let local = 500 + i as u64;
+            // Produce: arg → reg → shared slot.
+            d.on_event(prod, CtxId(ctx), &MemEvent::CsEnter { lock }, &mut out);
+            d.on_event(prod, CtxId(ctx), &MemEvent::Mov { src: Loc::Mem(1), dst: Loc::Reg(prod, 1) }, &mut out);
+            d.on_event(prod, CtxId(ctx), &MemEvent::Mov { src: Loc::Reg(prod, 1), dst: Loc::Mem(slot_addr) }, &mut out);
+            d.on_event(prod, CtxId(ctx), &MemEvent::CsExit, &mut out);
+            // Consume: shared slot → reg → local, then use.
+            out.clear();
+            d.on_event(cons, CtxId::ROOT, &MemEvent::CsEnter { lock }, &mut out);
+            d.on_event(cons, CtxId::ROOT, &MemEvent::Mov { src: Loc::Mem(slot_addr), dst: Loc::Reg(cons, 2) }, &mut out);
+            d.on_event(cons, CtxId::ROOT, &MemEvent::Mov { src: Loc::Reg(cons, 2), dst: Loc::Mem(local) }, &mut out);
+            d.on_event(cons, CtxId::ROOT, &MemEvent::CsExit, &mut out);
+            d.on_event(cons, CtxId::ROOT, &MemEvent::Use { loc: Loc::Mem(local) }, &mut out);
+            prop_assert!(
+                out.iter().any(|e| matches!(e, FlowEvent::Consumed { ctx: c, .. } if *c == CtxId(ctx))),
+                "consume of ctx {} missing: {:?}", ctx, out
+            );
+        }
+        prop_assert!(d.flow_enabled(lock));
+    }
+
+    /// Counter-style read-modify-write never produces flow, whatever
+    /// the interleaving of threads.
+    #[test]
+    fn shm_counters_never_flow(ops in proptest::collection::vec((0u32..4, 0u64..3), 1..60)) {
+        let mut d = FlowDetector::default();
+        let lock = LockId(2);
+        let mut out = Vec::new();
+        for &(thread, counter) in &ops {
+            let t = ThreadId(thread);
+            let addr = 50 + counter;
+            d.on_event(t, CtxId(thread + 10), &MemEvent::CsEnter { lock }, &mut out);
+            d.on_event(t, CtxId(thread + 10), &MemEvent::Mov { src: Loc::Mem(addr), dst: Loc::Reg(t, 0) }, &mut out);
+            d.on_event(t, CtxId(thread + 10), &MemEvent::Modify { dst: Loc::Reg(t, 0) }, &mut out);
+            d.on_event(t, CtxId(thread + 10), &MemEvent::Mov { src: Loc::Reg(t, 0), dst: Loc::Mem(addr) }, &mut out);
+            d.on_event(t, CtxId(thread + 10), &MemEvent::CsExit, &mut out);
+            d.on_event(t, CtxId(thread + 10), &MemEvent::Use { loc: Loc::Mem(addr) }, &mut out);
+        }
+        prop_assert!(
+            !out.iter().any(|e| matches!(e, FlowEvent::Consumed { .. })),
+            "counter flowed: {:?}", out
+        );
+    }
+
+    /// Crosstalk means: mean * count == total for any wait sequence.
+    #[test]
+    fn crosstalk_mean_arithmetic(waits in proptest::collection::vec(0u64..100_000, 1..50)) {
+        let mut r = CrosstalkRecorder::new();
+        let holder = CtxId(1);
+        let waiter = CtxId(2);
+        let mut total = 0u64;
+        for (i, &w) in waits.iter().enumerate() {
+            let t = ThreadId(i as u32 % 7);
+            r.acquired(t, waiter, LockId(1), LockMode::Exclusive, w, Some(holder));
+            r.released(t, LockId(1));
+            total += w;
+        }
+        let st = r.waiter_stats(waiter);
+        prop_assert_eq!(st.count, waits.len() as u64);
+        prop_assert_eq!(st.total_wait, total);
+        prop_assert!((st.mean() * st.count as f64 - total as f64).abs() < 1e-6);
+    }
+
+    /// IPC request/response classification is never confused by chains
+    /// of arbitrary depth: the deepest own synopsis wins.
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn ipc_response_detection_any_depth(depth in 1usize..6) {
+        // Build a chain of processes 0..depth, each forwarding.
+        let mut tables: Vec<(ContextTable, SynopsisTable, IpcTracker)> = (0..depth + 1)
+            .map(|p| (
+                ContextTable::default(),
+                SynopsisTable::new(p as u32),
+                IpcTracker::new(),
+            ))
+            .collect();
+        // Forward a request down the chain.
+        let mut chain = {
+            let (ctxs, syns, ipc) = &mut tables[0];
+            let send_ctx = ctxs.append_path(CtxId::ROOT, &[FrameId(1)]);
+            ipc.send(ctxs, syns, CtxId::ROOT, send_ctx)
+        };
+        let mut bases = vec![CtxId::ROOT];
+        for p in 1..=depth {
+            let (ctxs, syns, ipc) = &mut tables[p];
+            let kind = ipc.recv(ctxs, syns, Some(&chain));
+            let base = match kind {
+                RecvKind::Request { ctx } => ctx,
+                k => panic!("stage {p} expected request, got {k:?}"),
+            };
+            bases.push(base);
+            if p < depth {
+                let send_ctx = ctxs.append_path(base, &[FrameId(p as u32 + 1)]);
+                chain = ipc.send(ctxs, syns, base, send_ctx);
+            }
+        }
+        // The response travels back up; every hop restores its base.
+        for p in (0..depth).rev() {
+            let resp = {
+                let (ctxs, syns, ipc) = &mut tables[p + 1];
+                let base = bases[p + 1];
+                let send_ctx = ctxs.append_path(base, &[FrameId(99)]);
+                ipc.send(ctxs, syns, base, send_ctx)
+            };
+            let (ctxs, syns, ipc) = &mut tables[p];
+            match ipc.recv(ctxs, syns, Some(&resp)) {
+                RecvKind::Response { restore, .. } => prop_assert_eq!(restore, bases[p]),
+                k => prop_assert!(false, "stage {} expected response, got {:?}", p, k),
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Failure-injection and adversarial-input tests: the profiler must
+//! stay sound when peers are unprofiled, chains are foreign or
+//! malformed, and dumps are inconsistent.
+
+use whodunit_core::context::{ContextTable, CtxId};
+use whodunit_core::frame::{shared_frame_table, FrameId};
+use whodunit_core::ids::{LockId, LockMode, ProcId, ThreadId};
+use whodunit_core::ipc::{IpcTracker, RecvKind};
+use whodunit_core::profiler::{Whodunit, WhodunitConfig};
+use whodunit_core::rt::Runtime;
+use whodunit_core::stitch::{DumpAtom, DumpContext, StageDump, Stitched};
+use whodunit_core::synopsis::{SynChain, Synopsis, SynopsisTable};
+
+const T: ThreadId = ThreadId(1);
+
+fn make(proc: u32) -> Whodunit {
+    Whodunit::new(
+        WhodunitConfig::new(ProcId(proc), format!("p{proc}")),
+        shared_frame_table(),
+    )
+}
+
+#[test]
+fn recv_of_entirely_foreign_chain_is_a_request() {
+    // A chain whose synopses were minted by processes we never talked
+    // to must classify as a request, not crash or restore bogus state.
+    let mut w = make(1);
+    let chain = SynChain(vec![Synopsis::new(9, 1), Synopsis::new(8, 2)]);
+    w.on_recv(T, Some(&chain));
+    assert_ne!(w.current_ctx(T), CtxId::ROOT, "adopted as remote context");
+}
+
+#[test]
+fn recv_of_spoofed_own_proc_id_without_minting_is_a_request() {
+    // A synopsis that *claims* our process id but was never minted by
+    // our table must not be treated as a response.
+    let mut ctxs = ContextTable::default();
+    let syns = SynopsisTable::new(1u32);
+    let mut ipc = IpcTracker::new();
+    let spoofed = SynChain(vec![Synopsis::new(1, 12345)]);
+    match ipc.recv(&mut ctxs, &syns, Some(&spoofed)) {
+        RecvKind::Request { .. } => {}
+        k => panic!("spoofed chain must be a request, got {k:?}"),
+    }
+}
+
+#[test]
+fn recv_of_empty_chain_is_harmless() {
+    let mut w = make(1);
+    let chain = SynChain::default();
+    w.on_recv(T, Some(&chain));
+    // An empty chain adopts an empty remote context; computing under it
+    // still works.
+    w.on_compute(T, &[FrameId(0)], 1000);
+}
+
+#[test]
+fn interleaved_profiled_and_unprofiled_peers() {
+    // Responses from unprofiled peers (chain = None) arrive between
+    // profiled requests; the thread's context must remain consistent.
+    let mut a = make(1);
+    let mut b = make(2);
+    let frames = [FrameId(0)];
+    let req = a.on_send(T, &frames).chain.unwrap();
+    b.on_recv(T, Some(&req));
+    let adopted = b.current_ctx(T);
+    // An unprofiled message lands on the same thread.
+    b.on_recv(T, None);
+    assert_eq!(
+        b.current_ctx(T),
+        adopted,
+        "None chain does not disturb context"
+    );
+}
+
+#[test]
+fn lock_release_without_acquire_is_tolerated() {
+    let mut w = make(1);
+    w.on_lock_released(T, LockId(9));
+    w.on_lock_acquired(T, LockId(9), LockMode::Shared, 0, None);
+    w.on_lock_released(T, LockId(9));
+}
+
+#[test]
+fn double_release_does_not_corrupt_holders() {
+    let mut w = make(1);
+    let l = LockId(3);
+    w.on_lock_acquired(T, l, LockMode::Exclusive, 0, None);
+    w.on_lock_released(T, l);
+    w.on_lock_released(T, l);
+    assert_eq!(w.holder_hint(l), None);
+}
+
+#[test]
+fn stitch_tolerates_circular_synopsis_chains() {
+    // Malicious/corrupt dumps: two stages whose remote chains point at
+    // each other. `origin` must terminate.
+    let a = StageDump {
+        proc: 0,
+        stage_name: "a".into(),
+        frames: vec![],
+        contexts: vec![
+            DumpContext::default(),
+            DumpContext {
+                atoms: vec![DumpAtom::Remote(vec![200])],
+            },
+        ],
+        synopses: vec![(100, 1)],
+        ..StageDump::default()
+    };
+    let b = StageDump {
+        proc: 1,
+        stage_name: "b".into(),
+        frames: vec![],
+        contexts: vec![
+            DumpContext::default(),
+            DumpContext {
+                atoms: vec![DumpAtom::Remote(vec![100])],
+            },
+        ],
+        synopses: vec![(200, 1)],
+        ..StageDump::default()
+    };
+    let st = Stitched::new(vec![a, b]);
+    // Terminates (bounded walk) and lands somewhere in the cycle.
+    let (s, _) = st.origin(0, 1);
+    assert!(s < 2);
+}
+
+#[test]
+fn stitch_tolerates_dangling_synopses() {
+    let a = StageDump {
+        proc: 0,
+        stage_name: "a".into(),
+        frames: vec![],
+        contexts: vec![
+            DumpContext::default(),
+            DumpContext {
+                atoms: vec![DumpAtom::Remote(vec![0xdead])],
+            },
+        ],
+        ..StageDump::default()
+    };
+    let st = Stitched::new(vec![a]);
+    assert_eq!(st.origin(0, 1), (0, 1), "unresolvable chain stays put");
+    assert!(st.request_edges().is_empty());
+}
+
+#[test]
+fn thread_exit_clears_profiler_state() {
+    let mut w = make(1);
+    let f = [FrameId(0)];
+    w.on_send(T, &f);
+    w.on_compute(T, &f, 123);
+    w.on_exit(T);
+    assert_eq!(w.current_ctx(T), CtxId::ROOT);
+    // A reused thread id starts fresh.
+    w.on_compute(T, &f, 7);
+    assert!(w.cct(CtxId::ROOT).is_some());
+}
+
+#[test]
+fn deep_response_chain_with_repeated_visits() {
+    // A proxy that appears twice on the path (A -> B -> A -> C): the
+    // deepest own synopsis must win when the response returns.
+    let frames = shared_frame_table();
+    let mut a = Whodunit::new(WhodunitConfig::new(ProcId(1), "a"), frames.clone());
+    let mut c = Whodunit::new(WhodunitConfig::new(ProcId(2), "c"), frames.clone());
+    let f = [FrameId(0)];
+    let t2 = ThreadId(2);
+
+    // A sends to itself-as-second-hop (same process id re-receives).
+    let req1 = a.on_send(T, &f).chain.unwrap();
+    a.on_recv(t2, Some(&req1));
+    let mid_ctx = a.current_ctx(t2);
+    // Hmm: A recognizes its own synopsis and treats it as a response;
+    // the paper's design assumes a stage does not call itself, so the
+    // "response" classification restores the base — which for a
+    // self-call is the sending context. Document-by-test:
+    assert_eq!(mid_ctx, CtxId::ROOT);
+    // The second hop forwards to C and back; C sees a request.
+    let req2 = a.on_send(t2, &f).chain.unwrap();
+    c.on_recv(T, Some(&req2));
+    assert_ne!(c.current_ctx(T), CtxId::ROOT);
+}

@@ -1,0 +1,122 @@
+//! Crosstalk presentation (§6): who-waits-for-whom tables from a stage
+//! dump, with contexts rendered readably.
+
+use crate::table;
+use whodunit_core::cost::cycles_to_ms;
+use whodunit_core::stitch::StageDump;
+
+/// One rendered crosstalk pair.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PairRow {
+    /// The waiting context (rendered).
+    pub waiter: String,
+    /// The holding context (rendered).
+    pub holder: String,
+    /// Mean wait in milliseconds.
+    pub mean_ms: f64,
+    /// Number of waits.
+    pub count: u64,
+}
+
+/// Extracts the ordered crosstalk pairs of one stage, sorted by total
+/// impact (mean × count) descending.
+pub fn pairs(dump: &StageDump) -> Vec<PairRow> {
+    let mut rows: Vec<PairRow> = dump
+        .crosstalk_pairs
+        .iter()
+        .map(|p| PairRow {
+            waiter: dump.ctx_string(p.waiter),
+            holder: dump.ctx_string(p.holder),
+            mean_ms: cycles_to_ms(p.total_wait / p.count.max(1)),
+            count: p.count,
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        (b.mean_ms * b.count as f64)
+            .partial_cmp(&(a.mean_ms * a.count as f64))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    rows
+}
+
+/// Renders the §6 presentation: "the length of the wait, and the
+/// transaction instance that causes the wait", per ordered pair.
+pub fn render_pairs(dump: &StageDump, top: usize) -> String {
+    let rows: Vec<Vec<String>> = pairs(dump)
+        .into_iter()
+        .take(top)
+        .map(|r| {
+            vec![
+                r.waiter,
+                r.holder,
+                table::f(r.mean_ms, 2),
+                r.count.to_string(),
+            ]
+        })
+        .collect();
+    table::render(&["Waiter", "Holder", "Mean wait ms", "Waits"], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whodunit_core::stitch::{DumpAtom, DumpContext, DumpCrosstalkPair};
+
+    fn dump() -> StageDump {
+        StageDump {
+            proc: 0,
+            stage_name: "db".into(),
+            frames: vec!["A".into(), "B".into()],
+            contexts: vec![
+                DumpContext::default(),
+                DumpContext {
+                    atoms: vec![DumpAtom::Frame(0)],
+                },
+                DumpContext {
+                    atoms: vec![DumpAtom::Frame(1)],
+                },
+            ],
+            crosstalk_pairs: vec![
+                DumpCrosstalkPair {
+                    waiter: 1,
+                    holder: 2,
+                    count: 10,
+                    total_wait: 24_000_000,
+                },
+                DumpCrosstalkPair {
+                    waiter: 2,
+                    holder: 1,
+                    count: 1,
+                    total_wait: 2_400_000,
+                },
+            ],
+            ..StageDump::default()
+        }
+    }
+
+    #[test]
+    fn pairs_sort_by_impact() {
+        let p = pairs(&dump());
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0].waiter, "A");
+        assert_eq!(p[0].holder, "B");
+        assert!((p[0].mean_ms - 1.0).abs() < 1e-9);
+        assert_eq!(p[0].count, 10);
+    }
+
+    #[test]
+    fn render_includes_headers_and_rows() {
+        let s = render_pairs(&dump(), 5);
+        assert!(s.contains("Waiter"));
+        assert!(s.contains("Mean wait ms"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn empty_dump_renders_header_only() {
+        let d = StageDump::default();
+        let s = render_pairs(&d, 5);
+        assert!(s.contains("Waiter"));
+        assert!(pairs(&d).is_empty());
+    }
+}

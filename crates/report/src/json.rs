@@ -1,0 +1,37 @@
+//! Profile dump/load (§7.1's on-disk profiles).
+
+use whodunit_core::stitch::StageDump;
+
+/// Serializes stage dumps to pretty JSON.
+pub fn to_json(dumps: &[StageDump]) -> String {
+    serde_json::to_string_pretty(dumps).expect("stage dumps serialize")
+}
+
+/// Loads stage dumps back from JSON.
+pub fn from_json(s: &str) -> Result<Vec<StageDump>, serde_json::Error> {
+    serde_json::from_str(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let d = StageDump {
+            proc: 1,
+            stage_name: "x".into(),
+            frames: vec!["main".into()],
+            ..StageDump::default()
+        };
+        let j = to_json(std::slice::from_ref(&d));
+        let back = from_json(&j).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0], d);
+    }
+
+    #[test]
+    fn bad_json_is_an_error() {
+        assert!(from_json("{nonsense").is_err());
+    }
+}

@@ -1,0 +1,24 @@
+//! Presentation of transactional profiles.
+//!
+//! The paper presents its results as annotated call-graph figures
+//! (Figures 8–10), tables (Tables 1–3) and throughput/latency curves
+//! (Figures 11–12). This crate renders:
+//!
+//! - [`render`]: per-context CCT trees and DOT graphs from
+//!   [`whodunit_core::stitch::StageDump`]s;
+//! - [`table`]: aligned text tables for the experiment binaries;
+//! - [`tpcw`]: the cross-tier resolution (via
+//!   [`whodunit_core::stitch::Stitched`]) that labels MySQL's remote
+//!   contexts with the TPC-W interaction that produced them, and the
+//!   Table 1 assembly;
+//! - [`json`]: profile dump/load, the paper's "writes the profile data
+//!   to disk … final presentation phase".
+
+#![warn(missing_docs)]
+
+pub mod crosstalk;
+pub mod diff;
+pub mod json;
+pub mod render;
+pub mod table;
+pub mod tpcw;

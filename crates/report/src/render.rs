@@ -1,0 +1,369 @@
+//! Rendering of per-context CCT profiles (Figures 8–10 style).
+
+use whodunit_core::cct::CctNodeId;
+use whodunit_core::stitch::{StageDump, Stitched};
+
+/// One rendered context entry: the context string and its share of the
+/// stage's total profile.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CtxShare {
+    /// Human-readable context.
+    pub ctx: String,
+    /// Percent of the stage's samples collected under this context.
+    pub pct: f64,
+    /// Raw samples.
+    pub samples: u64,
+    /// Raw cycles.
+    pub cycles: u64,
+}
+
+/// Computes each context's share of a stage's profile, sorted by
+/// descending share (the numbers in Figures 9 and 10's triangles).
+pub fn context_shares(dump: &StageDump) -> Vec<CtxShare> {
+    let mut shares = Vec::new();
+    let mut total_samples = 0u64;
+    let mut per_ctx: Vec<(u32, u64, u64)> = Vec::new();
+    for c in &dump.ccts {
+        let cct = dump.rebuild_cct(c);
+        let m = cct.total();
+        total_samples += m.samples;
+        per_ctx.push((c.ctx, m.samples, m.cycles));
+    }
+    for (ctx, samples, cycles) in per_ctx {
+        let pct = if total_samples == 0 {
+            0.0
+        } else {
+            samples as f64 * 100.0 / total_samples as f64
+        };
+        shares.push(CtxShare {
+            ctx: dump.ctx_string(ctx),
+            pct,
+            samples,
+            cycles,
+        });
+    }
+    shares.sort_by(|a, b| {
+        b.pct
+            .partial_cmp(&a.pct)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    shares
+}
+
+/// Renders one stage's transactional profile as an indented text tree:
+/// one block per context, with per-node inclusive percentages of the
+/// stage total (the triangles of Figure 8).
+pub fn render_stage(dump: &StageDump) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "=== stage {} ({}) ===\n",
+        dump.proc, dump.stage_name
+    ));
+    let mut total_samples = 0u64;
+    for c in &dump.ccts {
+        total_samples += dump.rebuild_cct(c).total().samples;
+    }
+    for c in &dump.ccts {
+        let cct = dump.rebuild_cct(c);
+        out.push_str(&format!("ctx: {}\n", dump.ctx_string(c.ctx)));
+        render_node(&mut out, dump, &cct, CctNodeId::ROOT, 1, total_samples);
+    }
+    out
+}
+
+fn render_node(
+    out: &mut String,
+    dump: &StageDump,
+    cct: &whodunit_core::cct::Cct,
+    node: CctNodeId,
+    depth: usize,
+    total_samples: u64,
+) {
+    if let Some(f) = cct.frame(node) {
+        let inc = cct.inclusive(node);
+        let pct = if total_samples == 0 {
+            0.0
+        } else {
+            inc.samples as f64 * 100.0 / total_samples as f64
+        };
+        out.push_str(&format!(
+            "{}{} [{:.2}%]\n",
+            "  ".repeat(depth),
+            dump.frames
+                .get(f.0 as usize)
+                .map(String::as_str)
+                .unwrap_or("<?>"),
+            pct
+        ));
+    }
+    for child in cct.children_sorted(node) {
+        render_node(out, dump, cct, child, depth + 1, total_samples);
+    }
+}
+
+/// Renders a stage profile as a Graphviz DOT digraph: solid edges for
+/// calls, one cluster per transaction context (the dashed transaction
+/// edges of Figure 8 connect clusters in the stitched view).
+pub fn render_dot(dump: &StageDump) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("digraph \"{}\" {{\n", dump.stage_name));
+    for (ci, c) in dump.ccts.iter().enumerate() {
+        let cct = dump.rebuild_cct(c);
+        out.push_str(&format!(
+            "  subgraph cluster_{ci} {{\n    label=\"{}\";\n",
+            dump.ctx_string(c.ctx).replace('"', "'")
+        ));
+        for node in cct.node_ids() {
+            if let Some(f) = cct.frame(node) {
+                let name = dump
+                    .frames
+                    .get(f.0 as usize)
+                    .map(String::as_str)
+                    .unwrap_or("<?>");
+                out.push_str(&format!("    n{ci}_{} [label=\"{name}\"];\n", node.0));
+                if let Some(p) = cct.parent(node) {
+                    if cct.frame(p).is_some() {
+                        out.push_str(&format!("    n{ci}_{} -> n{ci}_{};\n", p.0, node.0));
+                    }
+                }
+            }
+        }
+        out.push_str("  }\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a whole stitched profile set as one Graphviz DOT digraph:
+/// one cluster per (stage, context) CCT, solid call edges inside
+/// clusters, and dashed transaction edges from each caller send point
+/// to the callee context it established — the Figure 7 presentation.
+pub fn render_stitched_dot(stitched: &Stitched) -> String {
+    let mut out = String::new();
+    out.push_str("digraph whodunit {\n  compound=true;\n");
+    // Remember one representative node per (stage, ctx) so transaction
+    // edges have endpoints.
+    let mut anchor: std::collections::HashMap<(usize, u32), String> =
+        std::collections::HashMap::new();
+    for (si, d) in stitched.stages.iter().enumerate() {
+        for c in &d.ccts {
+            let cct = d.rebuild_cct(c);
+            let cl = format!("cluster_s{si}_c{}", c.ctx);
+            out.push_str(&format!(
+                "  subgraph {cl} {{\n    label=\"{}: {}\";\n",
+                d.stage_name,
+                d.ctx_string(c.ctx).replace('"', "'")
+            ));
+            let mut first = None;
+            for node in cct.node_ids() {
+                if let Some(f) = cct.frame(node) {
+                    let name = d
+                        .frames
+                        .get(f.0 as usize)
+                        .map(String::as_str)
+                        .unwrap_or("<?>");
+                    let id = format!("s{si}_c{}_n{}", c.ctx, node.0);
+                    out.push_str(&format!("    {id} [label=\"{name}\"];\n"));
+                    if first.is_none() {
+                        first = Some(id.clone());
+                    }
+                    if let Some(p) = cct.parent(node) {
+                        if cct.frame(p).is_some() {
+                            out.push_str(&format!("    s{si}_c{}_n{} -> {id};\n", c.ctx, p.0));
+                        }
+                    }
+                }
+            }
+            out.push_str("  }\n");
+            if let Some(a) = first {
+                anchor.insert((si, c.ctx), a);
+            }
+        }
+    }
+    // Dashed transaction edges (request direction).
+    for e in stitched.request_edges() {
+        let (Some(from), Some(to)) = (
+            anchor.get(&(e.from_stage, e.from_ctx)),
+            anchor.get(&(e.to_stage, e.to_ctx)),
+        ) else {
+            continue;
+        };
+        out.push_str(&format!(
+            "  {from} -> {to} [style=dashed, label=\"request\", ltail=cluster_s{}_c{}, lhead=cluster_s{}_c{}];\n",
+            e.from_stage, e.from_ctx, e.to_stage, e.to_ctx
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders every stage of a stitched set as text trees, followed by the
+/// transaction edges (the "final presentation phase" of §7.1).
+pub fn render_stitched_text(stitched: &Stitched) -> String {
+    let mut out = String::new();
+    for d in &stitched.stages {
+        out.push_str(&render_stage(d));
+        out.push('\n');
+    }
+    out.push_str("transaction edges (request direction):\n");
+    for e in stitched.request_edges() {
+        out.push_str(&format!(
+            "  {}:{}  ==>  {}:{}\n",
+            stitched.stages[e.from_stage].stage_name,
+            stitched.stages[e.from_stage].ctx_string(e.from_ctx),
+            stitched.stages[e.to_stage].stage_name,
+            stitched.stages[e.to_stage].ctx_string(e.to_ctx),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whodunit_core::stitch::{DumpCct, DumpNode};
+
+    fn sample_dump() -> StageDump {
+        StageDump {
+            proc: 0,
+            stage_name: "svc".into(),
+            frames: vec!["main".into(), "work".into()],
+            contexts: vec![Default::default()],
+            ccts: vec![DumpCct {
+                ctx: 0,
+                nodes: vec![
+                    DumpNode {
+                        frame: None,
+                        parent: None,
+                        samples: 0,
+                        cycles: 0,
+                        calls: 0,
+                    },
+                    DumpNode {
+                        frame: Some(0),
+                        parent: Some(0),
+                        samples: 10,
+                        cycles: 100,
+                        calls: 0,
+                    },
+                    DumpNode {
+                        frame: Some(1),
+                        parent: Some(1),
+                        samples: 30,
+                        cycles: 300,
+                        calls: 0,
+                    },
+                ],
+            }],
+            ..StageDump::default()
+        }
+    }
+
+    #[test]
+    fn shares_sum_to_100() {
+        let shares = context_shares(&sample_dump());
+        assert_eq!(shares.len(), 1);
+        assert!((shares[0].pct - 100.0).abs() < 1e-9);
+        assert_eq!(shares[0].samples, 40);
+    }
+
+    #[test]
+    fn tree_shows_inclusive_percentages() {
+        let s = render_stage(&sample_dump());
+        assert!(s.contains("main [100.00%]"), "{s}");
+        assert!(s.contains("work [75.00%]"), "{s}");
+    }
+
+    #[test]
+    fn dot_output_has_nodes_and_edges() {
+        let d = render_dot(&sample_dump());
+        assert!(d.contains("digraph"));
+        assert!(d.contains("label=\"main\""));
+        assert!(d.contains("->"));
+        assert!(d.ends_with("}\n"));
+    }
+
+    #[test]
+    fn empty_dump_renders() {
+        let d = StageDump::default();
+        assert!(render_stage(&d).contains("=== stage"));
+        assert!(context_shares(&d).is_empty());
+    }
+
+    #[test]
+    fn stitched_dot_draws_transaction_edges() {
+        use whodunit_core::stitch::{DumpAtom, DumpContext};
+        let caller = StageDump {
+            proc: 0,
+            stage_name: "caller".into(),
+            frames: vec!["main".into(), "rpc".into()],
+            contexts: vec![
+                DumpContext::default(),
+                DumpContext {
+                    atoms: vec![DumpAtom::Path(vec![0, 1])],
+                },
+            ],
+            ccts: vec![DumpCct {
+                ctx: 1,
+                nodes: vec![
+                    DumpNode {
+                        frame: None,
+                        parent: None,
+                        samples: 0,
+                        cycles: 0,
+                        calls: 0,
+                    },
+                    DumpNode {
+                        frame: Some(0),
+                        parent: Some(0),
+                        samples: 5,
+                        cycles: 50,
+                        calls: 0,
+                    },
+                ],
+            }],
+            synopses: vec![(7, 1)],
+            ..StageDump::default()
+        };
+        let callee = StageDump {
+            proc: 1,
+            stage_name: "callee".into(),
+            frames: vec!["svc".into()],
+            contexts: vec![
+                DumpContext::default(),
+                DumpContext {
+                    atoms: vec![DumpAtom::Remote(vec![7])],
+                },
+            ],
+            ccts: vec![DumpCct {
+                ctx: 1,
+                nodes: vec![
+                    DumpNode {
+                        frame: None,
+                        parent: None,
+                        samples: 0,
+                        cycles: 0,
+                        calls: 0,
+                    },
+                    DumpNode {
+                        frame: Some(0),
+                        parent: Some(0),
+                        samples: 9,
+                        cycles: 90,
+                        calls: 0,
+                    },
+                ],
+            }],
+            ..StageDump::default()
+        };
+        let st = Stitched::new(vec![caller, callee]);
+        let dot = render_stitched_dot(&st);
+        assert!(dot.contains("style=dashed"), "{dot}");
+        assert!(dot.contains("cluster_s0_c1"));
+        assert!(dot.contains("cluster_s1_c1"));
+        let text = render_stitched_text(&st);
+        assert!(text.contains("==>"), "{text}");
+        assert!(text.contains("caller"));
+        assert!(text.contains("callee"));
+    }
+}

@@ -1,0 +1,76 @@
+//! Aligned text tables.
+
+/// Renders rows as an aligned table with a header row and a separator.
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, cell) in r.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            // Left-align the first column, right-align the rest
+            // (numeric columns).
+            if i == 0 {
+                line.push_str(&format!("{:<w$}", c, w = widths[i]));
+            } else {
+                line.push_str(&format!("{:>w$}", c, w = widths[i]));
+            }
+        }
+        line.trim_end().to_owned()
+    };
+    let hdr: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&hdr, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&fmt_row(r, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with the given number of decimals.
+pub fn f(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_separator() {
+        let s = render(
+            &["Name", "Value"],
+            &[
+                vec!["a".into(), "1.0".into()],
+                vec!["longer".into(), "22.5".into()],
+            ],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].starts_with("a"));
+        assert!(lines[3].starts_with("longer"));
+        // Numeric column right-aligned.
+        assert!(lines[2].ends_with("1.0"));
+        assert!(lines[3].ends_with("22.5"));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(f(0.0, 1), "0.0");
+    }
+}

@@ -1,0 +1,277 @@
+//! TPC-W cross-tier resolution and Table 1 assembly (§8.4).
+//!
+//! At MySQL every transaction context is a remote synopsis chain; only
+//! the post-mortem stitching phase can say *which interaction* it
+//! belongs to, by resolving the chain's most recent synopsis back to
+//! the application server's send-point context, whose call path names
+//! the servlet.
+
+use whodunit_core::stitch::{DumpAtom, StageDump, Stitched};
+
+/// Follows remote chains from `(stage, ctx)` to the chain of
+/// `(stage, ctx)` hops, most recent sender first.
+pub fn hops(stitched: &Stitched, stage: usize, ctx: u32) -> Vec<(usize, u32)> {
+    let mut out = Vec::new();
+    let mut cur = (stage, ctx);
+    for _ in 0..16 {
+        let d = &stitched.stages[cur.0];
+        let Some(DumpAtom::Remote(chain)) = d.contexts[cur.1 as usize].atoms.first() else {
+            break;
+        };
+        let Some(&last) = chain.last() else {
+            break;
+        };
+        let Some(next) = stitched.resolve(last) else {
+            break;
+        };
+        out.push(next);
+        cur = next;
+    }
+    out
+}
+
+/// All frame names appearing in a context's `Frame`/`Path` atoms.
+pub fn ctx_frames(dump: &StageDump, ctx: u32) -> Vec<String> {
+    let mut out = Vec::new();
+    for atom in &dump.contexts[ctx as usize].atoms {
+        match atom {
+            DumpAtom::Frame(f) => out.push(dump.frames[*f as usize].clone()),
+            DumpAtom::Path(p) => {
+                out.extend(p.iter().map(|&f| dump.frames[f as usize].clone()));
+            }
+            DumpAtom::Remote(_) => {}
+        }
+    }
+    out
+}
+
+/// Labels a (possibly remote) context by the first frame — searching
+/// the sender hops nearest-first — whose name satisfies `pred`.
+pub fn label_by_frame(
+    stitched: &Stitched,
+    stage: usize,
+    ctx: u32,
+    pred: &dyn Fn(&str) -> bool,
+) -> Option<String> {
+    for name in ctx_frames(&stitched.stages[stage], ctx) {
+        if pred(&name) {
+            return Some(name);
+        }
+    }
+    for (s, c) in hops(stitched, stage, ctx) {
+        for name in ctx_frames(&stitched.stages[s], c) {
+            if pred(&name) {
+                return Some(name);
+            }
+        }
+    }
+    None
+}
+
+/// One Table 1 row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table1Row {
+    /// Interaction label.
+    pub interaction: String,
+    /// Share of MySQL's CPU profile, in percent.
+    pub cpu_pct: f64,
+    /// Mean crosstalk wait per query, in milliseconds.
+    pub crosstalk_ms: f64,
+}
+
+/// Assembles Table 1 from a stitched profile set.
+///
+/// `mysql_stage` indexes the MySQL dump within `stitched`; `label_of`
+/// maps a frame name (e.g. a servlet) to the interaction label, or
+/// `None` for frames that do not identify an interaction.
+pub fn table1(
+    stitched: &Stitched,
+    mysql_stage: usize,
+    label_of: &dyn Fn(&str) -> Option<String>,
+) -> Vec<Table1Row> {
+    let dump = &stitched.stages[mysql_stage];
+    let pred = |n: &str| label_of(n).is_some();
+    // CPU shares per context → per interaction.
+    let mut cpu: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+    let mut total_samples = 0u64;
+    let mut per_ctx: Vec<(u32, u64)> = Vec::new();
+    for c in &dump.ccts {
+        let m = dump.rebuild_cct(c).total();
+        total_samples += m.samples;
+        per_ctx.push((c.ctx, m.samples));
+    }
+    for (ctx, samples) in per_ctx {
+        let Some(label) =
+            label_by_frame(stitched, mysql_stage, ctx, &pred).and_then(|n| label_of(&n))
+        else {
+            continue;
+        };
+        if total_samples > 0 {
+            *cpu.entry(label).or_insert(0.0) += samples as f64 * 100.0 / total_samples as f64;
+        }
+    }
+    // Crosstalk means per interaction, over *all* acquires of that
+    // interaction's contexts (Table 1's "mean crosstalk wait time").
+    let mut waits: std::collections::HashMap<String, (u64, u64)> = std::collections::HashMap::new();
+    for w in &dump.crosstalk_waiters {
+        let Some(label) =
+            label_by_frame(stitched, mysql_stage, w.waiter, &pred).and_then(|n| label_of(&n))
+        else {
+            continue;
+        };
+        let e = waits.entry(label).or_insert((0, 0));
+        e.0 += w.count;
+        e.1 += w.total_wait;
+    }
+    let mut labels: Vec<String> = cpu.keys().chain(waits.keys()).cloned().collect();
+    labels.sort();
+    labels.dedup();
+    labels
+        .into_iter()
+        .map(|label| {
+            let cpu_pct = cpu.get(&label).copied().unwrap_or(0.0);
+            let (count, total) = waits.get(&label).copied().unwrap_or((0, 0));
+            let crosstalk_ms = total
+                .checked_div(count)
+                .map(whodunit_core::cost::cycles_to_ms)
+                .unwrap_or(0.0);
+            Table1Row {
+                interaction: label,
+                cpu_pct,
+                crosstalk_ms,
+            }
+        })
+        .collect()
+}
+
+/// Crosstalk pairs resolved to interaction labels: (waiter, holder,
+/// mean wait ms, count).
+pub fn crosstalk_pairs(
+    stitched: &Stitched,
+    mysql_stage: usize,
+    label_of: &dyn Fn(&str) -> Option<String>,
+) -> Vec<(String, String, f64, u64)> {
+    let dump = &stitched.stages[mysql_stage];
+    let pred = |n: &str| label_of(n).is_some();
+    let mut agg: std::collections::HashMap<(String, String), (u64, u64)> =
+        std::collections::HashMap::new();
+    for p in &dump.crosstalk_pairs {
+        let w = label_by_frame(stitched, mysql_stage, p.waiter, &pred).and_then(|n| label_of(&n));
+        let h = label_by_frame(stitched, mysql_stage, p.holder, &pred).and_then(|n| label_of(&n));
+        if let (Some(w), Some(h)) = (w, h) {
+            let e = agg.entry((w, h)).or_insert((0, 0));
+            e.0 += p.count;
+            e.1 += p.total_wait;
+        }
+    }
+    let mut out: Vec<_> = agg
+        .into_iter()
+        .map(|((w, h), (count, total))| {
+            (
+                w,
+                h,
+                whodunit_core::cost::cycles_to_ms(total / count.max(1)),
+                count,
+            )
+        })
+        .collect();
+    out.sort_by(|a, b| (b.2 * b.3 as f64).partial_cmp(&(a.2 * a.3 as f64)).unwrap());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whodunit_core::stitch::{DumpCct, DumpContext, DumpCrosstalkWaiter, DumpNode};
+
+    /// Builds a 2-stage stitched set: tomcat ctx 1 has a path through
+    /// "TPCW_home" and minted synopsis 100; mysql ctx 1 is
+    /// remote([100]) with samples and crosstalk.
+    fn setup() -> Stitched {
+        let tomcat = StageDump {
+            proc: 1,
+            stage_name: "tomcat".into(),
+            frames: vec!["service".into(), "TPCW_home".into()],
+            contexts: vec![
+                DumpContext::default(),
+                DumpContext {
+                    atoms: vec![DumpAtom::Path(vec![0, 1])],
+                },
+            ],
+            synopses: vec![(100, 1)],
+            ..StageDump::default()
+        };
+        let mysql = StageDump {
+            proc: 2,
+            stage_name: "mysql".into(),
+            frames: vec!["do_command".into()],
+            contexts: vec![
+                DumpContext::default(),
+                DumpContext {
+                    atoms: vec![DumpAtom::Remote(vec![100])],
+                },
+            ],
+            ccts: vec![DumpCct {
+                ctx: 1,
+                nodes: vec![
+                    DumpNode {
+                        frame: None,
+                        parent: None,
+                        samples: 0,
+                        cycles: 0,
+                        calls: 0,
+                    },
+                    DumpNode {
+                        frame: Some(0),
+                        parent: Some(0),
+                        samples: 50,
+                        cycles: 500,
+                        calls: 0,
+                    },
+                ],
+            }],
+            crosstalk_waiters: vec![DumpCrosstalkWaiter {
+                waiter: 1,
+                count: 10,
+                total_wait: 24_000_000, // 10 ms at 2.4 GHz.
+            }],
+            ..StageDump::default()
+        };
+        Stitched::new(vec![tomcat, mysql])
+    }
+
+    fn label(n: &str) -> Option<String> {
+        n.strip_prefix("TPCW_").map(str::to_owned)
+    }
+
+    #[test]
+    fn hops_resolve_to_sender() {
+        let st = setup();
+        assert_eq!(hops(&st, 1, 1), vec![(0, 1)]);
+        assert!(hops(&st, 0, 1).is_empty());
+    }
+
+    #[test]
+    fn labels_resolve_through_hops() {
+        let st = setup();
+        let l = label_by_frame(&st, 1, 1, &|n| n.starts_with("TPCW_"));
+        assert_eq!(l.as_deref(), Some("TPCW_home"));
+    }
+
+    #[test]
+    fn table1_assembles_cpu_and_crosstalk() {
+        let st = setup();
+        let rows = table1(&st, 1, &label);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].interaction, "home");
+        assert!((rows[0].cpu_pct - 100.0).abs() < 1e-9);
+        assert!((rows[0].crosstalk_ms - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unlabelled_contexts_are_skipped() {
+        let st = setup();
+        let rows = table1(&st, 1, &|_| None);
+        assert!(rows.is_empty());
+    }
+}

@@ -1,0 +1,203 @@
+//! Channels: sockets and pipes between stages (pure logic).
+//!
+//! A channel has a propagation latency and a per-byte cost (bandwidth);
+//! delivery is scheduled by the engine after
+//! `latency + bytes × cycles_per_byte` cycles. Messages carry an opaque
+//! payload, a wire size, and the Whodunit synopsis piggyback (§5); the
+//! piggyback's extra bytes add to the transfer time, which is how the
+//! paper's ≈1% communication overhead shows up.
+
+use crate::time::Cycles;
+use std::any::Any;
+use std::collections::VecDeque;
+use whodunit_core::ids::{ChanId, ThreadId};
+use whodunit_core::synopsis::SynChain;
+
+/// A message in flight or queued at a receiver.
+#[derive(Debug)]
+pub struct Msg {
+    /// Application payload.
+    pub data: Box<dyn Any>,
+    /// Application wire bytes (excluding the piggyback).
+    pub bytes: u64,
+    /// Whodunit synopsis chain piggybacked by the send wrapper.
+    pub chain: Option<SynChain>,
+}
+
+impl Msg {
+    /// Creates a message with a typed payload.
+    pub fn new<T: Any>(data: T, bytes: u64) -> Self {
+        Msg {
+            data: Box::new(data),
+            bytes,
+            chain: None,
+        }
+    }
+
+    /// Downcasts the payload, consuming the message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload is not a `T` — an application bug.
+    pub fn take<T: Any>(self) -> T {
+        *self
+            .data
+            .downcast::<T>()
+            .expect("message payload has unexpected type")
+    }
+
+    /// Borrows the payload as `T`, if it is one.
+    pub fn peek<T: Any>(&self) -> Option<&T> {
+        self.data.downcast_ref::<T>()
+    }
+
+    /// Downcasts the payload, returning the message back on a type
+    /// mismatch (for channels carrying several request kinds).
+    pub fn try_take<T: Any>(self) -> Result<T, Msg> {
+        let Msg { data, bytes, chain } = self;
+        match data.downcast::<T>() {
+            Ok(b) => Ok(*b),
+            Err(data) => Err(Msg { data, bytes, chain }),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct ChanState {
+    latency: Cycles,
+    cycles_per_byte: u64,
+    buffered: VecDeque<Msg>,
+    waiting: VecDeque<ThreadId>,
+    /// Total bytes ever sent (payload + piggyback), for reports.
+    bytes_sent: u64,
+    msgs_sent: u64,
+}
+
+/// All channels of a simulation.
+#[derive(Debug, Default)]
+pub struct ChanTable {
+    chans: Vec<ChanState>,
+}
+
+impl ChanTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a channel with the given delay parameters.
+    pub fn add(&mut self, latency: Cycles, cycles_per_byte: u64) -> ChanId {
+        self.chans.push(ChanState {
+            latency,
+            cycles_per_byte,
+            ..ChanState::default()
+        });
+        ChanId((self.chans.len() - 1) as u32)
+    }
+
+    /// Transfer delay for `bytes` on `chan`, and accounting.
+    pub fn send_delay(&mut self, chan: ChanId, bytes: u64) -> Cycles {
+        let c = &mut self.chans[chan.0 as usize];
+        c.bytes_sent += bytes;
+        c.msgs_sent += 1;
+        c.latency + bytes * c.cycles_per_byte
+    }
+
+    /// Delivers `msg` at the receiver side: hands it to a waiting
+    /// receiver (returned) or buffers it.
+    pub fn deliver(&mut self, chan: ChanId, msg: Msg) -> Option<(ThreadId, Msg)> {
+        let c = &mut self.chans[chan.0 as usize];
+        if let Some(t) = c.waiting.pop_front() {
+            Some((t, msg))
+        } else {
+            c.buffered.push_back(msg);
+            None
+        }
+    }
+
+    /// A receiver asks for a message: returns one if buffered,
+    /// otherwise registers the receiver as waiting.
+    pub fn recv(&mut self, chan: ChanId, t: ThreadId) -> Option<Msg> {
+        let c = &mut self.chans[chan.0 as usize];
+        if let Some(m) = c.buffered.pop_front() {
+            Some(m)
+        } else {
+            c.waiting.push_back(t);
+            None
+        }
+    }
+
+    /// Buffered message count (for tests).
+    pub fn buffered(&self, chan: ChanId) -> usize {
+        self.chans[chan.0 as usize].buffered.len()
+    }
+
+    /// Total bytes sent over `chan`.
+    pub fn bytes_sent(&self, chan: ChanId) -> u64 {
+        self.chans[chan.0 as usize].bytes_sent
+    }
+
+    /// Total messages sent over `chan`.
+    pub fn msgs_sent(&self, chan: ChanId) -> u64 {
+        self.chans[chan.0 as usize].msgs_sent
+    }
+
+    /// Total bytes sent over all channels (payload + piggyback).
+    pub fn total_bytes(&self) -> u64 {
+        self.chans.iter().map(|c| c.bytes_sent).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_includes_latency_and_bandwidth() {
+        let mut ct = ChanTable::new();
+        let ch = ct.add(1000, 20);
+        assert_eq!(ct.send_delay(ch, 50), 1000 + 50 * 20);
+        assert_eq!(ct.bytes_sent(ch), 50);
+        assert_eq!(ct.msgs_sent(ch), 1);
+    }
+
+    #[test]
+    fn deliver_to_waiting_receiver() {
+        let mut ct = ChanTable::new();
+        let ch = ct.add(0, 0);
+        let t = ThreadId(7);
+        assert!(ct.recv(ch, t).is_none());
+        let out = ct.deliver(ch, Msg::new(41u32, 4));
+        let (woken, msg) = out.expect("handed to waiter");
+        assert_eq!(woken, t);
+        assert_eq!(msg.take::<u32>(), 41);
+    }
+
+    #[test]
+    fn buffering_preserves_fifo_order() {
+        let mut ct = ChanTable::new();
+        let ch = ct.add(0, 0);
+        assert!(ct.deliver(ch, Msg::new(1u32, 0)).is_none());
+        assert!(ct.deliver(ch, Msg::new(2u32, 0)).is_none());
+        assert_eq!(ct.buffered(ch), 2);
+        let t = ThreadId(1);
+        assert_eq!(ct.recv(ch, t).unwrap().take::<u32>(), 1);
+        assert_eq!(ct.recv(ch, t).unwrap().take::<u32>(), 2);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let m = Msg::new("hello", 5);
+        assert_eq!(m.peek::<&str>(), Some(&"hello"));
+        assert_eq!(m.peek::<u32>(), None);
+        assert_eq!(m.take::<&str>(), "hello");
+    }
+
+    #[test]
+    fn try_take_returns_message_on_mismatch() {
+        let m = Msg::new(7u32, 5);
+        let m = m.try_take::<String>().unwrap_err();
+        assert_eq!(m.bytes, 5);
+        assert_eq!(m.try_take::<u32>().unwrap(), 7);
+    }
+}

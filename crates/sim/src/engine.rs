@@ -1,0 +1,923 @@
+//! The discrete-event simulation engine.
+//!
+//! Threads are resumable state machines ([`ThreadBody`]); each resume
+//! receives a [`Wake`] describing why the thread continues and yields
+//! one [`Op`]. The engine performs the operation, calls the owning
+//! process's profiling [`Runtime`] hooks at exactly the points the
+//! paper's wrappers intercept (compute/sampling, send/receive,
+//! lock/unlock), charges returned overhead cycles to the thread, and
+//! schedules the follow-up wake.
+//!
+//! The engine is strictly deterministic: the event heap is ordered by
+//! `(time, sequence)`, ready wakes drain FIFO, and nothing consults
+//! wall-clock time or unseeded randomness.
+
+use crate::chan::{ChanTable, Msg};
+use crate::lock::{Acquire, LockTable, Waiter};
+use crate::machine::{Dispatch, MachineTable};
+use crate::time::{CondId, Cycles, MachineId};
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::rc::Rc;
+use whodunit_core::frame::{shared_frame_table, FrameId, SharedFrameTable};
+use whodunit_core::ids::{ChanId, LockId, LockMode, ProcId, ThreadId};
+use whodunit_core::rt::{NullRuntime, Runtime};
+
+/// Why a thread is being resumed.
+#[derive(Debug)]
+pub enum Wake {
+    /// First resume after spawn.
+    Start,
+    /// An instant operation (unlock, notify, send) completed.
+    Done,
+    /// The requested compute burst finished.
+    ComputeDone,
+    /// The requested lock was acquired after `waited` cycles.
+    LockAcquired {
+        /// Cycles spent waiting.
+        waited: Cycles,
+    },
+    /// A condition wait returned (lock re-acquired).
+    CondWoken {
+        /// Cycles between notify and lock re-acquisition.
+        waited: Cycles,
+    },
+    /// A message arrived on the channel being received from.
+    Received(Msg),
+    /// The requested sleep elapsed.
+    Slept,
+}
+
+/// One operation a thread performs per resume.
+#[derive(Debug)]
+pub enum Op {
+    /// Burn CPU on the thread's machine; attributed to the current
+    /// call stack and transaction context.
+    Compute(Cycles),
+    /// Acquire a lock (waits if necessary).
+    Lock(LockId, LockMode),
+    /// Release a lock (instant).
+    Unlock(LockId),
+    /// Wait on a condition variable, releasing `lock`; resumes with the
+    /// lock re-acquired.
+    CondWait(CondId, LockId),
+    /// Wake one (`false`) or all (`true`) condition waiters (instant).
+    Notify(CondId, bool),
+    /// Send a message on a channel (instant, buffered).
+    Send(ChanId, Msg),
+    /// Receive a message from a channel (waits if empty).
+    Recv(ChanId),
+    /// Sleep for the given duration.
+    Sleep(Cycles),
+    /// Terminate the thread.
+    Exit,
+}
+
+/// A thread's behaviour, written as a resumable state machine.
+pub trait ThreadBody {
+    /// Continues the thread; called once per completed operation.
+    fn resume(&mut self, cx: &mut ThreadCx<'_>, wake: Wake) -> Op;
+}
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Round-robin scheduling quantum in cycles.
+    ///
+    /// The default is 1 ms of the 2.4 GHz CPU — coarse enough to keep
+    /// event counts manageable, fine enough that a long query does not
+    /// monopolize a core.
+    pub quantum: Cycles,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { quantum: 2_400_000 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TState {
+    Ready,
+    Computing,
+    WaitingLock,
+    WaitingCond,
+    WaitingRecv,
+    Sleeping,
+    Exited,
+}
+
+struct Thread {
+    name: String,
+    proc: ProcId,
+    machine: MachineId,
+    body: Option<Box<dyn ThreadBody>>,
+    stack: Vec<FrameId>,
+    state: TState,
+    pending_overhead: Cycles,
+}
+
+struct Proc {
+    name: String,
+    rt: Rc<RefCell<dyn Runtime>>,
+}
+
+enum EvKind {
+    QuantumEnd { machine: MachineId, d: Dispatch },
+    Deliver { chan: ChanId, msg: Msg },
+    Timer { thread: ThreadId },
+}
+
+struct Ev {
+    at: Cycles,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for Ev {}
+
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The simulation.
+pub struct Sim {
+    cfg: SimConfig,
+    now: Cycles,
+    seq: u64,
+    heap: BinaryHeap<Reverse<Ev>>,
+    ready: VecDeque<(ThreadId, Wake)>,
+    threads: Vec<Thread>,
+    procs: Vec<Proc>,
+    /// Locks and condition variables.
+    pub locks: LockTable,
+    /// Channels.
+    pub chans: ChanTable,
+    /// Machines.
+    pub machines: MachineTable,
+    frames: SharedFrameTable,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new(SimConfig::default())
+    }
+}
+
+impl Sim {
+    /// Creates an empty simulation.
+    pub fn new(cfg: SimConfig) -> Self {
+        Sim {
+            cfg,
+            now: 0,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            ready: VecDeque::new(),
+            threads: Vec::new(),
+            procs: Vec::new(),
+            locks: LockTable::new(),
+            chans: ChanTable::new(),
+            machines: MachineTable::new(),
+            frames: shared_frame_table(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// The shared frame intern table.
+    pub fn frames(&self) -> SharedFrameTable {
+        self.frames.clone()
+    }
+
+    /// Interns a frame name.
+    pub fn frame(&self, name: &str) -> FrameId {
+        self.frames.borrow_mut().intern(name)
+    }
+
+    /// Registers a process with a profiling runtime.
+    pub fn add_process(&mut self, name: &str, rt: Rc<RefCell<dyn Runtime>>) -> ProcId {
+        self.procs.push(Proc {
+            name: name.to_owned(),
+            rt,
+        });
+        ProcId((self.procs.len() - 1) as u32)
+    }
+
+    /// Registers an unprofiled process.
+    pub fn add_unprofiled_process(&mut self, name: &str) -> ProcId {
+        self.add_process(name, Rc::new(RefCell::new(NullRuntime)))
+    }
+
+    /// A process's runtime.
+    pub fn runtime(&self, p: ProcId) -> Rc<RefCell<dyn Runtime>> {
+        self.procs[p.0 as usize].rt.clone()
+    }
+
+    /// A process's name.
+    pub fn proc_name(&self, p: ProcId) -> &str {
+        &self.procs[p.0 as usize].name
+    }
+
+    /// Registers a machine with `cores` CPUs.
+    pub fn add_machine(&mut self, cores: u32) -> MachineId {
+        self.machines.add(cores)
+    }
+
+    /// Registers a lock.
+    pub fn add_lock(&mut self) -> LockId {
+        self.locks.add_lock()
+    }
+
+    /// Registers a condition variable.
+    pub fn add_cond(&mut self) -> CondId {
+        self.locks.add_cond()
+    }
+
+    /// Registers a channel.
+    pub fn add_channel(&mut self, latency: Cycles, cycles_per_byte: u64) -> ChanId {
+        self.chans.add(latency, cycles_per_byte)
+    }
+
+    /// Spawns a thread in `proc` on `machine`; it resumes with
+    /// [`Wake::Start`] when the simulation runs.
+    pub fn spawn(
+        &mut self,
+        proc: ProcId,
+        machine: MachineId,
+        name: &str,
+        body: Box<dyn ThreadBody>,
+    ) -> ThreadId {
+        let t = ThreadId(self.threads.len() as u32);
+        self.threads.push(Thread {
+            name: name.to_owned(),
+            proc,
+            machine,
+            body: Some(body),
+            stack: Vec::new(),
+            state: TState::Ready,
+            pending_overhead: 0,
+        });
+        self.procs[proc.0 as usize].rt.borrow_mut().on_spawn(t);
+        self.ready.push_back((t, Wake::Start));
+        t
+    }
+
+    /// A thread's name (for reports and tests).
+    pub fn thread_name(&self, t: ThreadId) -> &str {
+        &self.threads[t.0 as usize].name
+    }
+
+    /// A thread's owning process.
+    pub fn thread_proc(&self, t: ThreadId) -> ProcId {
+        self.threads[t.0 as usize].proc
+    }
+
+    fn rt_of(&self, t: ThreadId) -> Rc<RefCell<dyn Runtime>> {
+        self.procs[self.threads[t.0 as usize].proc.0 as usize]
+            .rt
+            .clone()
+    }
+
+    fn push_ev(&mut self, at: Cycles, kind: EvKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Ev { at, seq, kind }));
+    }
+
+    /// Runs until virtual time `limit` (inclusive of events at
+    /// `limit`) or until nothing remains to do.
+    pub fn run_until(&mut self, limit: Cycles) {
+        loop {
+            // Drain instantly runnable threads first.
+            while let Some((t, wake)) = self.ready.pop_front() {
+                self.resume_thread(t, wake);
+            }
+            let Some(Reverse(ev)) = self.heap.pop() else {
+                break;
+            };
+            if ev.at > limit {
+                self.heap.push(Reverse(ev));
+                self.now = limit;
+                break;
+            }
+            self.now = ev.at;
+            match ev.kind {
+                EvKind::QuantumEnd { machine, d } => self.on_quantum_end(machine, d),
+                EvKind::Deliver { chan, msg } => self.on_deliver(chan, msg),
+                EvKind::Timer { thread } => {
+                    if self.threads[thread.0 as usize].state == TState::Sleeping {
+                        self.threads[thread.0 as usize].state = TState::Ready;
+                        self.ready.push_back((thread, Wake::Slept));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs until no events or runnable threads remain.
+    pub fn run_to_idle(&mut self) {
+        self.run_until(Cycles::MAX);
+    }
+
+    fn on_quantum_end(&mut self, machine: MachineId, d: Dispatch) {
+        let done = self.machines.complete_slice(machine, d);
+        if done {
+            self.threads[d.thread.0 as usize].state = TState::Ready;
+            self.ready.push_back((d.thread, Wake::ComputeDone));
+        }
+        self.dispatch_machine(machine);
+    }
+
+    fn on_deliver(&mut self, chan: ChanId, msg: Msg) {
+        if let Some((t, msg)) = self.chans.deliver(chan, msg) {
+            let overhead = self.rt_of(t).borrow_mut().on_recv(t, msg.chain.as_ref());
+            self.threads[t.0 as usize].pending_overhead += overhead;
+            self.threads[t.0 as usize].state = TState::Ready;
+            self.ready.push_back((t, Wake::Received(msg)));
+        }
+    }
+
+    fn dispatch_machine(&mut self, machine: MachineId) {
+        for d in self.machines.dispatch(machine, self.cfg.quantum) {
+            self.push_ev(self.now + d.slice, EvKind::QuantumEnd { machine, d });
+        }
+    }
+
+    fn resume_thread(&mut self, t: ThreadId, wake: Wake) {
+        if self.threads[t.0 as usize].state == TState::Exited {
+            return;
+        }
+        let Some(mut body) = self.threads[t.0 as usize].body.take() else {
+            return;
+        };
+        let op = {
+            let mut cx = ThreadCx { sim: self, t };
+            body.resume(&mut cx, wake)
+        };
+        self.threads[t.0 as usize].body = Some(body);
+        self.process_op(t, op);
+    }
+
+    fn process_op(&mut self, t: ThreadId, op: Op) {
+        let machine = self.threads[t.0 as usize].machine;
+        match op {
+            Op::Compute(cycles) => {
+                let rt = self.rt_of(t);
+                let overhead = {
+                    let th = &self.threads[t.0 as usize];
+                    rt.borrow_mut().on_compute(t, &th.stack, cycles)
+                };
+                let pend = std::mem::take(&mut self.threads[t.0 as usize].pending_overhead);
+                let total = cycles + overhead + pend;
+                self.threads[t.0 as usize].state = TState::Computing;
+                self.machines.enqueue(machine, t, total);
+                self.dispatch_machine(machine);
+            }
+            Op::Lock(lock, mode) => match self.locks.try_acquire(t, lock, mode) {
+                Acquire::Granted => {
+                    let rt = self.rt_of(t);
+                    let oh = rt.borrow_mut().on_lock_acquired(t, lock, mode, 0, None);
+                    self.threads[t.0 as usize].pending_overhead += oh;
+                    self.ready.push_back((t, Wake::LockAcquired { waited: 0 }));
+                }
+                Acquire::Queued => {
+                    let hint = self.rt_of(t).borrow().holder_hint(lock);
+                    self.locks.enqueue(
+                        lock,
+                        Waiter {
+                            thread: t,
+                            mode,
+                            since: self.now,
+                            hint,
+                            from_cond: false,
+                        },
+                    );
+                    self.threads[t.0 as usize].state = TState::WaitingLock;
+                }
+            },
+            Op::Unlock(lock) => {
+                self.do_release(t, lock);
+                self.ready.push_back((t, Wake::Done));
+            }
+            Op::CondWait(cond, lock) => {
+                self.locks.cond_wait(t, cond, lock);
+                self.do_release(t, lock);
+                self.threads[t.0 as usize].state = TState::WaitingCond;
+            }
+            Op::Notify(cond, all) => {
+                let woken = self.locks.notify(cond, if all { None } else { Some(1) });
+                for (wt, lock) in woken {
+                    // The woken thread re-acquires its lock; the wait
+                    // measured for crosstalk is only the re-acquire.
+                    match self.locks.try_acquire(wt, lock, LockMode::Exclusive) {
+                        Acquire::Granted => {
+                            let rt = self.rt_of(wt);
+                            let oh = rt.borrow_mut().on_lock_acquired(
+                                wt,
+                                lock,
+                                LockMode::Exclusive,
+                                0,
+                                None,
+                            );
+                            self.threads[wt.0 as usize].pending_overhead += oh;
+                            self.threads[wt.0 as usize].state = TState::Ready;
+                            self.ready.push_back((wt, Wake::CondWoken { waited: 0 }));
+                        }
+                        Acquire::Queued => {
+                            let hint = self.rt_of(wt).borrow().holder_hint(lock);
+                            self.locks.enqueue(
+                                lock,
+                                Waiter {
+                                    thread: wt,
+                                    mode: LockMode::Exclusive,
+                                    since: self.now,
+                                    hint,
+                                    from_cond: true,
+                                },
+                            );
+                            self.threads[wt.0 as usize].state = TState::WaitingLock;
+                        }
+                    }
+                }
+                self.ready.push_back((t, Wake::Done));
+            }
+            Op::Send(chan, mut msg) => {
+                let rt = self.rt_of(t);
+                let info = {
+                    let th = &self.threads[t.0 as usize];
+                    rt.borrow_mut().on_send(t, &th.stack)
+                };
+                msg.chain = info.chain;
+                self.threads[t.0 as usize].pending_overhead += info.cycles;
+                let delay = self.chans.send_delay(chan, msg.bytes + info.extra_bytes);
+                self.push_ev(self.now + delay, EvKind::Deliver { chan, msg });
+                self.ready.push_back((t, Wake::Done));
+            }
+            Op::Recv(chan) => match self.chans.recv(chan, t) {
+                Some(msg) => {
+                    let rt = self.rt_of(t);
+                    let oh = rt.borrow_mut().on_recv(t, msg.chain.as_ref());
+                    self.threads[t.0 as usize].pending_overhead += oh;
+                    self.ready.push_back((t, Wake::Received(msg)));
+                }
+                None => {
+                    self.threads[t.0 as usize].state = TState::WaitingRecv;
+                }
+            },
+            Op::Sleep(cycles) => {
+                self.threads[t.0 as usize].state = TState::Sleeping;
+                self.push_ev(self.now + cycles, EvKind::Timer { thread: t });
+            }
+            Op::Exit => {
+                self.threads[t.0 as usize].state = TState::Exited;
+                self.threads[t.0 as usize].body = None;
+                self.rt_of(t).borrow_mut().on_exit(t);
+            }
+        }
+    }
+
+    fn do_release(&mut self, t: ThreadId, lock: LockId) {
+        let rt = self.rt_of(t);
+        let oh = rt.borrow_mut().on_lock_released(t, lock);
+        self.threads[t.0 as usize].pending_overhead += oh;
+        let granted = self.locks.release(t, lock);
+        for w in granted {
+            let waited = self.now - w.since;
+            let rt = self.rt_of(w.thread);
+            let oh = rt
+                .borrow_mut()
+                .on_lock_acquired(w.thread, lock, w.mode, waited, w.hint);
+            self.threads[w.thread.0 as usize].pending_overhead += oh;
+            self.threads[w.thread.0 as usize].state = TState::Ready;
+            let wake = if w.from_cond {
+                Wake::CondWoken { waited }
+            } else {
+                Wake::LockAcquired { waited }
+            };
+            self.ready.push_back((w.thread, wake));
+        }
+    }
+}
+
+/// A thread's view of the simulation during `resume`.
+pub struct ThreadCx<'a> {
+    sim: &'a mut Sim,
+    t: ThreadId,
+}
+
+impl ThreadCx<'_> {
+    /// Current virtual time.
+    pub fn now(&self) -> Cycles {
+        self.sim.now
+    }
+
+    /// The resuming thread's id.
+    pub fn me(&self) -> ThreadId {
+        self.t
+    }
+
+    /// The shared frame table.
+    pub fn frames(&self) -> SharedFrameTable {
+        self.sim.frames.clone()
+    }
+
+    /// Interns a frame name.
+    pub fn frame(&self, name: &str) -> FrameId {
+        self.sim.frames.borrow_mut().intern(name)
+    }
+
+    /// The owning process's profiling runtime.
+    pub fn runtime(&self) -> Rc<RefCell<dyn Runtime>> {
+        self.sim.rt_of(self.t)
+    }
+
+    /// The thread's current call stack.
+    pub fn stack(&self) -> &[FrameId] {
+        &self.sim.threads[self.t.0 as usize].stack
+    }
+
+    /// Enters a procedure frame (calls the gprof-style hook).
+    pub fn push_frame(&mut self, f: FrameId) {
+        let oh = self.sim.rt_of(self.t).borrow_mut().on_call(self.t, f);
+        let th = &mut self.sim.threads[self.t.0 as usize];
+        th.stack.push(f);
+        th.pending_overhead += oh;
+    }
+
+    /// Leaves the current procedure frame.
+    pub fn pop_frame(&mut self) {
+        let oh = self.sim.rt_of(self.t).borrow_mut().on_return(self.t);
+        let th = &mut self.sim.threads[self.t.0 as usize];
+        th.stack.pop();
+        th.pending_overhead += oh;
+    }
+
+    /// Replaces the whole call stack (convenience for flat bodies).
+    pub fn set_stack(&mut self, frames: &[FrameId]) {
+        let th = &mut self.sim.threads[self.t.0 as usize];
+        th.stack.clear();
+        th.stack.extend_from_slice(frames);
+    }
+
+    /// Charges extra overhead cycles to this thread (consumed by its
+    /// next compute burst).
+    pub fn charge(&mut self, cycles: Cycles) {
+        self.sim.threads[self.t.0 as usize].pending_overhead += cycles;
+    }
+
+    /// Models `n` internal call/return pairs of `f` within the current
+    /// work (drives the gprof baseline's per-call overhead; free for
+    /// sampling profilers).
+    pub fn count_calls(&mut self, f: FrameId, n: u64) {
+        let oh = self.sim.rt_of(self.t).borrow_mut().on_calls(self.t, f, n);
+        self.sim.threads[self.t.0 as usize].pending_overhead += oh;
+    }
+
+    /// Creates a new channel mid-run (e.g. a per-request reply pipe).
+    pub fn add_channel(&mut self, latency: Cycles, cycles_per_byte: u64) -> ChanId {
+        self.sim.chans.add(latency, cycles_per_byte)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whodunit_core::profiler::{Whodunit, WhodunitConfig};
+
+    /// A body driven by a scripted list of ops (for engine tests).
+    struct Script {
+        ops: VecDeque<Op>,
+        log: Rc<RefCell<Vec<String>>>,
+    }
+
+    impl Script {
+        fn new(ops: Vec<Op>, log: Rc<RefCell<Vec<String>>>) -> Box<Self> {
+            Box::new(Script {
+                ops: ops.into(),
+                log,
+            })
+        }
+    }
+
+    impl ThreadBody for Script {
+        fn resume(&mut self, cx: &mut ThreadCx<'_>, wake: Wake) -> Op {
+            let entry = match &wake {
+                Wake::Start => "start".to_owned(),
+                Wake::Done => "done".to_owned(),
+                Wake::ComputeDone => format!("computed@{}", cx.now()),
+                Wake::LockAcquired { waited } => format!("locked(waited={waited})"),
+                Wake::CondWoken { waited } => format!("condwoken(waited={waited})"),
+                Wake::Received(m) => format!("recv({})", m.peek::<u32>().copied().unwrap_or(0)),
+                Wake::Slept => format!("slept@{}", cx.now()),
+            };
+            self.log.borrow_mut().push(format!("{}: {entry}", cx.me()));
+            self.ops.pop_front().unwrap_or(Op::Exit)
+        }
+    }
+
+    fn log() -> Rc<RefCell<Vec<String>>> {
+        Rc::new(RefCell::new(Vec::new()))
+    }
+
+    #[test]
+    fn compute_advances_time() {
+        let mut sim = Sim::default();
+        let m = sim.add_machine(1);
+        let p = sim.add_unprofiled_process("p");
+        let l = log();
+        sim.spawn(p, m, "t", Script::new(vec![Op::Compute(5000)], l.clone()));
+        sim.run_to_idle();
+        assert_eq!(sim.now(), 5000);
+        let entries = l.borrow();
+        assert_eq!(entries.as_slice(), &["t0: start", "t0: computed@5000"]);
+    }
+
+    #[test]
+    fn single_core_serializes_two_threads() {
+        let mut sim = Sim::default();
+        let m = sim.add_machine(1);
+        let p = sim.add_unprofiled_process("p");
+        let l = log();
+        sim.spawn(
+            p,
+            m,
+            "a",
+            Script::new(vec![Op::Compute(1_000_000)], l.clone()),
+        );
+        sim.spawn(
+            p,
+            m,
+            "b",
+            Script::new(vec![Op::Compute(1_000_000)], l.clone()),
+        );
+        sim.run_to_idle();
+        assert_eq!(
+            sim.now(),
+            2_000_000,
+            "one core runs 2M cycles of work in 2M cycles"
+        );
+        assert_eq!(sim.machines.busy_cycles(MachineId(0)), 2_000_000);
+    }
+
+    #[test]
+    fn two_cores_run_in_parallel() {
+        let mut sim = Sim::default();
+        let m = sim.add_machine(2);
+        let p = sim.add_unprofiled_process("p");
+        let l = log();
+        sim.spawn(
+            p,
+            m,
+            "a",
+            Script::new(vec![Op::Compute(1_000_000)], l.clone()),
+        );
+        sim.spawn(
+            p,
+            m,
+            "b",
+            Script::new(vec![Op::Compute(1_000_000)], l.clone()),
+        );
+        sim.run_to_idle();
+        assert_eq!(sim.now(), 1_000_000);
+    }
+
+    #[test]
+    fn lock_contention_measures_wait() {
+        let mut sim = Sim::default();
+        let m = sim.add_machine(2);
+        let p = sim.add_unprofiled_process("p");
+        let lk = sim.add_lock();
+        let l = log();
+        // Thread a: lock, compute 1000, unlock.
+        sim.spawn(
+            p,
+            m,
+            "a",
+            Script::new(
+                vec![
+                    Op::Lock(lk, LockMode::Exclusive),
+                    Op::Compute(1000),
+                    Op::Unlock(lk),
+                ],
+                l.clone(),
+            ),
+        );
+        // Thread b tries the same lock.
+        sim.spawn(
+            p,
+            m,
+            "b",
+            Script::new(
+                vec![Op::Lock(lk, LockMode::Exclusive), Op::Unlock(lk)],
+                l.clone(),
+            ),
+        );
+        sim.run_to_idle();
+        let entries = l.borrow();
+        assert!(
+            entries.iter().any(|e| e == "t1: locked(waited=1000)"),
+            "{entries:?}"
+        );
+    }
+
+    #[test]
+    fn send_recv_delivers_with_delay() {
+        let mut sim = Sim::default();
+        let m = sim.add_machine(1);
+        let p = sim.add_unprofiled_process("p");
+        let ch = sim.add_channel(500, 2);
+        let l = log();
+        sim.spawn(p, m, "rx", Script::new(vec![Op::Recv(ch)], l.clone()));
+        sim.spawn(
+            p,
+            m,
+            "tx",
+            Script::new(vec![Op::Send(ch, Msg::new(7u32, 100))], l.clone()),
+        );
+        sim.run_to_idle();
+        // Delay = 500 + 100*2 = 700.
+        assert_eq!(sim.now(), 700);
+        assert!(l.borrow().iter().any(|e| e == "t0: recv(7)"));
+    }
+
+    #[test]
+    fn condvar_roundtrip() {
+        let mut sim = Sim::default();
+        let m = sim.add_machine(2);
+        let p = sim.add_unprofiled_process("p");
+        let lk = sim.add_lock();
+        let cv = sim.add_cond();
+        let l = log();
+        // Waiter: lock, cond-wait, unlock.
+        sim.spawn(
+            p,
+            m,
+            "waiter",
+            Script::new(
+                vec![
+                    Op::Lock(lk, LockMode::Exclusive),
+                    Op::CondWait(cv, lk),
+                    Op::Unlock(lk),
+                ],
+                l.clone(),
+            ),
+        );
+        // Notifier: compute (so the waiter is parked), lock, notify, unlock.
+        sim.spawn(
+            p,
+            m,
+            "notifier",
+            Script::new(
+                vec![
+                    Op::Compute(10_000),
+                    Op::Lock(lk, LockMode::Exclusive),
+                    Op::Notify(cv, false),
+                    Op::Unlock(lk),
+                ],
+                l.clone(),
+            ),
+        );
+        sim.run_to_idle();
+        let entries = l.borrow();
+        assert!(
+            entries.iter().any(|e| e.starts_with("t0: condwoken")),
+            "{entries:?}"
+        );
+    }
+
+    #[test]
+    fn whodunit_runtime_collects_profile_through_engine() {
+        let mut sim = Sim::default();
+        let m = sim.add_machine(1);
+        let frames = sim.frames();
+        let w = Rc::new(RefCell::new(Whodunit::new(
+            WhodunitConfig::new(ProcId(0), "svc"),
+            frames,
+        )));
+        let p = sim.add_process("svc", w.clone());
+        let l = log();
+
+        struct Worker {
+            inner: Script,
+            f: FrameId,
+            first: bool,
+        }
+        impl ThreadBody for Worker {
+            fn resume(&mut self, cx: &mut ThreadCx<'_>, wake: Wake) -> Op {
+                if self.first {
+                    cx.push_frame(self.f);
+                    self.first = false;
+                }
+                self.inner.resume(cx, wake)
+            }
+        }
+        let f = sim.frame("work");
+        sim.spawn(
+            p,
+            m,
+            "w",
+            Box::new(Worker {
+                inner: *Script::new(vec![Op::Compute(1_000_000)], l.clone()),
+                f,
+                first: true,
+            }),
+        );
+        sim.run_to_idle();
+        let w = w.borrow();
+        let cct = w
+            .cct(whodunit_core::context::CtxId::ROOT)
+            .expect("profiled");
+        assert_eq!(cct.total().cycles, 1_000_000);
+    }
+
+    #[test]
+    fn determinism_two_identical_runs() {
+        fn run() -> (Cycles, Vec<String>) {
+            let mut sim = Sim::default();
+            let m = sim.add_machine(1);
+            let p = sim.add_unprofiled_process("p");
+            let lk = sim.add_lock();
+            let ch = sim.add_channel(100, 1);
+            let l = log();
+            sim.spawn(
+                p,
+                m,
+                "a",
+                Script::new(
+                    vec![
+                        Op::Lock(lk, LockMode::Exclusive),
+                        Op::Compute(777),
+                        Op::Unlock(lk),
+                        Op::Send(ch, Msg::new(1u32, 10)),
+                    ],
+                    l.clone(),
+                ),
+            );
+            sim.spawn(
+                p,
+                m,
+                "b",
+                Script::new(
+                    vec![
+                        Op::Lock(lk, LockMode::Exclusive),
+                        Op::Unlock(lk),
+                        Op::Recv(ch),
+                    ],
+                    l.clone(),
+                ),
+            );
+            sim.run_to_idle();
+            let v = l.borrow().clone();
+            (sim.now(), v)
+        }
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn run_until_stops_at_limit() {
+        let mut sim = Sim::default();
+        let m = sim.add_machine(1);
+        let p = sim.add_unprofiled_process("p");
+        let l = log();
+        sim.spawn(
+            p,
+            m,
+            "t",
+            Script::new(vec![Op::Compute(10_000_000)], l.clone()),
+        );
+        sim.run_until(1_000_000);
+        assert_eq!(sim.now(), 1_000_000);
+        sim.run_to_idle();
+        assert_eq!(sim.now(), 10_000_000);
+    }
+
+    #[test]
+    fn sleep_wakes_at_deadline() {
+        let mut sim = Sim::default();
+        let m = sim.add_machine(1);
+        let p = sim.add_unprofiled_process("p");
+        let l = log();
+        sim.spawn(p, m, "t", Script::new(vec![Op::Sleep(123_456)], l.clone()));
+        sim.run_to_idle();
+        assert_eq!(sim.now(), 123_456);
+        assert!(l.borrow().iter().any(|e| e == "t0: slept@123456"));
+    }
+}

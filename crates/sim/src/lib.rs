@@ -1,0 +1,38 @@
+//! Deterministic discrete-event simulation substrate for multi-tier
+//! applications.
+//!
+//! The paper instruments real processes on a cluster; this crate is the
+//! equivalent substrate in virtual time. It models:
+//!
+//! - **Machines** with a fixed number of cores and round-robin
+//!   scheduling of compute bursts ([`machine`]).
+//! - **Threads** written as resumable state machines ([`ThreadBody`]):
+//!   each resume yields one operation — compute, lock/unlock, condition
+//!   wait/notify, channel send/receive, sleep ([`Op`]).
+//! - **Locks** with shared/exclusive modes, FIFO granting, and
+//!   wait-time measurement ([`lock`]) — the crosstalk hook points.
+//! - **Channels** (sockets/pipes) with latency + bandwidth delay and
+//!   synopsis piggybacking ([`chan`]) — the §5 hook points.
+//! - **Processes**: groups of threads sharing one profiling
+//!   [`whodunit_core::rt::Runtime`]; every substrate action calls the
+//!   corresponding hook and charges the returned overhead cycles to the
+//!   executing thread, which is how profiling overhead becomes
+//!   measurable (Table 2, §9).
+//! - **SEDA stages** ([`seda`]): reusable stage-queue worker bodies
+//!   implementing Figure 5's instrumented stage loop.
+//!
+//! Everything is single-threaded and seeded: a simulation is a pure
+//! function of its inputs.
+
+#![warn(missing_docs)]
+
+pub mod chan;
+pub mod engine;
+pub mod lock;
+pub mod machine;
+pub mod seda;
+pub mod time;
+
+pub use chan::Msg;
+pub use engine::{Op, Sim, SimConfig, ThreadBody, ThreadCx, Wake};
+pub use time::{Cycles, MachineId};

@@ -1,0 +1,25 @@
+//! Virtual time and machine identifiers.
+
+/// Virtual time and durations, measured in CPU cycles of the simulated
+/// 2.4 GHz machines (see [`whodunit_core::cost::CPU_HZ`]).
+pub type Cycles = u64;
+
+/// A simulated machine.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MachineId(pub u32);
+
+/// A condition variable.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CondId(pub u32);
+
+impl std::fmt::Display for MachineId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl std::fmt::Display for CondId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cond{}", self.0)
+    }
+}

@@ -1,0 +1,319 @@
+//! Behavioural tests of the simulation engine: ordering, fairness,
+//! hook charging, and failure cases.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+use whodunit_core::frame::FrameId;
+use whodunit_core::ids::{LockMode, ProcId, ThreadId};
+use whodunit_core::rt::Runtime;
+use whodunit_sim::{Msg, Op, Sim, SimConfig, ThreadBody, ThreadCx, Wake};
+
+struct Script {
+    ops: VecDeque<Op>,
+    log: Rc<RefCell<Vec<String>>>,
+}
+
+impl Script {
+    fn new(ops: Vec<Op>, log: &Rc<RefCell<Vec<String>>>) -> Box<Self> {
+        Box::new(Script {
+            ops: ops.into(),
+            log: log.clone(),
+        })
+    }
+}
+
+impl ThreadBody for Script {
+    fn resume(&mut self, cx: &mut ThreadCx<'_>, wake: Wake) -> Op {
+        let entry = match &wake {
+            Wake::Start => "start".into(),
+            Wake::Done => "done".into(),
+            Wake::ComputeDone => format!("computed@{}", cx.now()),
+            Wake::LockAcquired { waited } => format!("locked(w={waited})"),
+            Wake::CondWoken { waited } => format!("woken(w={waited})"),
+            Wake::Received(m) => format!("recv({})", m.peek::<u32>().copied().unwrap_or(0)),
+            Wake::Slept => format!("slept@{}", cx.now()),
+        };
+        self.log.borrow_mut().push(format!("{}:{entry}", cx.me()));
+        self.ops.pop_front().unwrap_or(Op::Exit)
+    }
+}
+
+fn log() -> Rc<RefCell<Vec<String>>> {
+    Rc::new(RefCell::new(Vec::new()))
+}
+
+#[test]
+fn messages_on_one_channel_preserve_order() {
+    let mut sim = Sim::default();
+    let m = sim.add_machine(2);
+    let p = sim.add_unprofiled_process("p");
+    let ch = sim.add_channel(1000, 1);
+    let l = log();
+    sim.spawn(
+        p,
+        m,
+        "tx",
+        Script::new(
+            vec![
+                Op::Send(ch, Msg::new(1u32, 10)),
+                Op::Send(ch, Msg::new(2u32, 10)),
+                Op::Send(ch, Msg::new(3u32, 10)),
+            ],
+            &l,
+        ),
+    );
+    sim.spawn(
+        p,
+        m,
+        "rx",
+        Script::new(vec![Op::Recv(ch), Op::Recv(ch), Op::Recv(ch)], &l),
+    );
+    sim.run_to_idle();
+    let got: Vec<String> = l
+        .borrow()
+        .iter()
+        .filter(|e| e.contains("recv"))
+        .cloned()
+        .collect();
+    assert_eq!(got, vec!["t1:recv(1)", "t1:recv(2)", "t1:recv(3)"]);
+}
+
+#[test]
+fn multiple_receivers_share_a_channel_fifo() {
+    // MPMC work queue: waiting receivers are served in wait order.
+    let mut sim = Sim::default();
+    let m = sim.add_machine(4);
+    let p = sim.add_unprofiled_process("p");
+    let ch = sim.add_channel(0, 0);
+    let l = log();
+    for i in 0..3 {
+        sim.spawn(p, m, &format!("rx{i}"), Script::new(vec![Op::Recv(ch)], &l));
+    }
+    sim.spawn(
+        p,
+        m,
+        "tx",
+        Script::new(
+            vec![
+                Op::Send(ch, Msg::new(10u32, 1)),
+                Op::Send(ch, Msg::new(20u32, 1)),
+                Op::Send(ch, Msg::new(30u32, 1)),
+            ],
+            &l,
+        ),
+    );
+    sim.run_to_idle();
+    let recvs: Vec<String> = l
+        .borrow()
+        .iter()
+        .filter(|e| e.contains("recv"))
+        .cloned()
+        .collect();
+    assert_eq!(recvs.len(), 3);
+    // Receivers registered in spawn order get messages in send order.
+    assert_eq!(recvs[0], "t0:recv(10)");
+    assert_eq!(recvs[1], "t1:recv(20)");
+    assert_eq!(recvs[2], "t2:recv(30)");
+}
+
+#[test]
+fn round_robin_shares_a_core_fairly() {
+    // Two equal computes on one core finish at (roughly) the same time,
+    // not one after the other — the quantum interleaves them.
+    let mut sim = Sim::new(SimConfig { quantum: 1000 });
+    let m = sim.add_machine(1);
+    let p = sim.add_unprofiled_process("p");
+    let l = log();
+    sim.spawn(p, m, "a", Script::new(vec![Op::Compute(10_000)], &l));
+    sim.spawn(p, m, "b", Script::new(vec![Op::Compute(10_000)], &l));
+    sim.run_to_idle();
+    let done: Vec<u64> = l
+        .borrow()
+        .iter()
+        .filter_map(|e| e.split('@').nth(1).map(|t| t.parse().unwrap()))
+        .collect();
+    assert_eq!(done.len(), 2);
+    let gap = done[1] - done[0];
+    assert!(gap <= 1000, "interleaved completion, gap {gap}");
+    assert_eq!(done[1], 20_000);
+}
+
+#[test]
+fn pending_overhead_is_charged_on_next_compute() {
+    struct Charger {
+        phase: u8,
+    }
+    impl ThreadBody for Charger {
+        fn resume(&mut self, cx: &mut ThreadCx<'_>, _wake: Wake) -> Op {
+            match self.phase {
+                0 => {
+                    self.phase = 1;
+                    cx.charge(5_000);
+                    Op::Compute(1_000)
+                }
+                _ => Op::Exit,
+            }
+        }
+    }
+    let mut sim = Sim::default();
+    let m = sim.add_machine(1);
+    let p = sim.add_unprofiled_process("p");
+    sim.spawn(p, m, "t", Box::new(Charger { phase: 0 }));
+    sim.run_to_idle();
+    assert_eq!(sim.now(), 6_000, "compute extended by the charged overhead");
+}
+
+#[test]
+fn gprof_counts_calls_through_the_engine() {
+    use whodunit_baselines::GprofRuntime;
+    let mut sim = Sim::default();
+    let m = sim.add_machine(1);
+    let rt = Rc::new(RefCell::new(GprofRuntime::default()));
+    let p = sim.add_process("svc", rt.clone());
+
+    struct Body {
+        f: FrameId,
+        inner: FrameId,
+        phase: u8,
+    }
+    impl ThreadBody for Body {
+        fn resume(&mut self, cx: &mut ThreadCx<'_>, _wake: Wake) -> Op {
+            match self.phase {
+                0 => {
+                    self.phase = 1;
+                    cx.push_frame(self.f);
+                    cx.count_calls(self.inner, 500);
+                    Op::Compute(1_000_000)
+                }
+                _ => {
+                    cx.pop_frame();
+                    Op::Exit
+                }
+            }
+        }
+    }
+    let f = sim.frame("handler");
+    let inner = sim.frame("inner");
+    sim.spawn(p, m, "t", Box::new(Body { f, inner, phase: 0 }));
+    sim.run_to_idle();
+    let g = rt.borrow();
+    assert_eq!(g.call_count(), 501, "handler + 500 batched internal calls");
+    assert_eq!(g.arc(Some(f), inner), 500);
+    assert!(g.overhead_cycles() > 0);
+    // The mcount overhead extended virtual time beyond the raw compute.
+    assert!(sim.now() > 1_000_000);
+}
+
+#[test]
+fn exited_threads_stay_dead() {
+    let mut sim = Sim::default();
+    let m = sim.add_machine(1);
+    let p = sim.add_unprofiled_process("p");
+    let l = log();
+    sim.spawn(p, m, "t", Script::new(vec![], &l));
+    sim.run_to_idle();
+    assert_eq!(l.borrow().len(), 1, "resumed exactly once, then exited");
+}
+
+#[test]
+fn notify_without_waiters_is_a_noop() {
+    let mut sim = Sim::default();
+    let m = sim.add_machine(1);
+    let p = sim.add_unprofiled_process("p");
+    let cv = sim.add_cond();
+    let l = log();
+    sim.spawn(
+        p,
+        m,
+        "t",
+        Script::new(vec![Op::Notify(cv, true), Op::Compute(10)], &l),
+    );
+    sim.run_to_idle();
+    assert!(l.borrow().iter().any(|e| e.contains("computed")));
+}
+
+#[test]
+fn shared_then_exclusive_wait_ordering() {
+    let mut sim = Sim::default();
+    let m = sim.add_machine(4);
+    let p = sim.add_unprofiled_process("p");
+    let lk = sim.add_lock();
+    let l = log();
+    // Two readers hold; a writer waits; a later reader queues behind
+    // the writer (FIFO).
+    for i in 0..2 {
+        sim.spawn(
+            p,
+            m,
+            &format!("r{i}"),
+            Script::new(
+                vec![
+                    Op::Lock(lk, LockMode::Shared),
+                    Op::Compute(10_000),
+                    Op::Unlock(lk),
+                ],
+                &l,
+            ),
+        );
+    }
+    sim.spawn(
+        p,
+        m,
+        "w",
+        Script::new(
+            vec![
+                Op::Lock(lk, LockMode::Exclusive),
+                Op::Compute(1_000),
+                Op::Unlock(lk),
+            ],
+            &l,
+        ),
+    );
+    sim.spawn(
+        p,
+        m,
+        "late",
+        Script::new(vec![Op::Lock(lk, LockMode::Shared), Op::Unlock(lk)], &l),
+    );
+    sim.run_to_idle();
+    let order: Vec<String> = l
+        .borrow()
+        .iter()
+        .filter(|e| e.contains("locked"))
+        .cloned()
+        .collect();
+    // Writer (t2) acquires before the late reader (t3).
+    let wi = order.iter().position(|e| e.starts_with("t2:")).unwrap();
+    let li = order.iter().position(|e| e.starts_with("t3:")).unwrap();
+    assert!(wi < li, "order: {order:?}");
+}
+
+#[test]
+fn whodunit_send_adds_piggyback_bytes_to_transfer() {
+    use whodunit_core::profiler::{Whodunit, WhodunitConfig};
+    let mut sim = Sim::default();
+    let m = sim.add_machine(1);
+    let frames = sim.frames();
+    let w = Rc::new(RefCell::new(Whodunit::new(
+        WhodunitConfig::new(ProcId(0), "s"),
+        frames,
+    )));
+    let p = sim.add_process("s", w.clone());
+    let pu = sim.add_unprofiled_process("u");
+    // 1 cycle per byte, zero latency: delivery time == bytes.
+    let ch = sim.add_channel(0, 1);
+    let l = log();
+    sim.spawn(
+        p,
+        m,
+        "tx",
+        Script::new(vec![Op::Send(ch, Msg::new(9u32, 100))], &l),
+    );
+    sim.spawn(pu, m, "rx", Script::new(vec![Op::Recv(ch)], &l));
+    sim.run_to_idle();
+    // 100 payload bytes + 4 synopsis bytes.
+    assert_eq!(sim.now(), 104, "piggyback bytes delay the message");
+    assert_eq!(w.borrow().ipc().piggyback_bytes, 4);
+    let _ = ThreadId(0);
+}

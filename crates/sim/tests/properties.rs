@@ -1,0 +1,138 @@
+//! Property tests of the simulation engine: determinism and time
+//! monotonicity under randomized thread scripts.
+
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+use whodunit_core::ids::LockMode;
+use whodunit_sim::{Msg, Op, Sim, SimConfig, ThreadBody, ThreadCx, Wake};
+
+/// A compact scripted op for generation.
+#[derive(Clone, Copy, Debug)]
+enum GOp {
+    Compute(u32),
+    LockUnlock(u8),
+    Sleep(u32),
+    SendRecvSelf,
+}
+
+fn gop() -> impl Strategy<Value = GOp> {
+    prop_oneof![
+        (1u32..2_000_000).prop_map(GOp::Compute),
+        (0u8..3).prop_map(GOp::LockUnlock),
+        (1u32..1_000_000).prop_map(GOp::Sleep),
+        Just(GOp::SendRecvSelf),
+    ]
+}
+
+struct Scripted {
+    ops: VecDeque<GOp>,
+    mid: Option<Op>,
+    chan: whodunit_core::ids::ChanId,
+    locks: Vec<whodunit_core::ids::LockId>,
+    trace: Rc<RefCell<Vec<String>>>,
+}
+
+impl ThreadBody for Scripted {
+    fn resume(&mut self, cx: &mut ThreadCx<'_>, wake: Wake) -> Op {
+        self.trace.borrow_mut().push(format!(
+            "{}@{}:{}",
+            cx.me(),
+            cx.now(),
+            match wake {
+                Wake::Start => "s",
+                Wake::Done => "d",
+                Wake::ComputeDone => "c",
+                Wake::LockAcquired { .. } => "l",
+                Wake::CondWoken { .. } => "w",
+                Wake::Received(_) => "r",
+                Wake::Slept => "z",
+            }
+        ));
+        if let Some(op) = self.mid.take() {
+            return op;
+        }
+        match self.ops.pop_front() {
+            None => Op::Exit,
+            Some(GOp::Compute(c)) => Op::Compute(c as u64),
+            Some(GOp::LockUnlock(l)) => {
+                let lock = self.locks[l as usize];
+                self.mid = Some(Op::Unlock(lock));
+                Op::Lock(lock, LockMode::Exclusive)
+            }
+            Some(GOp::Sleep(c)) => Op::Sleep(c as u64),
+            Some(GOp::SendRecvSelf) => {
+                self.mid = Some(Op::Recv(self.chan));
+                Op::Send(self.chan, Msg::new(1u32, 50))
+            }
+        }
+    }
+}
+
+fn run_once(scripts: &[Vec<GOp>]) -> (u64, Vec<String>) {
+    let mut sim = Sim::new(SimConfig { quantum: 500_000 });
+    let m = sim.add_machine(2);
+    let p = sim.add_unprofiled_process("p");
+    let locks = vec![sim.add_lock(), sim.add_lock(), sim.add_lock()];
+    let trace = Rc::new(RefCell::new(Vec::new()));
+    for (i, ops) in scripts.iter().enumerate() {
+        let chan = sim.add_channel(1000, 2);
+        sim.spawn(
+            p,
+            m,
+            &format!("t{i}"),
+            Box::new(Scripted {
+                ops: ops.clone().into(),
+                mid: None,
+                chan,
+                locks: locks.clone(),
+                trace: trace.clone(),
+            }),
+        );
+    }
+    sim.run_to_idle();
+    let t = trace.borrow().clone();
+    (sim.now(), t)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Identical inputs give bit-identical traces, whatever the script.
+    #[test]
+    fn engine_is_deterministic(
+        scripts in proptest::collection::vec(
+            proptest::collection::vec(gop(), 0..12),
+            1..5
+        )
+    ) {
+        let a = run_once(&scripts);
+        let b = run_once(&scripts);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Wake timestamps never go backwards, and every spawned thread
+    /// wakes at least once.
+    #[test]
+    fn time_is_monotonic_and_everyone_runs(
+        scripts in proptest::collection::vec(
+            proptest::collection::vec(gop(), 0..10),
+            1..5
+        )
+    ) {
+        let (_, trace) = run_once(&scripts);
+        let mut last = 0u64;
+        for e in &trace {
+            let at: u64 = e.split('@').nth(1).unwrap().split(':').next().unwrap().parse().unwrap();
+            prop_assert!(at >= last, "time went backwards in {trace:?}");
+            last = at;
+        }
+        for i in 0..scripts.len() {
+            prop_assert!(
+                trace.iter().any(|e| e.starts_with(&format!("t{i}@"))),
+                "thread {i} never ran"
+            );
+        }
+    }
+}

@@ -1,0 +1,455 @@
+//! The guest CPU interpreter.
+//!
+//! Each [`Cpu::step`] executes one instruction and reports its
+//! [`Effect`]: the locations it read, what kind of write it performed
+//! (a `MOV` copy or a non-`MOV` modification), any critical-section
+//! marker, and its direct-execution cost. The emulation driver
+//! ([`crate::emu`]) turns effects into the §3 algorithm's
+//! [`whodunit_core::shm::MemEvent`]s depending on critical-section
+//! state.
+
+use crate::isa::{CsOp, Instr, Program, NREGS};
+use crate::mem::GuestMem;
+use whodunit_core::ids::ThreadId;
+use whodunit_core::shm::Loc;
+
+/// The write half of an instruction's effect.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Write {
+    /// A value was copied unchanged from `src` to `dst` (a `MOV`).
+    Mov {
+        /// Source location.
+        src: Loc,
+        /// Destination location.
+        dst: Loc,
+    },
+    /// `dst` was modified in a non-`MOV` way.
+    Modify {
+        /// Destination location.
+        dst: Loc,
+    },
+}
+
+/// Everything one executed instruction did.
+#[derive(Clone, Debug, Default)]
+pub struct Effect {
+    /// Locations read by the instruction, in operand order.
+    pub reads: Vec<Loc>,
+    /// The write performed, if any.
+    pub write: Option<Write>,
+    /// Critical-section marker, if the instruction was `lock`/`unlock`.
+    pub cs: Option<CsOp>,
+    /// Direct-execution cycle cost.
+    pub cost: u64,
+}
+
+/// Comparison flag state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+enum Flag {
+    #[default]
+    Eq,
+    Lt,
+    Gt,
+}
+
+/// Guest CPU state: registers, flag, program counter.
+#[derive(Clone, Debug)]
+pub struct Cpu {
+    /// General-purpose registers.
+    pub regs: [i64; NREGS],
+    flag: Flag,
+    /// Program counter (instruction index).
+    pub pc: usize,
+    /// Set once `halt` executes.
+    pub halted: bool,
+    thread: ThreadId,
+}
+
+impl Cpu {
+    /// Creates a CPU for guest code run on behalf of `thread`.
+    ///
+    /// The thread id annotates register locations (`reg_ti` in §3.2),
+    /// keeping different threads' registers distinct in the dictionary.
+    pub fn new(thread: ThreadId) -> Self {
+        Cpu {
+            regs: [0; NREGS],
+            flag: Flag::Eq,
+            pc: 0,
+            halted: false,
+            thread,
+        }
+    }
+
+    /// Resets pc/flag/halted, keeping registers (for argument passing).
+    pub fn restart(&mut self) {
+        self.pc = 0;
+        self.flag = Flag::Eq;
+        self.halted = false;
+    }
+
+    fn reg_loc(&self, r: u8) -> Loc {
+        Loc::Reg(self.thread, r)
+    }
+
+    fn addr(&self, base: u8, off: i64) -> u64 {
+        let a = self.regs[base as usize] + off;
+        u64::try_from(a).expect("negative guest address")
+    }
+
+    fn set_flag(&mut self, a: i64, b: i64) {
+        self.flag = match a.cmp(&b) {
+            std::cmp::Ordering::Less => Flag::Lt,
+            std::cmp::Ordering::Equal => Flag::Eq,
+            std::cmp::Ordering::Greater => Flag::Gt,
+        };
+    }
+
+    /// Executes the instruction at `pc`, returning its [`Effect`].
+    ///
+    /// Returns `None` if the CPU is already halted or `pc` ran past the
+    /// end of the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds guest memory access or a negative
+    /// effective address — guest program bugs.
+    pub fn step(&mut self, prog: &Program, mem: &mut GuestMem) -> Option<Effect> {
+        if self.halted || self.pc >= prog.instrs.len() {
+            self.halted = true;
+            return None;
+        }
+        let ins = prog.instrs[self.pc];
+        let mut ef = Effect {
+            cost: ins.direct_cost(),
+            ..Effect::default()
+        };
+        let mut next = self.pc + 1;
+        match ins {
+            Instr::MovRR { d, s } => {
+                ef.reads.push(self.reg_loc(s));
+                ef.write = Some(Write::Mov {
+                    src: self.reg_loc(s),
+                    dst: self.reg_loc(d),
+                });
+                self.regs[d as usize] = self.regs[s as usize];
+            }
+            Instr::MovRI { d, imm } => {
+                ef.write = Some(Write::Modify {
+                    dst: self.reg_loc(d),
+                });
+                self.regs[d as usize] = imm;
+            }
+            Instr::Load { d, base, off } => {
+                let a = self.addr(base, off);
+                ef.reads.push(self.reg_loc(base));
+                ef.reads.push(Loc::Mem(a));
+                ef.write = Some(Write::Mov {
+                    src: Loc::Mem(a),
+                    dst: self.reg_loc(d),
+                });
+                self.regs[d as usize] = mem.read(a);
+            }
+            Instr::Store { s, base, off } => {
+                let a = self.addr(base, off);
+                ef.reads.push(self.reg_loc(s));
+                ef.reads.push(self.reg_loc(base));
+                ef.write = Some(Write::Mov {
+                    src: self.reg_loc(s),
+                    dst: Loc::Mem(a),
+                });
+                mem.write(a, self.regs[s as usize]);
+            }
+            Instr::LoadA { d, addr } => {
+                ef.reads.push(Loc::Mem(addr));
+                ef.write = Some(Write::Mov {
+                    src: Loc::Mem(addr),
+                    dst: self.reg_loc(d),
+                });
+                self.regs[d as usize] = mem.read(addr);
+            }
+            Instr::StoreA { s, addr } => {
+                ef.reads.push(self.reg_loc(s));
+                ef.write = Some(Write::Mov {
+                    src: self.reg_loc(s),
+                    dst: Loc::Mem(addr),
+                });
+                mem.write(addr, self.regs[s as usize]);
+            }
+            Instr::Add { d, a, b } => {
+                ef.reads.push(self.reg_loc(a));
+                ef.reads.push(self.reg_loc(b));
+                ef.write = Some(Write::Modify {
+                    dst: self.reg_loc(d),
+                });
+                self.regs[d as usize] = self.regs[a as usize].wrapping_add(self.regs[b as usize]);
+            }
+            Instr::AddI { d, a, imm } => {
+                ef.reads.push(self.reg_loc(a));
+                ef.write = Some(Write::Modify {
+                    dst: self.reg_loc(d),
+                });
+                self.regs[d as usize] = self.regs[a as usize].wrapping_add(imm);
+            }
+            Instr::Sub { d, a, b } => {
+                ef.reads.push(self.reg_loc(a));
+                ef.reads.push(self.reg_loc(b));
+                ef.write = Some(Write::Modify {
+                    dst: self.reg_loc(d),
+                });
+                self.regs[d as usize] = self.regs[a as usize].wrapping_sub(self.regs[b as usize]);
+            }
+            Instr::SubI { d, a, imm } => {
+                ef.reads.push(self.reg_loc(a));
+                ef.write = Some(Write::Modify {
+                    dst: self.reg_loc(d),
+                });
+                self.regs[d as usize] = self.regs[a as usize].wrapping_sub(imm);
+            }
+            Instr::MulI { d, a, imm } => {
+                ef.reads.push(self.reg_loc(a));
+                ef.write = Some(Write::Modify {
+                    dst: self.reg_loc(d),
+                });
+                self.regs[d as usize] = self.regs[a as usize].wrapping_mul(imm);
+            }
+            Instr::IncM { base, off } => {
+                let a = self.addr(base, off);
+                ef.reads.push(self.reg_loc(base));
+                ef.reads.push(Loc::Mem(a));
+                ef.write = Some(Write::Modify { dst: Loc::Mem(a) });
+                mem.write(a, mem.read(a) + 1);
+            }
+            Instr::DecM { base, off } => {
+                let a = self.addr(base, off);
+                ef.reads.push(self.reg_loc(base));
+                ef.reads.push(Loc::Mem(a));
+                ef.write = Some(Write::Modify { dst: Loc::Mem(a) });
+                mem.write(a, mem.read(a) - 1);
+            }
+            Instr::IncA { addr } => {
+                ef.reads.push(Loc::Mem(addr));
+                ef.write = Some(Write::Modify {
+                    dst: Loc::Mem(addr),
+                });
+                mem.write(addr, mem.read(addr) + 1);
+            }
+            Instr::DecA { addr } => {
+                ef.reads.push(Loc::Mem(addr));
+                ef.write = Some(Write::Modify {
+                    dst: Loc::Mem(addr),
+                });
+                mem.write(addr, mem.read(addr) - 1);
+            }
+            Instr::Cmp { a, b } => {
+                ef.reads.push(self.reg_loc(a));
+                ef.reads.push(self.reg_loc(b));
+                self.set_flag(self.regs[a as usize], self.regs[b as usize]);
+            }
+            Instr::CmpI { a, imm } => {
+                ef.reads.push(self.reg_loc(a));
+                self.set_flag(self.regs[a as usize], imm);
+            }
+            Instr::Jmp { target } => next = target,
+            Instr::Jz { target } => {
+                if self.flag == Flag::Eq {
+                    next = target;
+                }
+            }
+            Instr::Jnz { target } => {
+                if self.flag != Flag::Eq {
+                    next = target;
+                }
+            }
+            Instr::Jlt { target } => {
+                if self.flag == Flag::Lt {
+                    next = target;
+                }
+            }
+            Instr::Jge { target } => {
+                if self.flag != Flag::Lt {
+                    next = target;
+                }
+            }
+            Instr::Lock { lock } => ef.cs = Some(CsOp::Enter(lock)),
+            Instr::Unlock { lock } => ef.cs = Some(CsOp::Exit(lock)),
+            Instr::Nop => {}
+            Instr::Halt => {
+                self.halted = true;
+            }
+        }
+        self.pc = next;
+        Some(ef)
+    }
+
+    /// Runs to halt (or `max_steps`), returning executed-instruction
+    /// count and total direct cost. Effects are discarded — this is
+    /// plain execution for tests and native mode.
+    pub fn run(&mut self, prog: &Program, mem: &mut GuestMem, max_steps: u64) -> (u64, u64) {
+        let mut n = 0;
+        let mut cost = 0;
+        while n < max_steps {
+            match self.step(prog, mem) {
+                Some(ef) => {
+                    n += 1;
+                    cost += ef.cost;
+                }
+                None => break,
+            }
+        }
+        (n, cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Instr::*;
+
+    fn t() -> ThreadId {
+        ThreadId(1)
+    }
+
+    #[test]
+    fn arithmetic_and_moves_execute() {
+        let p = Program::new(
+            "arith",
+            vec![
+                MovRI { d: 1, imm: 5 },
+                AddI { d: 2, a: 1, imm: 3 },
+                MovRR { d: 3, s: 2 },
+                MulI { d: 3, a: 3, imm: 4 },
+                Sub { d: 4, a: 3, b: 1 },
+                Halt,
+            ],
+        );
+        let mut cpu = Cpu::new(t());
+        let mut mem = GuestMem::new(4);
+        cpu.run(&p, &mut mem, 100);
+        assert_eq!(cpu.regs[2], 8);
+        assert_eq!(cpu.regs[3], 32);
+        assert_eq!(cpu.regs[4], 27);
+        assert!(cpu.halted);
+    }
+
+    #[test]
+    fn memory_addressing_works() {
+        let p = Program::new(
+            "mem",
+            vec![
+                MovRI { d: 1, imm: 10 }, // base.
+                MovRI { d: 2, imm: -9 }, // value.
+                Store {
+                    s: 2,
+                    base: 1,
+                    off: 2,
+                }, // mem[12] = -9.
+                Load {
+                    d: 3,
+                    base: 1,
+                    off: 2,
+                },
+                LoadA { d: 4, addr: 12 },
+                StoreA { s: 3, addr: 0 },
+                IncA { addr: 0 },
+                Halt,
+            ],
+        );
+        let mut cpu = Cpu::new(t());
+        let mut mem = GuestMem::new(16);
+        cpu.run(&p, &mut mem, 100);
+        assert_eq!(mem.read(12), -9);
+        assert_eq!(cpu.regs[3], -9);
+        assert_eq!(cpu.regs[4], -9);
+        assert_eq!(mem.read(0), -8);
+    }
+
+    #[test]
+    fn branches_loop_correctly() {
+        // Sum 1..=5: acc=0; i=1; while i<6 { acc+=i; i+=1 }.
+        let p = Program::new(
+            "loop",
+            vec![
+                MovRI { d: 1, imm: 0 },
+                MovRI { d: 2, imm: 1 },
+                CmpI { a: 2, imm: 6 },    // 2.
+                Jge { target: 7 },        // 3.
+                Add { d: 1, a: 1, b: 2 }, // 4.
+                AddI { d: 2, a: 2, imm: 1 },
+                Jmp { target: 2 },
+                Halt, // 7.
+            ],
+        );
+        let mut cpu = Cpu::new(t());
+        let mut mem = GuestMem::new(1);
+        let (n, _) = cpu.run(&p, &mut mem, 1000);
+        assert_eq!(cpu.regs[1], 15);
+        assert!(n < 1000);
+    }
+
+    #[test]
+    fn effects_classify_mov_vs_modify() {
+        let p = Program::new(
+            "fx",
+            vec![
+                MovRI { d: 1, imm: 4 },
+                Store {
+                    s: 1,
+                    base: 0,
+                    off: 2,
+                },
+                IncM { base: 0, off: 2 },
+                Halt,
+            ],
+        );
+        let mut cpu = Cpu::new(t());
+        let mut mem = GuestMem::new(8);
+        let e1 = cpu.step(&p, &mut mem).unwrap();
+        assert!(matches!(
+            e1.write,
+            Some(Write::Modify {
+                dst: Loc::Reg(_, 1)
+            })
+        ));
+        let e2 = cpu.step(&p, &mut mem).unwrap();
+        assert!(matches!(
+            e2.write,
+            Some(Write::Mov {
+                src: Loc::Reg(_, 1),
+                dst: Loc::Mem(2)
+            })
+        ));
+        let e3 = cpu.step(&p, &mut mem).unwrap();
+        assert!(matches!(e3.write, Some(Write::Modify { dst: Loc::Mem(2) })));
+        assert_eq!(mem.read(2), 5);
+    }
+
+    #[test]
+    fn cs_markers_are_reported() {
+        let p = Program::new("cs", vec![Lock { lock: 7 }, Unlock { lock: 7 }, Halt]);
+        let mut cpu = Cpu::new(t());
+        let mut mem = GuestMem::new(1);
+        assert_eq!(cpu.step(&p, &mut mem).unwrap().cs, Some(CsOp::Enter(7)));
+        assert_eq!(cpu.step(&p, &mut mem).unwrap().cs, Some(CsOp::Exit(7)));
+    }
+
+    #[test]
+    fn halted_cpu_steps_none() {
+        let p = Program::new("h", vec![Halt]);
+        let mut cpu = Cpu::new(t());
+        let mut mem = GuestMem::new(1);
+        cpu.step(&p, &mut mem);
+        assert!(cpu.step(&p, &mut mem).is_none());
+        cpu.restart();
+        assert!(!cpu.halted);
+    }
+
+    #[test]
+    fn run_respects_max_steps() {
+        let p = Program::new("spin", vec![Jmp { target: 0 }]);
+        let mut cpu = Cpu::new(t());
+        let mut mem = GuestMem::new(1);
+        let (n, _) = cpu.run(&p, &mut mem, 17);
+        assert_eq!(n, 17);
+        assert!(!cpu.halted);
+    }
+}

@@ -1,0 +1,400 @@
+//! The critical-section emulation driver (§7.2).
+//!
+//! Whodunit wraps `pthread_mutex_lock`; when a thread enters a critical
+//! section whose lock still needs flow detection, the wrapper switches
+//! from direct execution to emulation. Emulation continues through the
+//! outermost unlock and for `MAX = 128` further instructions — the
+//! *consume window* — because a consumer uses the value it dequeued
+//! shortly after the critical section returns. Critical sections of
+//! locks known not to carry transaction flow run natively (the paper's
+//! performance optimization).
+//!
+//! [`CsEmulator::run`] executes one guest program in either mode,
+//! streaming [`MemEvent`]s to a sink in emulated mode and accounting
+//! cycles per the [`TranslationCache`] cost model.
+
+use crate::cpu::{Cpu, Write};
+use crate::isa::{CsOp, Program};
+use crate::mem::GuestMem;
+use crate::tcache::TranslationCache;
+use whodunit_core::shm::MemEvent;
+
+/// Driver configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct EmuConfig {
+    /// Consume-window length in instructions after the outermost
+    /// unlock (`MAX` in §7.2; the paper uses 128).
+    pub max_window: u64,
+    /// Hard step bound (guards against guest bugs).
+    pub max_steps: u64,
+}
+
+impl Default for EmuConfig {
+    fn default() -> Self {
+        EmuConfig {
+            max_window: 128,
+            max_steps: 100_000,
+        }
+    }
+}
+
+/// How to execute a guest program.
+pub enum ExecMode<'a> {
+    /// Native execution: direct costs, no events (the bail-out path).
+    Direct,
+    /// Emulation via the translation cache, reporting memory events.
+    Emulated {
+        /// The process's translation cache.
+        tcache: &'a mut TranslationCache,
+    },
+}
+
+/// Accounting for one guest run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Total instructions executed.
+    pub instrs: u64,
+    /// Instructions executed under emulation.
+    pub emulated_instrs: u64,
+    /// Cycles to charge the executing thread for this run.
+    pub cycles: u64,
+    /// What the same run would have cost under direct execution.
+    pub direct_cycles: u64,
+    /// Translation cycles included in `cycles` (first run only).
+    pub translate_cycles: u64,
+    /// Whether the program ran to `halt`.
+    pub halted: bool,
+}
+
+/// The emulation driver.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CsEmulator {
+    cfg: EmuConfig,
+}
+
+impl CsEmulator {
+    /// Creates a driver with the given configuration.
+    pub fn new(cfg: EmuConfig) -> Self {
+        CsEmulator { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> EmuConfig {
+        self.cfg
+    }
+
+    /// Runs `prog` to halt on `cpu`/`mem`.
+    ///
+    /// In [`ExecMode::Emulated`], emulation begins at the first `lock`
+    /// instruction (instructions before it run natively), continues
+    /// through the outermost `unlock`, and keeps emulating reads as
+    /// [`MemEvent::Use`] for the consume window; after the window the
+    /// rest runs natively. Events are passed to `sink` in order.
+    pub fn run(
+        &self,
+        prog: &Program,
+        cpu: &mut Cpu,
+        mem: &mut GuestMem,
+        mode: ExecMode<'_>,
+        sink: &mut dyn FnMut(&MemEvent),
+    ) -> RunStats {
+        match mode {
+            ExecMode::Direct => self.run_direct(prog, cpu, mem),
+            ExecMode::Emulated { tcache } => self.run_emulated(prog, cpu, mem, tcache, sink),
+        }
+    }
+
+    fn run_direct(&self, prog: &Program, cpu: &mut Cpu, mem: &mut GuestMem) -> RunStats {
+        let mut st = RunStats::default();
+        while st.instrs < self.cfg.max_steps {
+            let Some(ef) = cpu.step(prog, mem) else {
+                st.halted = true;
+                break;
+            };
+            st.instrs += 1;
+            st.cycles += ef.cost;
+            st.direct_cycles += ef.cost;
+        }
+        st.halted |= cpu.halted;
+        st
+    }
+
+    fn run_emulated(
+        &self,
+        prog: &Program,
+        cpu: &mut Cpu,
+        mem: &mut GuestMem,
+        tcache: &mut TranslationCache,
+        sink: &mut dyn FnMut(&MemEvent),
+    ) -> RunStats {
+        let mut st = RunStats::default();
+        let mut cs_depth: u32 = 0;
+        let mut window_left: u64 = 0;
+        let mut emulating = false;
+        while st.instrs < self.cfg.max_steps {
+            let Some(ef) = cpu.step(prog, mem) else {
+                st.halted = true;
+                break;
+            };
+            st.instrs += 1;
+            st.direct_cycles += ef.cost;
+            // Trap at lock acquire: emulation starts with the first
+            // critical section (§7.2).
+            if !emulating {
+                if matches!(ef.cs, Some(CsOp::Enter(_))) {
+                    emulating = true;
+                    st.translate_cycles = tcache.enter(&prog.name, prog.len());
+                    st.cycles += st.translate_cycles;
+                } else {
+                    st.cycles += ef.cost;
+                    continue;
+                }
+            }
+            if !emulating {
+                continue;
+            }
+            st.emulated_instrs += 1;
+            st.cycles += tcache.dispatch(1);
+            match ef.cs {
+                Some(CsOp::Enter(lock)) => {
+                    cs_depth += 1;
+                    sink(&MemEvent::CsEnter {
+                        lock: whodunit_core::ids::LockId(lock),
+                    });
+                }
+                Some(CsOp::Exit(_)) => {
+                    sink(&MemEvent::CsExit);
+                    cs_depth = cs_depth.saturating_sub(1);
+                    if cs_depth == 0 {
+                        window_left = self.cfg.max_window;
+                    }
+                }
+                None => {
+                    if cs_depth > 0 {
+                        match ef.write {
+                            Some(Write::Mov { src, dst }) => sink(&MemEvent::Mov { src, dst }),
+                            Some(Write::Modify { dst }) => sink(&MemEvent::Modify { dst }),
+                            None => {}
+                        }
+                    } else if window_left > 0 {
+                        // Consume window: report reads as uses.
+                        for &loc in &ef.reads {
+                            sink(&MemEvent::Use { loc });
+                        }
+                        window_left -= 1;
+                        if window_left == 0 {
+                            emulating = false;
+                        }
+                    } else {
+                        emulating = false;
+                    }
+                }
+            }
+        }
+        st.halted |= cpu.halted;
+        st
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use whodunit_core::ids::{LockId, ThreadId};
+    use whodunit_core::shm::Loc;
+
+    fn producer_prog() -> Program {
+        assemble(
+            "prod",
+            r"
+                mov r1, #42       ; value computed before the CS
+                lock #5
+                store r1, [@10]   ; produce into shared slot
+                inc [@0]          ; nelts++
+                unlock #5
+                halt
+            ",
+        )
+        .unwrap()
+    }
+
+    fn consumer_prog() -> Program {
+        assemble(
+            "cons",
+            r"
+                lock #5
+                load r1, [@10]    ; take from shared slot
+                dec [@0]
+                unlock #5
+                mov r2, r1        ; use after exit (consume window)
+                halt
+            ",
+        )
+        .unwrap()
+    }
+
+    fn collect(
+        prog: &Program,
+        t: ThreadId,
+        mem: &mut GuestMem,
+        tc: &mut TranslationCache,
+    ) -> (Vec<MemEvent>, RunStats) {
+        let mut cpu = Cpu::new(t);
+        let mut evs = Vec::new();
+        let emu = CsEmulator::default();
+        let st = emu.run(
+            prog,
+            &mut cpu,
+            mem,
+            ExecMode::Emulated { tcache: tc },
+            &mut |e| evs.push(*e),
+        );
+        (evs, st)
+    }
+
+    #[test]
+    fn emulated_run_reports_cs_and_movs() {
+        let mut mem = GuestMem::new(16);
+        let mut tc = TranslationCache::new();
+        let (evs, st) = collect(&producer_prog(), ThreadId(1), &mut mem, &mut tc);
+        assert!(st.halted);
+        assert!(evs.contains(&MemEvent::CsEnter { lock: LockId(5) }));
+        assert!(evs.contains(&MemEvent::Mov {
+            src: Loc::Reg(ThreadId(1), 1),
+            dst: Loc::Mem(10)
+        }));
+        assert!(evs.contains(&MemEvent::Modify { dst: Loc::Mem(0) }));
+        assert!(evs.contains(&MemEvent::CsExit));
+        assert_eq!(mem.read(10), 42);
+    }
+
+    #[test]
+    fn window_reports_uses_after_exit() {
+        let mut mem = GuestMem::new(16);
+        mem.write(10, 7);
+        let mut tc = TranslationCache::new();
+        let (evs, _) = collect(&consumer_prog(), ThreadId(2), &mut mem, &mut tc);
+        // The `mov r2, r1` after unlock must appear as a Use of r1.
+        assert!(
+            evs.contains(&MemEvent::Use {
+                loc: Loc::Reg(ThreadId(2), 1)
+            }),
+            "{evs:?}"
+        );
+    }
+
+    #[test]
+    fn pre_lock_instructions_run_native() {
+        let mut mem = GuestMem::new(16);
+        let mut tc = TranslationCache::new();
+        let (evs, st) = collect(&producer_prog(), ThreadId(1), &mut mem, &mut tc);
+        // The first instruction (mov r1,#42 before the lock) is not
+        // emulated: no Modify event for r1 may be reported.
+        assert!(!evs.contains(&MemEvent::Modify {
+            dst: Loc::Reg(ThreadId(1), 1)
+        }));
+        assert!(st.emulated_instrs < st.instrs);
+    }
+
+    #[test]
+    fn first_run_pays_translation_second_does_not() {
+        let mut tc = TranslationCache::new();
+        let mut mem = GuestMem::new(16);
+        let (_, st1) = collect(&producer_prog(), ThreadId(1), &mut mem, &mut tc);
+        assert!(st1.translate_cycles > 0);
+        let (_, st2) = collect(&producer_prog(), ThreadId(1), &mut mem, &mut tc);
+        assert_eq!(st2.translate_cycles, 0);
+        assert!(st2.cycles < st1.cycles);
+        assert!(
+            st2.cycles > st2.direct_cycles,
+            "emulation costs more than direct"
+        );
+    }
+
+    #[test]
+    fn direct_mode_is_silent_and_cheap() {
+        let mut mem = GuestMem::new(16);
+        let mut cpu = Cpu::new(ThreadId(1));
+        let mut n = 0;
+        let emu = CsEmulator::default();
+        let st = emu.run(
+            &producer_prog(),
+            &mut cpu,
+            &mut mem,
+            ExecMode::Direct,
+            &mut |_| n += 1,
+        );
+        assert_eq!(n, 0);
+        assert_eq!(st.cycles, st.direct_cycles);
+        assert_eq!(
+            mem.read(10),
+            42,
+            "direct mode still performs the memory effects"
+        );
+    }
+
+    #[test]
+    fn window_closes_after_max_instructions() {
+        // A long tail after unlock: only the first `max_window` tail
+        // instructions may produce Use events.
+        let mut body = String::from("lock #1\nstore r1, [@3]\nunlock #1\n");
+        for _ in 0..200 {
+            body.push_str("mov r2, r1\n");
+        }
+        body.push_str("halt\n");
+        let prog = assemble("tail", &body).unwrap();
+        let mut mem = GuestMem::new(8);
+        let mut tc = TranslationCache::new();
+        let mut uses = 0;
+        let mut cpu = Cpu::new(ThreadId(1));
+        let emu = CsEmulator::new(EmuConfig {
+            max_window: 16,
+            max_steps: 100_000,
+        });
+        let st = emu.run(
+            &prog,
+            &mut cpu,
+            &mut mem,
+            ExecMode::Emulated { tcache: &mut tc },
+            &mut |e| {
+                if matches!(e, MemEvent::Use { .. }) {
+                    uses += 1;
+                }
+            },
+        );
+        assert_eq!(uses, 16, "one Use (of r1) per windowed instruction");
+        assert!(st.halted);
+        assert!(st.emulated_instrs < st.instrs);
+    }
+
+    #[test]
+    fn nested_locks_stay_emulated_until_outermost_exit() {
+        let prog = assemble(
+            "nested",
+            r"
+                lock #1
+                lock #2
+                store r1, [@4]
+                unlock #2
+                store r1, [@5]
+                unlock #1
+                halt
+            ",
+        )
+        .unwrap();
+        let mut mem = GuestMem::new(8);
+        let mut tc = TranslationCache::new();
+        let (evs, _) = collect(&prog, ThreadId(1), &mut mem, &mut tc);
+        // Both stores must be reported as in-CS movs.
+        let movs = evs
+            .iter()
+            .filter(|e| matches!(e, MemEvent::Mov { .. }))
+            .count();
+        assert_eq!(movs, 2);
+        let enters = evs
+            .iter()
+            .filter(|e| matches!(e, MemEvent::CsEnter { .. }))
+            .count();
+        assert_eq!(enters, 2);
+    }
+}

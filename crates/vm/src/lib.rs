@@ -1,0 +1,41 @@
+//! Instruction-emulation substrate for Whodunit's shared-memory
+//! transaction-flow detection (§3, §7.2, Table 3).
+//!
+//! The paper extracts QEMU's CPU-emulator core and uses it to emulate
+//! the machine instructions of critical sections, classifying each as a
+//! `MOV` or a non-`MOV` modification and feeding the §3 algorithm. This
+//! crate is the equivalent substrate built from scratch:
+//!
+//! - [`isa`]: a small register ISA with the one distinction the
+//!   algorithm cares about — `MOV`-like data movement versus everything
+//!   else — plus `lock`/`unlock` markers delimiting critical sections.
+//! - [`mem`]: word-addressed guest memory.
+//! - [`cpu`]: the interpreter; every step reports its memory effects.
+//! - [`asm`]: a tiny assembler so guest programs are written readably.
+//! - [`tcache`]: the translation-cache cost model reproducing Table 3's
+//!   direct / translate+emulate / cached-emulation cost regimes.
+//! - [`emu`]: the critical-section emulation driver — traps at lock
+//!   acquire, streams [`whodunit_core::shm::MemEvent`]s while inside
+//!   the critical section, and keeps watching reads for `MAX = 128`
+//!   instructions after exit (the §7.2 consume window).
+//! - [`programs`]: the guest-code library — the Apache 2.x fd-queue
+//!   push/pop of Figure 1, `sys/queue.h`-style lists, a priority queue,
+//!   the Figure 2 shared counter, the Figure 3 memory allocator, and a
+//!   nested-lock variant.
+
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod cpu;
+pub mod emu;
+pub mod isa;
+pub mod mem;
+pub mod programs;
+pub mod tcache;
+
+pub use asm::assemble;
+pub use cpu::{Cpu, Effect, Write};
+pub use emu::{CsEmulator, EmuConfig, ExecMode, RunStats};
+pub use isa::{CsOp, Instr, Program};
+pub use mem::GuestMem;
+pub use tcache::TranslationCache;

@@ -1,0 +1,78 @@
+//! Word-addressed guest memory.
+//!
+//! The §3 algorithm's dictionary operates on locations; tracking taint
+//! at word granularity keeps the name space aligned with what the guest
+//! programs actually move (pointers and word-sized fields, as in the
+//! Figure 1 `fd_queue` code). Addresses are word indices.
+
+/// Guest memory: a flat array of words.
+#[derive(Clone, Debug)]
+pub struct GuestMem {
+    words: Vec<i64>,
+}
+
+impl GuestMem {
+    /// Allocates `words` zeroed words.
+    pub fn new(words: usize) -> Self {
+        GuestMem {
+            words: vec![0; words],
+        }
+    }
+
+    /// Reads the word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access — a guest program bug.
+    pub fn read(&self, addr: u64) -> i64 {
+        self.words[usize::try_from(addr).expect("guest address overflow")]
+    }
+
+    /// Writes the word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access — a guest program bug.
+    pub fn write(&mut self, addr: u64, value: i64) {
+        let i = usize::try_from(addr).expect("guest address overflow");
+        self.words[i] = value;
+    }
+
+    /// Memory size in words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the memory has zero words.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = GuestMem::new(16);
+        m.write(3, -77);
+        assert_eq!(m.read(3), -77);
+        assert_eq!(m.read(0), 0);
+        assert_eq!(m.len(), 16);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_read_panics() {
+        let m = GuestMem::new(4);
+        let _ = m.read(4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_write_panics() {
+        let mut m = GuestMem::new(4);
+        m.write(9, 1);
+    }
+}

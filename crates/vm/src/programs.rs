@@ -1,0 +1,944 @@
+//! Guest-code library: the shared-memory access patterns of §3.
+//!
+//! Each constructor returns assembled guest programs parameterized by a
+//! lock id, operating on a caller-owned [`crate::mem::GuestMem`]. The
+//! layouts and code shapes follow the paper's examples:
+//!
+//! - [`FdQueue`] — Apache 2.x's listener/worker fd queue (Figure 1):
+//!   `ap_queue_push` / `ap_queue_pop`.
+//! - [`SharedCounter`] — the Figure 2 shared event counter (no flow).
+//! - [`Allocator`] — the Figure 3 memory allocator (flow disabled by
+//!   the producer∩consumer rule).
+//! - [`SList`] — a `sys/queue.h`-style singly-linked list with the
+//!   §3.3.2 `NULL` sanity-check behaviour.
+//! - [`STailQueue`] / [`TailQueue`] — `sys/queue.h`-style singly- and
+//!   doubly-linked tail queues (FIFO; the paper verifies its algorithm
+//!   "on the different data structures implemented by sys/queue.h").
+//! - [`PrioQueue`] — a sorted array queue whose inserts shift elements,
+//!   exercising the "moves within the shared structure" rule.
+//! - [`FdQueueNested`] — the fd queue with an inner nested lock.
+//!
+//! All programs expect arguments in registers (`r1`, `r2`) and leave
+//! results in registers; consumers *use* their results right after the
+//! critical section, inside the §7.2 consume window.
+
+use crate::asm::assemble;
+use crate::isa::Program;
+
+/// The Figure 1 fd queue: `[0]=nelts`, elements of 2 words (`sd`, `p`)
+/// from word 8.
+#[derive(Clone, Debug)]
+pub struct FdQueue {
+    /// Lock protecting the queue.
+    pub lock: u32,
+    /// `ap_queue_push`: args `r1=sd`, `r2=p`.
+    pub push: Program,
+    /// `ap_queue_pop`: results `r1=sd`, `r2=p` (used post-exit into
+    /// `r5`, `r6`).
+    pub pop: Program,
+}
+
+/// Word offset of `nelts` in the fd-queue layout.
+pub const FDQ_NELTS: u64 = 0;
+/// Word offset of the queue capacity (bounds, set by [`FdQueue::init`]).
+pub const FDQ_CAP: u64 = 1;
+/// Word offset of the recycled-pools flag.
+pub const FDQ_FLAG: u64 = 2;
+/// Word offset of the first element.
+pub const FDQ_DATA: u64 = 8;
+
+impl FdQueue {
+    /// Builds the push/pop programs for `lock`.
+    pub fn new(lock: u32) -> Self {
+        let push = assemble(
+            "ap_queue_push",
+            &format!(
+                r"
+                lock #{lock}
+                load r3, [@{FDQ_NELTS}]   ; nelts
+                load r7, [@{FDQ_CAP}]     ; queue->bounds
+                cmp r3, r7
+                jge full                  ; assertion: queue not full
+                muli r4, r3, #2
+                addi r4, r4, #{FDQ_DATA}  ; elem = &data[nelts]
+                store r1, [r4+0]          ; elem->sd = sd
+                store r2, [r4+1]          ; elem->p = p
+                inc [@{FDQ_NELTS}]        ; nelts++
+                mov r8, #1
+                store r8, [@{FDQ_FLAG}]   ; queue->recycled_pools flag
+            full:
+                unlock #{lock}
+                halt
+                "
+            ),
+        )
+        .expect("fd-queue push assembles");
+        let pop = assemble(
+            "ap_queue_pop",
+            &format!(
+                r"
+                lock #{lock}
+                load r3, [@{FDQ_NELTS}]
+                load r7, [@{FDQ_CAP}]     ; queue->bounds (sanity read)
+                cmp r3, r7
+                load r3, [@{FDQ_NELTS}]
+                subi r3, r3, #1
+                store r3, [@{FDQ_NELTS}]  ; --nelts
+                muli r4, r3, #2
+                addi r4, r4, #{FDQ_DATA}  ; elem = &data[nelts]
+                load r1, [r4+0]           ; *sd = elem->sd
+                load r2, [r4+1]           ; *p = elem->p
+                unlock #{lock}
+                mov r5, r1                ; caller uses sd
+                mov r6, r2                ; caller uses p
+                halt
+                "
+            ),
+        )
+        .expect("fd-queue pop assembles");
+        FdQueue { lock, push, pop }
+    }
+
+    /// Words of guest memory the queue needs for `cap` elements.
+    pub fn mem_words(cap: usize) -> usize {
+        FDQ_DATA as usize + 2 * cap
+    }
+
+    /// Initializes the queue bounds in guest memory (program load time,
+    /// outside any critical section).
+    pub fn init(mem: &mut crate::mem::GuestMem, cap: i64) {
+        mem.write(FDQ_CAP, cap);
+    }
+}
+
+/// The Figure 2 shared counter: `count` at the given address.
+#[derive(Clone, Debug)]
+pub struct SharedCounter {
+    /// Lock protecting the counter.
+    pub lock: u32,
+    /// `count++` inside the critical section.
+    pub inc: Program,
+    /// Reads the counter and uses the value after the critical section
+    /// (still must not flow: the taint is invalid).
+    pub read: Program,
+}
+
+impl SharedCounter {
+    /// Builds the programs for a counter at word `addr` under `lock`.
+    pub fn new(lock: u32, addr: u64) -> Self {
+        let inc = assemble(
+            "counter_inc",
+            &format!("lock #{lock}\ninc [@{addr}]\nunlock #{lock}\nhalt\n"),
+        )
+        .expect("counter inc assembles");
+        let read = assemble(
+            "counter_read",
+            &format!(
+                r"
+                lock #{lock}
+                load r1, [@{addr}]
+                unlock #{lock}
+                mov r2, r1        ; use after exit
+                halt
+                "
+            ),
+        )
+        .expect("counter read assembles");
+        SharedCounter { lock, inc, read }
+    }
+}
+
+/// The Figure 3 allocator: a stack of free block addresses.
+/// `[base]=count`, block addresses from word `base+8`.
+#[derive(Clone, Debug)]
+pub struct Allocator {
+    /// Lock protecting the free list.
+    pub lock: u32,
+    /// Base word address of the free-list region.
+    pub base: u64,
+    /// `mem_free`: arg `r1 = block address`.
+    pub free: Program,
+    /// `mem_alloc`: result `r1 = block address`, dereferenced after
+    /// the critical section.
+    pub alloc: Program,
+}
+
+impl Allocator {
+    /// Builds the allocator programs for `lock`, with the free list
+    /// living at word `base` (so it can share a guest memory with
+    /// other structures without aliasing).
+    pub fn new(lock: u32) -> Self {
+        Self::at(lock, 0)
+    }
+
+    /// Builds the allocator at an explicit base address.
+    pub fn at(lock: u32, base: u64) -> Self {
+        let data = base + 8;
+        let free = assemble(
+            "mem_free",
+            &format!(
+                r"
+                lock #{lock}
+                load r3, [@{base}]
+                addi r4, r3, #{data}
+                store r1, [r4+0]   ; append block to free list
+                inc [@{base}]
+                unlock #{lock}
+                halt
+                "
+            ),
+        )
+        .expect("mem_free assembles");
+        let alloc = assemble(
+            "mem_alloc",
+            &format!(
+                r"
+                lock #{lock}
+                load r3, [@{base}]
+                subi r3, r3, #1
+                store r3, [@{base}]
+                addi r4, r3, #{data}
+                load r1, [r4+0]    ; take head block
+                unlock #{lock}
+                mov r5, r1         ; use the pointer → consume
+                halt
+                "
+            ),
+        )
+        .expect("mem_alloc assembles");
+        Allocator {
+            lock,
+            base,
+            free,
+            alloc,
+        }
+    }
+
+    /// Seeds the free list in guest memory with `blocks` block
+    /// addresses (done at program initialization, outside any critical
+    /// section, so the locations carry no taint — matching §3.1's
+    /// assumption about pre-existing data).
+    pub fn seed(&self, mem: &mut crate::mem::GuestMem, blocks: &[i64]) {
+        mem.write(self.base, blocks.len() as i64);
+        for (i, &b) in blocks.iter().enumerate() {
+            mem.write(self.base + 8 + i as u64, b);
+        }
+    }
+}
+
+/// A `sys/queue.h`-style singly-linked list. `[0]=head` (0 is `NULL`);
+/// elements are caller-allocated 2-word blocks `[next, value]`.
+#[derive(Clone, Debug)]
+pub struct SList {
+    /// Lock protecting the list.
+    pub lock: u32,
+    /// Insert at head: arg `r1 = element address` (value already stored
+    /// at `elem+1` by the pre-lock code from `r2`).
+    pub insert_head: Program,
+    /// Remove from head: result `r1 = element address` (0 if empty),
+    /// used post-exit; the value is read through the pointer.
+    pub remove_head: Program,
+}
+
+impl SList {
+    /// Builds the list programs for `lock`.
+    pub fn new(lock: u32) -> Self {
+        let insert_head = assemble(
+            "slist_insert_head",
+            &format!(
+                r"
+                store r2, [r1+1]   ; elem->value = v (outside the CS)
+                lock #{lock}
+                load r3, [@0]      ; old head
+                cmpi r3, #0
+                jnz chain
+                mov r3, #0         ; elem->next = NULL (immediate!)
+            chain:
+                store r3, [r1+0]   ; elem->next = head
+                store r1, [@0]     ; head = elem
+                unlock #{lock}
+                halt
+                "
+            ),
+        )
+        .expect("slist insert assembles");
+        let remove_head = assemble(
+            "slist_remove_head",
+            &format!(
+                r"
+                lock #{lock}
+                load r1, [@0]      ; elem = head
+                cmpi r1, #0
+                jz empty
+                load r3, [r1+0]    ; next
+                store r3, [@0]     ; head = next
+            empty:
+                unlock #{lock}
+                mov r5, r1         ; use the element pointer
+                cmpi r1, #0
+                jz out
+                load r6, [r5+1]    ; read elem->value through the pointer
+            out:
+                halt
+                "
+            ),
+        )
+        .expect("slist remove assembles");
+        SList {
+            lock,
+            insert_head,
+            remove_head,
+        }
+    }
+}
+
+/// A `sys/queue.h`-style singly-linked tail queue (`STAILQ`).
+///
+/// Layout: `[0]=head`, `[1]=tail` (0 is `NULL`); elements are 2-word
+/// blocks `[next, value]`. FIFO like [`TailQueue`] but with no back
+/// pointers — the remove path repairs only the head.
+#[derive(Clone, Debug)]
+pub struct STailQueue {
+    /// Lock protecting the queue.
+    pub lock: u32,
+    /// Insert at tail: args `r1 = element address`, `r2 = value`.
+    pub insert_tail: Program,
+    /// Remove from head: result `r1 = element address` (0 if empty).
+    pub remove_head: Program,
+}
+
+impl STailQueue {
+    /// Builds the queue programs for `lock`.
+    pub fn new(lock: u32) -> Self {
+        let insert_tail = assemble(
+            "stailq_insert_tail",
+            &format!(
+                r"
+                store r2, [r1+1]   ; elem->value = v (outside the CS)
+                lock #{lock}
+                mov r3, #0
+                store r3, [r1+0]   ; elem->next = NULL (immediate)
+                load r4, [@1]      ; old tail
+                store r1, [@1]     ; tail = elem
+                cmpi r4, #0
+                jnz linknext
+                store r1, [@0]     ; empty: head = elem
+                jmp out
+            linknext:
+                store r1, [r4+0]   ; old_tail->next = elem
+            out:
+                unlock #{lock}
+                halt
+                "
+            ),
+        )
+        .expect("stailq insert assembles");
+        let remove_head = assemble(
+            "stailq_remove_head",
+            &format!(
+                r"
+                lock #{lock}
+                load r1, [@0]      ; elem = head
+                cmpi r1, #0
+                jz empty
+                load r3, [r1+0]    ; next
+                store r3, [@0]     ; head = next
+                cmpi r3, #0
+                jnz empty
+                mov r4, #0
+                store r4, [@1]     ; drained: tail = NULL
+            empty:
+                unlock #{lock}
+                mov r5, r1         ; use the element pointer
+                cmpi r1, #0
+                jz out
+                load r6, [r5+1]    ; read elem->value
+            out:
+                halt
+                "
+            ),
+        )
+        .expect("stailq remove assembles");
+        STailQueue {
+            lock,
+            insert_tail,
+            remove_head,
+        }
+    }
+}
+
+/// A `sys/queue.h`-style doubly-linked tail queue (`TAILQ`).
+///
+/// Layout: `[0]=head`, `[1]=tail` (0 is `NULL`); elements are
+/// caller-allocated 3-word blocks `[next, prev, value]`. Producers
+/// insert at the tail, consumers remove from the head — the FIFO
+/// discipline of a work queue. Exercises the §3 rules on a second
+/// pointer field (`prev`) and on head/tail updates from both ends.
+#[derive(Clone, Debug)]
+pub struct TailQueue {
+    /// Lock protecting the queue.
+    pub lock: u32,
+    /// Insert at tail: args `r1 = element address`, `r2 = value`.
+    pub insert_tail: Program,
+    /// Remove from head: result `r1 = element address` (0 if empty),
+    /// used post-exit; the value is read through the pointer.
+    pub remove_head: Program,
+}
+
+impl TailQueue {
+    /// Builds the tail-queue programs for `lock`.
+    pub fn new(lock: u32) -> Self {
+        let insert_tail = assemble(
+            "tailq_insert_tail",
+            &format!(
+                r"
+                store r2, [r1+2]   ; elem->value = v (outside the CS)
+                lock #{lock}
+                mov r3, #0
+                store r3, [r1+0]   ; elem->next = NULL (immediate)
+                load r4, [@1]      ; old tail
+                store r4, [r1+1]   ; elem->prev = old tail
+                store r1, [@1]     ; tail = elem
+                cmpi r4, #0
+                jnz linkprev
+                store r1, [@0]     ; empty queue: head = elem too
+                jmp out
+            linkprev:
+                store r1, [r4+0]   ; old_tail->next = elem
+            out:
+                unlock #{lock}
+                halt
+                "
+            ),
+        )
+        .expect("tailq insert assembles");
+        let remove_head = assemble(
+            "tailq_remove_head",
+            &format!(
+                r"
+                lock #{lock}
+                load r1, [@0]      ; elem = head
+                cmpi r1, #0
+                jz empty
+                load r3, [r1+0]    ; next
+                store r3, [@0]     ; head = next
+                cmpi r3, #0
+                jnz fixprev
+                mov r4, #0
+                store r4, [@1]     ; queue drained: tail = NULL
+                jmp empty
+            fixprev:
+                mov r4, #0
+                store r4, [r3+1]   ; next->prev = NULL (immediate)
+            empty:
+                unlock #{lock}
+                mov r5, r1         ; use the element pointer
+                cmpi r1, #0
+                jz out
+                load r6, [r5+2]    ; read elem->value through the pointer
+            out:
+                halt
+                "
+            ),
+        )
+        .expect("tailq remove assembles");
+        TailQueue {
+            lock,
+            insert_tail,
+            remove_head,
+        }
+    }
+}
+
+/// A sorted-array priority queue: `[0]=count`, 2-word elements
+/// `[key, value]` from word 8, ascending by key. Inserts shift larger
+/// elements right (moves within the shared structure, §3.2).
+#[derive(Clone, Debug)]
+pub struct PrioQueue {
+    /// Lock protecting the queue.
+    pub lock: u32,
+    /// Insert: args `r1 = key`, `r2 = value`.
+    pub insert: Program,
+    /// Extract-min: results `r1 = key`, `r2 = value`, used post-exit.
+    pub extract_min: Program,
+}
+
+impl PrioQueue {
+    /// Builds the priority-queue programs for `lock`.
+    pub fn new(lock: u32) -> Self {
+        let insert = assemble(
+            "pq_insert",
+            &format!(
+                r"
+                lock #{lock}
+                load r3, [@0]        ; n
+                mov r4, r3           ; i = n
+            shift:
+                cmpi r4, #0
+                jz place
+                subi r5, r4, #1      ; j = i-1
+                muli r6, r5, #2
+                addi r6, r6, #8      ; &elem[j]
+                load r7, [r6+0]      ; key_j
+                cmp r7, r1
+                jlt place            ; key_j < key → place at i
+                muli r8, r4, #2
+                addi r8, r8, #8      ; &elem[i]
+                load r9, [r6+0]
+                store r9, [r8+0]     ; shift key (taint follows)
+                load r9, [r6+1]
+                store r9, [r8+1]     ; shift value (taint follows)
+                mov r4, r5           ; i = j
+                jmp shift
+            place:
+                muli r8, r4, #2
+                addi r8, r8, #8
+                store r1, [r8+0]     ; produce key
+                store r2, [r8+1]     ; produce value
+                inc [@0]
+                unlock #{lock}
+                halt
+                "
+            ),
+        )
+        .expect("pq insert assembles");
+        let extract_min = assemble(
+            "pq_extract_min",
+            &format!(
+                r"
+                lock #{lock}
+                load r3, [@0]
+                subi r3, r3, #1
+                store r3, [@0]       ; n--
+                load r1, [@8]        ; min key
+                load r2, [@9]        ; min value
+                mov r4, #0           ; i = 0
+            shift:
+                cmp r4, r3
+                jge done
+                muli r5, r4, #2
+                addi r5, r5, #8
+                load r6, [r5+2]
+                store r6, [r5+0]     ; elem[i] = elem[i+1]
+                load r6, [r5+3]
+                store r6, [r5+1]
+                addi r4, r4, #1
+                jmp shift
+            done:
+                unlock #{lock}
+                mov r7, r1           ; use key
+                mov r8, r2           ; use value
+                halt
+                "
+            ),
+        )
+        .expect("pq extract assembles");
+        PrioQueue {
+            lock,
+            insert,
+            extract_min,
+        }
+    }
+}
+
+/// The fd queue with an inner nested lock around the counter update
+/// (§3.3.2: "our algorithm analyzes all instructions in the critical
+/// section protected by the outermost lock").
+#[derive(Clone, Debug)]
+pub struct FdQueueNested {
+    /// Outer queue lock.
+    pub lock: u32,
+    /// Inner statistics lock.
+    pub inner_lock: u32,
+    /// Push with a nested statistics update.
+    pub push: Program,
+}
+
+impl FdQueueNested {
+    /// Builds the nested-lock push.
+    pub fn new(lock: u32, inner_lock: u32) -> Self {
+        let push = assemble(
+            "ap_queue_push_nested",
+            &format!(
+                r"
+                lock #{lock}
+                load r3, [@{FDQ_NELTS}]
+                muli r4, r3, #2
+                addi r4, r4, #{FDQ_DATA}
+                store r1, [r4+0]
+                store r2, [r4+1]
+                lock #{inner_lock}
+                inc [@1]             ; stats counter under the inner lock
+                unlock #{inner_lock}
+                inc [@{FDQ_NELTS}]
+                unlock #{lock}
+                halt
+                "
+            ),
+        )
+        .expect("nested push assembles");
+        FdQueueNested {
+            lock,
+            inner_lock,
+            push,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::Cpu;
+    use crate::emu::{CsEmulator, ExecMode};
+    use crate::mem::GuestMem;
+    use crate::tcache::TranslationCache;
+    use whodunit_core::context::CtxId;
+    use whodunit_core::ids::{LockId, ThreadId};
+    use whodunit_core::shm::{FlowDetector, FlowEvent, MemEvent};
+
+    /// Test harness: runs guest programs through the emulator and the
+    /// §3 flow detector, mimicking the per-thread contexts the profiler
+    /// would supply.
+    struct Rig {
+        det: FlowDetector,
+        tc: TranslationCache,
+        mem: GuestMem,
+        log: Vec<FlowEvent>,
+    }
+
+    impl Rig {
+        fn new(words: usize) -> Self {
+            Rig {
+                det: FlowDetector::default(),
+                tc: TranslationCache::new(),
+                mem: GuestMem::new(words),
+                log: Vec::new(),
+            }
+        }
+
+        /// Runs `prog` as thread `t` with context `ctx` and args.
+        fn run(&mut self, prog: &Program, t: ThreadId, ctx: CtxId, args: &[(usize, i64)]) {
+            let mut cpu = Cpu::new(t);
+            for &(r, v) in args {
+                cpu.regs[r] = v;
+            }
+            let emu = CsEmulator::default();
+            let det = &mut self.det;
+            let log = &mut self.log;
+            emu.run(
+                prog,
+                &mut cpu,
+                &mut self.mem,
+                ExecMode::Emulated {
+                    tcache: &mut self.tc,
+                },
+                &mut |e: &MemEvent| {
+                    let mut out = Vec::new();
+                    det.on_event(t, ctx, e, &mut out);
+                    log.extend(out);
+                },
+            );
+        }
+
+        fn consumed(&self) -> Vec<(ThreadId, CtxId)> {
+            self.log
+                .iter()
+                .filter_map(|e| match e {
+                    FlowEvent::Consumed { thread, ctx, .. } => Some((*thread, *ctx)),
+                    _ => None,
+                })
+                .collect()
+        }
+    }
+
+    const PROD: ThreadId = ThreadId(1);
+    const CONS: ThreadId = ThreadId(2);
+    const CTX_P: CtxId = CtxId(5);
+    const CTX_C: CtxId = CtxId(6);
+
+    #[test]
+    fn fd_queue_flow_is_detected_end_to_end() {
+        // The Figure 1 / §8.1 validation: Apache's fd queue carries
+        // transaction flow from the listener to a worker.
+        let q = FdQueue::new(3);
+        let mut rig = Rig::new(FdQueue::mem_words(8));
+        FdQueue::init(&mut rig.mem, 8);
+        rig.run(&q.push, PROD, CTX_P, &[(1, 1234), (2, 5678)]);
+        rig.run(&q.pop, CONS, CTX_C, &[]);
+        let consumed = rig.consumed();
+        assert!(
+            consumed.contains(&(CONS, CTX_P)),
+            "worker must inherit listener context, log: {:?}",
+            rig.log
+        );
+        assert!(rig.det.flow_enabled(LockId(3)));
+        // Value integrity through the emulated queue.
+        assert_eq!(rig.mem.read(FDQ_NELTS), 0);
+    }
+
+    #[test]
+    fn fd_queue_values_roundtrip() {
+        let q = FdQueue::new(3);
+        let mut rig = Rig::new(FdQueue::mem_words(8));
+        FdQueue::init(&mut rig.mem, 8);
+        rig.run(&q.push, PROD, CTX_P, &[(1, 77), (2, 88)]);
+        rig.run(&q.push, PROD, CTX_P, &[(1, 99), (2, 11)]);
+        assert_eq!(rig.mem.read(FDQ_NELTS), 2);
+        // Pop returns the last pushed element (it is a LIFO stack, as
+        // is Apache's nelts-indexed array in Figure 1).
+        let mut cpu = Cpu::new(CONS);
+        let emu = CsEmulator::default();
+        emu.run(
+            &q.pop,
+            &mut cpu,
+            &mut rig.mem,
+            ExecMode::Direct,
+            &mut |_| {},
+        );
+        assert_eq!(cpu.regs[5], 99);
+        assert_eq!(cpu.regs[6], 11);
+    }
+
+    #[test]
+    fn shared_counter_never_flows() {
+        // Figure 2 / §8.1: MySQL's shared counter is detected but does
+        // not constitute transaction flow.
+        let c = SharedCounter::new(4, 0);
+        let mut rig = Rig::new(4);
+        for i in 0..4 {
+            let (t, ctx) = if i % 2 == 0 {
+                (PROD, CTX_P)
+            } else {
+                (CONS, CTX_C)
+            };
+            rig.run(&c.inc, t, ctx, &[]);
+            rig.run(&c.read, t, ctx, &[]);
+        }
+        assert!(rig.consumed().is_empty(), "log: {:?}", rig.log);
+        assert_eq!(rig.mem.read(0), 4);
+    }
+
+    #[test]
+    fn allocator_pattern_disables_its_lock() {
+        // Figure 3: the same thread frees and allocates → lists
+        // intersect → flow disabled for this lock only.
+        let a = Allocator::new(7);
+        let mut rig = Rig::new(32);
+        rig.run(&a.free, PROD, CTX_P, &[(1, 20)]);
+        rig.run(&a.alloc, PROD, CTX_P, &[]);
+        assert!(
+            rig.log
+                .iter()
+                .any(|e| matches!(e, FlowEvent::FlowDisabled { lock } if *lock == LockId(7))),
+            "log: {:?}",
+            rig.log
+        );
+        assert!(!rig.det.flow_enabled(LockId(7)));
+    }
+
+    #[test]
+    fn slist_flow_and_null_sanity() {
+        let l = SList::new(9);
+        // Elements at words 16 and 24.
+        let mut rig = Rig::new(32);
+        rig.run(&l.insert_head, PROD, CTX_P, &[(1, 16), (2, 500)]);
+        rig.run(&l.remove_head, CONS, CTX_C, &[]);
+        assert!(
+            rig.consumed().contains(&(CONS, CTX_P)),
+            "log: {:?}",
+            rig.log
+        );
+        // List now empty; another consumer finds head == NULL. The NULL
+        // arrived via the immediate store → invalid context → no flow.
+        let before = rig.consumed().len();
+        rig.run(&l.remove_head, CONS, CTX_C, &[]);
+        assert_eq!(
+            rig.consumed().len(),
+            before,
+            "NULL head must not flow, log: {:?}",
+            rig.log
+        );
+        assert!(rig.det.flow_enabled(LockId(9)));
+    }
+
+    #[test]
+    fn slist_two_elements_chain_correctly() {
+        let l = SList::new(9);
+        let mut rig = Rig::new(40);
+        rig.run(&l.insert_head, PROD, CTX_P, &[(1, 16), (2, 100)]);
+        rig.run(&l.insert_head, PROD, CtxId(15), &[(1, 24), (2, 200)]);
+        // First remove gets elem 24 (LIFO) with the second context.
+        rig.run(&l.remove_head, CONS, CTX_C, &[]);
+        assert!(rig.consumed().contains(&(CONS, CtxId(15))));
+        assert_eq!(rig.mem.read(0), 16, "head now points at first element");
+        rig.run(&l.remove_head, CONS, CTX_C, &[]);
+        assert!(rig.consumed().contains(&(CONS, CTX_P)));
+    }
+
+    #[test]
+    fn stailq_fifo_flow() {
+        let sq = STailQueue::new(17);
+        let mut rig = Rig::new(64);
+        rig.run(&sq.insert_tail, PROD, CtxId(31), &[(1, 16), (2, 100)]);
+        rig.run(&sq.insert_tail, PROD, CtxId(32), &[(1, 24), (2, 200)]);
+        for want in [31u32, 32] {
+            rig.run(&sq.remove_head, CONS, CTX_C, &[]);
+            assert!(
+                rig.consumed().contains(&(CONS, CtxId(want))),
+                "expected ctx {want}, log: {:?}",
+                rig.log
+            );
+        }
+        assert!(rig.det.flow_enabled(LockId(17)));
+        assert_eq!(rig.mem.read(0), 0);
+        assert_eq!(rig.mem.read(1), 0);
+        // Empty removal: no flow.
+        let before = rig.consumed().len();
+        rig.run(&sq.remove_head, CONS, CTX_C, &[]);
+        assert_eq!(rig.consumed().len(), before);
+    }
+
+    #[test]
+    fn tailq_fifo_flow_and_values() {
+        // §3.3.2: doubly-linked queues from sys/queue.h also carry
+        // flow; FIFO order, both link directions updated in the CS.
+        let tq = TailQueue::new(13);
+        let mut rig = Rig::new(64);
+        // Elements at 16, 24, 32 (3 words each).
+        rig.run(&tq.insert_tail, PROD, CtxId(21), &[(1, 16), (2, 100)]);
+        rig.run(&tq.insert_tail, PROD, CtxId(22), &[(1, 24), (2, 200)]);
+        rig.run(&tq.insert_tail, PROD, CtxId(23), &[(1, 32), (2, 300)]);
+        // FIFO: contexts come back in insertion order.
+        for want in [21u32, 22, 23] {
+            rig.run(&tq.remove_head, CONS, CTX_C, &[]);
+            assert!(
+                rig.consumed().contains(&(CONS, CtxId(want))),
+                "expected ctx {want}, log: {:?}",
+                rig.log
+            );
+        }
+        assert!(rig.det.flow_enabled(LockId(13)));
+        // Queue drained: head and tail are NULL again.
+        assert_eq!(rig.mem.read(0), 0);
+        assert_eq!(rig.mem.read(1), 0);
+    }
+
+    #[test]
+    fn tailq_empty_removal_does_not_flow() {
+        let tq = TailQueue::new(13);
+        let mut rig = Rig::new(64);
+        rig.run(&tq.insert_tail, PROD, CTX_P, &[(1, 16), (2, 1)]);
+        rig.run(&tq.remove_head, CONS, CTX_C, &[]);
+        let before = rig.consumed().len();
+        // Queue empty: head is a NULL that arrived via the drained-tail
+        // immediate; no flow may be inferred.
+        rig.run(&tq.remove_head, CONS, CTX_C, &[]);
+        assert_eq!(rig.consumed().len(), before, "log: {:?}", rig.log);
+    }
+
+    #[test]
+    fn tailq_values_fifo_order() {
+        let tq = TailQueue::new(13);
+        let mut rig = Rig::new(64);
+        for (i, v) in [(0i64, 111i64), (1, 222), (2, 333)] {
+            rig.run(&tq.insert_tail, PROD, CTX_P, &[(1, 16 + 8 * i), (2, v)]);
+        }
+        for want in [111i64, 222, 333] {
+            let mut cpu = Cpu::new(CONS);
+            let emu = CsEmulator::default();
+            emu.run(
+                &tq.remove_head,
+                &mut cpu,
+                &mut rig.mem,
+                ExecMode::Direct,
+                &mut |_| {},
+            );
+            assert_eq!(cpu.regs[6], want);
+        }
+    }
+
+    #[test]
+    fn prio_queue_moves_keep_context() {
+        // §3.2: elements moved inside the shared structure keep their
+        // producer context.
+        let pq = PrioQueue::new(11);
+        let mut rig = Rig::new(64);
+        // Insert key 50 with ctx A, then key 10 with ctx B: the insert
+        // of 10 shifts 50's element right.
+        rig.run(&pq.insert, PROD, CTX_P, &[(1, 50), (2, 5000)]);
+        rig.run(&pq.insert, ThreadId(3), CtxId(16), &[(1, 10), (2, 1000)]);
+        // Extract-min (key 10, ctx 16), then the shifted 50 (ctx A).
+        rig.run(&pq.extract_min, CONS, CTX_C, &[]);
+        assert!(
+            rig.consumed().contains(&(CONS, CtxId(16))),
+            "log: {:?}",
+            rig.log
+        );
+        rig.run(&pq.extract_min, CONS, CTX_C, &[]);
+        assert!(
+            rig.consumed().contains(&(CONS, CTX_P)),
+            "shifted element must keep its producer context, log: {:?}",
+            rig.log
+        );
+    }
+
+    #[test]
+    fn prio_queue_orders_by_key() {
+        let pq = PrioQueue::new(11);
+        let mut rig = Rig::new(64);
+        for (k, v) in [(30, 3), (10, 1), (20, 2)] {
+            rig.run(&pq.insert, PROD, CTX_P, &[(1, k), (2, v)]);
+        }
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            let mut cpu = Cpu::new(CONS);
+            let emu = CsEmulator::default();
+            emu.run(
+                &pq.extract_min,
+                &mut cpu,
+                &mut rig.mem,
+                ExecMode::Direct,
+                &mut |_| {},
+            );
+            got.push((cpu.regs[7], cpu.regs[8]));
+        }
+        assert_eq!(got, vec![(10, 1), (20, 2), (30, 3)]);
+    }
+
+    #[test]
+    fn nested_lock_attributes_flow_to_outer() {
+        let nq = FdQueueNested::new(3, 4);
+        let q = FdQueue::new(3);
+        let mut rig = Rig::new(FdQueue::mem_words(8));
+        rig.run(&nq.push, PROD, CTX_P, &[(1, 42), (2, 43)]);
+        rig.run(&q.pop, CONS, CTX_C, &[]);
+        assert!(
+            rig.consumed().contains(&(CONS, CTX_P)),
+            "log: {:?}",
+            rig.log
+        );
+        // The inner stats lock saw only a non-MOV update: no producers.
+        assert_eq!(rig.det.lock_stats(LockId(4)).producers, 0);
+    }
+
+    #[test]
+    fn direct_cost_of_fd_queue_matches_table3_magnitude() {
+        // Table 3: ap_queue_push 131.64 cycles, ap_queue_pop 109.72
+        // cycles under direct execution. Our cost model should land in
+        // the same range.
+        let q = FdQueue::new(3);
+        let mut mem = GuestMem::new(FdQueue::mem_words(8));
+        let emu = CsEmulator::default();
+        let mut cpu = Cpu::new(PROD);
+        cpu.regs[1] = 1;
+        let st = emu.run(&q.push, &mut cpu, &mut mem, ExecMode::Direct, &mut |_| {});
+        assert!(
+            (90..180).contains(&st.cycles),
+            "push direct = {}",
+            st.cycles
+        );
+        let mut cpu = Cpu::new(CONS);
+        let st = emu.run(&q.pop, &mut cpu, &mut mem, ExecMode::Direct, &mut |_| {});
+        assert!((80..160).contains(&st.cycles), "pop direct = {}", st.cycles);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests of the instruction emulator.
+
+use proptest::prelude::*;
+use whodunit_core::context::CtxId;
+use whodunit_core::ids::{LockId, ThreadId};
+use whodunit_core::shm::{FlowDetector, FlowEvent, MemEvent};
+use whodunit_vm::programs::FdQueue;
+use whodunit_vm::{
+    assemble, Cpu, CsEmulator, ExecMode, GuestMem, Instr, Program, TranslationCache,
+};
+
+/// Strategy: straight-line instructions with bounded registers and
+/// absolute addresses (guaranteed in-bounds for a 64-word memory).
+fn instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (0u8..8, 0u8..8).prop_map(|(d, s)| Instr::MovRR { d, s }),
+        (0u8..8, -100i64..100).prop_map(|(d, imm)| Instr::MovRI { d, imm }),
+        (0u8..8, 0u64..64).prop_map(|(d, addr)| Instr::LoadA { d, addr }),
+        (0u8..8, 0u64..64).prop_map(|(s, addr)| Instr::StoreA { s, addr }),
+        (0u8..8, 0u8..8, 0u8..8).prop_map(|(d, a, b)| Instr::Add { d, a, b }),
+        (0u8..8, 0u8..8, -50i64..50).prop_map(|(d, a, imm)| Instr::AddI { d, a, imm }),
+        (0u8..8, 0u8..8, -4i64..4).prop_map(|(d, a, imm)| Instr::MulI { d, a, imm }),
+        (0u64..64).prop_map(|addr| Instr::IncA { addr }),
+        (0u64..64).prop_map(|addr| Instr::DecA { addr }),
+        (0u8..8, 0u8..8).prop_map(|(a, b)| Instr::Cmp { a, b }),
+        Just(Instr::Nop),
+    ]
+}
+
+proptest! {
+    /// Any straight-line program executes in both modes with identical
+    /// final machine state; direct cost sums instruction costs; the
+    /// emulated charge is at least the direct charge.
+    #[test]
+    fn direct_and_emulated_agree_on_state(body in proptest::collection::vec(instr(), 0..40)) {
+        let mut instrs = vec![Instr::Lock { lock: 1 }];
+        instrs.extend(body.iter().copied());
+        instrs.push(Instr::Unlock { lock: 1 });
+        instrs.push(Instr::Halt);
+        let prog = Program::new("prop", instrs.clone());
+
+        let mut cpu_d = Cpu::new(ThreadId(1));
+        let mut mem_d = GuestMem::new(64);
+        let emu = CsEmulator::default();
+        let st_d = emu.run(&prog, &mut cpu_d, &mut mem_d, ExecMode::Direct, &mut |_| {});
+
+        let mut cpu_e = Cpu::new(ThreadId(1));
+        let mut mem_e = GuestMem::new(64);
+        let mut tc = TranslationCache::new();
+        let st_e = emu.run(
+            &prog,
+            &mut cpu_e,
+            &mut mem_e,
+            ExecMode::Emulated { tcache: &mut tc },
+            &mut |_| {},
+        );
+
+        prop_assert_eq!(cpu_d.regs, cpu_e.regs);
+        for a in 0..64u64 {
+            prop_assert_eq!(mem_d.read(a), mem_e.read(a));
+        }
+        prop_assert_eq!(st_d.instrs, st_e.instrs);
+        let want: u64 = instrs.iter().map(|i| i.direct_cost()).sum();
+        prop_assert_eq!(st_d.cycles, want);
+        prop_assert!(st_e.cycles >= st_d.cycles);
+        prop_assert!(st_d.halted && st_e.halted);
+    }
+
+    /// Every `Use` event reported in the consume window refers to a
+    /// location some windowed instruction actually read.
+    #[test]
+    fn window_event_stream_is_well_formed(body in proptest::collection::vec(instr(), 0..20)) {
+        let mut instrs = vec![Instr::Lock { lock: 1 }, Instr::StoreA { s: 1, addr: 5 }, Instr::Unlock { lock: 1 }];
+        instrs.extend(body.iter().copied());
+        instrs.push(Instr::Halt);
+        let prog = Program::new("w", instrs);
+        let mut cpu = Cpu::new(ThreadId(1));
+        let mut mem = GuestMem::new(64);
+        let mut tc = TranslationCache::new();
+        let mut in_cs = false;
+        let mut ok = true;
+        let emu = CsEmulator::default();
+        emu.run(
+            &prog,
+            &mut cpu,
+            &mut mem,
+            ExecMode::Emulated { tcache: &mut tc },
+            &mut |e| match e {
+                MemEvent::CsEnter { .. } => in_cs = true,
+                MemEvent::CsExit => in_cs = false,
+                MemEvent::Mov { .. } | MemEvent::Modify { .. } => {
+                    // Structural events only inside critical sections.
+                    ok &= in_cs;
+                }
+                MemEvent::Use { .. } => {
+                    // Uses only outside critical sections.
+                    ok &= !in_cs;
+                }
+            },
+        );
+        prop_assert!(ok, "event stream violated CS/window structure");
+    }
+
+    /// FIFO value integrity and flow detection through the fd queue
+    /// under any valid interleaving of pushes and pops (LIFO element
+    /// order, as in Apache's array implementation).
+    #[test]
+    fn fd_queue_flow_under_random_interleavings(
+        ops in proptest::collection::vec(any::<bool>(), 1..60)
+    ) {
+        let q = FdQueue::new(7);
+        let mut mem = GuestMem::new(FdQueue::mem_words(64));
+        FdQueue::init(&mut mem, 64);
+        let mut det = FlowDetector::default();
+        let mut tc = TranslationCache::new();
+        let emu = CsEmulator::default();
+        let mut stack: Vec<(i64, u32)> = Vec::new();
+        let mut next_val = 100i64;
+
+        for (i, &push) in ops.iter().enumerate() {
+            let prod = ThreadId(1);
+            let cons = ThreadId(2);
+            if push && stack.len() < 60 {
+                let ctx = 1000 + i as u32;
+                let mut cpu = Cpu::new(prod);
+                cpu.regs[1] = next_val;
+                cpu.regs[2] = next_val + 1;
+                let mut out = Vec::new();
+                emu.run(&q.push, &mut cpu, &mut mem, ExecMode::Emulated { tcache: &mut tc }, &mut |e| {
+                    det.on_event(prod, CtxId(ctx), e, &mut out);
+                });
+                stack.push((next_val, ctx));
+                next_val += 10;
+            } else if !push && !stack.is_empty() {
+                let (want_val, want_ctx) = stack.pop().unwrap();
+                let mut cpu = Cpu::new(cons);
+                let mut out = Vec::new();
+                emu.run(&q.pop, &mut cpu, &mut mem, ExecMode::Emulated { tcache: &mut tc }, &mut |e| {
+                    det.on_event(cons, CtxId::ROOT, e, &mut out);
+                });
+                prop_assert_eq!(cpu.regs[5], want_val, "value integrity");
+                prop_assert!(
+                    out.iter().any(|e| matches!(
+                        e,
+                        FlowEvent::Consumed { ctx, .. } if *ctx == CtxId(want_ctx)
+                    )),
+                    "expected consume of ctx {} in {:?}", want_ctx, out
+                );
+            }
+        }
+        prop_assert!(det.flow_enabled(LockId(7)));
+    }
+
+    /// Assembler round trip: rendering a jump-free program and
+    /// re-assembling it yields the same instructions.
+    #[test]
+    fn assembler_roundtrip(body in proptest::collection::vec(instr(), 0..30)) {
+        // Negative offsets render as `+-n`, which the assembler does not
+        // parse; the strategy avoids indexed operands entirely.
+        let prog = Program::new("rt", body.clone());
+        let text: String = prog.instrs.iter().map(|i| format!("{i}\n")).collect();
+        let back = assemble("rt", &text).unwrap();
+        prop_assert_eq!(back.instrs, body);
+    }
+}

@@ -1,0 +1,21 @@
+//! Workload generators for the Whodunit experiments.
+//!
+//! - [`webtrace`]: a synthetic stand-in for the Rice CS-department web
+//!   trace used in §8.1–8.3 and §9.2–9.3: Zipf file popularity,
+//!   heavy-tailed file sizes, and a mix of persistent connections and
+//!   fresh connections (fresh connections are what force Whodunit to
+//!   emulate Apache's fd-queue critical sections).
+//! - [`tpcw`]: the TPC-W online-bookstore workload of §8.4: the 14
+//!   interaction types, the browsing-mix interaction distribution, and
+//!   think times.
+//!
+//! All sampling is seeded (`rand::SmallRng`), keeping every experiment
+//! deterministic.
+
+#![warn(missing_docs)]
+
+pub mod tpcw;
+pub mod webtrace;
+
+pub use tpcw::{Interaction, Mix, TpcwMix};
+pub use webtrace::{WebRequest, WebTrace, WebTraceConfig};

@@ -1,0 +1,313 @@
+//! The TPC-W online-bookstore workload (§8.4).
+//!
+//! TPC-W defines fourteen web interactions against an online bookstore.
+//! The paper drives its Squid → Tomcat → MySQL assembly with the
+//! *browsing mix* (WIPSb): ≈95% browsing, ≈5% ordering, with think
+//! times between interactions. [`TpcwMix`] samples interactions from
+//! the browsing-mix distribution and exponential think times.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The fourteen TPC-W interactions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Interaction {
+    /// Store home page.
+    Home,
+    /// Newly added products in a subject.
+    NewProducts,
+    /// The 50 best-selling titles of a subject (expensive sort).
+    BestSellers,
+    /// One product's detail page.
+    ProductDetail,
+    /// The search form.
+    SearchRequest,
+    /// Search execution (expensive sort over matches).
+    SearchResult,
+    /// The shopping cart.
+    ShoppingCart,
+    /// Customer registration form.
+    CustomerRegistration,
+    /// Order form.
+    BuyRequest,
+    /// Order placement (writes order rows).
+    BuyConfirm,
+    /// Order status form.
+    OrderInquiry,
+    /// Order status display.
+    OrderDisplay,
+    /// Administrative product-update form.
+    AdminRequest,
+    /// Administrative product update (writes an `item` row; the §8.4
+    /// crosstalk headline).
+    AdminConfirm,
+}
+
+impl Interaction {
+    /// All interactions in a stable order (Table 1 row order is
+    /// alphabetical; this is the logical order).
+    pub const ALL: [Interaction; 14] = [
+        Interaction::Home,
+        Interaction::NewProducts,
+        Interaction::BestSellers,
+        Interaction::ProductDetail,
+        Interaction::SearchRequest,
+        Interaction::SearchResult,
+        Interaction::ShoppingCart,
+        Interaction::CustomerRegistration,
+        Interaction::BuyRequest,
+        Interaction::BuyConfirm,
+        Interaction::OrderInquiry,
+        Interaction::OrderDisplay,
+        Interaction::AdminRequest,
+        Interaction::AdminConfirm,
+    ];
+
+    /// The servlet name implementing this interaction (the call-path
+    /// frame at the application server).
+    pub fn servlet(self) -> &'static str {
+        match self {
+            Interaction::Home => "TPCW_home_interaction",
+            Interaction::NewProducts => "TPCW_new_products_servlet",
+            Interaction::BestSellers => "TPCW_best_sellers_servlet",
+            Interaction::ProductDetail => "TPCW_product_detail_servlet",
+            Interaction::SearchRequest => "TPCW_search_request_servlet",
+            Interaction::SearchResult => "TPCW_execute_search",
+            Interaction::ShoppingCart => "TPCW_shopping_cart_interaction",
+            Interaction::CustomerRegistration => "TPCW_customer_registration_servlet",
+            Interaction::BuyRequest => "TPCW_buy_request_servlet",
+            Interaction::BuyConfirm => "TPCW_buy_confirm_servlet",
+            Interaction::OrderInquiry => "TPCW_order_inquiry_servlet",
+            Interaction::OrderDisplay => "TPCW_order_display_servlet",
+            Interaction::AdminRequest => "TPCW_admin_request_servlet",
+            Interaction::AdminConfirm => "TPCW_admin_response_servlet",
+        }
+    }
+
+    /// Short display name matching Table 1's rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            Interaction::Home => "Home",
+            Interaction::NewProducts => "NewProducts",
+            Interaction::BestSellers => "BestSellers",
+            Interaction::ProductDetail => "ProductDetail",
+            Interaction::SearchRequest => "SearchRequest",
+            Interaction::SearchResult => "SearchResult",
+            Interaction::ShoppingCart => "ShoppingCart",
+            Interaction::CustomerRegistration => "CustomerRegistration",
+            Interaction::BuyRequest => "BuyRequest",
+            Interaction::BuyConfirm => "BuyConfirm",
+            Interaction::OrderInquiry => "OrderInquiry",
+            Interaction::OrderDisplay => "OrderDisplay",
+            Interaction::AdminRequest => "AdminRequest",
+            Interaction::AdminConfirm => "AdminConfirm",
+        }
+    }
+
+    /// Browsing-mix (WIPSb) steady-state probability, in percent.
+    ///
+    /// These are the TPC-W clause 5.3 web-interaction mix targets for
+    /// the browsing mix.
+    pub fn browsing_pct(self) -> f64 {
+        self.mix_pct(Mix::Browsing)
+    }
+
+    /// Steady-state probability (in percent) under the given mix.
+    ///
+    /// TPC-W clause 5.3 defines three mixes: browsing (WIPSb, ≈95%
+    /// browse), shopping (WIPS, ≈80% browse — the paper's evaluation
+    /// uses browsing only; the others are provided for extension
+    /// studies), and ordering (WIPSo, ≈50% browse).
+    pub fn mix_pct(self, mix: Mix) -> f64 {
+        use Interaction::*;
+        match (mix, self) {
+            (Mix::Browsing, Home) => 29.00,
+            (Mix::Browsing, NewProducts) => 11.00,
+            (Mix::Browsing, BestSellers) => 11.00,
+            (Mix::Browsing, ProductDetail) => 21.00,
+            (Mix::Browsing, SearchRequest) => 12.00,
+            (Mix::Browsing, SearchResult) => 11.00,
+            (Mix::Browsing, ShoppingCart) => 2.00,
+            (Mix::Browsing, CustomerRegistration) => 0.82,
+            (Mix::Browsing, BuyRequest) => 0.75,
+            (Mix::Browsing, BuyConfirm) => 0.69,
+            (Mix::Browsing, OrderInquiry) => 0.30,
+            (Mix::Browsing, OrderDisplay) => 0.25,
+            (Mix::Browsing, AdminRequest) => 0.10,
+            (Mix::Browsing, AdminConfirm) => 0.09,
+            (Mix::Shopping, Home) => 16.00,
+            (Mix::Shopping, NewProducts) => 5.00,
+            (Mix::Shopping, BestSellers) => 5.00,
+            (Mix::Shopping, ProductDetail) => 17.00,
+            (Mix::Shopping, SearchRequest) => 20.00,
+            (Mix::Shopping, SearchResult) => 17.00,
+            (Mix::Shopping, ShoppingCart) => 11.60,
+            (Mix::Shopping, CustomerRegistration) => 3.00,
+            (Mix::Shopping, BuyRequest) => 2.60,
+            (Mix::Shopping, BuyConfirm) => 1.20,
+            (Mix::Shopping, OrderInquiry) => 0.75,
+            (Mix::Shopping, OrderDisplay) => 0.66,
+            (Mix::Shopping, AdminRequest) => 0.10,
+            (Mix::Shopping, AdminConfirm) => 0.09,
+            (Mix::Ordering, Home) => 9.12,
+            (Mix::Ordering, NewProducts) => 0.46,
+            (Mix::Ordering, BestSellers) => 0.46,
+            (Mix::Ordering, ProductDetail) => 12.35,
+            (Mix::Ordering, SearchRequest) => 14.53,
+            (Mix::Ordering, SearchResult) => 13.08,
+            (Mix::Ordering, ShoppingCart) => 13.53,
+            (Mix::Ordering, CustomerRegistration) => 12.86,
+            (Mix::Ordering, BuyRequest) => 12.73,
+            (Mix::Ordering, BuyConfirm) => 10.18,
+            (Mix::Ordering, OrderInquiry) => 0.25,
+            (Mix::Ordering, OrderDisplay) => 0.22,
+            (Mix::Ordering, AdminRequest) => 0.12,
+            (Mix::Ordering, AdminConfirm) => 0.11,
+        }
+    }
+}
+
+/// The three TPC-W interaction mixes (clause 5.3).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Mix {
+    /// WIPSb: ≈95% browsing (the paper's workload).
+    Browsing,
+    /// WIPS: ≈80% browsing.
+    Shopping,
+    /// WIPSo: ≈50% browsing.
+    Ordering,
+}
+
+/// Browsing-mix sampler with think times.
+#[derive(Clone, Debug)]
+pub struct TpcwMix {
+    rng: SmallRng,
+    cdf: [f64; 14],
+    /// Mean think time in cycles (TPC-W uses ≈7 s).
+    pub mean_think_cycles: u64,
+}
+
+impl TpcwMix {
+    /// Creates a browsing-mix sampler; think time defaults to 7 s of
+    /// the 2.4 GHz clock.
+    pub fn new(seed: u64) -> Self {
+        Self::with_mix(seed, Mix::Browsing)
+    }
+
+    /// Creates a sampler for any of the three mixes.
+    pub fn with_mix(seed: u64, mix: Mix) -> Self {
+        let mut cdf = [0.0; 14];
+        let mut acc = 0.0;
+        for (i, it) in Interaction::ALL.iter().enumerate() {
+            acc += it.mix_pct(mix);
+            cdf[i] = acc;
+        }
+        for v in &mut cdf {
+            *v /= acc;
+        }
+        TpcwMix {
+            rng: SmallRng::seed_from_u64(seed),
+            cdf,
+            mean_think_cycles: 7 * 2_400_000_000,
+        }
+    }
+
+    /// Draws the next interaction.
+    pub fn next_interaction(&mut self) -> Interaction {
+        let u = self.rng.gen::<f64>();
+        let idx = self.cdf.partition_point(|&c| c < u).min(13);
+        Interaction::ALL[idx]
+    }
+
+    /// Draws an exponential think time in cycles.
+    pub fn think_time(&mut self) -> u64 {
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        (-u.ln() * self.mean_think_cycles as f64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn mix_percentages_sum_to_100() {
+        for mix in [Mix::Browsing, Mix::Shopping, Mix::Ordering] {
+            let total: f64 = Interaction::ALL.iter().map(|i| i.mix_pct(mix)).sum();
+            assert!((total - 100.0).abs() < 0.02, "{mix:?} total {total}");
+        }
+    }
+
+    #[test]
+    fn ordering_mix_shifts_toward_buying() {
+        let buy = |m: Mix| {
+            Interaction::BuyConfirm.mix_pct(m)
+                + Interaction::BuyRequest.mix_pct(m)
+                + Interaction::CustomerRegistration.mix_pct(m)
+        };
+        assert!(buy(Mix::Ordering) > 10.0 * buy(Mix::Browsing));
+        let mut s = TpcwMix::with_mix(3, Mix::Ordering);
+        let n = 50_000;
+        let buys = (0..n)
+            .filter(|_| {
+                matches!(
+                    s.next_interaction(),
+                    Interaction::BuyConfirm | Interaction::BuyRequest
+                )
+            })
+            .count();
+        assert!(buys as f64 / n as f64 > 0.15, "buys {buys}");
+    }
+
+    #[test]
+    fn sampler_matches_mix() {
+        let mut mix = TpcwMix::new(7);
+        let mut counts: HashMap<Interaction, u64> = HashMap::new();
+        let n = 200_000;
+        for _ in 0..n {
+            *counts.entry(mix.next_interaction()).or_insert(0) += 1;
+        }
+        for it in Interaction::ALL {
+            let got = *counts.get(&it).unwrap_or(&0) as f64 / n as f64 * 100.0;
+            let want = it.browsing_pct();
+            assert!(
+                (got - want).abs() < want.max(0.2) * 0.35,
+                "{}: got {got:.2}%, want {want:.2}%",
+                it.name()
+            );
+        }
+    }
+
+    #[test]
+    fn think_times_average_near_mean() {
+        let mut mix = TpcwMix::new(3);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| mix.think_time()).sum();
+        let mean = sum as f64 / n as f64;
+        let want = mix.mean_think_cycles as f64;
+        assert!((mean - want).abs() / want < 0.05, "mean {mean} want {want}");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = TpcwMix::new(9);
+        let mut b = TpcwMix::new(9);
+        for _ in 0..1000 {
+            assert_eq!(a.next_interaction(), b.next_interaction());
+            assert_eq!(a.think_time(), b.think_time());
+        }
+    }
+
+    #[test]
+    fn all_names_are_distinct() {
+        let mut names: Vec<_> = Interaction::ALL.iter().map(|i| i.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 14);
+        let mut servlets: Vec<_> = Interaction::ALL.iter().map(|i| i.servlet()).collect();
+        servlets.sort();
+        servlets.dedup();
+        assert_eq!(servlets.len(), 14);
+    }
+}

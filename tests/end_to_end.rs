@@ -1,0 +1,209 @@
+//! Cross-crate integration tests: the full Whodunit pipeline from
+//! simulated applications through profiling to post-mortem stitching.
+
+use whodunit::apps::dbserver::Engine;
+use whodunit::apps::httpd::{run_httpd, HttpdConfig};
+use whodunit::apps::proxy::{run_proxy, ProxyConfig};
+use whodunit::apps::rtconf::RtKind;
+use whodunit::apps::sedasrv::{run_haboob, HaboobConfig};
+use whodunit::apps::tpcw::{run_tpcw, TpcwConfig};
+use whodunit::core::cost::CPU_HZ;
+use whodunit::core::rt::Runtime;
+use whodunit::core::stitch::Stitched;
+use whodunit::report::{json, render, tpcw};
+use whodunit::workload::Interaction;
+
+fn label_of(frame: &str) -> Option<String> {
+    Interaction::ALL
+        .iter()
+        .find(|i| i.servlet() == frame)
+        .map(|i| i.name().to_owned())
+}
+
+#[test]
+fn tpcw_profiles_stitch_and_label_interactions() {
+    let r = run_tpcw(TpcwConfig {
+        clients: 60,
+        engine: Engine::MyIsam,
+        caching: false,
+        rt: RtKind::Whodunit,
+        duration: 150 * CPU_HZ,
+        warmup: 40 * CPU_HZ,
+        ..TpcwConfig::default()
+    });
+    assert_eq!(r.dumps.len(), 3);
+
+    // The dumps survive a JSON round trip (the on-disk format).
+    let j = json::to_json(&r.dumps);
+    let dumps = json::from_json(&j).expect("profiles parse back");
+    let stitched = Stitched::new(dumps);
+
+    // Table 1 labels resolve across tiers.
+    let rows = tpcw::table1(&stitched, 2, &|n| label_of(n));
+    assert!(rows.len() >= 6, "rows: {rows:?}");
+    let total: f64 = rows.iter().map(|r| r.cpu_pct).sum();
+    assert!(
+        total > 95.0,
+        "labeled contexts cover MySQL CPU: {total:.1}%"
+    );
+
+    // BestSellers dominates, matching the ground truth the simulator
+    // tracked independently of the profiler.
+    let bs_profile = rows
+        .iter()
+        .find(|r| r.interaction == "BestSellers")
+        .map(|r| r.cpu_pct)
+        .unwrap_or(0.0);
+    let truth_total: u64 = r.db_cpu_truth.values().sum();
+    let bs_truth = *r.db_cpu_truth.get(&Interaction::BestSellers).unwrap_or(&0) as f64 * 100.0
+        / truth_total as f64;
+    assert!(
+        (bs_profile - bs_truth).abs() < 6.0,
+        "profiler ({bs_profile:.1}%) matches ground truth ({bs_truth:.1}%)"
+    );
+
+    // Request edges connect the three tiers.
+    let edges = stitched.request_edges();
+    assert!(
+        edges.iter().any(|e| e.from_stage == 0 && e.to_stage == 1),
+        "squid -> tomcat edges"
+    );
+    assert!(
+        edges.iter().any(|e| e.from_stage == 1 && e.to_stage == 2),
+        "tomcat -> mysql edges"
+    );
+}
+
+#[test]
+fn innodb_reduces_admin_confirm_response_time() {
+    let run = |engine| {
+        run_tpcw(TpcwConfig {
+            clients: 100,
+            engine,
+            caching: false,
+            rt: RtKind::None,
+            // AdminConfirm is 0.09% of the mix; a long window is needed
+            // for it to occur (deterministic given the fixed seed).
+            duration: 450 * CPU_HZ,
+            warmup: 50 * CPU_HZ,
+            ..TpcwConfig::default()
+        })
+    };
+    let myisam = run(Engine::MyIsam);
+    let innodb = run(Engine::InnoDb);
+    let ac_m = myisam
+        .rt_ms
+        .get(&Interaction::AdminConfirm)
+        .copied()
+        .unwrap_or(0.0);
+    let ac_i = innodb
+        .rt_ms
+        .get(&Interaction::AdminConfirm)
+        .copied()
+        .unwrap_or(0.0);
+    assert!(
+        ac_m > 0.0 && ac_i > 0.0,
+        "AdminConfirm sampled in both runs"
+    );
+    assert!(
+        ac_i < ac_m,
+        "row locking reduces AdminConfirm RT: {ac_i:.0} vs {ac_m:.0} ms"
+    );
+}
+
+#[test]
+fn all_four_runtimes_drive_every_app() {
+    for rt in [
+        RtKind::None,
+        RtKind::Csprof,
+        RtKind::Whodunit,
+        RtKind::Gprof,
+    ] {
+        let h = run_httpd(HttpdConfig {
+            clients: 6,
+            workers: 3,
+            duration: 2 * CPU_HZ,
+            rt,
+            ..HttpdConfig::default()
+        });
+        assert!(h.reqs > 10, "{rt:?} httpd reqs {}", h.reqs);
+        let p = run_proxy(ProxyConfig {
+            clients: 6,
+            duration: 2 * CPU_HZ,
+            rt,
+            ..ProxyConfig::default()
+        });
+        assert!(p.reqs > 10, "{rt:?} proxy reqs {}", p.reqs);
+        let s = run_haboob(HaboobConfig {
+            clients: 6,
+            duration: 2 * CPU_HZ,
+            rt,
+            ..HaboobConfig::default()
+        });
+        assert!(s.reqs > 10, "{rt:?} haboob reqs {}", s.reqs);
+    }
+}
+
+#[test]
+fn profiler_overhead_ordering_matches_table2() {
+    let tput = |rt| {
+        run_tpcw(TpcwConfig {
+            clients: 200,
+            engine: Engine::MyIsam,
+            caching: false,
+            rt,
+            duration: 120 * CPU_HZ,
+            warmup: 40 * CPU_HZ,
+            ..TpcwConfig::default()
+        })
+        .throughput_per_min
+    };
+    let none = tput(RtKind::None);
+    let cs = tput(RtKind::Csprof);
+    let who = tput(RtKind::Whodunit);
+    let gp = tput(RtKind::Gprof);
+    assert!(none >= cs * 0.995, "none {none:.0} >= csprof {cs:.0}");
+    assert!(cs >= who * 0.98, "whodunit close to csprof");
+    assert!(who > gp * 1.1, "gprof at least 10% behind whodunit");
+}
+
+#[test]
+fn figure8_profile_renders_with_flow_context() {
+    let r = run_httpd(HttpdConfig {
+        clients: 8,
+        workers: 4,
+        duration: 3 * CPU_HZ,
+        rt: RtKind::Whodunit,
+        ..HttpdConfig::default()
+    });
+    let w = r.runtime.whodunit.as_ref().unwrap().borrow();
+    let dump = w.dump().unwrap();
+    let text = render::render_stage(&dump);
+    assert!(text.contains("ap_process_connection"));
+    assert!(text.contains("sendfile"));
+    assert!(
+        text.contains("ap_queue_push"),
+        "flow context visible: {text}"
+    );
+    let dot = render::render_dot(&dump);
+    assert!(dot.contains("digraph"));
+}
+
+#[test]
+fn whodunit_contexts_survive_persistent_connections() {
+    // Squid under long-lived connections: loop pruning keeps the
+    // context set small even after thousands of requests.
+    let r = run_proxy(ProxyConfig {
+        clients: 10,
+        duration: 6 * CPU_HZ,
+        rt: RtKind::Whodunit,
+        ..ProxyConfig::default()
+    });
+    let w = r.runtime.whodunit.as_ref().unwrap().borrow();
+    assert!(r.reqs > 1000);
+    assert!(
+        w.profiled_contexts().len() <= 8,
+        "contexts stay bounded: {}",
+        w.profiled_contexts().len()
+    );
+}
