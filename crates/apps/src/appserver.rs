@@ -61,6 +61,10 @@ pub struct PageReply {
     pub interaction: Interaction,
     /// The requester's routing tag.
     pub tag: u64,
+    /// `false` when the server shed the request (its database RPC
+    /// exhausted the timeout/retry budget) and the page is an error
+    /// page rather than a result.
+    pub ok: bool,
 }
 
 /// Application-server configuration.
@@ -76,6 +80,15 @@ pub struct AppServerConfig {
     pub render_cost: Cycles,
     /// Cache TTL (TPC-W allows 30 s).
     pub cache_ttl: Cycles,
+    /// How long a worker waits for its database reply before
+    /// resending. Generous by default so healthy runs never time out.
+    pub db_timeout: Cycles,
+    /// Resend attempts per request after the first send.
+    pub db_retries: u32,
+    /// Server-wide budget of resends; once spent, timed-out requests
+    /// are shed immediately instead of retried (retry storms under a
+    /// dead database would otherwise triple its queue).
+    pub retry_budget: u64,
 }
 
 impl Default for AppServerConfig {
@@ -86,6 +99,9 @@ impl Default for AppServerConfig {
             servlet_cost: ms_to_cycles(5.0),
             render_cost: ms_to_cycles(1.0),
             cache_ttl: 30 * whodunit_core::cost::CPU_HZ,
+            db_timeout: 30 * whodunit_core::cost::CPU_HZ,
+            db_retries: 2,
+            retry_budget: 1 << 20,
         }
     }
 }
@@ -105,6 +121,15 @@ pub struct AppShared {
     pub cache_hits: u64,
     /// Pages served.
     pub pages: u64,
+    /// Database RPC timeouts fired.
+    pub db_timeouts: u64,
+    /// Database RPC resends (consumed from [`AppServerConfig::retry_budget`]).
+    pub db_retries_used: u64,
+    /// Requests shed with an error page.
+    pub sheds: u64,
+    /// Replies that arrived after their request had been timed out
+    /// (recognized by the [`DbReq::tag`] echo and discarded).
+    pub late_db_replies: u64,
 }
 
 impl AppShared {
@@ -131,14 +156,35 @@ impl AppShared {
             self.cache.insert((i, key), now + ttl);
         }
     }
+
+    /// Consumes one resend from the server-wide budget; `false` means
+    /// the budget is spent and the caller must shed instead.
+    fn try_take_retry(&mut self) -> bool {
+        if self.db_retries_used < self.cfg.retry_budget {
+            self.db_retries_used += 1;
+            true
+        } else {
+            false
+        }
+    }
 }
 
 enum SState {
     Init,
     WaitReq,
     Serviced(Option<PageReq>),
-    WaitDb(Option<PageReq>),
-    Rendered(Option<PageReq>),
+    WaitDb {
+        req: Option<PageReq>,
+        /// Resends already issued for this request.
+        attempts: u32,
+        /// Tag of the outstanding [`DbReq`]; replies carrying an older
+        /// tag are late duplicates and are discarded.
+        tag: u64,
+    },
+    Rendered {
+        req: Option<PageReq>,
+        ok: bool,
+    },
     StaticServed(Option<StaticReq>),
     Replied,
 }
@@ -152,6 +198,8 @@ struct ServletWorker {
     f_servlets: HashMap<Interaction, FrameId>,
     f_call: FrameId,
     f_static: FrameId,
+    /// Monotonic source of [`DbReq::tag`] values for this worker.
+    next_tag: u64,
     state: SState,
 }
 
@@ -207,40 +255,88 @@ impl ThreadBody for ServletWorker {
                     .cache_lookup(r.interaction, r.key, cx.now());
                 if hit {
                     let cost = self.shared.borrow().cfg.render_cost;
-                    self.state = SState::Rendered(req);
+                    self.state = SState::Rendered { req, ok: true };
                     Op::Compute(cost)
                 } else {
                     self.shared.borrow_mut().db_queries += 1;
+                    self.next_tag += 1;
+                    let tag = self.next_tag;
                     let db_req = DbReq {
                         interaction: r.interaction,
                         row: r.key,
+                        tag,
                         reply: self.db_reply,
                     };
-                    self.state = SState::WaitDb(req);
+                    self.state = SState::WaitDb {
+                        req,
+                        attempts: 0,
+                        tag,
+                    };
                     Op::Send(self.db_chan, Msg::new(db_req, 600))
                 }
             }
-            SState::WaitDb(req) => match wake {
+            SState::WaitDb { req, attempts, tag } => match wake {
                 Wake::Done => {
-                    self.state = SState::WaitDb(req);
-                    Op::Recv(self.db_reply)
+                    let timeout = self.shared.borrow().cfg.db_timeout;
+                    self.state = SState::WaitDb { req, attempts, tag };
+                    Op::RecvTimeout(self.db_reply, timeout)
                 }
                 Wake::Received(msg) => {
-                    let _ = msg.take::<DbReply>();
+                    let rep = msg.take::<DbReply>();
+                    if rep.tag != tag {
+                        // A reply to an attempt we already timed out
+                        // on; the current attempt is still in flight.
+                        let timeout = self.shared.borrow().cfg.db_timeout;
+                        self.shared.borrow_mut().late_db_replies += 1;
+                        self.state = SState::WaitDb { req, attempts, tag };
+                        return Op::RecvTimeout(self.db_reply, timeout);
+                    }
                     let r = req.as_ref().expect("request present");
                     self.shared
                         .borrow_mut()
                         .cache_insert(r.interaction, r.key, cx.now());
                     let cost = self.shared.borrow().cfg.render_cost;
-                    self.state = SState::Rendered(req);
+                    self.state = SState::Rendered { req, ok: true };
                     Op::Compute(cost)
                 }
-                _ => unreachable!("WaitDb sees send-done then reply"),
+                Wake::RecvTimedOut => {
+                    let retry = {
+                        let mut sh = self.shared.borrow_mut();
+                        sh.db_timeouts += 1;
+                        attempts < sh.cfg.db_retries && sh.try_take_retry()
+                    };
+                    if retry {
+                        let r = req.as_ref().expect("request present");
+                        self.next_tag += 1;
+                        let tag = self.next_tag;
+                        let db_req = DbReq {
+                            interaction: r.interaction,
+                            row: r.key,
+                            tag,
+                            reply: self.db_reply,
+                        };
+                        self.state = SState::WaitDb {
+                            req,
+                            attempts: attempts + 1,
+                            tag,
+                        };
+                        Op::Send(self.db_chan, Msg::new(db_req, 600))
+                    } else {
+                        // Shed: render a cheap error page instead of
+                        // waiting on a database that is not answering.
+                        self.shared.borrow_mut().sheds += 1;
+                        self.state = SState::Rendered { req, ok: false };
+                        Op::Compute(ms_to_cycles(0.1))
+                    }
+                }
+                _ => unreachable!("WaitDb sees send-done, reply, or timeout"),
             },
-            SState::Rendered(req) => {
+            SState::Rendered { req, ok } => {
                 let r = req.expect("request present");
                 cx.pop_frame();
-                self.shared.borrow_mut().pages += 1;
+                if ok {
+                    self.shared.borrow_mut().pages += 1;
+                }
                 self.state = SState::Replied;
                 Op::Send(
                     r.reply,
@@ -248,6 +344,7 @@ impl ThreadBody for ServletWorker {
                         PageReply {
                             interaction: r.interaction,
                             tag: r.tag,
+                            ok,
                         },
                         8 * 1024,
                     ),
@@ -283,6 +380,10 @@ pub fn build_appserver(
         db_queries: 0,
         cache_hits: 0,
         pages: 0,
+        db_timeouts: 0,
+        db_retries_used: 0,
+        sheds: 0,
+        late_db_replies: 0,
     }));
     let req_chan = sim.add_channel(240_000, 20);
     let f_main = sim.frame("tomcat_service");
@@ -307,6 +408,7 @@ pub fn build_appserver(
                 f_servlets: f_servlets.clone(),
                 f_call,
                 f_static,
+                next_tag: 0,
                 state: SState::Init,
             }),
         );
@@ -328,6 +430,10 @@ mod tests {
             db_queries: 0,
             cache_hits: 0,
             pages: 0,
+            db_timeouts: 0,
+            db_retries_used: 0,
+            sheds: 0,
+            late_db_replies: 0,
         }
     }
 
@@ -365,5 +471,118 @@ mod tests {
         assert!(!s.cache_lookup(Interaction::SearchResult, 2, 1));
         assert!(!s.cache_lookup(Interaction::BestSellers, 1, 1));
         assert!(s.cache_lookup(Interaction::SearchResult, 1, 1));
+    }
+
+    #[test]
+    fn retry_budget_is_consumed_then_denied() {
+        let mut s = shared(false);
+        s.cfg.retry_budget = 2;
+        assert!(s.try_take_retry());
+        assert!(s.try_take_retry());
+        assert!(!s.try_take_retry(), "budget of 2 denies the third resend");
+        assert_eq!(s.db_retries_used, 2);
+    }
+
+    /// Sends one PageReq and records the reply's `ok` flag.
+    struct Probe {
+        app: ChanId,
+        reply: ChanId,
+        got: Rc<RefCell<Option<bool>>>,
+        state: u8,
+    }
+
+    impl ThreadBody for Probe {
+        fn resume(&mut self, _cx: &mut ThreadCx<'_>, wake: Wake) -> Op {
+            match self.state {
+                0 => {
+                    self.state = 1;
+                    Op::Send(
+                        self.app,
+                        Msg::new(
+                            PageReq {
+                                interaction: Interaction::Home,
+                                key: 1,
+                                tag: 7,
+                                reply: self.reply,
+                            },
+                            400,
+                        ),
+                    )
+                }
+                1 => {
+                    self.state = 2;
+                    Op::Recv(self.reply)
+                }
+                _ => {
+                    let Wake::Received(msg) = wake else {
+                        unreachable!("probe waits for its page");
+                    };
+                    let pr = msg.take::<PageReply>();
+                    *self.got.borrow_mut() = Some(pr.ok);
+                    Op::Exit
+                }
+            }
+        }
+    }
+
+    /// Runs one request against an appserver whose DB channel nobody
+    /// serves, so every attempt times out.
+    fn run_against_dead_db(cfg: AppServerConfig) -> (Option<bool>, Rc<RefCell<AppShared>>) {
+        let mut sim = whodunit_sim::Sim::new(whodunit_sim::SimConfig::default());
+        let m = sim.add_machine(2);
+        let proc = sim.add_unprofiled_process("tomcat");
+        let dead_db = sim.add_channel(240_000, 20);
+        let app = build_appserver(&mut sim, proc, m, dead_db, cfg);
+        let got = Rc::new(RefCell::new(None));
+        let reply = sim.add_channel(240_000, 20);
+        let driver = sim.add_unprofiled_process("driver");
+        sim.spawn(
+            driver,
+            m,
+            "probe",
+            Box::new(Probe {
+                app: app.req_chan,
+                reply,
+                got: got.clone(),
+                state: 0,
+            }),
+        );
+        sim.run_to_idle();
+        let outcome = *got.borrow();
+        (outcome, app.shared)
+    }
+
+    #[test]
+    fn dead_db_times_out_retries_then_sheds() {
+        let cfg = AppServerConfig {
+            workers: 1,
+            db_timeout: 1_000_000,
+            db_retries: 2,
+            ..AppServerConfig::default()
+        };
+        let (got, shared) = run_against_dead_db(cfg);
+        assert_eq!(got, Some(false), "client gets an error page, not a hang");
+        let sh = shared.borrow();
+        assert_eq!(sh.db_timeouts, 3, "initial attempt plus two resends");
+        assert_eq!(sh.db_retries_used, 2);
+        assert_eq!(sh.sheds, 1);
+        assert_eq!(sh.pages, 0, "an error page is not a served page");
+    }
+
+    #[test]
+    fn exhausted_retry_budget_sheds_without_resending() {
+        let cfg = AppServerConfig {
+            workers: 1,
+            db_timeout: 1_000_000,
+            db_retries: 2,
+            retry_budget: 0,
+            ..AppServerConfig::default()
+        };
+        let (got, shared) = run_against_dead_db(cfg);
+        assert_eq!(got, Some(false));
+        let sh = shared.borrow();
+        assert_eq!(sh.db_timeouts, 1, "no budget, no resend");
+        assert_eq!(sh.db_retries_used, 0);
+        assert_eq!(sh.sheds, 1);
     }
 }

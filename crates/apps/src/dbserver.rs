@@ -191,6 +191,10 @@ pub struct DbReq {
     pub interaction: Interaction,
     /// Row selector for writes (stripes under InnoDB).
     pub row: u64,
+    /// Caller-chosen token echoed in the [`DbReply`]; lets a caller
+    /// that timed out and resent tell a late reply from the current
+    /// one.
+    pub tag: u64,
     /// Channel to send the result on.
     pub reply: ChanId,
 }
@@ -419,7 +423,7 @@ impl ThreadBody for Executor {
                 }
                 cx.pop_frame();
                 self.state = EState::Sent;
-                Op::Send(req.reply, Msg::new(DbReply, 2000))
+                Op::Send(req.reply, Msg::new(DbReply { tag: req.tag }, 2000))
             }
             EState::Sent => {
                 self.state = EState::WaitReq;
@@ -503,7 +507,10 @@ impl Executor {
 
 /// The database's reply payload.
 #[derive(Debug)]
-pub struct DbReply;
+pub struct DbReply {
+    /// The request's [`DbReq::tag`], echoed back.
+    pub tag: u64,
+}
 
 /// Builds the database tier into `sim` on `machine`, profiled by the
 /// process runtime already registered as `proc`.

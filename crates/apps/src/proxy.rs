@@ -29,7 +29,7 @@ use whodunit_core::cost::{ms_to_cycles, CPU_HZ};
 use whodunit_core::events::EventCtx;
 use whodunit_core::frame::FrameId;
 use whodunit_core::ids::ChanId;
-use whodunit_sim::{Cycles, Msg, Op, Sim, SimConfig, ThreadBody, ThreadCx, Wake};
+use whodunit_sim::{ChannelFaults, Cycles, FaultPlan, Msg, Op, Sim, SimConfig, ThreadBody, ThreadCx, Wake};
 use whodunit_workload::{WebTrace, WebTraceConfig};
 
 /// Handler CPU costs.
@@ -65,15 +65,37 @@ struct ConnState {
     ev: EventCtx,
 }
 
-/// Cache with a byte-capacity bound and FIFO eviction.
+/// One cached object: its size and how long it stays fresh.
+#[derive(Clone, Copy)]
+struct CacheEntry {
+    bytes: u64,
+    fresh_until: Cycles,
+}
+
+/// What a cache probe found.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CacheLookup {
+    /// A fresh copy of this many bytes.
+    Fresh(u64),
+    /// A copy exists but its TTL expired; normally revalidated at the
+    /// origin, but servable as-is when the origin is down
+    /// (`stale-if-error`).
+    Stale(u64),
+    /// Nothing cached.
+    Miss,
+}
+
+/// Cache with a byte-capacity bound, FIFO eviction, and per-entry
+/// freshness (entries past their TTL are *stale*: still present, but
+/// only served when the origin cannot be reached).
 struct ByteCache {
-    entries: HashMap<u32, u64>,
+    entries: HashMap<u32, CacheEntry>,
     order: VecDeque<u32>,
     bytes: u64,
     capacity: u64,
-    /// Requests that hit.
+    /// Requests that hit fresh content.
     pub hits: u64,
-    /// Requests that missed.
+    /// Requests that missed (or found only a stale copy).
     pub misses: u64,
 }
 
@@ -89,32 +111,43 @@ impl ByteCache {
         }
     }
 
-    fn lookup(&mut self, file: u32) -> Option<u64> {
+    fn lookup(&mut self, file: u32, now: Cycles) -> CacheLookup {
         match self.entries.get(&file).copied() {
-            Some(b) => {
+            Some(e) if e.fresh_until > now => {
                 self.hits += 1;
-                Some(b)
+                CacheLookup::Fresh(e.bytes)
+            }
+            Some(e) => {
+                self.misses += 1;
+                CacheLookup::Stale(e.bytes)
             }
             None => {
                 self.misses += 1;
-                None
+                CacheLookup::Miss
             }
         }
     }
 
-    fn insert(&mut self, file: u32, bytes: u64) {
-        if self.entries.contains_key(&file) {
+    /// Any cached copy, fresh or stale, without touching the counters.
+    fn stale_copy(&self, file: u32) -> Option<u64> {
+        self.entries.get(&file).map(|e| e.bytes)
+    }
+
+    fn insert(&mut self, file: u32, bytes: u64, fresh_until: Cycles) {
+        if let Some(e) = self.entries.get_mut(&file) {
+            // Revalidated: refresh the TTL in place.
+            e.fresh_until = fresh_until;
             return;
         }
-        self.entries.insert(file, bytes);
+        self.entries.insert(file, CacheEntry { bytes, fresh_until });
         self.order.push_back(file);
         self.bytes += bytes;
         while self.bytes > self.capacity {
             let Some(victim) = self.order.pop_front() else {
                 break;
             };
-            if let Some(b) = self.entries.remove(&victim) {
-                self.bytes -= b;
+            if let Some(e) = self.entries.remove(&victim) {
+                self.bytes -= e.bytes;
             }
         }
     }
@@ -132,6 +165,37 @@ pub struct ProxyShared {
     pub hits: u64,
     /// Cache misses.
     pub misses: u64,
+    /// Requests answered from a stale cache entry because the origin
+    /// stopped responding (`stale-if-error`).
+    pub stale_served: u64,
+    /// Origin fetches re-sent after a timeout.
+    pub origin_retries: u64,
+    /// Requests failed with an error page (origin down, nothing
+    /// cached).
+    pub failed: u64,
+    /// Origin replies that arrived after their fetch had been retried
+    /// or abandoned, and were discarded.
+    pub late_replies: u64,
+}
+
+/// How a response written back to the client is accounted.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ServeKind {
+    /// Normal content (fresh hit or origin fetch).
+    Content,
+    /// A stale cache entry served because the origin is down.
+    Stale,
+    /// An error page: origin down and nothing cached.
+    Error,
+}
+
+/// An origin fetch the event loop is waiting on.
+struct PendingFetch {
+    file: u32,
+    /// Resends already issued.
+    attempts: u32,
+    /// Virtual time after which this fetch is considered timed out.
+    deadline: Cycles,
 }
 
 enum PState {
@@ -140,8 +204,9 @@ enum PState {
     AcceptDone { conn: u64 },
     ReadDone { conn: u64, file: u32 },
     ConnectDone { conn: u64, file: u32 },
+    RetryDone { conn: u64, file: u32 },
     ReadReplyDone { conn: u64, file: u32, bytes: u64 },
-    WriteDone { conn: u64, bytes: u64 },
+    WriteDone { conn: u64, bytes: u64, kind: ServeKind },
     Sent,
 }
 
@@ -155,6 +220,21 @@ struct EventLoop {
     f_connect: FrameId,
     f_read_reply: FrameId,
     f_write: FrameId,
+    /// Handler frame for an origin-fetch resend.
+    f_retry: FrameId,
+    /// Handler frame for serving a stale entry (the degraded path gets
+    /// its own call path, so the profile shows it — Figure 9 style).
+    f_stale: FrameId,
+    /// Handler frame for writing an error page.
+    f_error: FrameId,
+    /// Outstanding origin fetches by connection.
+    pending: HashMap<u64, PendingFetch>,
+    /// Per-attempt origin timeout (doubles on every resend).
+    timeout: Cycles,
+    /// Resends before degrading.
+    max_retries: u32,
+    /// Freshness TTL newly fetched entries get.
+    fresh_ttl: Cycles,
     state: PState,
 }
 
@@ -178,6 +258,73 @@ impl EventLoop {
         }
         ev
     }
+
+    /// Waits on the poll channel — with a deadline when origin fetches
+    /// are outstanding, plain otherwise (so idle runs still drain).
+    fn wait_op(&self, now: Cycles) -> Op {
+        match self.pending.values().map(|p| p.deadline).min() {
+            Some(d) => Op::RecvTimeout(self.poll, d.saturating_sub(now).max(1)),
+            None => Op::Recv(self.poll),
+        }
+    }
+
+    /// The poll wait expired: find the most overdue fetch and either
+    /// resend it (exponential backoff) or degrade — serve a stale copy
+    /// if one exists, an error page otherwise.
+    fn on_fetch_timeout(&mut self, cx: &mut ThreadCx<'_>) -> Op {
+        let now = cx.now();
+        let expired = self
+            .pending
+            .iter()
+            .filter(|&(_, p)| p.deadline <= now)
+            .min_by_key(|&(&c, p)| (p.deadline, c))
+            .map(|(&c, _)| c);
+        let Some(conn) = expired else {
+            // Raced with a delivery that already cleared the fetch.
+            self.state = PState::WaitMsg;
+            return self.wait_op(now);
+        };
+        let ev = self.shared.borrow().conns[&conn].ev;
+        let (file, attempts) = {
+            let p = &self.pending[&conn];
+            (p.file, p.attempts)
+        };
+        if attempts < self.max_retries {
+            if let Some(p) = self.pending.get_mut(&conn) {
+                p.attempts += 1;
+                // Backoff: timeout, 2·timeout, 4·timeout, …
+                p.deadline =
+                    now.saturating_add(self.timeout.saturating_mul(1 << p.attempts.min(16)));
+            }
+            self.shared.borrow_mut().origin_retries += 1;
+            self.dispatch(cx, ev, self.f_retry);
+            self.state = PState::RetryDone { conn, file };
+            Op::Compute(CONNECT_COST)
+        } else {
+            self.pending.remove(&conn);
+            let stale = self.shared.borrow().cache.stale_copy(file);
+            match stale {
+                Some(bytes) => {
+                    self.dispatch(cx, ev, self.f_stale);
+                    self.state = PState::WriteDone {
+                        conn,
+                        bytes,
+                        kind: ServeKind::Stale,
+                    };
+                    Op::Compute(WRITE_BASE + bytes * WRITE_PER_BYTE)
+                }
+                None => {
+                    self.dispatch(cx, ev, self.f_error);
+                    self.state = PState::WriteDone {
+                        conn,
+                        bytes: 0,
+                        kind: ServeKind::Error,
+                    };
+                    Op::Compute(WRITE_BASE)
+                }
+            }
+        }
+    }
 }
 
 impl ThreadBody for EventLoop {
@@ -189,8 +336,10 @@ impl ThreadBody for EventLoop {
                 Op::Recv(self.poll)
             }
             PState::WaitMsg => {
-                let Wake::Received(msg) = wake else {
-                    unreachable!("event loop waits on the poll channel");
+                let msg = match wake {
+                    Wake::Received(msg) => msg,
+                    Wake::RecvTimedOut => return self.on_fetch_timeout(cx),
+                    _ => unreachable!("event loop waits on the poll channel"),
                 };
                 match msg.take::<ProxyMsg>() {
                     ProxyMsg::NewConn { conn, reply } => {
@@ -212,6 +361,18 @@ impl ThreadBody for EventLoop {
                         Op::Compute(READ_REQ_COST)
                     }
                     ProxyMsg::OriginData { conn, file, bytes } => {
+                        let live = self
+                            .pending
+                            .get(&conn)
+                            .is_some_and(|p| p.file == file);
+                        if !live {
+                            // A reply for a fetch we retried or gave
+                            // up on — the connection has moved on.
+                            self.shared.borrow_mut().late_replies += 1;
+                            self.state = PState::WaitMsg;
+                            return self.wait_op(cx.now());
+                        }
+                        self.pending.remove(&conn);
                         let ev = self.shared.borrow().conns[&conn].ev;
                         self.dispatch(cx, ev, self.f_read_reply);
                         self.state = PState::ReadReplyDone { conn, file, bytes };
@@ -222,19 +383,23 @@ impl ThreadBody for EventLoop {
             PState::AcceptDone { conn } => {
                 self.finish(cx, conn);
                 self.state = PState::WaitMsg;
-                Op::Recv(self.poll)
+                self.wait_op(cx.now())
             }
             PState::ReadDone { conn, file } => {
                 let ev = self.finish(cx, conn);
-                let hit = self.shared.borrow_mut().cache.lookup(file);
+                let hit = self.shared.borrow_mut().cache.lookup(file, cx.now());
                 match hit {
-                    Some(bytes) => {
+                    CacheLookup::Fresh(bytes) => {
                         self.shared.borrow_mut().hits += 1;
                         self.dispatch(cx, ev, self.f_write);
-                        self.state = PState::WriteDone { conn, bytes };
+                        self.state = PState::WriteDone {
+                            conn,
+                            bytes,
+                            kind: ServeKind::Content,
+                        };
                         Op::Compute(WRITE_BASE + bytes * WRITE_PER_BYTE)
                     }
-                    None => {
+                    CacheLookup::Stale(_) | CacheLookup::Miss => {
                         self.shared.borrow_mut().misses += 1;
                         self.dispatch(cx, ev, self.f_connect);
                         self.state = PState::ConnectDone { conn, file };
@@ -243,6 +408,29 @@ impl ThreadBody for EventLoop {
                 }
             }
             PState::ConnectDone { conn, file } => {
+                self.finish(cx, conn);
+                self.pending.insert(
+                    conn,
+                    PendingFetch {
+                        file,
+                        attempts: 0,
+                        deadline: cx.now().saturating_add(self.timeout),
+                    },
+                );
+                self.state = PState::Sent;
+                Op::Send(
+                    self.origin,
+                    Msg::new(
+                        OriginReq {
+                            conn,
+                            file,
+                            reply: self.poll,
+                        },
+                        400,
+                    ),
+                )
+            }
+            PState::RetryDone { conn, file } => {
                 self.finish(cx, conn);
                 self.state = PState::Sent;
                 Op::Send(
@@ -259,25 +447,43 @@ impl ThreadBody for EventLoop {
             }
             PState::ReadReplyDone { conn, file, bytes } => {
                 let ev = self.finish(cx, conn);
-                self.shared.borrow_mut().cache.insert(file, bytes);
+                let fresh_until = cx.now().saturating_add(self.fresh_ttl);
+                self.shared
+                    .borrow_mut()
+                    .cache
+                    .insert(file, bytes, fresh_until);
                 self.dispatch(cx, ev, self.f_write);
-                self.state = PState::WriteDone { conn, bytes };
+                self.state = PState::WriteDone {
+                    conn,
+                    bytes,
+                    kind: ServeKind::Content,
+                };
                 Op::Compute(WRITE_BASE + bytes * WRITE_PER_BYTE)
             }
-            PState::WriteDone { conn, bytes } => {
+            PState::WriteDone { conn, bytes, kind } => {
                 self.finish(cx, conn);
                 let reply = self.shared.borrow().conns[&conn].reply;
                 {
                     let mut sh = self.shared.borrow_mut();
-                    sh.served_bytes += bytes;
-                    sh.served_reqs += 1;
+                    match kind {
+                        ServeKind::Content => {
+                            sh.served_bytes += bytes;
+                            sh.served_reqs += 1;
+                        }
+                        ServeKind::Stale => {
+                            sh.served_bytes += bytes;
+                            sh.served_reqs += 1;
+                            sh.stale_served += 1;
+                        }
+                        ServeKind::Error => sh.failed += 1,
+                    }
                 }
                 self.state = PState::Sent;
-                Op::Send(reply, Msg::new(bytes, bytes))
+                Op::Send(reply, Msg::new(bytes, bytes.max(40)))
             }
             PState::Sent => {
                 self.state = PState::WaitMsg;
-                Op::Recv(self.poll)
+                self.wait_op(cx.now())
             }
         }
     }
@@ -436,6 +642,19 @@ pub struct ProxyConfig {
     pub duration: Cycles,
     /// Trace parameters.
     pub trace: WebTraceConfig,
+    /// Per-attempt origin-fetch timeout (doubles per resend).
+    pub origin_timeout: Cycles,
+    /// Origin-fetch resends before degrading to stale/error.
+    pub origin_retries: u32,
+    /// Freshness TTL of fetched entries; `Cycles::MAX` (the default)
+    /// means entries never go stale.
+    pub fresh_ttl: Cycles,
+    /// Crash the origin process at this virtual time.
+    pub origin_crash_at: Option<Cycles>,
+    /// Probability an origin-bound request is dropped on the wire.
+    pub origin_drop_p: f64,
+    /// Seed of the fault plan's random stream.
+    pub fault_seed: u64,
 }
 
 impl Default for ProxyConfig {
@@ -449,6 +668,12 @@ impl Default for ProxyConfig {
                 files: 5000,
                 ..WebTraceConfig::default()
             },
+            origin_timeout: ms_to_cycles(50.0),
+            origin_retries: 3,
+            fresh_ttl: Cycles::MAX,
+            origin_crash_at: None,
+            origin_drop_p: 0.0,
+            fault_seed: 0x5eed,
         }
     }
 }
@@ -461,6 +686,14 @@ pub struct ProxyReport {
     pub reqs: u64,
     /// Request hit fraction.
     pub hit_rate: f64,
+    /// Requests served from stale entries with the origin down.
+    pub stale_served: u64,
+    /// Origin fetches re-sent after a timeout.
+    pub origin_retries: u64,
+    /// Requests failed with an error page.
+    pub failed: u64,
+    /// Late origin replies discarded.
+    pub late_replies: u64,
     /// The proxy process runtime.
     pub runtime: ProcRuntime,
     /// Virtual duration.
@@ -489,6 +722,10 @@ pub fn run_proxy(cfg: ProxyConfig) -> ProxyReport {
         served_reqs: 0,
         hits: 0,
         misses: 0,
+        stale_served: 0,
+        origin_retries: 0,
+        failed: 0,
+        late_replies: 0,
     }));
 
     let f_accept = sim.frame("httpAccept");
@@ -496,6 +733,26 @@ pub fn run_proxy(cfg: ProxyConfig) -> ProxyReport {
     let f_connect = sim.frame("commConnectHandle");
     let f_read_reply = sim.frame("httpReadReply");
     let f_write = sim.frame("commHandleWrite");
+    let f_retry = sim.frame("commRetryOrigin");
+    let f_stale = sim.frame("httpServeStale");
+    let f_error = sim.frame("httpRequestError");
+
+    if cfg.origin_crash_at.is_some() || cfg.origin_drop_p > 0.0 {
+        let mut plan = FaultPlan::new(cfg.fault_seed);
+        if cfg.origin_drop_p > 0.0 {
+            plan = plan.channel_faults(
+                origin_chan,
+                ChannelFaults {
+                    drop_p: cfg.origin_drop_p,
+                    ..ChannelFaults::default()
+                },
+            );
+        }
+        if let Some(at) = cfg.origin_crash_at {
+            plan = plan.crash(origin_proc, at);
+        }
+        sim.set_fault_plan(plan);
+    }
 
     sim.spawn(
         proxy_proc,
@@ -510,6 +767,13 @@ pub fn run_proxy(cfg: ProxyConfig) -> ProxyReport {
             f_connect,
             f_read_reply,
             f_write,
+            f_retry,
+            f_stale,
+            f_error,
+            pending: HashMap::new(),
+            timeout: cfg.origin_timeout,
+            max_retries: cfg.origin_retries,
+            fresh_ttl: cfg.fresh_ttl,
             state: PState::Init,
         }),
     );
@@ -570,6 +834,10 @@ pub fn run_proxy(cfg: ProxyConfig) -> ProxyReport {
         throughput_mbps: mbps(sh.served_bytes, cfg.duration),
         reqs: sh.served_reqs,
         hit_rate,
+        stale_served: sh.stale_served,
+        origin_retries: sh.origin_retries,
+        failed: sh.failed,
+        late_replies: sh.late_replies,
         runtime: pr,
         duration: cfg.duration,
     }
@@ -579,17 +847,19 @@ pub fn run_proxy(cfg: ProxyConfig) -> ProxyReport {
 mod tests {
     use super::*;
 
+    const FOREVER: Cycles = Cycles::MAX;
+
     #[test]
     fn byte_cache_evicts_fifo_at_capacity() {
         let mut c = ByteCache::new(100);
-        c.insert(1, 60);
-        c.insert(2, 30);
-        assert_eq!(c.lookup(1), Some(60));
+        c.insert(1, 60, FOREVER);
+        c.insert(2, 30, FOREVER);
+        assert_eq!(c.lookup(1, 0), CacheLookup::Fresh(60));
         // Third insert overflows: the oldest entry goes.
-        c.insert(3, 50);
-        assert_eq!(c.lookup(1), None, "file 1 evicted");
-        assert_eq!(c.lookup(2), Some(30));
-        assert_eq!(c.lookup(3), Some(50));
+        c.insert(3, 50, FOREVER);
+        assert_eq!(c.lookup(1, 0), CacheLookup::Miss, "file 1 evicted");
+        assert_eq!(c.lookup(2, 0), CacheLookup::Fresh(30));
+        assert_eq!(c.lookup(3, 0), CacheLookup::Fresh(50));
         assert_eq!(c.hits, 3);
         assert_eq!(c.misses, 1);
     }
@@ -597,8 +867,21 @@ mod tests {
     #[test]
     fn byte_cache_reinsert_is_idempotent() {
         let mut c = ByteCache::new(100);
-        c.insert(1, 40);
-        c.insert(1, 40);
+        c.insert(1, 40, FOREVER);
+        c.insert(1, 40, FOREVER);
+        assert_eq!(c.bytes, 40);
+    }
+
+    #[test]
+    fn byte_cache_entries_go_stale_and_refresh() {
+        let mut c = ByteCache::new(100);
+        c.insert(1, 40, 1000);
+        assert_eq!(c.lookup(1, 999), CacheLookup::Fresh(40));
+        assert_eq!(c.lookup(1, 1000), CacheLookup::Stale(40), "TTL expired");
+        assert_eq!(c.stale_copy(1), Some(40), "the copy is still there");
+        // Revalidation refreshes the TTL in place.
+        c.insert(1, 40, 2000);
+        assert_eq!(c.lookup(1, 1500), CacheLookup::Fresh(40));
         assert_eq!(c.bytes, 40);
     }
 
@@ -656,6 +939,62 @@ mod tests {
             dedup.dedup();
             assert_eq!(dedup.len(), parts.len(), "looping context {s}");
         }
+    }
+
+    #[test]
+    fn crashed_origin_serves_stale_under_its_own_context() {
+        // The origin dies mid-run. Entries go stale on a short TTL, so
+        // revalidations start failing: after the retries burn out the
+        // proxy serves the stale copy (stale-if-error) under the
+        // httpServeStale handler — the degraded path is visible in the
+        // profile — and uncached files fail with an error page.
+        let r = run_proxy(ProxyConfig {
+            clients: 12,
+            duration: 10 * CPU_HZ,
+            fresh_ttl: 2 * CPU_HZ,
+            origin_timeout: ms_to_cycles(20.0),
+            origin_crash_at: Some(5 * CPU_HZ),
+            ..ProxyConfig::default()
+        });
+        assert!(r.origin_retries > 0, "dead origin forces retries");
+        assert!(r.stale_served > 0, "stale entries keep being served");
+        assert!(r.failed > 0, "cold files fail instead of hanging");
+        assert!(r.reqs > 100, "the proxy keeps serving: {}", r.reqs);
+        let w = r.runtime.whodunit.as_ref().unwrap().borrow();
+        let ctxs: Vec<String> = w
+            .profiled_contexts()
+            .iter()
+            .map(|&c| w.ctx_string(c))
+            .collect();
+        assert!(
+            ctxs.iter().any(|s| s.contains("httpServeStale")),
+            "degraded path has its own context: {ctxs:?}"
+        );
+        assert!(
+            ctxs.iter().any(|s| s.contains("commRetryOrigin")),
+            "retries appear in the profile: {ctxs:?}"
+        );
+    }
+
+    #[test]
+    fn dropped_origin_requests_recover_via_retry() {
+        // A third of origin-bound fetches vanish; backoff resends keep
+        // the miss path alive and nothing ends up stuck.
+        let r = run_proxy(ProxyConfig {
+            clients: 12,
+            duration: 8 * CPU_HZ,
+            origin_timeout: ms_to_cycles(20.0),
+            origin_drop_p: 0.33,
+            ..ProxyConfig::default()
+        });
+        assert!(r.origin_retries > 0, "drops surfaced as retries");
+        assert!(r.reqs > 100, "served through the loss: {}", r.reqs);
+        assert!(
+            r.failed < r.reqs / 10,
+            "few requests exhaust 3 retries: {} of {}",
+            r.failed,
+            r.reqs
+        );
     }
 
     #[test]

@@ -28,7 +28,7 @@ use whodunit_core::cost::{cycles_to_ms, ms_to_cycles, CPU_HZ};
 use whodunit_core::frame::FrameId;
 use whodunit_core::ids::{ChanId, ProcId};
 use whodunit_core::stitch::StageDump;
-use whodunit_sim::{Cycles, Msg, Op, Sim, SimConfig, ThreadBody, ThreadCx, Wake};
+use whodunit_sim::{ChannelFaults, Cycles, FaultPlan, Msg, Op, Sim, SimConfig, ThreadBody, ThreadCx, Wake};
 use whodunit_workload::{Interaction, Mix, TpcwMix};
 
 /// Number of BestSellers subjects (cache key space).
@@ -76,7 +76,7 @@ enum FState {
     WaitMsg,
     Forward(Option<(Interaction, u64, ChanId)>),
     WaitTomcat(Option<ChanId>),
-    Reply(Option<(Interaction, ChanId)>),
+    Reply(Option<(Interaction, bool, ChanId)>),
     /// Serving an image from the cache.
     ImgHit(Option<(u64, ChanId)>),
     /// Fetching a missed image from Tomcat.
@@ -198,13 +198,13 @@ impl ThreadBody for SquidWorker {
                 Wake::Received(msg) => {
                     let pr = msg.take::<PageReply>();
                     let client = reply.expect("client reply channel");
-                    self.state = FState::Reply(Some((pr.interaction, client)));
+                    self.state = FState::Reply(Some((pr.interaction, pr.ok, client)));
                     Op::Compute(ms_to_cycles(0.3))
                 }
                 _ => unreachable!("WaitTomcat sees send-done then reply"),
             },
             FState::Reply(data) => {
-                let (interaction, client) = data.expect("reply data");
+                let (interaction, ok, client) = data.expect("reply data");
                 cx.pop_frame();
                 self.state = FState::Done;
                 Op::Send(
@@ -213,6 +213,7 @@ impl ThreadBody for SquidWorker {
                         PageReply {
                             interaction,
                             tag: 0,
+                            ok,
                         },
                         8 * 1024,
                     ),
@@ -234,6 +235,10 @@ pub struct ClientStats {
     pub rt: HashMap<Interaction, MeanAcc>,
     /// Interactions completed after warmup.
     pub completed: u64,
+    /// Error pages received (whole run, warmup included).
+    pub errors: u64,
+    /// Error pages classified per interaction.
+    pub errors_by: HashMap<Interaction, u64>,
 }
 
 struct TpcwClient {
@@ -321,7 +326,13 @@ impl ThreadBody for TpcwClient {
                 let pr = msg.take::<PageReply>();
                 let (i, started) = self.current.take().expect("in flight");
                 debug_assert_eq!(pr.interaction, i);
-                if started >= self.warmup {
+                if !pr.ok {
+                    // Classify the failure; errors never count as
+                    // completions and never enter the RT statistics.
+                    let mut st = self.stats.borrow_mut();
+                    st.errors += 1;
+                    *st.errors_by.entry(i).or_insert(0) += 1;
+                } else if started >= self.warmup {
                     let mut st = self.stats.borrow_mut();
                     st.rt.entry(i).or_default().add(cx.now() - started);
                     st.completed += 1;
@@ -399,6 +410,30 @@ pub struct TpcwConfig {
     pub mix: Mix,
     /// Base RNG seed.
     pub seed: u64,
+    /// Tomcat's DB-RPC timeout (see [`AppServerConfig::db_timeout`]).
+    pub db_timeout: Cycles,
+    /// Optional seeded fault plan for the assembly (`None` = fault-free).
+    pub faults: Option<TpcwFaults>,
+}
+
+/// Fault knobs for the 3-tier assembly, resolved into a
+/// [`whodunit_sim::FaultPlan`] once the channels and processes exist.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TpcwFaults {
+    /// Seed of the fault plan's random stream.
+    pub seed: u64,
+    /// Faults on the tomcat → mysql request channel.
+    pub db_chan: ChannelFaults,
+    /// Faults on the client → squid channel. Note that a *dropped*
+    /// client request strands that client for the rest of the run (the
+    /// closed-loop browser has no reply timeout), shrinking offered
+    /// load — use drops here for orphaned-message stress, not for
+    /// throughput comparisons.
+    pub front_chan: ChannelFaults,
+    /// Crash the mysql process at this virtual time.
+    pub db_crash_at: Option<Cycles>,
+    /// Slow the mysql machine: `(from, until, factor)`.
+    pub db_slowdown: Option<(Cycles, Cycles, u64)>,
 }
 
 impl Default for TpcwConfig {
@@ -414,6 +449,8 @@ impl Default for TpcwConfig {
             images_per_page: 3,
             mix: Mix::Browsing,
             seed: 1,
+            db_timeout: AppServerConfig::default().db_timeout,
+            faults: None,
         }
     }
 }
@@ -449,6 +486,22 @@ pub struct TpcwReport {
     pub wire_bytes: u64,
     /// Synopsis piggyback bytes across all profiled stages.
     pub piggyback_bytes: u64,
+    /// Error pages the clients received (tomcat shed the request).
+    pub client_errors: u64,
+    /// Error pages classified per interaction.
+    pub errors_by: HashMap<Interaction, u64>,
+    /// Tomcat DB-RPC timeouts fired.
+    pub app_db_timeouts: u64,
+    /// Tomcat DB-RPC resends issued.
+    pub app_db_retries: u64,
+    /// Requests tomcat shed after exhausting its timeout/retry budget.
+    pub app_sheds: u64,
+    /// Messages the fault plan dropped on the wire.
+    pub dropped_msgs: u64,
+    /// Ground-truth compute cycles per profiled tier
+    /// (squid, tomcat, mysql) straight from the simulator — the
+    /// denominator of profile-mass conservation checks.
+    pub compute_truth: Vec<u64>,
 }
 
 /// Runs the TPC-W assembly.
@@ -483,11 +536,24 @@ pub fn run_tpcw(cfg: TpcwConfig) -> TpcwReport {
         db.req_chan,
         AppServerConfig {
             caching: cfg.caching,
+            db_timeout: cfg.db_timeout,
             ..AppServerConfig::default()
         },
     );
 
     let squid_in = sim.add_channel(240_000, 20);
+    if let Some(fs) = cfg.faults {
+        let mut plan = FaultPlan::new(fs.seed)
+            .channel_faults(db.req_chan, fs.db_chan)
+            .channel_faults(squid_in, fs.front_chan);
+        if let Some(at) = fs.db_crash_at {
+            plan = plan.crash(mysql_proc, at);
+        }
+        if let Some((from, until, factor)) = fs.db_slowdown {
+            plan = plan.slowdown(mysql_m, from, until, factor);
+        }
+        sim.set_fault_plan(plan);
+    }
     let f_sq_main = sim.frame("comm_poll");
     let f_sq_fwd = sim.frame("client_http_request");
     let f_sq_img = sim.frame("clientCacheHit_static");
@@ -538,6 +604,12 @@ pub fn run_tpcw(cfg: TpcwConfig) -> TpcwReport {
 
     sim.run_until(cfg.duration);
 
+    let compute_truth = vec![
+        sim.proc_compute_cycles(squid_proc),
+        sim.proc_compute_cycles(tomcat_proc),
+        sim.proc_compute_cycles(mysql_proc),
+    ];
+    let dropped_msgs = sim.chans.total_dropped();
     let wire_bytes = sim.chans.total_bytes();
     let window = cfg.duration - cfg.warmup;
     let st = stats.borrow();
@@ -563,6 +635,7 @@ pub fn run_tpcw(cfg: TpcwConfig) -> TpcwReport {
         }
     }
     let piggyback_bytes = dumps.iter().map(|d| d.piggyback_bytes).sum();
+    let ash = app.shared.borrow();
     TpcwReport {
         throughput_per_min: per_minute(st.completed, window),
         rt_ms,
@@ -577,6 +650,13 @@ pub fn run_tpcw(cfg: TpcwConfig) -> TpcwReport {
         window,
         wire_bytes,
         piggyback_bytes,
+        client_errors: st.errors,
+        errors_by: st.errors_by.clone(),
+        app_db_timeouts: ash.db_timeouts,
+        app_db_retries: ash.db_retries_used,
+        app_sheds: ash.sheds,
+        dropped_msgs,
+        compute_truth,
     }
 }
 
@@ -665,6 +745,72 @@ mod tests {
             "the cache absorbs most image traffic: {} hits vs {} misses",
             r.img_hits,
             r.img_misses
+        );
+    }
+
+    #[test]
+    fn db_crash_degrades_gracefully_and_conserves_profile_mass() {
+        // MySQL dies mid-run: tomcat's DB RPCs time out, retries are
+        // spent, requests are shed, and the clients see classified
+        // error pages — while every profiled tier's CCT mass still
+        // sums to the simulator's ground-truth compute cycles.
+        let r = run_tpcw(TpcwConfig {
+            clients: 30,
+            duration: 90 * CPU_HZ,
+            warmup: 20 * CPU_HZ,
+            db_timeout: CPU_HZ / 2,
+            faults: Some(TpcwFaults {
+                seed: 9,
+                db_crash_at: Some(45 * CPU_HZ),
+                ..TpcwFaults::default()
+            }),
+            ..TpcwConfig::default()
+        });
+        assert!(r.throughput_per_min > 0.0, "pre-crash pages completed");
+        assert!(r.app_db_timeouts > 0, "timeouts fired after the crash");
+        assert!(r.app_db_retries > 0, "retries were attempted");
+        assert!(r.app_sheds > 0, "requests were shed");
+        assert!(r.client_errors > 0, "clients saw error pages");
+        assert!(!r.errors_by.is_empty(), "errors are classified");
+        for (idx, pr) in r.runtimes.iter().enumerate() {
+            let w = pr.whodunit.as_ref().unwrap().borrow();
+            let cct_sum: u64 = w
+                .profiled_contexts()
+                .iter()
+                .map(|&c| w.cct(c).map_or(0, |t| t.total().cycles))
+                .sum();
+            assert_eq!(
+                cct_sum, r.compute_truth[idx],
+                "tier {idx} profile mass diverges from ground truth"
+            );
+        }
+    }
+
+    #[test]
+    fn dropped_db_requests_are_retried_transparently() {
+        // 20% of tomcat→mysql requests vanish on the wire; the tagged
+        // timeout/retry path re-sends them and clients rarely notice.
+        let r = run_tpcw(TpcwConfig {
+            clients: 20,
+            duration: 90 * CPU_HZ,
+            warmup: 20 * CPU_HZ,
+            db_timeout: CPU_HZ,
+            faults: Some(TpcwFaults {
+                seed: 11,
+                db_chan: whodunit_sim::ChannelFaults {
+                    drop_p: 0.2,
+                    ..Default::default()
+                },
+                ..TpcwFaults::default()
+            }),
+            ..TpcwConfig::default()
+        });
+        assert!(r.dropped_msgs > 0, "the plan actually dropped messages");
+        assert!(r.app_db_retries > 0, "drops surfaced as retries");
+        assert!(
+            r.throughput_per_min > 50.0,
+            "retries keep the site serving: {}",
+            r.throughput_per_min
         );
     }
 

@@ -40,7 +40,7 @@ impl ThreadBody for Caller {
                 if self.rounds == 0 {
                     return Op::Exit;
                 }
-                let via = if self.rounds % 2 == 0 { 1 } else { 2 };
+                let via = if self.rounds.is_multiple_of(2) { 1 } else { 2 };
                 cx.push_frame(self.frames[via]);
                 cx.push_frame(self.frames[3]);
                 cx.push_frame(self.frames[4]);

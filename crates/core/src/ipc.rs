@@ -15,7 +15,7 @@
 
 use crate::context::{ContextAtom, ContextTable, CtxId};
 use crate::synopsis::{SynChain, Synopsis, SynopsisTable};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// What a send wrapper hands the substrate to put on the wire.
 #[derive(Clone, Debug, Default)]
@@ -45,15 +45,38 @@ pub enum RecvKind {
         /// The context to switch back to.
         restore: CtxId,
     },
+    /// A response to a request whose send-point association was
+    /// already pruned (the reply arrived after the TTL — a late or
+    /// duplicate answer from a slow or flaky peer). The receiver keeps
+    /// its current context: adopting the chain would mis-attribute the
+    /// work, and there is no base left to restore.
+    Stale {
+        /// The synopsis of ours found in the chain.
+        ours: Synopsis,
+    },
 }
 
 /// Per-process IPC bookkeeping: the send-point associations of §7.4.
+///
+/// Associations are stamped with a send **epoch** and pruned once they
+/// age past a TTL (see [`IpcTracker::advance_epoch`]). Without pruning
+/// every request whose answer never arrives — a crashed peer, a dropped
+/// reply — leaks its dictionary entry forever, which matters exactly in
+/// the degraded runs where answers go missing.
 #[derive(Debug, Default)]
 pub struct IpcTracker {
     /// Synopsis we sent → the base context to restore when the
     /// response comes back ("switch back to the CCT from which the
-    /// request originated").
-    assoc: HashMap<Synopsis, CtxId>,
+    /// request originated"), stamped with the epoch of the send.
+    assoc: HashMap<Synopsis, (CtxId, u64)>,
+    /// Age queue for lazy pruning: `(epoch at send, synopsis)` in send
+    /// order. An entry whose stamp no longer matches `assoc` was
+    /// refreshed by a later send of the same synopsis and is skipped.
+    age: VecDeque<(u64, Synopsis)>,
+    /// Current epoch (advanced by [`IpcTracker::advance_epoch`]).
+    epoch: u64,
+    /// Associations pruned unanswered so far.
+    pub pruned: u64,
     /// Total piggyback bytes sent (the paper reports 0.95 MB of
     /// transaction context against 92.52 MB of data on TPC-W).
     pub piggyback_bytes: u64,
@@ -65,6 +88,31 @@ impl IpcTracker {
     /// Creates an empty tracker.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Associations still held (answered or not, until pruned).
+    pub fn pending(&self) -> usize {
+        self.assoc.len()
+    }
+
+    /// Advances the epoch clock and prunes associations older than
+    /// `ttl` epochs. The caller decides what an epoch is — the
+    /// profiler advances once per send, making the TTL "survives this
+    /// many subsequent sends".
+    pub fn advance_epoch(&mut self, ttl: u64) {
+        self.epoch += 1;
+        while let Some(&(e, s)) = self.age.front() {
+            if e.saturating_add(ttl) >= self.epoch {
+                break;
+            }
+            self.age.pop_front();
+            // Lazy deletion: only drop the association if this queue
+            // entry is still its live stamp.
+            if self.assoc.get(&s).is_some_and(|&(_, stamp)| stamp == e) {
+                self.assoc.remove(&s);
+                self.pruned += 1;
+            }
+        }
     }
 
     /// The send wrapper (§7.4).
@@ -84,7 +132,8 @@ impl IpcTracker {
         ctx_at_send: CtxId,
     ) -> SynChain {
         let local = syns.synopsis_of(ctx_at_send);
-        self.assoc.insert(local, base);
+        self.assoc.insert(local, (base, self.epoch));
+        self.age.push_back((self.epoch, local));
         let mut chain = match ctxs.value(base).atoms().first() {
             Some(ContextAtom::Remote(prefix)) => prefix.clone(),
             _ => SynChain::default(),
@@ -112,9 +161,13 @@ impl IpcTracker {
         };
         for &s in chain.0.iter().rev() {
             if syns.is_mine(s) {
-                if let Some(&restore) = self.assoc.get(&s) {
-                    return RecvKind::Response { ours: s, restore };
-                }
+                return match self.assoc.get(&s) {
+                    Some(&(restore, _)) => RecvKind::Response { ours: s, restore },
+                    // Ours, but the association aged out: a late reply,
+                    // not a fresh request — never adopt a chain that
+                    // contains our own synopsis.
+                    None => RecvKind::Stale { ours: s },
+                };
             }
         }
         RecvKind::Request {
@@ -241,6 +294,81 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn unanswered_associations_age_out() {
+        let (mut ctxs, mut syns, mut ipc) = setup(1);
+        let c = ctxs.append_path(CtxId::ROOT, &[FrameId(1)]);
+        let req = ipc.send(&ctxs, &mut syns, CtxId::ROOT, c);
+        assert_eq!(ipc.pending(), 1);
+        // TTL 3: survives three epochs, pruned on the fourth.
+        for _ in 0..3 {
+            ipc.advance_epoch(3);
+        }
+        assert_eq!(ipc.pending(), 1);
+        ipc.advance_epoch(3);
+        assert_eq!(ipc.pending(), 0);
+        assert_eq!(ipc.pruned, 1);
+        // The late reply is now stale, not a request.
+        let mut chain = req.clone();
+        chain.0.push(Synopsis::new(2, 1));
+        match ipc.recv(&mut ctxs, &syns, Some(&chain)) {
+            RecvKind::Stale { ours } => assert_eq!(ours, req.0[0]),
+            k => panic!("expected stale, got {k:?}"),
+        }
+    }
+
+    #[test]
+    fn resend_refreshes_the_stamp() {
+        let (mut ctxs, mut syns, mut ipc) = setup(1);
+        let c = ctxs.append_path(CtxId::ROOT, &[FrameId(1)]);
+        let req = ipc.send(&ctxs, &mut syns, CtxId::ROOT, c);
+        ipc.advance_epoch(2);
+        ipc.advance_epoch(2);
+        // Re-send of the same context re-stamps the same synopsis.
+        ipc.send(&ctxs, &mut syns, CtxId::ROOT, c);
+        ipc.advance_epoch(2);
+        // The original entry's age-queue slot expires here, but the
+        // refreshed stamp keeps the association alive (lazy deletion).
+        assert_eq!(ipc.pending(), 1);
+        assert_eq!(ipc.pruned, 0);
+        match ipc.recv(&mut ctxs, &syns, Some(&req)) {
+            RecvKind::Response { restore, .. } => assert_eq!(restore, CtxId::ROOT),
+            k => panic!("expected response, got {k:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_advances_never_prune() {
+        let (mut ctxs, mut syns, mut ipc) = setup(1);
+        let c = ctxs.append_path(CtxId::ROOT, &[FrameId(1)]);
+        ipc.send(&ctxs, &mut syns, CtxId::ROOT, c);
+        assert_eq!(ipc.pending(), 1, "no epoch advance, no pruning");
+        // And a huge TTL never prunes even across many epochs.
+        for _ in 0..100 {
+            ipc.advance_epoch(u64::MAX);
+        }
+        assert_eq!(ipc.pending(), 1);
+    }
+
+    #[test]
+    fn duplicate_response_is_idempotent() {
+        // The same response chain received twice restores the same
+        // base both times and never creates a second remote context.
+        let (mut ctxs1, mut syns1, mut ipc1) = setup(1);
+        let (mut ctxs2, mut syns2, mut ipc2) = setup(2);
+        let c = ctxs1.append_path(CtxId::ROOT, &[FrameId(1)]);
+        let req = ipc1.send(&ctxs1, &mut syns1, CtxId::ROOT, c);
+        let callee_base = match ipc2.recv(&mut ctxs2, &syns2, Some(&req)) {
+            RecvKind::Request { ctx } => ctx,
+            k => panic!("{k:?}"),
+        };
+        let resp = ipc2.send(&ctxs2, &mut syns2, callee_base, callee_base);
+        let a = ipc1.recv(&mut ctxs1, &syns1, Some(&resp));
+        let b = ipc1.recv(&mut ctxs1, &syns1, Some(&resp));
+        assert_eq!(a, b);
+        assert!(matches!(a, RecvKind::Response { restore, .. } if restore == CtxId::ROOT));
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod cct;
 pub mod context;
 pub mod cost;
 pub mod crosstalk;
+pub mod dumpjson;
 pub mod events;
 pub mod frame;
 pub mod ids;

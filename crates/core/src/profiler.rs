@@ -44,6 +44,11 @@ pub struct WhodunitConfig {
     /// Sample placement: deterministic analytic (default) or seeded
     /// stochastic exponential gaps.
     pub sampling: Sampling,
+    /// How many subsequent sends an unanswered sent-synopsis
+    /// association survives before it is pruned (§7.4 dictionary
+    /// hygiene). Late replies arriving after the prune classify as
+    /// [`crate::ipc::RecvKind::Stale`] instead of restoring a context.
+    pub ipc_ttl: u64,
 }
 
 impl WhodunitConfig {
@@ -57,7 +62,16 @@ impl WhodunitConfig {
             flow: FlowConfig::default(),
             always_emulate: false,
             sampling: Sampling::Analytic,
+            // Generous enough that a healthy run never prunes; bounded
+            // so a sick peer cannot leak the dictionary forever.
+            ipc_ttl: 1_000_000,
         }
+    }
+
+    /// Overrides the sent-synopsis association TTL (in sends).
+    pub fn with_ipc_ttl(mut self, ttl: u64) -> Self {
+        self.ipc_ttl = ttl;
+        self
     }
 
     /// Overrides the cost model.
@@ -253,6 +267,7 @@ impl Runtime for Whodunit {
         let base = self.base_of(t);
         let ctx_at_send = self.ctxs.append_path(base, stack);
         let chain = self.ipc.send(&self.ctxs, &mut self.syns, base, ctx_at_send);
+        self.ipc.advance_epoch(self.cfg.ipc_ttl);
         let extra_bytes = chain.wire_bytes();
         let cycles = self.charge(self.cfg.cost.per_send_cycles);
         SendInfo {
@@ -271,6 +286,10 @@ impl Runtime for Whodunit {
             RecvKind::Response { restore, .. } => {
                 self.base.insert(t, restore);
             }
+            // A late reply to a pruned request: keep the thread's
+            // current base rather than adopt a chain containing our
+            // own synopsis.
+            RecvKind::Stale { .. } => {}
         }
         self.charge(self.cfg.cost.per_recv_cycles)
     }
@@ -591,7 +610,7 @@ mod tests {
         assert_eq!(d.ccts.len(), 1);
         assert_eq!(d.messages, 1);
         assert!(!d.synopses.is_empty());
-        let rebuilt = d.rebuild_cct(&d.ccts[0]);
+        let rebuilt = d.rebuild_cct(&d.ccts[0]).unwrap();
         assert_eq!(rebuilt.total().cycles, 1234);
     }
 }

@@ -160,6 +160,80 @@ fn thread_exit_clears_profiler_state() {
 }
 
 #[test]
+fn duplicate_delivery_does_not_double_adopt() {
+    // The wire duplicated a request: the receiver sees the same chain
+    // twice. Both receipts must adopt the *same* remote context — a
+    // duplicate must not mint a second context or fork the profile.
+    let mut a = make(1);
+    let mut b = make(2);
+    let f = [FrameId(0)];
+    let req = a.on_send(T, &f).chain.unwrap();
+
+    b.on_recv(T, Some(&req));
+    let first = b.current_ctx(T);
+    b.on_compute(T, &f, 500);
+
+    // The duplicate lands (possibly on another worker thread).
+    let t2 = ThreadId(2);
+    b.on_recv(t2, Some(&req));
+    let second = b.current_ctx(t2);
+    b.on_compute(t2, &f, 500);
+
+    assert_eq!(first, second, "duplicate adopts the same context");
+    let profiled = b.profiled_contexts();
+    assert_eq!(
+        profiled.iter().filter(|&&c| c != CtxId::ROOT).count(),
+        1,
+        "one remote context, not one per duplicate: {profiled:?}"
+    );
+}
+
+#[test]
+fn duplicate_response_restores_same_base_twice() {
+    // A response duplicated on the wire: the second copy restores the
+    // same base instead of adopting a chain containing our synopsis.
+    let mut a = make(1);
+    let mut b = make(2);
+    let f = [FrameId(0)];
+    let req = a.on_send(T, &f).chain.unwrap();
+    b.on_recv(T, Some(&req));
+    let resp = b.on_send(T, &f).chain.unwrap();
+
+    a.on_recv(T, Some(&resp));
+    let restored = a.current_ctx(T);
+    a.on_recv(T, Some(&resp));
+    assert_eq!(a.current_ctx(T), restored);
+    assert_eq!(restored, CtxId::ROOT, "base at send time was ROOT");
+}
+
+#[test]
+fn crashed_peer_unanswered_synopses_age_out() {
+    // A sends requests to a peer that crashes and never answers. With
+    // a small TTL the sent-synopsis dictionary must shrink back to
+    // empty instead of holding every unanswered entry forever.
+    let mut a = Whodunit::new(
+        WhodunitConfig::new(ProcId(1), "a").with_ipc_ttl(8),
+        shared_frame_table(),
+    );
+    for i in 0..100u32 {
+        // Distinct send points → distinct synopses, none answered.
+        a.on_send(T, &[FrameId(i)]);
+    }
+    let pending = a.ipc().pending();
+    assert!(
+        pending <= 9,
+        "TTL 8 must bound the dictionary, still holding {pending}"
+    );
+    assert!(a.ipc().pruned >= 91, "pruned {} entries", a.ipc().pruned);
+
+    // A reply to a long-pruned request must not corrupt the context:
+    // it is stale, and the thread keeps its current base.
+    let ghost = SynChain(vec![Synopsis::new(1, 1), Synopsis::new(2, 1)]);
+    a.on_recv(T, Some(&ghost));
+    assert_eq!(a.current_ctx(T), CtxId::ROOT, "stale reply changes nothing");
+}
+
+#[test]
 fn deep_response_chain_with_repeated_visits() {
     // A proxy that appears twice on the path (A -> B -> A -> C): the
     // deepest own synopsis must win when the response returns.

@@ -1,15 +1,19 @@
 //! Profile dump/load (§7.1's on-disk profiles).
+//!
+//! Thin re-export of [`whodunit_core::dumpjson`]; kept here so report
+//! consumers keep a single import point for presentation-phase I/O.
 
-use whodunit_core::stitch::StageDump;
+use whodunit_core::stitch::{StageDump, StitchError};
 
-/// Serializes stage dumps to pretty JSON.
+/// Serializes stage dumps to JSON.
 pub fn to_json(dumps: &[StageDump]) -> String {
-    serde_json::to_string_pretty(dumps).expect("stage dumps serialize")
+    whodunit_core::dumpjson::to_json(dumps)
 }
 
-/// Loads stage dumps back from JSON.
-pub fn from_json(s: &str) -> Result<Vec<StageDump>, serde_json::Error> {
-    serde_json::from_str(s)
+/// Loads stage dumps back from JSON. Dumps are untrusted input: a
+/// truncated or corrupt file is an error, never a panic.
+pub fn from_json(s: &str) -> Result<Vec<StageDump>, StitchError> {
+    whodunit_core::dumpjson::from_json(s)
 }
 
 #[cfg(test)]

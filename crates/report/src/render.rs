@@ -24,7 +24,11 @@ pub fn context_shares(dump: &StageDump) -> Vec<CtxShare> {
     let mut total_samples = 0u64;
     let mut per_ctx: Vec<(u32, u64, u64)> = Vec::new();
     for c in &dump.ccts {
-        let cct = dump.rebuild_cct(c);
+        // Malformed CCTs (corrupt dump) are skipped; the valid remainder
+        // still renders.
+        let Ok(cct) = dump.rebuild_cct(c) else {
+            continue;
+        };
         let m = cct.total();
         total_samples += m.samples;
         per_ctx.push((c.ctx, m.samples, m.cycles));
@@ -61,10 +65,15 @@ pub fn render_stage(dump: &StageDump) -> String {
     ));
     let mut total_samples = 0u64;
     for c in &dump.ccts {
-        total_samples += dump.rebuild_cct(c).total().samples;
+        if let Ok(cct) = dump.rebuild_cct(c) {
+            total_samples += cct.total().samples;
+        }
     }
     for c in &dump.ccts {
-        let cct = dump.rebuild_cct(c);
+        let Ok(cct) = dump.rebuild_cct(c) else {
+            out.push_str(&format!("ctx: {} <corrupt cct skipped>\n", dump.ctx_string(c.ctx)));
+            continue;
+        };
         out.push_str(&format!("ctx: {}\n", dump.ctx_string(c.ctx)));
         render_node(&mut out, dump, &cct, CctNodeId::ROOT, 1, total_samples);
     }
@@ -108,7 +117,9 @@ pub fn render_dot(dump: &StageDump) -> String {
     let mut out = String::new();
     out.push_str(&format!("digraph \"{}\" {{\n", dump.stage_name));
     for (ci, c) in dump.ccts.iter().enumerate() {
-        let cct = dump.rebuild_cct(c);
+        let Ok(cct) = dump.rebuild_cct(c) else {
+            continue;
+        };
         out.push_str(&format!(
             "  subgraph cluster_{ci} {{\n    label=\"{}\";\n",
             dump.ctx_string(c.ctx).replace('"', "'")
@@ -147,7 +158,9 @@ pub fn render_stitched_dot(stitched: &Stitched) -> String {
         std::collections::HashMap::new();
     for (si, d) in stitched.stages.iter().enumerate() {
         for c in &d.ccts {
-            let cct = d.rebuild_cct(c);
+            let Ok(cct) = d.rebuild_cct(c) else {
+                continue;
+            };
             let cl = format!("cluster_s{si}_c{}", c.ctx);
             out.push_str(&format!(
                 "  subgraph {cl} {{\n    label=\"{}: {}\";\n",
@@ -213,6 +226,26 @@ pub fn render_stitched_text(stitched: &Stitched) -> String {
             stitched.stages[e.from_stage].ctx_string(e.from_ctx),
             stitched.stages[e.to_stage].stage_name,
             stitched.stages[e.to_stage].ctx_string(e.to_ctx),
+        ));
+    }
+    // A partial run is visibly partial: edges whose sender dump is
+    // missing or corrupt, and dumps skipped at stitch time.
+    let unresolved = stitched.unresolved_edges();
+    if !unresolved.is_empty() {
+        out.push_str("unresolved edges (sender dump missing or pruned):\n");
+        for e in unresolved {
+            out.push_str(&format!(
+                "  ???[{}]  ==>  {}:{}\n",
+                whodunit_core::synopsis::Synopsis(e.missing),
+                stitched.stages[e.to_stage].stage_name,
+                stitched.stages[e.to_stage].ctx_string(e.to_ctx),
+            ));
+        }
+    }
+    for (si, err) in stitched.warnings() {
+        out.push_str(&format!(
+            "warning: stage {si} ({}) skipped: {err}\n",
+            stitched.stages[*si].stage_name
         ));
     }
     out

@@ -31,13 +31,18 @@ pub fn hops(stitched: &Stitched, stage: usize, ctx: u32) -> Vec<(usize, u32)> {
 }
 
 /// All frame names appearing in a context's `Frame`/`Path` atoms.
+/// Out-of-range indices (corrupt dump) are skipped, not panicked on.
 pub fn ctx_frames(dump: &StageDump, ctx: u32) -> Vec<String> {
     let mut out = Vec::new();
-    for atom in &dump.contexts[ctx as usize].atoms {
+    let Some(context) = dump.contexts.get(ctx as usize) else {
+        return out;
+    };
+    let name = |f: u32| dump.frames.get(f as usize).cloned();
+    for atom in &context.atoms {
         match atom {
-            DumpAtom::Frame(f) => out.push(dump.frames[*f as usize].clone()),
+            DumpAtom::Frame(f) => out.extend(name(*f)),
             DumpAtom::Path(p) => {
-                out.extend(p.iter().map(|&f| dump.frames[f as usize].clone()));
+                out.extend(p.iter().filter_map(|&f| name(f)));
             }
             DumpAtom::Remote(_) => {}
         }
@@ -96,7 +101,11 @@ pub fn table1(
     let mut total_samples = 0u64;
     let mut per_ctx: Vec<(u32, u64)> = Vec::new();
     for c in &dump.ccts {
-        let m = dump.rebuild_cct(c).total();
+        // Corrupt CCTs are skipped; the valid remainder still tabulates.
+        let Ok(cct) = dump.rebuild_cct(c) else {
+            continue;
+        };
+        let m = cct.total();
         total_samples += m.samples;
         per_ctx.push((c.ctx, m.samples));
     }

@@ -13,6 +13,10 @@ use std::collections::VecDeque;
 use whodunit_core::ids::{ChanId, ThreadId};
 use whodunit_core::synopsis::SynChain;
 
+/// Payload cloner registered by [`Msg::replayable`]; the fault layer
+/// uses it to duplicate deliveries.
+type CloneFn = fn(&dyn Any) -> Box<dyn Any>;
+
 /// A message in flight or queued at a receiver.
 #[derive(Debug)]
 pub struct Msg {
@@ -22,6 +26,9 @@ pub struct Msg {
     pub bytes: u64,
     /// Whodunit synopsis chain piggybacked by the send wrapper.
     pub chain: Option<SynChain>,
+    /// Payload cloner, present only for [`Msg::replayable`] messages;
+    /// the fault layer needs it to duplicate deliveries.
+    clone_fn: Option<CloneFn>,
 }
 
 impl Msg {
@@ -31,7 +38,40 @@ impl Msg {
             data: Box::new(data),
             bytes,
             chain: None,
+            clone_fn: None,
         }
+    }
+
+    /// Creates a message whose payload the fault layer may duplicate
+    /// on the wire (`T: Clone`). Use this on channels that carry
+    /// duplication faults; a plain [`Msg::new`] message is delivered
+    /// at most once even when a duplication fault fires.
+    pub fn replayable<T: Any + Clone>(data: T, bytes: u64) -> Self {
+        fn clone_box<T: Any + Clone>(b: &dyn Any) -> Box<dyn Any> {
+            Box::new(
+                b.downcast_ref::<T>()
+                    .expect("cloner registered for the payload type")
+                    .clone(),
+            )
+        }
+        Msg {
+            data: Box::new(data),
+            bytes,
+            chain: None,
+            clone_fn: Some(clone_box::<T>),
+        }
+    }
+
+    /// Clones the message if its payload supports it
+    /// (see [`Msg::replayable`]).
+    pub fn try_clone(&self) -> Option<Msg> {
+        let f = self.clone_fn?;
+        Some(Msg {
+            data: f(self.data.as_ref()),
+            bytes: self.bytes,
+            chain: self.chain.clone(),
+            clone_fn: self.clone_fn,
+        })
     }
 
     /// Downcasts the payload, consuming the message.
@@ -54,10 +94,20 @@ impl Msg {
     /// Downcasts the payload, returning the message back on a type
     /// mismatch (for channels carrying several request kinds).
     pub fn try_take<T: Any>(self) -> Result<T, Msg> {
-        let Msg { data, bytes, chain } = self;
+        let Msg {
+            data,
+            bytes,
+            chain,
+            clone_fn,
+        } = self;
         match data.downcast::<T>() {
             Ok(b) => Ok(*b),
-            Err(data) => Err(Msg { data, bytes, chain }),
+            Err(data) => Err(Msg {
+                data,
+                bytes,
+                chain,
+                clone_fn,
+            }),
         }
     }
 }
@@ -71,6 +121,13 @@ struct ChanState {
     /// Total bytes ever sent (payload + piggyback), for reports.
     bytes_sent: u64,
     msgs_sent: u64,
+    /// Fault accounting: messages dropped / duplicated / delayed by the
+    /// fault layer. `bytes_sent`/`msgs_sent` count the send side, so a
+    /// dropped message is still "sent"; these counters record what
+    /// happened to it on the wire.
+    dropped: u64,
+    duplicated: u64,
+    delayed: u64,
 }
 
 /// All channels of a simulation.
@@ -125,6 +182,64 @@ impl ChanTable {
             c.waiting.push_back(t);
             None
         }
+    }
+
+    /// Removes `t` from the channel's receiver queue (receive timeout
+    /// expired, or the thread crashed). A no-op if `t` is not waiting.
+    pub fn cancel_wait(&mut self, chan: ChanId, t: ThreadId) {
+        self.chans[chan.0 as usize].waiting.retain(|&w| w != t);
+    }
+
+    /// Removes `t` from every channel's receiver queue (process crash).
+    pub fn purge_thread(&mut self, t: ThreadId) {
+        for c in &mut self.chans {
+            c.waiting.retain(|&w| w != t);
+        }
+    }
+
+    /// Records a message dropped by the fault layer.
+    pub fn note_dropped(&mut self, chan: ChanId) {
+        self.chans[chan.0 as usize].dropped += 1;
+    }
+
+    /// Records a message duplicated by the fault layer.
+    pub fn note_duplicated(&mut self, chan: ChanId) {
+        self.chans[chan.0 as usize].duplicated += 1;
+    }
+
+    /// Records a message delayed by the fault layer.
+    pub fn note_delayed(&mut self, chan: ChanId) {
+        self.chans[chan.0 as usize].delayed += 1;
+    }
+
+    /// Messages dropped on `chan` by the fault layer.
+    pub fn dropped(&self, chan: ChanId) -> u64 {
+        self.chans[chan.0 as usize].dropped
+    }
+
+    /// Messages duplicated on `chan` by the fault layer.
+    pub fn duplicated(&self, chan: ChanId) -> u64 {
+        self.chans[chan.0 as usize].duplicated
+    }
+
+    /// Messages delayed on `chan` by the fault layer.
+    pub fn delayed(&self, chan: ChanId) -> u64 {
+        self.chans[chan.0 as usize].delayed
+    }
+
+    /// Messages dropped over all channels.
+    pub fn total_dropped(&self) -> u64 {
+        self.chans.iter().map(|c| c.dropped).sum()
+    }
+
+    /// Messages duplicated over all channels.
+    pub fn total_duplicated(&self) -> u64 {
+        self.chans.iter().map(|c| c.duplicated).sum()
+    }
+
+    /// Messages delayed over all channels.
+    pub fn total_delayed(&self) -> u64 {
+        self.chans.iter().map(|c| c.delayed).sum()
     }
 
     /// Buffered message count (for tests).
@@ -199,5 +314,107 @@ mod tests {
         let m = m.try_take::<String>().unwrap_err();
         assert_eq!(m.bytes, 5);
         assert_eq!(m.try_take::<u32>().unwrap(), 7);
+    }
+
+    #[test]
+    fn replayable_clones_payload_plain_does_not() {
+        let m = Msg::replayable(9u32, 4);
+        let c = m.try_clone().expect("replayable clones");
+        assert_eq!(c.bytes, 4);
+        assert_eq!(c.take::<u32>(), 9);
+        assert_eq!(m.take::<u32>(), 9, "original unaffected");
+        assert!(Msg::new(9u32, 4).try_clone().is_none());
+    }
+
+    #[test]
+    fn clone_of_clone_still_clones() {
+        let m = Msg::replayable(String::from("x"), 1);
+        let c = m.try_clone().unwrap();
+        assert!(c.try_clone().is_some(), "cloner survives cloning");
+    }
+
+    #[test]
+    fn drop_dup_delay_accounting_is_per_channel() {
+        let mut ct = ChanTable::new();
+        let a = ct.add(0, 0);
+        let b = ct.add(0, 0);
+        // The send side always accounts the send, whatever the wire
+        // later does to the message.
+        ct.send_delay(a, 10);
+        ct.send_delay(a, 10);
+        ct.send_delay(b, 10);
+        ct.note_dropped(a);
+        ct.note_duplicated(a);
+        ct.note_duplicated(a);
+        ct.note_delayed(b);
+        assert_eq!((ct.dropped(a), ct.duplicated(a), ct.delayed(a)), (1, 2, 0));
+        assert_eq!((ct.dropped(b), ct.duplicated(b), ct.delayed(b)), (0, 0, 1));
+        assert_eq!(ct.total_dropped(), 1);
+        assert_eq!(ct.total_duplicated(), 2);
+        assert_eq!(ct.total_delayed(), 1);
+        assert_eq!(ct.msgs_sent(a), 2, "drop/dup do not change msgs_sent");
+        assert_eq!(ct.bytes_sent(a), 20);
+    }
+
+    #[test]
+    fn duplicated_delivery_buffers_both_copies() {
+        let mut ct = ChanTable::new();
+        let ch = ct.add(0, 0);
+        let m = Msg::replayable(5u32, 8);
+        let dup = m.try_clone().unwrap();
+        ct.send_delay(ch, 8);
+        assert!(ct.deliver(ch, m).is_none());
+        assert!(ct.deliver(ch, dup).is_none());
+        ct.note_duplicated(ch);
+        assert_eq!(ct.buffered(ch), 2, "one send, two buffered deliveries");
+        assert_eq!(ct.msgs_sent(ch), 1);
+        assert_eq!(ct.bytes_sent(ch), 8, "the duplicate is not re-billed");
+        let t = ThreadId(0);
+        assert_eq!(ct.recv(ch, t).unwrap().take::<u32>(), 5);
+        assert_eq!(ct.recv(ch, t).unwrap().take::<u32>(), 5);
+    }
+
+    #[test]
+    fn blocked_receivers_are_served_fifo() {
+        let mut ct = ChanTable::new();
+        let ch = ct.add(0, 0);
+        let (t1, t2, t3) = (ThreadId(1), ThreadId(2), ThreadId(3));
+        assert!(ct.recv(ch, t1).is_none());
+        assert!(ct.recv(ch, t2).is_none());
+        assert!(ct.recv(ch, t3).is_none());
+        let (w, m) = ct.deliver(ch, Msg::new(1u32, 0)).unwrap();
+        assert_eq!((w, m.take::<u32>()), (t1, 1));
+        let (w, m) = ct.deliver(ch, Msg::new(2u32, 0)).unwrap();
+        assert_eq!((w, m.take::<u32>()), (t2, 2));
+        let (w, m) = ct.deliver(ch, Msg::new(3u32, 0)).unwrap();
+        assert_eq!((w, m.take::<u32>()), (t3, 3));
+    }
+
+    #[test]
+    fn cancel_wait_skips_timed_out_receiver() {
+        let mut ct = ChanTable::new();
+        let ch = ct.add(0, 0);
+        let (t1, t2) = (ThreadId(1), ThreadId(2));
+        assert!(ct.recv(ch, t1).is_none());
+        assert!(ct.recv(ch, t2).is_none());
+        ct.cancel_wait(ch, t1);
+        let (w, _) = ct.deliver(ch, Msg::new(0u32, 0)).unwrap();
+        assert_eq!(w, t2, "cancelled receiver is not handed the message");
+    }
+
+    #[test]
+    fn purge_thread_clears_every_queue() {
+        let mut ct = ChanTable::new();
+        let a = ct.add(0, 0);
+        let b = ct.add(0, 0);
+        let t = ThreadId(7);
+        assert!(ct.recv(a, t).is_none());
+        assert!(ct.recv(b, t).is_none());
+        ct.purge_thread(t);
+        assert!(
+            ct.deliver(a, Msg::new(0u32, 0)).is_none(),
+            "message buffers instead of waking the purged thread"
+        );
+        assert!(ct.deliver(b, Msg::new(0u32, 0)).is_none());
     }
 }

@@ -13,6 +13,7 @@
 //! wall-clock time or unseeded randomness.
 
 use crate::chan::{ChanTable, Msg};
+use crate::fault::FaultPlan;
 use crate::lock::{Acquire, LockTable, Waiter};
 use crate::machine::{Dispatch, MachineTable};
 use crate::time::{CondId, Cycles, MachineId};
@@ -47,6 +48,18 @@ pub enum Wake {
     Received(Msg),
     /// The requested sleep elapsed.
     Slept,
+    /// The deadline of a timed receive passed with no message. The
+    /// thread is no longer queued on the channel; a message arriving
+    /// later buffers for the next receiver.
+    RecvTimedOut,
+    /// A timed condition wait expired before any notify; the thread
+    /// resumes holding the lock again, `waited` cycles after the
+    /// deadline (the lock re-acquisition wait, as in
+    /// [`Wake::CondWoken`]).
+    CondTimedOut {
+        /// Cycles between deadline expiry and lock re-acquisition.
+        waited: Cycles,
+    },
 }
 
 /// One operation a thread performs per resume.
@@ -68,6 +81,14 @@ pub enum Op {
     Send(ChanId, Msg),
     /// Receive a message from a channel (waits if empty).
     Recv(ChanId),
+    /// Receive with a deadline: resumes with [`Wake::Received`] if a
+    /// message arrives within the given cycles, otherwise with
+    /// [`Wake::RecvTimedOut`].
+    RecvTimeout(ChanId, Cycles),
+    /// Condition wait with a deadline, releasing `lock`: resumes with
+    /// [`Wake::CondWoken`] on notify or [`Wake::CondTimedOut`] on
+    /// expiry — in both cases with the lock re-acquired.
+    CondWaitTimeout(CondId, LockId, Cycles),
     /// Sleep for the given duration.
     Sleep(Cycles),
     /// Terminate the thread.
@@ -116,17 +137,49 @@ struct Thread {
     stack: Vec<FrameId>,
     state: TState,
     pending_overhead: Cycles,
+    /// Bumped on every resume; deadline events armed for an earlier
+    /// epoch are stale and ignored (the wait they guarded already
+    /// ended some other way).
+    epoch: u64,
 }
 
 struct Proc {
     name: String,
     rt: Rc<RefCell<dyn Runtime>>,
+    /// Ground-truth application compute cycles requested by this
+    /// process's threads (excludes profiling overhead and fault
+    /// slowdown inflation).
+    compute_cycles: u64,
+    /// Set when a fault-plan crash took the process down.
+    crashed: bool,
 }
 
 enum EvKind {
-    QuantumEnd { machine: MachineId, d: Dispatch },
-    Deliver { chan: ChanId, msg: Msg },
-    Timer { thread: ThreadId },
+    QuantumEnd {
+        machine: MachineId,
+        d: Dispatch,
+    },
+    Deliver {
+        chan: ChanId,
+        msg: Msg,
+    },
+    Timer {
+        thread: ThreadId,
+    },
+    RecvDeadline {
+        thread: ThreadId,
+        chan: ChanId,
+        epoch: u64,
+    },
+    CondDeadline {
+        thread: ThreadId,
+        cond: CondId,
+        lock: LockId,
+        epoch: u64,
+    },
+    Crash {
+        proc: ProcId,
+    },
 }
 
 struct Ev {
@@ -171,6 +224,7 @@ pub struct Sim {
     /// Machines.
     pub machines: MachineTable,
     frames: SharedFrameTable,
+    faults: Option<FaultPlan>,
 }
 
 impl Default for Sim {
@@ -194,7 +248,18 @@ impl Sim {
             chans: ChanTable::new(),
             machines: MachineTable::new(),
             frames: shared_frame_table(),
+            faults: None,
         }
+    }
+
+    /// Installs a fault plan. Crash entries are scheduled immediately
+    /// as events; drop/duplicate/delay verdicts and slowdown factors
+    /// are consulted as the run proceeds.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        for &(proc, at) in plan.crashes() {
+            self.push_ev(at.max(self.now), EvKind::Crash { proc });
+        }
+        self.faults = Some(plan);
     }
 
     /// Current virtual time.
@@ -217,8 +282,23 @@ impl Sim {
         self.procs.push(Proc {
             name: name.to_owned(),
             rt,
+            compute_cycles: 0,
+            crashed: false,
         });
         ProcId((self.procs.len() - 1) as u32)
+    }
+
+    /// Ground-truth application compute cycles requested by `p`'s
+    /// threads so far — the reference mass that `p`'s profile must
+    /// conserve. Profiling overhead and fault-slowdown inflation are
+    /// excluded on purpose: neither is application work.
+    pub fn proc_compute_cycles(&self, p: ProcId) -> u64 {
+        self.procs[p.0 as usize].compute_cycles
+    }
+
+    /// Whether a fault-plan crash took `p` down.
+    pub fn proc_crashed(&self, p: ProcId) -> bool {
+        self.procs[p.0 as usize].crashed
     }
 
     /// Registers an unprofiled process.
@@ -274,6 +354,7 @@ impl Sim {
             stack: Vec::new(),
             state: TState::Ready,
             pending_overhead: 0,
+            epoch: 0,
         });
         self.procs[proc.0 as usize].rt.borrow_mut().on_spawn(t);
         self.ready.push_back((t, Wake::Start));
@@ -328,6 +409,30 @@ impl Sim {
                         self.ready.push_back((thread, Wake::Slept));
                     }
                 }
+                EvKind::RecvDeadline {
+                    thread,
+                    chan,
+                    epoch,
+                } => {
+                    let th = &self.threads[thread.0 as usize];
+                    if th.epoch == epoch && th.state == TState::WaitingRecv {
+                        self.chans.cancel_wait(chan, thread);
+                        self.threads[thread.0 as usize].state = TState::Ready;
+                        self.ready.push_back((thread, Wake::RecvTimedOut));
+                    }
+                }
+                EvKind::CondDeadline {
+                    thread,
+                    cond,
+                    lock,
+                    epoch,
+                } => {
+                    let th = &self.threads[thread.0 as usize];
+                    if th.epoch == epoch && th.state == TState::WaitingCond {
+                        self.on_cond_timeout(thread, cond, lock);
+                    }
+                }
+                EvKind::Crash { proc } => self.on_crash(proc),
             }
         }
     }
@@ -338,12 +443,85 @@ impl Sim {
     }
 
     fn on_quantum_end(&mut self, machine: MachineId, d: Dispatch) {
-        let done = self.machines.complete_slice(machine, d);
-        if done {
-            self.threads[d.thread.0 as usize].state = TState::Ready;
-            self.ready.push_back((d.thread, Wake::ComputeDone));
+        if self.threads[d.thread.0 as usize].state == TState::Exited {
+            // Crashed mid-burst: free the core, abandon the remainder.
+            self.machines.abandon_slice(machine, d);
+        } else {
+            let done = self.machines.complete_slice(machine, d);
+            if done {
+                self.threads[d.thread.0 as usize].state = TState::Ready;
+                self.ready.push_back((d.thread, Wake::ComputeDone));
+            }
         }
         self.dispatch_machine(machine);
+    }
+
+    /// A timed condition wait expired: leave the wait set and
+    /// re-acquire the lock, resuming with [`Wake::CondTimedOut`] once
+    /// it is held again. If a notify claimed the thread first, the
+    /// deadline loses the race and does nothing.
+    fn on_cond_timeout(&mut self, t: ThreadId, cond: CondId, lock: LockId) {
+        if self.locks.cond_cancel(cond, t).is_none() {
+            return;
+        }
+        match self.locks.try_acquire(t, lock, LockMode::Exclusive) {
+            Acquire::Granted => {
+                let rt = self.rt_of(t);
+                let oh = rt
+                    .borrow_mut()
+                    .on_lock_acquired(t, lock, LockMode::Exclusive, 0, None);
+                self.threads[t.0 as usize].pending_overhead += oh;
+                self.threads[t.0 as usize].state = TState::Ready;
+                self.ready.push_back((t, Wake::CondTimedOut { waited: 0 }));
+            }
+            Acquire::Queued => {
+                let hint = self.rt_of(t).borrow().holder_hint(lock);
+                self.locks.enqueue(
+                    lock,
+                    Waiter {
+                        thread: t,
+                        mode: LockMode::Exclusive,
+                        since: self.now,
+                        hint,
+                        from_cond: true,
+                        timed_out: true,
+                    },
+                );
+                self.threads[t.0 as usize].state = TState::WaitingLock;
+            }
+        }
+    }
+
+    /// A fault-plan crash: every thread of `proc` dies instantly. The
+    /// threads are erased from channel receiver queues, machine run
+    /// queues, lock wait queues, and condition wait sets; locks they
+    /// held are released and surviving waiters granted. Messages
+    /// already in flight toward the process still deliver into channel
+    /// buffers, where they sit unread — exactly the view a live peer
+    /// has of a dead one.
+    fn on_crash(&mut self, proc: ProcId) {
+        if self.procs[proc.0 as usize].crashed {
+            return;
+        }
+        self.procs[proc.0 as usize].crashed = true;
+        let victims: Vec<ThreadId> = (0..self.threads.len() as u32)
+            .map(ThreadId)
+            .filter(|&t| {
+                let th = &self.threads[t.0 as usize];
+                th.proc == proc && th.state != TState::Exited
+            })
+            .collect();
+        for &t in &victims {
+            let th = &mut self.threads[t.0 as usize];
+            th.state = TState::Exited;
+            th.body = None;
+            th.pending_overhead = 0;
+            self.chans.purge_thread(t);
+            self.machines.purge_thread(t);
+        }
+        for (lock, granted) in self.locks.purge_threads(&victims) {
+            self.wake_granted(lock, granted);
+        }
     }
 
     fn on_deliver(&mut self, chan: ChanId, msg: Msg) {
@@ -365,6 +543,7 @@ impl Sim {
         if self.threads[t.0 as usize].state == TState::Exited {
             return;
         }
+        self.threads[t.0 as usize].epoch += 1;
         let Some(mut body) = self.threads[t.0 as usize].body.take() else {
             return;
         };
@@ -385,8 +564,18 @@ impl Sim {
                     let th = &self.threads[t.0 as usize];
                     rt.borrow_mut().on_compute(t, &th.stack, cycles)
                 };
+                let proc = self.threads[t.0 as usize].proc;
+                self.procs[proc.0 as usize].compute_cycles += cycles;
                 let pend = std::mem::take(&mut self.threads[t.0 as usize].pending_overhead);
-                let total = cycles + overhead + pend;
+                // A slowdown window stretches the wall-clock cost of
+                // the burst; the profiler was already told the
+                // application-requested cycles, so profile mass stays
+                // conserved against `proc_compute_cycles`.
+                let factor = self
+                    .faults
+                    .as_ref()
+                    .map_or(1, |f| f.slowdown_factor(machine, self.now));
+                let total = (cycles + overhead + pend).saturating_mul(factor.max(1));
                 self.threads[t.0 as usize].state = TState::Computing;
                 self.machines.enqueue(machine, t, total);
                 self.dispatch_machine(machine);
@@ -408,6 +597,7 @@ impl Sim {
                             since: self.now,
                             hint,
                             from_cond: false,
+                            timed_out: false,
                         },
                     );
                     self.threads[t.0 as usize].state = TState::WaitingLock;
@@ -451,6 +641,7 @@ impl Sim {
                                     since: self.now,
                                     hint,
                                     from_cond: true,
+                                    timed_out: false,
                                 },
                             );
                             self.threads[wt.0 as usize].state = TState::WaitingLock;
@@ -468,7 +659,30 @@ impl Sim {
                 msg.chain = info.chain;
                 self.threads[t.0 as usize].pending_overhead += info.cycles;
                 let delay = self.chans.send_delay(chan, msg.bytes + info.extra_bytes);
-                self.push_ev(self.now + delay, EvKind::Deliver { chan, msg });
+                let verdict = match self.faults.as_mut() {
+                    Some(f) => f.send_verdict(chan),
+                    None => crate::fault::SendVerdict::default(),
+                };
+                if verdict.copies == 0 {
+                    // The sender already paid for the send (hooks,
+                    // accounting); the wire just loses the message.
+                    self.chans.note_dropped(chan);
+                } else {
+                    if verdict.extra_delay > 0 {
+                        self.chans.note_delayed(chan);
+                    }
+                    let at = self.now + delay + verdict.extra_delay;
+                    let dup = if verdict.copies > 1 {
+                        msg.try_clone()
+                    } else {
+                        None
+                    };
+                    self.push_ev(at, EvKind::Deliver { chan, msg });
+                    if let Some(copy) = dup {
+                        self.chans.note_duplicated(chan);
+                        self.push_ev(at, EvKind::Deliver { chan, msg: copy });
+                    }
+                }
                 self.ready.push_back((t, Wake::Done));
             }
             Op::Recv(chan) => match self.chans.recv(chan, t) {
@@ -482,6 +696,41 @@ impl Sim {
                     self.threads[t.0 as usize].state = TState::WaitingRecv;
                 }
             },
+            Op::RecvTimeout(chan, timeout) => match self.chans.recv(chan, t) {
+                Some(msg) => {
+                    let rt = self.rt_of(t);
+                    let oh = rt.borrow_mut().on_recv(t, msg.chain.as_ref());
+                    self.threads[t.0 as usize].pending_overhead += oh;
+                    self.ready.push_back((t, Wake::Received(msg)));
+                }
+                None => {
+                    self.threads[t.0 as usize].state = TState::WaitingRecv;
+                    let epoch = self.threads[t.0 as usize].epoch;
+                    self.push_ev(
+                        self.now + timeout,
+                        EvKind::RecvDeadline {
+                            thread: t,
+                            chan,
+                            epoch,
+                        },
+                    );
+                }
+            },
+            Op::CondWaitTimeout(cond, lock, timeout) => {
+                self.locks.cond_wait(t, cond, lock);
+                self.do_release(t, lock);
+                self.threads[t.0 as usize].state = TState::WaitingCond;
+                let epoch = self.threads[t.0 as usize].epoch;
+                self.push_ev(
+                    self.now + timeout,
+                    EvKind::CondDeadline {
+                        thread: t,
+                        cond,
+                        lock,
+                        epoch,
+                    },
+                );
+            }
             Op::Sleep(cycles) => {
                 self.threads[t.0 as usize].state = TState::Sleeping;
                 self.push_ev(self.now + cycles, EvKind::Timer { thread: t });
@@ -499,6 +748,10 @@ impl Sim {
         let oh = rt.borrow_mut().on_lock_released(t, lock);
         self.threads[t.0 as usize].pending_overhead += oh;
         let granted = self.locks.release(t, lock);
+        self.wake_granted(lock, granted);
+    }
+
+    fn wake_granted(&mut self, lock: LockId, granted: Vec<Waiter>) {
         for w in granted {
             let waited = self.now - w.since;
             let rt = self.rt_of(w.thread);
@@ -507,10 +760,10 @@ impl Sim {
                 .on_lock_acquired(w.thread, lock, w.mode, waited, w.hint);
             self.threads[w.thread.0 as usize].pending_overhead += oh;
             self.threads[w.thread.0 as usize].state = TState::Ready;
-            let wake = if w.from_cond {
-                Wake::CondWoken { waited }
-            } else {
-                Wake::LockAcquired { waited }
+            let wake = match (w.from_cond, w.timed_out) {
+                (true, true) => Wake::CondTimedOut { waited },
+                (true, false) => Wake::CondWoken { waited },
+                _ => Wake::LockAcquired { waited },
             };
             self.ready.push_back((w.thread, wake));
         }
@@ -627,6 +880,8 @@ mod tests {
                 Wake::CondWoken { waited } => format!("condwoken(waited={waited})"),
                 Wake::Received(m) => format!("recv({})", m.peek::<u32>().copied().unwrap_or(0)),
                 Wake::Slept => format!("slept@{}", cx.now()),
+                Wake::RecvTimedOut => format!("recvtimeout@{}", cx.now()),
+                Wake::CondTimedOut { waited } => format!("condtimeout(waited={waited})"),
             };
             self.log.borrow_mut().push(format!("{}: {entry}", cx.me()));
             self.ops.pop_front().unwrap_or(Op::Exit)

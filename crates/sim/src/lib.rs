@@ -20,6 +20,10 @@
 //!   measurable (Table 2, §9).
 //! - **SEDA stages** ([`seda`]): reusable stage-queue worker bodies
 //!   implementing Figure 5's instrumented stage loop.
+//! - **Fault injection** ([`fault`]): seeded, deterministic message
+//!   drop/duplication/delay, machine slowdown windows, and process
+//!   crashes at a virtual time — the substrate for studying what a
+//!   transactional profile looks like when the system degrades.
 //!
 //! Everything is single-threaded and seeded: a simulation is a pure
 //! function of its inputs.
@@ -28,6 +32,7 @@
 
 pub mod chan;
 pub mod engine;
+pub mod fault;
 pub mod lock;
 pub mod machine;
 pub mod seda;
@@ -35,4 +40,5 @@ pub mod time;
 
 pub use chan::Msg;
 pub use engine::{Op, Sim, SimConfig, ThreadBody, ThreadCx, Wake};
+pub use fault::{ChannelFaults, FaultPlan, SendVerdict, Slowdown};
 pub use time::{Cycles, MachineId};

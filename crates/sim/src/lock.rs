@@ -29,6 +29,9 @@ pub struct Waiter {
     /// Whether this acquisition re-takes the lock after a condition
     /// wait (its grant resumes the thread with [`crate::Wake::CondWoken`]).
     pub from_cond: bool,
+    /// Whether the condition wait ended by timeout rather than notify
+    /// (its grant resumes the thread with [`crate::Wake::CondTimedOut`]).
+    pub timed_out: bool,
 }
 
 #[derive(Debug, Default)]
@@ -170,9 +173,50 @@ impl LockTable {
         ws.drain(..k).collect()
     }
 
+    /// Removes `t` from the condition's wait set (its timed wait
+    /// expired); returns the lock it must re-acquire, or `None` if a
+    /// notify already claimed it (the notify wins the race).
+    pub fn cond_cancel(&mut self, cond: CondId, t: ThreadId) -> Option<LockId> {
+        let ws = &mut self.conds[cond.0 as usize].waiters;
+        let pos = ws.iter().position(|&(wt, _)| wt == t)?;
+        ws.remove(pos).map(|(_, l)| l)
+    }
+
     /// Number of threads waiting on `cond`.
     pub fn cond_len(&self, cond: CondId) -> usize {
         self.conds[cond.0 as usize].waiters.len()
+    }
+
+    /// Erases crashed threads from every queue: they are dropped from
+    /// all lock wait queues and condition wait sets, and every lock
+    /// they hold is released. Returns, per lock that changed, the
+    /// batch of surviving waiters granted as a result.
+    pub fn purge_threads(&mut self, victims: &[ThreadId]) -> Vec<(LockId, Vec<Waiter>)> {
+        let gone = |t: &ThreadId| victims.contains(t);
+        let mut touched = Vec::new();
+        for (i, st) in self.locks.iter_mut().enumerate() {
+            let n_waiters = st.waiters.len();
+            st.waiters.retain(|w| !gone(&w.thread));
+            let mut changed = st.waiters.len() != n_waiters;
+            if st.exclusive.is_some_and(|e| gone(&e)) {
+                st.exclusive = None;
+                changed = true;
+            }
+            let n_shared = st.shared.len();
+            st.shared.retain(|h| !gone(h));
+            changed |= st.shared.len() != n_shared;
+            if changed {
+                touched.push(LockId(i as u32));
+            }
+        }
+        for cs in &mut self.conds {
+            cs.waiters.retain(|(t, _)| !gone(t));
+        }
+        touched
+            .into_iter()
+            .map(|l| (l, self.grant_batch(l)))
+            .filter(|(_, granted)| !granted.is_empty())
+            .collect()
     }
 }
 
@@ -191,6 +235,7 @@ mod tests {
             since: 0,
             hint: None,
             from_cond: false,
+            timed_out: false,
         }
     }
 
@@ -256,6 +301,57 @@ mod tests {
         lt.enqueue(l, w(T3, LockMode::Shared));
         let granted = lt.release(T1, l);
         assert_eq!(granted.len(), 2, "leading shared waiters batch");
+    }
+
+    #[test]
+    fn cond_cancel_races_notify() {
+        let mut lt = LockTable::new();
+        let l = lt.add_lock();
+        let c = lt.add_cond();
+        lt.cond_wait(T1, c, l);
+        lt.cond_wait(T2, c, l);
+        assert_eq!(lt.cond_cancel(c, T2), Some(l), "timeout removes T2");
+        assert_eq!(lt.notify(c, None), vec![(T1, l)], "T2 no longer notifiable");
+        assert_eq!(lt.cond_cancel(c, T1), None, "notify already claimed T1");
+    }
+
+    #[test]
+    fn purge_releases_holdings_and_grants_survivors() {
+        let mut lt = LockTable::new();
+        let l = lt.add_lock();
+        lt.try_acquire(T1, l, LockMode::Exclusive);
+        lt.enqueue(l, w(T2, LockMode::Exclusive));
+        lt.enqueue(l, w(T3, LockMode::Exclusive));
+        // T1 (holder) and T2 (front waiter) crash; T3 must be granted.
+        let granted = lt.purge_threads(&[T1, T2]);
+        assert_eq!(granted.len(), 1);
+        assert_eq!(granted[0].0, l);
+        assert_eq!(granted[0].1.len(), 1);
+        assert_eq!(granted[0].1[0].thread, T3);
+        assert!(lt.holds(T3, l));
+    }
+
+    #[test]
+    fn purge_removes_mid_queue_waiter_without_granting() {
+        let mut lt = LockTable::new();
+        let l = lt.add_lock();
+        lt.try_acquire(T1, l, LockMode::Exclusive);
+        lt.enqueue(l, w(T2, LockMode::Exclusive));
+        let granted = lt.purge_threads(&[T2]);
+        assert!(granted.is_empty(), "T1 still holds; nothing to grant");
+        assert_eq!(lt.queue_len(l), 0);
+        assert!(lt.holds(T1, l));
+    }
+
+    #[test]
+    fn purge_clears_cond_waiters() {
+        let mut lt = LockTable::new();
+        let l = lt.add_lock();
+        let c = lt.add_cond();
+        lt.cond_wait(T1, c, l);
+        lt.cond_wait(T2, c, l);
+        lt.purge_threads(&[T1]);
+        assert_eq!(lt.notify(c, None), vec![(T2, l)]);
     }
 
     #[test]

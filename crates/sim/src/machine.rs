@@ -82,6 +82,12 @@ impl MachineTable {
         out
     }
 
+    /// A slice ended for a thread that no longer exists (crashed
+    /// mid-burst): frees the core without re-queueing the remainder.
+    pub fn abandon_slice(&mut self, m: MachineId, _d: Dispatch) {
+        self.machines[m.0 as usize].busy -= 1;
+    }
+
     /// A slice ended; re-queues the thread if work remains. Returns
     /// `true` if the thread's compute is complete.
     pub fn complete_slice(&mut self, m: MachineId, d: Dispatch) -> bool {
@@ -92,6 +98,16 @@ impl MachineTable {
             false
         } else {
             true
+        }
+    }
+
+    /// Drops `t`'s queued — not yet dispatched — work from every run
+    /// queue (process crash). An in-flight slice is unaffected: its
+    /// `QuantumEnd` still fires and frees the core, but a crashed
+    /// thread is never resumed or re-queued afterwards.
+    pub fn purge_thread(&mut self, t: ThreadId) {
+        for st in &mut self.machines {
+            st.runq.retain(|&(q, _)| q != t);
         }
     }
 

@@ -33,6 +33,8 @@ impl ThreadBody for Script {
             Wake::CondWoken { waited } => format!("woken(w={waited})"),
             Wake::Received(m) => format!("recv({})", m.peek::<u32>().copied().unwrap_or(0)),
             Wake::Slept => format!("slept@{}", cx.now()),
+            Wake::RecvTimedOut => format!("recvtimeout@{}", cx.now()),
+            Wake::CondTimedOut { waited } => format!("condtimeout(w={waited})"),
         };
         self.log.borrow_mut().push(format!("{}:{entry}", cx.me()));
         self.ops.pop_front().unwrap_or(Op::Exit)

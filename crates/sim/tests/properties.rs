@@ -48,6 +48,8 @@ impl ThreadBody for Scripted {
                 Wake::CondWoken { .. } => "w",
                 Wake::Received(_) => "r",
                 Wake::Slept => "z",
+                Wake::RecvTimedOut => "t",
+                Wake::CondTimedOut { .. } => "x",
             }
         ));
         if let Some(op) = self.mid.take() {

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Repo CI gate: build, test, lint. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test --workspace -q
+cargo clippy --workspace -- -D warnings
