@@ -13,10 +13,16 @@
 //! Each module exposes a `run_*` harness that wires a complete
 //! simulation, runs it for a configured virtual duration, and returns a
 //! report with the measurements the corresponding table/figure needs.
+//!
+//! [`chaos`] is the exception: it does not model a subject system but
+//! materializes sampled chaos scenarios (schedule policy + fault plan)
+//! onto the [`tpcw`] assembly and checks the
+//! [`whodunit_core::oracle`]s after each run.
 
 #![warn(missing_docs)]
 
 pub mod appserver;
+pub mod chaos;
 pub mod dbserver;
 pub mod dnsd;
 pub mod httpd;

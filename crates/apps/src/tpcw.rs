@@ -28,7 +28,10 @@ use whodunit_core::cost::{cycles_to_ms, ms_to_cycles, CPU_HZ};
 use whodunit_core::frame::FrameId;
 use whodunit_core::ids::{ChanId, ProcId};
 use whodunit_core::stitch::StageDump;
-use whodunit_sim::{ChannelFaults, Cycles, FaultPlan, Msg, Op, Sim, SimConfig, ThreadBody, ThreadCx, Wake};
+use whodunit_sim::{
+    ChannelFaults, Cycles, FaultPlan, Msg, Op, RunOutcome, SchedulePolicy, Sim, SimConfig,
+    ThreadBody, ThreadCx, Wake,
+};
 use whodunit_workload::{Interaction, Mix, TpcwMix};
 
 /// Number of BestSellers subjects (cache key space).
@@ -414,6 +417,16 @@ pub struct TpcwConfig {
     pub db_timeout: Cycles,
     /// Optional seeded fault plan for the assembly (`None` = fault-free).
     pub faults: Option<TpcwFaults>,
+    /// Ready-queue tie-breaking policy (FIFO = the historical schedule).
+    pub sched: SchedulePolicy,
+    /// Livelock bound: maximum thread resumes at a single virtual
+    /// instant before the run is declared livelocked (`None` = off).
+    pub step_budget: Option<u64>,
+    /// Spawns an intentionally buggy zero-latency ping-pong thread pair
+    /// that never advances virtual time — a planted bounded-progress
+    /// defect for exercising the chaos explorer's livelock oracle.
+    /// Requires a `step_budget`, or the run never terminates.
+    pub livelock_pair: bool,
 }
 
 /// Fault knobs for the 3-tier assembly, resolved into a
@@ -451,6 +464,9 @@ impl Default for TpcwConfig {
             seed: 1,
             db_timeout: AppServerConfig::default().db_timeout,
             faults: None,
+            sched: SchedulePolicy::Fifo,
+            step_budget: None,
+            livelock_pair: false,
         }
     }
 }
@@ -498,15 +514,45 @@ pub struct TpcwReport {
     pub app_sheds: u64,
     /// Messages the fault plan dropped on the wire.
     pub dropped_msgs: u64,
+    /// Messages the fault plan duplicated on the wire.
+    pub duplicated_msgs: u64,
+    /// Messages the fault plan delayed on the wire.
+    pub delayed_msgs: u64,
+    /// How the run ended: limit reached, idle, or a detected
+    /// deadlock/livelock with its diagnostic.
+    pub outcome: RunOutcome,
     /// Ground-truth compute cycles per profiled tier
     /// (squid, tomcat, mysql) straight from the simulator — the
     /// denominator of profile-mass conservation checks.
     pub compute_truth: Vec<u64>,
 }
 
+/// The planted livelock defect: two threads ping-ponging over
+/// zero-latency, zero-cost channels. Every exchange happens at the same
+/// virtual instant, so the pair makes unbounded scheduler steps without
+/// ever advancing time — exactly what the step budget exists to catch.
+struct PingPongPeer {
+    rx: ChanId,
+    tx: ChanId,
+    serves: bool,
+}
+
+impl ThreadBody for PingPongPeer {
+    fn resume(&mut self, _cx: &mut ThreadCx<'_>, wake: Wake) -> Op {
+        match wake {
+            Wake::Start if self.serves => Op::Recv(self.rx),
+            Wake::Start | Wake::Received(_) => Op::Send(self.tx, Msg::new((), 0)),
+            Wake::Done => Op::Recv(self.rx),
+            _ => unreachable!("ping-pong only sends and receives"),
+        }
+    }
+}
+
 /// Runs the TPC-W assembly.
 pub fn run_tpcw(cfg: TpcwConfig) -> TpcwReport {
     let mut sim = Sim::new(SimConfig::default());
+    sim.set_schedule_policy(cfg.sched);
+    sim.set_step_budget(cfg.step_budget);
     let client_m = sim.add_machine(8);
     let squid_m = sim.add_machine(1);
     let tomcat_m = sim.add_machine(2);
@@ -602,7 +648,32 @@ pub fn run_tpcw(cfg: TpcwConfig) -> TpcwReport {
         );
     }
 
-    sim.run_until(cfg.duration);
+    if cfg.livelock_pair {
+        let a = sim.add_channel(0, 0);
+        let b = sim.add_channel(0, 0);
+        sim.spawn(
+            client_proc,
+            client_m,
+            "pingpong0",
+            Box::new(PingPongPeer {
+                rx: b,
+                tx: a,
+                serves: false,
+            }),
+        );
+        sim.spawn(
+            client_proc,
+            client_m,
+            "pingpong1",
+            Box::new(PingPongPeer {
+                rx: a,
+                tx: b,
+                serves: true,
+            }),
+        );
+    }
+
+    let outcome = sim.run_until_outcome(cfg.duration);
 
     let compute_truth = vec![
         sim.proc_compute_cycles(squid_proc),
@@ -610,6 +681,8 @@ pub fn run_tpcw(cfg: TpcwConfig) -> TpcwReport {
         sim.proc_compute_cycles(mysql_proc),
     ];
     let dropped_msgs = sim.chans.total_dropped();
+    let duplicated_msgs = sim.chans.total_duplicated();
+    let delayed_msgs = sim.chans.total_delayed();
     let wire_bytes = sim.chans.total_bytes();
     let window = cfg.duration - cfg.warmup;
     let st = stats.borrow();
@@ -656,6 +729,9 @@ pub fn run_tpcw(cfg: TpcwConfig) -> TpcwReport {
         app_db_retries: ash.db_retries_used,
         app_sheds: ash.sheds,
         dropped_msgs,
+        duplicated_msgs,
+        delayed_msgs,
+        outcome,
         compute_truth,
     }
 }

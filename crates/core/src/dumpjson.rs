@@ -20,7 +20,7 @@ use crate::stitch::{
 // Writing
 // ---------------------------------------------------------------------
 
-fn esc(s: &str, out: &mut String) {
+pub(crate) fn esc(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -186,9 +186,10 @@ pub fn to_json(dumps: &[StageDump]) -> String {
 // ---------------------------------------------------------------------
 
 /// A parsed JSON value. Numbers are unsigned integers — the only kind
-/// the dump format contains.
+/// the dump and repro formats contain. Shared with [`crate::repro`],
+/// which serializes chaos scenarios through the same layer.
 #[derive(Clone, Debug, PartialEq)]
-enum Value {
+pub(crate) enum Value {
     Null,
     Bool(bool),
     Num(u64),
@@ -409,7 +410,7 @@ impl<'a> Parser<'a> {
     }
 }
 
-fn parse_value(s: &str) -> Result<Value, StitchError> {
+pub(crate) fn parse_value(s: &str) -> Result<Value, StitchError> {
     let mut p = Parser {
         b: s.as_bytes(),
         pos: 0,
@@ -431,47 +432,47 @@ fn schema<T>(msg: impl Into<String>) -> Result<T, StitchError> {
 }
 
 impl Value {
-    fn as_u64(&self, what: &str) -> Result<u64, StitchError> {
+    pub(crate) fn as_u64(&self, what: &str) -> Result<u64, StitchError> {
         match self {
             Value::Num(n) => Ok(*n),
             _ => schema(format!("{what}: expected number")),
         }
     }
 
-    fn as_u32(&self, what: &str) -> Result<u32, StitchError> {
+    pub(crate) fn as_u32(&self, what: &str) -> Result<u32, StitchError> {
         let n = self.as_u64(what)?;
         u32::try_from(n).map_err(|_| StitchError::Schema(format!("{what}: {n} exceeds u32")))
     }
 
-    fn as_opt_u32(&self, what: &str) -> Result<Option<u32>, StitchError> {
+    pub(crate) fn as_opt_u32(&self, what: &str) -> Result<Option<u32>, StitchError> {
         match self {
             Value::Null => Ok(None),
             v => v.as_u32(what).map(Some),
         }
     }
 
-    fn as_str(&self, what: &str) -> Result<&str, StitchError> {
+    pub(crate) fn as_str(&self, what: &str) -> Result<&str, StitchError> {
         match self {
             Value::Str(s) => Ok(s),
             _ => schema(format!("{what}: expected string")),
         }
     }
 
-    fn as_arr(&self, what: &str) -> Result<&[Value], StitchError> {
+    pub(crate) fn as_arr(&self, what: &str) -> Result<&[Value], StitchError> {
         match self {
             Value::Arr(a) => Ok(a),
             _ => schema(format!("{what}: expected array")),
         }
     }
 
-    fn get<'v>(&'v self, key: &str) -> Option<&'v Value> {
+    pub(crate) fn get<'v>(&'v self, key: &str) -> Option<&'v Value> {
         match self {
             Value::Obj(items) => items.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
 
-    fn field<'v>(&'v self, key: &str) -> Result<&'v Value, StitchError> {
+    pub(crate) fn field<'v>(&'v self, key: &str) -> Result<&'v Value, StitchError> {
         self.get(key)
             .ok_or_else(|| StitchError::Schema(format!("missing field '{key}'")))
     }

@@ -25,6 +25,13 @@
 //!   (the discrete-event simulator, the instruction emulator) drive.
 //! - **Post-mortem stitching** ([`stitch`]): joining per-stage profiles
 //!   into one end-to-end transactional profile (§5, Figure 7).
+//! - **Invariant oracles** ([`oracle`]): the properties a transactional
+//!   profile must uphold under any fault plan and schedule — mass
+//!   conservation, dictionary consistency, stitch completeness, fault
+//!   accounting, bounded progress — checked after every chaos run.
+//! - **Chaos repro files** ([`repro`]): self-contained serialized
+//!   scenarios (seed + schedule policy + fault plan + workload) that
+//!   re-execute a failing run bit-identically.
 //!
 //! The crate is substrate-agnostic: it never performs I/O or spawns
 //! threads; it only reacts to hook invocations and hands back overhead
@@ -41,7 +48,9 @@ pub mod events;
 pub mod frame;
 pub mod ids;
 pub mod ipc;
+pub mod oracle;
 pub mod profiler;
+pub mod repro;
 pub mod rt;
 pub mod seda;
 pub mod shm;
@@ -53,7 +62,9 @@ pub use context::{ContextAtom, ContextPolicy, ContextTable, CtxId, TransactionCo
 pub use crosstalk::{CrosstalkRecorder, CrosstalkReport};
 pub use frame::{FrameId, FrameKind, FrameTable, SharedFrameTable};
 pub use ids::{ChanId, LockId, LockMode, ProcId, ThreadId};
+pub use oracle::{check_all, Evidence, ProgressState, Violation};
 pub use profiler::{Whodunit, WhodunitConfig};
+pub use repro::{repro_from_json, repro_to_json, ChaosRepro, FaultEntry};
 pub use rt::{NullRuntime, Runtime};
 pub use shm::{FlowDetector, FlowEvent, Loc, MemEvent};
 pub use synopsis::{SynChain, Synopsis, SynopsisTable};

@@ -1,0 +1,430 @@
+//! Invariant oracles for chaos exploration.
+//!
+//! After every chaos run the harness assembles an [`Evidence`] bundle —
+//! the stage dumps, the simulator's ground-truth compute cycles, the
+//! channel fault counters, and the run's terminal progress state — and
+//! [`check_all`] evaluates every invariant the transactional profiler
+//! is supposed to uphold *regardless of the fault plan or schedule*:
+//!
+//! 1. **Profile-mass conservation** — per profiled tier, the cycles
+//!    recorded across every context's CCT sum exactly to the
+//!    simulator's ground truth.
+//! 2. **Context-dictionary consistency** — every dump validates
+//!    ([`StageDump::validate`]) and no raw synopsis is minted by two
+//!    different (stage, context) entries.
+//! 3. **Stitch completeness** — every remote context is accounted for
+//!    as exactly one resolved request edge or one explicit unresolved
+//!    edge; none vanish silently.
+//! 4. **No unexplained degradation** — unresolved edges only appear
+//!    when the fault plan could have caused them, and the channel
+//!    drop/duplicate/delay counters are only nonzero when the plan
+//!    permits that fault class.
+//! 5. **Bounded progress** — the run neither deadlocked nor livelocked
+//!    (as reported by the substrate's detectors).
+//!
+//! Violations are data, not panics: the chaos explorer serializes the
+//! scenario to a repro file ([`crate::repro`]) and shrinks it while the
+//! violation persists.
+
+use crate::stitch::{StageDump, Stitched};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Terminal progress state of a run, as reported by the substrate's
+/// deadlock/livelock detectors. The harness converts the simulator's
+/// run outcome into this substrate-agnostic form.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum ProgressState {
+    /// The run completed (reached its time limit or drained cleanly).
+    #[default]
+    Completed,
+    /// The run deadlocked; the string describes the lock cycle.
+    Deadlock(String),
+    /// The run livelocked; the string names the spinning threads.
+    Livelock(String),
+}
+
+/// Everything an oracle may inspect about one finished chaos run.
+#[derive(Clone, Debug, Default)]
+pub struct Evidence {
+    /// Per-stage profile dumps, in tier order.
+    pub dumps: Vec<StageDump>,
+    /// Simulator ground-truth compute cycles, parallel to `dumps`.
+    pub compute_truth: Vec<u64>,
+    /// Whether the fault plan permits message drops.
+    pub drops_permitted: bool,
+    /// Whether the fault plan permits message duplication.
+    pub dups_permitted: bool,
+    /// Whether the fault plan permits message delays.
+    pub delays_permitted: bool,
+    /// Whether the fault plan permits a process crash.
+    pub crash_permitted: bool,
+    /// Messages actually dropped (substrate counter).
+    pub dropped: u64,
+    /// Messages actually duplicated (substrate counter).
+    pub duplicated: u64,
+    /// Messages actually delayed (substrate counter).
+    pub delayed: u64,
+    /// Terminal progress state of the run.
+    pub progress: ProgressState,
+}
+
+impl Evidence {
+    /// Whether any fault class that can sever cross-stage attribution
+    /// (lost messages, dead tiers) was permitted.
+    fn degradation_permitted(&self) -> bool {
+        self.drops_permitted || self.crash_permitted
+    }
+}
+
+/// One invariant violation found by [`check_all`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// A tier's profiled cycles diverge from simulator ground truth.
+    MassConservation {
+        /// Stage index.
+        stage: usize,
+        /// Cycles summed over the stage's dumped CCTs.
+        profiled: u64,
+        /// The simulator's ground-truth compute cycles.
+        truth: u64,
+    },
+    /// A dump failed validation, or a raw synopsis was minted twice.
+    ContextDictionary {
+        /// Stage index (the second minter, for duplicates).
+        stage: usize,
+        /// What was inconsistent.
+        detail: String,
+    },
+    /// Remote contexts are not fully accounted for by resolved +
+    /// unresolved edges — some vanished from the stitched profile.
+    StitchCompleteness {
+        /// Remote contexts across all valid stages.
+        remote_contexts: usize,
+        /// Resolved request edges + explicit unresolved edges.
+        accounted: usize,
+    },
+    /// Unresolved edges appeared although no permitted fault class can
+    /// explain a missing sender.
+    UnresolvedWithoutFault {
+        /// Number of unresolved edges.
+        count: usize,
+    },
+    /// A channel fault counter is nonzero although the plan does not
+    /// permit that fault class (lost/duplicated synopses beyond what
+    /// the plan allows).
+    SynopsisAccounting {
+        /// Which counter: `"dropped"`, `"duplicated"`, or `"delayed"`.
+        counter: &'static str,
+        /// Its value.
+        count: u64,
+    },
+    /// The run deadlocked or livelocked.
+    Progress {
+        /// The substrate's diagnostic.
+        detail: String,
+    },
+}
+
+impl Violation {
+    /// Stable discriminant string, used to match a replayed violation
+    /// against the one recorded in a repro file.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Violation::MassConservation { .. } => "mass-conservation",
+            Violation::ContextDictionary { .. } => "context-dictionary",
+            Violation::StitchCompleteness { .. } => "stitch-completeness",
+            Violation::UnresolvedWithoutFault { .. } => "unresolved-without-fault",
+            Violation::SynopsisAccounting { .. } => "synopsis-accounting",
+            Violation::Progress { .. } => "progress",
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::MassConservation {
+                stage,
+                profiled,
+                truth,
+            } => write!(
+                f,
+                "mass-conservation: stage {stage} profiled {profiled} cycles, truth {truth}"
+            ),
+            Violation::ContextDictionary { stage, detail } => {
+                write!(f, "context-dictionary: stage {stage}: {detail}")
+            }
+            Violation::StitchCompleteness {
+                remote_contexts,
+                accounted,
+            } => write!(
+                f,
+                "stitch-completeness: {remote_contexts} remote contexts but only \
+                 {accounted} accounted edges"
+            ),
+            Violation::UnresolvedWithoutFault { count } => write!(
+                f,
+                "unresolved-without-fault: {count} unresolved edges with no drop/crash permitted"
+            ),
+            Violation::SynopsisAccounting { counter, count } => write!(
+                f,
+                "synopsis-accounting: {count} {counter} messages but the plan permits none"
+            ),
+            Violation::Progress { detail } => write!(f, "progress: {detail}"),
+        }
+    }
+}
+
+/// Cycles summed over every node of every CCT in a dump — the stage's
+/// total profiled mass (node cycles are exclusive, so a flat sum is the
+/// tree's inclusive total).
+pub fn profile_mass(d: &StageDump) -> u64 {
+    d.ccts
+        .iter()
+        .flat_map(|c| c.nodes.iter())
+        .map(|n| n.cycles)
+        .sum()
+}
+
+/// Runs every oracle over the evidence. Returns all violations found,
+/// in oracle order (empty means the run upheld every invariant).
+pub fn check_all(ev: &Evidence) -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    // 1. Profile-mass conservation, per tier.
+    for (stage, d) in ev.dumps.iter().enumerate() {
+        let truth = match ev.compute_truth.get(stage) {
+            Some(&t) => t,
+            None => continue,
+        };
+        let profiled = profile_mass(d);
+        if profiled != truth {
+            out.push(Violation::MassConservation {
+                stage,
+                profiled,
+                truth,
+            });
+        }
+    }
+
+    // 2. Context-dictionary consistency.
+    for (stage, d) in ev.dumps.iter().enumerate() {
+        if let Err(e) = d.validate() {
+            out.push(Violation::ContextDictionary {
+                stage,
+                detail: e.to_string(),
+            });
+        }
+    }
+    let mut minted: HashMap<u32, usize> = HashMap::new();
+    for (stage, d) in ev.dumps.iter().enumerate() {
+        for &(raw, _) in &d.synopses {
+            if let Some(first) = minted.insert(raw, stage) {
+                out.push(Violation::ContextDictionary {
+                    stage,
+                    detail: format!(
+                        "raw synopsis {raw:#010x} minted by both stage {first} and stage {stage}"
+                    ),
+                });
+            }
+        }
+    }
+
+    // 3 + 4a. Stitch completeness and unexplained unresolved edges.
+    let stitched = Stitched::new(ev.dumps.clone());
+    let remote_contexts: usize = stitched
+        .stages
+        .iter()
+        .enumerate()
+        .filter(|&(si, _)| stitched.stage_valid(si))
+        .map(|(_, d)| {
+            d.contexts
+                .iter()
+                .filter(|c| {
+                    matches!(c.atoms.first(), Some(crate::stitch::DumpAtom::Remote(ch)) if !ch.is_empty())
+                })
+                .count()
+        })
+        .sum();
+    let unresolved = stitched.unresolved_edges().len();
+    let accounted = stitched.request_edges().len() + unresolved;
+    if accounted != remote_contexts {
+        out.push(Violation::StitchCompleteness {
+            remote_contexts,
+            accounted,
+        });
+    }
+    if unresolved > 0 && !ev.degradation_permitted() {
+        out.push(Violation::UnresolvedWithoutFault { count: unresolved });
+    }
+
+    // 4b. Fault counters vs what the plan permits.
+    for (counter, count, permitted) in [
+        ("dropped", ev.dropped, ev.drops_permitted),
+        ("duplicated", ev.duplicated, ev.dups_permitted),
+        ("delayed", ev.delayed, ev.delays_permitted),
+    ] {
+        if count > 0 && !permitted {
+            out.push(Violation::SynopsisAccounting { counter, count });
+        }
+    }
+
+    // 5. Bounded progress.
+    match &ev.progress {
+        ProgressState::Completed => {}
+        ProgressState::Deadlock(d) | ProgressState::Livelock(d) => {
+            out.push(Violation::Progress { detail: d.clone() });
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stitch::{DumpAtom, DumpCct, DumpContext, DumpNode};
+
+    fn root(cycles: u64) -> DumpNode {
+        DumpNode {
+            frame: None,
+            parent: None,
+            samples: 1,
+            cycles,
+            calls: 1,
+        }
+    }
+
+    /// Two healthy stages: stage 0 mints synopsis 7, stage 1 holds a
+    /// remote context that chains back to it.
+    fn healthy() -> Evidence {
+        let minter = StageDump {
+            proc: 0,
+            stage_name: "front".into(),
+            frames: vec!["main".into()],
+            contexts: vec![DumpContext {
+                atoms: vec![DumpAtom::Frame(0)],
+            }],
+            ccts: vec![DumpCct {
+                ctx: 0,
+                nodes: vec![root(100)],
+            }],
+            synopses: vec![(7, 0)],
+            ..StageDump::default()
+        };
+        let receiver = StageDump {
+            proc: 1,
+            stage_name: "db".into(),
+            frames: vec!["query".into()],
+            contexts: vec![DumpContext {
+                atoms: vec![DumpAtom::Remote(vec![7]), DumpAtom::Frame(0)],
+            }],
+            ccts: vec![DumpCct {
+                ctx: 0,
+                nodes: vec![root(40)],
+            }],
+            ..StageDump::default()
+        };
+        Evidence {
+            dumps: vec![minter, receiver],
+            compute_truth: vec![100, 40],
+            ..Evidence::default()
+        }
+    }
+
+    #[test]
+    fn clean_run_has_no_violations() {
+        assert_eq!(check_all(&healthy()), vec![]);
+    }
+
+    #[test]
+    fn mass_divergence_is_flagged_per_stage() {
+        let mut ev = healthy();
+        ev.compute_truth[1] = 41;
+        let v = check_all(&ev);
+        assert_eq!(
+            v,
+            vec![Violation::MassConservation {
+                stage: 1,
+                profiled: 40,
+                truth: 41
+            }]
+        );
+        assert_eq!(v[0].kind(), "mass-conservation");
+    }
+
+    #[test]
+    fn invalid_dump_is_a_dictionary_violation() {
+        let mut ev = healthy();
+        ev.dumps[0].ccts[0].ctx = 9; // labels a context the dump lacks
+        let v = check_all(&ev);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::ContextDictionary { stage: 0, .. })));
+    }
+
+    #[test]
+    fn duplicate_minting_is_a_dictionary_violation() {
+        let mut ev = healthy();
+        ev.dumps[1].synopses.push((7, 0)); // stage 1 re-mints stage 0's raw
+        let v = check_all(&ev);
+        assert!(v.iter().any(
+            |x| matches!(x, Violation::ContextDictionary { stage: 1, detail } if detail.contains("minted by both"))
+        ));
+    }
+
+    #[test]
+    fn unresolved_needs_a_permitting_fault() {
+        let mut ev = healthy();
+        ev.dumps[1].contexts[0].atoms[0] = DumpAtom::Remote(vec![99]); // nobody minted 99
+        let v = check_all(&ev);
+        assert_eq!(v, vec![Violation::UnresolvedWithoutFault { count: 1 }]);
+
+        ev.crash_permitted = true;
+        assert_eq!(check_all(&ev), vec![]);
+        ev.crash_permitted = false;
+        ev.drops_permitted = true;
+        assert_eq!(check_all(&ev), vec![]);
+    }
+
+    #[test]
+    fn counters_require_permission() {
+        let mut ev = healthy();
+        ev.dropped = 3;
+        ev.duplicated = 1;
+        ev.delayed = 2;
+        let kinds: Vec<_> = check_all(&ev).iter().map(|v| v.to_string()).collect();
+        assert_eq!(kinds.len(), 3, "{kinds:?}");
+
+        ev.drops_permitted = true;
+        ev.dups_permitted = true;
+        ev.delays_permitted = true;
+        assert_eq!(check_all(&ev), vec![]);
+    }
+
+    #[test]
+    fn deadlock_and_livelock_are_progress_violations() {
+        for progress in [
+            ProgressState::Deadlock("t0 -> lock1 -> t1 -> lock0 -> t0".into()),
+            ProgressState::Livelock("t3 spun 10000 times".into()),
+        ] {
+            let ev = Evidence {
+                progress: progress.clone(),
+                ..healthy()
+            };
+            let v = check_all(&ev);
+            assert_eq!(v.len(), 1);
+            assert_eq!(v[0].kind(), "progress");
+        }
+    }
+
+    #[test]
+    fn empty_chain_remote_is_ignored_not_lost() {
+        // A Remote([]) context can't resolve anywhere; the completeness
+        // oracle must not count it as a vanished edge.
+        let mut ev = healthy();
+        ev.dumps[1].contexts[0].atoms[0] = DumpAtom::Remote(vec![]);
+        assert_eq!(check_all(&ev), vec![]);
+    }
+}

@@ -9,17 +9,24 @@
 //! schedules the follow-up wake.
 //!
 //! The engine is strictly deterministic: the event heap is ordered by
-//! `(time, sequence)`, ready wakes drain FIFO, and nothing consults
-//! wall-clock time or unseeded randomness.
+//! `(time, sequence)`, ready wakes drain under a seeded
+//! [`SchedulePolicy`] (FIFO by default), and nothing consults
+//! wall-clock time or unseeded randomness. A run can additionally be
+//! asked to *account for its own progress*: [`Sim::run_until_outcome`]
+//! reports lock-wait deadlock cycles and zero-progress livelock storms
+//! as structured [`RunOutcome`]s instead of hanging or exiting
+//! silently.
 
 use crate::chan::{ChanTable, Msg};
 use crate::fault::FaultPlan;
 use crate::lock::{Acquire, LockTable, Waiter};
 use crate::machine::{Dispatch, MachineTable};
+use crate::sched::{SchedulePolicy, Scheduler};
 use crate::time::{CondId, Cycles, MachineId};
 use std::cell::RefCell;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::fmt;
 use std::rc::Rc;
 use whodunit_core::frame::{shared_frame_table, FrameId, SharedFrameTable};
 use whodunit_core::ids::{ChanId, LockId, LockMode, ProcId, ThreadId};
@@ -115,6 +122,125 @@ pub struct SimConfig {
 impl Default for SimConfig {
     fn default() -> Self {
         SimConfig { quantum: 2_400_000 }
+    }
+}
+
+/// One hop of a deadlock cycle: `waiter` is queued on `lock`, which
+/// `holder` currently holds. The links chain: each link's holder is the
+/// next link's waiter, and the last holder is the first waiter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeadlockLink {
+    /// The blocked thread.
+    pub waiter: ThreadId,
+    /// Its name (for diagnostics).
+    pub waiter_name: String,
+    /// The lock it is queued on.
+    pub lock: LockId,
+    /// A current holder of that lock.
+    pub holder: ThreadId,
+    /// The holder's name.
+    pub holder_name: String,
+}
+
+/// A lock-wait cycle found at idle: the run can never make progress
+/// because each thread in the cycle waits on a lock another holds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeadlockReport {
+    /// Virtual time the simulation wedged at.
+    pub at: Cycles,
+    /// The cycle, as thread → lock → holder hops.
+    pub cycle: Vec<DeadlockLink>,
+}
+
+impl fmt::Display for DeadlockReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deadlock at t={}: ", self.at)?;
+        for (i, l) in self.cycle.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(
+                f,
+                "{}({}) waits {} held by {}({})",
+                l.waiter_name, l.waiter, l.lock, l.holder_name, l.holder
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A thread observed resuming repeatedly without virtual time moving.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Spinner {
+    /// The spinning thread.
+    pub thread: ThreadId,
+    /// Its name.
+    pub name: String,
+    /// Resumes since virtual time last advanced.
+    pub resumes: u64,
+}
+
+/// A zero-progress wake storm: more thread resumes happened at one
+/// virtual instant than the configured step budget allows, so the run
+/// was aborted instead of spinning forever (e.g. a retry loop that
+/// never advances virtual time).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LivelockReport {
+    /// The virtual instant the storm happened at.
+    pub at: Cycles,
+    /// Resumes consumed at that instant (the exhausted budget).
+    pub steps: u64,
+    /// The threads doing the spinning, busiest first (top 8).
+    pub spinners: Vec<Spinner>,
+}
+
+impl fmt::Display for LivelockReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "livelock at t={}: {} zero-progress resumes; spinning: ",
+            self.at, self.steps
+        )?;
+        for (i, s) in self.spinners.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}({}) x{}", s.name, s.thread, s.resumes)?;
+        }
+        Ok(())
+    }
+}
+
+/// How a bounded run ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The virtual-time limit was reached with work still pending.
+    ReachedLimit,
+    /// Nothing remained to do, and no thread is wedged in a lock cycle.
+    /// (Threads parked on a receive or condition with no peer are
+    /// normal at the end of a run — servers waiting for requests.)
+    Idle,
+    /// The run wedged on a lock-wait cycle.
+    Deadlock(DeadlockReport),
+    /// The run was aborted after a zero-progress wake storm.
+    Livelock(LivelockReport),
+}
+
+impl RunOutcome {
+    /// Whether the run ended without a detected progress failure.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, RunOutcome::ReachedLimit | RunOutcome::Idle)
+    }
+}
+
+impl fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunOutcome::ReachedLimit => write!(f, "reached limit"),
+            RunOutcome::Idle => write!(f, "idle"),
+            RunOutcome::Deadlock(d) => d.fmt(f),
+            RunOutcome::Livelock(l) => l.fmt(f),
+        }
     }
 }
 
@@ -225,6 +351,14 @@ pub struct Sim {
     pub machines: MachineTable,
     frames: SharedFrameTable,
     faults: Option<FaultPlan>,
+    sched: Scheduler,
+    /// Maximum thread resumes at a single virtual instant before the
+    /// run is declared livelocked (`None` = unbounded, the default).
+    step_budget: Option<u64>,
+    /// Resumes since virtual time last advanced.
+    spin_total: u64,
+    /// Per-thread resume counts since virtual time last advanced.
+    spin: HashMap<ThreadId, u64>,
 }
 
 impl Default for Sim {
@@ -249,7 +383,32 @@ impl Sim {
             machines: MachineTable::new(),
             frames: shared_frame_table(),
             faults: None,
+            sched: Scheduler::default(),
+            step_budget: None,
+            spin_total: 0,
+            spin: HashMap::new(),
         }
+    }
+
+    /// Installs a ready-queue tie-breaking policy. The default is
+    /// [`SchedulePolicy::Fifo`], the engine's historical behaviour;
+    /// any other policy changes only the order of same-instant resumes,
+    /// so every run is still a legal interleaving.
+    pub fn set_schedule_policy(&mut self, policy: SchedulePolicy) {
+        self.sched = Scheduler::new(policy);
+    }
+
+    /// The installed tie-breaking policy.
+    pub fn schedule_policy(&self) -> SchedulePolicy {
+        self.sched.policy()
+    }
+
+    /// Bounds zero-progress wake storms: if more than `budget` thread
+    /// resumes happen without virtual time advancing, the run stops
+    /// with [`RunOutcome::Livelock`] naming the spinning threads.
+    /// `None` (the default) disables the check.
+    pub fn set_step_budget(&mut self, budget: Option<u64>) {
+        self.step_budget = budget;
     }
 
     /// Installs a fault plan. Crash entries are scheduled immediately
@@ -385,19 +544,46 @@ impl Sim {
 
     /// Runs until virtual time `limit` (inclusive of events at
     /// `limit`) or until nothing remains to do.
+    ///
+    /// The historical entry point: progress failures (deadlock under a
+    /// step budget) are silently ignored. Use
+    /// [`Sim::run_until_outcome`] when the caller needs to know how
+    /// the run ended.
     pub fn run_until(&mut self, limit: Cycles) {
+        let _ = self.run_until_outcome(limit);
+    }
+
+    /// Runs until `limit` and reports how the run ended: the limit was
+    /// reached, the simulation went idle, a lock-wait deadlock cycle
+    /// wedged it, or a zero-progress wake storm exhausted the step
+    /// budget ([`Sim::set_step_budget`]).
+    pub fn run_until_outcome(&mut self, limit: Cycles) -> RunOutcome {
         loop {
-            // Drain instantly runnable threads first.
-            while let Some((t, wake)) = self.ready.pop_front() {
+            // Drain instantly runnable threads first, under the
+            // installed tie-breaking policy.
+            while !self.ready.is_empty() {
+                let k = self.sched.pick(self.ready.len());
+                let (t, wake) = self.ready.remove(k).expect("picked index in range");
+                if let Some(report) = self.note_resume(t) {
+                    return RunOutcome::Livelock(report);
+                }
                 self.resume_thread(t, wake);
             }
             let Some(Reverse(ev)) = self.heap.pop() else {
-                break;
+                return match self.detect_lock_cycle() {
+                    Some(report) => RunOutcome::Deadlock(report),
+                    None => RunOutcome::Idle,
+                };
             };
             if ev.at > limit {
                 self.heap.push(Reverse(ev));
                 self.now = limit;
-                break;
+                return RunOutcome::ReachedLimit;
+            }
+            if ev.at > self.now {
+                // Virtual time advances: the run is making progress.
+                self.spin_total = 0;
+                self.spin.clear();
             }
             self.now = ev.at;
             match ev.kind {
@@ -440,6 +626,113 @@ impl Sim {
     /// Runs until no events or runnable threads remain.
     pub fn run_to_idle(&mut self) {
         self.run_until(Cycles::MAX);
+    }
+
+    /// Like [`Sim::run_to_idle`], but reports how the run ended
+    /// ([`RunOutcome::Idle`] on a clean drain).
+    pub fn run_to_idle_outcome(&mut self) -> RunOutcome {
+        self.run_until_outcome(Cycles::MAX)
+    }
+
+    /// Step accounting for the livelock bound: counts a resume against
+    /// the current virtual instant and returns a report if the budget
+    /// is exhausted.
+    fn note_resume(&mut self, t: ThreadId) -> Option<LivelockReport> {
+        let budget = self.step_budget?;
+        self.spin_total += 1;
+        *self.spin.entry(t).or_insert(0) += 1;
+        if self.spin_total <= budget {
+            return None;
+        }
+        let mut spinners: Vec<Spinner> = self
+            .spin
+            .iter()
+            .map(|(&t, &resumes)| Spinner {
+                thread: t,
+                name: self.thread_name(t).to_owned(),
+                resumes,
+            })
+            .collect();
+        spinners.sort_by(|a, b| (b.resumes, a.thread.0).cmp(&(a.resumes, b.thread.0)));
+        spinners.truncate(8);
+        Some(LivelockReport {
+            at: self.now,
+            steps: self.spin_total,
+            spinners,
+        })
+    }
+
+    /// Searches the lock-wait graph for a cycle: an edge runs from each
+    /// queued waiter to each current holder of the lock it waits on.
+    /// Returns the cycle as thread → lock → holder hops, or `None` if
+    /// the graph is acyclic (blocked threads that merely wait on a
+    /// channel or condition are not part of this graph).
+    fn detect_lock_cycle(&self) -> Option<DeadlockReport> {
+        let edges = self.locks.wait_edges();
+        if edges.is_empty() {
+            return None;
+        }
+        let mut adj: HashMap<ThreadId, Vec<(LockId, ThreadId)>> = HashMap::new();
+        for &(waiter, lock, holder) in &edges {
+            adj.entry(waiter).or_default().push((lock, holder));
+        }
+        // Iterative DFS with an explicit path so the cycle can be
+        // reported, not just detected.
+        let mut color: HashMap<ThreadId, u8> = HashMap::new(); // 1 = on path, 2 = done
+        let mut starts: Vec<ThreadId> = adj.keys().copied().collect();
+        starts.sort_by_key(|t| t.0);
+        for start in starts {
+            if color.get(&start).copied().unwrap_or(0) != 0 {
+                continue;
+            }
+            // Each stack entry: (thread, next edge index to try).
+            let mut stack: Vec<(ThreadId, usize)> = vec![(start, 0)];
+            let mut path: Vec<(ThreadId, LockId, ThreadId)> = Vec::new();
+            color.insert(start, 1);
+            while let Some(&mut (t, ref mut i)) = stack.last_mut() {
+                let out = adj.get(&t).map(Vec::as_slice).unwrap_or(&[]);
+                if *i >= out.len() {
+                    color.insert(t, 2);
+                    stack.pop();
+                    path.pop();
+                    continue;
+                }
+                let (lock, holder) = out[*i];
+                *i += 1;
+                match color.get(&holder).copied().unwrap_or(0) {
+                    1 => {
+                        // Found a cycle: the path from `holder` back to
+                        // this edge closes it.
+                        path.push((t, lock, holder));
+                        let from = path
+                            .iter()
+                            .position(|&(w, _, _)| w == holder)
+                            .unwrap_or(0);
+                        let cycle = path[from..]
+                            .iter()
+                            .map(|&(w, l, h)| DeadlockLink {
+                                waiter: w,
+                                waiter_name: self.thread_name(w).to_owned(),
+                                lock: l,
+                                holder: h,
+                                holder_name: self.thread_name(h).to_owned(),
+                            })
+                            .collect();
+                        return Some(DeadlockReport {
+                            at: self.now,
+                            cycle,
+                        });
+                    }
+                    2 => {}
+                    _ => {
+                        color.insert(holder, 1);
+                        path.push((t, lock, holder));
+                        stack.push((holder, 0));
+                    }
+                }
+            }
+        }
+        None
     }
 
     fn on_quantum_end(&mut self, machine: MachineId, d: Dispatch) {

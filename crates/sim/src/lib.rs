@@ -24,6 +24,12 @@
 //!   drop/duplication/delay, machine slowdown windows, and process
 //!   crashes at a virtual time — the substrate for studying what a
 //!   transactional profile looks like when the system degrades.
+//! - **Schedule policies** ([`sched`]): pluggable, seeded ready-queue
+//!   tie-breaking (FIFO/LIFO/random/perturbation), so every seed is a
+//!   distinct legal interleaving of the same workload.
+//! - **Chaos exploration** ([`explore`]): sampling random
+//!   (schedule, fault-plan) scenarios and greedily shrinking failing
+//!   ones to minimal repro files.
 //!
 //! Everything is single-threaded and seeded: a simulation is a pure
 //! function of its inputs.
@@ -32,13 +38,20 @@
 
 pub mod chan;
 pub mod engine;
+pub mod explore;
 pub mod fault;
 pub mod lock;
 pub mod machine;
+pub mod sched;
 pub mod seda;
 pub mod time;
 
 pub use chan::Msg;
-pub use engine::{Op, Sim, SimConfig, ThreadBody, ThreadCx, Wake};
+pub use engine::{
+    DeadlockLink, DeadlockReport, LivelockReport, Op, RunOutcome, Sim, SimConfig, ThreadBody,
+    ThreadCx, Wake,
+};
+pub use explore::{sample_scenario, shrink, ChaosSpace};
 pub use fault::{ChannelFaults, FaultPlan, SendVerdict, Slowdown};
+pub use sched::{SchedulePolicy, Scheduler};
 pub use time::{Cycles, MachineId};

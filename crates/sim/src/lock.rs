@@ -187,6 +187,30 @@ impl LockTable {
         self.conds[cond.0 as usize].waiters.len()
     }
 
+    /// The lock-wait graph: one `(waiter, lock, holder)` edge for every
+    /// queued waiter and every current holder of the lock it waits on.
+    /// A cycle in this graph is a deadlock; the engine's
+    /// [`crate::Sim::run_until_outcome`] searches it at idle instead of
+    /// returning silently with wedged threads.
+    pub fn wait_edges(&self) -> Vec<(ThreadId, LockId, ThreadId)> {
+        let mut edges = Vec::new();
+        for (i, st) in self.locks.iter().enumerate() {
+            if st.waiters.is_empty() {
+                continue;
+            }
+            let lock = LockId(i as u32);
+            for w in &st.waiters {
+                if let Some(h) = st.exclusive {
+                    edges.push((w.thread, lock, h));
+                }
+                for &h in &st.shared {
+                    edges.push((w.thread, lock, h));
+                }
+            }
+        }
+        edges
+    }
+
     /// Erases crashed threads from every queue: they are dropped from
     /// all lock wait queues and condition wait sets, and every lock
     /// they hold is released. Returns, per lock that changed, the

@@ -1,0 +1,270 @@
+//! The chaos substrate's detectors and schedule policies, exercised on
+//! hand-built scenarios: AB/BA deadlock reported as a lock cycle,
+//! livelock bounded by the step budget with named spinners, and
+//! ready-queue tie-breaking that is pluggable, divergent, and
+//! seed-reproducible.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+use whodunit_core::ids::LockMode;
+use whodunit_sim::{
+    Msg, Op, RunOutcome, SchedulePolicy, Sim, SimConfig, ThreadBody, ThreadCx, Wake,
+};
+
+struct Script {
+    ops: VecDeque<Op>,
+    log: Rc<RefCell<Vec<String>>>,
+}
+
+impl Script {
+    fn new(ops: Vec<Op>, log: &Rc<RefCell<Vec<String>>>) -> Box<Self> {
+        Box::new(Script {
+            ops: ops.into(),
+            log: log.clone(),
+        })
+    }
+}
+
+impl ThreadBody for Script {
+    fn resume(&mut self, cx: &mut ThreadCx<'_>, wake: Wake) -> Op {
+        if let Wake::Received(m) = &wake {
+            self.log
+                .borrow_mut()
+                .push(format!("{}:recv({})", cx.me(), m.peek::<u32>().copied().unwrap_or(0)));
+        }
+        self.ops.pop_front().unwrap_or(Op::Exit)
+    }
+}
+
+fn log() -> Rc<RefCell<Vec<String>>> {
+    Rc::new(RefCell::new(Vec::new()))
+}
+
+#[test]
+fn ab_ba_deadlock_is_reported_as_a_cycle() {
+    // The classic inversion: t0 takes A then wants B; t1 takes B then
+    // wants A. Both compute between the acquires (on separate cores) so
+    // both inner requests find the other lock held.
+    let mut sim = Sim::new(SimConfig { quantum: 1000 });
+    sim.set_schedule_policy(SchedulePolicy::Random { seed: 0xABBA });
+    let m = sim.add_machine(2);
+    let p = sim.add_unprofiled_process("p");
+    let a = sim.add_lock();
+    let b = sim.add_lock();
+    let l = log();
+    sim.spawn(
+        p,
+        m,
+        "fwd",
+        Script::new(
+            vec![
+                Op::Lock(a, LockMode::Exclusive),
+                Op::Compute(500),
+                Op::Lock(b, LockMode::Exclusive),
+                Op::Unlock(b),
+                Op::Unlock(a),
+            ],
+            &l,
+        ),
+    );
+    sim.spawn(
+        p,
+        m,
+        "rev",
+        Script::new(
+            vec![
+                Op::Lock(b, LockMode::Exclusive),
+                Op::Compute(500),
+                Op::Lock(a, LockMode::Exclusive),
+                Op::Unlock(a),
+                Op::Unlock(b),
+            ],
+            &l,
+        ),
+    );
+    let outcome = sim.run_to_idle_outcome();
+    let RunOutcome::Deadlock(report) = outcome else {
+        panic!("expected deadlock, got {outcome}");
+    };
+    // The report walks the full waiter → lock → holder cycle.
+    assert_eq!(report.cycle.len(), 2, "two-thread cycle: {report}");
+    let names: Vec<&str> = report.cycle.iter().map(|e| e.waiter_name.as_str()).collect();
+    assert!(names.contains(&"fwd") && names.contains(&"rev"), "{names:?}");
+    let locks: Vec<_> = report.cycle.iter().map(|e| e.lock).collect();
+    assert!(locks.contains(&a) && locks.contains(&b), "{locks:?}");
+    // Every link's holder is the next link's waiter (it is a cycle).
+    for (i, link) in report.cycle.iter().enumerate() {
+        let next = &report.cycle[(i + 1) % report.cycle.len()];
+        assert_eq!(link.holder, next.waiter, "broken chain in {report}");
+    }
+    let shown = report.to_string();
+    assert!(shown.contains("fwd") && shown.contains("rev"), "{shown}");
+}
+
+#[test]
+fn deadlock_free_contention_still_drains_to_idle() {
+    // Same locks, same order on both threads: contention but no cycle.
+    let mut sim = Sim::new(SimConfig { quantum: 1000 });
+    sim.set_schedule_policy(SchedulePolicy::Random { seed: 0xABBA });
+    let m = sim.add_machine(2);
+    let p = sim.add_unprofiled_process("p");
+    let a = sim.add_lock();
+    let b = sim.add_lock();
+    let l = log();
+    for name in ["one", "two"] {
+        sim.spawn(
+            p,
+            m,
+            name,
+            Script::new(
+                vec![
+                    Op::Lock(a, LockMode::Exclusive),
+                    Op::Compute(500),
+                    Op::Lock(b, LockMode::Exclusive),
+                    Op::Unlock(b),
+                    Op::Unlock(a),
+                ],
+                &l,
+            ),
+        );
+    }
+    assert!(matches!(sim.run_to_idle_outcome(), RunOutcome::Idle));
+}
+
+/// Two threads ping-ponging over zero-latency, zero-cost channels:
+/// unbounded steps at one virtual instant.
+struct PingPong {
+    rx: whodunit_core::ids::ChanId,
+    tx: whodunit_core::ids::ChanId,
+    serves: bool,
+}
+
+impl ThreadBody for PingPong {
+    fn resume(&mut self, _cx: &mut ThreadCx<'_>, wake: Wake) -> Op {
+        match wake {
+            Wake::Start if self.serves => Op::Recv(self.rx),
+            Wake::Start | Wake::Received(_) => Op::Send(self.tx, Msg::new(0u32, 0)),
+            Wake::Done => Op::Recv(self.rx),
+            _ => unreachable!("ping-pong only sends and receives"),
+        }
+    }
+}
+
+#[test]
+fn livelock_budget_names_the_spinners() {
+    let mut sim = Sim::default();
+    sim.set_step_budget(Some(500));
+    let m = sim.add_machine(2);
+    let p = sim.add_unprofiled_process("p");
+    let a = sim.add_channel(0, 0);
+    let b = sim.add_channel(0, 0);
+    sim.spawn(p, m, "ping", Box::new(PingPong { rx: b, tx: a, serves: false }));
+    sim.spawn(p, m, "pong", Box::new(PingPong { rx: a, tx: b, serves: true }));
+    let outcome = sim.run_to_idle_outcome();
+    let RunOutcome::Livelock(report) = outcome else {
+        panic!("expected livelock, got {outcome}");
+    };
+    assert!(report.steps > 500);
+    let names: Vec<&str> = report.spinners.iter().map(|s| s.name.as_str()).collect();
+    assert!(
+        names.contains(&"ping") && names.contains(&"pong"),
+        "spinners: {names:?}"
+    );
+    // The two spinners dominate the step count.
+    let spun: u64 = report.spinners.iter().map(|s| s.resumes).sum();
+    assert!(spun > 400, "spinner resumes {spun} of {} steps", report.steps);
+    let shown = report.to_string();
+    assert!(shown.contains("ping") && shown.contains("pong"), "{shown}");
+}
+
+#[test]
+fn step_budget_resets_when_time_advances() {
+    // 50 compute bursts at distinct instants under a budget of 10:
+    // progress resets the counter, so the run completes normally.
+    let mut sim = Sim::default();
+    sim.set_step_budget(Some(10));
+    let m = sim.add_machine(1);
+    let p = sim.add_unprofiled_process("p");
+    let l = log();
+    sim.spawn(
+        p,
+        m,
+        "worker",
+        Script::new((0..50).map(|_| Op::Compute(100)).collect(), &l),
+    );
+    assert!(matches!(sim.run_to_idle_outcome(), RunOutcome::Idle));
+}
+
+/// MPMC handoff scenario: the spawn-time ready order decides which
+/// receiver registers first, so tie-breaking is directly observable.
+fn mpmc_recv_order(policy: SchedulePolicy) -> Vec<String> {
+    let mut sim = Sim::default();
+    sim.set_schedule_policy(policy);
+    let m = sim.add_machine(4);
+    let p = sim.add_unprofiled_process("p");
+    let ch = sim.add_channel(0, 0);
+    let l = log();
+    for i in 0..4 {
+        sim.spawn(p, m, &format!("rx{i}"), Script::new(vec![Op::Recv(ch)], &l));
+    }
+    sim.spawn(
+        p,
+        m,
+        "tx",
+        Script::new(
+            (0..4u32).map(|i| Op::Send(ch, Msg::new(10 + i, 1))).collect(),
+            &l,
+        ),
+    );
+    let outcome = sim.run_to_idle_outcome();
+    assert!(outcome.is_ok(), "{outcome}");
+    let v = l.borrow().clone();
+    v
+}
+
+#[test]
+fn schedule_policies_produce_divergent_legal_interleavings() {
+    let fifo = mpmc_recv_order(SchedulePolicy::Fifo);
+    let lifo = mpmc_recv_order(SchedulePolicy::Lifo);
+    // FIFO preserves the historical behavior: receivers register in
+    // spawn order and messages arrive in send order.
+    assert_eq!(
+        fifo,
+        vec!["t0:recv(10)", "t1:recv(11)", "t2:recv(12)", "t3:recv(13)"]
+    );
+    // LIFO resumes the most recently readied thread first, reversing
+    // the registration order — same messages, different threads.
+    assert_ne!(lifo, fifo, "LIFO must change the handoff");
+    let mut sorted = lifo.clone();
+    sorted.sort();
+    assert_eq!(
+        sorted,
+        vec!["t0:recv(13)", "t1:recv(12)", "t2:recv(11)", "t3:recv(10)"],
+        "all four messages still delivered exactly once: {lifo:?}"
+    );
+}
+
+#[test]
+fn random_policy_is_reproducible_per_seed() {
+    let a = mpmc_recv_order(SchedulePolicy::Random { seed: 1 });
+    let b = mpmc_recv_order(SchedulePolicy::Random { seed: 1 });
+    assert_eq!(a, b, "same seed, same interleaving");
+    // Some nearby seed diverges (each run is one of 120+ permutations;
+    // sampling a few seeds makes a collision across all of them
+    // astronomically unlikely).
+    let diverged = (2..10).any(|s| mpmc_recv_order(SchedulePolicy::Random { seed: s }) != a);
+    assert!(diverged, "random tie-breaking never changed the handoff");
+}
+
+#[test]
+fn perturb_extremes_bracket_fifo() {
+    let fifo = mpmc_recv_order(SchedulePolicy::Fifo);
+    let never = mpmc_recv_order(SchedulePolicy::Perturb { seed: 3, swap_ppm: 0 });
+    assert_eq!(never, fifo, "0 ppm perturbation is exactly FIFO");
+    let always = mpmc_recv_order(SchedulePolicy::Perturb {
+        seed: 3,
+        swap_ppm: 1_000_000,
+    });
+    assert_ne!(always, fifo, "saturated perturbation must deviate");
+}

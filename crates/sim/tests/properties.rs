@@ -1,12 +1,13 @@
 //! Property tests of the simulation engine: determinism and time
 //! monotonicity under randomized thread scripts.
 
+
 use proptest::prelude::*;
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 use whodunit_core::ids::LockMode;
-use whodunit_sim::{Msg, Op, Sim, SimConfig, ThreadBody, ThreadCx, Wake};
+use whodunit_sim::{ChannelFaults, FaultPlan, Msg, Op, SendVerdict, Sim, SimConfig, ThreadBody, ThreadCx, Wake};
 
 /// A compact scripted op for generation.
 #[derive(Clone, Copy, Debug)]
@@ -136,5 +137,91 @@ proptest! {
                 "thread {i} never ran"
             );
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault-plan draw stability.
+//
+// `FaultPlan::send_verdict` consumes exactly three PRNG draws per send,
+// whatever the channel's configuration. That fixed stride is what makes
+// the chaos explorer's scenarios composable: adding or tuning faults on
+// one channel must never re-align the random stream under another
+// channel's verdicts. These properties pin that contract.
+
+fn chan_faults() -> impl Strategy<Value = ChannelFaults> {
+    (0u32..1_000_000, 0u32..1_000_000, 0u32..1_000_000, 1u64..100_000).prop_map(
+        |(d, u, l, cycles)| ChannelFaults {
+            drop_p: d as f64 / 1e6,
+            dup_p: u as f64 / 1e6,
+            delay_p: l as f64 / 1e6,
+            delay_cycles: cycles,
+        },
+    )
+}
+
+/// Runs one plan over a fixed send sequence, returning the verdict each
+/// send received, keyed by the channel it went to.
+fn verdict_stream(
+    seed: u64,
+    per_chan: &[(u32, ChannelFaults)],
+    sends: &[u32],
+) -> Vec<(u32, SendVerdict)> {
+    let mut plan = FaultPlan::new(seed);
+    for &(c, f) in per_chan {
+        plan = plan.channel_faults(whodunit_core::ids::ChanId(c), f);
+    }
+    sends
+        .iter()
+        .map(|&c| (c, plan.send_verdict(whodunit_core::ids::ChanId(c))))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Changing one channel's fault config never changes any *other*
+    /// channel's verdict stream (same seed, same send sequence).
+    #[test]
+    fn tuning_one_channel_leaves_the_others_verdicts_alone(
+        args in (
+            (0u64..1_000_000, 0u32..4),
+            proptest::collection::vec(0u32..4, 1..60),
+            proptest::collection::vec(chan_faults(), 4..5),
+            chan_faults(),
+        )
+    ) {
+        let ((seed, perturbed), sends, base, replacement) = args;
+        let cfg: Vec<(u32, ChannelFaults)> =
+            base.iter().enumerate().map(|(i, f)| (i as u32, *f)).collect();
+        let mut cfg2 = cfg.clone();
+        cfg2[perturbed as usize].1 = replacement;
+        let a = verdict_stream(seed, &cfg, &sends);
+        let b = verdict_stream(seed, &cfg2, &sends);
+        for ((ca, va), (cb, vb)) in a.iter().zip(b.iter()) {
+            prop_assert_eq!(ca, cb);
+            if *ca != perturbed {
+                prop_assert_eq!(va, vb, "channel {} verdict moved when channel {} changed", ca, perturbed);
+            }
+        }
+    }
+
+    /// The verdict stream is a pure function of (seed, config, send
+    /// sequence): replaying the same plan gives identical verdicts.
+    #[test]
+    fn verdict_stream_is_replayable(
+        args in (
+            0u64..1_000_000,
+            proptest::collection::vec(0u32..4, 1..60),
+            proptest::collection::vec(chan_faults(), 4..5),
+        )
+    ) {
+        let (seed, sends, base) = args;
+        let cfg: Vec<(u32, ChannelFaults)> =
+            base.iter().enumerate().map(|(i, f)| (i as u32, *f)).collect();
+        prop_assert_eq!(
+            verdict_stream(seed, &cfg, &sends),
+            verdict_stream(seed, &cfg, &sends)
+        );
     }
 }

@@ -1,8 +1,15 @@
 #!/usr/bin/env bash
-# Repo CI gate: build, test, lint. Run from the repo root.
+# Repo CI gate: build, test, lint, chaos smoke. Run from the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test --workspace -q
 cargo clippy --workspace -- -D warnings
+
+# Chaos smoke: the explorer's own pipeline check (find -> shrink ->
+# record -> replay on a planted defect), then a bounded fuzz sweep —
+# 25 sampled (schedule, fault-plan) scenarios over the TPC-W stack,
+# failing on any invariant-oracle violation.
+cargo run --release -q -p whodunit-bench --bin chaos -- --selftest --out target/chaos-smoke
+cargo run --release -q -p whodunit-bench --bin chaos -- --seeds 25 --out target/chaos-smoke
