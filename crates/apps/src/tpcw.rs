@@ -701,12 +701,7 @@ pub fn run_tpcw(cfg: TpcwConfig) -> TpcwReport {
     let img_hits = squid_shared.borrow().img_hits;
     let img_misses = squid_shared.borrow().img_misses;
     let db_served = sh.served.clone();
-    let mut dumps = Vec::new();
-    for pr in [&squid_pr, &tomcat_pr, &mysql_pr] {
-        if let Some(d) = pr.rt.borrow().dump() {
-            dumps.push(d);
-        }
-    }
+    let dumps = sim.collect_dumps();
     let piggyback_bytes = dumps.iter().map(|d| d.piggyback_bytes).sum();
     let ash = app.shared.borrow();
     TpcwReport {

@@ -1,0 +1,258 @@
+//! pipeline: worker-count sweep of the parallel sharded analysis
+//! pipeline over a fleet-sized 3-tier TPC-W workload.
+//!
+//! Runs the TPC-W stack once, replicates the three tier dumps into a
+//! fleet of disjoint-process-id copies (a deterministic way to scale
+//! the *analysis* workload without scaling the simulation), then
+//! analyzes the fleet at each worker count. Every parallel result is
+//! checked byte-for-byte against the serial (`workers = 1`) result —
+//! any divergence is a hard failure — and the sweep is written to
+//! `BENCH_pipeline.json`.
+//!
+//! Two speedups are reported per worker count:
+//!
+//! - `model_speedup`: the deterministic critical-path speedup — total
+//!   work units over the max per-worker work units under the pipeline's
+//!   static `item % workers` assignment, summed across phases. A pure
+//!   function of the dumps; reproducible on any host.
+//! - `wall_speedup`: serial wall time over measured wall time. Honest
+//!   but hardware-bound: on a single-core host (`host_cores: 1`) it
+//!   hovers around 1.0 because the workers time-slice one CPU.
+//!
+//! Modes:
+//!
+//! - `pipeline [--replicas R] [--clients C] [--duration-s S]
+//!   [--workers W1,W2,...] [--out FILE]` — full sweep.
+//! - `pipeline --smoke` — small fixed configuration, sweep {1, 2, 4};
+//!   exits nonzero if any parallel result diverges from serial. Used as
+//!   a CI gate.
+
+use std::process::ExitCode;
+use std::time::Instant;
+use whodunit_apps::tpcw::{run_tpcw, TpcwConfig};
+use whodunit_bench::header;
+use whodunit_core::cost::CPU_HZ;
+use whodunit_core::pipeline::{analyze, replicate_fleet, PipelineConfig, PipelineReport};
+
+struct Args {
+    replicas: usize,
+    clients: u32,
+    duration_s: u64,
+    workers: Vec<usize>,
+    out: String,
+    smoke: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut a = Args {
+        replicas: 48,
+        clients: 24,
+        duration_s: 40,
+        workers: vec![1, 2, 4, 8],
+        out: "BENCH_pipeline.json".to_owned(),
+        smoke: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--replicas" => {
+                a.replicas = val("--replicas")?.parse().map_err(|e| format!("--replicas: {e}"))?
+            }
+            "--clients" => {
+                a.clients = val("--clients")?.parse().map_err(|e| format!("--clients: {e}"))?
+            }
+            "--duration-s" => {
+                a.duration_s =
+                    val("--duration-s")?.parse().map_err(|e| format!("--duration-s: {e}"))?
+            }
+            "--workers" => {
+                a.workers = val("--workers")?
+                    .split(',')
+                    .map(|w| w.trim().parse().map_err(|e| format!("--workers: {e}")))
+                    .collect::<Result<_, _>>()?
+            }
+            "--out" => a.out = val("--out")?,
+            "--smoke" => a.smoke = true,
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if a.smoke {
+        a.replicas = 16;
+        a.clients = 12;
+        a.duration_s = 20;
+        a.workers = vec![1, 2, 4];
+    }
+    // 3 tiers per replica must stay inside the 8-bit process-id space.
+    a.replicas = a.replicas.clamp(1, 85);
+    if !a.workers.contains(&1) {
+        a.workers.insert(0, 1);
+    }
+    a.workers.sort_unstable();
+    a.workers.dedup();
+    Ok(a)
+}
+
+struct SweepRow {
+    workers: usize,
+    wall_ms: f64,
+    phase_ms: Vec<(&'static str, f64)>,
+    model_speedup: f64,
+    wall_speedup: f64,
+    fingerprint: u64,
+    identical: bool,
+}
+
+fn timed_analyze(dumps: &[whodunit_core::stitch::StageDump], workers: usize) -> (PipelineReport, f64) {
+    let t = Instant::now();
+    let rep = analyze(dumps.to_vec(), PipelineConfig::with_workers(workers));
+    (rep, t.elapsed().as_secs_f64() * 1e3)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json(path: &str, args: &Args, host_cores: usize, serial: &PipelineReport, rows: &[SweepRow]) {
+    let mut j = String::from("{\n");
+    j.push_str("  \"bench\": \"pipeline\",\n");
+    j.push_str(&format!(
+        "  \"config\": {{\"replicas\": {}, \"clients\": {}, \"duration_s\": {}, \"stages\": {}, \"shards\": {}, \"smoke\": {}}},\n",
+        args.replicas,
+        args.clients,
+        args.duration_s,
+        serial.stages.len(),
+        serial.shards,
+        args.smoke
+    ));
+    j.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    j.push_str(&format!(
+        "  \"serial_fingerprint\": \"{:016x}\",\n",
+        serial.fingerprint()
+    ));
+    j.push_str(&format!("  \"total_work_units\": {},\n", serial.total_work()));
+    j.push_str(&format!(
+        "  \"profiles\": {}, \"edges\": {}, \"dict_len\": {},\n",
+        serial.profiles.len(),
+        serial.edges.len(),
+        serial.dict.len()
+    ));
+    j.push_str("  \"sweep\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let phases: Vec<String> = r
+            .phase_ms
+            .iter()
+            .map(|(name, ms)| format!("{{\"phase\": \"{}\", \"wall_ms\": {ms:.3}}}", json_escape(name)))
+            .collect();
+        j.push_str(&format!(
+            "    {{\"workers\": {}, \"wall_ms\": {:.3}, \"model_speedup\": {:.4}, \"wall_speedup\": {:.4}, \"identical_output\": {}, \"fingerprint\": \"{:016x}\", \"phases\": [{}]}}{}\n",
+            r.workers,
+            r.wall_ms,
+            r.model_speedup,
+            r.wall_speedup,
+            r.identical,
+            r.fingerprint,
+            phases.join(", "),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ]\n}\n");
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    std::fs::write(path, j).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("pipeline: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    header(
+        "pipeline",
+        "parallel sharded analysis pipeline: worker-count sweep, serial-identity gate",
+    );
+
+    let cfg = TpcwConfig {
+        clients: args.clients,
+        duration: args.duration_s * CPU_HZ,
+        warmup: (args.duration_s / 4) * CPU_HZ,
+        ..Default::default()
+    };
+    println!(
+        "simulating 3-tier TPC-W: clients={} duration={}s",
+        cfg.clients, args.duration_s
+    );
+    let report = run_tpcw(cfg);
+    assert_eq!(report.dumps.len(), 3, "all three tiers must dump");
+    let fleet = replicate_fleet(&report.dumps, args.replicas);
+    println!(
+        "fleet: {} replicas -> {} stage dumps",
+        args.replicas,
+        fleet.len()
+    );
+
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (serial, serial_ms) = timed_analyze(&fleet, 1);
+    let serial_fp = serial.fingerprint();
+    let serial_text = (serial.stitched_text(), serial.crosstalk_text());
+
+    let mut rows = Vec::new();
+    let mut all_identical = true;
+    for &w in &args.workers {
+        let (rep, wall_ms) = if w == 1 {
+            // Reuse the reference run for the serial row.
+            (analyze(fleet.clone(), PipelineConfig::with_workers(1)), serial_ms)
+        } else {
+            timed_analyze(&fleet, w)
+        };
+        let identical = rep.fingerprint() == serial_fp
+            && rep.stitched_text() == serial_text.0
+            && rep.crosstalk_text() == serial_text.1
+            && rep.dumps_json == serial.dumps_json;
+        all_identical &= identical;
+        let phase_ms = rep
+            .timings
+            .iter()
+            .map(|t| (t.phase, t.wall_ns as f64 / 1e6))
+            .collect();
+        let row = SweepRow {
+            workers: w,
+            wall_ms,
+            phase_ms,
+            model_speedup: serial.model_speedup(w),
+            wall_speedup: serial_ms / wall_ms,
+            fingerprint: rep.fingerprint(),
+            identical,
+        };
+        println!(
+            "workers={:2}  wall {:8.1} ms  model speedup {:5.2}x  wall speedup {:5.2}x  identical={}",
+            row.workers, row.wall_ms, row.model_speedup, row.wall_speedup, row.identical
+        );
+        rows.push(row);
+    }
+
+    write_json(&args.out, &args, host_cores, &serial, &rows);
+    println!("wrote {}", args.out);
+
+    let s4 = serial.model_speedup(4);
+    println!(
+        "4-worker critical-path model speedup: {s4:.2}x over {} stages / {} shards (host_cores={host_cores})",
+        serial.stages.len(),
+        serial.shards
+    );
+    if !all_identical {
+        eprintln!("FAIL: parallel output diverged from serial");
+        return ExitCode::FAILURE;
+    }
+    println!("all worker counts byte-identical to serial");
+    ExitCode::SUCCESS
+}

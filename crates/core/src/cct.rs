@@ -42,7 +42,7 @@ impl Metrics {
     }
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct Node {
     frame: Option<FrameId>,
     parent: Option<CctNodeId>,
@@ -65,7 +65,7 @@ struct Node {
 /// assert_eq!(cct.metrics(node).cycles, 300);
 /// assert_eq!(cct.total().samples, 3);
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Cct {
     nodes: Vec<Node>,
 }

@@ -22,7 +22,7 @@ use crate::frame::FrameId;
 use crate::synopsis::SynChain;
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// An interned transaction context.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -46,8 +46,9 @@ pub enum ContextAtom {
     /// An event handler or SEDA stage executed for the transaction.
     Frame(FrameId),
     /// A call path captured at a produce point (shared-memory produce or
-    /// message send).
-    Path(Rc<[FrameId]>),
+    /// message send). `Arc` (not `Rc`) so context values can cross the
+    /// analysis pipeline's worker-pool threads.
+    Path(Arc<[FrameId]>),
     /// A synopsis chain received from another process; it stands for the
     /// entire upstream history, which only the stitcher can expand.
     Remote(SynChain),
@@ -152,6 +153,46 @@ impl TransactionContext {
     /// Whether this is the root (empty) context.
     pub fn is_empty(&self) -> bool {
         self.0.is_empty()
+    }
+
+    /// A stable FNV-1a hash of the context value.
+    ///
+    /// This is the *location hash* that routes a value to its shard in
+    /// a [`ShardedContextTable`]. It must stay a pure function of the
+    /// atom sequence — never of interning order, table state, or the
+    /// std `Hasher` (whose keys are unspecified across releases) — so
+    /// that sharded runs place every value deterministically.
+    pub fn stable_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        for a in &self.0 {
+            match a {
+                ContextAtom::Frame(f) => {
+                    mix(1);
+                    mix(f.0 as u64);
+                }
+                ContextAtom::Path(p) => {
+                    mix(2);
+                    mix(p.len() as u64);
+                    for f in p.iter() {
+                        mix(f.0 as u64);
+                    }
+                }
+                ContextAtom::Remote(c) => {
+                    mix(3);
+                    mix(c.0.len() as u64);
+                    for s in &c.0 {
+                        mix(s.0 as u64);
+                    }
+                }
+            }
+        }
+        h
     }
 }
 
@@ -267,6 +308,190 @@ impl ContextTable {
     }
 }
 
+/// A context id minted by a [`ShardedContextTable`]: the owning shard
+/// in the high 32 bits, the shard-local index in the low 32.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ShardedCtxId(pub u64);
+
+impl ShardedCtxId {
+    /// Packs a shard index and a shard-local index.
+    pub fn new(shard: u32, local: u32) -> Self {
+        ShardedCtxId(((shard as u64) << 32) | local as u64)
+    }
+
+    /// The shard that owns this context.
+    pub fn shard(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    /// The index within the owning shard.
+    pub fn local(self) -> u32 {
+        self.0 as u32
+    }
+}
+
+impl fmt::Display for ShardedCtxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ctx{}.{}", self.shard(), self.local())
+    }
+}
+
+/// One shard of a [`ShardedContextTable`]: a self-contained intern
+/// table whose ids are local to the shard.
+///
+/// Shards are plain data (`Send`), so each worker of the analysis
+/// pipeline can populate its own shards privately and hand them back
+/// for assembly — no global table, no locks.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct ContextShard {
+    by_value: HashMap<TransactionContext, u32>,
+    values: Vec<TransactionContext>,
+}
+
+impl ContextShard {
+    /// Interns a value, returning its shard-local index.
+    pub fn intern_local(&mut self, value: TransactionContext) -> u32 {
+        if let Some(&i) = self.by_value.get(&value) {
+            return i;
+        }
+        let i = u32::try_from(self.values.len()).expect("more than u32::MAX contexts in a shard");
+        self.by_value.insert(value.clone(), i);
+        self.values.push(value);
+        i
+    }
+
+    /// Looks up a value's shard-local index without interning.
+    pub fn get_local(&self, value: &TransactionContext) -> Option<u32> {
+        self.by_value.get(value).copied()
+    }
+
+    /// The value at a shard-local index, if present.
+    pub fn value_local(&self, local: u32) -> Option<&TransactionContext> {
+        self.values.get(local as usize)
+    }
+
+    /// Number of values interned into this shard.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the shard holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates values in shard-local insertion order.
+    pub fn iter_local(&self) -> impl Iterator<Item = (u32, &TransactionContext)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i as u32, v))
+    }
+}
+
+/// A context dictionary sharded by location hash
+/// ([`TransactionContext::stable_hash`]).
+///
+/// Each value is owned by exactly one shard — the one its stable hash
+/// selects — so two shards can never mint different ids for the same
+/// value, and parallel workers minting into disjoint shards can never
+/// mint duplicates. Ids ([`ShardedCtxId`]) embed the owning shard, so
+/// they stay valid however the shards are later reassembled.
+///
+/// Determinism rules (see DESIGN.md §9):
+///
+/// - the shard of a value depends only on the value and the shard
+///   count, never on insertion order or worker count;
+/// - shard-local ids depend only on the order values are interned
+///   *into that shard*, which the pipeline fixes by scanning inputs in
+///   (stage, context) order;
+/// - [`ShardedContextTable::from_parts`] is order-insensitive: parts
+///   are placed by shard index, so any permutation of the same parts
+///   assembles the same table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedContextTable {
+    shards: Vec<ContextShard>,
+}
+
+impl ShardedContextTable {
+    /// Creates an empty table with `shards` shards (at least 1).
+    pub fn new(shards: usize) -> Self {
+        ShardedContextTable {
+            shards: vec![ContextShard::default(); shards.max(1)],
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a value belongs to: its location hash mod the shard
+    /// count.
+    pub fn shard_of(&self, value: &TransactionContext) -> usize {
+        (value.stable_hash() % self.shards.len() as u64) as usize
+    }
+
+    /// Interns a value into its owning shard.
+    pub fn intern(&mut self, value: TransactionContext) -> ShardedCtxId {
+        let s = self.shard_of(&value);
+        let local = self.shards[s].intern_local(value);
+        ShardedCtxId::new(s as u32, local)
+    }
+
+    /// Looks up a value without interning.
+    pub fn get(&self, value: &TransactionContext) -> Option<ShardedCtxId> {
+        let s = self.shard_of(value);
+        self.shards[s]
+            .get_local(value)
+            .map(|l| ShardedCtxId::new(s as u32, l))
+    }
+
+    /// The value of an id minted by this table, if in range.
+    pub fn value(&self, id: ShardedCtxId) -> Option<&TransactionContext> {
+        self.shards
+            .get(id.shard() as usize)
+            .and_then(|s| s.value_local(id.local()))
+    }
+
+    /// Total values across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether no value has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.is_empty())
+    }
+
+    /// Read access to one shard.
+    pub fn shard(&self, i: usize) -> &ContextShard {
+        &self.shards[i]
+    }
+
+    /// Assembles a table from independently built shards. `parts` are
+    /// `(shard index, shard)` pairs in **any** order; missing indices
+    /// become empty shards. Order-insensitivity is what lets pipeline
+    /// workers finish in any order without affecting the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard index is out of range or supplied twice — both
+    /// are pipeline bugs, not data faults.
+    pub fn from_parts(shards: usize, parts: impl IntoIterator<Item = (usize, ContextShard)>) -> Self {
+        let n = shards.max(1);
+        let mut table = ShardedContextTable::new(n);
+        let mut seen = vec![false; n];
+        for (i, part) in parts {
+            assert!(i < n, "shard index {i} out of range ({n} shards)");
+            assert!(!seen[i], "shard {i} supplied twice");
+            seen[i] = true;
+            table.shards[i] = part;
+        }
+        table
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,5 +590,74 @@ mod tests {
         t.append_frame(CtxId::ROOT, fid(1));
         t.append_frame(CtxId::ROOT, fid(2));
         assert_eq!(t.iter().count(), 3);
+    }
+
+    fn sample_values(n: u32) -> Vec<TransactionContext> {
+        (0..n)
+            .map(|i| {
+                let base = TransactionContext::root().append_frame(fid(i % 7), ContextPolicy::default());
+                if i % 3 == 0 {
+                    base.append_path(&[fid(i), fid(i + 1)])
+                } else if i % 3 == 1 {
+                    TransactionContext::from_remote(SynChain::request(Synopsis::new(i % 5, i)))
+                } else {
+                    base
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stable_hash_is_a_pure_function_of_atoms() {
+        for v in sample_values(40) {
+            assert_eq!(v.stable_hash(), v.clone().stable_hash());
+        }
+        // Distinct structures hash apart (not a guarantee, but these
+        // must not be trivially colliding).
+        let a = TransactionContext::root().append_path(&[fid(1), fid(2)]);
+        let b = TransactionContext::root()
+            .append_frame(fid(1), ContextPolicy::default())
+            .append_frame(fid(2), ContextPolicy::default());
+        assert_ne!(a.stable_hash(), b.stable_hash());
+    }
+
+    #[test]
+    fn sharded_table_mints_one_id_per_value() {
+        let mut t = ShardedContextTable::new(8);
+        let values = sample_values(64);
+        let ids: Vec<_> = values.iter().map(|v| t.intern(v.clone())).collect();
+        for (v, &id) in values.iter().zip(&ids) {
+            assert_eq!(t.intern(v.clone()), id, "re-interning is stable");
+            assert_eq!(t.get(v), Some(id));
+            assert_eq!(t.value(id), Some(v));
+            assert_eq!(id.shard() as usize, t.shard_of(v));
+        }
+    }
+
+    #[test]
+    fn sharded_from_parts_is_order_insensitive() {
+        let values = sample_values(64);
+        let n = 8;
+        let probe = ShardedContextTable::new(n);
+        let mut parts: Vec<ContextShard> = vec![ContextShard::default(); n];
+        for v in &values {
+            parts[probe.shard_of(v)].intern_local(v.clone());
+        }
+        let fwd = ShardedContextTable::from_parts(n, parts.iter().cloned().enumerate());
+        let rev = ShardedContextTable::from_parts(n, parts.iter().cloned().enumerate().rev());
+        assert_eq!(fwd, rev);
+        let mut serial = ShardedContextTable::new(n);
+        for v in &values {
+            serial.intern(v.clone());
+        }
+        assert_eq!(fwd, serial, "partitioned build equals serial interning");
+    }
+
+    #[test]
+    fn sharded_id_packs_shard_and_local() {
+        let id = ShardedCtxId::new(3, 17);
+        assert_eq!(id.shard(), 3);
+        assert_eq!(id.local(), 17);
+        assert_eq!(id.to_string(), "ctx3.17");
     }
 }

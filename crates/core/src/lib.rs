@@ -49,6 +49,7 @@ pub mod frame;
 pub mod ids;
 pub mod ipc;
 pub mod oracle;
+pub mod pipeline;
 pub mod profiler;
 pub mod repro;
 pub mod rt;
@@ -58,11 +59,17 @@ pub mod stitch;
 pub mod synopsis;
 
 pub use cct::{Cct, CctNodeId, Metrics};
-pub use context::{ContextAtom, ContextPolicy, ContextTable, CtxId, TransactionContext};
-pub use crosstalk::{CrosstalkRecorder, CrosstalkReport};
+pub use context::{
+    ContextAtom, ContextPolicy, ContextShard, ContextTable, CtxId, ShardedContextTable,
+    ShardedCtxId, TransactionContext,
+};
+pub use crosstalk::{CrosstalkMatrix, CrosstalkRecorder, CrosstalkReport, OriginKey, WaitStats};
 pub use frame::{FrameId, FrameKind, FrameTable, SharedFrameTable};
 pub use ids::{ChanId, LockId, LockMode, ProcId, ThreadId};
 pub use oracle::{check_all, Evidence, ProgressState, Violation};
+pub use pipeline::{
+    analyze, replicate_fleet, OriginProfile, PhaseTiming, PipelineConfig, PipelineReport,
+};
 pub use profiler::{Whodunit, WhodunitConfig};
 pub use repro::{repro_from_json, repro_to_json, ChaosRepro, FaultEntry};
 pub use rt::{NullRuntime, Runtime};

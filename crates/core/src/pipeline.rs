@@ -1,0 +1,983 @@
+//! The parallel post-collection analysis pipeline.
+//!
+//! Post-mortem analysis — validating stage dumps, indexing minted
+//! synopses, resolving origins and request edges, merging per-stage
+//! CCTs into per-transaction profiles, aggregating crosstalk, and
+//! re-serializing the dumps — is embarrassingly parallel *if* the
+//! merge order is pinned down. This module runs those phases across a
+//! deterministic fixed-size worker pool and guarantees the result is
+//! **bit-identical for every worker count**, by construction:
+//!
+//! 1. Work is partitioned into a *fixed* number of items (stages, or
+//!    dictionary shards chosen by location hash) that does not depend
+//!    on the worker count.
+//! 2. Each item's result is a pure function of the input dumps.
+//! 3. Per-item results land in per-item slots and are merged in
+//!    ascending item order — never in completion order.
+//!
+//! `workers == 1` *is* the serial path: the same item functions run on
+//! the calling thread in the same item order. The differential suite
+//! (`crates/core/tests/parallel_diff.rs`) holds the two paths to byte
+//! equality over seeds × schedules × fault plans, and DESIGN.md §9
+//! records the invariants a future contributor must preserve.
+
+use crate::cct::{Cct, CctNodeId, Metrics};
+use crate::context::{
+    ContextAtom, ContextShard, ShardedContextTable, ShardedCtxId, TransactionContext,
+};
+use crate::crosstalk::{CrosstalkMatrix, OriginKey, WaitStats};
+use crate::dumpjson;
+use crate::frame::FrameId;
+use crate::stitch::{DumpAtom, RequestEdge, StageDump, StitchError, UnresolvedEdge};
+use crate::synopsis::{SynChain, Synopsis};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::time::Instant;
+
+/// Pipeline sizing.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineConfig {
+    /// Worker threads. `1` runs every phase on the calling thread (the
+    /// serial reference path); larger counts only change *who* computes
+    /// each item, never the result.
+    pub workers: usize,
+    /// Dictionary shard count. Fixed independently of `workers` — this
+    /// is what makes output worker-count-invariant — and sized so shard
+    /// work stays balanced (default 32).
+    pub shards: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            workers: 1,
+            shards: 32,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// A config with `workers` workers and default shard count.
+    pub fn with_workers(workers: usize) -> Self {
+        PipelineConfig {
+            workers: workers.max(1),
+            ..Default::default()
+        }
+    }
+}
+
+/// Wall time and deterministic work accounting for one phase.
+#[derive(Clone, Debug)]
+pub struct PhaseTiming {
+    /// Phase name (stable across runs; used by the bench breakdown).
+    pub phase: &'static str,
+    /// Measured wall time of the phase, in nanoseconds. Hardware- and
+    /// load-dependent; NOT part of the deterministic output.
+    pub wall_ns: u64,
+    /// Deterministic work units per item (stage or shard). A pure
+    /// function of the input dumps; the bench derives the
+    /// critical-path model speedup from these.
+    pub item_work: Vec<u64>,
+}
+
+/// One stitched per-transaction profile: every stage's CCT work that
+/// the origin walk attributed to the same entry-point context, merged
+/// over the global frame table.
+#[derive(Clone, Debug)]
+pub struct OriginProfile {
+    /// `(stage index, context index)` of the transaction's entry point.
+    pub origin: OriginKey,
+    /// The origin's context value in the sharded global dictionary.
+    pub global_ctx: ShardedCtxId,
+    /// Stages that contributed CCT mass, ascending.
+    pub stages: Vec<usize>,
+    /// The merged CCT, over global frame ids
+    /// ([`PipelineReport::frames`]).
+    pub cct: Cct,
+}
+
+/// Everything the pipeline produces. All fields except [`timings`] are
+/// bit-identical across worker counts.
+///
+/// [`timings`]: PipelineReport::timings
+#[derive(Debug)]
+pub struct PipelineReport {
+    /// Workers the run used.
+    pub workers: usize,
+    /// Dictionary shard count the run used.
+    pub shards: usize,
+    /// The input dumps, order preserved.
+    pub stages: Vec<StageDump>,
+    /// Global frame names, sorted; CCTs in [`profiles`] index these.
+    ///
+    /// [`profiles`]: PipelineReport::profiles
+    pub frames: Vec<String>,
+    /// Stages skipped as invalid, with why.
+    pub warnings: Vec<(usize, StitchError)>,
+    /// Resolved request edges, sorted as
+    /// [`crate::stitch::Stitched::request_edges`] sorts them.
+    pub edges: Vec<RequestEdge>,
+    /// Remote contexts whose sender dump is missing, sorted as
+    /// [`crate::stitch::Stitched::unresolved_edges`] sorts them.
+    pub unresolved: Vec<UnresolvedEdge>,
+    /// Per-transaction profiles, sorted by origin key.
+    pub profiles: Vec<OriginProfile>,
+    /// Cross-stage crosstalk between origin transactions.
+    pub matrix: CrosstalkMatrix,
+    /// The sharded global context dictionary the profiles intern into.
+    pub dict: ShardedContextTable,
+    /// The dumps re-serialized; byte-identical to
+    /// [`crate::dumpjson::to_json`] on the same dumps.
+    pub dumps_json: String,
+    /// Per-phase wall times and work accounting. The only
+    /// non-deterministic field (wall times); excluded from
+    /// [`PipelineReport::fingerprint`].
+    pub timings: Vec<PhaseTiming>,
+}
+
+/// Runs every phase of the analysis over `dumps`.
+pub fn analyze(dumps: Vec<StageDump>, cfg: PipelineConfig) -> PipelineReport {
+    let workers = cfg.workers.max(1);
+    let shards = cfg.shards.max(1);
+    let stages = &dumps;
+    let n_stages = stages.len();
+    let mut timings = Vec::new();
+
+    // Global frame table: the sorted union of every stage's frame
+    // names, plus per-stage local→global index maps. Serial — it is a
+    // cheap prefix every later phase reads.
+    let mut names: BTreeSet<&str> = BTreeSet::new();
+    for d in stages {
+        for f in &d.frames {
+            names.insert(f);
+        }
+    }
+    let frames: Vec<String> = names.iter().map(|s| (*s).to_owned()).collect();
+    let frame_global: HashMap<&str, u32> = frames
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i as u32))
+        .collect();
+    let remap: Vec<Vec<u32>> = stages
+        .iter()
+        .map(|d| d.frames.iter().map(|f| frame_global[f.as_str()]).collect())
+        .collect();
+
+    // Phase: validate. Per stage, check indices and rebuild every CCT.
+    let (validated, t) = timed_phase("validate", workers, n_stages, |si| {
+        let d = &stages[si];
+        let work = 1
+            + d.frames.len() as u64
+            + d.contexts.len() as u64
+            + d.ccts.iter().map(|c| c.nodes.len() as u64).sum::<u64>();
+        (d.validate(), work)
+    });
+    timings.push(t);
+    let valid: Vec<bool> = validated.iter().map(|r| r.is_ok()).collect();
+    let warnings: Vec<(usize, StitchError)> = validated
+        .into_iter()
+        .enumerate()
+        .filter_map(|(si, r)| r.err().map(|e| (si, e)))
+        .collect();
+
+    // Phase: index. The minted-synopsis index, sharded by synopsis
+    // hash. Each shard scans all valid stages in order and keeps the
+    // entries it owns, so shard contents (and last-insert-wins on
+    // duplicates) match the serial stage-order scan exactly.
+    let (index, t) = timed_phase("index", workers, shards, |j| {
+        let mut map: HashMap<u32, (usize, u32)> = HashMap::new();
+        let mut kept = 0u64;
+        for (si, d) in stages.iter().enumerate() {
+            if !valid[si] {
+                continue;
+            }
+            for &(raw, ctx) in &d.synopses {
+                if syn_shard(raw, shards) == j {
+                    map.insert(raw, (si, ctx));
+                    kept += 1;
+                }
+            }
+        }
+        (map, 1 + kept)
+    });
+    timings.push(t);
+    let resolve = |raw: u32| -> Option<(usize, u32)> {
+        index[syn_shard(raw, shards)].get(&raw).copied()
+    };
+
+    // Phase: stitch. Per stage, resolve every context's origin and
+    // classify remote contexts into request/unresolved edges.
+    let (stitched, t) = timed_phase("stitch", workers, n_stages, |si| {
+        let mut origins: Vec<OriginKey> = Vec::new();
+        let mut edges: Vec<RequestEdge> = Vec::new();
+        let mut unresolved: Vec<UnresolvedEdge> = Vec::new();
+        if valid[si] {
+            let d = &stages[si];
+            for (ci, c) in d.contexts.iter().enumerate() {
+                let ci = ci as u32;
+                origins.push(walk_origin(stages, &resolve, (si, ci)));
+                if let Some(DumpAtom::Remote(chain)) = c.atoms.first() {
+                    if let Some(&last) = chain.last() {
+                        match resolve(last) {
+                            Some((fs, fc)) => edges.push(RequestEdge {
+                                from_stage: fs,
+                                from_ctx: fc,
+                                to_stage: si,
+                                to_ctx: ci,
+                            }),
+                            None => unresolved.push(UnresolvedEdge {
+                                to_stage: si,
+                                to_ctx: ci,
+                                missing: last,
+                            }),
+                        }
+                    }
+                }
+            }
+        }
+        let work = 1 + origins.len() as u64;
+        ((origins, edges, unresolved), work)
+    });
+    timings.push(t);
+    let origins: Vec<Vec<OriginKey>> = stitched.iter().map(|(o, _, _)| o.clone()).collect();
+    let mut edges: Vec<RequestEdge> = stitched.iter().flat_map(|(_, e, _)| e.clone()).collect();
+    edges.sort_by_key(|e| (e.to_stage, e.to_ctx, e.from_stage, e.from_ctx));
+    let mut unresolved: Vec<UnresolvedEdge> =
+        stitched.iter().flat_map(|(_, _, u)| u.clone()).collect();
+    unresolved.sort_by_key(|e| (e.to_stage, e.to_ctx, e.missing));
+
+    // Phase: annotate. Per stage, rebuild each CCT over global frame
+    // ids and tag it with its origin, the origin's global context
+    // value, and the dictionary shard that value hashes to.
+    let (annotated, t) = timed_phase("annotate", workers, n_stages, |si| {
+        let mut anns: Vec<CctAnnotation> = Vec::new();
+        let mut work = 1u64;
+        if valid[si] {
+            let d = &stages[si];
+            for c in &d.ccts {
+                let origin = origin_of(&origins, si, c.ctx);
+                let value = global_value(stages, &remap, origin);
+                let dict_shard = (value.stable_hash() % shards as u64) as usize;
+                let cct = rebuild_global(&remap[si], c);
+                work += c.nodes.len() as u64 + value.len() as u64 + 1;
+                anns.push(CctAnnotation {
+                    origin,
+                    value,
+                    dict_shard,
+                    cct,
+                });
+            }
+        }
+        (anns, work)
+    });
+    timings.push(t);
+
+    // Phase: profiles. Per dictionary shard, merge the CCTs of every
+    // annotation the shard owns (scan in (stage, cct) order so merge
+    // order is fixed) and intern the origin values into the shard's
+    // slice of the global dictionary.
+    let (profile_parts, t) = timed_phase("profiles", workers, shards, |j| {
+        let mut shard = ContextShard::default();
+        let mut acc: BTreeMap<OriginKey, (u32, BTreeSet<usize>, Cct)> = BTreeMap::new();
+        let mut work = 1u64;
+        for (si, anns) in annotated.iter().enumerate() {
+            for a in anns {
+                if a.dict_shard != j {
+                    continue;
+                }
+                work += a.cct.node_ids().count() as u64 + 1;
+                let e = acc.entry(a.origin).or_insert_with(|| {
+                    let local = shard.intern_local(a.value.clone());
+                    (local, BTreeSet::new(), Cct::new())
+                });
+                e.1.insert(si);
+                e.2.merge(&a.cct);
+            }
+        }
+        let profiles: Vec<OriginProfile> = acc
+            .into_iter()
+            .map(|(origin, (local, stages, cct))| OriginProfile {
+                origin,
+                global_ctx: ShardedCtxId::new(j as u32, local),
+                stages: stages.into_iter().collect(),
+                cct,
+            })
+            .collect();
+        ((shard, profiles), work)
+    });
+    timings.push(t);
+    let mut dict_parts = Vec::new();
+    let mut profiles = Vec::new();
+    for (j, (shard, mut ps)) in profile_parts.into_iter().enumerate() {
+        dict_parts.push((j, shard));
+        profiles.append(&mut ps);
+    }
+    let dict = ShardedContextTable::from_parts(shards, dict_parts);
+    profiles.sort_by_key(|p| p.origin);
+
+    // Phase: crosstalk-map. Per stage, resolve each recorded pair and
+    // waiter through the origin walk and tag it with the shard its
+    // waiter origin hashes to.
+    let (ct_maps, t) = timed_phase("crosstalk-map", workers, n_stages, |si| {
+        let mut pairs: Vec<(usize, OriginKey, OriginKey, WaitStats)> = Vec::new();
+        let mut waiters: Vec<(usize, OriginKey, WaitStats)> = Vec::new();
+        let mut work = 1u64;
+        if valid[si] {
+            let d = &stages[si];
+            for p in &d.crosstalk_pairs {
+                let w = origin_of(&origins, si, p.waiter);
+                let h = origin_of(&origins, si, p.holder);
+                pairs.push((
+                    origin_shard(w, shards),
+                    w,
+                    h,
+                    WaitStats {
+                        count: p.count,
+                        total_wait: p.total_wait,
+                    },
+                ));
+            }
+            for wt in &d.crosstalk_waiters {
+                let w = origin_of(&origins, si, wt.waiter);
+                waiters.push((
+                    origin_shard(w, shards),
+                    w,
+                    WaitStats {
+                        count: wt.count,
+                        total_wait: wt.total_wait,
+                    },
+                ));
+            }
+            work += (d.crosstalk_pairs.len() + d.crosstalk_waiters.len()) as u64;
+        }
+        ((pairs, waiters), work)
+    });
+    timings.push(t);
+
+    // Phase: crosstalk-reduce. Per shard, accumulate the rows the
+    // shard owns; keys are disjoint across shards (a waiter origin
+    // lives in exactly one), so the final from_parts merge is lossless.
+    let (ct_parts, t) = timed_phase("crosstalk-reduce", workers, shards, |j| {
+        let mut pair_acc: BTreeMap<(OriginKey, OriginKey), WaitStats> = BTreeMap::new();
+        let mut waiter_acc: BTreeMap<OriginKey, WaitStats> = BTreeMap::new();
+        let mut work = 1u64;
+        for (ps, ws) in &ct_maps {
+            for &(shard, w, h, s) in ps {
+                if shard != j {
+                    continue;
+                }
+                work += 1;
+                let e = pair_acc.entry((w, h)).or_default();
+                e.count += s.count;
+                e.total_wait += s.total_wait;
+            }
+            for &(shard, w, s) in ws {
+                if shard != j {
+                    continue;
+                }
+                work += 1;
+                let e = waiter_acc.entry(w).or_default();
+                e.count += s.count;
+                e.total_wait += s.total_wait;
+            }
+        }
+        let m = CrosstalkMatrix {
+            pairs: pair_acc.into_iter().map(|((w, h), s)| (w, h, s)).collect(),
+            waiters: waiter_acc.into_iter().collect(),
+        };
+        (m, work)
+    });
+    timings.push(t);
+    let matrix = CrosstalkMatrix::from_parts(ct_parts);
+
+    // Phase: serialize. Per stage, render the dump's JSON; the serial
+    // concatenation below reproduces dumpjson::to_json byte-for-byte
+    // because that format is itself a per-dump concatenation.
+    let (jsons, t) = timed_phase("serialize", workers, n_stages, |si| {
+        let j = dumpjson::dump_to_json(&stages[si]);
+        let work = 1 + j.len() as u64;
+        (j, work)
+    });
+    timings.push(t);
+    let mut dumps_json = String::from("[\n");
+    for (i, j) in jsons.iter().enumerate() {
+        if i > 0 {
+            dumps_json.push_str(",\n");
+        }
+        dumps_json.push_str(j);
+    }
+    dumps_json.push_str("\n]\n");
+
+    PipelineReport {
+        workers,
+        shards,
+        stages: dumps,
+        frames,
+        warnings,
+        edges,
+        unresolved,
+        profiles,
+        matrix,
+        dict,
+        dumps_json,
+        timings,
+    }
+}
+
+struct CctAnnotation {
+    origin: OriginKey,
+    value: TransactionContext,
+    dict_shard: usize,
+    cct: Cct,
+}
+
+/// FNV-1a over a synopsis value, reduced to a shard index.
+fn syn_shard(raw: u32, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in raw.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
+/// FNV-1a over an origin key, reduced to a shard index.
+fn origin_shard(k: OriginKey, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in (k.0 as u64)
+        .to_le_bytes()
+        .into_iter()
+        .chain((k.1 as u64).to_le_bytes())
+    {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
+/// The origin computed in the stitch phase for a stage-local context
+/// index, with the same out-of-range fallback on both paths.
+fn origin_of(origins: &[Vec<OriginKey>], si: usize, ctx: u32) -> OriginKey {
+    origins
+        .get(si)
+        .and_then(|v| v.get(ctx as usize))
+        .copied()
+        .unwrap_or((si, ctx))
+}
+
+/// [`crate::stitch::Stitched::origin`]'s walk, against the sharded
+/// index.
+fn walk_origin(
+    stages: &[StageDump],
+    resolve: &dyn Fn(u32) -> Option<(usize, u32)>,
+    start: (usize, u32),
+) -> (usize, u32) {
+    let mut cur = start;
+    for _ in 0..64 {
+        let Some(d) = stages.get(cur.0) else {
+            return cur;
+        };
+        let Some(c) = d.contexts.get(cur.1 as usize) else {
+            return cur;
+        };
+        let Some(DumpAtom::Remote(chain)) = c.atoms.first() else {
+            return cur;
+        };
+        let Some(&head) = chain.first() else {
+            return cur;
+        };
+        let Some(next) = resolve(head) else {
+            return cur;
+        };
+        if next == cur {
+            return cur;
+        }
+        cur = next;
+    }
+    cur
+}
+
+/// The global-dictionary value of an origin: its dumped context with
+/// stage-local frame indices remapped onto the global frame table.
+fn global_value(stages: &[StageDump], remap: &[Vec<u32>], origin: OriginKey) -> TransactionContext {
+    let Some(d) = stages.get(origin.0) else {
+        return TransactionContext::root();
+    };
+    let Some(c) = d.contexts.get(origin.1 as usize) else {
+        return TransactionContext::root();
+    };
+    let rm = &remap[origin.0];
+    let gf = |f: &u32| FrameId(rm.get(*f as usize).copied().unwrap_or(u32::MAX));
+    TransactionContext(
+        c.atoms
+            .iter()
+            .map(|a| match a {
+                DumpAtom::Frame(f) => ContextAtom::Frame(gf(f)),
+                DumpAtom::Path(p) => {
+                    ContextAtom::Path(p.iter().map(&gf).collect::<Vec<_>>().into())
+                }
+                DumpAtom::Remote(chain) => {
+                    ContextAtom::Remote(SynChain(chain.iter().map(|&s| Synopsis(s)).collect()))
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Rebuilds a dumped CCT over global frame ids. The dump is already
+/// validated, so malformed nodes cannot occur here.
+fn rebuild_global(remap: &[u32], d: &crate::stitch::DumpCct) -> Cct {
+    let mut cct = Cct::new();
+    let mut map: Vec<CctNodeId> = Vec::with_capacity(d.nodes.len());
+    for (i, n) in d.nodes.iter().enumerate() {
+        let id = if i == 0 {
+            CctNodeId::ROOT
+        } else {
+            let p = n.parent.expect("validated dump") as usize;
+            let f = n.frame.expect("validated dump");
+            let gf = remap.get(f as usize).copied().unwrap_or(u32::MAX);
+            cct.child(map[p], FrameId(gf))
+        };
+        cct.record_at(
+            id,
+            Metrics {
+                samples: n.samples,
+                cycles: n.cycles,
+                calls: n.calls,
+            },
+        );
+        map.push(id);
+    }
+    cct
+}
+
+/// Runs `f` over items `0..n` on the fixed worker pool and returns the
+/// results in item order, along with the phase timing.
+///
+/// Items are assigned statically: item `i` runs on worker `i %
+/// workers`, each worker processing its items in ascending order. The
+/// assignment is a pure function of `(n, workers)`, and results are
+/// slotted by item index, so neither thread scheduling nor completion
+/// order can influence the output.
+fn timed_phase<T: Send>(
+    phase: &'static str,
+    workers: usize,
+    n: usize,
+    f: impl Fn(usize) -> (T, u64) + Sync,
+) -> (Vec<T>, PhaseTiming) {
+    let start = Instant::now();
+    let mut slots: Vec<Option<(T, u64)>> = Vec::with_capacity(n);
+    if workers <= 1 || n <= 1 {
+        // The serial reference path: same item functions, same order.
+        for i in 0..n {
+            slots.push(Some(f(i)));
+        }
+    } else {
+        slots.resize_with(n, || None);
+        let nw = workers.min(n);
+        let produced: Vec<Vec<(usize, (T, u64))>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..nw)
+                .map(|k| {
+                    let f = &f;
+                    s.spawn(move || {
+                        (k..n)
+                            .step_by(nw)
+                            .map(|i| (i, f(i)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pipeline worker panicked"))
+                .collect()
+        });
+        for batch in produced {
+            for (i, r) in batch {
+                slots[i] = Some(r);
+            }
+        }
+    }
+    let mut results = Vec::with_capacity(n);
+    let mut item_work = Vec::with_capacity(n);
+    for s in slots {
+        let (r, w) = s.expect("every item produced");
+        results.push(r);
+        item_work.push(w);
+    }
+    let t = PhaseTiming {
+        phase,
+        wall_ns: u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        item_work,
+    };
+    (results, t)
+}
+
+impl PipelineReport {
+    /// Renders the stitched per-transaction profiles, request edges,
+    /// unresolved edges, and warnings as deterministic text — the
+    /// byte-comparison surface of the differential suite.
+    pub fn stitched_text(&self) -> String {
+        let mut out = String::new();
+        for p in &self.profiles {
+            let (os, oc) = p.origin;
+            out.push_str(&format!(
+                "origin {} [{}] stages={:?}\n",
+                self.origin_label(os, oc),
+                p.global_ctx,
+                p.stages
+            ));
+            self.render_cct(&mut out, &p.cct, CctNodeId::ROOT, 1);
+        }
+        out.push_str("request edges:\n");
+        for e in &self.edges {
+            out.push_str(&format!(
+                "  {}  ==>  {}\n",
+                self.origin_label(e.from_stage, e.from_ctx),
+                self.origin_label(e.to_stage, e.to_ctx),
+            ));
+        }
+        if !self.unresolved.is_empty() {
+            out.push_str("unresolved edges:\n");
+            for e in &self.unresolved {
+                out.push_str(&format!(
+                    "  ???[{}]  ==>  {}\n",
+                    Synopsis(e.missing),
+                    self.origin_label(e.to_stage, e.to_ctx),
+                ));
+            }
+        }
+        for (si, err) in &self.warnings {
+            out.push_str(&format!(
+                "warning: stage {si} ({}) skipped: {err}\n",
+                self.stages[*si].stage_name
+            ));
+        }
+        out
+    }
+
+    /// Renders the crosstalk matrix as deterministic text.
+    pub fn crosstalk_text(&self) -> String {
+        self.matrix.render(&|s, c| self.origin_label(s, c))
+    }
+
+    /// `stage_name:context` label for an origin key.
+    pub fn origin_label(&self, stage: usize, ctx: u32) -> String {
+        match self.stages.get(stage) {
+            Some(d) => format!("{}:{}", d.stage_name, d.ctx_string(ctx)),
+            None => format!("<stage {stage}?>:{ctx}"),
+        }
+    }
+
+    fn render_cct(&self, out: &mut String, cct: &Cct, node: CctNodeId, depth: usize) {
+        if let Some(f) = cct.frame(node) {
+            let name = self
+                .frames
+                .get(f.0 as usize)
+                .map(String::as_str)
+                .unwrap_or("<?>");
+            let m = cct.inclusive(node);
+            out.push_str(&format!(
+                "{}{} samples {} cycles {}\n",
+                "  ".repeat(depth),
+                name,
+                m.samples,
+                m.cycles
+            ));
+        }
+        for child in cct.children_sorted(node) {
+            self.render_cct(out, cct, child, depth + 1);
+        }
+    }
+
+    /// FNV-1a fingerprint over the deterministic outputs (stitched
+    /// text, crosstalk text, dump JSON). Equal fingerprints across
+    /// worker counts is the bench's divergence gate.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for bytes in [
+            self.stitched_text().as_bytes(),
+            self.crosstalk_text().as_bytes(),
+            self.dumps_json.as_bytes(),
+        ] {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        h
+    }
+
+    /// Total deterministic work units across all phases.
+    pub fn total_work(&self) -> u64 {
+        self.timings
+            .iter()
+            .map(|t| t.item_work.iter().sum::<u64>())
+            .sum()
+    }
+
+    /// The critical-path model speedup of running this workload with
+    /// `workers` workers versus serially.
+    ///
+    /// For each phase, serial cost is the sum of its items' work units
+    /// and parallel cost is the maximum per-worker sum under the static
+    /// `item % workers` assignment [`analyze`] actually uses. The ratio
+    /// of the phase sums is the speedup an ideally scheduled
+    /// `workers`-core host would see. It is a pure function of the
+    /// input dumps — reproducible on any machine, including single-core
+    /// CI hosts where wall-clock parallel speedup is physically
+    /// unobservable.
+    pub fn model_speedup(&self, workers: usize) -> f64 {
+        let w = workers.max(1);
+        let mut serial = 0u64;
+        let mut parallel = 0u64;
+        for t in &self.timings {
+            serial += t.item_work.iter().sum::<u64>();
+            let mut per_worker = vec![0u64; w];
+            for (i, &units) in t.item_work.iter().enumerate() {
+                per_worker[i % w] += units;
+            }
+            parallel += per_worker.into_iter().max().unwrap_or(0);
+        }
+        if parallel == 0 {
+            return 1.0;
+        }
+        serial as f64 / parallel as f64
+    }
+}
+
+/// Replicates a profiled tier group into a fleet of `replicas` copies
+/// with disjoint process ids: replica `r`'s copy of `dumps[i]` gets
+/// process id `r * dumps.len() + i`, applied consistently to minted
+/// synopses and remote chains via
+/// [`StageDump::with_remapped_proc`]. This turns one small run into a
+/// deterministic fleet-sized analysis workload for the `pipeline`
+/// bench.
+///
+/// # Panics
+///
+/// Panics (in `Synopsis::new`) if `replicas * dumps.len()` exceeds the
+/// 8-bit process-id space (256).
+pub fn replicate_fleet(dumps: &[StageDump], replicas: usize) -> Vec<StageDump> {
+    let g = dumps.len();
+    let proc_index: HashMap<u32, usize> = dumps
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (d.proc, i))
+        .collect();
+    let mut fleet = Vec::with_capacity(g * replicas);
+    for r in 0..replicas {
+        for d in dumps {
+            let map = |p: u32| proc_index.get(&p).map(|&i| (r * g + i) as u32);
+            fleet.push(d.with_remapped_proc(&map));
+        }
+    }
+    fleet
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stitch::{DumpCct, DumpContext, DumpCrosstalkPair, DumpCrosstalkWaiter, DumpNode, Stitched};
+
+    fn node(frame: Option<u32>, parent: Option<u32>, samples: u64, cycles: u64) -> DumpNode {
+        DumpNode {
+            frame,
+            parent,
+            samples,
+            cycles,
+            calls: 0,
+        }
+    }
+
+    /// A 3-stage chain: stage 0 sends (mints 0x...64), stage 1 receives
+    /// and forwards (mints its own), stage 2 receives. Stage 2 records
+    /// crosstalk between its two contexts.
+    fn chain_dumps() -> Vec<StageDump> {
+        let s0 = StageDump {
+            proc: 0,
+            stage_name: "front".into(),
+            frames: vec!["main".into(), "rpc".into()],
+            contexts: vec![
+                DumpContext::default(),
+                DumpContext {
+                    atoms: vec![DumpAtom::Path(vec![0, 1])],
+                },
+            ],
+            ccts: vec![DumpCct {
+                ctx: 1,
+                nodes: vec![node(None, None, 0, 0), node(Some(0), Some(0), 5, 50)],
+            }],
+            synopses: vec![(Synopsis::new(0, 0).0, 1)],
+            ..Default::default()
+        };
+        let s1 = StageDump {
+            proc: 1,
+            stage_name: "mid".into(),
+            frames: vec!["serve".into()],
+            contexts: vec![
+                DumpContext::default(),
+                DumpContext {
+                    atoms: vec![DumpAtom::Remote(vec![Synopsis::new(0, 0).0])],
+                },
+            ],
+            ccts: vec![DumpCct {
+                ctx: 1,
+                nodes: vec![node(None, None, 0, 0), node(Some(0), Some(0), 7, 70)],
+            }],
+            synopses: vec![(Synopsis::new(1, 0).0, 1)],
+            ..Default::default()
+        };
+        let s2 = StageDump {
+            proc: 2,
+            stage_name: "db".into(),
+            frames: vec!["query".into(), "lock".into()],
+            contexts: vec![
+                DumpContext::default(),
+                DumpContext {
+                    atoms: vec![DumpAtom::Remote(vec![
+                        Synopsis::new(0, 0).0,
+                        Synopsis::new(1, 0).0,
+                    ])],
+                },
+            ],
+            ccts: vec![DumpCct {
+                ctx: 1,
+                nodes: vec![
+                    node(None, None, 0, 0),
+                    node(Some(0), Some(0), 3, 30),
+                    node(Some(1), Some(1), 2, 20),
+                ],
+            }],
+            synopses: vec![],
+            crosstalk_pairs: vec![DumpCrosstalkPair {
+                waiter: 1,
+                holder: 0,
+                count: 4,
+                total_wait: 400,
+            }],
+            crosstalk_waiters: vec![DumpCrosstalkWaiter {
+                waiter: 1,
+                count: 9,
+                total_wait: 400,
+            }],
+            ..Default::default()
+        };
+        vec![s0, s1, s2]
+    }
+
+    fn assert_identical(a: &PipelineReport, b: &PipelineReport) {
+        assert_eq!(a.stitched_text(), b.stitched_text());
+        assert_eq!(a.crosstalk_text(), b.crosstalk_text());
+        assert_eq!(a.dumps_json, b.dumps_json);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.dict, b.dict);
+    }
+
+    #[test]
+    fn parallel_output_is_bit_identical_to_serial() {
+        for shards in [1, 4, 32] {
+            let serial = analyze(
+                chain_dumps(),
+                PipelineConfig { workers: 1, shards },
+            );
+            for workers in [2, 3, 4, 8] {
+                let par = analyze(
+                    chain_dumps(),
+                    PipelineConfig { workers, shards },
+                );
+                assert_identical(&serial, &par);
+            }
+        }
+    }
+
+    #[test]
+    fn edges_match_legacy_stitched() {
+        let dumps = chain_dumps();
+        let st = Stitched::new(dumps.clone());
+        let rep = analyze(dumps, PipelineConfig::default());
+        assert_eq!(rep.edges, st.request_edges());
+        assert_eq!(rep.unresolved, st.unresolved_edges());
+        assert!(rep.warnings.is_empty());
+    }
+
+    #[test]
+    fn json_matches_serial_serializer() {
+        let dumps = chain_dumps();
+        let want = dumpjson::to_json(&dumps);
+        let rep = analyze(dumps, PipelineConfig::with_workers(4));
+        assert_eq!(rep.dumps_json, want);
+        let back = dumpjson::from_json(&rep.dumps_json).expect("round trip");
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn profiles_merge_all_stages_under_the_origin() {
+        let rep = analyze(chain_dumps(), PipelineConfig::default());
+        // Every stage's CCT resolves to the front-tier entry point.
+        assert_eq!(rep.profiles.len(), 1);
+        let p = &rep.profiles[0];
+        assert_eq!(p.origin, (0, 1));
+        assert_eq!(p.stages, vec![0, 1, 2]);
+        assert_eq!(p.cct.total().cycles, 50 + 70 + 30 + 20);
+        // The origin's value is interned in the sharded dictionary.
+        assert_eq!(rep.dict.value(p.global_ctx).map(|v| v.len()), Some(1));
+    }
+
+    #[test]
+    fn crosstalk_resolves_to_origins() {
+        let rep = analyze(chain_dumps(), PipelineConfig::with_workers(4));
+        // db ctx1's origin is (0,1); db ctx0 is local root (2,0).
+        assert_eq!(rep.matrix.pairs, vec![(
+            (0, 1),
+            (2, 0),
+            WaitStats {
+                count: 4,
+                total_wait: 400
+            }
+        )]);
+        assert_eq!(rep.matrix.waiters.len(), 1);
+        assert_eq!(rep.matrix.waiters[0].0, (0, 1));
+    }
+
+    #[test]
+    fn corrupt_stage_is_skipped_identically() {
+        let mut dumps = chain_dumps();
+        dumps[1].ccts[0].ctx = 99; // context out of range → invalid
+        let serial = analyze(dumps.clone(), PipelineConfig::default());
+        let par = analyze(dumps.clone(), PipelineConfig::with_workers(4));
+        assert_identical(&serial, &par);
+        assert_eq!(serial.warnings.len(), 1);
+        assert_eq!(serial.warnings[0].0, 1);
+        // Legacy comparison still holds with an invalid stage present.
+        let st = Stitched::new(dumps);
+        assert_eq!(serial.edges, st.request_edges());
+        assert_eq!(serial.unresolved, st.unresolved_edges());
+    }
+
+    #[test]
+    fn fleet_replication_is_consistent_and_analyzable() {
+        let fleet = replicate_fleet(&chain_dumps(), 5);
+        assert_eq!(fleet.len(), 15);
+        let procs: BTreeSet<u32> = fleet.iter().map(|d| d.proc).collect();
+        assert_eq!(procs.len(), 15, "disjoint proc ids");
+        let serial = analyze(fleet.clone(), PipelineConfig::default());
+        let par = analyze(fleet, PipelineConfig::with_workers(4));
+        assert_identical(&serial, &par);
+        // One profile per replica origin, all resolved (no unresolved
+        // edges introduced by remapping).
+        assert_eq!(serial.profiles.len(), 5);
+        assert!(serial.unresolved.is_empty());
+        assert_eq!(serial.edges.len(), 10);
+    }
+
+    #[test]
+    fn model_speedup_grows_with_workers() {
+        let fleet = replicate_fleet(&chain_dumps(), 16);
+        let rep = analyze(fleet, PipelineConfig::default());
+        let s1 = rep.model_speedup(1);
+        let s4 = rep.model_speedup(4);
+        assert!((s1 - 1.0).abs() < 1e-12);
+        assert!(s4 > 2.0, "4-worker model speedup {s4:.2} over 48 stages");
+        assert!(s4 <= 4.0 + 1e-9);
+    }
+}

@@ -411,10 +411,14 @@ impl Runtime for Whodunit {
                 .collect();
             d.ccts.push(DumpCct { ctx: ctx.0, nodes });
         }
+        // Canonical dump order (sorted by context id) comes from the
+        // synopsis table itself so the serial dump path and the sharded
+        // analysis pipeline share one ordering rule.
         d.synopses = self
-            .ctxs
-            .iter()
-            .filter_map(|(ctx, _)| self.syns.get(ctx).map(|s| (s.0, ctx.0)))
+            .syns
+            .minted_sorted()
+            .into_iter()
+            .map(|(raw, ctx)| (raw, ctx.0))
             .collect();
         let rep = self.crosstalk.report();
         d.crosstalk_pairs = rep

@@ -246,6 +246,47 @@ impl StageDump {
         Ok(())
     }
 
+    /// Returns a copy of this dump re-homed onto other process ids.
+    ///
+    /// `map` translates an old process id to a new one; it is applied
+    /// to the dump's own `proc`, to the high byte of every synopsis
+    /// this stage minted, and to every synopsis inside `Remote` context
+    /// atoms, keeping the dump internally consistent. Ids the map
+    /// returns `None` for are left unchanged (a chain may reference a
+    /// process outside the remapped group).
+    ///
+    /// This is how the `pipeline` bench replicates one profiled tier
+    /// group into a fleet: each replica gets a disjoint process-id
+    /// range, so the replicas' synopses never collide (the id must stay
+    /// under [`Synopsis`]'s 8-bit process field — the caller's
+    /// responsibility, enforced by `Synopsis::new`'s panic).
+    pub fn with_remapped_proc(&self, map: &dyn Fn(u32) -> Option<u32>) -> StageDump {
+        let remap_syn = |raw: u32| -> u32 {
+            let s = Synopsis(raw);
+            match map(s.proc_id()) {
+                Some(p) => Synopsis::new(p, s.counter()).0,
+                None => raw,
+            }
+        };
+        let mut d = self.clone();
+        if let Some(p) = map(d.proc) {
+            d.proc = p;
+        }
+        for (raw, _) in &mut d.synopses {
+            *raw = remap_syn(*raw);
+        }
+        for c in &mut d.contexts {
+            for a in &mut c.atoms {
+                if let DumpAtom::Remote(chain) = a {
+                    for raw in chain.iter_mut() {
+                        *raw = remap_syn(*raw);
+                    }
+                }
+            }
+        }
+        d
+    }
+
     /// Renders a dumped context as a human-readable string. Unknown
     /// indices render as placeholders rather than panicking.
     pub fn ctx_string(&self, ctx: u32) -> String {

@@ -152,9 +152,35 @@ impl SynopsisTable {
         s
     }
 
+    /// Batched form of [`SynopsisTable::synopsis_of`]: mints (or looks
+    /// up) synopses for a whole slice of contexts in one pass.
+    ///
+    /// The result is element-wise identical to calling `synopsis_of`
+    /// once per context in slice order — the property suite holds the
+    /// two paths to byte equality — but reserves the dictionary space
+    /// up front and touches each map once, which is what the analysis
+    /// pipeline wants when a stage floods many contexts at a dump or
+    /// propagation barrier.
+    pub fn mint_batch(&mut self, ctxs: &[CtxId]) -> Vec<Synopsis> {
+        // Worst case every context is new; duplicate reservations are
+        // harmless.
+        self.by_ctx.reserve(ctxs.len());
+        self.by_syn.reserve(ctxs.len());
+        ctxs.iter().map(|&c| self.synopsis_of(c)).collect()
+    }
+
     /// Looks up the synopsis already minted for `ctx`, if any.
     pub fn get(&self, ctx: CtxId) -> Option<Synopsis> {
         self.by_ctx.get(&ctx).copied()
+    }
+
+    /// All minted `(raw synopsis, context)` pairs, sorted by context id
+    /// — the canonical dump order shared by the serial and sharded
+    /// analysis paths.
+    pub fn minted_sorted(&self) -> Vec<(u32, CtxId)> {
+        let mut v: Vec<_> = self.by_ctx.iter().map(|(&c, &s)| (s.0, c)).collect();
+        v.sort_by_key(|&(_, c)| c);
+        v
     }
 
     /// Looks up the context a synopsis was minted for, if it is ours.
@@ -239,6 +265,28 @@ mod tests {
         let s = t1.synopsis_of(CtxId(0));
         assert!(!t2.is_mine(s));
         assert_eq!(t2.ctx_of(s), None);
+    }
+
+    #[test]
+    fn mint_batch_matches_one_at_a_time() {
+        let ctxs: Vec<CtxId> = [4u32, 9, 4, 0, 2, 9, 7].iter().map(|&c| CtxId(c)).collect();
+        let mut batched = SynopsisTable::new(3u32);
+        let mut singles = SynopsisTable::new(3u32);
+        let got = batched.mint_batch(&ctxs);
+        let want: Vec<Synopsis> = ctxs.iter().map(|&c| singles.synopsis_of(c)).collect();
+        assert_eq!(got, want);
+        assert_eq!(batched.minted_sorted(), singles.minted_sorted());
+    }
+
+    #[test]
+    fn minted_sorted_is_in_ctx_order() {
+        let mut t = SynopsisTable::new(1u32);
+        t.synopsis_of(CtxId(5));
+        t.synopsis_of(CtxId(1));
+        t.synopsis_of(CtxId(3));
+        let pairs = t.minted_sorted();
+        let ctxs: Vec<u32> = pairs.iter().map(|&(_, c)| c.0).collect();
+        assert_eq!(ctxs, vec![1, 3, 5]);
     }
 
     #[test]

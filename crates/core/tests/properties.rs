@@ -230,3 +230,112 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Sharded dictionary + batch minting (the parallel pipeline's
+// determinism primitives; see DESIGN.md §9).
+// ---------------------------------------------------------------------
+
+use whodunit_core::context::{ContextShard, ShardedContextTable, TransactionContext};
+use whodunit_core::synopsis::{SynChain, Synopsis};
+
+fn atom_strategy() -> impl Strategy<Value = ContextAtom> {
+    prop_oneof![
+        (0u32..8).prop_map(|f| ContextAtom::Frame(FrameId(f))),
+        proptest::collection::vec(0u32..8, 1..4).prop_map(|p| {
+            ContextAtom::Path(p.into_iter().map(FrameId).collect::<Vec<_>>().into())
+        }),
+        proptest::collection::vec((0u32..4, 0u32..64), 1..3).prop_map(|ss| {
+            ContextAtom::Remote(SynChain(
+                ss.into_iter().map(|(p, c)| Synopsis::new(p, c)).collect(),
+            ))
+        }),
+    ]
+}
+
+fn value_strategy() -> impl Strategy<Value = TransactionContext> {
+    proptest::collection::vec(atom_strategy(), 0..5).prop_map(TransactionContext)
+}
+
+proptest! {
+    /// The sharded dictionary never mints two ids for one value and
+    /// never reuses an id across distinct values, no matter how values
+    /// interleave across shards; and every id's shard is the value's
+    /// location hash, so no value can be minted in two shards.
+    #[test]
+    fn sharded_dictionary_mints_no_duplicates(
+        args in (proptest::collection::vec(value_strategy(), 1..60), 1usize..9)
+    ) {
+        let (values, shards) = args;
+        let mut t = ShardedContextTable::new(shards);
+        let mut by_value = std::collections::HashMap::new();
+        for v in &values {
+            let id = t.intern(v.clone());
+            prop_assert_eq!(id.shard() as usize, t.shard_of(v), "id lives off-shard");
+            let prev = by_value.insert(v.clone(), id);
+            if let Some(prev) = prev {
+                prop_assert_eq!(prev, id, "same value minted twice");
+            }
+            prop_assert_eq!(t.value(id), Some(v), "id resolves to its value");
+        }
+        // Distinct values ⇒ distinct ids (across *all* shards).
+        let ids: std::collections::HashSet<_> = by_value.values().copied().collect();
+        prop_assert_eq!(ids.len(), by_value.len(), "id reused across values");
+    }
+
+    /// Assembling the dictionary from per-shard parts is insensitive to
+    /// the order the parts arrive in (the parallel pipeline's workers
+    /// finish in any order) and equals serial interning.
+    #[test]
+    fn sharded_merge_is_order_insensitive(
+        args in (proptest::collection::vec(value_strategy(), 1..60), 1usize..9, 0usize..9)
+    ) {
+        let (values, shards, rot) = args;
+        let mut serial = ShardedContextTable::new(shards);
+        for v in &values {
+            serial.intern(v.clone());
+        }
+        // Partition the values per shard, preserving first-seen order —
+        // exactly what each pipeline worker does for its shard.
+        let probe = ShardedContextTable::new(shards);
+        let mut parts: Vec<(usize, ContextShard)> =
+            (0..shards).map(|j| (j, ContextShard::default())).collect();
+        for v in &values {
+            let j = probe.shard_of(v);
+            parts[j].1.intern_local(v.clone());
+        }
+        // Deliver the parts in a rotated (i.e. arbitrary) order.
+        parts.rotate_left(rot % shards);
+        let merged = ShardedContextTable::from_parts(shards, parts);
+        prop_assert_eq!(&merged, &serial);
+    }
+
+    /// Batch synopsis minting commutes with one-at-a-time minting: same
+    /// synopses element-wise, same dictionary afterwards.
+    #[test]
+    fn mint_batch_commutes_with_singles(
+        args in (proptest::collection::vec(0u32..30, 1..80), 0usize..81)
+    ) {
+        let (ctxs, split) = args;
+        let ctxs: Vec<CtxId> = ctxs.into_iter().map(CtxId).collect();
+        let split = split.min(ctxs.len());
+        let mut batched = SynopsisTable::new(7u32);
+        let mut singles = SynopsisTable::new(7u32);
+        // Interleave: one batch, then singles, then another batch, so
+        // the property covers mixed call patterns too.
+        let first = batched.mint_batch(&ctxs[..split]);
+        let mut want_first = Vec::new();
+        for &c in &ctxs[..split] {
+            want_first.push(singles.synopsis_of(c));
+        }
+        prop_assert_eq!(first, want_first);
+        let second = batched.mint_batch(&ctxs[split..]);
+        let mut want_second = Vec::new();
+        for &c in &ctxs[split..] {
+            want_second.push(singles.synopsis_of(c));
+        }
+        prop_assert_eq!(second, want_second);
+        prop_assert_eq!(batched.minted_sorted(), singles.minted_sorted());
+        prop_assert_eq!(batched.len(), singles.len());
+    }
+}

@@ -251,6 +251,31 @@ pub fn render_stitched_text(stitched: &Stitched) -> String {
     out
 }
 
+/// Renders the parallel pipeline's full analysis as one canonical text
+/// document: per-transaction profiles, request/unresolved edges, the
+/// cross-stage crosstalk matrix, and a dictionary summary.
+///
+/// This is the byte-comparison surface of the golden-file suite
+/// (`tests/golden_report.rs`), so its format is part of the repo's
+/// compatibility contract: change it only together with the goldens
+/// (regenerate with `UPDATE_GOLDEN=1`).
+pub fn render_pipeline(rep: &whodunit_core::pipeline::PipelineReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "pipeline analysis: {} stages, {} profiles, {} frames, dict {} values / {} shards\n\n",
+        rep.stages.len(),
+        rep.profiles.len(),
+        rep.frames.len(),
+        rep.dict.len(),
+        rep.shards
+    ));
+    out.push_str("== stitched transactions ==\n");
+    out.push_str(&rep.stitched_text());
+    out.push_str("\n== crosstalk ==\n");
+    out.push_str(&rep.crosstalk_text());
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -475,6 +475,17 @@ impl Sim {
         &self.procs[p.0 as usize].name
     }
 
+    /// Collects the stage dumps of every profiled process, in process-id
+    /// order. Processes whose runtime has nothing to dump (e.g.
+    /// unprofiled [`NullRuntime`] clients) are skipped, so the result is
+    /// the deterministic stage order the analysis pipeline expects.
+    pub fn collect_dumps(&self) -> Vec<whodunit_core::stitch::StageDump> {
+        self.procs
+            .iter()
+            .filter_map(|p| p.rt.borrow().dump())
+            .collect()
+    }
+
     /// Registers a machine with `cores` CPUs.
     pub fn add_machine(&mut self, cores: u32) -> MachineId {
         self.machines.add(cores)

@@ -1,11 +1,34 @@
 #!/usr/bin/env bash
-# Repo CI gate: build, test, lint, chaos smoke. Run from the repo root.
+# Repo CI gate: build, test, lint, pipeline + chaos smoke. Run from the
+# repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
+
+# The full suite twice: default parallel test threads, then serialized.
+# The analysis pipeline spawns its own worker pool inside tests; running
+# both ways catches output that only stays deterministic under one
+# threading regime.
 cargo test --workspace -q
+cargo test --workspace -q -- --test-threads=1
+
+# The parallel-pipeline gates, explicitly (they also run as part of the
+# workspace suite above; naming them keeps the gate obvious and fails
+# fast if a refactor drops a suite from the workspace):
+# - differential: serial vs parallel analysis byte-identity over
+#   seeds x schedules x fault plans, cross-checked against the legacy
+#   Stitched resolver;
+# - golden: canonical rendered reports for two fixed TPC-W runs
+#   (regenerate intentionally with UPDATE_GOLDEN=1).
+cargo test -q -p whodunit-core --test parallel_diff
+cargo test -q --test golden_report
+
 cargo clippy --workspace -- -D warnings
+
+# Pipeline smoke: sweep worker counts {1, 2, 4} over a small fleet and
+# fail on any serial/parallel divergence.
+cargo run --release -q -p whodunit-bench --bin pipeline -- --smoke --out target/BENCH_pipeline_smoke.json
 
 # Chaos smoke: the explorer's own pipeline check (find -> shrink ->
 # record -> replay on a planted defect), then a bounded fuzz sweep —

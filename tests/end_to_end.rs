@@ -1,16 +1,20 @@
 //! Cross-crate integration tests: the full Whodunit pipeline from
 //! simulated applications through profiling to post-mortem stitching.
 
+use whodunit::apps::chaos::{default_workload, run_scenario};
 use whodunit::apps::dbserver::Engine;
 use whodunit::apps::httpd::{run_httpd, HttpdConfig};
 use whodunit::apps::proxy::{run_proxy, ProxyConfig};
 use whodunit::apps::rtconf::RtKind;
 use whodunit::apps::sedasrv::{run_haboob, HaboobConfig};
-use whodunit::apps::tpcw::{run_tpcw, TpcwConfig};
+use whodunit::apps::tpcw::{run_tpcw, TpcwConfig, TpcwFaults};
 use whodunit::core::cost::CPU_HZ;
+use whodunit::core::pipeline::{analyze, PipelineConfig};
+use whodunit::core::repro::{repro_from_json, repro_to_json, ChaosRepro, FaultEntry};
 use whodunit::core::rt::Runtime;
 use whodunit::core::stitch::Stitched;
 use whodunit::report::{json, render, tpcw};
+use whodunit::sim::fault::ChannelFaults;
 use whodunit::workload::Interaction;
 
 fn label_of(frame: &str) -> Option<String> {
@@ -187,6 +191,102 @@ fn figure8_profile_renders_with_flow_context() {
     );
     let dot = render::render_dot(&dump);
     assert!(dot.contains("digraph"));
+}
+
+#[test]
+fn faulty_tpcw_still_stitches_end_to_end() {
+    // A lossy wire between the tiers: the profile must stay
+    // stitchable, the parallel analysis must stay byte-identical to
+    // serial, and any missing sender shows up as an explicit
+    // unresolved edge rather than silent shrinkage.
+    let r = run_tpcw(TpcwConfig {
+        clients: 24,
+        duration: 60 * CPU_HZ,
+        warmup: 15 * CPU_HZ,
+        faults: Some(TpcwFaults {
+            seed: 0xbad,
+            db_chan: ChannelFaults {
+                drop_p: 0.04,
+                dup_p: 0.02,
+                delay_p: 0.06,
+                delay_cycles: CPU_HZ / 100,
+            },
+            front_chan: ChannelFaults {
+                drop_p: 0.01,
+                ..Default::default()
+            },
+            ..Default::default()
+        }),
+        step_budget: Some(5_000_000),
+        ..TpcwConfig::default()
+    });
+    assert_eq!(r.dumps.len(), 3);
+    assert!(
+        r.dropped_msgs + r.duplicated_msgs + r.delayed_msgs > 0,
+        "fault plan fired on the wire"
+    );
+    // The degraded stack still completes work.
+    assert!(r.throughput_per_min > 0.0);
+
+    let serial = analyze(r.dumps.clone(), PipelineConfig::with_workers(1));
+    let par = analyze(r.dumps.clone(), PipelineConfig::with_workers(4));
+    assert_eq!(serial.fingerprint(), par.fingerprint());
+    assert_eq!(serial.stitched_text(), par.stitched_text());
+    assert!(!serial.profiles.is_empty(), "faulty run still profiles");
+
+    // Edges still connect squid -> tomcat -> mysql despite the faults.
+    let stitched = Stitched::new(r.dumps);
+    let edges = stitched.request_edges();
+    assert!(edges.iter().any(|e| e.from_stage == 0 && e.to_stage == 1));
+    assert!(edges.iter().any(|e| e.from_stage == 1 && e.to_stage == 2));
+    assert_eq!(serial.edges, edges);
+}
+
+#[test]
+fn chaos_repro_fixture_replays_bit_identically() {
+    // A chaos-explorer style repro fixture (core/repro.rs), exercised
+    // through its serialized form the way a replay from disk would be.
+    let mut fixture = ChaosRepro {
+        seed: 42,
+        policy: "perturb:42:250000".to_owned(),
+        workload: default_workload(),
+        faults: vec![
+            FaultEntry::Drop {
+                chan: "db".into(),
+                ppm: 30_000,
+            },
+            FaultEntry::Delay {
+                chan: "db".into(),
+                ppm: 50_000,
+                cycles: CPU_HZ / 100,
+            },
+            FaultEntry::Dup {
+                chan: "front".into(),
+                ppm: 10_000,
+            },
+        ],
+        ..ChaosRepro::default()
+    };
+    fixture.set_knob("clients", 16);
+    fixture.set_knob("duration", 25 * CPU_HZ);
+    fixture.set_knob("warmup", 5 * CPU_HZ);
+
+    // Round-trip through the on-disk format, then replay twice.
+    let parsed = repro_from_json(&repro_to_json(&fixture)).expect("fixture parses back");
+    let a = run_scenario(&parsed);
+    let b = run_scenario(&parsed);
+    assert_eq!(
+        a.fingerprint, b.fingerprint,
+        "replay is bit-identical: {} vs {}",
+        a.outcome, b.outcome
+    );
+    assert!(
+        a.violations.is_empty(),
+        "no oracle violations on the healthy stack: {:?}",
+        a.violations
+    );
+    let (drops, dups, delays) = a.faults_seen;
+    assert!(drops + dups + delays > 0, "repro's fault plan fired");
 }
 
 #[test]
