@@ -18,6 +18,7 @@
 use crate::tpcw::{run_tpcw, TpcwConfig, TpcwFaults};
 use whodunit_core::cost::CPU_HZ;
 use whodunit_core::dumpjson;
+use whodunit_core::hash::Fnv64;
 use whodunit_core::oracle::{check_all, Evidence, ProgressState, Violation};
 use whodunit_core::repro::{ChaosRepro, FaultEntry};
 use whodunit_sim::{ChannelFaults, RunOutcome};
@@ -162,13 +163,6 @@ impl ScenarioResult {
     }
 }
 
-fn fnv1a(h: &mut u64, bytes: &[u8]) {
-    for &b in bytes {
-        *h ^= b as u64;
-        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-}
-
 /// Executes a repro on the TPC-W stack and checks every oracle.
 pub fn run_scenario(repro: &ChaosRepro) -> ScenarioResult {
     let r = run_tpcw(config_of(repro));
@@ -193,16 +187,17 @@ pub fn run_scenario(repro: &ChaosRepro) -> ScenarioResult {
     };
     let violations = check_all(&ev);
 
-    let mut h = 0xCBF2_9CE4_8422_2325u64;
-    fnv1a(&mut h, dumpjson::to_json(&ev.dumps).as_bytes());
+    let mut h = Fnv64::new();
+    h.write(dumpjson::to_json(&ev.dumps).as_bytes());
     for n in [ev.dropped, ev.duplicated, ev.delayed] {
-        fnv1a(&mut h, &n.to_le_bytes());
+        h.write_u64(n);
     }
     for &t in &ev.compute_truth {
-        fnv1a(&mut h, &t.to_le_bytes());
+        h.write(&t.to_le_bytes());
     }
     let outcome = r.outcome.to_string();
-    fnv1a(&mut h, outcome.as_bytes());
+    h.write(outcome.as_bytes());
+    let h = h.finish();
 
     ScenarioResult {
         violations,

@@ -550,6 +550,29 @@ impl ThreadBody for PingPongPeer {
 
 /// Runs the TPC-W assembly.
 pub fn run_tpcw(cfg: TpcwConfig) -> TpcwReport {
+    run_tpcw_inner(cfg, None)
+}
+
+/// Runs the TPC-W assembly in streaming mode: identical build and
+/// schedule to [`run_tpcw`], but the run advances in epochs of
+/// `epoch_len` virtual cycles and each epoch's per-stage profile
+/// increment is emitted to `sink` via [`Sim::run_streaming`].
+///
+/// Streaming only changes when profile state is *observed*: the
+/// report (and in particular its dumps) is bit-identical to the
+/// batch run's for the same config.
+pub fn run_tpcw_streaming(
+    cfg: TpcwConfig,
+    epoch_len: u64,
+    sink: &mut dyn whodunit_core::delta::DeltaSink,
+) -> TpcwReport {
+    run_tpcw_inner(cfg, Some((epoch_len, sink)))
+}
+
+fn run_tpcw_inner(
+    cfg: TpcwConfig,
+    streaming: Option<(u64, &mut dyn whodunit_core::delta::DeltaSink)>,
+) -> TpcwReport {
     let mut sim = Sim::new(SimConfig::default());
     sim.set_schedule_policy(cfg.sched);
     sim.set_step_budget(cfg.step_budget);
@@ -673,7 +696,10 @@ pub fn run_tpcw(cfg: TpcwConfig) -> TpcwReport {
         );
     }
 
-    let outcome = sim.run_until_outcome(cfg.duration);
+    let outcome = match streaming {
+        None => sim.run_until_outcome(cfg.duration),
+        Some((epoch_len, sink)) => sim.run_streaming(cfg.duration, epoch_len, sink),
+    };
 
     let compute_truth = vec![
         sim.proc_compute_cycles(squid_proc),

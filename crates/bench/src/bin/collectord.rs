@@ -1,0 +1,373 @@
+//! collectord: retention-window sweep of the streaming collector over
+//! a staggered fleet-sized delta stream.
+//!
+//! Records one 3-tier TPC-W run's epoch delta stream, then replicates
+//! it into a fleet of disjoint-process-id replicas whose streams start
+//! `--stagger` epochs apart — the shape a real deployment sees, where
+//! machines come and go and the collector's retention window is what
+//! keeps its resident set far below the total origin population. The
+//! staggered stream is ingested at each retention window and the
+//! finalized report is byte-compared against batch `analyze` over
+//! `replicate_fleet` of the same dumps — any divergence is a hard
+//! failure, as are leaked pending walks/edges or a resident peak that
+//! fails to stay strictly below the total origin count.
+//!
+//! A separate lag scenario ingests the stream through a bounded queue
+//! with a polling budget, recording throttles and peak depth while
+//! still requiring byte-identity.
+//!
+//! Results go to `BENCH_collector.json`. Modes:
+//!
+//! - `collectord [--replicas R] [--clients C] [--duration-s S]
+//!   [--stagger E] [--windows W1,W2,...] [--out FILE]` — full sweep.
+//! - `collectord --smoke` — small fixed configuration; CI gate.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::time::Instant;
+use whodunit_apps::tpcw::run_tpcw_streaming;
+use whodunit_bench::{clamp_replicas, fleet_config, header, write_json_file};
+use whodunit_collector::{Collector, CollectorConfig, CollectorOutput};
+use whodunit_core::cost::CPU_HZ;
+use whodunit_core::delta::{EpochBatch, RecordingSink, StreamHeader, StreamStage};
+use whodunit_core::pipeline::{analyze, replicate_fleet, PipelineConfig, PipelineReport};
+
+struct Args {
+    replicas: usize,
+    clients: u32,
+    duration_s: u64,
+    stagger: u64,
+    windows: Vec<u64>,
+    out: String,
+    smoke: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut a = Args {
+        replicas: 48,
+        clients: 24,
+        duration_s: 40,
+        stagger: 2,
+        windows: vec![1, 2, 4, 8],
+        out: "BENCH_collector.json".to_owned(),
+        smoke: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--replicas" => {
+                a.replicas = val("--replicas")?.parse().map_err(|e| format!("--replicas: {e}"))?
+            }
+            "--clients" => {
+                a.clients = val("--clients")?.parse().map_err(|e| format!("--clients: {e}"))?
+            }
+            "--duration-s" => {
+                a.duration_s =
+                    val("--duration-s")?.parse().map_err(|e| format!("--duration-s: {e}"))?
+            }
+            "--stagger" => {
+                a.stagger = val("--stagger")?.parse().map_err(|e| format!("--stagger: {e}"))?
+            }
+            "--windows" => {
+                a.windows = val("--windows")?
+                    .split(',')
+                    .map(|w| w.trim().parse().map_err(|e| format!("--windows: {e}")))
+                    .collect::<Result<_, _>>()?
+            }
+            "--out" => a.out = val("--out")?,
+            "--smoke" => a.smoke = true,
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if a.smoke {
+        a.replicas = 12;
+        a.clients = 12;
+        a.duration_s = 12;
+        a.stagger = 2;
+        a.windows = vec![1, 4];
+    }
+    a.replicas = clamp_replicas(a.replicas);
+    a.stagger = a.stagger.max(1);
+    a.windows.retain(|&w| w >= 1);
+    if a.windows.is_empty() {
+        return Err("--windows needs at least one value >= 1".into());
+    }
+    a.windows.sort_unstable();
+    a.windows.dedup();
+    Ok(a)
+}
+
+/// Replicates a recorded single-stack delta stream into a staggered
+/// fleet stream: replica `r`'s batches are process-remapped into the
+/// `r*g..r*g+g` stage range (mirroring `replicate_fleet`) and start
+/// `r * stagger` epochs late.
+fn fleet_stream(
+    hdr: &StreamHeader,
+    batches: &[EpochBatch],
+    replicas: usize,
+    stagger: u64,
+) -> (StreamHeader, Vec<EpochBatch>) {
+    let g = hdr.stages.len();
+    let proc_index: HashMap<u32, usize> = hdr
+        .stages
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.proc, i))
+        .collect();
+    let mut stages = Vec::with_capacity(g * replicas);
+    for r in 0..replicas {
+        for s in &hdr.stages {
+            stages.push(StreamStage {
+                proc: (r * g + proc_index[&s.proc]) as u32,
+                stage_name: s.stage_name.clone(),
+            });
+        }
+    }
+    let local_epochs = batches.len() as u64;
+    let total = local_epochs + (replicas as u64 - 1) * stagger;
+    let mut out = Vec::with_capacity(total as usize);
+    for ge in 0..total {
+        let mut deltas = Vec::new();
+        for r in 0..replicas {
+            let start = r as u64 * stagger;
+            if ge < start || ge - start >= local_epochs {
+                continue;
+            }
+            let b = &batches[(ge - start) as usize];
+            let map = |p: u32| proc_index.get(&p).map(|&i| (r * g + i) as u32);
+            for d in &b.deltas {
+                deltas.push(d.with_remapped_proc(r * g + d.stage, &map));
+            }
+        }
+        out.push(EpochBatch {
+            epoch: ge,
+            seq: ge,
+            end: (ge + 1) * CPU_HZ,
+            deltas,
+        });
+    }
+    (StreamHeader { stages }, out)
+}
+
+struct StreamInfo {
+    stages: usize,
+    epochs: usize,
+    events: u64,
+    total_origins: usize,
+}
+
+struct SweepRow {
+    window: u64,
+    ingest_ms: f64,
+    finalize_ms: f64,
+    events_per_s: f64,
+    out: CollectorOutput,
+    identical: bool,
+}
+
+fn identical(reference: &PipelineReport, got: &PipelineReport) -> bool {
+    got.fingerprint() == reference.fingerprint()
+        && got.stitched_text() == reference.stitched_text()
+        && got.crosstalk_text() == reference.crosstalk_text()
+        && got.dumps_json == reference.dumps_json
+        && got.dict == reference.dict
+}
+
+fn write_json(
+    path: &str,
+    args: &Args,
+    info: &StreamInfo,
+    reference: &PipelineReport,
+    rows: &[SweepRow],
+    lag: &(usize, usize, CollectorOutput, bool),
+) {
+    let mut j = String::from("{\n");
+    j.push_str("  \"bench\": \"collectord\",\n");
+    j.push_str(&format!(
+        "  \"config\": {{\"replicas\": {}, \"clients\": {}, \"duration_s\": {}, \"stagger_epochs\": {}, \"smoke\": {}}},\n",
+        args.replicas, args.clients, args.duration_s, args.stagger, args.smoke
+    ));
+    j.push_str(&format!(
+        "  \"stream\": {{\"stages\": {}, \"epochs\": {}, \"events\": {}}},\n",
+        info.stages, info.epochs, info.events
+    ));
+    j.push_str(&format!("  \"total_origins\": {},\n", info.total_origins));
+    j.push_str(&format!(
+        "  \"batch_fingerprint\": \"{:016x}\",\n",
+        reference.fingerprint()
+    ));
+    j.push_str("  \"sweep\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let s = &r.out.stats;
+        j.push_str(&format!(
+            "    {{\"window_epochs\": {}, \"ingest_ms\": {:.3}, \"finalize_ms\": {:.3}, \"ingest_events_per_s\": {:.0}, \"peak_resident\": {}, \"evictions\": {}, \"revivals\": {}, \"pending_walks_at_flush\": {}, \"pending_edges_at_flush\": {}, \"identical_output\": {}, \"fingerprint\": \"{:016x}\"}}{}\n",
+            r.window,
+            r.ingest_ms,
+            r.finalize_ms,
+            r.events_per_s,
+            s.peak_resident,
+            s.evictions,
+            s.revivals,
+            s.pending_walks_at_flush,
+            s.pending_edges_at_flush,
+            r.identical,
+            r.out.report.fingerprint(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ],\n");
+    let (max_queue, poll_every, out, lag_identical) = lag;
+    j.push_str(&format!(
+        "  \"lag\": {{\"max_queue\": {}, \"poll_every\": {}, \"throttled\": {}, \"peak_queued\": {}, \"identical_output\": {}}}\n",
+        max_queue, poll_every, out.stats.throttled, out.stats.peak_queued, lag_identical
+    ));
+    j.push_str("}\n");
+    write_json_file(path, &j);
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("collectord: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    header(
+        "collectord",
+        "streaming collector: retention-window sweep over a staggered fleet stream",
+    );
+
+    let cfg = fleet_config(args.clients, args.duration_s);
+    println!(
+        "recording 3-tier TPC-W delta stream: clients={} duration={}s epoch=1s",
+        cfg.clients, args.duration_s
+    );
+    let mut sink = RecordingSink::default();
+    let report = run_tpcw_streaming(cfg, CPU_HZ, &mut sink);
+    assert_eq!(report.dumps.len(), 3, "all three tiers must dump");
+
+    let reference = analyze(
+        replicate_fleet(&report.dumps, args.replicas),
+        PipelineConfig {
+            workers: 1,
+            shards: CollectorConfig::default().shards,
+        },
+    );
+    let total_origins = reference.profiles.len();
+
+    let (fleet_hdr, stream) = fleet_stream(&sink.header, &sink.batches, args.replicas, args.stagger);
+    let stream_events: u64 = stream.iter().map(|b| b.events()).sum();
+    println!(
+        "fleet stream: {} replicas (stagger {}) -> {} stages, {} epochs, {} events, {} origins",
+        args.replicas,
+        args.stagger,
+        fleet_hdr.stages.len(),
+        stream.len(),
+        stream_events,
+        total_origins
+    );
+
+    let mut rows = Vec::new();
+    let mut ok = true;
+    for &window in &args.windows {
+        let mut c = Collector::with_header(
+            &fleet_hdr,
+            CollectorConfig {
+                window_epochs: window,
+                ..CollectorConfig::default()
+            },
+        );
+        let t = Instant::now();
+        for b in &stream {
+            assert!(c.enqueue(b.clone()), "unbounded queue refused a batch");
+            c.drain();
+        }
+        let ingest_ms = t.elapsed().as_secs_f64() * 1e3;
+        let t = Instant::now();
+        let out = c.finalize();
+        let finalize_ms = t.elapsed().as_secs_f64() * 1e3;
+        let row = SweepRow {
+            window,
+            ingest_ms,
+            finalize_ms,
+            events_per_s: stream_events as f64 / (ingest_ms / 1e3).max(1e-9),
+            identical: identical(&reference, &out.report),
+            out,
+        };
+        let s = &row.out.stats;
+        println!(
+            "window={:2}  ingest {:8.1} ms ({:9.0} ev/s)  peak resident {:4}/{}  evictions {:4}  pending {}/{}  identical={}",
+            row.window,
+            row.ingest_ms,
+            row.events_per_s,
+            s.peak_resident,
+            total_origins,
+            s.evictions,
+            s.pending_walks_at_flush,
+            s.pending_edges_at_flush,
+            row.identical
+        );
+        ok &= row.identical
+            && !s.used_fallback
+            && s.pending_walks_at_flush == 0
+            && s.pending_edges_at_flush == 0
+            && s.peak_resident < total_origins as u64
+            && s.evictions > 0;
+        rows.push(row);
+    }
+
+    // Lag scenario: a slow consumer behind a bounded queue. Offer every
+    // batch; poll only every third offer, so the queue fills and
+    // refuses. Refused batches are re-offered after a poll — lossy
+    // ingest would break byte-identity, which stays asserted.
+    let (max_queue, poll_every) = (4usize, 3usize);
+    let mut c = Collector::with_header(
+        &fleet_hdr,
+        CollectorConfig {
+            max_queue,
+            ..CollectorConfig::default()
+        },
+    );
+    for (i, b) in stream.iter().enumerate() {
+        while !c.enqueue(b.clone()) {
+            c.poll();
+        }
+        if i % poll_every == 0 {
+            c.poll();
+        }
+    }
+    let lag_out = c.finalize();
+    let lag_identical = identical(&reference, &lag_out.report);
+    println!(
+        "lag: max_queue={} poll_every={}  throttled {}  peak queue {}  identical={}",
+        max_queue, poll_every, lag_out.stats.throttled, lag_out.stats.peak_queued, lag_identical
+    );
+    ok &= lag_identical && lag_out.stats.throttled > 0;
+
+    write_json(
+        &args.out,
+        &args,
+        &StreamInfo {
+            stages: fleet_hdr.stages.len(),
+            epochs: stream.len(),
+            events: stream_events,
+            total_origins,
+        },
+        &reference,
+        &rows,
+        &(max_queue, poll_every, lag_out, lag_identical),
+    );
+    println!("wrote {}", args.out);
+
+    if !ok {
+        eprintln!("FAIL: divergence, leaked pending state, or eviction never engaged");
+        return ExitCode::FAILURE;
+    }
+    println!("all windows byte-identical to batch; eviction engaged; no pending state leaked");
+    ExitCode::SUCCESS
+}

@@ -29,10 +29,8 @@
 
 use std::process::ExitCode;
 use std::time::Instant;
-use whodunit_apps::tpcw::{run_tpcw, TpcwConfig};
-use whodunit_bench::header;
-use whodunit_core::cost::CPU_HZ;
-use whodunit_core::pipeline::{analyze, replicate_fleet, PipelineConfig, PipelineReport};
+use whodunit_bench::{clamp_replicas, fleet_config, header, json_escape, run_fleet, write_json_file};
+use whodunit_core::pipeline::{analyze, PipelineConfig, PipelineReport};
 
 struct Args {
     replicas: usize,
@@ -86,8 +84,7 @@ fn parse_args() -> Result<Args, String> {
         a.duration_s = 20;
         a.workers = vec![1, 2, 4];
     }
-    // 3 tiers per replica must stay inside the 8-bit process-id space.
-    a.replicas = a.replicas.clamp(1, 85);
+    a.replicas = clamp_replicas(a.replicas);
     if !a.workers.contains(&1) {
         a.workers.insert(0, 1);
     }
@@ -110,10 +107,6 @@ fn timed_analyze(dumps: &[whodunit_core::stitch::StageDump], workers: usize) -> 
     let t = Instant::now();
     let rep = analyze(dumps.to_vec(), PipelineConfig::with_workers(workers));
     (rep, t.elapsed().as_secs_f64() * 1e3)
-}
-
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 fn write_json(path: &str, args: &Args, host_cores: usize, serial: &PipelineReport, rows: &[SweepRow]) {
@@ -160,12 +153,7 @@ fn write_json(path: &str, args: &Args, host_cores: usize, serial: &PipelineRepor
         ));
     }
     j.push_str("  ]\n}\n");
-    if let Some(dir) = std::path::Path::new(path).parent() {
-        if !dir.as_os_str().is_empty() {
-            let _ = std::fs::create_dir_all(dir);
-        }
-    }
-    std::fs::write(path, j).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    write_json_file(path, &j);
 }
 
 fn main() -> ExitCode {
@@ -181,19 +169,12 @@ fn main() -> ExitCode {
         "parallel sharded analysis pipeline: worker-count sweep, serial-identity gate",
     );
 
-    let cfg = TpcwConfig {
-        clients: args.clients,
-        duration: args.duration_s * CPU_HZ,
-        warmup: (args.duration_s / 4) * CPU_HZ,
-        ..Default::default()
-    };
+    let cfg = fleet_config(args.clients, args.duration_s);
     println!(
         "simulating 3-tier TPC-W: clients={} duration={}s",
         cfg.clients, args.duration_s
     );
-    let report = run_tpcw(cfg);
-    assert_eq!(report.dumps.len(), 3, "all three tiers must dump");
-    let fleet = replicate_fleet(&report.dumps, args.replicas);
+    let (_report, fleet) = run_fleet(cfg, args.replicas);
     println!(
         "fleet: {} replicas -> {} stage dumps",
         args.replicas,

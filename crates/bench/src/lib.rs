@@ -5,6 +5,16 @@
 //! measured ones so shape agreement (who wins, by what factor, where
 //! knees fall) is visible at a glance. `EXPERIMENTS.md` records the
 //! outcomes.
+//!
+//! The fleet-scale analysis benches (`pipeline`, `collectord`) share
+//! their scenario setup and JSON emission through this crate instead of
+//! carrying per-bin copies: [`fleet_config`], [`clamp_replicas`],
+//! [`run_fleet`], [`json_escape`], and [`write_json_file`].
+
+use whodunit_apps::tpcw::{run_tpcw, TpcwConfig, TpcwReport};
+use whodunit_core::cost::CPU_HZ;
+use whodunit_core::pipeline::replicate_fleet;
+use whodunit_core::stitch::StageDump;
 
 /// Prints a standard experiment header.
 pub fn header(id: &str, title: &str) {
@@ -21,4 +31,46 @@ pub fn compare(label: &str, paper: f64, measured: f64, unit: &str) {
         f64::NAN
     };
     println!("{label:<44} paper {paper:>10.2} {unit:<8} measured {measured:>10.2} {unit:<8} (x{ratio:.2})");
+}
+
+/// The standard fleet-bench TPC-W configuration: `duration_s` seconds
+/// of simulated traffic with a quarter of it as warmup.
+pub fn fleet_config(clients: u32, duration_s: u64) -> TpcwConfig {
+    TpcwConfig {
+        clients,
+        duration: duration_s * CPU_HZ,
+        warmup: (duration_s / 4) * CPU_HZ,
+        ..Default::default()
+    }
+}
+
+/// Clamps a replica count so 3 tiers per replica stay inside the 8-bit
+/// process-id space.
+pub fn clamp_replicas(replicas: usize) -> usize {
+    replicas.clamp(1, 85)
+}
+
+/// Runs the 3-tier TPC-W stack once and replicates its dumps into a
+/// `replicas`-wide fleet of disjoint-process-id copies — the shared
+/// scenario setup of the fleet-scale analysis benches.
+pub fn run_fleet(cfg: TpcwConfig, replicas: usize) -> (TpcwReport, Vec<StageDump>) {
+    let report = run_tpcw(cfg);
+    assert_eq!(report.dumps.len(), 3, "all three tiers must dump");
+    let fleet = replicate_fleet(&report.dumps, replicas);
+    (report, fleet)
+}
+
+/// Escapes a string for embedding in a JSON literal.
+pub fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Writes a JSON document, creating parent directories as needed.
+pub fn write_json_file(path: &str, content: &str) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    std::fs::write(path, content).unwrap_or_else(|e| panic!("writing {path}: {e}"));
 }

@@ -1,0 +1,1135 @@
+//! The online collector tier: incremental stitching, bounded-memory
+//! aggregation, and live queries over a streaming profile feed.
+//!
+//! Batch Whodunit (EuroSys 2007 §5) stitches per-stage dumps *post
+//! mortem* — `whodunit_core::pipeline::analyze` reads every stage's
+//! complete profile at end-of-run. The paper pitches Whodunit as an
+//! *online* profiler, though, and the deployable shape of that claim
+//! is a collector daemon that consumes per-stage deltas as the tiers
+//! produce them. This crate is that tier:
+//!
+//! - **Ingest** ([`Collector::enqueue`], [`Collector::poll`]): epoch
+//!   batches of [`whodunit_core::delta`] stage deltas, with sequence
+//!   and checksum verification, queue-depth backpressure, and lag
+//!   accounting.
+//! - **Incremental stitching**: synopses are indexed as they are
+//!   minted; each new context's origin walk runs as soon as the
+//!   context arrives. Walks (and request edges) blocked on a synopsis
+//!   the collector has not seen yet park in a *pending table* keyed by
+//!   the missing raw value and resume the moment a later epoch mints
+//!   it. Early resolution is sound because the minted-synopsis index
+//!   is insert-only: an entry never changes once written, so a walk
+//!   that resolves at epoch *e* resolves identically against the
+//!   complete end-of-run index.
+//! - **Incremental CCT merge**: each origin's cross-stage profile is
+//!   folded node-by-node as CCT deltas arrive, over a collector-local
+//!   frame table (the global sorted frame table only exists at
+//!   finalize; remapping frame ids commutes with frame-keyed merging,
+//!   so folding early changes nothing).
+//! - **Bounded memory**: origins idle for
+//!   [`CollectorConfig::window_epochs`] epochs are deterministically
+//!   evicted (ascending origin order) from the resident working set
+//!   into a compact finalized store — flat node arrays instead of
+//!   hash-indexed trees — and revived only if late activity arrives.
+//!   Peak resident counts are tracked; eviction is lossless.
+//! - **Live queries** ([`Collector::snapshot`]): top-k transaction
+//!   paths by cost, per-origin tier latency breakdown, and crosstalk
+//!   hotspots at any epoch, rendered through
+//!   [`whodunit_report::live`].
+//!
+//! **The end-state lock.** [`Collector::finalize`] must produce output
+//! byte-identical to batch [`analyze`] on the same run's dumps:
+//! stitched text, crosstalk matrix, dump JSON, and dictionary.
+//! Streaming is a pure refactoring of *when* work happens, never
+//! *what* is computed. The incremental path covers every stream a
+//! live simulation can emit; inputs the incremental path cannot
+//! honestly reproduce (an invalid stage dump, a duplicate synopsis
+//! mint, a corrupt delta) flip a `broken` flag and finalize falls
+//! back to running the batch pipeline on the reconstructed dumps —
+//! [`CollectorStats::used_fallback`] records that this happened, and
+//! the differential suite asserts it never does on real streams.
+
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use whodunit_core::cct::{Cct, CctNodeId, Metrics};
+use whodunit_core::context::{
+    ContextAtom, ContextShard, ShardedContextTable, ShardedCtxId, TransactionContext,
+};
+use whodunit_core::crosstalk::{CrosstalkMatrix, OriginKey, WaitStats};
+use whodunit_core::delta::{
+    CctDelta, DeltaSink, EpochBatch, StageAccumulator, StageDelta, StreamHeader,
+};
+use whodunit_core::frame::FrameId;
+use whodunit_core::pipeline::{analyze, OriginProfile, PipelineConfig, PipelineReport};
+use whodunit_core::stitch::{DumpAtom, RequestEdge, StageDump, UnresolvedEdge};
+use whodunit_core::synopsis::{SynChain, Synopsis};
+use whodunit_report::live::{Hotspot, LagStats, LiveSnapshot, TierSlice, TopPath};
+
+/// Tuning knobs of the collector.
+#[derive(Clone, Debug)]
+pub struct CollectorConfig {
+    /// Dictionary shard count; must match the batch pipeline's for the
+    /// byte-identity lock (default: [`PipelineConfig::default`]'s).
+    pub shards: usize,
+    /// Epochs an origin may stay idle before it is evicted from the
+    /// resident working set (minimum 1).
+    pub window_epochs: u64,
+    /// How many entries live queries return (top paths, hotspots).
+    pub top_k: usize,
+    /// Ingest queue capacity; `0` means unbounded. When the queue is
+    /// full, [`Collector::enqueue`] refuses the batch (backpressure)
+    /// and counts it in [`CollectorStats::throttled`].
+    pub max_queue: usize,
+}
+
+impl Default for CollectorConfig {
+    fn default() -> Self {
+        CollectorConfig {
+            shards: PipelineConfig::default().shards,
+            window_epochs: 4,
+            top_k: 5,
+            max_queue: 0,
+        }
+    }
+}
+
+/// Ingest, memory, and integrity accounting.
+#[derive(Clone, Debug, Default)]
+pub struct CollectorStats {
+    /// Epoch batches processed.
+    pub batches: u64,
+    /// Individual change events processed.
+    pub events: u64,
+    /// Batch sequence gaps observed.
+    pub seq_gaps: u64,
+    /// Deltas rejected by the accumulator (checksum, per-stage
+    /// sequence, baseline inconsistency). Any of these marks the
+    /// stream broken and forces the batch fallback at finalize.
+    pub delta_errors: u64,
+    /// Evictions from the resident set into the finalized store.
+    pub evictions: u64,
+    /// Evicted origins revived by late activity.
+    pub revivals: u64,
+    /// High-water mark of resident origins.
+    pub peak_resident: u64,
+    /// Batches refused because the ingest queue was full.
+    pub throttled: u64,
+    /// High-water mark of the ingest queue depth.
+    pub peak_queued: u64,
+    /// Origin walks still pending when [`Collector::finalize`] began
+    /// (before settlement). Zero on a clean complete stream.
+    pub pending_walks_at_flush: u64,
+    /// Request edges still pending when finalize began.
+    pub pending_edges_at_flush: u64,
+    /// Whether finalize fell back to the batch pipeline.
+    pub used_fallback: bool,
+    /// `(epoch, origin)` eviction sequence, in eviction order. A pure
+    /// function of the delta stream content (never of hash iteration
+    /// or timing) — the window-boundary property tests key on this.
+    pub eviction_log: Vec<(u64, OriginKey)>,
+}
+
+/// What [`Collector::finalize`] returns: the batch-identical report
+/// plus the collector's own accounting.
+#[derive(Debug)]
+pub struct CollectorOutput {
+    /// Analysis output; byte-identical to batch [`analyze`] on the
+    /// same dumps (same stitched text, crosstalk text, dump JSON,
+    /// dictionary, fingerprint).
+    pub report: PipelineReport,
+    /// Ingest/memory/integrity accounting of the streaming run.
+    pub stats: CollectorStats,
+}
+
+/// A resident (still accumulating) origin aggregate.
+#[derive(Debug)]
+struct ResidentOrigin {
+    cct: Cct,
+    stages: BTreeSet<usize>,
+    tier_cycles: BTreeMap<usize, u64>,
+    last_active: u64,
+}
+
+impl ResidentOrigin {
+    fn new(epoch: u64) -> Self {
+        ResidentOrigin {
+            cct: Cct::new(),
+            stages: BTreeSet::new(),
+            tier_cycles: BTreeMap::new(),
+            last_active: epoch,
+        }
+    }
+}
+
+/// One node of a compacted CCT: creation order, parents first, so the
+/// tree (and its node ids) rebuild exactly.
+#[derive(Clone, Copy, Debug)]
+struct CompactNode {
+    /// Collector-local frame id; `u32::MAX` for the root.
+    frame: u32,
+    /// Parent node index; `u32::MAX` for the root.
+    parent: u32,
+    m: Metrics,
+}
+
+/// An evicted origin aggregate: flat arrays, no hash indexes.
+#[derive(Debug)]
+struct FinalizedOrigin {
+    nodes: Vec<CompactNode>,
+    stages: BTreeSet<usize>,
+    tier_cycles: BTreeMap<usize, u64>,
+}
+
+fn compact_cct(cct: &Cct) -> Vec<CompactNode> {
+    cct.node_ids()
+        .map(|id| CompactNode {
+            frame: cct.frame(id).map_or(u32::MAX, |f| f.0),
+            parent: cct.parent(id).map_or(u32::MAX, |p| p.0),
+            m: cct.metrics(id),
+        })
+        .collect()
+}
+
+/// Rebuilds a compacted CCT; node ids come back identical because
+/// nodes are replayed in their original creation order.
+fn rebuild_cct(nodes: &[CompactNode]) -> Cct {
+    let mut cct = Cct::new();
+    let mut map: Vec<CctNodeId> = Vec::with_capacity(nodes.len());
+    for (i, n) in nodes.iter().enumerate() {
+        let id = if i == 0 {
+            CctNodeId::ROOT
+        } else {
+            cct.child(map[n.parent as usize], FrameId(n.frame))
+        };
+        cct.record_at(id, n.m);
+        map.push(id);
+    }
+    cct
+}
+
+/// Per-stage streaming state.
+#[derive(Debug)]
+struct StageState {
+    acc: StageAccumulator,
+    /// Per context index: the resolved origin, once the walk settles.
+    bindings: Vec<Option<OriginKey>>,
+    /// Per context index (of contexts with CCT mass folded): dump CCT
+    /// node index → node id inside the origin's merged CCT.
+    fold: HashMap<u32, Vec<CctNodeId>>,
+}
+
+/// The streaming collector. See the crate docs for the model.
+#[derive(Debug)]
+pub struct Collector {
+    cfg: CollectorConfig,
+    header: StreamHeader,
+    stages: Vec<StageState>,
+    /// Raw synopsis → `(stage, ctx)` that minted it. Insert-only.
+    syn_index: HashMap<u32, (usize, u32)>,
+    /// Missing raw synopsis → walk start contexts parked on it.
+    pending_walks: HashMap<u32, Vec<(usize, u32)>>,
+    /// Missing raw synopsis → receiving `(stage, ctx)` request edges
+    /// parked on it.
+    pending_edges: HashMap<u32, Vec<(usize, u32)>>,
+    edges: Vec<RequestEdge>,
+    /// Crosstalk increments whose waiter or holder origin is not yet
+    /// resolved: `(stage, waiter, holder, count, total_wait)`; a
+    /// waiter-only row uses `holder == u32::MAX` as the marker.
+    deferred_xt: Vec<(usize, u32, u32, u64, u64)>,
+    xt_pairs: BTreeMap<(OriginKey, OriginKey), WaitStats>,
+    xt_waiters: BTreeMap<OriginKey, WaitStats>,
+    resident: BTreeMap<OriginKey, ResidentOrigin>,
+    finalized: BTreeMap<OriginKey, FinalizedOrigin>,
+    /// Collector-local frame intern table (union of stage frames in
+    /// arrival order; remapped to the global sorted table at finalize).
+    frames: Vec<String>,
+    frame_ids: HashMap<String, u32>,
+    epoch: u64,
+    now: u64,
+    queue: VecDeque<EpochBatch>,
+    next_batch_seq: u64,
+    stats: CollectorStats,
+    started: bool,
+    broken: bool,
+}
+
+const WAITER_ONLY: u32 = u32::MAX;
+
+impl Collector {
+    /// A collector that has not yet seen its stream header.
+    pub fn new(cfg: CollectorConfig) -> Self {
+        Collector {
+            cfg,
+            header: StreamHeader::default(),
+            stages: Vec::new(),
+            syn_index: HashMap::new(),
+            pending_walks: HashMap::new(),
+            pending_edges: HashMap::new(),
+            edges: Vec::new(),
+            deferred_xt: Vec::new(),
+            xt_pairs: BTreeMap::new(),
+            xt_waiters: BTreeMap::new(),
+            resident: BTreeMap::new(),
+            finalized: BTreeMap::new(),
+            frames: Vec::new(),
+            frame_ids: HashMap::new(),
+            epoch: 0,
+            now: 0,
+            queue: VecDeque::new(),
+            next_batch_seq: 0,
+            stats: CollectorStats::default(),
+            started: false,
+            broken: false,
+        }
+    }
+
+    /// A collector initialized for `header`'s stage set.
+    pub fn with_header(header: &StreamHeader, cfg: CollectorConfig) -> Self {
+        let mut c = Collector::new(cfg);
+        c.start(header);
+        c
+    }
+
+    /// Installs the stream header (stage set). Must be called exactly
+    /// once, before any batch.
+    pub fn start(&mut self, header: &StreamHeader) {
+        assert!(!self.started, "collector already started");
+        self.started = true;
+        self.header = header.clone();
+        self.stages = header
+            .stages
+            .iter()
+            .map(|s| StageState {
+                acc: StageAccumulator::new(s),
+                bindings: Vec::new(),
+                fold: HashMap::new(),
+            })
+            .collect();
+    }
+
+    /// Read access to the running stats.
+    pub fn stats(&self) -> &CollectorStats {
+        &self.stats
+    }
+
+    /// The epoch of the last processed batch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether the incremental path has given up (finalize will fall
+    /// back to the batch pipeline).
+    pub fn is_broken(&self) -> bool {
+        self.broken
+    }
+
+    /// Offers a batch to the ingest queue. Returns `false` (and counts
+    /// a throttle) if the queue is at capacity — the emitter must slow
+    /// down or retry; the batch was **not** accepted.
+    pub fn enqueue(&mut self, batch: EpochBatch) -> bool {
+        if self.cfg.max_queue > 0 && self.queue.len() >= self.cfg.max_queue {
+            self.stats.throttled += 1;
+            return false;
+        }
+        self.queue.push_back(batch);
+        self.stats.peak_queued = self.stats.peak_queued.max(self.queue.len() as u64);
+        true
+    }
+
+    /// Processes one queued batch; returns whether one was processed.
+    pub fn poll(&mut self) -> bool {
+        let Some(batch) = self.queue.pop_front() else {
+            return false;
+        };
+        self.process_batch(batch);
+        true
+    }
+
+    /// Processes every queued batch.
+    pub fn drain(&mut self) {
+        while self.poll() {}
+    }
+
+    /// Number of batches queued but not yet processed.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn process_batch(&mut self, batch: EpochBatch) {
+        assert!(self.started, "collector not started");
+        self.stats.batches += 1;
+        self.stats.events += batch.events();
+        if batch.seq != self.next_batch_seq {
+            self.stats.seq_gaps += 1;
+        }
+        self.next_batch_seq = batch.seq + 1;
+        for d in &batch.deltas {
+            self.ingest_delta(d);
+        }
+        self.retry_deferred_xt();
+        self.epoch = self.epoch.max(batch.epoch);
+        self.now = self.now.max(batch.end);
+        self.evict_idle();
+    }
+
+    /// One stage delta: apply to the accumulator, then do the
+    /// incremental stitching work its content unlocks.
+    fn ingest_delta(&mut self, d: &StageDelta) {
+        if d.stage >= self.stages.len() {
+            self.broken = true;
+            self.stats.delta_errors += 1;
+            return;
+        }
+        let ctx_base = self.stages[d.stage].acc.context_count() as u32;
+        if let Err(_e) = self.stages[d.stage].acc.apply(d) {
+            self.broken = true;
+            self.stats.delta_errors += 1;
+            return;
+        }
+        for f in &d.new_frames {
+            self.intern_frame(f);
+        }
+        // CCT increments for contexts whose mass is already folded.
+        // Unbound contexts are skipped here: their mass stays in the
+        // accumulator and is folded wholesale when the walk settles.
+        for c in &d.ccts {
+            if self.stages[d.stage].fold.contains_key(&c.ctx) {
+                self.fold_delta(d.stage, c);
+            } else if self.stages[d.stage].bindings.get(c.ctx as usize).copied().flatten().is_some()
+            {
+                self.fold_full(d.stage, c.ctx);
+            }
+        }
+        // Index new mints; each may unpark pending walks and edges.
+        for &(raw, ctx) in &d.new_synopses {
+            match self.syn_index.insert(raw, (d.stage, ctx)) {
+                Some(prev) if prev != (d.stage, ctx) => {
+                    // A duplicate mint with a different owner cannot
+                    // happen on a real stream (process ids are packed
+                    // into the raw value); batch last-insert-wins
+                    // semantics are not reproducible incrementally,
+                    // so hand the run to the fallback.
+                    self.broken = true;
+                }
+                _ => {}
+            }
+            if let Some(starts) = self.pending_walks.remove(&raw) {
+                for s in starts {
+                    self.try_walk(s);
+                }
+            }
+            if let Some(tos) = self.pending_edges.remove(&raw) {
+                let (fs, fc) = self.syn_index[&raw];
+                for (ts, tc) in tos {
+                    self.edges.push(RequestEdge {
+                        from_stage: fs,
+                        from_ctx: fc,
+                        to_stage: ts,
+                        to_ctx: tc,
+                    });
+                }
+            }
+        }
+        // New contexts: request-edge classification plus origin walk.
+        let ctx_total = self.stages[d.stage].acc.context_count() as u32;
+        self.stages[d.stage]
+            .bindings
+            .resize(ctx_total as usize, None);
+        for ci in ctx_base..ctx_total {
+            let first_remote_last = {
+                let c = &self.stages[d.stage].acc.contexts[ci as usize];
+                match c.atoms.first() {
+                    Some(DumpAtom::Remote(chain)) => chain.last().copied(),
+                    _ => None,
+                }
+            };
+            if let Some(last) = first_remote_last {
+                match self.syn_index.get(&last) {
+                    Some(&(fs, fc)) => self.edges.push(RequestEdge {
+                        from_stage: fs,
+                        from_ctx: fc,
+                        to_stage: d.stage,
+                        to_ctx: ci,
+                    }),
+                    None => self
+                        .pending_edges
+                        .entry(last)
+                        .or_default()
+                        .push((d.stage, ci)),
+                }
+            }
+            self.try_walk((d.stage, ci));
+        }
+        // Crosstalk increments resolve through origin bindings; rows
+        // whose origins are still pending park until they settle.
+        for p in &d.pairs {
+            self.deferred_xt
+                .push((d.stage, p.waiter, p.holder, p.count, p.total_wait));
+        }
+        for w in &d.waiters {
+            self.deferred_xt
+                .push((d.stage, w.waiter, WAITER_ONLY, w.count, w.total_wait));
+        }
+    }
+
+    fn intern_frame(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.frame_ids.get(name) {
+            return id;
+        }
+        let id = self.frames.len() as u32;
+        self.frames.push(name.to_owned());
+        self.frame_ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// The incremental origin walk, replicating the batch
+    /// `walk_origin` semantics except that an unresolvable chain head
+    /// *parks* instead of settling (the batch answer depends on the
+    /// complete index, so the walk resumes when the missing synopsis
+    /// arrives, or settles batch-style at finalize).
+    fn try_walk(&mut self, start: (usize, u32)) {
+        if self
+            .stages
+            .get(start.0)
+            .and_then(|s| s.bindings.get(start.1 as usize))
+            .copied()
+            .flatten()
+            .is_some()
+        {
+            return;
+        }
+        match self.walk(start, false) {
+            Ok(origin) => self.bind(start, origin),
+            Err(missing) => self
+                .pending_walks
+                .entry(missing)
+                .or_default()
+                .push(start),
+        }
+    }
+
+    /// Walks the remote chain from `start` through the current index.
+    /// `settle` makes an unresolvable head terminate the walk (batch
+    /// end-of-run semantics) instead of reporting the missing raw.
+    fn walk(&self, start: (usize, u32), settle: bool) -> Result<OriginKey, u32> {
+        let mut cur = start;
+        for _ in 0..64 {
+            let Some(st) = self.stages.get(cur.0) else {
+                return Ok(cur);
+            };
+            let Some(c) = st.acc.contexts.get(cur.1 as usize) else {
+                return Ok(cur);
+            };
+            let Some(DumpAtom::Remote(chain)) = c.atoms.first() else {
+                return Ok(cur);
+            };
+            let Some(&head) = chain.first() else {
+                return Ok(cur);
+            };
+            let Some(&next) = self.syn_index.get(&head) else {
+                return if settle { Ok(cur) } else { Err(head) };
+            };
+            if next == cur {
+                return Ok(cur);
+            }
+            cur = next;
+        }
+        Ok(cur)
+    }
+
+    /// Records a settled origin and folds any CCT mass the context has
+    /// already accumulated.
+    fn bind(&mut self, start: (usize, u32), origin: OriginKey) {
+        self.stages[start.0].bindings[start.1 as usize] = Some(origin);
+        if self.stages[start.0].acc.cct_nodes(start.1).is_some() {
+            self.fold_full(start.0, start.1);
+        }
+    }
+
+    /// Moves an origin into the resident set (reviving it from the
+    /// finalized store if needed) and returns it for folding.
+    fn touch_resident(&mut self, origin: OriginKey) -> &mut ResidentOrigin {
+        let epoch = self.epoch;
+        if !self.resident.contains_key(&origin) {
+            let entry = match self.finalized.remove(&origin) {
+                Some(f) => {
+                    self.stats.revivals += 1;
+                    ResidentOrigin {
+                        cct: rebuild_cct(&f.nodes),
+                        stages: f.stages,
+                        tier_cycles: f.tier_cycles,
+                        last_active: epoch,
+                    }
+                }
+                None => ResidentOrigin::new(epoch),
+            };
+            self.resident.insert(origin, entry);
+            self.stats.peak_resident = self.stats.peak_resident.max(self.resident.len() as u64);
+        }
+        let e = self.resident.get_mut(&origin).expect("just inserted");
+        e.last_active = epoch;
+        e
+    }
+
+    /// Folds the *entire* accumulated CCT of `(si, ctx)` into its
+    /// origin's aggregate, creating the node map for later
+    /// incremental folds. Called once, when the binding settles.
+    fn fold_full(&mut self, si: usize, ctx: u32) {
+        debug_assert!(!self.stages[si].fold.contains_key(&ctx));
+        let origin = self.stages[si].bindings[ctx as usize].expect("bound before fold");
+        let nodes: Vec<_> = match self.stages[si].acc.cct_nodes(ctx) {
+            Some(n) => n.to_vec(),
+            None => return,
+        };
+        let frame_of: Vec<u32> = self.stages[si]
+            .acc
+            .frames
+            .iter()
+            .map(|f| self.frame_ids.get(f).copied().unwrap_or(u32::MAX))
+            .collect();
+        let mut cycles = 0u64;
+        let mut map: Vec<CctNodeId> = Vec::with_capacity(nodes.len());
+        {
+            let entry = self.touch_resident(origin);
+            for (i, n) in nodes.iter().enumerate() {
+                let id = if i == 0 {
+                    CctNodeId::ROOT
+                } else {
+                    let (Some(p), Some(f)) = (n.parent, n.frame) else {
+                        // Malformed node: the dump will fail validation
+                        // at finalize and the fallback takes over.
+                        self.broken = true;
+                        return;
+                    };
+                    if p as usize >= map.len() {
+                        self.broken = true;
+                        return;
+                    }
+                    let cf = frame_of.get(f as usize).copied().unwrap_or(u32::MAX);
+                    entry.cct.child(map[p as usize], FrameId(cf))
+                };
+                entry.cct.record_at(
+                    id,
+                    Metrics {
+                        samples: n.samples,
+                        cycles: n.cycles,
+                        calls: n.calls,
+                    },
+                );
+                cycles += n.cycles;
+                map.push(id);
+            }
+            entry.stages.insert(si);
+            *entry.tier_cycles.entry(si).or_insert(0) += cycles;
+        }
+        self.stages[si].fold.insert(ctx, map);
+    }
+
+    /// Folds one CCT increment through the context's existing node
+    /// map.
+    fn fold_delta(&mut self, si: usize, c: &CctDelta) {
+        let origin = match self.stages[si].bindings.get(c.ctx as usize).copied().flatten() {
+            Some(o) => o,
+            None => {
+                self.broken = true;
+                return;
+            }
+        };
+        let map_len = self.stages[si].fold[&c.ctx].len();
+        if map_len != c.nodes_before as usize {
+            // The fold map is synced to the accumulator after every
+            // delta, so a mismatch means deltas arrived out of order.
+            self.broken = true;
+            return;
+        }
+        let frame_of: Vec<u32> = self.stages[si]
+            .acc
+            .frames
+            .iter()
+            .map(|f| self.frame_ids.get(f).copied().unwrap_or(u32::MAX))
+            .collect();
+        let mut map = self.stages[si].fold.remove(&c.ctx).expect("checked above");
+        let mut cycles = 0u64;
+        {
+            let entry = self.touch_resident(origin);
+            for &(i, ds, dc, da) in &c.grown {
+                entry.cct.record_at(
+                    map[i as usize],
+                    Metrics {
+                        samples: ds,
+                        cycles: dc,
+                        calls: da,
+                    },
+                );
+                cycles += dc;
+            }
+            for n in &c.new_nodes {
+                let (Some(p), Some(f)) = (n.parent, n.frame) else {
+                    self.broken = true;
+                    self.stages[si].fold.insert(c.ctx, map);
+                    return;
+                };
+                if p as usize >= map.len() {
+                    self.broken = true;
+                    self.stages[si].fold.insert(c.ctx, map);
+                    return;
+                }
+                let cf = frame_of.get(f as usize).copied().unwrap_or(u32::MAX);
+                let id = entry.cct.child(map[p as usize], FrameId(cf));
+                entry.cct.record_at(
+                    id,
+                    Metrics {
+                        samples: n.samples,
+                        cycles: n.cycles,
+                        calls: n.calls,
+                    },
+                );
+                cycles += n.cycles;
+                map.push(id);
+            }
+            entry.stages.insert(si);
+            *entry.tier_cycles.entry(si).or_insert(0) += cycles;
+        }
+        self.stages[si].fold.insert(c.ctx, map);
+    }
+
+    fn binding_of(&self, si: usize, ctx: u32) -> Option<OriginKey> {
+        self.stages
+            .get(si)
+            .and_then(|s| s.bindings.get(ctx as usize))
+            .copied()
+            .flatten()
+    }
+
+    /// Replays deferred crosstalk rows whose origins have settled.
+    fn retry_deferred_xt(&mut self) {
+        let rows = std::mem::take(&mut self.deferred_xt);
+        for row in rows {
+            let (si, waiter, holder, count, total_wait) = row;
+            let w = self.binding_of(si, waiter);
+            let resolved = if holder == WAITER_ONLY {
+                w.map(|w| (w, None))
+            } else {
+                match (w, self.binding_of(si, holder)) {
+                    (Some(w), Some(h)) => Some((w, Some(h))),
+                    _ => None,
+                }
+            };
+            match resolved {
+                Some((w, h)) => self.account_xt(w, h, count, total_wait),
+                None => self.deferred_xt.push(row),
+            }
+        }
+    }
+
+    fn account_xt(&mut self, w: OriginKey, h: Option<OriginKey>, count: u64, total_wait: u64) {
+        match h {
+            Some(h) => {
+                let e = self.xt_pairs.entry((w, h)).or_default();
+                e.count += count;
+                e.total_wait += total_wait;
+            }
+            None => {
+                let e = self.xt_waiters.entry(w).or_default();
+                e.count += count;
+                e.total_wait += total_wait;
+            }
+        }
+    }
+
+    /// Evicts origins idle for at least the configured window, in
+    /// ascending origin order — a pure function of epochs and stream
+    /// content, never of arrival timing or hash order.
+    fn evict_idle(&mut self) {
+        let window = self.cfg.window_epochs.max(1);
+        let epoch = self.epoch;
+        let idle: Vec<OriginKey> = self
+            .resident
+            .iter()
+            .filter(|(_, r)| epoch.saturating_sub(r.last_active) >= window)
+            .map(|(&k, _)| k)
+            .collect();
+        for k in idle {
+            let r = self.resident.remove(&k).expect("listed above");
+            self.finalized.insert(
+                k,
+                FinalizedOrigin {
+                    nodes: compact_cct(&r.cct),
+                    stages: r.stages,
+                    tier_cycles: r.tier_cycles,
+                },
+            );
+            self.stats.evictions += 1;
+            self.stats.eviction_log.push((epoch, k));
+        }
+    }
+
+    fn pending_walk_count(&self) -> u64 {
+        self.pending_walks.values().map(|v| v.len() as u64).sum()
+    }
+
+    fn pending_edge_count(&self) -> u64 {
+        self.pending_edges.values().map(|v| v.len() as u64).sum()
+    }
+
+    /// `stage:context` label for an origin, matching the batch
+    /// report's `origin_label` rendering.
+    fn origin_label(&self, label_dumps: &[StageDump], origin: OriginKey) -> String {
+        match (self.header.stages.get(origin.0), label_dumps.get(origin.0)) {
+            (Some(s), Some(d)) => format!("{}:{}", s.stage_name, d.ctx_string(origin.1)),
+            _ => format!("<stage {}?>:{}", origin.0, origin.1),
+        }
+    }
+
+    /// Answers the live queries at the current epoch: top-k
+    /// transaction paths by cost, their tier breakdowns, and crosstalk
+    /// hotspots, plus memory/pending/lag gauges.
+    pub fn snapshot(&self) -> LiveSnapshot {
+        // Lightweight per-stage dumps (frames + contexts only) reuse
+        // the canonical `ctx_string` rendering for labels.
+        let label_dumps: Vec<StageDump> = self
+            .stages
+            .iter()
+            .map(|s| StageDump {
+                frames: s.acc.frames.clone(),
+                contexts: s.acc.contexts.clone(),
+                ..StageDump::default()
+            })
+            .collect();
+        let total_cycles = |tc: &BTreeMap<usize, u64>| tc.values().sum::<u64>();
+        let mut ranked: Vec<(u64, OriginKey)> = self
+            .resident
+            .iter()
+            .map(|(&k, r)| (total_cycles(&r.tier_cycles), k))
+            .chain(
+                self.finalized
+                    .iter()
+                    .map(|(&k, f)| (total_cycles(&f.tier_cycles), k)),
+            )
+            .collect();
+        ranked.sort_by(|a, b| (b.0, a.1).cmp(&(a.0, b.1)));
+        ranked.truncate(self.cfg.top_k);
+
+        let mut top_paths = Vec::new();
+        let mut tiers = Vec::new();
+        for &(cycles, k) in &ranked {
+            let rebuilt;
+            let (cct, stages_cycles) = match self.resident.get(&k) {
+                Some(r) => (&r.cct, &r.tier_cycles),
+                None => {
+                    let f = &self.finalized[&k];
+                    rebuilt = rebuild_cct(&f.nodes);
+                    (&rebuilt, &f.tier_cycles)
+                }
+            };
+            let path = cct
+                .hot_paths(1)
+                .into_iter()
+                .next()
+                .map(|(frames, _)| {
+                    frames
+                        .iter()
+                        .map(|f| {
+                            self.frames
+                                .get(f.0 as usize)
+                                .cloned()
+                                .unwrap_or_else(|| format!("<frame {}?>", f.0))
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            top_paths.push(TopPath {
+                origin: self.origin_label(&label_dumps, k),
+                cycles,
+                samples: cct.total().samples,
+                path,
+            });
+            tiers.push(TierSlice {
+                origin: self.origin_label(&label_dumps, k),
+                stages: stages_cycles
+                    .iter()
+                    .map(|(&si, &cy)| {
+                        let name = self
+                            .header
+                            .stages
+                            .get(si)
+                            .map(|s| s.stage_name.clone())
+                            .unwrap_or_else(|| format!("<stage {si}?>"));
+                        (name, cy)
+                    })
+                    .collect(),
+            });
+        }
+
+        let mut hot: Vec<(&(OriginKey, OriginKey), &WaitStats)> = self.xt_pairs.iter().collect();
+        hot.sort_by(|a, b| (b.1.total_wait, a.0).cmp(&(a.1.total_wait, b.0)));
+        hot.truncate(self.cfg.top_k);
+        let hotspots = hot
+            .into_iter()
+            .map(|(&(w, h), s)| Hotspot {
+                waiter: self.origin_label(&label_dumps, w),
+                holder: self.origin_label(&label_dumps, h),
+                count: s.count,
+                total_wait: s.total_wait,
+            })
+            .collect();
+
+        LiveSnapshot {
+            epoch: self.epoch,
+            now: self.now,
+            resident_origins: self.resident.len() as u64,
+            finalized_origins: self.finalized.len() as u64,
+            peak_resident: self.stats.peak_resident,
+            evictions: self.stats.evictions,
+            pending_walks: self.pending_walk_count(),
+            pending_edges: self.pending_edge_count(),
+            lag: LagStats {
+                batches: self.stats.batches,
+                events: self.stats.events,
+                seq_gaps: self.stats.seq_gaps,
+                queued: self.queue.len() as u64,
+                peak_queued: self.stats.peak_queued,
+                throttled: self.stats.throttled,
+            },
+            top_paths,
+            tiers,
+            hotspots,
+        }
+    }
+
+    /// Final flush: drains the queue, settles every pending walk and
+    /// edge with the complete index (batch end-of-run semantics),
+    /// and assembles the batch-identical [`PipelineReport`].
+    pub fn finalize(mut self) -> CollectorOutput {
+        assert!(self.started, "collector not started");
+        self.drain();
+        self.stats.pending_walks_at_flush = self.pending_walk_count();
+        self.stats.pending_edges_at_flush = self.pending_edge_count();
+
+        // Settle pending walks: with the complete index, an
+        // unresolvable head now terminates the walk exactly like the
+        // batch `walk_origin`. Deterministic (stage, ctx) order.
+        for si in 0..self.stages.len() {
+            for ci in 0..self.stages[si].bindings.len() as u32 {
+                if self.stages[si].bindings[ci as usize].is_none() {
+                    let origin = self.walk((si, ci), true).expect("settled walk");
+                    self.bind((si, ci), origin);
+                }
+            }
+        }
+        self.pending_walks.clear();
+        // Pending edges whose synopsis never arrived are unresolved.
+        let unresolved: Vec<UnresolvedEdge> = self
+            .pending_edges
+            .drain()
+            .flat_map(|(raw, tos)| {
+                tos.into_iter().map(move |(ts, tc)| UnresolvedEdge {
+                    to_stage: ts,
+                    to_ctx: tc,
+                    missing: raw,
+                })
+            })
+            .collect();
+        // All bindings exist now, so deferred crosstalk settles fully.
+        self.retry_deferred_xt();
+        if !self.deferred_xt.is_empty() {
+            // A crosstalk row naming a context index the stage never
+            // interned: batch `origin_of` falls back to the identity
+            // key, so do the same.
+            let rows = std::mem::take(&mut self.deferred_xt);
+            for (si, waiter, holder, count, total_wait) in rows {
+                let of = |ctx: u32| self.binding_of(si, ctx).unwrap_or((si, ctx));
+                if holder == WAITER_ONLY {
+                    self.account_xt(of(waiter), None, count, total_wait);
+                } else {
+                    self.account_xt(of(waiter), Some(of(holder)), count, total_wait);
+                }
+            }
+        }
+
+        let dumps: Vec<StageDump> = self.stages.iter().map(|s| s.acc.to_dump()).collect();
+        let mut stats = std::mem::take(&mut self.stats);
+        if self.broken || dumps.iter().any(|d| d.validate().is_err()) {
+            stats.used_fallback = true;
+            let report = analyze(
+                dumps,
+                PipelineConfig {
+                    workers: 1,
+                    shards: self.cfg.shards,
+                },
+            );
+            return CollectorOutput { report, stats };
+        }
+        let report = self.assemble(dumps, unresolved);
+        CollectorOutput { report, stats }
+    }
+
+    /// Assembles the final report from incrementally computed state,
+    /// replicating every ordering rule of the batch pipeline.
+    fn assemble(
+        mut self,
+        dumps: Vec<StageDump>,
+        mut unresolved: Vec<UnresolvedEdge>,
+    ) -> PipelineReport {
+        let shards = self.cfg.shards.max(1);
+        // Global frame table: sorted union, exactly as batch builds it.
+        let names: BTreeSet<&str> = dumps
+            .iter()
+            .flat_map(|d| d.frames.iter().map(|f| f.as_str()))
+            .collect();
+        let frames: Vec<String> = names.iter().map(|s| (*s).to_owned()).collect();
+        let frame_global: HashMap<&str, u32> = frames
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), i as u32))
+            .collect();
+        let remap: Vec<Vec<u32>> = dumps
+            .iter()
+            .map(|d| d.frames.iter().map(|f| frame_global[f.as_str()]).collect())
+            .collect();
+        let coll_to_global: Vec<u32> = self
+            .frames
+            .iter()
+            .map(|n| frame_global.get(n.as_str()).copied().unwrap_or(u32::MAX))
+            .collect();
+
+        // The dictionary and each origin's global context id replay
+        // the batch interning order exactly: scan CCTs in (stage, cct)
+        // order, intern each origin's value at its first occurrence
+        // into the shard that value hashes to.
+        let mut shard_tabs: Vec<ContextShard> = (0..shards).map(|_| ContextShard::default()).collect();
+        let mut global_ctx: HashMap<OriginKey, ShardedCtxId> = HashMap::new();
+        for (si, d) in dumps.iter().enumerate() {
+            for c in &d.ccts {
+                let origin = self.binding_of(si, c.ctx).unwrap_or((si, c.ctx));
+                if global_ctx.contains_key(&origin) {
+                    continue;
+                }
+                let value = global_value(&dumps, &remap, origin);
+                let shard = (value.stable_hash() % shards as u64) as usize;
+                let local = shard_tabs[shard].intern_local(value);
+                global_ctx.insert(origin, ShardedCtxId::new(shard as u32, local));
+            }
+        }
+        let dict = ShardedContextTable::from_parts(shards, shard_tabs.into_iter().enumerate());
+
+        // Profiles: resident ∪ finalized in ascending origin order,
+        // CCTs remapped from collector-local to global frame ids.
+        let resident = std::mem::take(&mut self.resident);
+        let finalized = std::mem::take(&mut self.finalized);
+        let mut parts: BTreeMap<OriginKey, (Cct, BTreeSet<usize>)> = BTreeMap::new();
+        for (k, r) in resident {
+            parts.insert(k, (r.cct, r.stages));
+        }
+        for (k, f) in finalized {
+            parts.insert(k, (rebuild_cct(&f.nodes), f.stages));
+        }
+        let profiles: Vec<OriginProfile> = parts
+            .into_iter()
+            .map(|(origin, (cct, stages))| OriginProfile {
+                origin,
+                global_ctx: global_ctx.get(&origin).copied().unwrap_or_else(|| {
+                    // An aggregate with no CCT occurrence cannot exist
+                    // (aggregates are only created by folds); keep a
+                    // deterministic placeholder rather than panicking.
+                    ShardedCtxId::new(0, u32::MAX)
+                }),
+                stages: stages.into_iter().collect(),
+                cct: remap_cct(&cct, &coll_to_global),
+            })
+            .collect();
+
+        let mut edges = std::mem::take(&mut self.edges);
+        edges.sort_by_key(|e| (e.to_stage, e.to_ctx, e.from_stage, e.from_ctx));
+        unresolved.sort_by_key(|u| (u.to_stage, u.to_ctx, u.missing));
+        let matrix = CrosstalkMatrix {
+            pairs: self
+                .xt_pairs
+                .iter()
+                .map(|(&(w, h), &s)| (w, h, s))
+                .collect(),
+            waiters: self.xt_waiters.iter().map(|(&w, &s)| (w, s)).collect(),
+        };
+
+        let mut dumps_json = String::from("[\n");
+        for (i, d) in dumps.iter().enumerate() {
+            if i > 0 {
+                dumps_json.push_str(",\n");
+            }
+            dumps_json.push_str(&whodunit_core::dumpjson::dump_to_json(d));
+        }
+        dumps_json.push_str("\n]\n");
+
+        PipelineReport {
+            workers: 1,
+            shards,
+            stages: dumps,
+            frames,
+            warnings: Vec::new(),
+            edges,
+            unresolved,
+            profiles,
+            matrix,
+            dict,
+            dumps_json,
+            timings: Vec::new(),
+        }
+    }
+
+}
+
+/// The batch pipeline's `global_value`: an origin's dumped context
+/// with stage-local frame indices remapped onto the global table.
+fn global_value(dumps: &[StageDump], remap: &[Vec<u32>], origin: OriginKey) -> TransactionContext {
+    let Some(d) = dumps.get(origin.0) else {
+        return TransactionContext::root();
+    };
+    let Some(c) = d.contexts.get(origin.1 as usize) else {
+        return TransactionContext::root();
+    };
+    let rm = &remap[origin.0];
+    let gf = |f: &u32| FrameId(rm.get(*f as usize).copied().unwrap_or(u32::MAX));
+    TransactionContext(
+        c.atoms
+            .iter()
+            .map(|a| match a {
+                DumpAtom::Frame(f) => ContextAtom::Frame(gf(f)),
+                DumpAtom::Path(p) => ContextAtom::Path(p.iter().map(&gf).collect::<Vec<_>>().into()),
+                DumpAtom::Remote(chain) => {
+                    ContextAtom::Remote(SynChain(chain.iter().map(|&s| Synopsis(s)).collect()))
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Rebuilds a CCT with every frame id passed through `map`. Frame
+/// mapping is injective (ids alias distinct names), so the frame-keyed
+/// tree structure is preserved exactly.
+fn remap_cct(cct: &Cct, map: &[u32]) -> Cct {
+    let mut out = Cct::new();
+    let mut ids: Vec<CctNodeId> = Vec::with_capacity(cct.len());
+    for id in cct.node_ids() {
+        let nid = match (cct.parent(id), cct.frame(id)) {
+            (Some(p), Some(f)) => {
+                let gf = map.get(f.0 as usize).copied().unwrap_or(u32::MAX);
+                out.child(ids[p.0 as usize], FrameId(gf))
+            }
+            _ => CctNodeId::ROOT,
+        };
+        out.record_at(nid, cct.metrics(id));
+        ids.push(nid);
+    }
+    out
+}
+
+impl DeltaSink for Collector {
+    fn on_start(&mut self, header: &StreamHeader) {
+        self.start(header);
+    }
+    fn on_batch(&mut self, batch: EpochBatch) {
+        self.enqueue(batch);
+        self.drain();
+    }
+}

@@ -1,0 +1,265 @@
+//! Streaming-vs-batch differential suite: the end-state lock.
+//!
+//! Each scenario runs the 3-tier TPC-W stack with the streaming
+//! emission hook, feeds every epoch batch through the online
+//! [`Collector`], and byte-compares the finalized report against batch
+//! `pipeline::analyze` on the same run's dumps:
+//!
+//! - the stitched per-transaction profile text,
+//! - the rendered crosstalk matrix,
+//! - the re-serialized dump JSON,
+//! - the sharded context dictionary,
+//! - the report fingerprint,
+//!
+//! all as exact equality, with the incremental path (`used_fallback ==
+//! false`) — falling back to running the batch pipeline internally
+//! would make the comparison vacuous.
+//!
+//! Coverage mirrors `core/tests/parallel_diff.rs`: 6 seeds × 3
+//! schedule policies (fifo, random, perturb) × 2 fault plans (clean,
+//! faulty) = 36 scenarios. A subset additionally cross-checks that the
+//! epoch-chunked simulation run is bit-identical to the unchunked one,
+//! and one scenario sweeps epoch lengths and retention windows.
+
+use whodunit_apps::tpcw::{run_tpcw, run_tpcw_streaming, TpcwConfig, TpcwFaults};
+use whodunit_collector::{Collector, CollectorConfig, CollectorOutput};
+use whodunit_core::cost::CPU_HZ;
+use whodunit_core::delta::RecordingSink;
+use whodunit_core::pipeline::{analyze, PipelineConfig, PipelineReport};
+use whodunit_sim::fault::ChannelFaults;
+use whodunit_sim::sched::SchedulePolicy;
+
+const SEEDS: [u64; 6] = [1, 2, 3, 5, 8, 13];
+const EPOCH_LEN: u64 = CPU_HZ;
+
+fn schedules(seed: u64) -> [SchedulePolicy; 3] {
+    [
+        SchedulePolicy::Fifo,
+        SchedulePolicy::Random { seed: seed ^ 0xa5 },
+        SchedulePolicy::Perturb {
+            seed: seed ^ 0x5a,
+            swap_ppm: 200_000,
+        },
+    ]
+}
+
+fn faults(seed: u64) -> TpcwFaults {
+    TpcwFaults {
+        seed: seed ^ 0xfa07,
+        db_chan: ChannelFaults {
+            drop_p: 0.02,
+            dup_p: 0.01,
+            delay_p: 0.05,
+            delay_cycles: CPU_HZ / 100,
+        },
+        front_chan: ChannelFaults {
+            drop_p: 0.01,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+fn scenario_cfg(seed: u64, sched: SchedulePolicy, faulty: bool) -> TpcwConfig {
+    TpcwConfig {
+        clients: 12,
+        duration: 25 * CPU_HZ,
+        warmup: 5 * CPU_HZ,
+        seed,
+        sched,
+        faults: faulty.then(|| faults(seed)),
+        step_budget: Some(2_000_000),
+        ..Default::default()
+    }
+}
+
+/// Runs one scenario through the streaming path and returns the
+/// collector output plus the batch reference computed from the *same*
+/// run's end-of-run dumps.
+fn run_scenario(
+    cfg: TpcwConfig,
+    epoch_len: u64,
+    ccfg: CollectorConfig,
+) -> (CollectorOutput, PipelineReport) {
+    let shards = ccfg.shards;
+    let mut collector = Collector::new(ccfg);
+    let report = run_tpcw_streaming(cfg, epoch_len, &mut collector);
+    let out = collector.finalize();
+    let batch = analyze(report.dumps, PipelineConfig { workers: 1, shards });
+    (out, batch)
+}
+
+/// Byte-compares every deterministic output surface of two reports.
+fn assert_byte_identical(batch: &PipelineReport, streamed: &PipelineReport, what: &str) {
+    assert_eq!(
+        batch.stitched_text(),
+        streamed.stitched_text(),
+        "stitched text diverged: {what}"
+    );
+    assert_eq!(
+        batch.crosstalk_text(),
+        streamed.crosstalk_text(),
+        "crosstalk matrix diverged: {what}"
+    );
+    assert_eq!(
+        batch.dumps_json, streamed.dumps_json,
+        "dump JSON diverged: {what}"
+    );
+    assert_eq!(batch.dict, streamed.dict, "context dictionary diverged: {what}");
+    assert_eq!(
+        batch.fingerprint(),
+        streamed.fingerprint(),
+        "fingerprint diverged: {what}"
+    );
+}
+
+fn run_matrix(faulty: bool) {
+    let mut scenarios = 0;
+    for &seed in &SEEDS {
+        for sched in schedules(seed) {
+            scenarios += 1;
+            let what = format!("seed={seed} sched={sched:?} faulty={faulty}");
+            let (out, batch) = run_scenario(
+                scenario_cfg(seed, sched, faulty),
+                EPOCH_LEN,
+                CollectorConfig::default(),
+            );
+            assert!(
+                !out.stats.used_fallback,
+                "incremental path bailed to batch fallback: {what}"
+            );
+            assert!(
+                !batch.profiles.is_empty(),
+                "scenario produced no profiles (vacuous): {what}"
+            );
+            assert!(out.stats.batches > 1, "stream collapsed to one batch: {what}");
+            assert_byte_identical(&batch, &out.report, &what);
+            if !faulty {
+                assert_eq!(
+                    out.stats.pending_walks_at_flush, 0,
+                    "pending walks leaked on a clean run: {what}"
+                );
+                assert_eq!(
+                    out.stats.pending_edges_at_flush, 0,
+                    "pending edges leaked on a clean run: {what}"
+                );
+            }
+        }
+    }
+    assert_eq!(scenarios, 18);
+}
+
+#[test]
+fn clean_streams_match_batch_byte_for_byte() {
+    run_matrix(false);
+}
+
+#[test]
+fn faulty_streams_match_batch_byte_for_byte() {
+    run_matrix(true);
+}
+
+/// The epoch-chunked engine run must be bit-identical to the unchunked
+/// one — streaming emission must not perturb the simulation itself.
+/// (Subset of the matrix: this needs a second full simulation run per
+/// scenario.)
+#[test]
+fn chunked_run_is_bit_identical_to_unchunked() {
+    for &seed in &[1u64, 13] {
+        for faulty in [false, true] {
+            let what = format!("seed={seed} faulty={faulty}");
+            let cfg = scenario_cfg(seed, SchedulePolicy::Fifo, faulty);
+            let mut sink = RecordingSink::default();
+            let streamed = run_tpcw_streaming(cfg.clone(), EPOCH_LEN, &mut sink);
+            let batch = run_tpcw(cfg);
+            assert_eq!(batch.dumps, streamed.dumps, "dumps diverged: {what}");
+            assert_eq!(
+                batch.wire_bytes, streamed.wire_bytes,
+                "wire traffic diverged: {what}"
+            );
+            assert_eq!(
+                batch.compute_truth, streamed.compute_truth,
+                "ground-truth compute diverged: {what}"
+            );
+            assert!(sink.batches.len() > 1, "stream collapsed to one batch: {what}");
+        }
+    }
+}
+
+/// Epoch length and retention window are performance knobs, not
+/// semantics: every combination must finalize to the same bytes, and
+/// a tight window must actually evict while staying lossless.
+#[test]
+fn window_and_epoch_sweep_preserves_end_state() {
+    let cfg = scenario_cfg(2, SchedulePolicy::Fifo, false);
+    let reference = analyze(
+        run_tpcw(cfg.clone()).dumps,
+        PipelineConfig { workers: 1, shards: 32 },
+    );
+    let mut evictions_seen = false;
+    for epoch_len in [CPU_HZ / 4, CPU_HZ, 5 * CPU_HZ] {
+        for window in [1u64, 4] {
+            let what = format!("epoch_len={epoch_len} window={window}");
+            let (out, _) = run_scenario(
+                cfg.clone(),
+                epoch_len,
+                CollectorConfig {
+                    window_epochs: window,
+                    ..CollectorConfig::default()
+                },
+            );
+            assert!(!out.stats.used_fallback, "fallback: {what}");
+            assert_byte_identical(&reference, &out.report, &what);
+            if window == 1 && epoch_len <= CPU_HZ {
+                assert!(
+                    out.stats.evictions > 0,
+                    "tight window never evicted: {what}"
+                );
+                // This single-node workload keeps all of its (few)
+                // origins concurrently live, so peak_resident equals
+                // the total here; the fleet bench (`collectord`) is
+                // where peak < total is asserted. Bound it anyway.
+                assert!(
+                    out.stats.peak_resident <= out.report.profiles.len() as u64,
+                    "resident set exceeded total origins: {what}"
+                );
+                evictions_seen = true;
+            }
+        }
+    }
+    assert!(evictions_seen);
+}
+
+/// The bounded ingest queue refuses batches at capacity and counts
+/// the refusals; draining between offers keeps the stream lossless.
+#[test]
+fn backpressure_counts_throttles_and_stays_lossless() {
+    let cfg = scenario_cfg(3, SchedulePolicy::Fifo, false);
+    let mut sink = RecordingSink::default();
+    let report = run_tpcw_streaming(cfg, CPU_HZ, &mut sink);
+    let batch_ref = analyze(report.dumps, PipelineConfig { workers: 1, shards: 32 });
+
+    let mut c = Collector::with_header(
+        &sink.header,
+        CollectorConfig {
+            max_queue: 2,
+            ..CollectorConfig::default()
+        },
+    );
+    let mut throttles = 0u64;
+    for b in &sink.batches {
+        // Offer without draining: every third batch overflows the
+        // 2-deep queue and must be re-offered after a poll.
+        if !c.enqueue(b.clone()) {
+            throttles += 1;
+            c.poll();
+            assert!(c.enqueue(b.clone()), "re-offer after poll must succeed");
+        }
+    }
+    let out = c.finalize();
+    assert!(throttles > 0, "queue never filled; backpressure untested");
+    assert_eq!(out.stats.throttled, throttles);
+    assert!(out.stats.peak_queued <= 2);
+    assert!(!out.stats.used_fallback);
+    assert_byte_identical(&batch_ref, &out.report, "backpressure run");
+}

@@ -163,36 +163,30 @@ impl TransactionContext {
     /// std `Hasher` (whose keys are unspecified across releases) — so
     /// that sharded runs place every value deterministically.
     pub fn stable_hash(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut mix = |v: u64| {
-            for b in v.to_le_bytes() {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x100_0000_01b3);
-            }
-        };
+        let mut h = crate::hash::Fnv64::new();
         for a in &self.0 {
             match a {
                 ContextAtom::Frame(f) => {
-                    mix(1);
-                    mix(f.0 as u64);
+                    h.write_u64(1);
+                    h.write_u64(f.0 as u64);
                 }
                 ContextAtom::Path(p) => {
-                    mix(2);
-                    mix(p.len() as u64);
+                    h.write_u64(2);
+                    h.write_u64(p.len() as u64);
                     for f in p.iter() {
-                        mix(f.0 as u64);
+                        h.write_u64(f.0 as u64);
                     }
                 }
                 ContextAtom::Remote(c) => {
-                    mix(3);
-                    mix(c.0.len() as u64);
+                    h.write_u64(3);
+                    h.write_u64(c.0.len() as u64);
                     for s in &c.0 {
-                        mix(s.0 as u64);
+                        h.write_u64(s.0 as u64);
                     }
                 }
             }
         }
-        h
+        h.finish()
     }
 }
 

@@ -1,0 +1,884 @@
+//! Streaming profile deltas: the wire format between live stages and
+//! the online collector tier.
+//!
+//! Batch Whodunit gathers one [`StageDump`] per stage at end-of-run and
+//! stitches post mortem. The streaming path instead emits, once per
+//! virtual-time *epoch*, the increment of every stage's profile state
+//! since the previous epoch. The increments exploit the monotone
+//! structure of a live Whodunit instance:
+//!
+//! - `frames` and `contexts` are intern tables — append-only, so a
+//!   delta carries only the new tail;
+//! - `synopses` are minted at most once per context — a delta carries
+//!   only newly minted `(raw, ctx)` pairs;
+//! - CCT node lists are append-only and per-node metrics only grow — a
+//!   delta carries new nodes plus `(node, Δsamples, Δcycles, Δcalls)`
+//!   for grown existing nodes;
+//! - crosstalk aggregates and the piggyback counters are monotone sums
+//!   — a delta carries keyed increments.
+//!
+//! [`diff_dump`] computes the increment between two snapshots of the
+//! same stage (asserting the monotone structure), and
+//! [`StageAccumulator`] replays increments back into a [`StageDump`]
+//! that is **equal, field for field, to the snapshot it mirrors** — the
+//! foundation of the streaming-vs-batch byte-identity lock: a collector
+//! that has applied every delta can reproduce the exact dumps the batch
+//! pipeline would have read from disk.
+//!
+//! Every delta carries a per-stage sequence number and an FNV-1a
+//! checksum (via [`crate::hash`]) so a collector can detect gaps and
+//! corruption rather than silently diverging.
+
+use crate::hash::Fnv64;
+use crate::stitch::{
+    DumpAtom, DumpCct, DumpContext, DumpCrosstalkPair, DumpCrosstalkWaiter, DumpNode, StageDump,
+};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identity of one stage in a delta stream.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StreamStage {
+    /// Process id (matches [`StageDump::proc`]).
+    pub proc: u32,
+    /// Stage name (matches [`StageDump::stage_name`]).
+    pub stage_name: String,
+}
+
+/// Announces the fixed set of stages a delta stream will carry.
+///
+/// Emitted once, before the first [`EpochBatch`]. Stage indices in
+/// [`StageDelta::stage`] refer to positions in [`StreamHeader::stages`],
+/// which follow the same order as `Sim::collect_dumps`.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct StreamHeader {
+    /// The stages, in dump order.
+    pub stages: Vec<StreamStage>,
+}
+
+impl StreamHeader {
+    /// A copy with every process id passed through `map` (ids the map
+    /// declines are kept). Mirrors [`StageDump::with_remapped_proc`]
+    /// for fleet replication of recorded streams.
+    pub fn with_remapped_proc(&self, map: &dyn Fn(u32) -> Option<u32>) -> StreamHeader {
+        StreamHeader {
+            stages: self
+                .stages
+                .iter()
+                .map(|s| StreamStage {
+                    proc: map(s.proc).unwrap_or(s.proc),
+                    stage_name: s.stage_name.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Increment of one context's CCT since the previous epoch.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CctDelta {
+    /// Context index this CCT is annotated with.
+    pub ctx: u32,
+    /// Number of nodes the CCT had at the previous epoch (0 for a CCT
+    /// first seen in this delta).
+    pub nodes_before: u32,
+    /// Nodes appended since (structure plus their current metrics).
+    pub new_nodes: Vec<DumpNode>,
+    /// `(node index, Δsamples, Δcycles, Δcalls)` for pre-existing
+    /// nodes whose metrics grew.
+    pub grown: Vec<(u32, u64, u64, u64)>,
+}
+
+/// Increment of one stage's profile state over one epoch.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StageDelta {
+    /// Index into [`StreamHeader::stages`].
+    pub stage: usize,
+    /// Per-stage sequence number, starting at 0, no gaps.
+    pub seq: u64,
+    /// Newly interned frame names (appended to the stage's table).
+    pub new_frames: Vec<String>,
+    /// Newly interned contexts (appended to the stage's table).
+    pub new_contexts: Vec<DumpContext>,
+    /// Newly minted `(raw synopsis, context index)` pairs.
+    pub new_synopses: Vec<(u32, u32)>,
+    /// CCT increments, sorted by context index.
+    pub ccts: Vec<CctDelta>,
+    /// Crosstalk pair increments: `count`/`total_wait` are the deltas.
+    pub pairs: Vec<DumpCrosstalkPair>,
+    /// Crosstalk waiter increments: `count`/`total_wait` are deltas.
+    pub waiters: Vec<DumpCrosstalkWaiter>,
+    /// Piggyback bytes sent this epoch.
+    pub piggyback_bytes: u64,
+    /// Piggybacked messages sent this epoch.
+    pub messages: u64,
+    /// FNV-1a checksum over the content above (see
+    /// [`StageDelta::compute_checksum`]).
+    pub checksum: u64,
+}
+
+impl StageDelta {
+    /// Whether the delta carries no change at all.
+    pub fn is_empty(&self) -> bool {
+        self.new_frames.is_empty()
+            && self.new_contexts.is_empty()
+            && self.new_synopses.is_empty()
+            && self.ccts.is_empty()
+            && self.pairs.is_empty()
+            && self.waiters.is_empty()
+            && self.piggyback_bytes == 0
+            && self.messages == 0
+    }
+
+    /// Number of individual change events the delta carries (used for
+    /// ingest-rate accounting).
+    pub fn events(&self) -> u64 {
+        (self.new_frames.len()
+            + self.new_contexts.len()
+            + self.new_synopses.len()
+            + self
+                .ccts
+                .iter()
+                .map(|c| c.new_nodes.len() + c.grown.len())
+                .sum::<usize>()
+            + self.pairs.len()
+            + self.waiters.len()) as u64
+    }
+
+    /// The FNV-1a digest of the delta's content (everything except the
+    /// stored `checksum` field itself).
+    pub fn compute_checksum(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(self.stage as u64);
+        h.write_u64(self.seq);
+        h.write_u64(self.new_frames.len() as u64);
+        for f in &self.new_frames {
+            h.write_u64(f.len() as u64);
+            h.write(f.as_bytes());
+        }
+        h.write_u64(self.new_contexts.len() as u64);
+        for c in &self.new_contexts {
+            h.write_u64(c.atoms.len() as u64);
+            for a in &c.atoms {
+                match a {
+                    DumpAtom::Frame(f) => {
+                        h.write_u64(1);
+                        h.write_u64(*f as u64);
+                    }
+                    DumpAtom::Path(p) => {
+                        h.write_u64(2);
+                        h.write_u64(p.len() as u64);
+                        for f in p {
+                            h.write_u64(*f as u64);
+                        }
+                    }
+                    DumpAtom::Remote(r) => {
+                        h.write_u64(3);
+                        h.write_u64(r.len() as u64);
+                        for s in r {
+                            h.write_u64(*s as u64);
+                        }
+                    }
+                }
+            }
+        }
+        h.write_u64(self.new_synopses.len() as u64);
+        for &(raw, ctx) in &self.new_synopses {
+            h.write_u64(raw as u64);
+            h.write_u64(ctx as u64);
+        }
+        h.write_u64(self.ccts.len() as u64);
+        for c in &self.ccts {
+            h.write_u64(c.ctx as u64);
+            h.write_u64(c.nodes_before as u64);
+            h.write_u64(c.new_nodes.len() as u64);
+            for n in &c.new_nodes {
+                // Option<u32> encoded as value+1 (None -> 0).
+                h.write_u64(n.frame.map_or(0, |f| f as u64 + 1));
+                h.write_u64(n.parent.map_or(0, |p| p as u64 + 1));
+                h.write_u64(n.samples);
+                h.write_u64(n.cycles);
+                h.write_u64(n.calls);
+            }
+            h.write_u64(c.grown.len() as u64);
+            for &(node, s, cy, ca) in &c.grown {
+                h.write_u64(node as u64);
+                h.write_u64(s);
+                h.write_u64(cy);
+                h.write_u64(ca);
+            }
+        }
+        h.write_u64(self.pairs.len() as u64);
+        for p in &self.pairs {
+            h.write_u64(p.waiter as u64);
+            h.write_u64(p.holder as u64);
+            h.write_u64(p.count);
+            h.write_u64(p.total_wait);
+        }
+        h.write_u64(self.waiters.len() as u64);
+        for w in &self.waiters {
+            h.write_u64(w.waiter as u64);
+            h.write_u64(w.count);
+            h.write_u64(w.total_wait);
+        }
+        h.write_u64(self.piggyback_bytes);
+        h.write_u64(self.messages);
+        h.finish()
+    }
+
+    /// A copy with stage index `stage` and every raw synopsis value's
+    /// embedded process id passed through `map` (both newly minted
+    /// synopses and `Remote` chains inside new contexts), with the
+    /// checksum recomputed. Mirrors [`StageDump::with_remapped_proc`]
+    /// so a recorded single-fleet stream can be replicated into many
+    /// disjoint process-id ranges.
+    pub fn with_remapped_proc(
+        &self,
+        stage: usize,
+        map: &dyn Fn(u32) -> Option<u32>,
+    ) -> StageDelta {
+        let remap_syn = |raw: u32| -> u32 {
+            let s = crate::synopsis::Synopsis(raw);
+            match map(s.proc_id()) {
+                Some(p) => crate::synopsis::Synopsis::new(p, s.counter()).0,
+                None => raw,
+            }
+        };
+        let mut d = self.clone();
+        d.stage = stage;
+        for (raw, _) in &mut d.new_synopses {
+            *raw = remap_syn(*raw);
+        }
+        for c in &mut d.new_contexts {
+            for a in &mut c.atoms {
+                if let DumpAtom::Remote(chain) = a {
+                    for raw in chain.iter_mut() {
+                        *raw = remap_syn(*raw);
+                    }
+                }
+            }
+        }
+        d.checksum = d.compute_checksum();
+        d
+    }
+}
+
+/// All stage deltas of one virtual-time epoch.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EpochBatch {
+    /// Epoch index, starting at 0.
+    pub epoch: u64,
+    /// Global batch sequence number, starting at 0, no gaps.
+    pub seq: u64,
+    /// Virtual time (cycles) at the end of the epoch.
+    pub end: u64,
+    /// Per-stage increments; stages with no change are omitted.
+    pub deltas: Vec<StageDelta>,
+}
+
+impl EpochBatch {
+    /// Total change events across all stage deltas.
+    pub fn events(&self) -> u64 {
+        self.deltas.iter().map(|d| d.events()).sum()
+    }
+}
+
+/// Receiver of a delta stream.
+///
+/// `Sim::run_streaming` drives one of these: `on_start` once with the
+/// fixed stage set, then `on_batch` once per epoch in order.
+pub trait DeltaSink {
+    /// Called once before any batch with the stream's stage set.
+    fn on_start(&mut self, header: &StreamHeader);
+    /// Called once per epoch, in epoch order.
+    fn on_batch(&mut self, batch: EpochBatch);
+}
+
+/// A [`DeltaSink`] that records the stream verbatim, for replay.
+#[derive(Default, Debug, Clone)]
+pub struct RecordingSink {
+    /// The stream header (set by `on_start`).
+    pub header: StreamHeader,
+    /// Every batch, in arrival order.
+    pub batches: Vec<EpochBatch>,
+}
+
+impl DeltaSink for RecordingSink {
+    fn on_start(&mut self, header: &StreamHeader) {
+        self.header = header.clone();
+    }
+    fn on_batch(&mut self, batch: EpochBatch) {
+        self.batches.push(batch);
+    }
+}
+
+/// Computes the increment from snapshot `prev` to snapshot `cur` of
+/// the same stage, or `None` if nothing changed.
+///
+/// Pass `prev = None` for the first epoch (the whole snapshot is new).
+/// Panics if the snapshots violate the monotone structure documented
+/// on the module (shrinking intern tables, mutated nodes, decreasing
+/// counters): such a pair cannot come from one live stage, so a loud
+/// failure at the emitter beats a silent divergence at the collector.
+pub fn diff_dump(
+    stage: usize,
+    seq: u64,
+    prev: Option<&StageDump>,
+    cur: &StageDump,
+) -> Option<StageDelta> {
+    let empty = StageDump::default();
+    let prev = prev.unwrap_or(&empty);
+    assert!(
+        prev.frames.len() <= cur.frames.len()
+            && prev.frames[..] == cur.frames[..prev.frames.len()],
+        "stage {stage}: frame table is not an append-only extension"
+    );
+    assert!(
+        prev.contexts.len() <= cur.contexts.len()
+            && prev.contexts[..] == cur.contexts[..prev.contexts.len()],
+        "stage {stage}: context table is not an append-only extension"
+    );
+
+    // Synopses: sorted by ctx in both snapshots, one per ctx, minted
+    // once; new entries may interleave anywhere in ctx order.
+    let mut new_synopses = Vec::new();
+    {
+        let mut pi = prev.synopses.iter().peekable();
+        for &(raw, ctx) in &cur.synopses {
+            match pi.peek() {
+                Some(&&(praw, pctx)) if pctx == ctx => {
+                    assert!(praw == raw, "stage {stage}: synopsis for ctx {ctx} changed");
+                    pi.next();
+                }
+                _ => new_synopses.push((raw, ctx)),
+            }
+        }
+        assert!(
+            pi.next().is_none(),
+            "stage {stage}: a minted synopsis disappeared"
+        );
+    }
+
+    // CCTs: sorted by ctx in both snapshots; node lists append-only,
+    // metrics monotone.
+    let mut ccts = Vec::new();
+    {
+        let mut pi = prev.ccts.iter().peekable();
+        for c in &cur.ccts {
+            let old: &[DumpNode] = match pi.peek() {
+                Some(p) if p.ctx == c.ctx => {
+                    let p = pi.next().unwrap();
+                    &p.nodes
+                }
+                _ => &[],
+            };
+            assert!(
+                old.len() <= c.nodes.len(),
+                "stage {stage}: CCT for ctx {} shrank",
+                c.ctx
+            );
+            let mut grown = Vec::new();
+            for (i, (o, n)) in old.iter().zip(&c.nodes).enumerate() {
+                assert!(
+                    o.frame == n.frame && o.parent == n.parent,
+                    "stage {stage}: CCT node structure mutated for ctx {}",
+                    c.ctx
+                );
+                let (ds, dc, da) = (
+                    n.samples.checked_sub(o.samples),
+                    n.cycles.checked_sub(o.cycles),
+                    n.calls.checked_sub(o.calls),
+                );
+                let (ds, dc, da) = (
+                    ds.expect("samples decreased"),
+                    dc.expect("cycles decreased"),
+                    da.expect("calls decreased"),
+                );
+                if ds != 0 || dc != 0 || da != 0 {
+                    grown.push((i as u32, ds, dc, da));
+                }
+            }
+            let new_nodes = c.nodes[old.len()..].to_vec();
+            if !new_nodes.is_empty() || !grown.is_empty() {
+                ccts.push(CctDelta {
+                    ctx: c.ctx,
+                    nodes_before: old.len() as u32,
+                    new_nodes,
+                    grown,
+                });
+            }
+        }
+        assert!(pi.next().is_none(), "stage {stage}: a CCT disappeared");
+    }
+
+    // Crosstalk: keyed aggregates, sorted, monotone.
+    let mut pairs = Vec::new();
+    {
+        let mut pi = prev.crosstalk_pairs.iter().peekable();
+        for p in &cur.crosstalk_pairs {
+            let (oc, ow) = match pi.peek() {
+                Some(o) if (o.waiter, o.holder) == (p.waiter, p.holder) => {
+                    let o = pi.next().unwrap();
+                    (o.count, o.total_wait)
+                }
+                _ => (0, 0),
+            };
+            let dc = p.count.checked_sub(oc).expect("pair count decreased");
+            let dw = p.total_wait.checked_sub(ow).expect("pair wait decreased");
+            if dc != 0 || dw != 0 {
+                pairs.push(DumpCrosstalkPair {
+                    waiter: p.waiter,
+                    holder: p.holder,
+                    count: dc,
+                    total_wait: dw,
+                });
+            }
+        }
+        assert!(
+            pi.next().is_none(),
+            "stage {stage}: a crosstalk pair disappeared"
+        );
+    }
+    let mut waiters = Vec::new();
+    {
+        let mut pi = prev.crosstalk_waiters.iter().peekable();
+        for w in &cur.crosstalk_waiters {
+            let (oc, ow) = match pi.peek() {
+                Some(o) if o.waiter == w.waiter => {
+                    let o = pi.next().unwrap();
+                    (o.count, o.total_wait)
+                }
+                _ => (0, 0),
+            };
+            let dc = w.count.checked_sub(oc).expect("waiter count decreased");
+            let dw = w.total_wait.checked_sub(ow).expect("waiter wait decreased");
+            if dc != 0 || dw != 0 {
+                waiters.push(DumpCrosstalkWaiter {
+                    waiter: w.waiter,
+                    count: dc,
+                    total_wait: dw,
+                });
+            }
+        }
+        assert!(
+            pi.next().is_none(),
+            "stage {stage}: a crosstalk waiter disappeared"
+        );
+    }
+
+    let mut d = StageDelta {
+        stage,
+        seq,
+        new_frames: cur.frames[prev.frames.len()..].to_vec(),
+        new_contexts: cur.contexts[prev.contexts.len()..].to_vec(),
+        new_synopses,
+        ccts,
+        pairs,
+        waiters,
+        piggyback_bytes: cur
+            .piggyback_bytes
+            .checked_sub(prev.piggyback_bytes)
+            .expect("piggyback_bytes decreased"),
+        messages: cur
+            .messages
+            .checked_sub(prev.messages)
+            .expect("messages decreased"),
+        checksum: 0,
+    };
+    if d.is_empty() {
+        return None;
+    }
+    d.checksum = d.compute_checksum();
+    Some(d)
+}
+
+/// Why a delta could not be applied.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DeltaError {
+    /// The delta's stored checksum does not match its content.
+    Checksum {
+        /// Stage index of the offending delta.
+        stage: usize,
+        /// Sequence number of the offending delta.
+        seq: u64,
+    },
+    /// The delta's sequence number is not the next expected one.
+    SeqGap {
+        /// Stage index of the offending delta.
+        stage: usize,
+        /// The sequence number the accumulator expected.
+        expected: u64,
+        /// The sequence number the delta carried.
+        got: u64,
+    },
+    /// The delta references state the accumulator does not have (e.g.
+    /// a CCT baseline of the wrong size) — the stream is corrupt or
+    /// deltas were applied out of order.
+    Inconsistent {
+        /// Stage index of the offending delta.
+        stage: usize,
+        /// What was inconsistent.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::Checksum { stage, seq } => {
+                write!(f, "stage {stage} delta seq {seq}: checksum mismatch")
+            }
+            DeltaError::SeqGap {
+                stage,
+                expected,
+                got,
+            } => write!(
+                f,
+                "stage {stage}: delta sequence gap (expected {expected}, got {got})"
+            ),
+            DeltaError::Inconsistent { stage, what } => {
+                write!(f, "stage {stage}: inconsistent delta: {what}")
+            }
+        }
+    }
+}
+
+/// Replays [`StageDelta`]s back into the exact [`StageDump`] the
+/// emitting stage would snapshot.
+///
+/// Keyed state (CCTs, synopses, crosstalk) is held in `BTreeMap`s whose
+/// iteration order reproduces the dump's documented sort orders, so
+/// [`StageAccumulator::to_dump`] is equal to the source snapshot after
+/// every applied delta — and therefore byte-identical under
+/// [`crate::dumpjson`] serialization.
+#[derive(Clone, Debug)]
+pub struct StageAccumulator {
+    /// Process id (from the stream header).
+    pub proc: u32,
+    /// Stage name (from the stream header).
+    pub stage_name: String,
+    /// Interned frame names so far.
+    pub frames: Vec<String>,
+    /// Interned contexts so far.
+    pub contexts: Vec<DumpContext>,
+    ccts: BTreeMap<u32, Vec<DumpNode>>,
+    synopses: BTreeMap<u32, u32>,
+    pairs: BTreeMap<(u32, u32), (u64, u64)>,
+    waiters: BTreeMap<u32, (u64, u64)>,
+    piggyback_bytes: u64,
+    messages: u64,
+    next_seq: u64,
+}
+
+impl StageAccumulator {
+    /// An empty accumulator for the stage identified by `header`.
+    pub fn new(header: &StreamStage) -> Self {
+        StageAccumulator {
+            proc: header.proc,
+            stage_name: header.stage_name.clone(),
+            frames: Vec::new(),
+            contexts: Vec::new(),
+            ccts: BTreeMap::new(),
+            synopses: BTreeMap::new(),
+            pairs: BTreeMap::new(),
+            waiters: BTreeMap::new(),
+            piggyback_bytes: 0,
+            messages: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// The next per-stage sequence number this accumulator expects.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Number of contexts interned so far.
+    pub fn context_count(&self) -> usize {
+        self.contexts.len()
+    }
+
+    /// The CCT node list for `ctx`, if one has accumulated.
+    pub fn cct_nodes(&self, ctx: u32) -> Option<&[DumpNode]> {
+        self.ccts.get(&ctx).map(|v| v.as_slice())
+    }
+
+    /// Applies one delta, verifying its sequence number and checksum.
+    pub fn apply(&mut self, d: &StageDelta) -> Result<(), DeltaError> {
+        if d.seq != self.next_seq {
+            return Err(DeltaError::SeqGap {
+                stage: d.stage,
+                expected: self.next_seq,
+                got: d.seq,
+            });
+        }
+        if d.compute_checksum() != d.checksum {
+            return Err(DeltaError::Checksum {
+                stage: d.stage,
+                seq: d.seq,
+            });
+        }
+        let incon = |what| DeltaError::Inconsistent {
+            stage: d.stage,
+            what,
+        };
+        // Validate keyed baselines before mutating anything, so a bad
+        // delta leaves the accumulator untouched.
+        for c in &d.ccts {
+            let have = self.ccts.get(&c.ctx).map_or(0, |n| n.len());
+            if have != c.nodes_before as usize {
+                return Err(incon("CCT baseline size mismatch"));
+            }
+            if c.grown.iter().any(|&(i, ..)| i as usize >= have) {
+                return Err(incon("CCT growth targets a missing node"));
+            }
+        }
+        if d.new_synopses
+            .iter()
+            .any(|&(_, ctx)| self.synopses.contains_key(&ctx))
+        {
+            return Err(incon("synopsis re-minted for a context"));
+        }
+
+        self.frames.extend(d.new_frames.iter().cloned());
+        self.contexts.extend(d.new_contexts.iter().cloned());
+        for &(raw, ctx) in &d.new_synopses {
+            self.synopses.insert(ctx, raw);
+        }
+        for c in &d.ccts {
+            let nodes = self.ccts.entry(c.ctx).or_default();
+            for &(i, s, cy, ca) in &c.grown {
+                let n = &mut nodes[i as usize];
+                n.samples += s;
+                n.cycles += cy;
+                n.calls += ca;
+            }
+            nodes.extend(c.new_nodes.iter().copied());
+        }
+        for p in &d.pairs {
+            let e = self.pairs.entry((p.waiter, p.holder)).or_insert((0, 0));
+            e.0 += p.count;
+            e.1 += p.total_wait;
+        }
+        for w in &d.waiters {
+            let e = self.waiters.entry(w.waiter).or_insert((0, 0));
+            e.0 += w.count;
+            e.1 += w.total_wait;
+        }
+        self.piggyback_bytes += d.piggyback_bytes;
+        self.messages += d.messages;
+        self.next_seq += 1;
+        Ok(())
+    }
+
+    /// The dump this accumulator's state reconstructs.
+    pub fn to_dump(&self) -> StageDump {
+        StageDump {
+            proc: self.proc,
+            stage_name: self.stage_name.clone(),
+            frames: self.frames.clone(),
+            contexts: self.contexts.clone(),
+            ccts: self
+                .ccts
+                .iter()
+                .map(|(&ctx, nodes)| DumpCct {
+                    ctx,
+                    nodes: nodes.clone(),
+                })
+                .collect(),
+            synopses: self.synopses.iter().map(|(&ctx, &raw)| (raw, ctx)).collect(),
+            crosstalk_pairs: self
+                .pairs
+                .iter()
+                .map(|(&(waiter, holder), &(count, total_wait))| DumpCrosstalkPair {
+                    waiter,
+                    holder,
+                    count,
+                    total_wait,
+                })
+                .collect(),
+            crosstalk_waiters: self
+                .waiters
+                .iter()
+                .map(|(&waiter, &(count, total_wait))| DumpCrosstalkWaiter {
+                    waiter,
+                    count,
+                    total_wait,
+                })
+                .collect(),
+            piggyback_bytes: self.piggyback_bytes,
+            messages: self.messages,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_dump() -> StageDump {
+        StageDump {
+            proc: 1,
+            stage_name: "app".into(),
+            frames: vec!["main".into(), "handle".into()],
+            contexts: vec![
+                DumpContext { atoms: vec![] },
+                DumpContext {
+                    atoms: vec![DumpAtom::Frame(1)],
+                },
+            ],
+            ccts: vec![DumpCct {
+                ctx: 1,
+                nodes: vec![
+                    DumpNode {
+                        frame: None,
+                        parent: None,
+                        samples: 0,
+                        cycles: 0,
+                        calls: 0,
+                    },
+                    DumpNode {
+                        frame: Some(1),
+                        parent: Some(0),
+                        samples: 3,
+                        cycles: 300,
+                        calls: 1,
+                    },
+                ],
+            }],
+            synopses: vec![(0x0100_0001, 1)],
+            crosstalk_pairs: vec![DumpCrosstalkPair {
+                waiter: 1,
+                holder: 0,
+                count: 2,
+                total_wait: 50,
+            }],
+            crosstalk_waiters: vec![DumpCrosstalkWaiter {
+                waiter: 1,
+                count: 4,
+                total_wait: 50,
+            }],
+            piggyback_bytes: 8,
+            messages: 2,
+        }
+    }
+
+    fn grown_dump() -> StageDump {
+        let mut d = base_dump();
+        d.frames.push("query".into());
+        d.contexts.push(DumpContext {
+            atoms: vec![DumpAtom::Remote(vec![0x0100_0001])],
+        });
+        // Existing CCT grows a node and existing node metrics grow.
+        d.ccts[0].nodes[1].samples += 2;
+        d.ccts[0].nodes[1].cycles += 120;
+        d.ccts[0].nodes.push(DumpNode {
+            frame: Some(2),
+            parent: Some(1),
+            samples: 1,
+            cycles: 40,
+            calls: 1,
+        });
+        // A new CCT for an earlier context id than any new one.
+        d.ccts.insert(
+            0,
+            DumpCct {
+                ctx: 0,
+                nodes: vec![DumpNode {
+                    frame: None,
+                    parent: None,
+                    samples: 1,
+                    cycles: 10,
+                    calls: 0,
+                }],
+            },
+        );
+        // A synopsis minted for the new context (ctx 2 > ctx 1).
+        d.synopses.push((0x0100_0002, 2));
+        d.crosstalk_pairs[0].count += 1;
+        d.crosstalk_pairs[0].total_wait += 25;
+        d.crosstalk_waiters.push(DumpCrosstalkWaiter {
+            waiter: 2,
+            count: 1,
+            total_wait: 0,
+        });
+        d.piggyback_bytes += 4;
+        d.messages += 1;
+        d
+    }
+
+    fn header() -> StreamStage {
+        StreamStage {
+            proc: 1,
+            stage_name: "app".into(),
+        }
+    }
+
+    #[test]
+    fn diff_apply_roundtrip() {
+        let a = base_dump();
+        let b = grown_dump();
+        let d0 = diff_dump(0, 0, None, &a).expect("first delta is non-empty");
+        let d1 = diff_dump(0, 1, Some(&a), &b).expect("growth delta is non-empty");
+        let mut acc = StageAccumulator::new(&header());
+        acc.apply(&d0).unwrap();
+        assert_eq!(acc.to_dump(), a);
+        acc.apply(&d1).unwrap();
+        assert_eq!(acc.to_dump(), b);
+    }
+
+    #[test]
+    fn unchanged_snapshot_yields_no_delta() {
+        let a = base_dump();
+        assert!(diff_dump(0, 1, Some(&a), &a).is_none());
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let a = base_dump();
+        let mut d = diff_dump(0, 0, None, &a).unwrap();
+        d.piggyback_bytes += 1;
+        let mut acc = StageAccumulator::new(&header());
+        assert!(matches!(
+            acc.apply(&d),
+            Err(DeltaError::Checksum { stage: 0, seq: 0 })
+        ));
+    }
+
+    #[test]
+    fn seq_gap_detected() {
+        let a = base_dump();
+        let d = diff_dump(0, 3, None, &a).unwrap();
+        let mut acc = StageAccumulator::new(&header());
+        assert!(matches!(
+            acc.apply(&d),
+            Err(DeltaError::SeqGap {
+                stage: 0,
+                expected: 0,
+                got: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn remap_proc_tracks_dump_remap() {
+        let b = grown_dump();
+        let map = |p: u32| if p == 1 { Some(7) } else { None };
+        let d = diff_dump(0, 0, None, &b).unwrap().with_remapped_proc(5, &map);
+        let mut acc = StageAccumulator::new(&StreamStage {
+            proc: 7,
+            stage_name: "app".into(),
+        });
+        acc.apply(&d).unwrap();
+        assert_eq!(acc.to_dump(), b.with_remapped_proc(&map));
+        assert_eq!(d.stage, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "append-only")]
+    fn shrinking_table_panics() {
+        let a = grown_dump();
+        let b = base_dump();
+        diff_dump(0, 1, Some(&a), &b);
+    }
+}

@@ -1,0 +1,92 @@
+//! The one FNV-1a 64-bit hash used everywhere a stable fingerprint is
+//! needed.
+//!
+//! Several subsystems need a hash that is a pure function of the bytes
+//! fed to it — never of interning order, table state, or the std
+//! `Hasher` (whose keys are unspecified across releases): context
+//! value sharding, pipeline shard routing, report fingerprints, chaos
+//! scenario fingerprints, and streaming delta checksums. They all
+//! share this implementation so the constants and byte order cannot
+//! drift apart between call sites.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// Incremental FNV-1a 64-bit hasher.
+///
+/// The digest is defined purely by the concatenation of the byte
+/// streams passed to [`Fnv64::write`]; `write_u64` is shorthand for
+/// writing the value's little-endian bytes.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// A hasher seeded with the standard offset basis.
+    pub fn new() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+
+    /// Folds `bytes` into the digest.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds the little-endian bytes of `v` into the digest.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot FNV-1a 64 over a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut h = Fnv64::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv1a(b"foobar"));
+    }
+
+    #[test]
+    fn write_u64_is_le_bytes() {
+        let mut a = Fnv64::new();
+        a.write_u64(0x0102_0304_0506_0708);
+        let mut b = Fnv64::new();
+        b.write(&[8, 7, 6, 5, 4, 3, 2, 1]);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -43,9 +43,11 @@ pub mod cct;
 pub mod context;
 pub mod cost;
 pub mod crosstalk;
+pub mod delta;
 pub mod dumpjson;
 pub mod events;
 pub mod frame;
+pub mod hash;
 pub mod ids;
 pub mod ipc;
 pub mod oracle;
@@ -64,7 +66,9 @@ pub use context::{
     ShardedCtxId, TransactionContext,
 };
 pub use crosstalk::{CrosstalkMatrix, CrosstalkRecorder, CrosstalkReport, OriginKey, WaitStats};
+pub use delta::{diff_dump, DeltaSink, EpochBatch, StageAccumulator, StageDelta, StreamHeader};
 pub use frame::{FrameId, FrameKind, FrameTable, SharedFrameTable};
+pub use hash::{fnv1a, Fnv64};
 pub use ids::{ChanId, LockId, LockMode, ProcId, ThreadId};
 pub use oracle::{check_all, Evidence, ProgressState, Violation};
 pub use pipeline::{

@@ -432,26 +432,15 @@ struct CctAnnotation {
 
 /// FNV-1a over a synopsis value, reduced to a shard index.
 fn syn_shard(raw: u32, shards: usize) -> usize {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in raw.to_le_bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    (h % shards as u64) as usize
+    (crate::hash::fnv1a(&raw.to_le_bytes()) % shards as u64) as usize
 }
 
 /// FNV-1a over an origin key, reduced to a shard index.
 fn origin_shard(k: OriginKey, shards: usize) -> usize {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in (k.0 as u64)
-        .to_le_bytes()
-        .into_iter()
-        .chain((k.1 as u64).to_le_bytes())
-    {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    (h % shards as u64) as usize
+    let mut h = crate::hash::Fnv64::new();
+    h.write_u64(k.0 as u64);
+    h.write_u64(k.1 as u64);
+    (h.finish() % shards as u64) as usize
 }
 
 /// The origin computed in the stitch phase for a stage-local context
@@ -693,18 +682,11 @@ impl PipelineReport {
     /// text, crosstalk text, dump JSON). Equal fingerprints across
     /// worker counts is the bench's divergence gate.
     pub fn fingerprint(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for bytes in [
-            self.stitched_text().as_bytes(),
-            self.crosstalk_text().as_bytes(),
-            self.dumps_json.as_bytes(),
-        ] {
-            for &b in bytes {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x100_0000_01b3);
-            }
-        }
-        h
+        let mut h = crate::hash::Fnv64::new();
+        h.write(self.stitched_text().as_bytes());
+        h.write(self.crosstalk_text().as_bytes());
+        h.write(self.dumps_json.as_bytes());
+        h.finish()
     }
 
     /// Total deterministic work units across all phases.

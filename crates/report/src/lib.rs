@@ -12,13 +12,18 @@
 //!   contexts with the TPC-W interaction that produced them, and the
 //!   Table 1 assembly;
 //! - [`json`]: profile dump/load, the paper's "writes the profile data
-//!   to disk … final presentation phase".
+//!   to disk … final presentation phase";
+//! - [`live`]: point-in-time snapshots of the streaming collector
+//!   (top-k paths, tier breakdowns, crosstalk hotspots, lag).
 
 #![warn(missing_docs)]
 
 pub mod crosstalk;
 pub mod diff;
 pub mod json;
+pub mod live;
 pub mod render;
 pub mod table;
 pub mod tpcw;
+
+pub use live::{render_live_snapshot, Hotspot, LagStats, LiveSnapshot, TierSlice, TopPath};

@@ -1,0 +1,196 @@
+//! Live collector snapshot rendering.
+//!
+//! The streaming collector (`whodunit-collector`) answers queries at
+//! any epoch — top-k transaction paths by cost, per-origin tier
+//! latency breakdown, crosstalk hotspots — and packages the answers as
+//! a [`LiveSnapshot`]: plain presentation data, already labeled and
+//! ordered, with no collector internals attached. This module renders
+//! that snapshot as deterministic text (the golden-file surface for
+//! the streaming tier).
+
+use std::fmt::Write as _;
+
+/// Ingest-side accounting: how much the collector has consumed and how
+/// far behind the emitting tiers it has fallen.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LagStats {
+    /// Epoch batches ingested so far.
+    pub batches: u64,
+    /// Individual change events ingested so far.
+    pub events: u64,
+    /// Sequence gaps detected (batches lost or reordered).
+    pub seq_gaps: u64,
+    /// Batches currently queued but not yet processed.
+    pub queued: u64,
+    /// High-water mark of the ingest queue depth.
+    pub peak_queued: u64,
+    /// Offers rejected because the ingest queue was full.
+    pub throttled: u64,
+}
+
+/// One entry of the top-k transaction paths by cost.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TopPath {
+    /// Origin label (`stage:context`).
+    pub origin: String,
+    /// Total inclusive cycles across the origin's merged CCT.
+    pub cycles: u64,
+    /// Total samples across the origin's merged CCT.
+    pub samples: u64,
+    /// Hottest call path, root-first frame names.
+    pub path: Vec<String>,
+}
+
+/// Per-origin tier latency breakdown.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TierSlice {
+    /// Origin label (`stage:context`).
+    pub origin: String,
+    /// `(stage name, cycles attributed)` in stage order.
+    pub stages: Vec<(String, u64)>,
+}
+
+/// One crosstalk hotspot: an ordered waiter/holder origin pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hotspot {
+    /// Waiting origin label.
+    pub waiter: String,
+    /// Blamed holding origin label.
+    pub holder: String,
+    /// Number of waits.
+    pub count: u64,
+    /// Total cycles waited.
+    pub total_wait: u64,
+}
+
+/// A point-in-time view of the streaming collector.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LiveSnapshot {
+    /// Epoch the snapshot was taken at.
+    pub epoch: u64,
+    /// Virtual time (cycles) at the end of that epoch.
+    pub now: u64,
+    /// Origins currently resident (in-memory, still accumulating).
+    pub resident_origins: u64,
+    /// Origins evicted into the compact finalized store.
+    pub finalized_origins: u64,
+    /// High-water mark of resident origins.
+    pub peak_resident: u64,
+    /// Total evictions performed (revived origins count again).
+    pub evictions: u64,
+    /// Origin walks still blocked on an unseen synopsis.
+    pub pending_walks: u64,
+    /// Request edges still blocked on an unseen synopsis.
+    pub pending_edges: u64,
+    /// Ingest/backpressure accounting.
+    pub lag: LagStats,
+    /// Top-k transaction paths by cost, highest first.
+    pub top_paths: Vec<TopPath>,
+    /// Tier breakdowns for the same origins, same order.
+    pub tiers: Vec<TierSlice>,
+    /// Crosstalk hotspots, highest total wait first.
+    pub hotspots: Vec<Hotspot>,
+}
+
+/// Renders a [`LiveSnapshot`] as deterministic text.
+pub fn render_live_snapshot(s: &LiveSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== live collector snapshot @ epoch {} (t={}) ==",
+        s.epoch, s.now
+    );
+    let _ = writeln!(
+        out,
+        "origins: {} resident, {} finalized, peak {}, evictions {}",
+        s.resident_origins, s.finalized_origins, s.peak_resident, s.evictions
+    );
+    let _ = writeln!(
+        out,
+        "pending: {} walks, {} edges",
+        s.pending_walks, s.pending_edges
+    );
+    let _ = writeln!(
+        out,
+        "ingest: {} batches, {} events, {} seq gaps, queue {} (peak {}), throttled {}",
+        s.lag.batches, s.lag.events, s.lag.seq_gaps, s.lag.queued, s.lag.peak_queued, s.lag.throttled
+    );
+    let _ = writeln!(out, "\ntop transaction paths by cost:");
+    for (i, t) in s.top_paths.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  {}. {}  cycles {} samples {}",
+            i + 1,
+            t.origin,
+            t.cycles,
+            t.samples
+        );
+        if !t.path.is_empty() {
+            let _ = writeln!(out, "     {}", t.path.join(" -> "));
+        }
+    }
+    let _ = writeln!(out, "\ntier breakdown:");
+    for t in &s.tiers {
+        let cells: Vec<String> = t
+            .stages
+            .iter()
+            .map(|(name, cy)| format!("{name} {cy}"))
+            .collect();
+        let _ = writeln!(out, "  {}: {}", t.origin, cells.join(" | "));
+    }
+    let _ = writeln!(out, "\ncrosstalk hotspots:");
+    for h in &s.hotspots {
+        let _ = writeln!(
+            out,
+            "  {}  <-  {}  waits {} total {}",
+            h.waiter, h.holder, h.count, h.total_wait
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_every_section() {
+        let s = LiveSnapshot {
+            epoch: 3,
+            now: 9000,
+            resident_origins: 2,
+            finalized_origins: 5,
+            peak_resident: 4,
+            evictions: 6,
+            pending_walks: 1,
+            pending_edges: 0,
+            lag: LagStats {
+                batches: 4,
+                events: 120,
+                ..LagStats::default()
+            },
+            top_paths: vec![TopPath {
+                origin: "squid:client_http_request".into(),
+                cycles: 500,
+                samples: 5,
+                path: vec!["client_http_request".into(), "do_query".into()],
+            }],
+            tiers: vec![TierSlice {
+                origin: "squid:client_http_request".into(),
+                stages: vec![("squid".into(), 100), ("mysql".into(), 400)],
+            }],
+            hotspots: vec![Hotspot {
+                waiter: "squid:a".into(),
+                holder: "squid:b".into(),
+                count: 2,
+                total_wait: 90,
+            }],
+        };
+        let text = render_live_snapshot(&s);
+        assert!(text.contains("epoch 3"));
+        assert!(text.contains("1. squid:client_http_request  cycles 500 samples 5"));
+        assert!(text.contains("client_http_request -> do_query"));
+        assert!(text.contains("squid 100 | mysql 400"));
+        assert!(text.contains("squid:a  <-  squid:b  waits 2 total 90"));
+    }
+}

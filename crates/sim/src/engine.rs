@@ -28,6 +28,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::fmt;
 use std::rc::Rc;
+use whodunit_core::delta::{diff_dump, DeltaSink, EpochBatch, StreamHeader, StreamStage};
 use whodunit_core::frame::{shared_frame_table, FrameId, SharedFrameTable};
 use whodunit_core::ids::{ChanId, LockId, LockMode, ProcId, ThreadId};
 use whodunit_core::rt::{NullRuntime, Runtime};
@@ -643,6 +644,80 @@ impl Sim {
     /// ([`RunOutcome::Idle`] on a clean drain).
     pub fn run_to_idle_outcome(&mut self) -> RunOutcome {
         self.run_until_outcome(Cycles::MAX)
+    }
+
+    /// Runs to `limit` like [`Sim::run_until_outcome`], but in epochs
+    /// of `epoch_len` virtual cycles, streaming each epoch's per-stage
+    /// profile increment to `sink`.
+    ///
+    /// `sink.on_start` fires once with the fixed stage set (profiled
+    /// processes in process-id order — the same order
+    /// [`Sim::collect_dumps`] uses), then `sink.on_batch` fires once
+    /// per epoch with sequence-numbered [`whodunit_core::delta`]
+    /// batches, including a final partial epoch when the run ends
+    /// early (idle, deadlock, livelock) or `limit` is not a multiple
+    /// of `epoch_len`.
+    ///
+    /// Chunked execution is exact: the event heap is ordered by
+    /// `(time, seq)`, the ready queue is always drained before the
+    /// heap is popped (so it is empty at every epoch boundary), and
+    /// hitting an epoch boundary only pushes the peeked event back —
+    /// so the schedule, and therefore every profile, is bit-identical
+    /// to a single `run_until_outcome(limit)` call. Streaming changes
+    /// *when* profile state is observed, never what it is.
+    pub fn run_streaming(
+        &mut self,
+        limit: Cycles,
+        epoch_len: Cycles,
+        sink: &mut dyn DeltaSink,
+    ) -> RunOutcome {
+        assert!(epoch_len > 0, "epoch_len must be positive");
+        let header = StreamHeader {
+            stages: self
+                .procs
+                .iter()
+                .filter_map(|p| {
+                    p.rt.borrow().dump().map(|d| StreamStage {
+                        proc: d.proc,
+                        stage_name: d.stage_name,
+                    })
+                })
+                .collect(),
+        };
+        sink.on_start(&header);
+        let mut prev: Vec<Option<whodunit_core::stitch::StageDump>> =
+            vec![None; header.stages.len()];
+        let mut seqs: Vec<u64> = vec![0; header.stages.len()];
+        let mut epoch: u64 = 0;
+        loop {
+            let end = self.now.saturating_add(epoch_len).min(limit);
+            let outcome = self.run_until_outcome(end);
+            let dumps = self.collect_dumps();
+            assert_eq!(
+                dumps.len(),
+                header.stages.len(),
+                "profiled stage set changed mid-run"
+            );
+            let mut deltas = Vec::new();
+            for (i, cur) in dumps.iter().enumerate() {
+                if let Some(d) = diff_dump(i, seqs[i], prev[i].as_ref(), cur) {
+                    seqs[i] += 1;
+                    deltas.push(d);
+                }
+            }
+            prev = dumps.into_iter().map(Some).collect();
+            sink.on_batch(EpochBatch {
+                epoch,
+                seq: epoch,
+                end: self.now,
+                deltas,
+            });
+            epoch += 1;
+            match outcome {
+                RunOutcome::ReachedLimit if self.now < limit => continue,
+                other => return other,
+            }
+        }
     }
 
     /// Step accounting for the livelock bound: counts a resume against

@@ -24,11 +24,24 @@ cargo test --workspace -q -- --test-threads=1
 cargo test -q -p whodunit-core --test parallel_diff
 cargo test -q --test golden_report
 
+# The streaming-collector gates:
+# - differential: streaming collector vs batch pipeline byte-identity
+#   over the same 36-scenario matrix (end-state lock);
+# - golden: live-query snapshot rendering, mid-run + final epoch
+#   (regenerate intentionally with UPDATE_GOLDEN=1).
+cargo test -q -p whodunit-collector --test streaming_diff
+cargo test -q --test golden_collector
+
 cargo clippy --workspace -- -D warnings
 
 # Pipeline smoke: sweep worker counts {1, 2, 4} over a small fleet and
 # fail on any serial/parallel divergence.
 cargo run --release -q -p whodunit-bench --bin pipeline -- --smoke --out target/BENCH_pipeline_smoke.json
+
+# Collector smoke: ingest a staggered 12-replica delta stream at two
+# retention windows; fail on any streaming/batch divergence, leaked
+# pending state, or a resident peak that reaches the origin total.
+cargo run --release -q -p whodunit-bench --bin collectord -- --smoke --out target/BENCH_collector_smoke.json
 
 # Chaos smoke: the explorer's own pipeline check (find -> shrink ->
 # record -> replay on a planted defect), then a bounded fuzz sweep —

@@ -17,11 +17,14 @@
 //!   Haboob-like SEDA server, Tomcat-like appserver, TPC-W assembly).
 //! - [`baselines`] — csprof-only and gprof-like comparator runtimes.
 //! - [`report`] — rendering of transactional profiles and tables.
+//! - [`collector`] — the online streaming collector tier: incremental
+//!   stitching, bounded-memory aggregation, live queries.
 //!
 //! See `examples/quickstart.rs` for a first end-to-end run.
 
 pub use whodunit_apps as apps;
 pub use whodunit_baselines as baselines;
+pub use whodunit_collector as collector;
 pub use whodunit_core as core;
 pub use whodunit_report as report;
 pub use whodunit_sim as sim;
