@@ -313,7 +313,7 @@ pub fn run_dnsd(cfg: DnsConfig) -> DnsReport {
     let server_m = sim.add_machine(1);
     let net_m = sim.add_machine(2);
 
-    let pr = make_runtime(cfg.rt, whodunit_core::ids::ProcId(0), "dnsd", sim.frames());
+    let pr = make_runtime(cfg.rt, whodunit_core::ids::ProcId(0), "dnsd", sim.frames().clone());
     let server_proc = sim.add_process("dnsd", pr.rt.clone());
     let other_proc = sim.add_unprofiled_process("net");
 

@@ -490,7 +490,7 @@ pub fn run_httpd(cfg: HttpdConfig) -> HttpdReport {
     let qcond = sim.add_cond();
     let alock = sim.add_lock();
 
-    let pr = make_runtime(cfg.rt, ProcId(0), "httpd", sim.frames());
+    let pr = make_runtime(cfg.rt, ProcId(0), "httpd", sim.frames().clone());
     let httpd_proc = sim.add_process("httpd", pr.rt.clone());
     let client_proc = sim.add_unprofiled_process("clients");
 

@@ -707,7 +707,7 @@ pub fn run_proxy(cfg: ProxyConfig) -> ProxyReport {
     let origin_m = sim.add_machine(2);
     let client_m = sim.add_machine(8);
 
-    let pr = make_runtime(cfg.rt, whodunit_core::ids::ProcId(0), "squid", sim.frames());
+    let pr = make_runtime(cfg.rt, whodunit_core::ids::ProcId(0), "squid", sim.frames().clone());
     let proxy_proc = sim.add_process("squid", pr.rt.clone());
     let origin_proc = sim.add_unprofiled_process("origin");
     let client_proc = sim.add_unprofiled_process("clients");

@@ -238,7 +238,7 @@ pub fn run_haboob(cfg: HaboobConfig) -> HaboobReport {
         cfg.rt,
         whodunit_core::ids::ProcId(0),
         "haboob",
-        sim.frames(),
+        sim.frames().clone(),
     );
     let server_proc = sim.add_process("haboob", pr.rt.clone());
     let client_proc = sim.add_unprofiled_process("clients");

@@ -581,9 +581,9 @@ fn run_tpcw_inner(
     let tomcat_m = sim.add_machine(2);
     let mysql_m = sim.add_machine(1);
 
-    let squid_pr = make_runtime(cfg.rt, ProcId(0), "squid", sim.frames());
-    let tomcat_pr = make_runtime(cfg.rt, ProcId(1), "tomcat", sim.frames());
-    let mysql_pr = make_runtime(cfg.rt, ProcId(2), "mysql", sim.frames());
+    let squid_pr = make_runtime(cfg.rt, ProcId(0), "squid", sim.frames().clone());
+    let tomcat_pr = make_runtime(cfg.rt, ProcId(1), "tomcat", sim.frames().clone());
+    let mysql_pr = make_runtime(cfg.rt, ProcId(2), "mysql", sim.frames().clone());
     let squid_proc = sim.add_process("squid", squid_pr.rt.clone());
     let tomcat_proc = sim.add_process("tomcat", tomcat_pr.rt.clone());
     let mysql_proc = sim.add_process("mysql", mysql_pr.rt.clone());

@@ -22,14 +22,13 @@
 //!   [--stagger E] [--windows W1,W2,...] [--out FILE]` — full sweep.
 //! - `collectord --smoke` — small fixed configuration; CI gate.
 
-use std::collections::HashMap;
 use std::process::ExitCode;
 use std::time::Instant;
 use whodunit_apps::tpcw::run_tpcw_streaming;
-use whodunit_bench::{clamp_replicas, fleet_config, header, write_json_file};
+use whodunit_bench::{clamp_replicas, fleet_config, fleet_stream, header, write_json_file};
 use whodunit_collector::{Collector, CollectorConfig, CollectorOutput};
 use whodunit_core::cost::CPU_HZ;
-use whodunit_core::delta::{EpochBatch, RecordingSink, StreamHeader, StreamStage};
+use whodunit_core::delta::RecordingSink;
 use whodunit_core::pipeline::{analyze, replicate_fleet, PipelineConfig, PipelineReport};
 
 struct Args {
@@ -99,58 +98,6 @@ fn parse_args() -> Result<Args, String> {
     a.windows.sort_unstable();
     a.windows.dedup();
     Ok(a)
-}
-
-/// Replicates a recorded single-stack delta stream into a staggered
-/// fleet stream: replica `r`'s batches are process-remapped into the
-/// `r*g..r*g+g` stage range (mirroring `replicate_fleet`) and start
-/// `r * stagger` epochs late.
-fn fleet_stream(
-    hdr: &StreamHeader,
-    batches: &[EpochBatch],
-    replicas: usize,
-    stagger: u64,
-) -> (StreamHeader, Vec<EpochBatch>) {
-    let g = hdr.stages.len();
-    let proc_index: HashMap<u32, usize> = hdr
-        .stages
-        .iter()
-        .enumerate()
-        .map(|(i, s)| (s.proc, i))
-        .collect();
-    let mut stages = Vec::with_capacity(g * replicas);
-    for r in 0..replicas {
-        for s in &hdr.stages {
-            stages.push(StreamStage {
-                proc: (r * g + proc_index[&s.proc]) as u32,
-                stage_name: s.stage_name.clone(),
-            });
-        }
-    }
-    let local_epochs = batches.len() as u64;
-    let total = local_epochs + (replicas as u64 - 1) * stagger;
-    let mut out = Vec::with_capacity(total as usize);
-    for ge in 0..total {
-        let mut deltas = Vec::new();
-        for r in 0..replicas {
-            let start = r as u64 * stagger;
-            if ge < start || ge - start >= local_epochs {
-                continue;
-            }
-            let b = &batches[(ge - start) as usize];
-            let map = |p: u32| proc_index.get(&p).map(|&i| (r * g + i) as u32);
-            for d in &b.deltas {
-                deltas.push(d.with_remapped_proc(r * g + d.stage, &map));
-            }
-        }
-        out.push(EpochBatch {
-            epoch: ge,
-            seq: ge,
-            end: (ge + 1) * CPU_HZ,
-            deltas,
-        });
-    }
-    (StreamHeader { stages }, out)
 }
 
 struct StreamInfo {

@@ -119,11 +119,11 @@ fn main() {
     let m = sim.add_machine(2);
     let caller_rt = Rc::new(RefCell::new(Whodunit::new(
         WhodunitConfig::new(ProcId(0), "caller"),
-        sim.frames(),
+        sim.frames().clone(),
     )));
     let callee_rt = Rc::new(RefCell::new(Whodunit::new(
         WhodunitConfig::new(ProcId(1), "callee"),
-        sim.frames(),
+        sim.frames().clone(),
     )));
     let pc = sim.add_process("caller", caller_rt.clone());
     let ps = sim.add_process("callee", callee_rt.clone());

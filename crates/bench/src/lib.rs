@@ -11,8 +11,10 @@
 //! carrying per-bin copies: [`fleet_config`], [`clamp_replicas`],
 //! [`run_fleet`], [`json_escape`], and [`write_json_file`].
 
+use std::collections::HashMap;
 use whodunit_apps::tpcw::{run_tpcw, TpcwConfig, TpcwReport};
 use whodunit_core::cost::CPU_HZ;
+use whodunit_core::delta::{EpochBatch, StreamHeader, StreamStage};
 use whodunit_core::pipeline::replicate_fleet;
 use whodunit_core::stitch::StageDump;
 
@@ -58,6 +60,59 @@ pub fn run_fleet(cfg: TpcwConfig, replicas: usize) -> (TpcwReport, Vec<StageDump
     assert_eq!(report.dumps.len(), 3, "all three tiers must dump");
     let fleet = replicate_fleet(&report.dumps, replicas);
     (report, fleet)
+}
+
+/// Replicates a recorded single-stack delta stream into a staggered
+/// fleet stream: replica `r`'s batches are process-remapped into the
+/// `r*g..r*g+g` stage range (mirroring `replicate_fleet`) and start
+/// `r * stagger` epochs late. Shared by the streaming-ingest benches
+/// (`collectord`, `hotpath`).
+pub fn fleet_stream(
+    hdr: &StreamHeader,
+    batches: &[EpochBatch],
+    replicas: usize,
+    stagger: u64,
+) -> (StreamHeader, Vec<EpochBatch>) {
+    let g = hdr.stages.len();
+    let proc_index: HashMap<u32, usize> = hdr
+        .stages
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.proc, i))
+        .collect();
+    let mut stages = Vec::with_capacity(g * replicas);
+    for r in 0..replicas {
+        for s in &hdr.stages {
+            stages.push(StreamStage {
+                proc: (r * g + proc_index[&s.proc]) as u32,
+                stage_name: s.stage_name.clone(),
+            });
+        }
+    }
+    let local_epochs = batches.len() as u64;
+    let total = local_epochs + (replicas as u64 - 1) * stagger;
+    let mut out = Vec::with_capacity(total as usize);
+    for ge in 0..total {
+        let mut deltas = Vec::new();
+        for r in 0..replicas {
+            let start = r as u64 * stagger;
+            if ge < start || ge - start >= local_epochs {
+                continue;
+            }
+            let b = &batches[(ge - start) as usize];
+            let map = |p: u32| proc_index.get(&p).map(|&i| (r * g + i) as u32);
+            for d in &b.deltas {
+                deltas.push(d.with_remapped_proc(r * g + d.stage, &map));
+            }
+        }
+        out.push(EpochBatch {
+            epoch: ge,
+            seq: ge,
+            end: (ge + 1) * CPU_HZ,
+            deltas,
+        });
+    }
+    (StreamHeader { stages }, out)
 }
 
 /// Escapes a string for embedding in a JSON literal.

@@ -53,6 +53,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use whodunit_core::cct::{Cct, CctNodeId, Metrics};
+use whodunit_core::hash::FnvHashMap;
 use whodunit_core::context::{
     ContextAtom, ContextShard, ShardedContextTable, ShardedCtxId, TransactionContext,
 };
@@ -214,9 +215,12 @@ struct StageState {
     acc: StageAccumulator,
     /// Per context index: the resolved origin, once the walk settles.
     bindings: Vec<Option<OriginKey>>,
-    /// Per context index (of contexts with CCT mass folded): dump CCT
-    /// node index → node id inside the origin's merged CCT.
-    fold: HashMap<u32, Vec<CctNodeId>>,
+    /// Per context index, `Some` once the context's CCT mass is folded:
+    /// dump CCT node index → node id inside the origin's merged CCT.
+    fold: Vec<Option<Vec<CctNodeId>>>,
+    /// Stage-local frame index → collector-global frame id, kept in
+    /// sync as deltas arrive so folds never rebuild the mapping.
+    frame_map: Vec<u32>,
 }
 
 /// The streaming collector. See the crate docs for the model.
@@ -226,25 +230,28 @@ pub struct Collector {
     header: StreamHeader,
     stages: Vec<StageState>,
     /// Raw synopsis → `(stage, ctx)` that minted it. Insert-only.
-    syn_index: HashMap<u32, (usize, u32)>,
+    /// FNV-hashed: probed on every origin-walk hop and context mint.
+    syn_index: FnvHashMap<u32, (usize, u32)>,
     /// Missing raw synopsis → walk start contexts parked on it.
-    pending_walks: HashMap<u32, Vec<(usize, u32)>>,
+    pending_walks: FnvHashMap<u32, Vec<(usize, u32)>>,
     /// Missing raw synopsis → receiving `(stage, ctx)` request edges
     /// parked on it.
-    pending_edges: HashMap<u32, Vec<(usize, u32)>>,
+    pending_edges: FnvHashMap<u32, Vec<(usize, u32)>>,
     edges: Vec<RequestEdge>,
     /// Crosstalk increments whose waiter or holder origin is not yet
     /// resolved: `(stage, waiter, holder, count, total_wait)`; a
     /// waiter-only row uses `holder == u32::MAX` as the marker.
     deferred_xt: Vec<(usize, u32, u32, u64, u64)>,
-    xt_pairs: BTreeMap<(OriginKey, OriginKey), WaitStats>,
-    xt_waiters: BTreeMap<OriginKey, WaitStats>,
-    resident: BTreeMap<OriginKey, ResidentOrigin>,
-    finalized: BTreeMap<OriginKey, FinalizedOrigin>,
+    // Hash-indexed for the per-fold/per-row hot lookups; every
+    // consumer that emits ordered output sorts explicitly.
+    xt_pairs: FnvHashMap<(OriginKey, OriginKey), WaitStats>,
+    xt_waiters: FnvHashMap<OriginKey, WaitStats>,
+    resident: FnvHashMap<OriginKey, ResidentOrigin>,
+    finalized: FnvHashMap<OriginKey, FinalizedOrigin>,
     /// Collector-local frame intern table (union of stage frames in
     /// arrival order; remapped to the global sorted table at finalize).
     frames: Vec<String>,
-    frame_ids: HashMap<String, u32>,
+    frame_ids: FnvHashMap<String, u32>,
     epoch: u64,
     now: u64,
     queue: VecDeque<EpochBatch>,
@@ -263,17 +270,17 @@ impl Collector {
             cfg,
             header: StreamHeader::default(),
             stages: Vec::new(),
-            syn_index: HashMap::new(),
-            pending_walks: HashMap::new(),
-            pending_edges: HashMap::new(),
+            syn_index: FnvHashMap::default(),
+            pending_walks: FnvHashMap::default(),
+            pending_edges: FnvHashMap::default(),
             edges: Vec::new(),
             deferred_xt: Vec::new(),
-            xt_pairs: BTreeMap::new(),
-            xt_waiters: BTreeMap::new(),
-            resident: BTreeMap::new(),
-            finalized: BTreeMap::new(),
+            xt_pairs: FnvHashMap::default(),
+            xt_waiters: FnvHashMap::default(),
+            resident: FnvHashMap::default(),
+            finalized: FnvHashMap::default(),
             frames: Vec::new(),
-            frame_ids: HashMap::new(),
+            frame_ids: FnvHashMap::default(),
             epoch: 0,
             now: 0,
             queue: VecDeque::new(),
@@ -303,7 +310,8 @@ impl Collector {
             .map(|s| StageState {
                 acc: StageAccumulator::new(s),
                 bindings: Vec::new(),
-                fold: HashMap::new(),
+                fold: Vec::new(),
+                frame_map: Vec::new(),
             })
             .collect();
     }
@@ -390,11 +398,29 @@ impl Collector {
         for f in &d.new_frames {
             self.intern_frame(f);
         }
+        // Extend the stage's frame map for frames this delta added;
+        // every stage frame is interned by now, so the entries are
+        // final and folds can index the map directly.
+        {
+            let st = &mut self.stages[d.stage];
+            for i in st.frame_map.len()..st.acc.frames.len() {
+                let id = self
+                    .frame_ids
+                    .get(&st.acc.frames[i])
+                    .copied()
+                    .unwrap_or(u32::MAX);
+                st.frame_map.push(id);
+            }
+        }
         // CCT increments for contexts whose mass is already folded.
         // Unbound contexts are skipped here: their mass stays in the
         // accumulator and is folded wholesale when the walk settles.
         for c in &d.ccts {
-            if self.stages[d.stage].fold.contains_key(&c.ctx) {
+            if self.stages[d.stage]
+                .fold
+                .get(c.ctx as usize)
+                .is_some_and(Option::is_some)
+            {
                 self.fold_delta(d.stage, c);
             } else if self.stages[d.stage].bindings.get(c.ctx as usize).copied().flatten().is_some()
             {
@@ -551,23 +577,26 @@ impl Collector {
     /// finalized store if needed) and returns it for folding.
     fn touch_resident(&mut self, origin: OriginKey) -> &mut ResidentOrigin {
         let epoch = self.epoch;
-        if !self.resident.contains_key(&origin) {
-            let entry = match self.finalized.remove(&origin) {
-                Some(f) => {
-                    self.stats.revivals += 1;
-                    ResidentOrigin {
-                        cct: rebuild_cct(&f.nodes),
-                        stages: f.stages,
-                        tier_cycles: f.tier_cycles,
-                        last_active: epoch,
+        let prior = self.resident.len() as u64;
+        let e = match self.resident.entry(origin) {
+            std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let entry = match self.finalized.remove(&origin) {
+                    Some(f) => {
+                        self.stats.revivals += 1;
+                        ResidentOrigin {
+                            cct: rebuild_cct(&f.nodes),
+                            stages: f.stages,
+                            tier_cycles: f.tier_cycles,
+                            last_active: epoch,
+                        }
                     }
-                }
-                None => ResidentOrigin::new(epoch),
-            };
-            self.resident.insert(origin, entry);
-            self.stats.peak_resident = self.stats.peak_resident.max(self.resident.len() as u64);
-        }
-        let e = self.resident.get_mut(&origin).expect("just inserted");
+                    None => ResidentOrigin::new(epoch),
+                };
+                self.stats.peak_resident = self.stats.peak_resident.max(prior + 1);
+                v.insert(entry)
+            }
+        };
         e.last_active = epoch;
         e
     }
@@ -576,18 +605,19 @@ impl Collector {
     /// origin's aggregate, creating the node map for later
     /// incremental folds. Called once, when the binding settles.
     fn fold_full(&mut self, si: usize, ctx: u32) {
-        debug_assert!(!self.stages[si].fold.contains_key(&ctx));
+        debug_assert!(self
+            .stages[si]
+            .fold
+            .get(ctx as usize)
+            .is_none_or(Option::is_none));
         let origin = self.stages[si].bindings[ctx as usize].expect("bound before fold");
         let nodes: Vec<_> = match self.stages[si].acc.cct_nodes(ctx) {
             Some(n) => n.to_vec(),
             None => return,
         };
-        let frame_of: Vec<u32> = self.stages[si]
-            .acc
-            .frames
-            .iter()
-            .map(|f| self.frame_ids.get(f).copied().unwrap_or(u32::MAX))
-            .collect();
+        // Borrow the cached stage frame map for the duration of the
+        // fold (taken rather than cloned; restored on every exit).
+        let frame_of = std::mem::take(&mut self.stages[si].frame_map);
         let mut cycles = 0u64;
         let mut map: Vec<CctNodeId> = Vec::with_capacity(nodes.len());
         {
@@ -600,10 +630,12 @@ impl Collector {
                         // Malformed node: the dump will fail validation
                         // at finalize and the fallback takes over.
                         self.broken = true;
+                        self.stages[si].frame_map = frame_of;
                         return;
                     };
                     if p as usize >= map.len() {
                         self.broken = true;
+                        self.stages[si].frame_map = frame_of;
                         return;
                     }
                     let cf = frame_of.get(f as usize).copied().unwrap_or(u32::MAX);
@@ -623,7 +655,12 @@ impl Collector {
             entry.stages.insert(si);
             *entry.tier_cycles.entry(si).or_insert(0) += cycles;
         }
-        self.stages[si].fold.insert(ctx, map);
+        let st = &mut self.stages[si];
+        st.frame_map = frame_of;
+        if st.fold.len() <= ctx as usize {
+            st.fold.resize_with(ctx as usize + 1, || None);
+        }
+        st.fold[ctx as usize] = Some(map);
     }
 
     /// Folds one CCT increment through the context's existing node
@@ -636,20 +673,20 @@ impl Collector {
                 return;
             }
         };
-        let map_len = self.stages[si].fold[&c.ctx].len();
+        let map_len = self.stages[si].fold[c.ctx as usize]
+            .as_ref()
+            .expect("caller checked the fold map exists")
+            .len();
         if map_len != c.nodes_before as usize {
             // The fold map is synced to the accumulator after every
             // delta, so a mismatch means deltas arrived out of order.
             self.broken = true;
             return;
         }
-        let frame_of: Vec<u32> = self.stages[si]
-            .acc
-            .frames
-            .iter()
-            .map(|f| self.frame_ids.get(f).copied().unwrap_or(u32::MAX))
-            .collect();
-        let mut map = self.stages[si].fold.remove(&c.ctx).expect("checked above");
+        let frame_of = std::mem::take(&mut self.stages[si].frame_map);
+        let mut map = self.stages[si].fold[c.ctx as usize]
+            .take()
+            .expect("checked above");
         let mut cycles = 0u64;
         {
             let entry = self.touch_resident(origin);
@@ -667,12 +704,14 @@ impl Collector {
             for n in &c.new_nodes {
                 let (Some(p), Some(f)) = (n.parent, n.frame) else {
                     self.broken = true;
-                    self.stages[si].fold.insert(c.ctx, map);
+                    self.stages[si].frame_map = frame_of;
+                    self.stages[si].fold[c.ctx as usize] = Some(map);
                     return;
                 };
                 if p as usize >= map.len() {
                     self.broken = true;
-                    self.stages[si].fold.insert(c.ctx, map);
+                    self.stages[si].frame_map = frame_of;
+                    self.stages[si].fold[c.ctx as usize] = Some(map);
                     return;
                 }
                 let cf = frame_of.get(f as usize).copied().unwrap_or(u32::MAX);
@@ -691,7 +730,8 @@ impl Collector {
             entry.stages.insert(si);
             *entry.tier_cycles.entry(si).or_insert(0) += cycles;
         }
-        self.stages[si].fold.insert(c.ctx, map);
+        self.stages[si].frame_map = frame_of;
+        self.stages[si].fold[c.ctx as usize] = Some(map);
     }
 
     fn binding_of(&self, si: usize, ctx: u32) -> Option<OriginKey> {
@@ -744,12 +784,13 @@ impl Collector {
     fn evict_idle(&mut self) {
         let window = self.cfg.window_epochs.max(1);
         let epoch = self.epoch;
-        let idle: Vec<OriginKey> = self
+        let mut idle: Vec<OriginKey> = self
             .resident
             .iter()
             .filter(|(_, r)| epoch.saturating_sub(r.last_active) >= window)
             .map(|(&k, _)| k)
             .collect();
+        idle.sort_unstable();
         for k in idle {
             let r = self.resident.remove(&k).expect("listed above");
             self.finalized.insert(
@@ -1043,14 +1084,18 @@ impl Collector {
         let mut edges = std::mem::take(&mut self.edges);
         edges.sort_by_key(|e| (e.to_stage, e.to_ctx, e.from_stage, e.from_ctx));
         unresolved.sort_by_key(|u| (u.to_stage, u.to_ctx, u.missing));
-        let matrix = CrosstalkMatrix {
-            pairs: self
-                .xt_pairs
-                .iter()
-                .map(|(&(w, h), &s)| (w, h, s))
-                .collect(),
-            waiters: self.xt_waiters.iter().map(|(&w, &s)| (w, s)).collect(),
-        };
+        // The matrix is keyed output: restore the ascending key order
+        // the batch pipeline emits.
+        let mut pairs: Vec<(OriginKey, OriginKey, WaitStats)> = self
+            .xt_pairs
+            .iter()
+            .map(|(&(w, h), &s)| (w, h, s))
+            .collect();
+        pairs.sort_unstable_by_key(|&(w, h, _)| (w, h));
+        let mut waiters: Vec<(OriginKey, WaitStats)> =
+            self.xt_waiters.iter().map(|(&w, &s)| (w, s)).collect();
+        waiters.sort_unstable_by_key(|&(w, _)| w);
+        let matrix = CrosstalkMatrix { pairs, waiters };
 
         let mut dumps_json = String::from("[\n");
         for (i, d) in dumps.iter().enumerate() {

@@ -10,7 +10,6 @@
 //! demand by summing subtrees.
 
 use crate::frame::FrameId;
-use std::collections::HashMap;
 
 /// Index of a node within one [`Cct`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -42,12 +41,132 @@ impl Metrics {
     }
 }
 
+/// Sentinel for "no node" in the intra-arena links below.
+const NO_NODE: u32 = u32::MAX;
+
+/// Children a node can hold inline before spilling to the CCT's flat
+/// lookup table. Most CCT nodes have 0–2 children (call trees are
+/// deep, not bushy), so the common case needs no table probe at all.
+const INLINE_CHILDREN: usize = 2;
+
+/// One inline child entry: the child's frame and its node index.
+#[derive(Clone, Copy, Debug, Default)]
+struct InlineChild {
+    frame: u32,
+    child: u32,
+}
+
+/// A CCT node. Children are reachable two ways: the
+/// `first_child`/`next_sibling` chain enumerates them (newest first),
+/// and lookup-by-frame goes through the inline slots, falling back to
+/// the owning [`Cct`]'s spill table once the inline slots are full.
+/// Compared to the previous per-node `HashMap<FrameId, CctNodeId>`,
+/// this removes a heap allocation per interior node and keeps the
+/// whole tree in one contiguous arena.
 #[derive(Clone, Debug)]
 struct Node {
     frame: Option<FrameId>,
-    parent: Option<CctNodeId>,
-    children: HashMap<FrameId, CctNodeId>,
+    parent: u32,
+    first_child: u32,
+    next_sibling: u32,
+    inline: [InlineChild; INLINE_CHILDREN],
+    inline_len: u8,
     metrics: Metrics,
+}
+
+impl Node {
+    fn new(frame: Option<FrameId>, parent: u32) -> Self {
+        Node {
+            frame,
+            parent,
+            first_child: NO_NODE,
+            next_sibling: NO_NODE,
+            inline: [InlineChild::default(); INLINE_CHILDREN],
+            inline_len: 0,
+            metrics: Metrics::default(),
+        }
+    }
+}
+
+/// One slot of a [`SpillTable`]: the packed `(parent, frame)` key and
+/// the child node index biased by one (0 = empty slot).
+#[derive(Clone, Copy, Debug, Default)]
+struct SpillSlot {
+    key: u64,
+    child_p1: u32,
+}
+
+/// The per-CCT flat child table: an open-addressed FNV map from
+/// `(parent node, frame) → child node` holding only the overflow
+/// children of bushy nodes. One table per tree (not per node), probed
+/// with linear scanning; entries are never removed.
+#[derive(Clone, Debug, Default)]
+struct SpillTable {
+    slots: Vec<SpillSlot>,
+    len: usize,
+}
+
+fn spill_key(parent: u32, frame: FrameId) -> u64 {
+    ((parent as u64) << 32) | frame.0 as u64
+}
+
+fn spill_hash(key: u64) -> u64 {
+    let mut h = crate::hash::Fnv64::new();
+    h.write_u64(key);
+    h.finish()
+}
+
+impl SpillTable {
+    fn get(&self, key: u64) -> Option<u32> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (spill_hash(key) as usize) & mask;
+        loop {
+            let s = self.slots[i];
+            if s.child_p1 == 0 {
+                return None;
+            }
+            if s.key == key {
+                return Some(s.child_p1 - 1);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Records `key → child`; the caller has established it is absent.
+    fn insert(&mut self, key: u64, child: u32) {
+        if self.slots.len() * 7 <= (self.len + 1) * 8 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (spill_hash(key) as usize) & mask;
+        while self.slots[i].child_p1 != 0 {
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = SpillSlot {
+            key,
+            child_p1: child + 1,
+        };
+        self.len += 1;
+    }
+
+    fn grow(&mut self) {
+        let cap = (self.slots.len() * 2).max(16);
+        let old = std::mem::replace(&mut self.slots, vec![SpillSlot::default(); cap]);
+        let mask = cap - 1;
+        for s in old {
+            if s.child_p1 == 0 {
+                continue;
+            }
+            let mut i = (spill_hash(s.key) as usize) & mask;
+            while self.slots[i].child_p1 != 0 {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = s;
+        }
+    }
 }
 
 /// A Calling Context Tree with per-node exclusive metrics.
@@ -68,6 +187,7 @@ struct Node {
 #[derive(Clone, Debug)]
 pub struct Cct {
     nodes: Vec<Node>,
+    spill: SpillTable,
 }
 
 impl Default for Cct {
@@ -80,12 +200,8 @@ impl Cct {
     /// Creates a CCT holding only the (frameless) root.
     pub fn new() -> Self {
         Cct {
-            nodes: vec![Node {
-                frame: None,
-                parent: None,
-                children: HashMap::new(),
-                metrics: Metrics::default(),
-            }],
+            nodes: vec![Node::new(None, NO_NODE)],
+            spill: SpillTable::default(),
         }
     }
 
@@ -106,7 +222,10 @@ impl Cct {
 
     /// The parent of `node` (`None` for the root).
     pub fn parent(&self, node: CctNodeId) -> Option<CctNodeId> {
-        self.nodes[node.0 as usize].parent
+        match self.nodes[node.0 as usize].parent {
+            NO_NODE => None,
+            p => Some(CctNodeId(p)),
+        }
     }
 
     /// Exclusive metrics at `node`.
@@ -116,23 +235,41 @@ impl Cct {
 
     /// Child of `node` for `frame`, creating it if missing.
     pub fn child(&mut self, node: CctNodeId, frame: FrameId) -> CctNodeId {
-        if let Some(&c) = self.nodes[node.0 as usize].children.get(&frame) {
+        if let Some(c) = self.find_child(node, frame) {
             return c;
         }
-        let id = CctNodeId(u32::try_from(self.nodes.len()).expect("more than u32::MAX CCT nodes"));
-        self.nodes.push(Node {
-            frame: Some(frame),
-            parent: Some(node),
-            children: HashMap::new(),
-            metrics: Metrics::default(),
-        });
-        self.nodes[node.0 as usize].children.insert(frame, id);
-        id
+        let id = u32::try_from(self.nodes.len()).expect("more than u32::MAX CCT nodes");
+        assert!(id != NO_NODE, "CCT node id space exhausted");
+        let mut n = Node::new(Some(frame), node.0);
+        n.next_sibling = self.nodes[node.0 as usize].first_child;
+        self.nodes.push(n);
+        let parent = &mut self.nodes[node.0 as usize];
+        parent.first_child = id;
+        if (parent.inline_len as usize) < INLINE_CHILDREN {
+            parent.inline[parent.inline_len as usize] = InlineChild {
+                frame: frame.0,
+                child: id,
+            };
+            parent.inline_len += 1;
+        } else {
+            self.spill.insert(spill_key(node.0, frame), id);
+        }
+        CctNodeId(id)
     }
 
     /// Child of `node` for `frame` without creating it.
     pub fn find_child(&self, node: CctNodeId, frame: FrameId) -> Option<CctNodeId> {
-        self.nodes[node.0 as usize].children.get(&frame).copied()
+        let nd = &self.nodes[node.0 as usize];
+        for s in &nd.inline[..nd.inline_len as usize] {
+            if s.frame == frame.0 {
+                return Some(CctNodeId(s.child));
+            }
+        }
+        if (nd.inline_len as usize) < INLINE_CHILDREN {
+            // The inline slots never filled, so nothing spilled either.
+            return None;
+        }
+        self.spill.get(spill_key(node.0, frame)).map(CctNodeId)
     }
 
     /// Resolves (creating as needed) the node for a full call path.
@@ -158,28 +295,34 @@ impl Cct {
     /// The call path from the root to `node` (root excluded).
     pub fn path_of(&self, node: CctNodeId) -> Vec<FrameId> {
         let mut path = Vec::new();
-        let mut cur = Some(node);
-        while let Some(n) = cur {
-            if let Some(f) = self.nodes[n.0 as usize].frame {
+        let mut cur = node.0;
+        while cur != NO_NODE {
+            if let Some(f) = self.nodes[cur as usize].frame {
                 path.push(f);
             }
-            cur = self.nodes[n.0 as usize].parent;
+            cur = self.nodes[cur as usize].parent;
         }
         path.reverse();
         path
     }
 
+    /// Pushes the sibling chain of `node`'s children onto `stack`.
+    fn push_children(&self, node: u32, stack: &mut Vec<u32>) {
+        let mut c = self.nodes[node as usize].first_child;
+        while c != NO_NODE {
+            stack.push(c);
+            c = self.nodes[c as usize].next_sibling;
+        }
+    }
+
     /// Inclusive metrics of `node`: its own plus all descendants'.
     pub fn inclusive(&self, node: CctNodeId) -> Metrics {
         let mut total = self.nodes[node.0 as usize].metrics;
-        let mut stack: Vec<CctNodeId> = self.nodes[node.0 as usize]
-            .children
-            .values()
-            .copied()
-            .collect();
+        let mut stack: Vec<u32> = Vec::new();
+        self.push_children(node.0, &mut stack);
         while let Some(n) = stack.pop() {
-            total.add(self.nodes[n.0 as usize].metrics);
-            stack.extend(self.nodes[n.0 as usize].children.values().copied());
+            total.add(self.nodes[n as usize].metrics);
+            self.push_children(n, &mut stack);
         }
         total
     }
@@ -191,13 +334,15 @@ impl Cct {
 
     /// Children of `node`, sorted by frame id for deterministic output.
     pub fn children_sorted(&self, node: CctNodeId) -> Vec<CctNodeId> {
-        let mut v: Vec<_> = self.nodes[node.0 as usize]
-            .children
-            .iter()
-            .map(|(&f, &c)| (f, c))
-            .collect();
+        let mut v: Vec<(FrameId, u32)> = Vec::new();
+        let mut c = self.nodes[node.0 as usize].first_child;
+        while c != NO_NODE {
+            let nd = &self.nodes[c as usize];
+            v.push((nd.frame.expect("non-root node has a frame"), c));
+            c = nd.next_sibling;
+        }
         v.sort_by_key(|&(f, _)| f);
-        v.into_iter().map(|(_, c)| c).collect()
+        v.into_iter().map(|(_, c)| CctNodeId(c)).collect()
     }
 
     /// Iterates over every node id (root first, then creation order).
@@ -227,9 +372,12 @@ impl Cct {
             self.nodes[mine.0 as usize]
                 .metrics
                 .add(other.nodes[theirs.0 as usize].metrics);
-            for (&f, &tc) in &other.nodes[theirs.0 as usize].children {
+            let mut tc = other.nodes[theirs.0 as usize].first_child;
+            while tc != NO_NODE {
+                let f = other.nodes[tc as usize].frame.expect("non-root node has a frame");
                 let mc = self.child(mine, f);
-                stack.push((mc, tc));
+                stack.push((mc, CctNodeId(tc)));
+                tc = other.nodes[tc as usize].next_sibling;
             }
         }
     }

@@ -20,7 +20,6 @@
 
 use crate::frame::FrameId;
 use crate::synopsis::SynChain;
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -190,6 +189,83 @@ impl TransactionContext {
     }
 }
 
+/// One slot of a [`ValueIndex`]: the value's stable hash plus its arena
+/// id biased by one so the zeroed slot means "empty".
+#[derive(Debug, Clone, Copy, Default)]
+struct IndexSlot {
+    hash: u64,
+    idp1: u32,
+}
+
+/// Open-addressed index from [`TransactionContext::stable_hash`] into an
+/// id-ordered value arena.
+///
+/// The intern tables below used to keep a second `HashMap` from the
+/// *full context value* to its id — a complete copy of every chain just
+/// to answer "seen before?". This index stores only `(hash, id)` pairs;
+/// the arena itself is the single owner of each value, and a probe
+/// compares against the arena entry only when the 64-bit hashes match.
+/// Linear probing over a power-of-two table; values are never removed.
+#[derive(Debug, Clone, Default)]
+struct ValueIndex {
+    slots: Vec<IndexSlot>,
+    len: usize,
+}
+
+impl ValueIndex {
+    /// Looks up the arena id of `value` (whose stable hash is `hash`).
+    fn get(&self, values: &[TransactionContext], hash: u64, value: &TransactionContext) -> Option<u32> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (hash as usize) & mask;
+        loop {
+            let s = self.slots[i];
+            if s.idp1 == 0 {
+                return None;
+            }
+            if s.hash == hash && values[(s.idp1 - 1) as usize] == *value {
+                return Some(s.idp1 - 1);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Records `hash → id`. The caller has already established the value
+    /// is absent (ids are dense and minted once per distinct value).
+    fn insert(&mut self, hash: u64, id: u32) {
+        if self.slots.len() * 7 <= (self.len + 1) * 8 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (hash as usize) & mask;
+        while self.slots[i].idp1 != 0 {
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = IndexSlot { hash, idp1: id + 1 };
+        self.len += 1;
+    }
+
+    /// Doubles the table, re-placing every occupied slot. Stored hashes
+    /// make this a straight re-probe — no value re-hashing.
+    fn grow(&mut self) {
+        let cap = (self.slots.len() * 2).max(16);
+        let old = std::mem::replace(&mut self.slots, vec![IndexSlot::default(); cap]);
+        let mask = cap - 1;
+        for s in old {
+            if s.idp1 == 0 {
+                continue;
+            }
+            let mut i = (s.hash as usize) & mask;
+            while self.slots[i].idp1 != 0 {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = s;
+        }
+    }
+}
+
 /// Intern table for transaction contexts.
 ///
 /// [`CtxId::ROOT`] is always present and maps to the empty context.
@@ -214,7 +290,7 @@ impl TransactionContext {
 /// ```
 #[derive(Debug)]
 pub struct ContextTable {
-    by_value: HashMap<TransactionContext, CtxId>,
+    index: ValueIndex,
     values: Vec<TransactionContext>,
     policy: ContextPolicy,
 }
@@ -229,10 +305,10 @@ impl ContextTable {
     /// Creates a table with the given normalization policy.
     pub fn new(policy: ContextPolicy) -> Self {
         let root = TransactionContext::root();
-        let mut by_value = HashMap::new();
-        by_value.insert(root.clone(), CtxId::ROOT);
+        let mut index = ValueIndex::default();
+        index.insert(root.stable_hash(), CtxId::ROOT.0);
         ContextTable {
-            by_value,
+            index,
             values: vec![root],
             policy,
         }
@@ -243,17 +319,17 @@ impl ContextTable {
         self.policy
     }
 
-    /// Interns an owned context value.
+    /// Interns an owned context value. The value is moved into the
+    /// arena on first sight — never cloned.
     pub fn intern(&mut self, value: TransactionContext) -> CtxId {
-        if let Some(&id) = self.by_value.get(&value) {
-            return id;
+        let hash = value.stable_hash();
+        if let Some(id) = self.index.get(&self.values, hash, &value) {
+            return CtxId(id);
         }
-        let id = CtxId(
-            u32::try_from(self.values.len()).expect("more than u32::MAX transaction contexts"),
-        );
-        self.by_value.insert(value.clone(), id);
+        let id = u32::try_from(self.values.len()).expect("more than u32::MAX transaction contexts");
+        self.index.insert(hash, id);
         self.values.push(value);
-        id
+        CtxId(id)
     }
 
     /// Returns the value of an interned context.
@@ -336,27 +412,44 @@ impl fmt::Display for ShardedCtxId {
 /// Shards are plain data (`Send`), so each worker of the analysis
 /// pipeline can populate its own shards privately and hand them back
 /// for assembly — no global table, no locks.
-#[derive(Debug, Default, Clone, PartialEq)]
+#[derive(Debug, Default, Clone)]
 pub struct ContextShard {
-    by_value: HashMap<TransactionContext, u32>,
+    index: ValueIndex,
     values: Vec<TransactionContext>,
+}
+
+/// Shard equality is *value* equality: two shards holding the same
+/// values in the same local order are the same dictionary, whatever the
+/// incidental layout of their hash indices (capacity, probe positions).
+impl PartialEq for ContextShard {
+    fn eq(&self, other: &Self) -> bool {
+        self.values == other.values
+    }
 }
 
 impl ContextShard {
     /// Interns a value, returning its shard-local index.
     pub fn intern_local(&mut self, value: TransactionContext) -> u32 {
-        if let Some(&i) = self.by_value.get(&value) {
+        let hash = value.stable_hash();
+        self.intern_local_hashed(hash, value)
+    }
+
+    /// [`Self::intern_local`] with the stable hash already computed —
+    /// the sharded table routes on the same hash and passes it down so
+    /// each value is hashed exactly once per intern.
+    fn intern_local_hashed(&mut self, hash: u64, value: TransactionContext) -> u32 {
+        if let Some(i) = self.index.get(&self.values, hash, &value) {
             return i;
         }
         let i = u32::try_from(self.values.len()).expect("more than u32::MAX contexts in a shard");
-        self.by_value.insert(value.clone(), i);
+        self.index.insert(hash, i);
         self.values.push(value);
         i
     }
 
     /// Looks up a value's shard-local index without interning.
     pub fn get_local(&self, value: &TransactionContext) -> Option<u32> {
-        self.by_value.get(value).copied()
+        self.index.get(&self.values, value.stable_hash(), value)
     }
 
     /// The value at a shard-local index, if present.
@@ -426,18 +519,23 @@ impl ShardedContextTable {
         (value.stable_hash() % self.shards.len() as u64) as usize
     }
 
-    /// Interns a value into its owning shard.
+    /// Interns a value into its owning shard. The stable hash is
+    /// computed once and reused for both shard routing and the
+    /// shard-local index probe.
     pub fn intern(&mut self, value: TransactionContext) -> ShardedCtxId {
-        let s = self.shard_of(&value);
-        let local = self.shards[s].intern_local(value);
+        let hash = value.stable_hash();
+        let s = (hash % self.shards.len() as u64) as usize;
+        let local = self.shards[s].intern_local_hashed(hash, value);
         ShardedCtxId::new(s as u32, local)
     }
 
     /// Looks up a value without interning.
     pub fn get(&self, value: &TransactionContext) -> Option<ShardedCtxId> {
-        let s = self.shard_of(value);
+        let hash = value.stable_hash();
+        let s = (hash % self.shards.len() as u64) as usize;
         self.shards[s]
-            .get_local(value)
+            .index
+            .get(&self.shards[s].values, hash, value)
             .map(|l| ShardedCtxId::new(s as u32, l))
     }
 

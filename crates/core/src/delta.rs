@@ -26,10 +26,12 @@
 //! pipeline would have read from disk.
 //!
 //! Every delta carries a per-stage sequence number and an FNV-1a
-//! checksum (via [`crate::hash`]) so a collector can detect gaps and
-//! corruption rather than silently diverging.
+//! checksum (via [`crate::hash`], lane-wise over 64-bit words — the
+//! checksum is computed once per delta at the emitter and verified once
+//! at the collector, squarely on the ingest hot path) so a collector
+//! can detect gaps and corruption rather than silently diverging.
 
-use crate::hash::Fnv64;
+use crate::hash::FnvLanes;
 use crate::stitch::{
     DumpAtom, DumpCct, DumpContext, DumpCrosstalkPair, DumpCrosstalkWaiter, DumpNode, StageDump,
 };
@@ -145,16 +147,18 @@ impl StageDelta {
             + self.waiters.len()) as u64
     }
 
-    /// The FNV-1a digest of the delta's content (everything except the
-    /// stored `checksum` field itself).
+    /// The lane-wise FNV-1a digest of the delta's content (everything
+    /// except the stored `checksum` field itself). Strings are hashed
+    /// as zero-padded little-endian lanes behind an explicit length
+    /// word, so padding cannot alias content.
     pub fn compute_checksum(&self) -> u64 {
-        let mut h = Fnv64::new();
+        let mut h = FnvLanes::new();
         h.write_u64(self.stage as u64);
         h.write_u64(self.seq);
         h.write_u64(self.new_frames.len() as u64);
         for f in &self.new_frames {
             h.write_u64(f.len() as u64);
-            h.write(f.as_bytes());
+            h.write_bytes(f.as_bytes());
         }
         h.write_u64(self.new_contexts.len() as u64);
         for c in &self.new_contexts {
@@ -546,11 +550,13 @@ impl fmt::Display for DeltaError {
 /// Replays [`StageDelta`]s back into the exact [`StageDump`] the
 /// emitting stage would snapshot.
 ///
-/// Keyed state (CCTs, synopses, crosstalk) is held in `BTreeMap`s whose
-/// iteration order reproduces the dump's documented sort orders, so
-/// [`StageAccumulator::to_dump`] is equal to the source snapshot after
-/// every applied delta — and therefore byte-identical under
-/// [`crate::dumpjson`] serialization.
+/// Per-context state (CCTs, synopses) is held in dense arrays indexed
+/// by context id — context ids are intern indices, so index order *is*
+/// the dump's documented ctx sort order, with no tree or hash lookup on
+/// the apply path. Crosstalk keys are sparse and stay in `BTreeMap`s.
+/// Either way [`StageAccumulator::to_dump`] is equal to the source
+/// snapshot after every applied delta — and therefore byte-identical
+/// under [`crate::dumpjson`] serialization.
 #[derive(Clone, Debug)]
 pub struct StageAccumulator {
     /// Process id (from the stream header).
@@ -561,8 +567,10 @@ pub struct StageAccumulator {
     pub frames: Vec<String>,
     /// Interned contexts so far.
     pub contexts: Vec<DumpContext>,
-    ccts: BTreeMap<u32, Vec<DumpNode>>,
-    synopses: BTreeMap<u32, u32>,
+    /// Per context id: its CCT node list, if one has accumulated.
+    ccts: Vec<Option<Vec<DumpNode>>>,
+    /// Per context id: its minted synopsis, if any.
+    synopses: Vec<Option<u32>>,
     pairs: BTreeMap<(u32, u32), (u64, u64)>,
     waiters: BTreeMap<u32, (u64, u64)>,
     piggyback_bytes: u64,
@@ -578,8 +586,8 @@ impl StageAccumulator {
             stage_name: header.stage_name.clone(),
             frames: Vec::new(),
             contexts: Vec::new(),
-            ccts: BTreeMap::new(),
-            synopses: BTreeMap::new(),
+            ccts: Vec::new(),
+            synopses: Vec::new(),
             pairs: BTreeMap::new(),
             waiters: BTreeMap::new(),
             piggyback_bytes: 0,
@@ -600,7 +608,7 @@ impl StageAccumulator {
 
     /// The CCT node list for `ctx`, if one has accumulated.
     pub fn cct_nodes(&self, ctx: u32) -> Option<&[DumpNode]> {
-        self.ccts.get(&ctx).map(|v| v.as_slice())
+        self.ccts.get(ctx as usize).and_then(|v| v.as_deref())
     }
 
     /// Applies one delta, verifying its sequence number and checksum.
@@ -625,7 +633,7 @@ impl StageAccumulator {
         // Validate keyed baselines before mutating anything, so a bad
         // delta leaves the accumulator untouched.
         for c in &d.ccts {
-            let have = self.ccts.get(&c.ctx).map_or(0, |n| n.len());
+            let have = self.cct_nodes(c.ctx).map_or(0, |n| n.len());
             if have != c.nodes_before as usize {
                 return Err(incon("CCT baseline size mismatch"));
             }
@@ -635,7 +643,7 @@ impl StageAccumulator {
         }
         if d.new_synopses
             .iter()
-            .any(|&(_, ctx)| self.synopses.contains_key(&ctx))
+            .any(|&(_, ctx)| self.synopses.get(ctx as usize).copied().flatten().is_some())
         {
             return Err(incon("synopsis re-minted for a context"));
         }
@@ -643,10 +651,18 @@ impl StageAccumulator {
         self.frames.extend(d.new_frames.iter().cloned());
         self.contexts.extend(d.new_contexts.iter().cloned());
         for &(raw, ctx) in &d.new_synopses {
-            self.synopses.insert(ctx, raw);
+            let i = ctx as usize;
+            if self.synopses.len() <= i {
+                self.synopses.resize(i + 1, None);
+            }
+            self.synopses[i] = Some(raw);
         }
         for c in &d.ccts {
-            let nodes = self.ccts.entry(c.ctx).or_default();
+            let i = c.ctx as usize;
+            if self.ccts.len() <= i {
+                self.ccts.resize_with(i + 1, || None);
+            }
+            let nodes = self.ccts[i].get_or_insert_with(Vec::new);
             for &(i, s, cy, ca) in &c.grown {
                 let n = &mut nodes[i as usize];
                 n.samples += s;
@@ -681,12 +697,20 @@ impl StageAccumulator {
             ccts: self
                 .ccts
                 .iter()
-                .map(|(&ctx, nodes)| DumpCct {
-                    ctx,
-                    nodes: nodes.clone(),
+                .enumerate()
+                .filter_map(|(ctx, nodes)| {
+                    nodes.as_ref().map(|nodes| DumpCct {
+                        ctx: ctx as u32,
+                        nodes: nodes.clone(),
+                    })
                 })
                 .collect(),
-            synopses: self.synopses.iter().map(|(&ctx, &raw)| (raw, ctx)).collect(),
+            synopses: self
+                .synopses
+                .iter()
+                .enumerate()
+                .filter_map(|(ctx, raw)| raw.map(|raw| (raw, ctx as u32)))
+                .collect(),
             crosstalk_pairs: self
                 .pairs
                 .iter()

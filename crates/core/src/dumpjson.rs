@@ -15,6 +15,7 @@ use crate::stitch::{
     DumpAtom, DumpCct, DumpContext, DumpCrosstalkPair, DumpCrosstalkWaiter, DumpNode, StageDump,
     StitchError,
 };
+use crate::txt::{push_u32, push_u64};
 
 // ---------------------------------------------------------------------
 // Writing
@@ -29,7 +30,12 @@ pub(crate) fn esc(s: &str, out: &mut String) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if (c as u32) < 0x20 => {
+                let b = c as u32;
+                out.push_str("\\u00");
+                out.push(char::from_digit(b >> 4, 16).unwrap());
+                out.push(char::from_digit(b & 0xf, 16).unwrap());
+            }
             c => out.push(c),
         }
     }
@@ -38,11 +44,11 @@ pub(crate) fn esc(s: &str, out: &mut String) {
 
 fn write_u32_list(xs: &[u32], out: &mut String) {
     out.push('[');
-    for (i, x) in xs.iter().enumerate() {
+    for (i, &x) in xs.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        out.push_str(&x.to_string());
+        push_u32(out, x);
     }
     out.push(']');
 }
@@ -51,7 +57,7 @@ fn write_atom(a: &DumpAtom, out: &mut String) {
     match a {
         DumpAtom::Frame(f) => {
             out.push_str("{\"Frame\":");
-            out.push_str(&f.to_string());
+            push_u32(out, *f);
             out.push('}');
         }
         DumpAtom::Path(p) => {
@@ -69,7 +75,7 @@ fn write_atom(a: &DumpAtom, out: &mut String) {
 
 fn write_opt_u32(v: Option<u32>, out: &mut String) {
     match v {
-        Some(x) => out.push_str(&x.to_string()),
+        Some(x) => push_u32(out, x),
         None => out.push_str("null"),
     }
 }
@@ -79,22 +85,56 @@ fn write_node(n: &DumpNode, out: &mut String) {
     write_opt_u32(n.frame, out);
     out.push_str(",\"parent\":");
     write_opt_u32(n.parent, out);
-    out.push_str(&format!(
-        ",\"samples\":{},\"cycles\":{},\"calls\":{}}}",
-        n.samples, n.cycles, n.calls
-    ));
+    out.push_str(",\"samples\":");
+    push_u64(out, n.samples);
+    out.push_str(",\"cycles\":");
+    push_u64(out, n.cycles);
+    out.push_str(",\"calls\":");
+    push_u64(out, n.calls);
+    out.push('}');
+}
+
+/// Rough per-dump byte estimate used to preallocate the output buffer:
+/// every node costs ~60 bytes of keys plus ~3 numbers, contexts and
+/// synopses a few tens each. Over-estimating slightly is fine — the
+/// point is avoiding repeated buffer regrowth mid-serialize.
+fn estimate_dump_bytes(d: &StageDump) -> usize {
+    let nodes: usize = d.ccts.iter().map(|c| c.nodes.len()).sum();
+    let frames: usize = d.frames.iter().map(|f| f.len() + 4).sum();
+    let atoms: usize = d
+        .contexts
+        .iter()
+        .map(|c| {
+            c.atoms
+                .iter()
+                .map(|a| match a {
+                    DumpAtom::Frame(_) => 16,
+                    DumpAtom::Path(p) => 16 + 8 * p.len(),
+                    DumpAtom::Remote(r) => 18 + 8 * r.len(),
+                })
+                .sum::<usize>()
+                + 16
+        })
+        .sum();
+    256 + frames
+        + atoms
+        + nodes * 96
+        + d.ccts.len() * 24
+        + d.synopses.len() * 24
+        + d.crosstalk_pairs.len() * 72
+        + d.crosstalk_waiters.len() * 56
 }
 
 /// Serializes one stage dump.
 pub fn dump_to_json(d: &StageDump) -> String {
-    let mut out = String::new();
+    let mut out = String::with_capacity(estimate_dump_bytes(d));
     write_dump(d, &mut out);
     out
 }
 
 fn write_dump(d: &StageDump, out: &mut String) {
     out.push_str("{\n  \"proc\": ");
-    out.push_str(&d.proc.to_string());
+    push_u32(out, d.proc);
     out.push_str(",\n  \"stage_name\": ");
     esc(&d.stage_name, out);
     out.push_str(",\n  \"frames\": [");
@@ -124,7 +164,7 @@ fn write_dump(d: &StageDump, out: &mut String) {
             out.push(',');
         }
         out.push_str("{\"ctx\":");
-        out.push_str(&c.ctx.to_string());
+        push_u32(out, c.ctx);
         out.push_str(",\"nodes\":[");
         for (j, n) in c.nodes.iter().enumerate() {
             if j > 0 {
@@ -135,41 +175,55 @@ fn write_dump(d: &StageDump, out: &mut String) {
         out.push_str("]}");
     }
     out.push_str("],\n  \"synopses\": [");
-    for (i, (raw, ctx)) in d.synopses.iter().enumerate() {
+    for (i, &(raw, ctx)) in d.synopses.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        out.push_str(&format!("[{raw},{ctx}]"));
+        out.push('[');
+        push_u32(out, raw);
+        out.push(',');
+        push_u32(out, ctx);
+        out.push(']');
     }
     out.push_str("],\n  \"crosstalk_pairs\": [");
     for (i, p) in d.crosstalk_pairs.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        out.push_str(&format!(
-            "{{\"waiter\":{},\"holder\":{},\"count\":{},\"total_wait\":{}}}",
-            p.waiter, p.holder, p.count, p.total_wait
-        ));
+        out.push_str("{\"waiter\":");
+        push_u32(out, p.waiter);
+        out.push_str(",\"holder\":");
+        push_u32(out, p.holder);
+        out.push_str(",\"count\":");
+        push_u64(out, p.count);
+        out.push_str(",\"total_wait\":");
+        push_u64(out, p.total_wait);
+        out.push('}');
     }
     out.push_str("],\n  \"crosstalk_waiters\": [");
     for (i, w) in d.crosstalk_waiters.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        out.push_str(&format!(
-            "{{\"waiter\":{},\"count\":{},\"total_wait\":{}}}",
-            w.waiter, w.count, w.total_wait
-        ));
+        out.push_str("{\"waiter\":");
+        push_u32(out, w.waiter);
+        out.push_str(",\"count\":");
+        push_u64(out, w.count);
+        out.push_str(",\"total_wait\":");
+        push_u64(out, w.total_wait);
+        out.push('}');
     }
-    out.push_str(&format!(
-        "],\n  \"piggyback_bytes\": {},\n  \"messages\": {}\n}}",
-        d.piggyback_bytes, d.messages
-    ));
+    out.push_str("],\n  \"piggyback_bytes\": ");
+    push_u64(out, d.piggyback_bytes);
+    out.push_str(",\n  \"messages\": ");
+    push_u64(out, d.messages);
+    out.push_str("\n}");
 }
 
 /// Serializes a set of stage dumps (the on-disk profile file).
 pub fn to_json(dumps: &[StageDump]) -> String {
-    let mut out = String::new();
+    let cap: usize = 8 + dumps.iter().map(estimate_dump_bytes).sum::<usize>();
+    let mut out = String::with_capacity(cap);
     out.push_str("[\n");
     for (i, d) in dumps.iter().enumerate() {
         if i > 0 {

@@ -61,6 +61,100 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h.finish()
 }
 
+/// Incremental FNV-1a over 64-bit lanes.
+///
+/// Same xor-and-multiply round as [`Fnv64`], but one round per `u64`
+/// word instead of one per byte — an 8× shorter multiply chain for
+/// word-structured inputs (the streaming delta checksums feed tens of
+/// words per event). The digest is a pure function of the word
+/// sequence; it is **not** byte-compatible with [`Fnv64`], so the two
+/// must never be mixed on one value.
+#[derive(Clone, Copy, Debug)]
+pub struct FnvLanes(u64);
+
+impl FnvLanes {
+    /// A hasher seeded with the standard offset basis.
+    pub fn new() -> Self {
+        FnvLanes(FNV_OFFSET)
+    }
+
+    /// Folds one 64-bit lane into the digest.
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(FNV_PRIME);
+    }
+
+    /// Folds `bytes` as little-endian lanes, the tail zero-padded.
+    /// Length is the caller's to encode if it matters (trailing zero
+    /// bytes are not distinguished from padding).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.write_u64(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.write_u64(u64::from_le_bytes(tail));
+        }
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for FnvLanes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// [`std::hash::Hasher`] adapter over [`Fnv64`], for `HashMap`s on hot
+/// paths where SipHash dominates the lookup (small integer or short
+/// string keys). The table stays ordinary `std` — only the hash
+/// function changes — so this must not be used where hash *iteration
+/// order* could leak into output (all Whodunit outputs sort first).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FnvHasher(Fnv64);
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0.finish()
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        self.0.write(bytes);
+    }
+    fn write_u32(&mut self, v: u32) {
+        // One lane round beats four byte rounds for the common int keys.
+        let h = self.0.finish();
+        self.0 = Fnv64((h ^ u64::from(v)).wrapping_mul(FNV_PRIME));
+    }
+    fn write_u64(&mut self, v: u64) {
+        let h = self.0.finish();
+        self.0 = Fnv64((h ^ v).wrapping_mul(FNV_PRIME));
+    }
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FnvHasher`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FnvBuild;
+
+impl std::hash::BuildHasher for FnvBuild {
+    type Hasher = FnvHasher;
+    fn build_hasher(&self) -> FnvHasher {
+        FnvHasher::default()
+    }
+}
+
+/// A `HashMap` hashed with FNV-1a instead of SipHash.
+pub type FnvHashMap<K, V> = std::collections::HashMap<K, V, FnvBuild>;
+
 #[cfg(test)]
 mod tests {
     use super::*;

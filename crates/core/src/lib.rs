@@ -59,6 +59,7 @@ pub mod seda;
 pub mod shm;
 pub mod stitch;
 pub mod synopsis;
+pub mod txt;
 
 pub use cct::{Cct, CctNodeId, Metrics};
 pub use context::{

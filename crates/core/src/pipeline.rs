@@ -606,40 +606,52 @@ impl PipelineReport {
     /// unresolved edges, and warnings as deterministic text — the
     /// byte-comparison surface of the differential suite.
     pub fn stitched_text(&self) -> String {
+        use crate::txt::push_usize;
+        use std::fmt::Write as _;
         let mut out = String::new();
         for p in &self.profiles {
             let (os, oc) = p.origin;
-            out.push_str(&format!(
-                "origin {} [{}] stages={:?}\n",
-                self.origin_label(os, oc),
-                p.global_ctx,
-                p.stages
-            ));
+            out.push_str("origin ");
+            self.push_origin_label(&mut out, os, oc);
+            out.push_str(" [");
+            let _ = write!(out, "{}", p.global_ctx);
+            // `stages` keeps the `{:?}` rendering of a Vec<usize>:
+            // "[0, 1, 2]".
+            out.push_str("] stages=[");
+            for (i, &si) in p.stages.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                push_usize(&mut out, si);
+            }
+            out.push_str("]\n");
             self.render_cct(&mut out, &p.cct, CctNodeId::ROOT, 1);
         }
         out.push_str("request edges:\n");
         for e in &self.edges {
-            out.push_str(&format!(
-                "  {}  ==>  {}\n",
-                self.origin_label(e.from_stage, e.from_ctx),
-                self.origin_label(e.to_stage, e.to_ctx),
-            ));
+            out.push_str("  ");
+            self.push_origin_label(&mut out, e.from_stage, e.from_ctx);
+            out.push_str("  ==>  ");
+            self.push_origin_label(&mut out, e.to_stage, e.to_ctx);
+            out.push('\n');
         }
         if !self.unresolved.is_empty() {
             out.push_str("unresolved edges:\n");
             for e in &self.unresolved {
-                out.push_str(&format!(
-                    "  ???[{}]  ==>  {}\n",
-                    Synopsis(e.missing),
-                    self.origin_label(e.to_stage, e.to_ctx),
-                ));
+                out.push_str("  ???[");
+                let _ = write!(out, "{}", Synopsis(e.missing));
+                out.push_str("]  ==>  ");
+                self.push_origin_label(&mut out, e.to_stage, e.to_ctx);
+                out.push('\n');
             }
         }
         for (si, err) in &self.warnings {
-            out.push_str(&format!(
-                "warning: stage {si} ({}) skipped: {err}\n",
-                self.stages[*si].stage_name
-            ));
+            out.push_str("warning: stage ");
+            push_usize(&mut out, *si);
+            out.push_str(" (");
+            out.push_str(&self.stages[*si].stage_name);
+            let _ = write!(out, ") skipped: {err}");
+            out.push('\n');
         }
         out
     }
@@ -651,9 +663,25 @@ impl PipelineReport {
 
     /// `stage_name:context` label for an origin key.
     pub fn origin_label(&self, stage: usize, ctx: u32) -> String {
+        let mut out = String::new();
+        self.push_origin_label(&mut out, stage, ctx);
+        out
+    }
+
+    /// [`Self::origin_label`] appending into a caller-supplied buffer.
+    fn push_origin_label(&self, out: &mut String, stage: usize, ctx: u32) {
         match self.stages.get(stage) {
-            Some(d) => format!("{}:{}", d.stage_name, d.ctx_string(ctx)),
-            None => format!("<stage {stage}?>:{ctx}"),
+            Some(d) => {
+                out.push_str(&d.stage_name);
+                out.push(':');
+                out.push_str(&d.ctx_string(ctx));
+            }
+            None => {
+                out.push_str("<stage ");
+                crate::txt::push_usize(out, stage);
+                out.push_str("?>:");
+                crate::txt::push_u32(out, ctx);
+            }
         }
     }
 
@@ -665,13 +693,15 @@ impl PipelineReport {
                 .map(String::as_str)
                 .unwrap_or("<?>");
             let m = cct.inclusive(node);
-            out.push_str(&format!(
-                "{}{} samples {} cycles {}\n",
-                "  ".repeat(depth),
-                name,
-                m.samples,
-                m.cycles
-            ));
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+            out.push_str(name);
+            out.push_str(" samples ");
+            crate::txt::push_u64(out, m.samples);
+            out.push_str(" cycles ");
+            crate::txt::push_u64(out, m.cycles);
+            out.push('\n');
         }
         for child in cct.children_sorted(node) {
             self.render_cct(out, cct, child, depth + 1);

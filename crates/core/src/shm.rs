@@ -34,8 +34,8 @@
 //!   critical sections (§7.2's performance optimization).
 
 use crate::context::CtxId;
+use crate::hash::Fnv64;
 use crate::ids::{LockId, ThreadId};
-use std::collections::{HashMap, HashSet};
 
 /// A location in the combined name space of §3.2: the virtual address
 /// space plus per-thread annotated registers.
@@ -166,17 +166,287 @@ struct Entry {
     lock: LockId,
 }
 
+/// Tag bit distinguishing packed register codes from memory codes.
+///
+/// The substrates address guest memory by small word indices, nowhere
+/// near 2^63, so the top bit of the packed code is free to carry the
+/// kind: `Mem(a)` packs to `a`, `Reg(t, r)` packs to
+/// `REG_TAG | t << 8 | r`.
+const REG_TAG: u64 = 1 << 63;
+
+fn loc_code(loc: Loc) -> u64 {
+    match loc {
+        Loc::Mem(a) => {
+            debug_assert!(a & REG_TAG == 0, "memory address collides with the register tag");
+            a
+        }
+        Loc::Reg(t, r) => REG_TAG | (u64::from(t.0) << 8) | u64::from(r),
+    }
+}
+
+fn code_hash(code: u64) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(code);
+    h.finish()
+}
+
+const SLOT_EMPTY: u8 = 0;
+const SLOT_FULL: u8 = 1;
+const SLOT_DEAD: u8 = 2;
+
+#[derive(Clone, Copy, Debug)]
+struct DictSlot {
+    code: u64,
+    state: u8,
+    entry: Entry,
+}
+
+const EMPTY_SLOT: DictSlot = DictSlot {
+    code: 0,
+    state: SLOT_EMPTY,
+    entry: Entry {
+        taint: Taint::Invalid,
+        lock: LockId(0),
+    },
+};
+
+/// Open-addressed FNV table from packed memory codes to taint entries:
+/// one hash plus a short linear probe per `MOV`, no per-entry heap
+/// allocation. Capacity is a power of two kept under 7/8 load;
+/// deletions (the §3.2 foreign-lock flush) leave tombstones that are
+/// dropped on the next growth rehash.
+#[derive(Debug, Default)]
+struct TaintDict {
+    slots: Vec<DictSlot>,
+    /// Live (`SLOT_FULL`) entries.
+    live: usize,
+    /// Full plus tombstoned slots; drives the load factor.
+    filled: usize,
+}
+
+impl TaintDict {
+    fn get(&self, code: u64) -> Option<Entry> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (code_hash(code) as usize) & mask;
+        loop {
+            let s = &self.slots[i];
+            match s.state {
+                SLOT_EMPTY => return None,
+                SLOT_FULL if s.code == code => return Some(s.entry),
+                _ => {}
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn insert(&mut self, code: u64, entry: Entry) {
+        if self.slots.len() * 7 <= (self.filled + 1) * 8 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (code_hash(code) as usize) & mask;
+        let mut dead = None;
+        loop {
+            let s = &self.slots[i];
+            match s.state {
+                SLOT_EMPTY => {
+                    // Reusing a tombstone keeps `filled` unchanged.
+                    let at = match dead {
+                        Some(d) => d,
+                        None => {
+                            self.filled += 1;
+                            i
+                        }
+                    };
+                    self.slots[at] = DictSlot {
+                        code,
+                        state: SLOT_FULL,
+                        entry,
+                    };
+                    self.live += 1;
+                    return;
+                }
+                SLOT_FULL if s.code == code => {
+                    self.slots[i].entry = entry;
+                    return;
+                }
+                SLOT_DEAD if dead.is_none() => dead = Some(i),
+                _ => {}
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn remove(&mut self, code: u64) {
+        if self.slots.is_empty() {
+            return;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (code_hash(code) as usize) & mask;
+        loop {
+            let s = &self.slots[i];
+            match s.state {
+                SLOT_EMPTY => return,
+                SLOT_FULL if s.code == code => {
+                    self.slots[i].state = SLOT_DEAD;
+                    self.live -= 1;
+                    return;
+                }
+                _ => {}
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let cap = (self.live * 2).max(16).next_power_of_two();
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY_SLOT; cap]);
+        self.filled = self.live;
+        let mask = cap - 1;
+        for s in old {
+            if s.state != SLOT_FULL {
+                continue;
+            }
+            let mut i = (code_hash(s.code) as usize) & mask;
+            while self.slots[i].state != SLOT_EMPTY {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = s;
+        }
+    }
+}
+
+/// Per-thread register taints, directly indexed by register number.
+///
+/// Registers live in a tiny dense space (`u8` indices), so keeping
+/// them out of the hash table turns the §3.1 clear-on-entry rule into
+/// an O(regs) wipe of one bank instead of a scan of the whole
+/// dictionary.
+#[derive(Clone, Debug, Default)]
+struct RegBank {
+    slots: Vec<Option<Entry>>,
+    live: usize,
+}
+
 #[derive(Debug, Default)]
 struct LockState {
-    producers: HashSet<ThreadId>,
-    consumers: HashSet<ThreadId>,
+    /// Sorted distinct producer threads.
+    producers: Vec<ThreadId>,
+    /// Sorted distinct consumer threads.
+    consumers: Vec<ThreadId>,
     disabled: bool,
     produced: u64,
     consumed: u64,
 }
 
-#[derive(Debug)]
-struct CsState {
+fn insert_sorted(v: &mut Vec<ThreadId>, t: ThreadId) {
+    if let Err(i) = v.binary_search(&t) {
+        v.insert(i, t);
+    }
+}
+
+fn sorted_intersect(a: &[ThreadId], b: &[ThreadId]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct LockIdxSlot {
+    hash: u64,
+    idx_p1: u32,
+}
+
+/// Lock states in an id-ordered arena indexed by an open-addressed
+/// FNV probe (locks are never removed, so no tombstones are needed).
+#[derive(Debug, Default)]
+struct LockTable {
+    index: Vec<LockIdxSlot>,
+    arena: Vec<(LockId, LockState)>,
+}
+
+impl LockTable {
+    fn find(&self, lock: LockId) -> Option<usize> {
+        if self.index.is_empty() {
+            return None;
+        }
+        let mask = self.index.len() - 1;
+        let h = code_hash(u64::from(lock.0));
+        let mut i = (h as usize) & mask;
+        loop {
+            let s = self.index[i];
+            if s.idx_p1 == 0 {
+                return None;
+            }
+            let at = (s.idx_p1 - 1) as usize;
+            if s.hash == h && self.arena[at].0 == lock {
+                return Some(at);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn get(&self, lock: LockId) -> Option<&LockState> {
+        self.find(lock).map(|i| &self.arena[i].1)
+    }
+
+    fn get_mut(&mut self, lock: LockId) -> Option<&mut LockState> {
+        self.find(lock).map(|i| &mut self.arena[i].1)
+    }
+
+    fn ensure(&mut self, lock: LockId) -> &mut LockState {
+        if let Some(i) = self.find(lock) {
+            return &mut self.arena[i].1;
+        }
+        if self.index.len() * 7 <= (self.arena.len() + 1) * 8 {
+            self.grow();
+        }
+        let h = code_hash(u64::from(lock.0));
+        let id = self.arena.len();
+        self.arena.push((lock, LockState::default()));
+        let mask = self.index.len() - 1;
+        let mut i = (h as usize) & mask;
+        while self.index[i].idx_p1 != 0 {
+            i = (i + 1) & mask;
+        }
+        self.index[i] = LockIdxSlot {
+            hash: h,
+            idx_p1: id as u32 + 1,
+        };
+        &mut self.arena[id].1
+    }
+
+    fn grow(&mut self) {
+        let cap = (self.arena.len() * 2).max(16).next_power_of_two();
+        self.index = vec![LockIdxSlot::default(); cap];
+        let mask = cap - 1;
+        for (at, (lock, _)) in self.arena.iter().enumerate() {
+            let h = code_hash(u64::from(lock.0));
+            let mut i = (h as usize) & mask;
+            while self.index[i].idx_p1 != 0 {
+                i = (i + 1) & mask;
+            }
+            self.index[i] = LockIdxSlot {
+                hash: h,
+                idx_p1: at as u32 + 1,
+            };
+        }
+    }
+}
+
+/// Critical-section nesting of one thread; `depth == 0` means the
+/// thread is outside any critical section.
+#[derive(Clone, Copy, Debug)]
+struct CsSlot {
     outer: LockId,
     depth: u32,
 }
@@ -197,6 +467,14 @@ pub struct LockFlowStats {
 }
 
 /// The §3 shared-memory transaction-flow detector.
+///
+/// Internally the location dictionary is split by kind: memory taints
+/// live in an open-addressed FNV table keyed by a packed location
+/// code, register taints in dense per-thread banks (so the §3.1
+/// clear-on-entry rule touches only one bank), and per-lock state in
+/// an id-ordered arena behind an FNV index. A `MOV` therefore costs
+/// one hash and a short linear probe instead of several SipHash map
+/// operations.
 ///
 /// # Examples
 ///
@@ -229,9 +507,15 @@ pub struct LockFlowStats {
 #[derive(Debug)]
 pub struct FlowDetector {
     cfg: FlowConfig,
-    dict: HashMap<Loc, Entry>,
-    locks: HashMap<LockId, LockState>,
-    in_cs: HashMap<ThreadId, CsState>,
+    /// Memory taints, keyed by packed location code.
+    mem: TaintDict,
+    /// Register taints, indexed by thread then register number.
+    regs: Vec<RegBank>,
+    /// Total live register taints across all banks.
+    reg_live: usize,
+    locks: LockTable,
+    /// Critical-section nesting, indexed by thread id.
+    in_cs: Vec<CsSlot>,
 }
 
 impl Default for FlowDetector {
@@ -245,9 +529,11 @@ impl FlowDetector {
     pub fn new(cfg: FlowConfig) -> Self {
         FlowDetector {
             cfg,
-            dict: HashMap::new(),
-            locks: HashMap::new(),
-            in_cs: HashMap::new(),
+            mem: TaintDict::default(),
+            regs: Vec::new(),
+            reg_live: 0,
+            locks: LockTable::default(),
+            in_cs: Vec::new(),
         }
     }
 
@@ -256,12 +542,12 @@ impl FlowDetector {
     /// Substrates use this for the §7.2 optimization: once a lock's flow
     /// is disabled, its critical sections can run natively.
     pub fn flow_enabled(&self, lock: LockId) -> bool {
-        self.locks.get(&lock).map(|s| !s.disabled).unwrap_or(true)
+        self.locks.get(lock).map(|s| !s.disabled).unwrap_or(true)
     }
 
     /// Per-lock statistics.
     pub fn lock_stats(&self, lock: LockId) -> LockFlowStats {
-        match self.locks.get(&lock) {
+        match self.locks.get(lock) {
             None => LockFlowStats::default(),
             Some(s) => LockFlowStats {
                 produced: s.produced,
@@ -275,14 +561,62 @@ impl FlowDetector {
 
     /// All locks the detector has seen, in id order.
     pub fn known_locks(&self) -> Vec<LockId> {
-        let mut v: Vec<_> = self.locks.keys().copied().collect();
+        let mut v: Vec<_> = self.locks.arena.iter().map(|(l, _)| *l).collect();
         v.sort();
         v
     }
 
     /// Size of the location dictionary (tainted locations).
     pub fn dict_len(&self) -> usize {
-        self.dict.len()
+        self.mem.live + self.reg_live
+    }
+
+    fn entry_of(&self, loc: Loc) -> Option<Entry> {
+        match loc {
+            Loc::Mem(_) => self.mem.get(loc_code(loc)),
+            Loc::Reg(t, r) => self
+                .regs
+                .get(t.0 as usize)
+                .and_then(|b| b.slots.get(r as usize).copied().flatten()),
+        }
+    }
+
+    fn set_entry(&mut self, loc: Loc, e: Entry) {
+        match loc {
+            Loc::Mem(_) => self.mem.insert(loc_code(loc), e),
+            Loc::Reg(t, r) => {
+                let ti = t.0 as usize;
+                if self.regs.len() <= ti {
+                    self.regs.resize(ti + 1, RegBank::default());
+                }
+                let bank = &mut self.regs[ti];
+                let ri = r as usize;
+                if bank.slots.len() <= ri {
+                    bank.slots.resize(ri + 1, None);
+                }
+                if bank.slots[ri].is_none() {
+                    bank.live += 1;
+                    self.reg_live += 1;
+                }
+                bank.slots[ri] = Some(e);
+            }
+        }
+    }
+
+    fn remove_entry(&mut self, loc: Loc) {
+        match loc {
+            Loc::Mem(_) => self.mem.remove(loc_code(loc)),
+            Loc::Reg(t, r) => {
+                if let Some(bank) = self.regs.get_mut(t.0 as usize) {
+                    if let Some(slot) = bank.slots.get_mut(r as usize) {
+                        if slot.take().is_some() {
+                            bank.live -= 1;
+                            self.reg_live -= 1;
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Feeds one memory event for thread `t`, whose current transaction
@@ -304,42 +638,47 @@ impl FlowDetector {
     }
 
     fn cs_enter(&mut self, t: ThreadId, lock: LockId) {
-        let st = self.in_cs.entry(t).or_insert(CsState {
-            outer: lock,
-            depth: 0,
-        });
-        if st.depth == 0 {
-            st.outer = lock;
+        let ti = t.0 as usize;
+        if self.in_cs.len() <= ti {
+            self.in_cs.resize(ti + 1, CsSlot { outer: lock, depth: 0 });
+        }
+        if self.in_cs[ti].depth == 0 {
+            self.in_cs[ti].outer = lock;
             if self.cfg.clear_regs_on_cs_enter {
-                self.dict
-                    .retain(|loc, _| !matches!(loc, Loc::Reg(rt, _) if *rt == t));
+                if let Some(bank) = self.regs.get_mut(ti) {
+                    if bank.live > 0 {
+                        self.reg_live -= bank.live;
+                        bank.live = 0;
+                        bank.slots.fill(None);
+                    }
+                }
             }
         }
-        st.depth += 1;
-        self.locks.entry(lock).or_default();
+        self.in_cs[ti].depth += 1;
+        self.locks.ensure(lock);
     }
 
     fn cs_exit(&mut self, t: ThreadId) {
-        if let Some(st) = self.in_cs.get_mut(&t) {
+        if let Some(st) = self.in_cs.get_mut(t.0 as usize) {
             st.depth = st.depth.saturating_sub(1);
-            if st.depth == 0 {
-                self.in_cs.remove(&t);
-            }
         }
     }
 
     /// The outermost lock of `t`'s current critical section, if any.
     fn outer_lock(&self, t: ThreadId) -> Option<LockId> {
-        self.in_cs.get(&t).map(|s| s.outer)
+        self.in_cs
+            .get(t.0 as usize)
+            .filter(|s| s.depth > 0)
+            .map(|s| s.outer)
     }
 
     /// §3.2 flush rule: a location accessed from a critical section
     /// protected by a different lock than the one that tainted it loses
     /// its taint.
     fn flush_if_foreign(&mut self, loc: Loc, lock: LockId) {
-        if let Some(e) = self.dict.get(&loc) {
+        if let Some(e) = self.entry_of(loc) {
             if e.lock != lock {
-                self.dict.remove(&loc);
+                self.remove_entry(loc);
             }
         }
     }
@@ -352,13 +691,13 @@ impl FlowDetector {
         };
         self.flush_if_foreign(src, lock);
         self.flush_if_foreign(dst, lock);
-        match self.dict.get(&src).copied() {
+        match self.entry_of(src) {
             Some(e) => {
                 // Copy the taint, whatever it is (valid or invalid):
                 // this is how queue-internal element moves keep their
                 // producer context (§3.2's priority-queue case) and how
                 // the invalid context spreads through `NULL` checks.
-                self.dict.insert(
+                self.set_entry(
                     dst,
                     Entry {
                         taint: e.taint,
@@ -370,16 +709,16 @@ impl FlowDetector {
                 if dst.is_mem() || !self.cfg.produce_requires_mem_dst {
                     // Untainted source: the thread is producing a value
                     // it computed before entering the critical section.
-                    self.dict.insert(
+                    self.set_entry(
                         dst,
                         Entry {
                             taint: Taint::Valid(cur_ctx),
                             lock,
                         },
                     );
-                    let st = self.locks.entry(lock).or_default();
+                    let st = self.locks.ensure(lock);
                     st.produced += 1;
-                    st.producers.insert(t);
+                    insert_sorted(&mut st.producers, t);
                     out.push(FlowEvent::Produced {
                         thread: t,
                         loc: dst,
@@ -399,7 +738,7 @@ impl FlowDetector {
         let Some(lock) = self.outer_lock(t) else {
             return;
         };
-        self.dict.insert(
+        self.set_entry(
             dst,
             Entry {
                 taint: Taint::Invalid,
@@ -413,18 +752,18 @@ impl FlowDetector {
             // Uses are only meaningful after the critical section exits.
             return;
         }
-        let Some(e) = self.dict.get(&loc).copied() else {
+        let Some(e) = self.entry_of(loc) else {
             return;
         };
         let Taint::Valid(ctx) = e.taint else {
             return;
         };
-        let st = self.locks.entry(e.lock).or_default();
+        let st = self.locks.ensure(e.lock);
         st.consumed += 1;
-        st.consumers.insert(t);
+        insert_sorted(&mut st.consumers, t);
         let disabled = st.disabled;
         self.check_intersection(e.lock, out);
-        let now_disabled = self.locks.get(&e.lock).map(|s| s.disabled).unwrap_or(false);
+        let now_disabled = self.locks.get(e.lock).map(|s| s.disabled).unwrap_or(false);
         if !disabled && !now_disabled {
             out.push(FlowEvent::Consumed {
                 thread: t,
@@ -436,13 +775,13 @@ impl FlowDetector {
     }
 
     fn check_intersection(&mut self, lock: LockId, out: &mut Vec<FlowEvent>) {
-        let Some(st) = self.locks.get_mut(&lock) else {
+        let Some(st) = self.locks.get_mut(lock) else {
             return;
         };
         if st.disabled {
             return;
         }
-        if st.producers.intersection(&st.consumers).next().is_some() {
+        if sorted_intersect(&st.producers, &st.consumers) {
             st.disabled = true;
             out.push(FlowEvent::FlowDisabled { lock });
         }

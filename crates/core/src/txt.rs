@@ -1,0 +1,92 @@
+//! Fixed-buffer decimal formatting for the hot serialization paths.
+//!
+//! The dump serializer and report renderers emit millions of small
+//! integers; routing each through `format!`/`to_string` allocates a
+//! fresh `String` per number. These helpers render into a stack buffer
+//! and append to the caller's output buffer instead, so a whole dump
+//! serializes with no per-field allocation. Output bytes are identical
+//! to `Display` for the same value.
+
+/// Longest decimal rendering of a `u64` (`u64::MAX` has 20 digits).
+const MAX_DIGITS: usize = 20;
+
+/// Appends the decimal rendering of `v` to `out` without allocating.
+pub fn push_u64(out: &mut String, v: u64) {
+    let mut buf = [0u8; MAX_DIGITS];
+    let mut pos = MAX_DIGITS;
+    let mut v = v;
+    loop {
+        pos -= 1;
+        buf[pos] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    // The buffer holds only ASCII digits.
+    out.push_str(std::str::from_utf8(&buf[pos..]).unwrap());
+}
+
+/// Appends the decimal rendering of a `u32`.
+pub fn push_u32(out: &mut String, v: u32) {
+    push_u64(out, u64::from(v));
+}
+
+/// Appends the decimal rendering of a `usize`.
+pub fn push_usize(out: &mut String, v: usize) {
+    push_u64(out, v as u64);
+}
+
+/// Appends the decimal rendering of an `i64` (sign-aware).
+pub fn push_i64(out: &mut String, v: i64) {
+    if v < 0 {
+        out.push('-');
+        push_u64(out, v.unsigned_abs());
+    } else {
+        push_u64(out, v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_display_on_edges_and_samples() {
+        let cases = [
+            0u64,
+            1,
+            9,
+            10,
+            99,
+            100,
+            12_345,
+            u64::from(u32::MAX),
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for v in cases {
+            let mut s = String::new();
+            push_u64(&mut s, v);
+            assert_eq!(s, v.to_string());
+        }
+    }
+
+    #[test]
+    fn signed_matches_display() {
+        for v in [i64::MIN, -1, 0, 1, i64::MAX, -42] {
+            let mut s = String::new();
+            push_i64(&mut s, v);
+            assert_eq!(s, v.to_string());
+        }
+    }
+
+    #[test]
+    fn appends_without_clearing() {
+        let mut s = String::from("x=");
+        push_u32(&mut s, 7);
+        s.push(',');
+        push_usize(&mut s, 321);
+        assert_eq!(s, "x=7,321");
+    }
+}

@@ -310,6 +310,62 @@ proptest! {
         prop_assert_eq!(&merged, &serial);
     }
 
+    /// The hash-indexed intern arena mints exactly the ids a plain
+    /// `HashMap`-keyed dictionary would: dense first-seen order, one id
+    /// per distinct value, with `len` and `value` agreeing throughout.
+    #[test]
+    fn intern_index_matches_hashmap_reference(
+        values in proptest::collection::vec(value_strategy(), 1..80)
+    ) {
+        let mut t = ContextTable::default();
+        let mut model: std::collections::HashMap<TransactionContext, CtxId> =
+            std::collections::HashMap::new();
+        // The table pre-interns the root (empty) value at id 0.
+        model.insert(t.value(CtxId::ROOT).clone(), CtxId::ROOT);
+        let mut next = t.len() as u32;
+        for v in &values {
+            let id = t.intern(v.clone());
+            match model.get(v) {
+                Some(&prev) => prop_assert_eq!(prev, id, "re-intern changed the id"),
+                None => {
+                    prop_assert_eq!(id, CtxId(next), "ids must stay dense first-seen");
+                    model.insert(v.clone(), id);
+                    next += 1;
+                }
+            }
+            prop_assert_eq!(t.value(id), v);
+            prop_assert_eq!(t.len(), model.len(), "len = distinct values incl. root");
+        }
+    }
+
+    /// A single shard's local interning behaves like a map too:
+    /// `get_local` hits exactly the interned values.
+    #[test]
+    fn shard_intern_matches_hashmap_reference(
+        args in (proptest::collection::vec(value_strategy(), 1..60),
+                 proptest::collection::vec(value_strategy(), 0..10))
+    ) {
+        let (values, probes) = args;
+        let mut shard = ContextShard::default();
+        let mut model: std::collections::HashMap<TransactionContext, u32> =
+            std::collections::HashMap::new();
+        for v in &values {
+            let id = shard.intern_local(v.clone());
+            match model.get(v) {
+                Some(&prev) => prop_assert_eq!(prev, id),
+                None => {
+                    prop_assert_eq!(id as usize, model.len());
+                    model.insert(v.clone(), id);
+                }
+            }
+            prop_assert_eq!(shard.value_local(id), Some(v));
+        }
+        prop_assert_eq!(shard.len(), model.len());
+        for p in &probes {
+            prop_assert_eq!(shard.get_local(p), model.get(p).copied());
+        }
+    }
+
     /// Batch synopsis minting commutes with one-at-a-time minting: same
     /// synopses element-wise, same dictionary afterwards.
     #[test]
@@ -337,5 +393,283 @@ proptest! {
         prop_assert_eq!(second, want_second);
         prop_assert_eq!(batched.minted_sorted(), singles.minted_sorted());
         prop_assert_eq!(batched.len(), singles.len());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flow-detector equivalence: the open-addressed FNV dictionary must
+// behave exactly like the straightforward HashMap/HashSet formulation
+// of §3.2 it replaced.
+// ---------------------------------------------------------------------
+
+mod flow_reference {
+    use std::collections::{BTreeSet, HashMap};
+    use whodunit_core::context::CtxId;
+    use whodunit_core::ids::{LockId, ThreadId};
+    use whodunit_core::shm::{FlowConfig, FlowEvent, Loc, MemEvent};
+
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    enum Taint {
+        Valid(CtxId),
+        Invalid,
+    }
+
+    #[derive(Clone, Copy)]
+    struct Entry {
+        taint: Taint,
+        lock: LockId,
+    }
+
+    #[derive(Default)]
+    struct LockState {
+        producers: BTreeSet<ThreadId>,
+        consumers: BTreeSet<ThreadId>,
+        disabled: bool,
+        produced: u64,
+        consumed: u64,
+    }
+
+    struct CsState {
+        outer: LockId,
+        depth: u32,
+    }
+
+    /// Map-based reference model of [`whodunit_core::shm::FlowDetector`]
+    /// (the pre-optimization implementation, verbatim semantics).
+    pub struct RefDetector {
+        cfg: FlowConfig,
+        dict: HashMap<Loc, Entry>,
+        locks: HashMap<LockId, LockState>,
+        in_cs: HashMap<ThreadId, CsState>,
+    }
+
+    impl RefDetector {
+        pub fn new(cfg: FlowConfig) -> Self {
+            RefDetector {
+                cfg,
+                dict: HashMap::new(),
+                locks: HashMap::new(),
+                in_cs: HashMap::new(),
+            }
+        }
+
+        pub fn dict_len(&self) -> usize {
+            self.dict.len()
+        }
+
+        pub fn known_locks(&self) -> Vec<LockId> {
+            let mut v: Vec<_> = self.locks.keys().copied().collect();
+            v.sort();
+            v
+        }
+
+        pub fn stats(&self, lock: LockId) -> (u64, u64, usize, usize, bool) {
+            match self.locks.get(&lock) {
+                None => (0, 0, 0, 0, false),
+                Some(s) => (
+                    s.produced,
+                    s.consumed,
+                    s.producers.len(),
+                    s.consumers.len(),
+                    s.disabled,
+                ),
+            }
+        }
+
+        pub fn on_event(
+            &mut self,
+            t: ThreadId,
+            cur_ctx: CtxId,
+            ev: &MemEvent,
+            out: &mut Vec<FlowEvent>,
+        ) {
+            match *ev {
+                MemEvent::CsEnter { lock } => {
+                    let st = self.in_cs.entry(t).or_insert(CsState {
+                        outer: lock,
+                        depth: 0,
+                    });
+                    if st.depth == 0 {
+                        st.outer = lock;
+                        if self.cfg.clear_regs_on_cs_enter {
+                            self.dict
+                                .retain(|loc, _| !matches!(loc, Loc::Reg(rt, _) if *rt == t));
+                        }
+                    }
+                    st.depth += 1;
+                    self.locks.entry(lock).or_default();
+                }
+                MemEvent::CsExit => {
+                    if let Some(st) = self.in_cs.get_mut(&t) {
+                        st.depth = st.depth.saturating_sub(1);
+                        if st.depth == 0 {
+                            self.in_cs.remove(&t);
+                        }
+                    }
+                }
+                MemEvent::Mov { src, dst } => {
+                    let Some(lock) = self.outer_lock(t) else {
+                        return;
+                    };
+                    self.flush_if_foreign(src, lock);
+                    self.flush_if_foreign(dst, lock);
+                    match self.dict.get(&src).copied() {
+                        Some(e) => {
+                            self.dict.insert(dst, Entry { taint: e.taint, lock });
+                        }
+                        None => {
+                            if dst.is_mem() || !self.cfg.produce_requires_mem_dst {
+                                self.dict.insert(
+                                    dst,
+                                    Entry {
+                                        taint: Taint::Valid(cur_ctx),
+                                        lock,
+                                    },
+                                );
+                                let st = self.locks.entry(lock).or_default();
+                                st.produced += 1;
+                                st.producers.insert(t);
+                                out.push(FlowEvent::Produced {
+                                    thread: t,
+                                    loc: dst,
+                                    ctx: cur_ctx,
+                                    lock,
+                                });
+                                self.check_intersection(lock, out);
+                            }
+                        }
+                    }
+                }
+                MemEvent::Modify { dst } => {
+                    let Some(lock) = self.outer_lock(t) else {
+                        return;
+                    };
+                    self.dict.insert(
+                        dst,
+                        Entry {
+                            taint: Taint::Invalid,
+                            lock,
+                        },
+                    );
+                }
+                MemEvent::Use { loc } => {
+                    if self.outer_lock(t).is_some() {
+                        return;
+                    }
+                    let Some(e) = self.dict.get(&loc).copied() else {
+                        return;
+                    };
+                    let Taint::Valid(ctx) = e.taint else {
+                        return;
+                    };
+                    let st = self.locks.entry(e.lock).or_default();
+                    st.consumed += 1;
+                    st.consumers.insert(t);
+                    let disabled = st.disabled;
+                    self.check_intersection(e.lock, out);
+                    let now_disabled =
+                        self.locks.get(&e.lock).map(|s| s.disabled).unwrap_or(false);
+                    if !disabled && !now_disabled {
+                        out.push(FlowEvent::Consumed {
+                            thread: t,
+                            loc,
+                            ctx,
+                            lock: e.lock,
+                        });
+                    }
+                }
+            }
+        }
+
+        fn outer_lock(&self, t: ThreadId) -> Option<LockId> {
+            self.in_cs.get(&t).map(|s| s.outer)
+        }
+
+        fn flush_if_foreign(&mut self, loc: Loc, lock: LockId) {
+            if let Some(e) = self.dict.get(&loc) {
+                if e.lock != lock {
+                    self.dict.remove(&loc);
+                }
+            }
+        }
+
+        fn check_intersection(&mut self, lock: LockId, out: &mut Vec<FlowEvent>) {
+            let Some(st) = self.locks.get_mut(&lock) else {
+                return;
+            };
+            if st.disabled {
+                return;
+            }
+            if st.producers.intersection(&st.consumers).next().is_some() {
+                st.disabled = true;
+                out.push(FlowEvent::FlowDisabled { lock });
+            }
+        }
+    }
+}
+
+fn flow_loc_strategy() -> impl Strategy<Value = Loc> {
+    prop_oneof![
+        (0u64..12).prop_map(Loc::Mem),
+        ((0u32..4), (0u8..3)).prop_map(|(t, r)| Loc::Reg(ThreadId(t), r)),
+    ]
+}
+
+fn flow_event_strategy() -> impl Strategy<Value = MemEvent> {
+    prop_oneof![
+        (1u32..4).prop_map(|l| MemEvent::CsEnter { lock: LockId(l) }),
+        Just(MemEvent::CsExit),
+        (flow_loc_strategy(), flow_loc_strategy())
+            .prop_map(|(src, dst)| MemEvent::Mov { src, dst }),
+        flow_loc_strategy().prop_map(|dst| MemEvent::Modify { dst }),
+        flow_loc_strategy().prop_map(|loc| MemEvent::Use { loc }),
+    ]
+}
+
+/// Drives both detectors over one stream and compares every
+/// observable: inference stream, dictionary size, lock sets, per-lock
+/// statistics.
+fn check_flow_equivalence(ops: &[(u32, u32, MemEvent)], clear_regs: bool, mem_dst: bool) {
+    let cfg = whodunit_core::shm::FlowConfig {
+        clear_regs_on_cs_enter: clear_regs,
+        produce_requires_mem_dst: mem_dst,
+    };
+    let mut fast = FlowDetector::new(cfg);
+    let mut slow = flow_reference::RefDetector::new(cfg);
+    let mut out_fast = Vec::new();
+    let mut out_slow = Vec::new();
+    for (t, ctx, ev) in ops {
+        out_fast.clear();
+        out_slow.clear();
+        fast.on_event(ThreadId(*t), CtxId(*ctx), ev, &mut out_fast);
+        slow.on_event(ThreadId(*t), CtxId(*ctx), ev, &mut out_slow);
+        prop_assert_eq!(&out_fast, &out_slow, "event {:?} diverged", ev);
+    }
+    prop_assert_eq!(fast.dict_len(), slow.dict_len());
+    prop_assert_eq!(fast.known_locks(), slow.known_locks());
+    for l in 0u32..6 {
+        let s = fast.lock_stats(LockId(l));
+        let (produced, consumed, producers, consumers, disabled) = slow.stats(LockId(l));
+        prop_assert_eq!(s.produced, produced);
+        prop_assert_eq!(s.consumed, consumed);
+        prop_assert_eq!(s.producers, producers);
+        prop_assert_eq!(s.consumers, consumers);
+        prop_assert_eq!(s.disabled, disabled);
+        prop_assert_eq!(fast.flow_enabled(LockId(l)), !disabled);
+    }
+}
+
+proptest! {
+    /// Every event stream drives the FNV-table detector and the
+    /// HashMap reference model to identical observable behavior —
+    /// under both configuration ablations.
+    #[test]
+    fn flow_detector_matches_hashmap_reference(
+        args in (proptest::collection::vec(
+            (0u32..4, 0u32..5, flow_event_strategy()), 1..250),
+            any::<bool>(), any::<bool>())
+    ) {
+        let (ops, clear_regs, mem_dst) = args;
+        check_flow_equivalence(&ops, clear_regs, mem_dst);
     }
 }

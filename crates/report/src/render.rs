@@ -1,7 +1,14 @@
 //! Rendering of per-context CCT profiles (Figures 8–10 style).
+//!
+//! All renderers append into one preallocated buffer: integers go
+//! through [`whodunit_core::txt`]'s fixed-buffer formatter and floats
+//! through `write!` directly into the output `String`, so no line
+//! allocates an intermediate `format!` string.
 
+use std::fmt::Write as _;
 use whodunit_core::cct::CctNodeId;
 use whodunit_core::stitch::{StageDump, Stitched};
+use whodunit_core::txt::{push_u32, push_usize};
 
 /// One rendered context entry: the context string and its share of the
 /// stage's total profile.
@@ -59,10 +66,17 @@ pub fn context_shares(dump: &StageDump) -> Vec<CtxShare> {
 /// stage total (the triangles of Figure 8).
 pub fn render_stage(dump: &StageDump) -> String {
     let mut out = String::new();
-    out.push_str(&format!(
-        "=== stage {} ({}) ===\n",
-        dump.proc, dump.stage_name
-    ));
+    render_stage_into(dump, &mut out);
+    out
+}
+
+/// [`render_stage`] appending into a caller-supplied buffer.
+pub fn render_stage_into(dump: &StageDump, out: &mut String) {
+    out.push_str("=== stage ");
+    push_u32(out, dump.proc);
+    out.push_str(" (");
+    out.push_str(&dump.stage_name);
+    out.push_str(") ===\n");
     let mut total_samples = 0u64;
     for c in &dump.ccts {
         if let Ok(cct) = dump.rebuild_cct(c) {
@@ -71,13 +85,16 @@ pub fn render_stage(dump: &StageDump) -> String {
     }
     for c in &dump.ccts {
         let Ok(cct) = dump.rebuild_cct(c) else {
-            out.push_str(&format!("ctx: {} <corrupt cct skipped>\n", dump.ctx_string(c.ctx)));
+            out.push_str("ctx: ");
+            out.push_str(&dump.ctx_string(c.ctx));
+            out.push_str(" <corrupt cct skipped>\n");
             continue;
         };
-        out.push_str(&format!("ctx: {}\n", dump.ctx_string(c.ctx)));
-        render_node(&mut out, dump, &cct, CctNodeId::ROOT, 1, total_samples);
+        out.push_str("ctx: ");
+        out.push_str(&dump.ctx_string(c.ctx));
+        out.push('\n');
+        render_node(out, dump, &cct, CctNodeId::ROOT, 1, total_samples);
     }
-    out
 }
 
 fn render_node(
@@ -95,15 +112,19 @@ fn render_node(
         } else {
             inc.samples as f64 * 100.0 / total_samples as f64
         };
-        out.push_str(&format!(
-            "{}{} [{:.2}%]\n",
-            "  ".repeat(depth),
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(
             dump.frames
                 .get(f.0 as usize)
                 .map(String::as_str)
                 .unwrap_or("<?>"),
-            pct
-        ));
+        );
+        // Float percentages keep `write!` so rounding matches `Display`
+        // byte-for-byte; the write lands directly in `out`.
+        let _ = write!(out, " [{pct:.2}%]");
+        out.push('\n');
     }
     for child in cct.children_sorted(node) {
         render_node(out, dump, cct, child, depth + 1, total_samples);
@@ -115,15 +136,16 @@ fn render_node(
 /// edges of Figure 8 connect clusters in the stitched view).
 pub fn render_dot(dump: &StageDump) -> String {
     let mut out = String::new();
-    out.push_str(&format!("digraph \"{}\" {{\n", dump.stage_name));
+    let _ = writeln!(out, "digraph \"{}\" {{", dump.stage_name);
     for (ci, c) in dump.ccts.iter().enumerate() {
         let Ok(cct) = dump.rebuild_cct(c) else {
             continue;
         };
-        out.push_str(&format!(
+        let _ = write!(
+            out,
             "  subgraph cluster_{ci} {{\n    label=\"{}\";\n",
             dump.ctx_string(c.ctx).replace('"', "'")
-        ));
+        );
         for node in cct.node_ids() {
             if let Some(f) = cct.frame(node) {
                 let name = dump
@@ -131,10 +153,10 @@ pub fn render_dot(dump: &StageDump) -> String {
                     .get(f.0 as usize)
                     .map(String::as_str)
                     .unwrap_or("<?>");
-                out.push_str(&format!("    n{ci}_{} [label=\"{name}\"];\n", node.0));
+                let _ = writeln!(out, "    n{ci}_{} [label=\"{name}\"];", node.0);
                 if let Some(p) = cct.parent(node) {
                     if cct.frame(p).is_some() {
-                        out.push_str(&format!("    n{ci}_{} -> n{ci}_{};\n", p.0, node.0));
+                        let _ = writeln!(out, "    n{ci}_{} -> n{ci}_{};", p.0, node.0);
                     }
                 }
             }
@@ -162,11 +184,12 @@ pub fn render_stitched_dot(stitched: &Stitched) -> String {
                 continue;
             };
             let cl = format!("cluster_s{si}_c{}", c.ctx);
-            out.push_str(&format!(
+            let _ = write!(
+                out,
                 "  subgraph {cl} {{\n    label=\"{}: {}\";\n",
                 d.stage_name,
                 d.ctx_string(c.ctx).replace('"', "'")
-            ));
+            );
             let mut first = None;
             for node in cct.node_ids() {
                 if let Some(f) = cct.frame(node) {
@@ -176,13 +199,13 @@ pub fn render_stitched_dot(stitched: &Stitched) -> String {
                         .map(String::as_str)
                         .unwrap_or("<?>");
                     let id = format!("s{si}_c{}_n{}", c.ctx, node.0);
-                    out.push_str(&format!("    {id} [label=\"{name}\"];\n"));
+                    let _ = writeln!(out, "    {id} [label=\"{name}\"];");
                     if first.is_none() {
                         first = Some(id.clone());
                     }
                     if let Some(p) = cct.parent(node) {
                         if cct.frame(p).is_some() {
-                            out.push_str(&format!("    s{si}_c{}_n{} -> {id};\n", c.ctx, p.0));
+                            let _ = writeln!(out, "    s{si}_c{}_n{} -> {id};", c.ctx, p.0);
                         }
                     }
                 }
@@ -201,10 +224,11 @@ pub fn render_stitched_dot(stitched: &Stitched) -> String {
         ) else {
             continue;
         };
-        out.push_str(&format!(
-            "  {from} -> {to} [style=dashed, label=\"request\", ltail=cluster_s{}_c{}, lhead=cluster_s{}_c{}];\n",
+        let _ = writeln!(
+            out,
+            "  {from} -> {to} [style=dashed, label=\"request\", ltail=cluster_s{}_c{}, lhead=cluster_s{}_c{}];",
             e.from_stage, e.from_ctx, e.to_stage, e.to_ctx
-        ));
+        );
     }
     out.push_str("}\n");
     out
@@ -215,18 +239,19 @@ pub fn render_stitched_dot(stitched: &Stitched) -> String {
 pub fn render_stitched_text(stitched: &Stitched) -> String {
     let mut out = String::new();
     for d in &stitched.stages {
-        out.push_str(&render_stage(d));
+        render_stage_into(d, &mut out);
         out.push('\n');
     }
     out.push_str("transaction edges (request direction):\n");
     for e in stitched.request_edges() {
-        out.push_str(&format!(
-            "  {}:{}  ==>  {}:{}\n",
+        let _ = writeln!(
+            out,
+            "  {}:{}  ==>  {}:{}",
             stitched.stages[e.from_stage].stage_name,
             stitched.stages[e.from_stage].ctx_string(e.from_ctx),
             stitched.stages[e.to_stage].stage_name,
             stitched.stages[e.to_stage].ctx_string(e.to_ctx),
-        ));
+        );
     }
     // A partial run is visibly partial: edges whose sender dump is
     // missing or corrupt, and dumps skipped at stitch time.
@@ -234,19 +259,21 @@ pub fn render_stitched_text(stitched: &Stitched) -> String {
     if !unresolved.is_empty() {
         out.push_str("unresolved edges (sender dump missing or pruned):\n");
         for e in unresolved {
-            out.push_str(&format!(
-                "  ???[{}]  ==>  {}:{}\n",
+            let _ = writeln!(
+                out,
+                "  ???[{}]  ==>  {}:{}",
                 whodunit_core::synopsis::Synopsis(e.missing),
                 stitched.stages[e.to_stage].stage_name,
                 stitched.stages[e.to_stage].ctx_string(e.to_ctx),
-            ));
+            );
         }
     }
     for (si, err) in stitched.warnings() {
-        out.push_str(&format!(
-            "warning: stage {si} ({}) skipped: {err}\n",
+        let _ = writeln!(
+            out,
+            "warning: stage {si} ({}) skipped: {err}",
             stitched.stages[*si].stage_name
-        ));
+        );
     }
     out
 }
@@ -261,14 +288,17 @@ pub fn render_stitched_text(stitched: &Stitched) -> String {
 /// (regenerate with `UPDATE_GOLDEN=1`).
 pub fn render_pipeline(rep: &whodunit_core::pipeline::PipelineReport) -> String {
     let mut out = String::new();
-    out.push_str(&format!(
-        "pipeline analysis: {} stages, {} profiles, {} frames, dict {} values / {} shards\n\n",
-        rep.stages.len(),
-        rep.profiles.len(),
-        rep.frames.len(),
-        rep.dict.len(),
-        rep.shards
-    ));
+    out.push_str("pipeline analysis: ");
+    push_usize(&mut out, rep.stages.len());
+    out.push_str(" stages, ");
+    push_usize(&mut out, rep.profiles.len());
+    out.push_str(" profiles, ");
+    push_usize(&mut out, rep.frames.len());
+    out.push_str(" frames, dict ");
+    push_usize(&mut out, rep.dict.len());
+    out.push_str(" values / ");
+    push_usize(&mut out, rep.shards);
+    out.push_str(" shards\n\n");
     out.push_str("== stitched transactions ==\n");
     out.push_str(&rep.stitched_text());
     out.push_str("\n== crosstalk ==\n");

@@ -428,8 +428,11 @@ impl Sim {
     }
 
     /// The shared frame intern table.
-    pub fn frames(&self) -> SharedFrameTable {
-        self.frames.clone()
+    ///
+    /// Borrowed; callers that need to hold on to the table clone the
+    /// returned handle explicitly (a cheap `Rc` bump).
+    pub fn frames(&self) -> &SharedFrameTable {
+        &self.frames
     }
 
     /// Interns a frame name.
@@ -1166,9 +1169,9 @@ impl ThreadCx<'_> {
         self.t
     }
 
-    /// The shared frame table.
-    pub fn frames(&self) -> SharedFrameTable {
-        self.sim.frames.clone()
+    /// The shared frame table (borrowed; clone the handle to keep it).
+    pub fn frames(&self) -> &SharedFrameTable {
+        &self.sim.frames
     }
 
     /// Interns a frame name.
@@ -1441,7 +1444,7 @@ mod tests {
     fn whodunit_runtime_collects_profile_through_engine() {
         let mut sim = Sim::default();
         let m = sim.add_machine(1);
-        let frames = sim.frames();
+        let frames = sim.frames().clone();
         let w = Rc::new(RefCell::new(Whodunit::new(
             WhodunitConfig::new(ProcId(0), "svc"),
             frames,

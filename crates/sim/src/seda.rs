@@ -256,7 +256,7 @@ mod tests {
     fn two_stage_pipeline_flows_and_profiles() {
         let mut sim = Sim::new(SimConfig::default());
         let m = sim.add_machine(2);
-        let frames = sim.frames();
+        let frames = sim.frames().clone();
         let w = Rc::new(RefCell::new(Whodunit::new(
             WhodunitConfig::new(ProcId(0), "seda"),
             frames,

@@ -296,7 +296,7 @@ fn whodunit_send_adds_piggyback_bytes_to_transfer() {
     use whodunit_core::profiler::{Whodunit, WhodunitConfig};
     let mut sim = Sim::default();
     let m = sim.add_machine(1);
-    let frames = sim.frames();
+    let frames = sim.frames().clone();
     let w = Rc::new(RefCell::new(Whodunit::new(
         WhodunitConfig::new(ProcId(0), "s"),
         frames,

@@ -143,7 +143,7 @@ impl CsEmulator {
             if !emulating {
                 if matches!(ef.cs, Some(CsOp::Enter(_))) {
                     emulating = true;
-                    st.translate_cycles = tcache.enter(&prog.name, prog.len());
+                    st.translate_cycles = tcache.enter(prog.id, prog.len());
                     st.cycles += st.translate_cycles;
                 } else {
                     st.cycles += ef.cost;

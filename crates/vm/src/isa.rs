@@ -13,10 +13,35 @@
 //! `pthread_mutex_lock`/`unlock`. They are what the "Direct Execution"
 //! column of Table 3 measures.
 
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Mutex, OnceLock};
 
 /// Number of general-purpose registers (`r0`–`r15`).
 pub const NREGS: usize = 16;
+
+/// Interned program identity.
+///
+/// Equal names always intern to the same id, so consumers like the
+/// translation cache can key on a dense `u32` instead of hashing and
+/// cloning name strings. Ids are process-global and never appear in
+/// any output.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProgId(pub u32);
+
+fn intern_prog_name(name: &str) -> ProgId {
+    static IDS: OnceLock<Mutex<HashMap<String, u32>>> = OnceLock::new();
+    let mut ids = IDS
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("program-name interner poisoned");
+    if let Some(&id) = ids.get(name) {
+        return ProgId(id);
+    }
+    let id = ids.len() as u32;
+    ids.insert(name.to_owned(), id);
+    ProgId(id)
+}
 
 /// A critical-section marker executed by the guest.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -264,8 +289,10 @@ impl fmt::Display for Instr {
 /// A named guest program.
 #[derive(Clone, Debug)]
 pub struct Program {
-    /// Name (used as the translation-cache key).
+    /// Name (for display and assembly round-trips).
     pub name: String,
+    /// Interned identity of `name` (the translation-cache key).
+    pub id: ProgId,
     /// The instructions; execution starts at index 0.
     pub instrs: Vec<Instr>,
 }
@@ -273,10 +300,9 @@ pub struct Program {
 impl Program {
     /// Creates a program.
     pub fn new(name: impl Into<String>, instrs: Vec<Instr>) -> Self {
-        Program {
-            name: name.into(),
-            instrs,
-        }
+        let name = name.into();
+        let id = intern_prog_name(&name);
+        Program { name, id, instrs }
     }
 
     /// Static instruction count (what translation pays for).

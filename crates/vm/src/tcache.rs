@@ -16,12 +16,15 @@
 //! `dispatch_per_instr` cycles. Constants are calibrated to land in
 //! Table 3's ranges for ≈20-instruction critical sections.
 
-use std::collections::HashSet;
+use crate::isa::ProgId;
 
 /// Translation cache with per-instruction cost constants.
+///
+/// Keyed by interned [`ProgId`]s: membership is one dense bit-vector
+/// index, with no string hashing or cloning on the emulation path.
 #[derive(Clone, Debug)]
 pub struct TranslationCache {
-    translated: HashSet<String>,
+    translated: Vec<bool>,
     /// One-time translation cost per static instruction.
     pub translate_per_instr: u64,
     /// Dispatch cost per executed instruction when running from cache.
@@ -42,7 +45,7 @@ impl TranslationCache {
     /// Creates a cache with the calibrated default constants.
     pub fn new() -> Self {
         TranslationCache {
-            translated: HashSet::new(),
+            translated: Vec::new(),
             translate_per_instr: 2900,
             dispatch_per_instr: 800,
             translate_cycles: 0,
@@ -51,18 +54,25 @@ impl TranslationCache {
     }
 
     /// Whether `program` is already translated.
-    pub fn is_translated(&self, program: &str) -> bool {
-        self.translated.contains(program)
+    pub fn is_translated(&self, program: ProgId) -> bool {
+        self.translated
+            .get(program.0 as usize)
+            .copied()
+            .unwrap_or(false)
     }
 
     /// Charges for entering `program` (translating it if this is its
     /// first execution). Returns the translation cycles charged (zero
     /// on a cache hit).
-    pub fn enter(&mut self, program: &str, static_instrs: usize) -> u64 {
-        if self.translated.contains(program) {
+    pub fn enter(&mut self, program: ProgId, static_instrs: usize) -> u64 {
+        let i = program.0 as usize;
+        if self.translated.get(i).copied().unwrap_or(false) {
             return 0;
         }
-        self.translated.insert(program.to_owned());
+        if self.translated.len() <= i {
+            self.translated.resize(i + 1, false);
+        }
+        self.translated[i] = true;
         let c = static_instrs as u64 * self.translate_per_instr;
         self.translate_cycles += c;
         c
@@ -79,7 +89,7 @@ impl TranslationCache {
     /// Drops all cached translations (used by the Table 3 microbench to
     /// re-measure the translate+emulate regime).
     pub fn flush(&mut self) {
-        self.translated.clear();
+        self.translated.fill(false);
     }
 }
 
@@ -87,15 +97,28 @@ impl TranslationCache {
 mod tests {
     use super::*;
 
+    const PUSH: ProgId = ProgId(1);
+    const POP: ProgId = ProgId(2);
+
     #[test]
     fn first_entry_translates_then_caches() {
         let mut tc = TranslationCache::new();
-        let c1 = tc.enter("push", 20);
+        let c1 = tc.enter(PUSH, 20);
         assert_eq!(c1, 20 * tc.translate_per_instr);
-        assert!(tc.is_translated("push"));
-        let c2 = tc.enter("push", 20);
+        assert!(tc.is_translated(PUSH));
+        assert!(!tc.is_translated(POP));
+        let c2 = tc.enter(PUSH, 20);
         assert_eq!(c2, 0);
         assert_eq!(tc.translate_cycles, c1);
+    }
+
+    #[test]
+    fn program_ids_are_stable_per_name() {
+        let a = crate::isa::Program::new("tcache_id_test_a", Vec::new());
+        let b = crate::isa::Program::new("tcache_id_test_b", Vec::new());
+        let a2 = crate::isa::Program::new("tcache_id_test_a", Vec::new());
+        assert_eq!(a.id, a2.id);
+        assert_ne!(a.id, b.id);
     }
 
     #[test]
@@ -109,10 +132,10 @@ mod tests {
     #[test]
     fn flush_forces_retranslation() {
         let mut tc = TranslationCache::new();
-        tc.enter("p", 4);
+        tc.enter(PUSH, 4);
         tc.flush();
-        assert!(!tc.is_translated("p"));
-        assert!(tc.enter("p", 4) > 0);
+        assert!(!tc.is_translated(PUSH));
+        assert!(tc.enter(PUSH, 4) > 0);
     }
 
     #[test]
@@ -121,7 +144,7 @@ mod tests {
         // emulation ≪ translate+emulate.
         let mut tc = TranslationCache::new();
         let direct = 132u64;
-        let translate = tc.enter("cs", 20);
+        let translate = tc.enter(POP, 20);
         let emu = tc.dispatch(20);
         assert!(direct < emu);
         assert!(emu < translate + emu);

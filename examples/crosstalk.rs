@@ -66,7 +66,7 @@ fn main() {
     let m = sim.add_machine(4);
     let w = Rc::new(RefCell::new(Whodunit::new(
         WhodunitConfig::new(ProcId(0), "db"),
-        sim.frames(),
+        sim.frames().clone(),
     )));
     let p = sim.add_process("db", w.clone());
     let lock = sim.add_lock();

@@ -121,11 +121,11 @@ fn main() {
     // One Whodunit instance per process, sharing the frame table.
     let caller_rt = Rc::new(RefCell::new(Whodunit::new(
         WhodunitConfig::new(ProcId(0), "caller"),
-        sim.frames(),
+        sim.frames().clone(),
     )));
     let callee_rt = Rc::new(RefCell::new(Whodunit::new(
         WhodunitConfig::new(ProcId(1), "callee"),
-        sim.frames(),
+        sim.frames().clone(),
     )));
     let p_caller = sim.add_process("caller", caller_rt.clone());
     let p_callee = sim.add_process("callee", callee_rt.clone());

@@ -43,6 +43,11 @@ cargo run --release -q -p whodunit-bench --bin pipeline -- --smoke --out target/
 # pending state, or a resident peak that reaches the origin total.
 cargo run --release -q -p whodunit-bench --bin collectord -- --smoke --out target/BENCH_collector_smoke.json
 
+# Hot-path smoke: microbench self-checks (flow table, context intern,
+# CCT fold, serializer byte-stability) plus a reduced streaming-ingest
+# run; fail on any self-check miss or streaming/batch divergence.
+cargo run --release -q -p whodunit-bench --bin hotpath -- --smoke --out target/BENCH_hotpath_smoke.json
+
 # Chaos smoke: the explorer's own pipeline check (find -> shrink ->
 # record -> replay on a planted defect), then a bounded fuzz sweep —
 # 25 sampled (schedule, fault-plan) scenarios over the TPC-W stack,
