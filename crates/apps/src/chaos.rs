@@ -225,6 +225,7 @@ mod tests {
             workload: default_workload(),
             faults: Vec::new(),
             violation: None,
+            window: None,
         };
         r.set_knob("clients", 6);
         r.set_knob("duration", 20 * CPU_HZ);

@@ -30,4 +30,5 @@ pub mod metrics;
 pub mod proxy;
 pub mod rtconf;
 pub mod sedasrv;
+pub mod sentinel;
 pub mod tpcw;

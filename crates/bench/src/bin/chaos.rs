@@ -10,7 +10,10 @@
 //!   Exits nonzero if any seed violated an oracle.
 //! - `chaos --replay FILE` re-executes a repro file twice, verifies the
 //!   two executions are bit-identical (equal fingerprints), and checks
-//!   that the recorded violation — if any — re-triggers.
+//!   that the recorded violation — if any — re-triggers. Sentinel
+//!   bundles (violation `slo:*`) are re-judged by reconstructing the
+//!   tripped budget from the bundle's `slo_*` knobs and streaming the
+//!   scenario through the sentinel.
 //! - `chaos --selftest [--out DIR]` plants a known bounded-progress
 //!   defect (the `livelock_pair` knob), verifies the explorer catches
 //!   it, shrinks it, writes the repro, and replays it from disk —
@@ -20,6 +23,8 @@ use std::process::ExitCode;
 use whodunit_apps::chaos::{
     default_workload, run_scenario, still_fails_with, tpcw_space, SHRINKABLE_KNOBS,
 };
+use whodunit_apps::sentinel::run_with_sentinel;
+use whodunit_collector::sentinel::SloBudget;
 use whodunit_bench::header;
 use whodunit_core::cost::CPU_HZ;
 use whodunit_core::repro::{repro_from_json, repro_to_json, ChaosRepro, FaultEntry};
@@ -189,6 +194,10 @@ fn replay(path: &str) -> ExitCode {
         println!("violation         {v}");
     }
     match &repro.violation {
+        // Sentinel bundles record an SLO trip, not an oracle violation:
+        // the plain run above proves bit-identity, and the budget is
+        // re-judged by streaming the same scenario through the sentinel.
+        Some(kind) if kind.starts_with("slo:") => verify_slo(&repro, kind),
         Some(kind) if !a.has_violation(kind) => {
             println!("MISMATCH: recorded violation '{kind}' did not re-trigger");
             ExitCode::FAILURE
@@ -204,6 +213,75 @@ fn replay(path: &str) -> ExitCode {
         None => {
             println!("replay            clean run, as recorded");
             ExitCode::SUCCESS
+        }
+    }
+}
+
+/// Re-judge a sentinel-captured SLO trip. The bundle is self-contained:
+/// the `slo_*` knobs carry the tripped dimension's ceiling and the
+/// watchdog's window parameters, and `window` carries the epoch length
+/// and the trip epoch. Reconstructs a minimal single-dimension budget
+/// and checks the same dimension trips at the same epoch.
+fn verify_slo(repro: &ChaosRepro, kind: &str) -> ExitCode {
+    let dim = &kind["slo:".len()..];
+    let Some(win) = &repro.window else {
+        println!("MISMATCH: slo repro has no capture window");
+        return ExitCode::FAILURE;
+    };
+    let knob = |name: &str| {
+        repro
+            .knob(name)
+            .ok_or_else(|| format!("MISMATCH: slo repro missing knob '{name}'"))
+    };
+    let reconstructed = || -> Result<SloBudget, String> {
+        let ceiling = knob("slo_budget")?;
+        let mut budget = SloBudget {
+            quantile_ppm: knob("slo_quantile_ppm")?,
+            window_epochs: knob("slo_window_epochs")?,
+            warmup_epochs: knob("slo_warmup_epochs")?,
+            ..SloBudget::default()
+        };
+        if let Some(stage) = dim.strip_prefix("tail:") {
+            budget.stage_cycles = vec![(stage.to_owned(), ceiling)];
+        } else if let Some(stage) = dim.strip_prefix("starve:") {
+            budget.stage_floor = vec![(stage.to_owned(), ceiling)];
+        } else if dim == "xt-wait" {
+            budget.xt_wait = Some(ceiling);
+        } else if dim == "lag" {
+            budget.max_lag = Some(ceiling);
+        } else if dim == "quarantine" {
+            budget.max_quarantined = Some(ceiling);
+        } else {
+            return Err(format!("MISMATCH: unknown slo dimension '{dim}'"));
+        }
+        Ok(budget)
+    };
+    let budget = match reconstructed() {
+        Ok(b) => b,
+        Err(msg) => {
+            println!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let run = run_with_sentinel(repro, &budget, win.epoch_len);
+    match run.violation {
+        Some(v) if v.dimension == dim && v.epoch == win.end => {
+            println!(
+                "replay            slo trip '{dim}' re-triggered at epoch {} (observed {} > budget {})",
+                v.epoch, v.observed, v.budget
+            );
+            ExitCode::SUCCESS
+        }
+        Some(v) => {
+            println!(
+                "MISMATCH: slo replay tripped '{}' at epoch {} (recorded '{}' at epoch {})",
+                v.dimension, v.epoch, dim, win.end
+            );
+            ExitCode::FAILURE
+        }
+        None => {
+            println!("MISMATCH: recorded violation '{kind}' did not re-trigger");
+            ExitCode::FAILURE
         }
     }
 }
@@ -229,6 +307,7 @@ fn selftest(args: &Args) -> ExitCode {
             },
         ],
         violation: None,
+        window: None,
     };
     repro.set_knob("livelock_pair", 1);
     repro.set_knob("step_budget", 50_000);

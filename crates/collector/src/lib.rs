@@ -51,6 +51,9 @@
 
 #![warn(missing_docs)]
 
+pub mod quarantine;
+pub mod sentinel;
+
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use whodunit_core::cct::{Cct, CctNodeId, Metrics};
 use whodunit_core::hash::FnvHashMap;
@@ -59,13 +62,17 @@ use whodunit_core::context::{
 };
 use whodunit_core::crosstalk::{CrosstalkMatrix, OriginKey, WaitStats};
 use whodunit_core::delta::{
-    CctDelta, DeltaSink, EpochBatch, StageAccumulator, StageDelta, StreamHeader,
+    CctDelta, DeltaError, DeltaSink, EpochBatch, ResyncSource, StageAccumulator, StageDelta,
+    StreamHeader,
 };
 use whodunit_core::frame::FrameId;
 use whodunit_core::pipeline::{analyze, OriginProfile, PipelineConfig, PipelineReport};
-use whodunit_core::stitch::{DumpAtom, RequestEdge, StageDump, UnresolvedEdge};
+use whodunit_core::stitch::{ctx_string_of, DumpAtom, RequestEdge, StageDump, UnresolvedEdge};
 use whodunit_core::synopsis::{SynChain, Synopsis};
 use whodunit_report::live::{Hotspot, LagStats, LiveSnapshot, TierSlice, TopPath};
+
+pub use quarantine::{QuarantinePolicy, StageQuarantine};
+pub use sentinel::{Sentinel, SentinelSink, SloBudget, SloViolation};
 
 /// Tuning knobs of the collector.
 #[derive(Clone, Debug)]
@@ -82,6 +89,14 @@ pub struct CollectorConfig {
     /// full, [`Collector::enqueue`] refuses the batch (backpressure)
     /// and counts it in [`CollectorStats::throttled`].
     pub max_queue: usize,
+    /// Quarantine/reorder/resync/stall policy. Only consulted when a
+    /// [`ResyncSource`] is attached; without one, damage falls back to
+    /// the legacy broken-stream handling.
+    pub quarantine: QuarantinePolicy,
+    /// Whether to record per-epoch [`EpochObs`] for a sentinel to
+    /// drain. Off by default: the observations are cheap but not free,
+    /// and only the sentinel consumes them.
+    pub track_obs: bool,
 }
 
 impl Default for CollectorConfig {
@@ -91,8 +106,31 @@ impl Default for CollectorConfig {
             window_epochs: 4,
             top_k: 5,
             max_queue: 0,
+            quarantine: QuarantinePolicy::default(),
+            track_obs: false,
         }
     }
+}
+
+/// Cheap per-epoch observations for SLO evaluation: everything the
+/// sentinel's budgets are defined over, computed incrementally from the
+/// batch content during ingest (no snapshot, no cloning).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EpochObs {
+    /// Epoch index of the batch.
+    pub epoch: u64,
+    /// Virtual time (cycles) at the end of the epoch.
+    pub end: u64,
+    /// Change events the batch carried.
+    pub events: u64,
+    /// Cycles added per stage this epoch (indexed by stage).
+    pub stage_cycles: Vec<u64>,
+    /// Crosstalk wait cycles added this epoch.
+    pub xt_wait: u64,
+    /// Ingest queue depth after the batch was processed.
+    pub queued: u64,
+    /// Frames quarantined while processing the batch.
+    pub quarantined: u64,
 }
 
 /// Ingest, memory, and integrity accounting.
@@ -105,9 +143,24 @@ pub struct CollectorStats {
     /// Batch sequence gaps observed.
     pub seq_gaps: u64,
     /// Deltas rejected by the accumulator (checksum, per-stage
-    /// sequence, baseline inconsistency). Any of these marks the
-    /// stream broken and forces the batch fallback at finalize.
+    /// sequence, baseline inconsistency) with no [`ResyncSource`]
+    /// attached. Any of these marks the stream broken and forces the
+    /// batch fallback at finalize. With a source attached, damage is
+    /// routed through quarantine instead (see the counters below).
     pub delta_errors: u64,
+    /// Corrupt frames quarantined (checksum / inconsistency, healed by
+    /// resync rather than fallback).
+    pub quarantined: u64,
+    /// Duplicated frames dropped (already-applied sequence numbers).
+    pub dup_frames: u64,
+    /// Out-of-order frames healed from the reorder buffer.
+    pub healed_frames: u64,
+    /// Bounded resyncs performed against the attached source.
+    pub resyncs: u64,
+    /// Frames discarded on halted stages.
+    pub dropped_frames: u64,
+    /// Stall events declared by the watchdog.
+    pub stalls: u64,
     /// Evictions from the resident set into the finalized store.
     pub evictions: u64,
     /// Evicted origins revived by late activity.
@@ -116,8 +169,18 @@ pub struct CollectorStats {
     pub peak_resident: u64,
     /// Batches refused because the ingest queue was full.
     pub throttled: u64,
-    /// High-water mark of the ingest queue depth.
+    /// High-water mark of the ingest queue depth, all-time.
     pub peak_queued: u64,
+    /// High-water mark of the current fill/drain cycle; resets when a
+    /// batch arrives on an empty queue, so collector reuse across
+    /// drain cycles does not pin the gauge at an ancient peak.
+    pub cycle_peak_queued: u64,
+    /// Explicit degradation markers, one per stage whose stream needed
+    /// quarantine/resync/stall handling (set at finalize; empty on a
+    /// clean stream). The [`PipelineReport`] itself stays byte-exact —
+    /// degradation is annotated here and in [`LiveSnapshot::degraded`],
+    /// never inside the report.
+    pub degraded: Vec<String>,
     /// Origin walks still pending when [`Collector::finalize`] began
     /// (before settlement). Zero on a clean complete stream.
     pub pending_walks_at_flush: u64,
@@ -180,6 +243,18 @@ struct FinalizedOrigin {
     nodes: Vec<CompactNode>,
     stages: BTreeSet<usize>,
     tier_cycles: BTreeMap<usize, u64>,
+    /// Hottest path (collector-global frame ids), memoized on first
+    /// snapshot use: live snapshots rank finalized origins too, and
+    /// rebuilding a CCT per origin per snapshot would put an O(nodes)
+    /// tax on every live query — while computing it eagerly at
+    /// eviction would tax ingest for origins no query ever ranks.
+    hot_path: std::cell::OnceCell<Vec<u32>>,
+    samples: u64,
+    /// Sum of `tier_cycles`, fixed at eviction (revival recomputes on
+    /// the next eviction): snapshots rank every finalized origin, and
+    /// at fleet scale re-summing each one's tier map per snapshot is
+    /// the ranking's dominant cost.
+    cycles: u64,
 }
 
 fn compact_cct(cct: &Cct) -> Vec<CompactNode> {
@@ -248,6 +323,13 @@ pub struct Collector {
     xt_waiters: FnvHashMap<OriginKey, WaitStats>,
     resident: FnvHashMap<OriginKey, ResidentOrigin>,
     finalized: FnvHashMap<OriginKey, FinalizedOrigin>,
+    /// Finalized origins ordered by `(cycles desc, key asc)` — the
+    /// snapshot ranking order. Maintained at eviction/revival so a
+    /// live snapshot ranks `resident ∪ top-k(finalized)` instead of
+    /// walking the whole (ever-growing) finalized store.
+    finalized_rank: std::collections::BTreeSet<(std::cmp::Reverse<u64>, OriginKey)>,
+    /// Memoized origin labels (see [`Collector::origin_label`]).
+    label_cache: std::cell::RefCell<FnvHashMap<OriginKey, String>>,
     /// Collector-local frame intern table (union of stage frames in
     /// arrival order; remapped to the global sorted table at finalize).
     frames: Vec<String>,
@@ -259,7 +341,36 @@ pub struct Collector {
     stats: CollectorStats,
     started: bool,
     broken: bool,
+    /// Per-stage quarantine/reorder/stall state, parallel to `stages`.
+    quarantine: Vec<StageQuarantine>,
+    /// Emitter-side snapshot provider for bounded resync, if attached.
+    resync: Option<ResyncHandle>,
+    /// Epoch of the batch currently being ingested (for per-stage
+    /// progress tracking; `epoch` itself only advances post-batch to
+    /// keep eviction timing unchanged).
+    ingest_epoch: u64,
+    /// Recorded per-epoch observations awaiting `take_epoch_obs`.
+    epoch_obs: VecDeque<EpochObs>,
+    /// Per-batch scratch for `EpochObs::stage_cycles`.
+    obs_stage_cycles: Vec<u64>,
+    /// Per-batch scratch for `EpochObs::xt_wait`.
+    obs_xt_wait: u64,
+    /// Per-batch scratch for `EpochObs::quarantined`.
+    obs_quarantined: u64,
 }
+
+/// Debug-opaque wrapper so `Collector` can keep `derive(Debug)` while
+/// holding a trait object.
+struct ResyncHandle(Box<dyn ResyncSource>);
+
+impl std::fmt::Debug for ResyncHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ResyncSource(..)")
+    }
+}
+
+/// Bound on retained [`EpochObs`] when nothing drains them.
+const OBS_CAPACITY: usize = 4096;
 
 const WAITER_ONLY: u32 = u32::MAX;
 
@@ -279,6 +390,8 @@ impl Collector {
             xt_waiters: FnvHashMap::default(),
             resident: FnvHashMap::default(),
             finalized: FnvHashMap::default(),
+            finalized_rank: std::collections::BTreeSet::new(),
+            label_cache: std::cell::RefCell::new(FnvHashMap::default()),
             frames: Vec::new(),
             frame_ids: FnvHashMap::default(),
             epoch: 0,
@@ -288,6 +401,13 @@ impl Collector {
             stats: CollectorStats::default(),
             started: false,
             broken: false,
+            quarantine: Vec::new(),
+            resync: None,
+            ingest_epoch: 0,
+            epoch_obs: VecDeque::new(),
+            obs_stage_cycles: Vec::new(),
+            obs_xt_wait: 0,
+            obs_quarantined: 0,
         }
     }
 
@@ -314,6 +434,53 @@ impl Collector {
                 frame_map: Vec::new(),
             })
             .collect();
+        self.quarantine = vec![StageQuarantine::default(); self.stages.len()];
+    }
+
+    /// Attaches an emitter-side snapshot provider, switching damage
+    /// handling from broken-stream fallback to quarantine + bounded
+    /// resync. The source must be advanced to (at least) the batch the
+    /// collector is about to process — a snapshot that lags the damage
+    /// cannot heal it.
+    pub fn set_resync_source(&mut self, src: Box<dyn ResyncSource>) {
+        self.resync = Some(ResyncHandle(src));
+    }
+
+    /// Per-stage quarantine/reorder/stall accounting.
+    pub fn quarantine_state(&self) -> &[StageQuarantine] {
+        &self.quarantine
+    }
+
+    /// The explicit degradation markers for every stage whose stream
+    /// needed self-healing, in stage order. Empty on a clean stream.
+    pub fn degraded_markers(&self) -> Vec<String> {
+        self.quarantine
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| q.degraded())
+            .map(|(si, q)| {
+                let name = self
+                    .header
+                    .stages
+                    .get(si)
+                    .map(|s| s.stage_name.as_str())
+                    .unwrap_or("?");
+                q.marker(si, name)
+            })
+            .collect()
+    }
+
+    /// Drains the per-epoch observations recorded since the last call
+    /// (empty unless [`CollectorConfig::track_obs`] is set).
+    pub fn take_epoch_obs(&mut self) -> Vec<EpochObs> {
+        self.epoch_obs.drain(..).collect()
+    }
+
+    /// Pops the oldest pending observation, if any — the allocation-
+    /// free form of [`Collector::take_epoch_obs`] for per-batch
+    /// polling loops.
+    pub fn pop_epoch_obs(&mut self) -> Option<EpochObs> {
+        self.epoch_obs.pop_front()
     }
 
     /// Read access to the running stats.
@@ -340,8 +507,15 @@ impl Collector {
             self.stats.throttled += 1;
             return false;
         }
+        // A batch landing on an empty queue starts a new fill/drain
+        // cycle: the cycle gauge resets while the all-time peak stays.
+        if self.queue.is_empty() {
+            self.stats.cycle_peak_queued = 0;
+        }
         self.queue.push_back(batch);
-        self.stats.peak_queued = self.stats.peak_queued.max(self.queue.len() as u64);
+        let depth = self.queue.len() as u64;
+        self.stats.peak_queued = self.stats.peak_queued.max(depth);
+        self.stats.cycle_peak_queued = self.stats.cycle_peak_queued.max(depth);
         true
     }
 
@@ -367,11 +541,19 @@ impl Collector {
     fn process_batch(&mut self, batch: EpochBatch) {
         assert!(self.started, "collector not started");
         self.stats.batches += 1;
-        self.stats.events += batch.events();
+        let events = batch.events();
+        self.stats.events += events;
         if batch.seq != self.next_batch_seq {
             self.stats.seq_gaps += 1;
         }
         self.next_batch_seq = batch.seq + 1;
+        self.ingest_epoch = batch.epoch;
+        if self.cfg.track_obs {
+            self.obs_stage_cycles.clear();
+            self.obs_stage_cycles.resize(self.stages.len(), 0);
+            self.obs_xt_wait = 0;
+            self.obs_quarantined = 0;
+        }
         for d in &batch.deltas {
             self.ingest_delta(d);
         }
@@ -379,21 +561,196 @@ impl Collector {
         self.epoch = self.epoch.max(batch.epoch);
         self.now = self.now.max(batch.end);
         self.evict_idle();
+        // Stall watchdog: a stage silent for the configured number of
+        // epochs is explicitly marked (and un-marks on progress; the
+        // stall count stays).
+        let stall = self.cfg.quarantine.stall_epochs;
+        if stall > 0 {
+            for q in &mut self.quarantine {
+                if !q.halted && !q.stalled && self.epoch.saturating_sub(q.last_progress) >= stall
+                {
+                    q.stalled = true;
+                    q.stalls += 1;
+                    self.stats.stalls += 1;
+                }
+            }
+        }
+        if self.cfg.track_obs {
+            self.epoch_obs.push_back(EpochObs {
+                epoch: batch.epoch,
+                end: batch.end,
+                events,
+                stage_cycles: std::mem::take(&mut self.obs_stage_cycles),
+                xt_wait: self.obs_xt_wait,
+                queued: self.queue.len() as u64,
+                quarantined: self.obs_quarantined,
+            });
+            if self.epoch_obs.len() > OBS_CAPACITY {
+                self.epoch_obs.pop_front();
+            }
+        }
     }
 
-    /// One stage delta: apply to the accumulator, then do the
-    /// incremental stitching work its content unlocks.
+    /// One stage delta: classify (apply / quarantine / park / drop),
+    /// then do the incremental stitching work its content unlocks.
     fn ingest_delta(&mut self, d: &StageDelta) {
         if d.stage >= self.stages.len() {
             self.broken = true;
             self.stats.delta_errors += 1;
             return;
         }
-        let ctx_base = self.stages[d.stage].acc.context_count() as u32;
-        if let Err(_e) = self.stages[d.stage].acc.apply(d) {
-            self.broken = true;
-            self.stats.delta_errors += 1;
+        if self.quarantine[d.stage].halted {
+            self.quarantine[d.stage].dropped += 1;
+            self.stats.dropped_frames += 1;
             return;
+        }
+        self.try_apply(d);
+    }
+
+    /// Applies one frame through the accumulator and, on success, the
+    /// incremental stitch work plus any parked frames it unblocks. On
+    /// failure routes the frame through quarantine (or the legacy
+    /// broken-stream path when no [`ResyncSource`] is attached).
+    fn try_apply(&mut self, d: &StageDelta) {
+        let ctx_base = self.stages[d.stage].acc.context_count() as u32;
+        match self.stages[d.stage].acc.apply(d) {
+            Ok(()) => {
+                let q = &mut self.quarantine[d.stage];
+                q.last_progress = self.ingest_epoch;
+                q.stalled = false;
+                self.apply_stitch(d, ctx_base);
+                self.drain_parked(d.stage);
+            }
+            Err(e) if self.resync.is_none() => {
+                let _ = e;
+                self.broken = true;
+                self.stats.delta_errors += 1;
+            }
+            Err(DeltaError::SeqGap { expected, got, .. }) if got < expected => {
+                // Duplicate of an already-applied frame: drop it.
+                self.quarantine[d.stage].duplicates += 1;
+                self.stats.dup_frames += 1;
+            }
+            Err(DeltaError::SeqGap { .. }) => self.park(d),
+            Err(_) => {
+                // Checksum or baseline inconsistency: the frame's
+                // content is unusable. Quarantine it and catch up from
+                // the emitter snapshot.
+                self.quarantine[d.stage].corrupt += 1;
+                self.stats.quarantined += 1;
+                self.obs_quarantined += 1;
+                self.request_resync(d.stage);
+            }
+        }
+    }
+
+    /// Parks an out-of-order frame in the bounded reorder buffer; an
+    /// overflowing hole is treated as loss and resyncs.
+    fn park(&mut self, d: &StageDelta) {
+        let q = &mut self.quarantine[d.stage];
+        q.parked.entry(d.seq).or_insert_with(|| d.clone());
+        q.parked_peak = q.parked_peak.max(q.parked.len() as u64);
+        if q.parked.len() > self.cfg.quarantine.reorder_buffer {
+            self.request_resync(d.stage);
+        }
+    }
+
+    /// Applies parked frames that have become contiguous with the
+    /// accumulator's expected sequence number.
+    fn drain_parked(&mut self, si: usize) {
+        loop {
+            let next = self.stages[si].acc.next_seq();
+            let Some(d) = self.quarantine[si].parked.remove(&next) else {
+                return;
+            };
+            self.quarantine[si].healed += 1;
+            self.stats.healed_frames += 1;
+            // Recursion depth is bounded by the reorder buffer size.
+            self.try_apply(&d);
+        }
+    }
+
+    /// Bounded resync: fold the emitter's snapshot in as a synthetic
+    /// catch-up delta through the normal ingest path, fast-forward the
+    /// sequence horizon, and drain whatever parked frames survive.
+    /// Exhausted (or unusable) resync halts the stage — explicitly
+    /// degraded, never a batch fallback.
+    fn request_resync(&mut self, si: usize) {
+        if self.quarantine[si].halted {
+            return;
+        }
+        if self.quarantine[si].resyncs >= self.cfg.quarantine.max_resyncs {
+            self.halt(si);
+            return;
+        }
+        let snap = self.resync.as_ref().and_then(|h| h.0.snapshot(si));
+        let Some((dump, upto)) = snap else {
+            self.halt(si);
+            return;
+        };
+        if upto < self.stages[si].acc.next_seq() {
+            // The source lags the collector: it cannot cover the
+            // damage (callers must advance it batch-by-batch first).
+            self.halt(si);
+            return;
+        }
+        self.quarantine[si].resyncs += 1;
+        self.stats.resyncs += 1;
+        if let Some(cd) = self.stages[si].acc.catchup_delta(si, &dump) {
+            let ctx_base = self.stages[si].acc.context_count() as u32;
+            match self.stages[si].acc.apply(&cd) {
+                Ok(()) => {
+                    let q = &mut self.quarantine[si];
+                    q.last_progress = self.ingest_epoch;
+                    q.stalled = false;
+                    self.apply_stitch(&cd, ctx_base);
+                }
+                Err(_) => {
+                    // A self-built catch-up delta failing to apply
+                    // means the snapshot is not an extension of our
+                    // state — an emitter bug, not stream damage.
+                    self.broken = true;
+                    self.stats.delta_errors += 1;
+                    return;
+                }
+            }
+        }
+        self.stages[si].acc.set_next_seq(upto);
+        // Parked frames the snapshot subsumed are no longer needed.
+        self.quarantine[si].parked.retain(|&s, _| s >= upto);
+        self.drain_parked(si);
+    }
+
+    /// Halts a stage: no more frames are accepted for it, parked ones
+    /// are discarded, and the report will carry its degradation marker.
+    fn halt(&mut self, si: usize) {
+        let q = &mut self.quarantine[si];
+        if q.halted {
+            return;
+        }
+        q.halted = true;
+        let parked = q.parked.len() as u64;
+        q.parked.clear();
+        q.dropped += parked;
+        self.stats.dropped_frames += parked;
+    }
+
+    /// The incremental stitching work an applied delta unlocks. Must
+    /// only be called after `acc.apply(d)` succeeded.
+    fn apply_stitch(&mut self, d: &StageDelta, ctx_base: u32) {
+        if self.cfg.track_obs {
+            let cycles: u64 = d
+                .ccts
+                .iter()
+                .map(|c| {
+                    c.grown.iter().map(|&(_, _, dc, _)| dc).sum::<u64>()
+                        + c.new_nodes.iter().map(|n| n.cycles).sum::<u64>()
+                })
+                .sum();
+            if let Some(slot) = self.obs_stage_cycles.get_mut(d.stage) {
+                *slot += cycles;
+            }
+            self.obs_xt_wait += d.pairs.iter().map(|p| p.total_wait).sum::<u64>();
         }
         for f in &d.new_frames {
             self.intern_frame(f);
@@ -584,6 +941,7 @@ impl Collector {
                 let entry = match self.finalized.remove(&origin) {
                     Some(f) => {
                         self.stats.revivals += 1;
+                        self.finalized_rank.remove(&(std::cmp::Reverse(f.cycles), origin));
                         ResidentOrigin {
                             cct: rebuild_cct(&f.nodes),
                             stages: f.stages,
@@ -793,14 +1151,20 @@ impl Collector {
         idle.sort_unstable();
         for k in idle {
             let r = self.resident.remove(&k).expect("listed above");
+            let samples = r.cct.total().samples;
+            let cycles = r.tier_cycles.values().sum();
             self.finalized.insert(
                 k,
                 FinalizedOrigin {
                     nodes: compact_cct(&r.cct),
                     stages: r.stages,
                     tier_cycles: r.tier_cycles,
+                    hot_path: std::cell::OnceCell::new(),
+                    samples,
+                    cycles,
                 },
             );
+            self.finalized_rank.insert((std::cmp::Reverse(cycles), k));
             self.stats.evictions += 1;
             self.stats.eviction_log.push((epoch, k));
         }
@@ -815,79 +1179,108 @@ impl Collector {
     }
 
     /// `stage:context` label for an origin, matching the batch
-    /// report's `origin_label` rendering.
-    fn origin_label(&self, label_dumps: &[StageDump], origin: OriginKey) -> String {
-        match (self.header.stages.get(origin.0), label_dumps.get(origin.0)) {
-            (Some(s), Some(d)) => format!("{}:{}", s.stage_name, d.ctx_string(origin.1)),
-            _ => format!("<stage {}?>:{}", origin.0, origin.1),
+    /// report's `origin_label` rendering. An origin's label is fixed
+    /// once its context is interned (the frame and context tables are
+    /// append-only), so it is memoized: periodic snapshots re-label
+    /// the same hot origins every time, and the context-chain walk is
+    /// the expensive part.
+    fn origin_label(&self, origin: OriginKey) -> String {
+        if let Some(s) = self.label_cache.borrow().get(&origin) {
+            return s.clone();
         }
+        let s = match (self.header.stages.get(origin.0), self.stages.get(origin.0)) {
+            (Some(s), Some(st)) => format!(
+                "{}:{}",
+                s.stage_name,
+                ctx_string_of(&st.acc.frames, &st.acc.contexts, origin.1)
+            ),
+            _ => format!("<stage {}?>:{}", origin.0, origin.1),
+        };
+        self.label_cache.borrow_mut().insert(origin, s.clone());
+        s
     }
 
     /// Answers the live queries at the current epoch: top-k
     /// transaction paths by cost, their tier breakdowns, and crosstalk
     /// hotspots, plus memory/pending/lag gauges.
     pub fn snapshot(&self) -> LiveSnapshot {
-        // Lightweight per-stage dumps (frames + contexts only) reuse
-        // the canonical `ctx_string` rendering for labels.
-        let label_dumps: Vec<StageDump> = self
-            .stages
-            .iter()
-            .map(|s| StageDump {
-                frames: s.acc.frames.clone(),
-                contexts: s.acc.contexts.clone(),
-                ..StageDump::default()
-            })
-            .collect();
         let total_cycles = |tc: &BTreeMap<usize, u64>| tc.values().sum::<u64>();
+        // Candidates: every resident origin (totals change as deltas
+        // land) plus the top-k finalized ones from the maintained rank
+        // index — any finalized origin in the union's top-k is
+        // necessarily in the finalized top-k, so this selects exactly
+        // the same entries as ranking the whole finalized store.
         let mut ranked: Vec<(u64, OriginKey)> = self
             .resident
             .iter()
             .map(|(&k, r)| (total_cycles(&r.tier_cycles), k))
             .chain(
-                self.finalized
+                self.finalized_rank
                     .iter()
-                    .map(|(&k, f)| (total_cycles(&f.tier_cycles), k)),
+                    .take(self.cfg.top_k)
+                    .map(|&(std::cmp::Reverse(c), k)| (c, k)),
             )
             .collect();
-        ranked.sort_by(|a, b| (b.0, a.1).cmp(&(a.0, b.1)));
-        ranked.truncate(self.cfg.top_k);
+        // Partial selection: the comparator is a total order (cycles
+        // descending, key ascending on ties), so selecting the top-k
+        // prefix and sorting only that yields exactly the full sort's
+        // first k entries — snapshots run mid-ingest, where a full
+        // O(n log n) over every origin is the dominant cost.
+        let cmp = |a: &(u64, OriginKey), b: &(u64, OriginKey)| (b.0, a.1).cmp(&(a.0, b.1));
+        if ranked.len() > self.cfg.top_k {
+            if self.cfg.top_k > 0 {
+                ranked.select_nth_unstable_by(self.cfg.top_k - 1, cmp);
+            }
+            ranked.truncate(self.cfg.top_k);
+        }
+        ranked.sort_by(cmp);
 
         let mut top_paths = Vec::new();
         let mut tiers = Vec::new();
         for &(cycles, k) in &ranked {
-            let rebuilt;
-            let (cct, stages_cycles) = match self.resident.get(&k) {
-                Some(r) => (&r.cct, &r.tier_cycles),
-                None => {
-                    let f = &self.finalized[&k];
-                    rebuilt = rebuild_cct(&f.nodes);
-                    (&rebuilt, &f.tier_cycles)
-                }
+            let frame_name = |f: u32| {
+                self.frames
+                    .get(f as usize)
+                    .cloned()
+                    .unwrap_or_else(|| format!("<frame {f}?>"))
             };
-            let path = cct
-                .hot_paths(1)
-                .into_iter()
-                .next()
-                .map(|(frames, _)| {
-                    frames
-                        .iter()
-                        .map(|f| {
-                            self.frames
-                                .get(f.0 as usize)
-                                .cloned()
-                                .unwrap_or_else(|| format!("<frame {}?>", f.0))
-                        })
-                        .collect()
-                })
-                .unwrap_or_default();
+            let (path, samples, stages_cycles): (Vec<String>, u64, _) =
+                match self.resident.get(&k) {
+                    Some(r) => (
+                        r.cct
+                            .hot_paths(1)
+                            .into_iter()
+                            .next()
+                            .map(|(frames, _)| frames.iter().map(|f| frame_name(f.0)).collect())
+                            .unwrap_or_default(),
+                        r.cct.total().samples,
+                        &r.tier_cycles,
+                    ),
+                    None => {
+                        let f = &self.finalized[&k];
+                        let hot = f.hot_path.get_or_init(|| {
+                            rebuild_cct(&f.nodes)
+                                .hot_paths(1)
+                                .into_iter()
+                                .next()
+                                .map(|(frames, _)| frames.iter().map(|fr| fr.0).collect())
+                                .unwrap_or_default()
+                        });
+                        (
+                            hot.iter().map(|&fr| frame_name(fr)).collect(),
+                            f.samples,
+                            &f.tier_cycles,
+                        )
+                    }
+                };
             top_paths.push(TopPath {
-                origin: self.origin_label(&label_dumps, k),
+                origin: self.origin_label(k),
                 cycles,
-                samples: cct.total().samples,
+                samples,
                 path,
             });
             tiers.push(TierSlice {
-                origin: self.origin_label(&label_dumps, k),
+                origin: self.origin_label(k),
                 stages: stages_cycles
                     .iter()
                     .map(|(&si, &cy)| {
@@ -904,13 +1297,25 @@ impl Collector {
         }
 
         let mut hot: Vec<(&(OriginKey, OriginKey), &WaitStats)> = self.xt_pairs.iter().collect();
-        hot.sort_by(|a, b| (b.1.total_wait, a.0).cmp(&(a.1.total_wait, b.0)));
-        hot.truncate(self.cfg.top_k);
+        // Same partial-selection argument as `ranked` above: the
+        // comparator is a total order, so top-k-then-sort equals the
+        // full sort's first k entries.
+        let hot_cmp = |a: &(&(OriginKey, OriginKey), &WaitStats),
+                       b: &(&(OriginKey, OriginKey), &WaitStats)| {
+            (b.1.total_wait, a.0).cmp(&(a.1.total_wait, b.0))
+        };
+        if hot.len() > self.cfg.top_k {
+            if self.cfg.top_k > 0 {
+                hot.select_nth_unstable_by(self.cfg.top_k - 1, hot_cmp);
+            }
+            hot.truncate(self.cfg.top_k);
+        }
+        hot.sort_by(hot_cmp);
         let hotspots = hot
             .into_iter()
             .map(|(&(w, h), s)| Hotspot {
-                waiter: self.origin_label(&label_dumps, w),
-                holder: self.origin_label(&label_dumps, h),
+                waiter: self.origin_label(w),
+                holder: self.origin_label(h),
                 count: s.count,
                 total_wait: s.total_wait,
             })
@@ -931,8 +1336,10 @@ impl Collector {
                 seq_gaps: self.stats.seq_gaps,
                 queued: self.queue.len() as u64,
                 peak_queued: self.stats.peak_queued,
+                cycle_peak_queued: self.stats.cycle_peak_queued,
                 throttled: self.stats.throttled,
             },
+            degraded: self.degraded_markers(),
             top_paths,
             tiers,
             hotspots,
@@ -991,6 +1398,7 @@ impl Collector {
 
         let dumps: Vec<StageDump> = self.stages.iter().map(|s| s.acc.to_dump()).collect();
         let mut stats = std::mem::take(&mut self.stats);
+        stats.degraded = self.degraded_markers();
         if self.broken || dumps.iter().any(|d| d.validate().is_err()) {
             stats.used_fallback = true;
             let report = analyze(

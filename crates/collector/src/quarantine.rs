@@ -1,0 +1,190 @@
+//! Quarantine, reorder, and resync state for self-healing ingest.
+//!
+//! The collector's original integrity story was all-or-nothing: any
+//! delta the accumulator rejected flipped the `broken` flag and
+//! finalize fell back to the batch pipeline. That is the right shape
+//! for a differential test harness, but an always-on sentinel has to
+//! keep the *incremental* state alive through stream damage — a
+//! profiler that silently restarts from scratch whenever a frame is
+//! corrupted cannot watch SLOs over the very window the damage sits in.
+//!
+//! This module holds the per-stage machinery the collector uses
+//! instead, when an emitter-side [`whodunit_core::delta::ResyncSource`]
+//! is attached:
+//!
+//! - **Corrupt frames** (checksum or baseline-inconsistency failures)
+//!   are *quarantined*: counted, dropped, and repaired by a bounded
+//!   resync — a catch-up diff from the accumulator's state to the
+//!   emitter's snapshot, applied through the normal ingest path so the
+//!   incremental stitch state stays exactly consistent.
+//! - **Out-of-order frames** (sequence number above the expected one)
+//!   park in a bounded reorder buffer keyed by sequence number; frames
+//!   heal in order as the hole fills. A hole that outlives the buffer
+//!   is treated as loss and triggers a resync.
+//! - **Duplicated frames** (sequence number below the expected one)
+//!   are dropped and counted — the accumulator has already applied
+//!   that increment.
+//! - **Stalled streams**: a watchdog (disabled by default) marks a
+//!   stage whose stream has gone silent for a configured number of
+//!   epochs, so finalize can annotate the report instead of blocking.
+//! - **Resync exhaustion** halts the stage — ingest keeps running for
+//!   every other stage, the report carries an explicit `degraded`
+//!   marker, and there is **no** batch fallback.
+//!
+//! Every recovery is deterministic: a pure function of the damaged
+//! stream's content and the policy knobs, never of timing.
+
+use std::collections::BTreeMap;
+use whodunit_core::delta::StageDelta;
+
+/// Tuning knobs for quarantine and resync.
+#[derive(Clone, Debug)]
+pub struct QuarantinePolicy {
+    /// Maximum out-of-order frames parked per stage while waiting for
+    /// a sequence hole to fill; one more parked frame treats the hole
+    /// as loss and triggers a resync.
+    pub reorder_buffer: usize,
+    /// Maximum resyncs per stage; exhausting them halts the stage
+    /// (explicitly degraded, never a batch fallback).
+    pub max_resyncs: u64,
+    /// Epochs of stage silence before the watchdog declares a stall.
+    /// `0` disables the watchdog (a stage with nothing to report emits
+    /// no delta at all, so silence is only suspicious when the
+    /// deployment knows every stage stays busy).
+    pub stall_epochs: u64,
+}
+
+impl Default for QuarantinePolicy {
+    fn default() -> Self {
+        QuarantinePolicy {
+            reorder_buffer: 4,
+            max_resyncs: 8,
+            stall_epochs: 0,
+        }
+    }
+}
+
+/// Per-stage quarantine accounting and reorder state.
+#[derive(Clone, Debug, Default)]
+pub struct StageQuarantine {
+    /// Corrupt frames (checksum / inconsistency) quarantined.
+    pub corrupt: u64,
+    /// Duplicated frames dropped (sequence below expected).
+    pub duplicates: u64,
+    /// Out-of-order frames that healed from the reorder buffer without
+    /// needing a resync.
+    pub healed: u64,
+    /// Resyncs performed.
+    pub resyncs: u64,
+    /// Frames discarded because the stage was halted or a resync
+    /// subsumed them.
+    pub dropped: u64,
+    /// High-water mark of parked frames.
+    pub parked_peak: u64,
+    /// Stall events declared by the watchdog.
+    pub stalls: u64,
+    /// Whether the stage is currently considered stalled.
+    pub stalled: bool,
+    /// Whether the stage is halted (resync exhausted or unavailable);
+    /// further frames for it are dropped.
+    pub halted: bool,
+    /// Epoch of the last applied frame for this stage.
+    pub last_progress: u64,
+    /// Parked out-of-order frames, keyed by sequence number.
+    pub parked: BTreeMap<u64, StageDelta>,
+}
+
+impl StageQuarantine {
+    /// Whether this stage's stream needed any self-healing: if true,
+    /// the final report carries the [`StageQuarantine::marker`]
+    /// annotation for it.
+    pub fn degraded(&self) -> bool {
+        self.corrupt > 0
+            || self.duplicates > 0
+            || self.healed > 0
+            || self.resyncs > 0
+            || self.dropped > 0
+            || self.stalls > 0
+            || self.halted
+    }
+
+    /// The explicit degradation annotation for this stage, e.g.
+    /// `stage 2 (db): 1 corrupt quarantined, 1 resync`.
+    pub fn marker(&self, stage: usize, name: &str) -> String {
+        let mut parts = Vec::new();
+        if self.corrupt > 0 {
+            parts.push(format!("{} corrupt quarantined", self.corrupt));
+        }
+        if self.duplicates > 0 {
+            parts.push(format!("{} duplicates dropped", self.duplicates));
+        }
+        if self.healed > 0 {
+            parts.push(format!("{} reordered healed", self.healed));
+        }
+        if self.resyncs > 0 {
+            parts.push(format!(
+                "{} resync{}",
+                self.resyncs,
+                if self.resyncs == 1 { "" } else { "s" }
+            ));
+        }
+        if self.dropped > 0 {
+            parts.push(format!("{} frames dropped", self.dropped));
+        }
+        if self.stalls > 0 {
+            parts.push(format!(
+                "{} stall{}",
+                self.stalls,
+                if self.stalls == 1 { "" } else { "s" }
+            ));
+        }
+        if self.halted {
+            parts.push("halted".to_owned());
+        }
+        format!("stage {stage} ({name}): {}", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_stage_is_not_degraded() {
+        assert!(!StageQuarantine::default().degraded());
+    }
+
+    #[test]
+    fn every_counter_degrades_and_shows_in_the_marker() {
+        for (field, expect) in [
+            ("corrupt", "1 corrupt quarantined"),
+            ("duplicates", "1 duplicates dropped"),
+            ("healed", "1 reordered healed"),
+            ("resyncs", "1 resync"),
+            ("dropped", "1 frames dropped"),
+            ("stalls", "1 stall"),
+        ] {
+            let mut q = StageQuarantine::default();
+            match field {
+                "corrupt" => q.corrupt = 1,
+                "duplicates" => q.duplicates = 1,
+                "healed" => q.healed = 1,
+                "resyncs" => q.resyncs = 1,
+                "dropped" => q.dropped = 1,
+                _ => q.stalls = 1,
+            }
+            assert!(q.degraded(), "{field}");
+            assert!(q.marker(2, "db").contains(expect), "{field}");
+        }
+        let q = StageQuarantine {
+            halted: true,
+            resyncs: 2,
+            ..StageQuarantine::default()
+        };
+        assert!(q.degraded());
+        let m = q.marker(0, "front");
+        assert!(m.starts_with("stage 0 (front): "));
+        assert!(m.contains("2 resyncs"));
+        assert!(m.contains("halted"));
+    }
+}

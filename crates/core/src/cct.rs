@@ -351,12 +351,33 @@ impl Cct {
     }
 
     /// The `n` call paths with the largest exclusive sample counts,
-    /// heaviest first (a profiler's "hot paths" view).
+    /// heaviest first (a profiler's "hot paths" view). Ties are broken
+    /// by path order, so the result is a pure function of the tree.
     pub fn hot_paths(&self, n: usize) -> Vec<(Vec<FrameId>, Metrics)> {
-        let mut v: Vec<(Vec<FrameId>, Metrics)> = self
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut ranked: Vec<(u64, CctNodeId)> = self
             .node_ids()
             .filter(|&id| self.nodes[id.0 as usize].metrics.samples > 0)
-            .map(|id| (self.path_of(id), self.metrics(id)))
+            .map(|id| (self.nodes[id.0 as usize].metrics.samples, id))
+            .collect();
+        // Select on sample counts alone before materializing paths:
+        // every node strictly above the n-th count is in the result
+        // regardless of tie-break, and only ties at the boundary need
+        // path order to settle — so paths (an O(depth) allocation per
+        // node) are built for the few candidates, not the whole tree.
+        // Live snapshots ask for the top path of the *hottest* origins
+        // mid-ingest, where the full materialize-and-sort is the
+        // dominant query cost.
+        if ranked.len() > n {
+            let (_, nth, _) = ranked.select_nth_unstable_by(n - 1, |a, b| b.0.cmp(&a.0));
+            let floor = nth.0;
+            ranked.retain(|&(s, _)| s >= floor);
+        }
+        let mut v: Vec<(Vec<FrameId>, Metrics)> = ranked
+            .into_iter()
+            .map(|(_, id)| (self.path_of(id), self.metrics(id)))
             .collect();
         v.sort_by(|a, b| b.1.samples.cmp(&a.1.samples).then(a.0.cmp(&b.0)));
         v.truncate(n);

@@ -316,6 +316,62 @@ impl DeltaSink for RecordingSink {
     }
 }
 
+/// Emitter-side snapshot provider for bounded resync.
+///
+/// When a collector quarantines a corrupt frame or detects a sequence
+/// hole it cannot heal from its reorder buffer, it asks the emitter for
+/// the stage's *current cumulative state* instead of falling back to
+/// batch mode. The snapshot plus the sequence horizon it covers let the
+/// collector build a catch-up delta ([`StageAccumulator::catchup_delta`])
+/// and resume the live stream mid-run.
+pub trait ResyncSource {
+    /// The emitter's current cumulative dump for `stage`, plus the
+    /// sequence number of the next delta the emitter will produce for
+    /// that stage (i.e. how many deltas the snapshot subsumes).
+    /// `None` if the source cannot serve this stage.
+    fn snapshot(&self, stage: usize) -> Option<(StageDump, u64)>;
+}
+
+/// A [`ResyncSource`] built by replaying a recorded clean stream in
+/// lockstep with the consumer.
+///
+/// Tests drive [`RecordedResync::advance`] with each batch as (or
+/// before) the collector ingests its possibly-damaged twin; a resync
+/// query then observes exactly the state the live emitter would hold at
+/// that point.
+#[derive(Debug)]
+pub struct RecordedResync {
+    accs: Vec<StageAccumulator>,
+}
+
+impl RecordedResync {
+    /// A source with no history yet for the stages in `header`.
+    pub fn new(header: &StreamHeader) -> Self {
+        RecordedResync {
+            accs: header.stages.iter().map(StageAccumulator::new).collect(),
+        }
+    }
+
+    /// Folds one clean batch into the emitter-side state.
+    ///
+    /// Panics on any apply error: the recorded stream is the undamaged
+    /// reference, so it must always apply.
+    pub fn advance(&mut self, batch: &EpochBatch) {
+        for d in &batch.deltas {
+            self.accs[d.stage]
+                .apply(d)
+                .expect("recorded reference stream must be clean");
+        }
+    }
+}
+
+impl ResyncSource for RecordedResync {
+    fn snapshot(&self, stage: usize) -> Option<(StageDump, u64)> {
+        let acc = self.accs.get(stage)?;
+        Some((acc.to_dump(), acc.next_seq()))
+    }
+}
+
 /// Computes the increment from snapshot `prev` to snapshot `cur` of
 /// the same stage, or `None` if nothing changed.
 ///
@@ -687,6 +743,36 @@ impl StageAccumulator {
         Ok(())
     }
 
+    /// Fast-forwards the expected sequence number after a resync.
+    ///
+    /// A resync snapshot covers every delta the emitter produced up to
+    /// some sequence horizon; once the snapshot is folded in, the
+    /// accumulator must expect the emitter's *next live* delta rather
+    /// than the ones the snapshot subsumed. Panics if asked to move
+    /// backwards — that would re-apply already-counted increments.
+    pub fn set_next_seq(&mut self, next: u64) {
+        assert!(
+            next >= self.next_seq,
+            "stage seq cannot rewind: {} -> {next}",
+            self.next_seq
+        );
+        self.next_seq = next;
+    }
+
+    /// The synthetic catch-up delta from this accumulator's state to
+    /// an emitter-side `snapshot` of the same stage, or `None` if the
+    /// accumulator is already caught up.
+    ///
+    /// The delta is stamped with the accumulator's own next sequence
+    /// number so it flows through [`StageAccumulator::apply`] — and
+    /// therefore through a collector's normal ingest path — unchanged.
+    /// Panics (via [`diff_dump`]) if `snapshot` is not a monotone
+    /// extension of the accumulated state; `apply` is transactional, so
+    /// any accumulator fed a prefix of a clean stream is a valid base.
+    pub fn catchup_delta(&self, stage: usize, snapshot: &StageDump) -> Option<StageDelta> {
+        diff_dump(stage, self.next_seq, Some(&self.to_dump()), snapshot)
+    }
+
     /// The dump this accumulator's state reconstructs.
     pub fn to_dump(&self) -> StageDump {
         StageDump {
@@ -896,6 +982,48 @@ mod tests {
         acc.apply(&d).unwrap();
         assert_eq!(acc.to_dump(), b.with_remapped_proc(&map));
         assert_eq!(d.stage, 5);
+    }
+
+    #[test]
+    fn catchup_delta_resyncs_after_a_lost_delta() {
+        let a = base_dump();
+        let b = grown_dump();
+        let d0 = diff_dump(0, 0, None, &a).unwrap();
+        // The growth delta (seq 1) is lost in transit.
+        let _lost = diff_dump(0, 1, Some(&a), &b).unwrap();
+        let mut acc = StageAccumulator::new(&header());
+        acc.apply(&d0).unwrap();
+        // Resync from the emitter snapshot covering seqs 0..2.
+        let cd = acc.catchup_delta(0, &b).expect("acc is behind");
+        assert_eq!(cd.seq, acc.next_seq());
+        acc.apply(&cd).unwrap();
+        acc.set_next_seq(2);
+        assert_eq!(acc.to_dump(), b);
+        assert_eq!(acc.next_seq(), 2);
+        // Already caught up: no further catch-up delta.
+        assert!(acc.catchup_delta(0, &b).is_none());
+    }
+
+    #[test]
+    fn recorded_resync_tracks_the_reference_stream() {
+        let a = base_dump();
+        let b = grown_dump();
+        let hdr = StreamHeader {
+            stages: vec![header()],
+        };
+        let batch = |epoch, d: StageDelta| EpochBatch {
+            epoch,
+            seq: epoch,
+            end: (epoch + 1) * 100,
+            deltas: vec![d],
+        };
+        let mut src = RecordedResync::new(&hdr);
+        src.advance(&batch(0, diff_dump(0, 0, None, &a).unwrap()));
+        src.advance(&batch(1, diff_dump(0, 1, Some(&a), &b).unwrap()));
+        let (dump, next) = src.snapshot(0).unwrap();
+        assert_eq!(dump, b);
+        assert_eq!(next, 2);
+        assert!(src.snapshot(9).is_none());
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub mod repro;
 pub mod rt;
 pub mod seda;
 pub mod shm;
+pub mod sketch;
 pub mod stitch;
 pub mod synopsis;
 pub mod txt;
@@ -67,16 +68,20 @@ pub use context::{
     ShardedCtxId, TransactionContext,
 };
 pub use crosstalk::{CrosstalkMatrix, CrosstalkRecorder, CrosstalkReport, OriginKey, WaitStats};
-pub use delta::{diff_dump, DeltaSink, EpochBatch, StageAccumulator, StageDelta, StreamHeader};
+pub use delta::{
+    diff_dump, DeltaSink, EpochBatch, RecordedResync, ResyncSource, StageAccumulator, StageDelta,
+    StreamHeader,
+};
 pub use frame::{FrameId, FrameKind, FrameTable, SharedFrameTable};
 pub use hash::{fnv1a, Fnv64};
 pub use ids::{ChanId, LockId, LockMode, ProcId, ThreadId};
-pub use oracle::{check_all, Evidence, ProgressState, Violation};
+pub use oracle::{check_all, check_capture, CaptureEvidence, Evidence, ProgressState, Violation};
 pub use pipeline::{
     analyze, replicate_fleet, OriginProfile, PhaseTiming, PipelineConfig, PipelineReport,
 };
 pub use profiler::{Whodunit, WhodunitConfig};
-pub use repro::{repro_from_json, repro_to_json, ChaosRepro, FaultEntry};
+pub use repro::{repro_from_json, repro_to_json, ChaosRepro, FaultEntry, ReproWindow};
 pub use rt::{NullRuntime, Runtime};
 pub use shm::{FlowDetector, FlowEvent, Loc, MemEvent};
+pub use sketch::QuantileSketch;
 pub use synopsis::{SynChain, Synopsis, SynopsisTable};

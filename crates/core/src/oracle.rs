@@ -124,6 +124,15 @@ pub enum Violation {
         /// The substrate's diagnostic.
         detail: String,
     },
+    /// The sentinel emitted a repro that does not hold up: it tripped
+    /// on a clean scenario, its replay diverged from the captured run,
+    /// or the replay failed to re-trip the recorded SLO dimension.
+    FalseRepro {
+        /// The SLO dimension the capture recorded.
+        dimension: String,
+        /// Why the repro is false.
+        detail: String,
+    },
 }
 
 impl Violation {
@@ -137,6 +146,7 @@ impl Violation {
             Violation::UnresolvedWithoutFault { .. } => "unresolved-without-fault",
             Violation::SynopsisAccounting { .. } => "synopsis-accounting",
             Violation::Progress { .. } => "progress",
+            Violation::FalseRepro { .. } => "false-repro",
         }
     }
 }
@@ -172,8 +182,65 @@ impl fmt::Display for Violation {
                 "synopsis-accounting: {count} {counter} messages but the plan permits none"
             ),
             Violation::Progress { detail } => write!(f, "progress: {detail}"),
+            Violation::FalseRepro { dimension, detail } => {
+                write!(f, "false-repro: [{dimension}] {detail}")
+            }
         }
     }
+}
+
+/// Everything the zero-false-repro oracle may inspect about one
+/// sentinel capture: what the sentinel claimed, and what a fresh replay
+/// of the emitted (shrunk) repro actually produced.
+#[derive(Clone, Debug, Default)]
+pub struct CaptureEvidence {
+    /// The SLO dimension the capture recorded
+    /// ([`crate::repro::ReproWindow::dimension`]).
+    pub dimension: String,
+    /// Whether the captured scenario's fault plan was empty — a clean
+    /// run, on which the sentinel must never trip.
+    pub clean_scenario: bool,
+    /// Fingerprint of the originally captured (window-truncated) run.
+    pub original_fingerprint: u64,
+    /// Fingerprint of replaying the emitted repro bundle.
+    pub replay_fingerprint: u64,
+    /// Whether the replay re-tripped the recorded dimension under the
+    /// same budget.
+    pub retripped: bool,
+}
+
+/// The zero-false-repro oracle: a capture is *false* — and the sentinel
+/// broken — if it fired on a clean scenario, if the emitted repro does
+/// not replay bit-identically, or if the replay fails to re-trip the
+/// recorded SLO dimension. Returns all violations found (empty means
+/// the capture is sound).
+pub fn check_capture(ev: &CaptureEvidence) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let flag = |out: &mut Vec<Violation>, detail: String| {
+        out.push(Violation::FalseRepro {
+            dimension: ev.dimension.clone(),
+            detail,
+        });
+    };
+    if ev.clean_scenario {
+        flag(&mut out, "sentinel tripped on a clean scenario".into());
+    }
+    if ev.replay_fingerprint != ev.original_fingerprint {
+        flag(
+            &mut out,
+            format!(
+                "replay fingerprint {:016x} != captured {:016x}",
+                ev.replay_fingerprint, ev.original_fingerprint
+            ),
+        );
+    }
+    if !ev.retripped {
+        flag(
+            &mut out,
+            "replay did not re-trip the recorded dimension".into(),
+        );
+    }
+    out
 }
 
 /// Cycles summed over every node of every CCT in a dump — the stage's
@@ -417,6 +484,53 @@ mod tests {
             assert_eq!(v.len(), 1);
             assert_eq!(v[0].kind(), "progress");
         }
+    }
+
+    #[test]
+    fn sound_capture_passes_the_false_repro_oracle() {
+        let ev = CaptureEvidence {
+            dimension: "slo-latency".into(),
+            clean_scenario: false,
+            original_fingerprint: 0xABCD,
+            replay_fingerprint: 0xABCD,
+            retripped: true,
+        };
+        assert_eq!(check_capture(&ev), vec![]);
+    }
+
+    #[test]
+    fn false_repro_variants_are_flagged() {
+        let sound = CaptureEvidence {
+            dimension: "slo-latency".into(),
+            clean_scenario: false,
+            original_fingerprint: 1,
+            replay_fingerprint: 1,
+            retripped: true,
+        };
+        let clean_trip = CaptureEvidence {
+            clean_scenario: true,
+            ..sound.clone()
+        };
+        let v = check_capture(&clean_trip);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind(), "false-repro");
+        assert!(v[0].to_string().contains("clean scenario"));
+
+        let diverged = CaptureEvidence {
+            replay_fingerprint: 2,
+            ..sound.clone()
+        };
+        assert!(check_capture(&diverged)[0]
+            .to_string()
+            .contains("fingerprint"));
+
+        let no_retrip = CaptureEvidence {
+            retripped: false,
+            ..sound
+        };
+        assert!(check_capture(&no_retrip)[0]
+            .to_string()
+            .contains("re-trip"));
     }
 
     #[test]

@@ -64,6 +64,28 @@ pub enum FaultEntry {
     },
 }
 
+/// The epoch window an anomaly-capture repro was scoped to.
+///
+/// A sentinel capture does not replay a whole run: it truncates the
+/// scenario to the epochs around the SLO violation (prefix determinism
+/// makes the truncated run identical to the original up to the window
+/// end). The window records where in the run the anomaly sat and which
+/// budget dimension tripped, so an incident report can label the repro
+/// and a replay can re-evaluate the same dimension over the same
+/// epochs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReproWindow {
+    /// Epoch length in cycles at capture time.
+    pub epoch_len: u64,
+    /// First epoch of the captured window (inclusive).
+    pub start: u64,
+    /// Last epoch of the captured window (inclusive).
+    pub end: u64,
+    /// The SLO dimension that tripped (a [`crate::oracle`]-style kind
+    /// string, e.g. `"slo-latency"`).
+    pub dimension: String,
+}
+
 /// A complete, self-contained chaos scenario.
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct ChaosRepro {
@@ -81,6 +103,11 @@ pub struct ChaosRepro {
     /// The oracle violation this repro triggers (informational; set
     /// when the file is written, checked on replay).
     pub violation: Option<String>,
+    /// The epoch window this repro was captured from, if it came out
+    /// of the sentinel's anomaly-capture pipeline rather than the
+    /// offline chaos explorer. Absent in (and tolerated by) pre-window
+    /// repro files.
+    pub window: Option<ReproWindow>,
 }
 
 impl ChaosRepro {
@@ -170,6 +197,16 @@ pub fn repro_to_json(r: &ChaosRepro) -> String {
         Some(v) => esc(v, &mut out),
         None => out.push_str("null"),
     }
+    // Only captured repros carry a window; omitting the key otherwise
+    // keeps pre-window repro files byte-identical.
+    if let Some(w) = &r.window {
+        out.push_str(&format!(
+            ",\n  \"window\": {{\"epoch_len\":{},\"start\":{},\"end\":{},\"dimension\":",
+            w.epoch_len, w.start, w.end
+        ));
+        esc(&w.dimension, &mut out);
+        out.push('}');
+    }
     out.push_str("\n}\n");
     out
 }
@@ -247,12 +284,25 @@ pub fn repro_from_json(s: &str) -> Result<ChaosRepro, StitchError> {
         Value::Null => None,
         other => Some(other.as_str("violation")?.to_owned()),
     };
+    // Optional: absent in pre-window files. Malformed content is still
+    // an error — only a missing key falls back to None.
+    let window = match v.field("window") {
+        Err(_) => None,
+        Ok(Value::Null) => None,
+        Ok(w) => Some(ReproWindow {
+            epoch_len: w.field("epoch_len")?.as_u64("epoch_len")?,
+            start: w.field("start")?.as_u64("start")?,
+            end: w.field("end")?.as_u64("end")?,
+            dimension: w.field("dimension")?.as_str("dimension")?.to_owned(),
+        }),
+    };
     Ok(ChaosRepro {
         seed: v.field("seed")?.as_u64("seed")?,
         policy: v.field("policy")?.as_str("policy")?.to_owned(),
         workload,
         faults,
         violation,
+        window,
     })
 }
 
@@ -291,6 +341,7 @@ mod tests {
                 },
             ],
             violation: Some("mass-conservation".into()),
+            window: None,
         }
     }
 
@@ -337,6 +388,27 @@ mod tests {
         ] {
             assert!(repro_from_json(bad).is_err(), "accepted: {bad:?}");
         }
+    }
+
+    #[test]
+    fn window_roundtrips_and_is_optional() {
+        let mut r = sample();
+        r.window = Some(ReproWindow {
+            epoch_len: 2_400_000_000,
+            start: 17,
+            end: 23,
+            dimension: "slo-latency".into(),
+        });
+        let j = repro_to_json(&r);
+        assert!(j.contains("\"window\""));
+        assert_eq!(repro_from_json(&j).unwrap(), r);
+        // A pre-window file (no "window" key) parses to None.
+        let old = repro_to_json(&sample());
+        assert!(!old.contains("\"window\""));
+        assert_eq!(repro_from_json(&old).unwrap().window, None);
+        // A malformed window is an error, not a silent None.
+        let bad = j.replace("\"start\":17", "\"start\":\"x\"");
+        assert!(repro_from_json(&bad).is_err());
     }
 
     #[test]

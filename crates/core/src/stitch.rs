@@ -290,38 +290,45 @@ impl StageDump {
     /// Renders a dumped context as a human-readable string. Unknown
     /// indices render as placeholders rather than panicking.
     pub fn ctx_string(&self, ctx: u32) -> String {
-        let Some(c) = self.contexts.get(ctx as usize) else {
-            return format!("<ctx {ctx}?>");
-        };
-        if c.atoms.is_empty() {
-            return "<root>".to_owned();
-        }
-        let frame_name = |f: &u32| -> String {
-            self.frames
-                .get(*f as usize)
-                .cloned()
-                .unwrap_or_else(|| format!("<frame {f}?>"))
-        };
-        let mut parts = Vec::new();
-        for a in &c.atoms {
-            match a {
-                DumpAtom::Frame(f) => parts.push(frame_name(f)),
-                DumpAtom::Path(p) => parts.push(format!(
-                    "[{}]",
-                    p.iter().map(frame_name).collect::<Vec<_>>().join(">")
-                )),
-                DumpAtom::Remote(chain) => parts.push(format!(
-                    "remote({})",
-                    chain
-                        .iter()
-                        .map(|s| Synopsis(*s).to_string())
-                        .collect::<Vec<_>>()
-                        .join("#")
-                )),
-            }
-        }
-        parts.join(" -> ")
+        ctx_string_of(&self.frames, &self.contexts, ctx)
     }
+}
+
+/// [`StageDump::ctx_string`] over borrowed tables, so callers holding
+/// frame/context slices (e.g. the streaming collector's accumulators)
+/// can render labels without assembling a throwaway dump.
+pub fn ctx_string_of(frames: &[String], contexts: &[DumpContext], ctx: u32) -> String {
+    let Some(c) = contexts.get(ctx as usize) else {
+        return format!("<ctx {ctx}?>");
+    };
+    if c.atoms.is_empty() {
+        return "<root>".to_owned();
+    }
+    let frame_name = |f: &u32| -> String {
+        frames
+            .get(*f as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("<frame {f}?>"))
+    };
+    let mut parts = Vec::new();
+    for a in &c.atoms {
+        match a {
+            DumpAtom::Frame(f) => parts.push(frame_name(f)),
+            DumpAtom::Path(p) => parts.push(format!(
+                "[{}]",
+                p.iter().map(frame_name).collect::<Vec<_>>().join(">")
+            )),
+            DumpAtom::Remote(chain) => parts.push(format!(
+                "remote({})",
+                chain
+                    .iter()
+                    .map(|s| Synopsis(*s).to_string())
+                    .collect::<Vec<_>>()
+                    .join("#")
+            )),
+        }
+    }
+    parts.join(" -> ")
 }
 
 /// Converts a live [`TransactionContext`] into dump form.

@@ -673,3 +673,110 @@ proptest! {
         check_flow_equivalence(&ops, clear_regs, mem_dst);
     }
 }
+
+// ---------------------------------------------------------------------
+// Quantile sketch (sentinel SLO evaluation)
+// ---------------------------------------------------------------------
+
+use whodunit_core::sketch::{QuantileSketch, EPS_SHIFT};
+
+/// Splitmix-style value stream for a seed: the "fixed seed" the
+/// determinism property quantifies over.
+fn sketch_stream(seed: u64, n: usize) -> Vec<u64> {
+    let mut st = seed ^ 0x9E37_79B9_7F4A_7C15;
+    (0..n)
+        .map(|_| {
+            st = st.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = st;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            (z ^ (z >> 31)) % 1_000_000
+        })
+        .collect()
+}
+
+proptest! {
+    /// Merging per-epoch sketches is commutative and associative: any
+    /// epoch order (and any epoch grouping) yields the same quantiles
+    /// as one sketch fed the whole stream — the property that lets the
+    /// sentinel evaluate SLOs over retained epochs without caring how
+    /// the stream was chunked.
+    #[test]
+    fn sketch_merge_commutes_across_epoch_order(
+        args in (any::<u64>(), 2usize..7, 1usize..40, 0usize..720)
+    ) {
+        let (seed, epochs, per_epoch, rot) = args;
+        let vals = sketch_stream(seed, epochs * per_epoch);
+        let mut whole = QuantileSketch::new();
+        for &v in &vals {
+            whole.record(v);
+        }
+        let mut parts: Vec<QuantileSketch> = vals
+            .chunks(per_epoch)
+            .map(|c| {
+                let mut s = QuantileSketch::new();
+                for &v in c {
+                    s.record(v);
+                }
+                s
+            })
+            .collect();
+        let rot = rot % parts.len();
+        parts.rotate_left(rot);
+        let mut merged = QuantileSketch::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert_eq!(merged.max(), whole.max());
+        for q in [0u64, 100_000, 500_000, 900_000, 990_000, 1_000_000] {
+            prop_assert_eq!(merged.quantile_ppm(q), whole.quantile_ppm(q));
+        }
+    }
+
+    /// For a fixed seed the sketch's output is a pure function of the
+    /// stream: two independently built sketches agree exactly.
+    #[test]
+    fn sketch_is_deterministic_for_a_fixed_seed(seed in any::<u64>()) {
+        let vals = sketch_stream(seed, 257);
+        let build = || {
+            let mut s = QuantileSketch::new();
+            for &v in &vals {
+                s.record(v);
+            }
+            s
+        };
+        let (a, b) = (build(), build());
+        for q in (0..=10).map(|i| i * 100_000) {
+            prop_assert_eq!(a.quantile_ppm(q), b.quantile_ppm(q));
+        }
+    }
+
+    /// Rank-error bound against an exact sorted reference: the
+    /// estimate for quantile q is an upper bound of the exact rank-r
+    /// sample and exceeds it by at most one bucket width
+    /// (`max(1, v >> EPS_SHIFT)` — ~6.25% relative).
+    #[test]
+    fn sketch_quantile_brackets_exact_reference(
+        args in (any::<u64>(), 1usize..400, 0u64..1_000_001)
+    ) {
+        let (seed, n, q) = args;
+        let mut vals = sketch_stream(seed, n);
+        let mut s = QuantileSketch::new();
+        for &v in &vals {
+            s.record(v);
+        }
+        vals.sort_unstable();
+        let r = ((n as u64 * q).div_ceil(1_000_000)).max(1) as usize;
+        let exact = vals[r - 1];
+        let est = s.quantile_ppm(q).unwrap();
+        prop_assert!(est >= exact, "q={} est {} < exact {}", q, est, exact);
+        prop_assert!(
+            est <= exact + (exact >> EPS_SHIFT).max(1),
+            "q={} est {} too far above exact {}",
+            q,
+            est,
+            exact
+        );
+    }
+}

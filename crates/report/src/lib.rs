@@ -26,4 +26,7 @@ pub mod render;
 pub mod table;
 pub mod tpcw;
 
-pub use live::{render_live_snapshot, Hotspot, LagStats, LiveSnapshot, TierSlice, TopPath};
+pub use live::{
+    diff_snapshots, render_incident, render_live_diff, render_live_snapshot, Hotspot, IncidentCard,
+    LagStats, LiveDiff, LiveSnapshot, ReplaySummary, ShrinkSummary, TierSlice, TopPath,
+};

@@ -22,8 +22,12 @@ pub struct LagStats {
     pub seq_gaps: u64,
     /// Batches currently queued but not yet processed.
     pub queued: u64,
-    /// High-water mark of the ingest queue depth.
+    /// High-water mark of the ingest queue depth, all-time.
     pub peak_queued: u64,
+    /// High-water mark of the current fill/drain cycle: resets when a
+    /// batch is enqueued onto an empty queue, so long-running reuse of
+    /// one collector does not pin the live view at an ancient peak.
+    pub cycle_peak_queued: u64,
     /// Offers rejected because the ingest queue was full.
     pub throttled: u64,
 }
@@ -84,6 +88,10 @@ pub struct LiveSnapshot {
     pub pending_edges: u64,
     /// Ingest/backpressure accounting.
     pub lag: LagStats,
+    /// Explicit degradation markers: one line per stage whose stream
+    /// needed quarantine, resync, or stall handling. Empty on a clean
+    /// stream.
+    pub degraded: Vec<String>,
     /// Top-k transaction paths by cost, highest first.
     pub top_paths: Vec<TopPath>,
     /// Tier breakdowns for the same origins, same order.
@@ -112,9 +120,18 @@ pub fn render_live_snapshot(s: &LiveSnapshot) -> String {
     );
     let _ = writeln!(
         out,
-        "ingest: {} batches, {} events, {} seq gaps, queue {} (peak {}), throttled {}",
-        s.lag.batches, s.lag.events, s.lag.seq_gaps, s.lag.queued, s.lag.peak_queued, s.lag.throttled
+        "ingest: {} batches, {} events, {} seq gaps, queue {} (peak {} / cycle {}), throttled {}",
+        s.lag.batches,
+        s.lag.events,
+        s.lag.seq_gaps,
+        s.lag.queued,
+        s.lag.peak_queued,
+        s.lag.cycle_peak_queued,
+        s.lag.throttled
     );
+    for d in &s.degraded {
+        let _ = writeln!(out, "degraded: {d}");
+    }
     let _ = writeln!(out, "\ntop transaction paths by cost:");
     for (i, t) in s.top_paths.iter().enumerate() {
         let _ = writeln!(
@@ -145,6 +162,247 @@ pub fn render_live_snapshot(s: &LiveSnapshot) -> String {
             "  {}  <-  {}  waits {} total {}",
             h.waiter, h.holder, h.count, h.total_wait
         );
+    }
+    out
+}
+
+/// The difference between two [`LiveSnapshot`]s of the same collector,
+/// used by the sentinel's time-travel view to show what changed across
+/// an anomaly window (before/after the violation).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LiveDiff {
+    /// Epoch of the earlier snapshot.
+    pub from_epoch: u64,
+    /// Epoch of the later snapshot.
+    pub to_epoch: u64,
+    /// Batches ingested between the snapshots.
+    pub d_batches: u64,
+    /// Change events ingested between the snapshots.
+    pub d_events: u64,
+    /// Origins that entered/left/changed in the top-path ranking:
+    /// `(origin label, cycles before, cycles after)`; absence renders
+    /// as 0. Ordered by descending growth.
+    pub origins: Vec<(String, u64, u64)>,
+    /// Hotspots whose total wait grew: `(waiter, holder, wait before,
+    /// wait after)`, ordered by descending growth.
+    pub hotspots: Vec<(String, String, u64, u64)>,
+    /// Degradation markers present after but not before.
+    pub degraded_added: Vec<String>,
+}
+
+/// Computes the differential view between two snapshots (`before` must
+/// be the earlier one).
+pub fn diff_snapshots(before: &LiveSnapshot, after: &LiveSnapshot) -> LiveDiff {
+    let prior_cycles = |s: &LiveSnapshot, origin: &str| {
+        s.top_paths
+            .iter()
+            .find(|t| t.origin == origin)
+            .map_or(0, |t| t.cycles)
+    };
+    let mut origins: Vec<(String, u64, u64)> = after
+        .top_paths
+        .iter()
+        .map(|t| (t.origin.clone(), prior_cycles(before, &t.origin), t.cycles))
+        .collect();
+    for t in &before.top_paths {
+        if !origins.iter().any(|(o, ..)| o == &t.origin) {
+            origins.push((t.origin.clone(), t.cycles, prior_cycles(after, &t.origin)));
+        }
+    }
+    origins.sort_by(|a, b| {
+        let ga = a.2.saturating_sub(a.1);
+        let gb = b.2.saturating_sub(b.1);
+        (gb, &a.0).cmp(&(ga, &b.0))
+    });
+
+    let prior_wait = |s: &LiveSnapshot, w: &str, h: &str| {
+        s.hotspots
+            .iter()
+            .find(|x| x.waiter == w && x.holder == h)
+            .map_or(0, |x| x.total_wait)
+    };
+    let mut hotspots: Vec<(String, String, u64, u64)> = after
+        .hotspots
+        .iter()
+        .map(|x| {
+            (
+                x.waiter.clone(),
+                x.holder.clone(),
+                prior_wait(before, &x.waiter, &x.holder),
+                x.total_wait,
+            )
+        })
+        .filter(|(_, _, b, a)| a > b)
+        .collect();
+    hotspots.sort_by(|a, b| {
+        let ga = a.3.saturating_sub(a.2);
+        let gb = b.3.saturating_sub(b.2);
+        (gb, &a.0).cmp(&(ga, &b.0))
+    });
+
+    LiveDiff {
+        from_epoch: before.epoch,
+        to_epoch: after.epoch,
+        d_batches: after.lag.batches.saturating_sub(before.lag.batches),
+        d_events: after.lag.events.saturating_sub(before.lag.events),
+        origins,
+        hotspots,
+        degraded_added: after
+            .degraded
+            .iter()
+            .filter(|d| !before.degraded.contains(d))
+            .cloned()
+            .collect(),
+    }
+}
+
+/// Renders a [`LiveDiff`] as deterministic text.
+pub fn render_live_diff(d: &LiveDiff) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== live diff: epoch {} -> {} ({} batches, {} events) ==",
+        d.from_epoch, d.to_epoch, d.d_batches, d.d_events
+    );
+    let _ = writeln!(out, "origin cycle growth:");
+    for (o, b, a) in &d.origins {
+        let _ = writeln!(out, "  {o}: {b} -> {a} (+{})", a.saturating_sub(*b));
+    }
+    if !d.hotspots.is_empty() {
+        let _ = writeln!(out, "hotspot wait growth:");
+        for (w, h, b, a) in &d.hotspots {
+            let _ = writeln!(out, "  {w}  <-  {h}: {b} -> {a} (+{})", a.saturating_sub(*b));
+        }
+    }
+    for m in &d.degraded_added {
+        let _ = writeln!(out, "newly degraded: {m}");
+    }
+    out
+}
+
+/// How a captured incident was shrunk: scenario size before and after
+/// the greedy reduction, plus the runs the reduction cost.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShrinkSummary {
+    /// Fault-plan entries before shrinking.
+    pub faults_before: u64,
+    /// Fault-plan entries after shrinking.
+    pub faults_after: u64,
+    /// Workload clients before shrinking.
+    pub clients_before: u64,
+    /// Workload clients after shrinking.
+    pub clients_after: u64,
+}
+
+/// Replay verification of a captured repro.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReplaySummary {
+    /// Fingerprint of the captured scenario's run.
+    pub fingerprint: u64,
+    /// Whether a second run produced the identical fingerprint.
+    pub bit_identical: bool,
+    /// Whether the replay re-tripped the recorded dimension.
+    pub retripped: bool,
+}
+
+/// Everything the incident renderer needs, as plain data: the sentinel
+/// trip, the capture window, the differential snapshots, and (after
+/// capture finishes) the shrink and replay summaries. A card with
+/// `shrink`/`replay` still `None` renders as a mid-violation report.
+#[derive(Clone, Debug, Default)]
+pub struct IncidentCard {
+    /// Violated dimension (`tail:<stage>`, `xt-wait`, `lag`,
+    /// `quarantine`).
+    pub dimension: String,
+    /// Epoch the sentinel tripped at.
+    pub detected_epoch: u64,
+    /// Observed value at the trip.
+    pub observed: u64,
+    /// The budget it exceeded.
+    pub budget: u64,
+    /// Quantile (ppm) the budget was evaluated at.
+    pub quantile_ppm: u64,
+    /// Capture window: first and last retained epoch (inclusive).
+    pub window: (u64, u64),
+    /// Known fault onset epoch, when the harness planted the fault.
+    pub onset_epoch: Option<u64>,
+    /// Degradation markers active at detection.
+    pub degraded: Vec<String>,
+    /// Shrink outcome; `None` while capture is still in progress.
+    pub shrink: Option<ShrinkSummary>,
+    /// Replay verification; `None` while capture is still in progress.
+    pub replay: Option<ReplaySummary>,
+    /// Newest retained snapshot from before the violation.
+    pub before: Option<LiveSnapshot>,
+    /// Snapshot taken at detection.
+    pub after: Option<LiveSnapshot>,
+}
+
+/// Renders an incident report: the trip, detection latency, the
+/// before/after differential, shrink and replay results, and the full
+/// state at detection. Deterministic text, suitable for golden files.
+pub fn render_incident(c: &IncidentCard) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== incident: {} @ epoch {} ==",
+        c.dimension, c.detected_epoch
+    );
+    let _ = writeln!(
+        out,
+        "budget: p{:.2} per-epoch value {} exceeded: observed {}",
+        c.quantile_ppm as f64 / 10_000.0,
+        c.budget,
+        c.observed
+    );
+    let _ = writeln!(out, "window: epochs {}..={}", c.window.0, c.window.1);
+    if let Some(onset) = c.onset_epoch {
+        let _ = writeln!(
+            out,
+            "onset: epoch {onset} (detection latency {} epochs)",
+            c.detected_epoch.saturating_sub(onset)
+        );
+    }
+    for m in &c.degraded {
+        let _ = writeln!(out, "degraded: {m}");
+    }
+    match &c.shrink {
+        Some(s) => {
+            let _ = writeln!(
+                out,
+                "shrink: faults {} -> {}, clients {} -> {}",
+                s.faults_before, s.faults_after, s.clients_before, s.clients_after
+            );
+        }
+        None => {
+            let _ = writeln!(out, "capture: in progress");
+        }
+    }
+    if let Some(r) = &c.replay {
+        let _ = writeln!(
+            out,
+            "replay: fingerprint {:016x} {}, {}",
+            r.fingerprint,
+            if r.bit_identical {
+                "bit-identical"
+            } else {
+                "DIVERGED"
+            },
+            if r.retripped {
+                "re-tripped"
+            } else {
+                "DID NOT RE-TRIP"
+            }
+        );
+    }
+    if let (Some(b), Some(a)) = (&c.before, &c.after) {
+        out.push('\n');
+        out.push_str(&render_live_diff(&diff_snapshots(b, a)));
+    }
+    if let Some(a) = &c.after {
+        out.push('\n');
+        let _ = writeln!(out, "-- state at detection --");
+        out.push_str(&render_live_snapshot(a));
     }
     out
 }
@@ -185,6 +443,7 @@ mod tests {
                 count: 2,
                 total_wait: 90,
             }],
+            degraded: vec![],
         };
         let text = render_live_snapshot(&s);
         assert!(text.contains("epoch 3"));
@@ -192,5 +451,105 @@ mod tests {
         assert!(text.contains("client_http_request -> do_query"));
         assert!(text.contains("squid 100 | mysql 400"));
         assert!(text.contains("squid:a  <-  squid:b  waits 2 total 90"));
+        assert!(!text.contains("degraded"), "clean snapshot has no marker");
+    }
+
+    #[test]
+    fn degraded_markers_render_one_per_line() {
+        let s = LiveSnapshot {
+            degraded: vec!["stage 1 (db): 2 corrupt quarantined".into()],
+            ..LiveSnapshot::default()
+        };
+        assert!(render_live_snapshot(&s).contains("degraded: stage 1 (db): 2 corrupt quarantined"));
+    }
+
+    #[test]
+    fn diff_tracks_growth_and_new_degradation() {
+        let top = |origin: &str, cycles: u64| TopPath {
+            origin: origin.into(),
+            cycles,
+            samples: 1,
+            path: vec![],
+        };
+        let before = LiveSnapshot {
+            epoch: 4,
+            lag: LagStats {
+                batches: 4,
+                events: 40,
+                ..LagStats::default()
+            },
+            top_paths: vec![top("a:x", 100), top("a:y", 50)],
+            ..LiveSnapshot::default()
+        };
+        let after = LiveSnapshot {
+            epoch: 9,
+            lag: LagStats {
+                batches: 9,
+                events: 140,
+                ..LagStats::default()
+            },
+            top_paths: vec![top("a:x", 700), top("a:z", 90)],
+            hotspots: vec![Hotspot {
+                waiter: "a:x".into(),
+                holder: "a:z".into(),
+                count: 3,
+                total_wait: 77,
+            }],
+            degraded: vec!["stage 0 stalled".into()],
+            ..LiveSnapshot::default()
+        };
+        let d = diff_snapshots(&before, &after);
+        assert_eq!((d.from_epoch, d.to_epoch), (4, 9));
+        assert_eq!((d.d_batches, d.d_events), (5, 100));
+        // Ordered by descending growth; the dropped-out origin "a:y"
+        // still appears (with after = 0).
+        assert_eq!(d.origins[0], ("a:x".into(), 100, 700));
+        assert_eq!(d.origins[1], ("a:z".into(), 0, 90));
+        assert!(d.origins.iter().any(|(o, b, a)| o == "a:y" && *b == 50 && *a == 0));
+        assert_eq!(d.hotspots, vec![("a:x".into(), "a:z".into(), 0, 77)]);
+        assert_eq!(d.degraded_added, vec!["stage 0 stalled".to_owned()]);
+        let text = render_live_diff(&d);
+        assert!(text.contains("epoch 4 -> 9"));
+        assert!(text.contains("a:x: 100 -> 700 (+600)"));
+        assert!(text.contains("newly degraded: stage 0 stalled"));
+    }
+
+    #[test]
+    fn incident_renders_mid_violation_and_post_capture() {
+        let mut card = IncidentCard {
+            dimension: "tail:db".into(),
+            detected_epoch: 37,
+            observed: 5678,
+            budget: 1234,
+            quantile_ppm: 990_000,
+            window: (30, 37),
+            onset_epoch: Some(30),
+            degraded: vec!["stage 2 (db): 1 resync".into()],
+            ..IncidentCard::default()
+        };
+        let mid = render_incident(&card);
+        assert!(mid.starts_with("== incident: tail:db @ epoch 37 =="));
+        assert!(mid.contains("budget: p99.00 per-epoch value 1234 exceeded: observed 5678"));
+        assert!(mid.contains("window: epochs 30..=37"));
+        assert!(mid.contains("onset: epoch 30 (detection latency 7 epochs)"));
+        assert!(mid.contains("degraded: stage 2 (db): 1 resync"));
+        assert!(mid.contains("capture: in progress"));
+        assert!(!mid.contains("replay:"));
+
+        card.shrink = Some(ShrinkSummary {
+            faults_before: 3,
+            faults_after: 1,
+            clients_before: 48,
+            clients_after: 6,
+        });
+        card.replay = Some(ReplaySummary {
+            fingerprint: 0xdead_beef,
+            bit_identical: true,
+            retripped: true,
+        });
+        let done = render_incident(&card);
+        assert!(done.contains("shrink: faults 3 -> 1, clients 48 -> 6"));
+        assert!(done.contains("replay: fingerprint 00000000deadbeef bit-identical, re-tripped"));
+        assert!(!done.contains("capture: in progress"));
     }
 }

@@ -132,6 +132,7 @@ pub fn sample_scenario(seed: u64, space: &ChaosSpace, workload: &[(String, u64)]
         workload: workload.to_vec(),
         faults,
         violation: None,
+        window: None,
     }
 }
 

@@ -26,11 +26,15 @@ cargo test -q --test golden_report
 
 # The streaming-collector gates:
 # - differential: streaming collector vs batch pipeline byte-identity
-#   over the same 36-scenario matrix (end-state lock);
-# - golden: live-query snapshot rendering, mid-run + final epoch
+#   over the same 36-scenario matrix (end-state lock), plus the
+#   self-healing ingest damage matrix (corrupt / truncated / duplicate
+#   / reordered / lost frames, stall watchdog);
+# - golden: live-query snapshot rendering, mid-run + final epoch, and
+#   the rendered sentinel incident report mid-violation + post-capture
 #   (regenerate intentionally with UPDATE_GOLDEN=1).
 cargo test -q -p whodunit-collector --test streaming_diff
 cargo test -q --test golden_collector
+cargo test -q --test golden_sentinel
 
 cargo clippy --workspace -- -D warnings
 
@@ -54,3 +58,57 @@ cargo run --release -q -p whodunit-bench --bin hotpath -- --smoke --out target/B
 # failing on any invariant-oracle violation.
 cargo run --release -q -p whodunit-bench --bin chaos -- --selftest --out target/chaos-smoke
 cargo run --release -q -p whodunit-bench --bin chaos -- --seeds 25 --out target/chaos-smoke
+
+# Sentinel smoke: calibrate an SLO budget from a clean run, sweep a
+# reduced clean matrix (any trip is a false repro and fails), capture
+# one planted faultstorm with shrink + bit-identical replay, and hold
+# the always-on ingest-overhead gate.
+cargo run --release -q -p whodunit-bench --bin sentinel -- --smoke --out target/BENCH_sentinel_smoke.json
+
+# The sentinel's repro bundle must be self-contained: chaos --replay
+# reconstructs the tripped budget from the bundle's slo_* knobs alone
+# and fails unless the same dimension re-trips at the recorded epoch.
+cargo run --release -q -p whodunit-bench --bin chaos -- --replay target/BENCH_sentinel_smoke.repro.json
+
+# Every published or smoke bench result must carry its gate fields: a
+# bench that silently stops reporting a gate can never fail it, so a
+# missing field is itself a CI failure. (`*.repro.json` is a repro
+# bundle riding along with the sentinel bench, not a bench result.)
+python3 - <<'EOF'
+import glob, json, sys
+
+GATE_FIELDS = {
+    "collectord": ["sweep", "lag"],
+    "hotpath": ["ok"],
+    "pipeline": ["sweep", "serial_fingerprint"],
+    "sentinel": [
+        "false_repros",
+        "detection.latency_epochs",
+        "capture.shrink_ratio",
+        "replay.bit_identical",
+        "replay.retripped",
+        "overhead.within_gate",
+    ],
+}
+
+bad = []
+files = sorted(set(glob.glob("BENCH_*.json") + glob.glob("target/BENCH_*.json")))
+for path in files:
+    if path.endswith(".repro.json"):
+        continue
+    doc = json.load(open(path))
+    bench = doc.get("bench")
+    if bench not in GATE_FIELDS:
+        bad.append(f"{path}: unknown bench {bench!r} (add its gate fields to ci.sh)")
+        continue
+    for field in GATE_FIELDS[bench]:
+        node = doc
+        for part in field.split("."):
+            node = node.get(part) if isinstance(node, dict) else None
+        if node is None:
+            bad.append(f"{path}: missing gate field {field!r}")
+if bad:
+    print("\n".join(bad), file=sys.stderr)
+    sys.exit(1)
+print(f"bench gate fields present in {len(files)} result file(s)")
+EOF
