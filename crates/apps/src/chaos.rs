@@ -184,6 +184,7 @@ pub fn run_scenario(repro: &ChaosRepro) -> ScenarioResult {
         delayed: r.delayed_msgs,
         progress,
         dumps: r.dumps,
+        federation: None,
     };
     let violations = check_all(&ev);
 

@@ -25,6 +25,7 @@ pub mod appserver;
 pub mod chaos;
 pub mod dbserver;
 pub mod dnsd;
+pub mod federation;
 pub mod httpd;
 pub mod metrics;
 pub mod proxy;

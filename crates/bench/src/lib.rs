@@ -11,10 +11,10 @@
 //! carrying per-bin copies: [`fleet_config`], [`clamp_replicas`],
 //! [`run_fleet`], [`json_escape`], and [`write_json_file`].
 
-use std::collections::HashMap;
+use whodunit_apps::federation::{fleet_epochs, leaf_stream, replica_header};
 use whodunit_apps::tpcw::{run_tpcw, TpcwConfig, TpcwReport};
 use whodunit_core::cost::CPU_HZ;
-use whodunit_core::delta::{EpochBatch, StreamHeader, StreamStage};
+use whodunit_core::delta::{EpochBatch, StreamHeader};
 use whodunit_core::pipeline::replicate_fleet;
 use whodunit_core::stitch::StageDump;
 
@@ -46,10 +46,30 @@ pub fn fleet_config(clients: u32, duration_s: u64) -> TpcwConfig {
     }
 }
 
-/// Clamps a replica count so 3 tiers per replica stay inside the 8-bit
-/// process-id space.
+/// Default replica cap: 3 tiers per replica inside the 8-bit
+/// process-id space, which keeps synopses at their 4-byte wire size.
+pub const DEFAULT_REPLICA_CAP: usize = 85;
+
+/// The effective replica cap: `WHODUNIT_MAX_REPLICAS` when set to a
+/// positive integer, [`DEFAULT_REPLICA_CAP`] otherwise. Raising the
+/// cap is safe since synopses widened to 64-bit process ids; the
+/// federation bench uses it to scale the fleet into the thousands.
+pub fn replica_cap() -> usize {
+    std::env::var("WHODUNIT_MAX_REPLICAS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .filter(|&cap| cap >= 1)
+        .unwrap_or(DEFAULT_REPLICA_CAP)
+}
+
+/// Clamps a replica count to `[1, cap]`.
+pub fn clamp_replicas_to(replicas: usize, cap: usize) -> usize {
+    replicas.clamp(1, cap.max(1))
+}
+
+/// Clamps a replica count to the effective cap ([`replica_cap`]).
 pub fn clamp_replicas(replicas: usize) -> usize {
-    replicas.clamp(1, 85)
+    clamp_replicas_to(replicas, replica_cap())
 }
 
 /// Runs the 3-tier TPC-W stack once and replicates its dumps into a
@@ -73,46 +93,25 @@ pub fn fleet_stream(
     replicas: usize,
     stagger: u64,
 ) -> (StreamHeader, Vec<EpochBatch>) {
-    let g = hdr.stages.len();
-    let proc_index: HashMap<u32, usize> = hdr
-        .stages
-        .iter()
-        .enumerate()
-        .map(|(i, s)| (s.proc, i))
-        .collect();
-    let mut stages = Vec::with_capacity(g * replicas);
-    for r in 0..replicas {
-        for s in &hdr.stages {
-            stages.push(StreamStage {
-                proc: (r * g + proc_index[&s.proc]) as u32,
-                stage_name: s.stage_name.clone(),
+    let total = fleet_epochs(batches.len(), replicas, stagger);
+    let slice = leaf_stream(hdr, batches, 0, replicas, stagger, total, CPU_HZ);
+    // The federation splitter omits content-free epochs; the flat
+    // ingest benches expect a dense batch sequence, so reinsert them.
+    let mut out = Vec::with_capacity(total as usize);
+    let mut it = slice.into_iter().peekable();
+    for ge in 0..total {
+        if it.peek().is_some_and(|b| b.epoch == ge) {
+            out.push(it.next().expect("peeked"));
+        } else {
+            out.push(EpochBatch {
+                epoch: ge,
+                seq: ge,
+                end: (ge + 1) * CPU_HZ,
+                deltas: Vec::new(),
             });
         }
     }
-    let local_epochs = batches.len() as u64;
-    let total = local_epochs + (replicas as u64 - 1) * stagger;
-    let mut out = Vec::with_capacity(total as usize);
-    for ge in 0..total {
-        let mut deltas = Vec::new();
-        for r in 0..replicas {
-            let start = r as u64 * stagger;
-            if ge < start || ge - start >= local_epochs {
-                continue;
-            }
-            let b = &batches[(ge - start) as usize];
-            let map = |p: u32| proc_index.get(&p).map(|&i| (r * g + i) as u32);
-            for d in &b.deltas {
-                deltas.push(d.with_remapped_proc(r * g + d.stage, &map));
-            }
-        }
-        out.push(EpochBatch {
-            epoch: ge,
-            seq: ge,
-            end: (ge + 1) * CPU_HZ,
-            deltas,
-        });
-    }
-    (StreamHeader { stages }, out)
+    (replica_header(hdr, replicas), out)
 }
 
 /// Escapes a string for embedding in a JSON literal.
@@ -128,4 +127,35 @@ pub fn write_json_file(path: &str, content: &str) {
         }
     }
     std::fs::write(path, content).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamp_with_explicit_cap() {
+        assert_eq!(clamp_replicas_to(0, 85), 1);
+        assert_eq!(clamp_replicas_to(40, 85), 40);
+        assert_eq!(clamp_replicas_to(1000, 85), 85);
+        assert_eq!(clamp_replicas_to(4096, 2048), 2048);
+        assert_eq!(clamp_replicas_to(7, 0), 1, "degenerate cap still clamps");
+    }
+
+    #[test]
+    fn clamp_with_env_cap() {
+        // Exercises the env-resolution path end to end. The var is
+        // process-global, so this is the only test that touches it.
+        std::env::set_var("WHODUNIT_MAX_REPLICAS", "2048");
+        assert_eq!(replica_cap(), 2048);
+        assert_eq!(clamp_replicas(4096), 2048);
+        std::env::set_var("WHODUNIT_MAX_REPLICAS", "not-a-number");
+        assert_eq!(replica_cap(), DEFAULT_REPLICA_CAP, "garbage falls back");
+        std::env::set_var("WHODUNIT_MAX_REPLICAS", "0");
+        assert_eq!(replica_cap(), DEFAULT_REPLICA_CAP, "zero falls back");
+        std::env::remove_var("WHODUNIT_MAX_REPLICAS");
+        assert_eq!(replica_cap(), DEFAULT_REPLICA_CAP);
+        assert_eq!(clamp_replicas(1000), 85);
+        assert_eq!(clamp_replicas(0), 1);
+    }
 }

@@ -51,6 +51,7 @@
 
 #![warn(missing_docs)]
 
+pub mod federation;
 pub mod quarantine;
 pub mod sentinel;
 
@@ -71,6 +72,10 @@ use whodunit_core::stitch::{ctx_string_of, DumpAtom, RequestEdge, StageDump, Unr
 use whodunit_core::synopsis::{SynChain, Synopsis};
 use whodunit_report::live::{Hotspot, LagStats, LiveSnapshot, TierSlice, TopPath};
 
+pub use federation::{
+    CleanLinks, FedNodeId, Federation, FederationConfig, FederationOutput, FederationStats,
+    LinkPolicy, LinkVerdict, RecoveryRecord,
+};
 pub use quarantine::{QuarantinePolicy, StageQuarantine};
 pub use sentinel::{Sentinel, SentinelSink, SloBudget, SloViolation};
 
@@ -306,12 +311,12 @@ pub struct Collector {
     stages: Vec<StageState>,
     /// Raw synopsis → `(stage, ctx)` that minted it. Insert-only.
     /// FNV-hashed: probed on every origin-walk hop and context mint.
-    syn_index: FnvHashMap<u32, (usize, u32)>,
+    syn_index: FnvHashMap<u64, (usize, u32)>,
     /// Missing raw synopsis → walk start contexts parked on it.
-    pending_walks: FnvHashMap<u32, Vec<(usize, u32)>>,
+    pending_walks: FnvHashMap<u64, Vec<(usize, u32)>>,
     /// Missing raw synopsis → receiving `(stage, ctx)` request edges
     /// parked on it.
-    pending_edges: FnvHashMap<u32, Vec<(usize, u32)>>,
+    pending_edges: FnvHashMap<u64, Vec<(usize, u32)>>,
     edges: Vec<RequestEdge>,
     /// Crosstalk increments whose waiter or holder origin is not yet
     /// resolved: `(stage, waiter, holder, count, total_wait)`; a
@@ -895,7 +900,7 @@ impl Collector {
     /// Walks the remote chain from `start` through the current index.
     /// `settle` makes an unresolvable head terminate the walk (batch
     /// end-of-run semantics) instead of reporting the missing raw.
-    fn walk(&self, start: (usize, u32), settle: bool) -> Result<OriginKey, u32> {
+    fn walk(&self, start: (usize, u32), settle: bool) -> Result<OriginKey, u64> {
         let mut cur = start;
         for _ in 0..64 {
             let Some(st) = self.stages.get(cur.0) else {

@@ -1,0 +1,333 @@
+//! Federation-vs-flat differential suite: the fingerprint lineage.
+//!
+//! Each scenario records one clean 3-tier TPC-W delta stream, splits
+//! it into a staggered replica fleet across a leaf/regional/global
+//! federation, and byte-compares the root's finalized report against
+//! batch `pipeline::analyze` over `replicate_fleet` of the same run's
+//! dumps — the same end-state lock the flat streaming suite
+//! (`streaming_diff.rs`) holds, one aggregation tier higher.
+//!
+//! Coverage mirrors that suite's 36-scenario shape: 6 seeds × 3
+//! fan-in shapes × 2 flush/checkpoint cadences, all clean-run
+//! byte-identical with full coverage and bounded per-level residency.
+//! Fault scenarios then hold the robustness half of the contract:
+//! lossy uplinks heal through retransmission, partitions heal after
+//! the window, a planted leaf crash recovers from its checkpoint with
+//! zero mass loss, and an unrecoverable leaf finalizes degraded with
+//! honest partial coverage instead of aborting.
+
+use whodunit_apps::federation::{run_federation, FaultLinkPolicy, FedCrash};
+use whodunit_apps::tpcw::{run_tpcw_streaming, TpcwConfig};
+use whodunit_collector::federation::{CleanLinks, FedNodeId, FederationConfig, FederationOutput};
+use whodunit_collector::CollectorConfig;
+use whodunit_core::cost::CPU_HZ;
+use whodunit_core::delta::{EpochBatch, RecordingSink, StreamHeader};
+use whodunit_core::oracle::check_federation;
+use whodunit_core::pipeline::{analyze, replicate_fleet, PipelineConfig, PipelineReport};
+use whodunit_sim::fault::ChannelFaults;
+use whodunit_sim::FaultPlan;
+use whodunit_core::ids::ChanId;
+
+const SEEDS: [u64; 6] = [1, 2, 3, 5, 8, 13];
+const EPOCH_LEN: u64 = CPU_HZ;
+const STAGGER: u64 = 2;
+
+/// Fan-in shapes: replica count and per-region leaf counts.
+const SHAPES: [(&str, usize, &[usize]); 3] = [
+    ("1rx2l", 4, &[2]),
+    ("2rx2l", 6, &[2, 2]),
+    ("3r-mixed", 8, &[3, 2, 1]),
+];
+
+/// Flush/checkpoint cadences (ticks).
+const CADENCES: [(u64, u64); 2] = [(1, 4), (4, 8)];
+
+fn scenario_cfg(seed: u64) -> TpcwConfig {
+    TpcwConfig {
+        clients: 10,
+        duration: 20 * CPU_HZ,
+        warmup: 5 * CPU_HZ,
+        seed,
+        step_budget: Some(2_000_000),
+        ..Default::default()
+    }
+}
+
+/// Records one clean scenario's delta stream and end-of-run dumps.
+fn recorded(seed: u64) -> (StreamHeader, Vec<EpochBatch>, Vec<whodunit_core::stitch::StageDump>) {
+    let mut sink = RecordingSink::default();
+    let report = run_tpcw_streaming(scenario_cfg(seed), EPOCH_LEN, &mut sink);
+    (sink.header, sink.batches, report.dumps)
+}
+
+/// The flat batch reference: analyze over the replicated fleet dumps.
+fn flat_reference(dumps: &[whodunit_core::stitch::StageDump], replicas: usize) -> PipelineReport {
+    let shards = CollectorConfig::default().shards;
+    analyze(
+        replicate_fleet(dumps, replicas),
+        PipelineConfig { workers: 1, shards },
+    )
+}
+
+fn fed_cfg(flush: u64, ckpt: u64) -> FederationConfig {
+    FederationConfig {
+        flush_every: flush,
+        checkpoint_every: ckpt,
+        ..FederationConfig::default()
+    }
+}
+
+fn assert_byte_identical(batch: &PipelineReport, fed: &PipelineReport, what: &str) {
+    assert_eq!(
+        batch.stitched_text(),
+        fed.stitched_text(),
+        "stitched text diverged: {what}"
+    );
+    assert_eq!(
+        batch.crosstalk_text(),
+        fed.crosstalk_text(),
+        "crosstalk matrix diverged: {what}"
+    );
+    assert_eq!(batch.dumps_json, fed.dumps_json, "dump JSON diverged: {what}");
+    assert_eq!(batch.dict, fed.dict, "context dictionary diverged: {what}");
+    assert_eq!(
+        batch.fingerprint(),
+        fed.fingerprint(),
+        "fingerprint diverged: {what}"
+    );
+}
+
+fn assert_clean_and_identical(out: &FederationOutput, reference: &PipelineReport, what: &str) {
+    assert_eq!(out.coverage_ppm, 1_000_000, "mass lost: {what}");
+    assert!(out.degraded.is_empty(), "degraded clean run: {what}");
+    assert!(
+        !out.output.stats.used_fallback,
+        "root bailed to batch fallback: {what}"
+    );
+    assert_eq!(
+        check_federation(&out.evidence),
+        vec![],
+        "ledger violation: {what}"
+    );
+    assert_byte_identical(reference, &out.output.report, what);
+}
+
+fn run_clean(
+    hdr: &StreamHeader,
+    batches: &[EpochBatch],
+    replicas: usize,
+    regions: &[usize],
+    cfg: FederationConfig,
+) -> FederationOutput {
+    run_federation(
+        hdr,
+        batches,
+        replicas,
+        STAGGER,
+        EPOCH_LEN,
+        regions,
+        cfg,
+        Box::new(CleanLinks),
+        &[],
+    )
+}
+
+#[test]
+fn clean_matrix_is_byte_identical_at_every_fan_in() {
+    let mut scenarios = 0;
+    for &seed in &SEEDS {
+        let (hdr, batches, dumps) = recorded(seed);
+        for &(shape, replicas, regions) in &SHAPES {
+            let reference = flat_reference(&dumps, replicas);
+            assert!(
+                !reference.profiles.is_empty(),
+                "vacuous scenario: seed={seed}"
+            );
+            for &(flush, ckpt) in &CADENCES {
+                scenarios += 1;
+                let what = format!("seed={seed} shape={shape} flush={flush} ckpt={ckpt}");
+                let out = run_clean(&hdr, &batches, replicas, regions, fed_cfg(flush, ckpt));
+                assert_clean_and_identical(&out, &reference, &what);
+                // Bounded memory at every level: no node ever held the
+                // whole stream, and the summary path compacted it.
+                let s = &out.stats;
+                assert!(s.frames_sent > 1, "stream collapsed: {what}");
+                assert!(
+                    s.peak_resident_leaf < s.leaf_events_in,
+                    "a leaf held the whole stream: {what}"
+                );
+                assert!(
+                    s.peak_resident_regional < s.leaf_events_in,
+                    "a regional held the whole stream: {what}"
+                );
+                assert!(
+                    s.root_events_applied <= s.leaf_events_in,
+                    "summary merge inflated the stream: {what}"
+                );
+                assert_eq!(s.spool_stalls, 0, "clean run backpressured: {what}");
+            }
+        }
+    }
+    assert_eq!(scenarios, 36);
+}
+
+#[test]
+fn lossy_uplinks_heal_through_retransmission() {
+    let (hdr, batches, dumps) = recorded(5);
+    let (_, replicas, regions) = SHAPES[1];
+    let reference = flat_reference(&dumps, replicas);
+    let plan = FaultPlan::new(0xfed5).default_channel_faults(ChannelFaults {
+        drop_p: 0.10,
+        dup_p: 0.05,
+        delay_p: 0.10,
+        delay_cycles: 3,
+        ..Default::default()
+    });
+    let out = run_federation(
+        &hdr,
+        &batches,
+        replicas,
+        STAGGER,
+        EPOCH_LEN,
+        regions,
+        fed_cfg(2, 4),
+        Box::new(FaultLinkPolicy::new(plan)),
+        &[],
+    );
+    let s = &out.stats;
+    assert!(s.frames_lost + s.acks_lost > 0, "plan never fired");
+    assert!(s.retransmits > 0, "losses never forced a retry");
+    assert!(s.dup_frames > 0, "duplicates never reached a receiver");
+    assert_clean_and_identical(&out, &reference, "lossy links");
+}
+
+#[test]
+fn partition_heals_after_the_window() {
+    let (hdr, batches, dumps) = recorded(2);
+    let (_, replicas, regions) = SHAPES[0];
+    let reference = flat_reference(&dumps, replicas);
+    // Leaf 0's uplink is ChanId(0); cut it for a window of ticks.
+    let plan = FaultPlan::new(1).partition(ChanId(0), 6, 22);
+    let out = run_federation(
+        &hdr,
+        &batches,
+        replicas,
+        STAGGER,
+        EPOCH_LEN,
+        regions,
+        fed_cfg(2, 4),
+        Box::new(FaultLinkPolicy::new(plan)),
+        &[],
+    );
+    assert!(
+        out.stats.frames_lost + out.stats.acks_lost > 0,
+        "partition never cut a message"
+    );
+    assert_clean_and_identical(&out, &reference, "partitioned uplink");
+}
+
+#[test]
+fn planted_leaf_crash_recovers_with_zero_mass_loss() {
+    let (hdr, batches, dumps) = recorded(3);
+    let (_, replicas, regions) = SHAPES[1];
+    let reference = flat_reference(&dumps, replicas);
+    let out = run_federation(
+        &hdr,
+        &batches,
+        replicas,
+        STAGGER,
+        EPOCH_LEN,
+        regions,
+        fed_cfg(2, 4),
+        Box::new(CleanLinks),
+        &[FedCrash {
+            node: FedNodeId::Leaf(1),
+            at: 9,
+            recover_at: Some(15),
+        }],
+    );
+    assert_eq!(out.stats.crashes, 1);
+    assert_eq!(out.stats.recoveries, 1);
+    assert!(out.stats.missed_batches > 0, "crash window saw no input");
+    assert_clean_and_identical(&out, &reference, "leaf crash + recovery");
+    let rec = &out.recovery[0];
+    assert_eq!(rec.leaf, 1);
+    let recovered = rec.recovered_epoch.expect("root never saw the recovery");
+    assert!(
+        recovered >= rec.crash_epoch,
+        "recovery latency must be measurable: {rec:?}"
+    );
+}
+
+#[test]
+fn regional_crash_recovers_with_zero_mass_loss() {
+    let (hdr, batches, dumps) = recorded(8);
+    let (_, replicas, regions) = SHAPES[1];
+    let reference = flat_reference(&dumps, replicas);
+    let out = run_federation(
+        &hdr,
+        &batches,
+        replicas,
+        STAGGER,
+        EPOCH_LEN,
+        regions,
+        fed_cfg(2, 4),
+        Box::new(CleanLinks),
+        &[FedCrash {
+            node: FedNodeId::Regional(0),
+            at: 11,
+            recover_at: Some(19),
+        }],
+    );
+    assert_eq!(out.stats.recoveries, 1);
+    assert_clean_and_identical(&out, &reference, "regional crash + recovery");
+}
+
+#[test]
+fn unrecoverable_leaf_finalizes_degraded_not_aborted() {
+    let (hdr, batches, _) = recorded(1);
+    let (_, replicas, regions) = SHAPES[0];
+    let mut cfg = fed_cfg(2, 4);
+    cfg.deadline_ticks = 128;
+    let out = run_federation(
+        &hdr,
+        &batches,
+        replicas,
+        STAGGER,
+        EPOCH_LEN,
+        regions,
+        cfg,
+        Box::new(CleanLinks),
+        &[FedCrash {
+            node: FedNodeId::Leaf(0),
+            at: 7,
+            recover_at: None,
+        }],
+    );
+    assert!(out.coverage_ppm < 1_000_000, "lost subtree cannot be full");
+    assert!(out.coverage_ppm > 0, "surviving subtree must still report");
+    assert_eq!(out.degraded, vec!["leaf0".to_string()]);
+    assert!(out.evidence.subtrees[0].degraded);
+    assert!(out.evidence.subtrees[0].delivered < out.evidence.subtrees[0].truth);
+    // The ledger is honest, so the oracle passes despite the loss...
+    assert_eq!(check_federation(&out.evidence), vec![]);
+    // ...and the surviving subtree's profiles still finalized.
+    assert!(!out.output.report.profiles.is_empty());
+    assert!(out.topology.root.children[0].children[0].degraded);
+}
+
+/// A misreporting root would be caught: fabricate the evidence a buggy
+/// implementation could emit and watch the oracle object.
+#[test]
+fn oracle_rejects_silent_mass_drop() {
+    let (hdr, batches, _) = recorded(1);
+    let (_, replicas, regions) = SHAPES[0];
+    let out = run_clean(&hdr, &batches, replicas, regions, fed_cfg(2, 4));
+    let mut ev = out.evidence.clone();
+    // Pretend a subtree delivered everything when mass is missing.
+    ev.subtrees[0].delivered -= 1;
+    assert!(
+        !check_federation(&ev).is_empty(),
+        "oracle must flag a non-degraded subtree that lost mass"
+    );
+}

@@ -72,15 +72,15 @@ fn shape_strategy() -> impl Strategy<Value = Shape> {
         })
 }
 
-fn front_syn(k: usize) -> u32 {
+fn front_syn(k: usize) -> u64 {
     Synopsis::new(1, k as u32).0
 }
 
-fn db_syn(k: usize) -> u32 {
+fn db_syn(k: usize) -> u64 {
     Synopsis::new(2, k as u32).0
 }
 
-fn never_syn(k: usize) -> u32 {
+fn never_syn(k: usize) -> u64 {
     Synopsis::new(3, k as u32).0
 }
 

@@ -180,7 +180,7 @@ impl TransactionContext {
                     h.write_u64(3);
                     h.write_u64(c.0.len() as u64);
                     for s in &c.0 {
-                        h.write_u64(s.0 as u64);
+                        h.write_u64(s.0);
                     }
                 }
             }

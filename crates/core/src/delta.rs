@@ -103,7 +103,7 @@ pub struct StageDelta {
     /// Newly interned contexts (appended to the stage's table).
     pub new_contexts: Vec<DumpContext>,
     /// Newly minted `(raw synopsis, context index)` pairs.
-    pub new_synopses: Vec<(u32, u32)>,
+    pub new_synopses: Vec<(u64, u32)>,
     /// CCT increments, sorted by context index.
     pub ccts: Vec<CctDelta>,
     /// Crosstalk pair increments: `count`/`total_wait` are the deltas.
@@ -180,7 +180,7 @@ impl StageDelta {
                         h.write_u64(3);
                         h.write_u64(r.len() as u64);
                         for s in r {
-                            h.write_u64(*s as u64);
+                            h.write_u64(*s);
                         }
                     }
                 }
@@ -188,7 +188,7 @@ impl StageDelta {
         }
         h.write_u64(self.new_synopses.len() as u64);
         for &(raw, ctx) in &self.new_synopses {
-            h.write_u64(raw as u64);
+            h.write_u64(raw);
             h.write_u64(ctx as u64);
         }
         h.write_u64(self.ccts.len() as u64);
@@ -241,7 +241,7 @@ impl StageDelta {
         stage: usize,
         map: &dyn Fn(u32) -> Option<u32>,
     ) -> StageDelta {
-        let remap_syn = |raw: u32| -> u32 {
+        let remap_syn = |raw: u64| -> u64 {
             let s = crate::synopsis::Synopsis(raw);
             match map(s.proc_id()) {
                 Some(p) => crate::synopsis::Synopsis::new(p, s.counter()).0,
@@ -626,7 +626,7 @@ pub struct StageAccumulator {
     /// Per context id: its CCT node list, if one has accumulated.
     ccts: Vec<Option<Vec<DumpNode>>>,
     /// Per context id: its minted synopsis, if any.
-    synopses: Vec<Option<u32>>,
+    synopses: Vec<Option<u64>>,
     pairs: BTreeMap<(u32, u32), (u64, u64)>,
     waiters: BTreeMap<u32, (u64, u64)>,
     piggyback_bytes: u64,

@@ -53,6 +53,17 @@ fn write_u32_list(xs: &[u32], out: &mut String) {
     out.push(']');
 }
 
+fn write_u64_list(xs: &[u64], out: &mut String) {
+    out.push('[');
+    for (i, &x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_u64(out, x);
+    }
+    out.push(']');
+}
+
 fn write_atom(a: &DumpAtom, out: &mut String) {
     match a {
         DumpAtom::Frame(f) => {
@@ -67,7 +78,7 @@ fn write_atom(a: &DumpAtom, out: &mut String) {
         }
         DumpAtom::Remote(r) => {
             out.push_str("{\"Remote\":");
-            write_u32_list(r, out);
+            write_u64_list(r, out);
             out.push('}');
         }
     }
@@ -180,7 +191,7 @@ fn write_dump(d: &StageDump, out: &mut String) {
             out.push(',');
         }
         out.push('[');
-        push_u32(out, raw);
+        push_u64(out, raw);
         out.push(',');
         push_u32(out, ctx);
         out.push(']');
@@ -536,6 +547,10 @@ fn u32_list(v: &Value, what: &str) -> Result<Vec<u32>, StitchError> {
     v.as_arr(what)?.iter().map(|x| x.as_u32(what)).collect()
 }
 
+fn u64_list(v: &Value, what: &str) -> Result<Vec<u64>, StitchError> {
+    v.as_arr(what)?.iter().map(|x| x.as_u64(what)).collect()
+}
+
 fn atom_of(v: &Value) -> Result<DumpAtom, StitchError> {
     let Value::Obj(items) = v else {
         return schema("atom: expected {\"Variant\": ...}");
@@ -547,7 +562,7 @@ fn atom_of(v: &Value) -> Result<DumpAtom, StitchError> {
     match k.as_str() {
         "Frame" => Ok(DumpAtom::Frame(payload.as_u32("Frame")?)),
         "Path" => Ok(DumpAtom::Path(u32_list(payload, "Path")?)),
-        "Remote" => Ok(DumpAtom::Remote(u32_list(payload, "Remote")?)),
+        "Remote" => Ok(DumpAtom::Remote(u64_list(payload, "Remote")?)),
         other => schema(format!("atom: unknown variant '{other}'")),
     }
 }
@@ -603,7 +618,7 @@ fn dump_of(v: &Value) -> Result<StageDump, StitchError> {
             if pair.len() != 2 {
                 return schema("synopsis pair: expected [raw, ctx]");
             }
-            Ok((pair[0].as_u32("synopsis")?, pair[1].as_u32("synopsis ctx")?))
+            Ok((pair[0].as_u64("synopsis")?, pair[1].as_u32("synopsis ctx")?))
         })
         .collect::<Result<_, StitchError>>()?;
     let crosstalk_pairs = v

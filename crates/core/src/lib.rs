@@ -59,6 +59,7 @@ pub mod seda;
 pub mod shm;
 pub mod sketch;
 pub mod stitch;
+pub mod summary;
 pub mod synopsis;
 pub mod txt;
 
@@ -84,4 +85,5 @@ pub use repro::{repro_from_json, repro_to_json, ChaosRepro, FaultEntry, ReproWin
 pub use rt::{NullRuntime, Runtime};
 pub use shm::{FlowDetector, FlowEvent, Loc, MemEvent};
 pub use sketch::QuantileSketch;
+pub use summary::{merge_stage_delta, seal_delta, LeafGauges, SummaryFrame, TierSketch};
 pub use synopsis::{SynChain, Synopsis, SynopsisTable};

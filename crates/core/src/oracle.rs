@@ -67,6 +67,37 @@ pub struct Evidence {
     pub delayed: u64,
     /// Terminal progress state of the run.
     pub progress: ProgressState,
+    /// Federation mass/coverage ledger, when the run aggregated through
+    /// a collector federation (absent on flat runs).
+    pub federation: Option<FederationEvidence>,
+}
+
+/// The mass ledger of one federation subtree: what the root received
+/// from it versus what the workload actually fed it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SubtreeMass {
+    /// Subtree label (leaf or regional id) as rendered in the topology
+    /// view.
+    pub label: String,
+    /// Profile mass the root applied from this subtree's frames.
+    pub delivered: u64,
+    /// Ground-truth profile mass the workload fed the subtree.
+    pub truth: u64,
+    /// Whether the root finalized this subtree as degraded
+    /// (unrecoverable within the deadline).
+    pub degraded: bool,
+}
+
+/// Everything the federation oracle may inspect about one finished
+/// federated run.
+#[derive(Clone, Debug, Default)]
+pub struct FederationEvidence {
+    /// Per-subtree delivery ledger, in topology order.
+    pub subtrees: Vec<SubtreeMass>,
+    /// Profile mass the root's accumulator ended with.
+    pub root_mass: u64,
+    /// The coverage fraction the root *reported*, in parts-per-million.
+    pub reported_coverage_ppm: u64,
 }
 
 impl Evidence {
@@ -124,6 +155,26 @@ pub enum Violation {
         /// The substrate's diagnostic.
         detail: String,
     },
+    /// A federation subtree's delivered mass diverges from what the
+    /// workload fed it (non-degraded subtrees must deliver exactly;
+    /// degraded ones may deliver less, never more), or the root's mass
+    /// is not the sum of the subtree deliveries.
+    FederationMass {
+        /// Subtree label, or `"root"` for the root-sum check.
+        subtree: String,
+        /// Mass the root applied from the subtree.
+        delivered: u64,
+        /// Ground-truth mass the subtree ingested.
+        truth: u64,
+    },
+    /// The coverage fraction the root reported diverges from the
+    /// delivered/truth ledger — degraded mass was hidden or overstated.
+    FederationCoverage {
+        /// Coverage the root reported (ppm).
+        reported_ppm: u64,
+        /// Coverage implied by the ledger (ppm).
+        actual_ppm: u64,
+    },
     /// The sentinel emitted a repro that does not hold up: it tripped
     /// on a clean scenario, its replay diverged from the captured run,
     /// or the replay failed to re-trip the recorded SLO dimension.
@@ -145,6 +196,8 @@ impl Violation {
             Violation::StitchCompleteness { .. } => "stitch-completeness",
             Violation::UnresolvedWithoutFault { .. } => "unresolved-without-fault",
             Violation::SynopsisAccounting { .. } => "synopsis-accounting",
+            Violation::FederationMass { .. } => "federation-mass",
+            Violation::FederationCoverage { .. } => "federation-coverage",
             Violation::Progress { .. } => "progress",
             Violation::FalseRepro { .. } => "false-repro",
         }
@@ -180,6 +233,22 @@ impl fmt::Display for Violation {
             Violation::SynopsisAccounting { counter, count } => write!(
                 f,
                 "synopsis-accounting: {count} {counter} messages but the plan permits none"
+            ),
+            Violation::FederationMass {
+                subtree,
+                delivered,
+                truth,
+            } => write!(
+                f,
+                "federation-mass: subtree {subtree} delivered {delivered} cycles, truth {truth}"
+            ),
+            Violation::FederationCoverage {
+                reported_ppm,
+                actual_ppm,
+            } => write!(
+                f,
+                "federation-coverage: root reported {reported_ppm} ppm but the ledger \
+                 implies {actual_ppm} ppm"
             ),
             Violation::Progress { detail } => write!(f, "progress: {detail}"),
             Violation::FalseRepro { dimension, detail } => {
@@ -254,6 +323,52 @@ pub fn profile_mass(d: &StageDump) -> u64 {
         .sum()
 }
 
+/// The federation mass-conservation oracle: every non-degraded subtree
+/// must deliver exactly the mass the workload fed it; a degraded
+/// subtree may deliver less (its missing mass is the explanation for
+/// `coverage < 1.0`) but never more; the root's mass must be exactly
+/// the sum of the subtree deliveries; and the coverage fraction the
+/// root reported must match the delivered/truth ledger.
+pub fn check_federation(fed: &FederationEvidence) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut delivered_total = 0u64;
+    let mut truth_total = 0u64;
+    for s in &fed.subtrees {
+        delivered_total += s.delivered;
+        truth_total += s.truth;
+        let conserved = if s.degraded {
+            s.delivered <= s.truth
+        } else {
+            s.delivered == s.truth
+        };
+        if !conserved {
+            out.push(Violation::FederationMass {
+                subtree: s.label.clone(),
+                delivered: s.delivered,
+                truth: s.truth,
+            });
+        }
+    }
+    if fed.root_mass != delivered_total {
+        out.push(Violation::FederationMass {
+            subtree: "root".into(),
+            delivered: fed.root_mass,
+            truth: delivered_total,
+        });
+    }
+    let actual_ppm = delivered_total
+        .saturating_mul(1_000_000)
+        .checked_div(truth_total)
+        .unwrap_or(1_000_000);
+    if fed.reported_coverage_ppm != actual_ppm {
+        out.push(Violation::FederationCoverage {
+            reported_ppm: fed.reported_coverage_ppm,
+            actual_ppm,
+        });
+    }
+    out
+}
+
 /// Runs every oracle over the evidence. Returns all violations found,
 /// in oracle order (empty means the run upheld every invariant).
 pub fn check_all(ev: &Evidence) -> Vec<Violation> {
@@ -284,7 +399,7 @@ pub fn check_all(ev: &Evidence) -> Vec<Violation> {
             });
         }
     }
-    let mut minted: HashMap<u32, usize> = HashMap::new();
+    let mut minted: HashMap<u64, usize> = HashMap::new();
     for (stage, d) in ev.dumps.iter().enumerate() {
         for &(raw, _) in &d.synopses {
             if let Some(first) = minted.insert(raw, stage) {
@@ -335,6 +450,11 @@ pub fn check_all(ev: &Evidence) -> Vec<Violation> {
         if count > 0 && !permitted {
             out.push(Violation::SynopsisAccounting { counter, count });
         }
+    }
+
+    // 4c. Federation mass conservation and coverage accounting.
+    if let Some(fed) = &ev.federation {
+        out.extend(check_federation(fed));
     }
 
     // 5. Bounded progress.
@@ -484,6 +604,101 @@ mod tests {
             assert_eq!(v.len(), 1);
             assert_eq!(v[0].kind(), "progress");
         }
+    }
+
+    fn fed_two_leaves() -> FederationEvidence {
+        FederationEvidence {
+            subtrees: vec![
+                SubtreeMass {
+                    label: "leaf0".into(),
+                    delivered: 600,
+                    truth: 600,
+                    degraded: false,
+                },
+                SubtreeMass {
+                    label: "leaf1".into(),
+                    delivered: 400,
+                    truth: 400,
+                    degraded: false,
+                },
+            ],
+            root_mass: 1000,
+            reported_coverage_ppm: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn clean_federation_conserves_mass() {
+        assert_eq!(check_federation(&fed_two_leaves()), vec![]);
+        let ev = Evidence {
+            federation: Some(fed_two_leaves()),
+            ..healthy()
+        };
+        assert_eq!(check_all(&ev), vec![]);
+    }
+
+    #[test]
+    fn non_degraded_subtree_must_deliver_exactly() {
+        let mut fed = fed_two_leaves();
+        fed.subtrees[1].delivered = 399;
+        fed.root_mass = 999;
+        fed.reported_coverage_ppm = 999_000;
+        let v = check_federation(&fed);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind(), "federation-mass");
+        assert!(v[0].to_string().contains("leaf1"));
+    }
+
+    #[test]
+    fn degraded_subtree_may_lose_but_not_invent_mass() {
+        let mut fed = fed_two_leaves();
+        fed.subtrees[1].degraded = true;
+        fed.subtrees[1].delivered = 250;
+        fed.root_mass = 850;
+        fed.reported_coverage_ppm = 850_000;
+        assert_eq!(check_federation(&fed), vec![]);
+
+        fed.subtrees[1].delivered = 401; // more than it ever ingested
+        fed.root_mass = 1001;
+        fed.reported_coverage_ppm = 1_001_000;
+        let v = check_federation(&fed);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::FederationMass { subtree, .. } if subtree == "leaf1")));
+    }
+
+    #[test]
+    fn root_mass_must_equal_subtree_sum() {
+        let mut fed = fed_two_leaves();
+        fed.root_mass = 990; // root lost mass nobody accounted for
+        let v = check_federation(&fed);
+        assert_eq!(
+            v,
+            vec![Violation::FederationMass {
+                subtree: "root".into(),
+                delivered: 990,
+                truth: 1000,
+            }]
+        );
+    }
+
+    #[test]
+    fn misreported_coverage_is_flagged() {
+        let mut fed = fed_two_leaves();
+        fed.subtrees[0].degraded = true;
+        fed.subtrees[0].delivered = 300;
+        fed.root_mass = 700;
+        fed.reported_coverage_ppm = 1_000_000; // hides the degradation
+        let v = check_federation(&fed);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind(), "federation-coverage");
+        assert_eq!(
+            v[0],
+            Violation::FederationCoverage {
+                reported_ppm: 1_000_000,
+                actual_ppm: 700_000,
+            }
+        );
     }
 
     #[test]

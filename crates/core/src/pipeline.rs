@@ -184,7 +184,7 @@ pub fn analyze(dumps: Vec<StageDump>, cfg: PipelineConfig) -> PipelineReport {
     // entries it owns, so shard contents (and last-insert-wins on
     // duplicates) match the serial stage-order scan exactly.
     let (index, t) = timed_phase("index", workers, shards, |j| {
-        let mut map: HashMap<u32, (usize, u32)> = HashMap::new();
+        let mut map: HashMap<u64, (usize, u32)> = HashMap::new();
         let mut kept = 0u64;
         for (si, d) in stages.iter().enumerate() {
             if !valid[si] {
@@ -200,7 +200,7 @@ pub fn analyze(dumps: Vec<StageDump>, cfg: PipelineConfig) -> PipelineReport {
         (map, 1 + kept)
     });
     timings.push(t);
-    let resolve = |raw: u32| -> Option<(usize, u32)> {
+    let resolve = |raw: u64| -> Option<(usize, u32)> {
         index[syn_shard(raw, shards)].get(&raw).copied()
     };
 
@@ -431,7 +431,7 @@ struct CctAnnotation {
 }
 
 /// FNV-1a over a synopsis value, reduced to a shard index.
-fn syn_shard(raw: u32, shards: usize) -> usize {
+fn syn_shard(raw: u64, shards: usize) -> usize {
     (crate::hash::fnv1a(&raw.to_le_bytes()) % shards as u64) as usize
 }
 
@@ -457,7 +457,7 @@ fn origin_of(origins: &[Vec<OriginKey>], si: usize, ctx: u32) -> OriginKey {
 /// index.
 fn walk_origin(
     stages: &[StageDump],
-    resolve: &dyn Fn(u32) -> Option<(usize, u32)>,
+    resolve: &dyn Fn(u64) -> Option<(usize, u32)>,
     start: (usize, u32),
 ) -> (usize, u32) {
     let mut cur = start;

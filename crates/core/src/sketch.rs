@@ -128,6 +128,38 @@ impl QuantileSketch {
         self.max = self.max.max(other.max);
     }
 
+    /// Sparse wire form: the exact max plus every nonzero `(bucket,
+    /// count)` pair in ascending bucket order. Federation frames ship
+    /// digests in this shape — a handful of pairs instead of the fixed
+    /// 7.8 KiB histogram — and [`QuantileSketch::from_wire`] rebuilds a
+    /// sketch that merges and queries bit-identically to the original.
+    pub fn to_wire(&self) -> (u64, Vec<(u32, u64)>) {
+        let buckets = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c != 0)
+            .map(|(b, &c)| (b as u32, c))
+            .collect();
+        (self.max, buckets)
+    }
+
+    /// Rebuilds a sketch from its [`QuantileSketch::to_wire`] form. The
+    /// observation count is the sum of the bucket counts; out-of-range
+    /// bucket indices are ignored (a corrupt frame fails its checksum
+    /// long before reaching this point).
+    pub fn from_wire(max: u64, buckets: &[(u32, u64)]) -> QuantileSketch {
+        let mut s = QuantileSketch::new();
+        for &(b, c) in buckets {
+            if let Some(slot) = s.counts.get_mut(b as usize) {
+                *slot += c;
+                s.count += c;
+            }
+        }
+        s.max = max;
+        s
+    }
+
     /// The quantile estimate at `q_ppm` parts-per-million (e.g.
     /// `990_000` = p99): the inclusive upper bound of the bucket
     /// holding the sample of rank `ceil(q * count)` (clamped to
@@ -268,6 +300,25 @@ mod tests {
         }
         assert_eq!(ab.count(), whole.count());
         assert_eq!(ab.max(), whole.max());
+    }
+
+    #[test]
+    fn wire_round_trip_is_exact() {
+        let mut s = QuantileSketch::new();
+        for v in [0u64, 3, 3, 99, 1 << 20, u64::MAX] {
+            s.record(v);
+        }
+        let (max, buckets) = s.to_wire();
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0));
+        let r = QuantileSketch::from_wire(max, &buckets);
+        assert_eq!(r.count(), s.count());
+        assert_eq!(r.max(), s.max());
+        for q in [0u64, 500_000, 990_000, 1_000_000] {
+            assert_eq!(r.quantile_ppm(q), s.quantile_ppm(q));
+        }
+        // Empty sketch round-trips to an empty wire form.
+        let (m, b) = QuantileSketch::new().to_wire();
+        assert_eq!((m, b.len()), (0, 0));
     }
 
     #[test]

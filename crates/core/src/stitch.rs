@@ -31,7 +31,7 @@ pub enum DumpAtom {
     /// A call path (frame indices).
     Path(Vec<u32>),
     /// A received synopsis chain (raw synopsis values).
-    Remote(Vec<u32>),
+    Remote(Vec<u64>),
 }
 
 /// A dumped transaction context.
@@ -103,7 +103,7 @@ pub struct StageDump {
     /// One CCT per context that accumulated profile data.
     pub ccts: Vec<DumpCct>,
     /// `(raw synopsis, context index)` pairs this stage minted.
-    pub synopses: Vec<(u32, u32)>,
+    pub synopses: Vec<(u64, u32)>,
     /// Crosstalk pair aggregates.
     pub crosstalk_pairs: Vec<DumpCrosstalkPair>,
     /// Crosstalk waiter aggregates.
@@ -257,11 +257,9 @@ impl StageDump {
     ///
     /// This is how the `pipeline` bench replicates one profiled tier
     /// group into a fleet: each replica gets a disjoint process-id
-    /// range, so the replicas' synopses never collide (the id must stay
-    /// under [`Synopsis`]'s 8-bit process field — the caller's
-    /// responsibility, enforced by `Synopsis::new`'s panic).
+    /// range, so the replicas' synopses never collide.
     pub fn with_remapped_proc(&self, map: &dyn Fn(u32) -> Option<u32>) -> StageDump {
-        let remap_syn = |raw: u32| -> u32 {
+        let remap_syn = |raw: u64| -> u64 {
             let s = Synopsis(raw);
             match map(s.proc_id()) {
                 Some(p) => Synopsis::new(p, s.counter()).0,
@@ -371,7 +369,7 @@ pub struct UnresolvedEdge {
     /// The receiving stage's remote context index.
     pub to_ctx: u32,
     /// The raw synopsis that failed to resolve.
-    pub missing: u32,
+    pub missing: u64,
 }
 
 /// Cross-stage index over a set of [`StageDump`]s.
@@ -382,7 +380,7 @@ pub struct Stitched {
     /// [`Stitched::warnings`].
     pub stages: Vec<StageDump>,
     /// Raw synopsis → (stage index, context index) that minted it.
-    minted: HashMap<u32, (usize, u32)>,
+    minted: HashMap<u64, (usize, u32)>,
     /// Per-stage validity (parallel to `stages`).
     valid: Vec<bool>,
     /// Validation failures, by stage index.
@@ -430,7 +428,7 @@ impl Stitched {
     }
 
     /// Resolves a raw synopsis to the (stage, context) that minted it.
-    pub fn resolve(&self, raw: u32) -> Option<(usize, u32)> {
+    pub fn resolve(&self, raw: u64) -> Option<(usize, u32)> {
         self.minted.get(&raw).copied()
     }
 
@@ -531,7 +529,7 @@ mod tests {
     use crate::cct::Metrics;
     use crate::frame::FrameId;
 
-    fn dump_with_ctx(proc: u32, atoms: Vec<DumpAtom>, synopses: Vec<(u32, u32)>) -> StageDump {
+    fn dump_with_ctx(proc: u32, atoms: Vec<DumpAtom>, synopses: Vec<(u64, u32)>) -> StageDump {
         StageDump {
             proc,
             stage_name: format!("stage{proc}"),

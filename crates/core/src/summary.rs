@@ -1,0 +1,583 @@
+//! Compacted summary deltas: the wire format between federation
+//! levels.
+//!
+//! A leaf collector ingests per-epoch [`StageDelta`]s from its slice of
+//! the fleet and periodically emits one [`SummaryFrame`] — the *merged*
+//! increment of everything it absorbed since its previous frame. A
+//! regional aggregator folds frames from many leaves into its own
+//! pending increment and re-emits coarser frames upstream; the global
+//! root applies them through an ordinary
+//! [`StageAccumulator`](crate::delta::StageAccumulator), so the
+//! composition of every frame reconstructs exactly the cumulative dumps
+//! a flat run would have produced — the federation's byte-identity
+//! anchor.
+//!
+//! The algebra that makes this sound is [`merge_stage_delta`]:
+//! sequential composition of two same-stage increments. It preserves
+//! the accumulator semantics exactly,
+//!
+//! ```text
+//! apply(merge(d1, d2)) == apply(d1); apply(d2)
+//! ```
+//!
+//! and is associative, so any flush cadence at any level composes to
+//! the same cumulative state (the property suite pins both laws down).
+//! Increments for *different* stages commute trivially — every stage is
+//! owned by exactly one leaf, so cross-leaf merge order at a regional
+//! can never interleave one stage's deltas.
+//!
+//! Frames also carry operational freight that does not enter the
+//! byte-locked report: mergeable [`QuantileSketch`] digests of
+//! per-epoch tier cost (sparse wire form, see
+//! [`QuantileSketch::to_wire`]), per-originating-leaf interval profile
+//! mass (the root's coverage accounting), and per-leaf lag/health
+//! gauges ([`LeafGauges`]) for the topology view.
+
+use crate::delta::{CctDelta, StageDelta};
+use crate::hash::FnvLanes;
+use crate::sketch::QuantileSketch;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why two stage deltas could not be merged.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MergeError {
+    /// Stage index of the offending pair.
+    pub stage: usize,
+    /// What was inconsistent.
+    pub what: &'static str,
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stage {}: cannot merge deltas: {}", self.stage, self.what)
+    }
+}
+
+/// An empty increment for `stage` (seq 0, checksum unset). The identity
+/// of [`merge_stage_delta`]: merging any delta into it yields that
+/// delta's content.
+pub fn empty_delta(stage: usize) -> StageDelta {
+    StageDelta {
+        stage,
+        seq: 0,
+        new_frames: Vec::new(),
+        new_contexts: Vec::new(),
+        new_synopses: Vec::new(),
+        ccts: Vec::new(),
+        pairs: Vec::new(),
+        waiters: Vec::new(),
+        piggyback_bytes: 0,
+        messages: 0,
+        checksum: 0,
+    }
+}
+
+/// Sequentially composes `next` into `acc` (both increments of the
+/// same stage, `next` covering the interval immediately after `acc`),
+/// so that applying the merged delta equals applying `acc` then `next`.
+///
+/// Intern-table tails and synopsis mints concatenate; crosstalk
+/// increments sum by key; CCT increments compose per context — `next`'s
+/// growth of nodes `acc` itself appended folds into those appended
+/// nodes, growth of older nodes sums into `acc`'s growth list. The
+/// composition is checked (`next`'s per-context baseline must equal
+/// `acc`'s baseline plus its appended nodes), so frames assembled from
+/// a damaged stream fail loudly here instead of corrupting an upstream
+/// accumulator.
+///
+/// `acc`'s `stage` and `seq` are preserved and its `checksum` is left
+/// **unset** (zero): the emitter stamps the outgoing sequence number
+/// and recomputes the checksum once per frame (see
+/// [`seal_delta`]), not once per merged epoch.
+pub fn merge_stage_delta(acc: &mut StageDelta, next: &StageDelta) -> Result<(), MergeError> {
+    if next.stage != acc.stage {
+        return Err(MergeError {
+            stage: acc.stage,
+            what: "stage index mismatch",
+        });
+    }
+    // Validate every CCT composition before mutating anything, so a
+    // bad pair leaves `acc` untouched (mirrors StageAccumulator::apply).
+    {
+        let mut ai = acc.ccts.iter().peekable();
+        for n in &next.ccts {
+            while ai.peek().is_some_and(|a| a.ctx < n.ctx) {
+                ai.next();
+            }
+            let (base, appended) = match ai.peek() {
+                Some(a) if a.ctx == n.ctx => (a.nodes_before, a.new_nodes.len() as u32),
+                _ => (n.nodes_before, 0),
+            };
+            if n.nodes_before != base + appended {
+                return Err(MergeError {
+                    stage: acc.stage,
+                    what: "CCT baseline does not extend the accumulated increment",
+                });
+            }
+            if n.grown.iter().any(|&(i, ..)| i >= n.nodes_before) {
+                return Err(MergeError {
+                    stage: acc.stage,
+                    what: "CCT growth targets a node past its baseline",
+                });
+            }
+        }
+    }
+
+    acc.new_frames.extend(next.new_frames.iter().cloned());
+    acc.new_contexts.extend(next.new_contexts.iter().cloned());
+    acc.new_synopses.extend(next.new_synopses.iter().copied());
+
+    // CCTs: both lists are sorted by ctx; merge-join.
+    let mut merged = Vec::with_capacity(acc.ccts.len() + next.ccts.len());
+    {
+        let mut ai = std::mem::take(&mut acc.ccts).into_iter().peekable();
+        let mut ni = next.ccts.iter().peekable();
+        loop {
+            match (ai.peek(), ni.peek()) {
+                (None, None) => break,
+                (Some(_), None) => merged.push(ai.next().unwrap()),
+                (Some(a), Some(n)) if a.ctx < n.ctx => merged.push(ai.next().unwrap()),
+                (None, Some(_)) | (Some(_), Some(_)) => {
+                    let n = ni.next().unwrap();
+                    if ai.peek().is_some_and(|a| a.ctx == n.ctx) {
+                        let mut a = ai.next().unwrap();
+                        compose_cct(&mut a, n);
+                        merged.push(a);
+                    } else {
+                        merged.push(n.clone());
+                    }
+                }
+            }
+        }
+    }
+    acc.ccts = merged;
+
+    // Crosstalk: keyed monotone sums; rebuild sorted via BTreeMap so
+    // the merged delta matches what a single longer diff would emit.
+    let mut pairs: BTreeMap<(u32, u32), (u64, u64)> = acc
+        .pairs
+        .drain(..)
+        .map(|p| ((p.waiter, p.holder), (p.count, p.total_wait)))
+        .collect();
+    for p in &next.pairs {
+        let e = pairs.entry((p.waiter, p.holder)).or_insert((0, 0));
+        e.0 += p.count;
+        e.1 += p.total_wait;
+    }
+    acc.pairs = pairs
+        .into_iter()
+        .map(
+            |((waiter, holder), (count, total_wait))| crate::stitch::DumpCrosstalkPair {
+                waiter,
+                holder,
+                count,
+                total_wait,
+            },
+        )
+        .collect();
+    let mut waiters: BTreeMap<u32, (u64, u64)> = acc
+        .waiters
+        .drain(..)
+        .map(|w| (w.waiter, (w.count, w.total_wait)))
+        .collect();
+    for w in &next.waiters {
+        let e = waiters.entry(w.waiter).or_insert((0, 0));
+        e.0 += w.count;
+        e.1 += w.total_wait;
+    }
+    acc.waiters = waiters
+        .into_iter()
+        .map(
+            |(waiter, (count, total_wait))| crate::stitch::DumpCrosstalkWaiter {
+                waiter,
+                count,
+                total_wait,
+            },
+        )
+        .collect();
+
+    acc.piggyback_bytes += next.piggyback_bytes;
+    acc.messages += next.messages;
+    acc.checksum = 0;
+    Ok(())
+}
+
+/// Composes `n` (the later increment) into `a` for one context. The
+/// caller has already validated `n.nodes_before == a.nodes_before +
+/// a.new_nodes.len()`.
+fn compose_cct(a: &mut CctDelta, n: &CctDelta) {
+    for &(i, s, cy, ca) in &n.grown {
+        if i < a.nodes_before {
+            // Growth of a node that predates `a`: sum into `a`'s own
+            // growth list, keeping it sorted by node index.
+            match a.grown.binary_search_by_key(&i, |g| g.0) {
+                Ok(at) => {
+                    let g = &mut a.grown[at];
+                    g.1 += s;
+                    g.2 += cy;
+                    g.3 += ca;
+                }
+                Err(at) => a.grown.insert(at, (i, s, cy, ca)),
+            }
+        } else {
+            // Growth of a node `a` itself appended: fold into the
+            // appended node's metrics.
+            let node = &mut a.new_nodes[(i - a.nodes_before) as usize];
+            node.samples += s;
+            node.cycles += cy;
+            node.calls += ca;
+        }
+    }
+    a.new_nodes.extend(n.new_nodes.iter().copied());
+}
+
+/// Stamps the outgoing per-stage sequence number on a merged delta and
+/// recomputes its checksum — the final step before a delta leaves a
+/// federation node.
+pub fn seal_delta(mut d: StageDelta, seq: u64) -> StageDelta {
+    d.seq = seq;
+    d.checksum = d.compute_checksum();
+    d
+}
+
+/// A mergeable quantile digest on the wire: sparse nonzero buckets of a
+/// [`QuantileSketch`] plus its exact max, tagged with the tier name the
+/// observations came from.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TierSketch {
+    /// Tier (stage name) the observations belong to; fleet replicas of
+    /// the same tier share one digest line.
+    pub tier: String,
+    /// Exact maximum observation (not recoverable from buckets).
+    pub max: u64,
+    /// `(bucket index, count)` pairs, ascending, counts nonzero.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl TierSketch {
+    /// The digest of `sketch`, labelled `tier`.
+    pub fn of(tier: &str, sketch: &QuantileSketch) -> TierSketch {
+        let (max, buckets) = sketch.to_wire();
+        TierSketch {
+            tier: tier.to_string(),
+            max,
+            buckets,
+        }
+    }
+}
+
+/// Health and lag gauges for one leaf, riding on every frame its
+/// subtree emits. Cumulative where not stated otherwise.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct LeafGauges {
+    /// Last input epoch the leaf folded.
+    pub last_epoch: u64,
+    /// Input change events ingested.
+    pub events: u64,
+    /// Profile mass (CCT cycle increments) ingested.
+    pub mass: u64,
+    /// Frames sitting in the leaf's spool when this was sampled.
+    pub lag_frames: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Crash recoveries performed.
+    pub recoveries: u64,
+}
+
+/// One federation frame: the merged increment a node ships upstream,
+/// plus its operational freight.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SummaryFrame {
+    /// Emitting node id (unique per link).
+    pub src: u32,
+    /// Per-link frame sequence number, contiguous from 0. Receivers
+    /// park reordered frames, drop duplicates, and ack cumulatively by
+    /// this number.
+    pub seq: u64,
+    /// First input epoch the frame's interval covers.
+    pub first_epoch: u64,
+    /// Last input epoch the frame's interval covers.
+    pub last_epoch: u64,
+    /// Virtual time at the end of the interval.
+    pub end: u64,
+    /// Merged per-stage increments (global stage indices, per-stage
+    /// sequence numbers stamped by the emitter via [`seal_delta`]).
+    pub deltas: Vec<StageDelta>,
+    /// Per-tier interval cost digests, sorted by tier name.
+    pub sketches: Vec<TierSketch>,
+    /// Interval profile mass per originating leaf, sorted by leaf id —
+    /// the root's per-subtree coverage ledger.
+    pub leaf_mass: Vec<(u32, u64)>,
+    /// Latest known gauges per originating leaf, sorted by leaf id.
+    pub gauges: Vec<(u32, LeafGauges)>,
+    /// FNV-1a digest of everything above.
+    pub checksum: u64,
+}
+
+impl SummaryFrame {
+    /// Total change events across the frame's deltas.
+    pub fn events(&self) -> u64 {
+        self.deltas.iter().map(|d| d.events()).sum()
+    }
+
+    /// Total interval profile mass across originating leaves.
+    pub fn mass(&self) -> u64 {
+        self.leaf_mass.iter().map(|&(_, m)| m).sum()
+    }
+
+    /// The lane-wise FNV-1a digest of the frame's content (everything
+    /// except the stored `checksum` itself). Delta content is folded in
+    /// through each delta's own checksum — already computed by
+    /// [`seal_delta`] — so frame sealing is O(freight), not O(content).
+    pub fn compute_checksum(&self) -> u64 {
+        let mut h = FnvLanes::new();
+        h.write_u64(self.src as u64);
+        h.write_u64(self.seq);
+        h.write_u64(self.first_epoch);
+        h.write_u64(self.last_epoch);
+        h.write_u64(self.end);
+        h.write_u64(self.deltas.len() as u64);
+        for d in &self.deltas {
+            h.write_u64(d.stage as u64);
+            h.write_u64(d.seq);
+            h.write_u64(d.checksum);
+        }
+        h.write_u64(self.sketches.len() as u64);
+        for s in &self.sketches {
+            h.write_u64(s.tier.len() as u64);
+            h.write_bytes(s.tier.as_bytes());
+            h.write_u64(s.max);
+            h.write_u64(s.buckets.len() as u64);
+            for &(b, c) in &s.buckets {
+                h.write_u64(b as u64);
+                h.write_u64(c);
+            }
+        }
+        h.write_u64(self.leaf_mass.len() as u64);
+        for &(leaf, m) in &self.leaf_mass {
+            h.write_u64(leaf as u64);
+            h.write_u64(m);
+        }
+        h.write_u64(self.gauges.len() as u64);
+        for &(leaf, g) in &self.gauges {
+            h.write_u64(leaf as u64);
+            for v in [
+                g.last_epoch,
+                g.events,
+                g.mass,
+                g.lag_frames,
+                g.checkpoints,
+                g.recoveries,
+            ] {
+                h.write_u64(v);
+            }
+        }
+        h.finish()
+    }
+
+    /// Seals the frame: recomputes and stores the checksum.
+    pub fn seal(mut self) -> SummaryFrame {
+        self.checksum = self.compute_checksum();
+        self
+    }
+
+    /// Whether the stored checksum matches the content.
+    pub fn verify(&self) -> bool {
+        self.checksum == self.compute_checksum()
+    }
+}
+
+/// The profile mass (CCT cycle increments) a delta carries — the unit
+/// of the federation's conservation ledger.
+pub fn delta_mass(d: &StageDelta) -> u64 {
+    d.ccts
+        .iter()
+        .map(|c| {
+            c.new_nodes.iter().map(|n| n.cycles).sum::<u64>()
+                + c.grown.iter().map(|&(_, _, cy, _)| cy).sum::<u64>()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::{diff_dump, StageAccumulator, StreamStage};
+    use crate::stitch::{DumpAtom, DumpCct, DumpContext, DumpCrosstalkPair, DumpNode, StageDump};
+
+    fn node(frame: Option<u32>, parent: Option<u32>, cycles: u64) -> DumpNode {
+        DumpNode {
+            frame,
+            parent,
+            samples: cycles / 100,
+            cycles,
+            calls: 1,
+        }
+    }
+
+    /// Three successive snapshots of one synthetic stage.
+    fn snapshots() -> [StageDump; 3] {
+        let s0 = StageDump {
+            proc: 1,
+            stage_name: "app".into(),
+            frames: vec!["main".into()],
+            contexts: vec![DumpContext::default()],
+            ccts: vec![DumpCct {
+                ctx: 0,
+                nodes: vec![node(None, None, 100)],
+            }],
+            synopses: vec![(0x0100_0000, 0)],
+            crosstalk_pairs: vec![],
+            crosstalk_waiters: vec![],
+            piggyback_bytes: 4,
+            messages: 1,
+        };
+        let mut s1 = s0.clone();
+        s1.frames.push("handle".into());
+        s1.contexts.push(DumpContext {
+            atoms: vec![DumpAtom::Frame(1)],
+        });
+        s1.ccts[0].nodes[0].cycles += 50;
+        s1.ccts[0].nodes.push(node(Some(1), Some(0), 70));
+        s1.ccts.push(DumpCct {
+            ctx: 1,
+            nodes: vec![node(Some(1), None, 30)],
+        });
+        s1.crosstalk_pairs.push(DumpCrosstalkPair {
+            waiter: 1,
+            holder: 0,
+            count: 1,
+            total_wait: 10,
+        });
+        s1.piggyback_bytes += 8;
+        let mut s2 = s1.clone();
+        s2.synopses.push((0x0100_0001, 1));
+        // Grow both an old node (pre-s1) and a node s1 appended.
+        s2.ccts[0].nodes[0].cycles += 5;
+        s2.ccts[0].nodes[1].cycles += 25;
+        s2.ccts[0].nodes.push(node(Some(0), Some(1), 60));
+        s2.crosstalk_pairs[0].count += 2;
+        s2.crosstalk_pairs[0].total_wait += 30;
+        s2.messages += 3;
+        [s0, s1, s2]
+    }
+
+    fn stage() -> StreamStage {
+        StreamStage {
+            proc: 1,
+            stage_name: "app".into(),
+        }
+    }
+
+    #[test]
+    fn merged_delta_equals_sequential_application() {
+        let [s0, s1, s2] = snapshots();
+        let d0 = diff_dump(0, 0, None, &s0).unwrap();
+        let d1 = diff_dump(0, 1, Some(&s0), &s1).unwrap();
+        let d2 = diff_dump(0, 2, Some(&s1), &s2).unwrap();
+
+        // Sequential application of the three raw deltas.
+        let mut seq_acc = StageAccumulator::new(&stage());
+        for d in [&d0, &d1, &d2] {
+            seq_acc.apply(d).unwrap();
+        }
+
+        // Merge all three, then apply once.
+        let mut m = d0.clone();
+        merge_stage_delta(&mut m, &d1).unwrap();
+        merge_stage_delta(&mut m, &d2).unwrap();
+        let m = seal_delta(m, 0);
+        let mut one_acc = StageAccumulator::new(&stage());
+        one_acc.apply(&m).unwrap();
+
+        assert_eq!(one_acc.to_dump(), seq_acc.to_dump());
+        assert_eq!(one_acc.to_dump(), s2);
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let [s0, s1, s2] = snapshots();
+        let d0 = diff_dump(0, 0, None, &s0).unwrap();
+        let d1 = diff_dump(0, 1, Some(&s0), &s1).unwrap();
+        let d2 = diff_dump(0, 2, Some(&s1), &s2).unwrap();
+
+        let mut left = d0.clone();
+        merge_stage_delta(&mut left, &d1).unwrap();
+        merge_stage_delta(&mut left, &d2).unwrap();
+
+        let mut right_tail = d1.clone();
+        merge_stage_delta(&mut right_tail, &d2).unwrap();
+        let mut right = d0.clone();
+        merge_stage_delta(&mut right, &right_tail).unwrap();
+
+        assert_eq!(seal_delta(left, 7), seal_delta(right, 7));
+    }
+
+    #[test]
+    fn merge_into_identity_preserves_content() {
+        let [s0, _, _] = snapshots();
+        let d0 = diff_dump(0, 0, None, &s0).unwrap();
+        let mut m = empty_delta(0);
+        merge_stage_delta(&mut m, &d0).unwrap();
+        assert_eq!(seal_delta(m, d0.seq), d0);
+    }
+
+    #[test]
+    fn merge_rejects_non_extending_baseline() {
+        let [s0, s1, s2] = snapshots();
+        let d0 = diff_dump(0, 0, None, &s0).unwrap();
+        let d2 = diff_dump(0, 2, Some(&s1), &s2).unwrap();
+        let mut m = d0.clone();
+        // d2's baseline presumes d1 was folded in; merging it straight
+        // onto d0 must fail loudly and leave `m` unchanged.
+        let before = m.clone();
+        assert!(merge_stage_delta(&mut m, &d2).is_err());
+        assert_eq!(m, before);
+    }
+
+    #[test]
+    fn merge_rejects_cross_stage_pairs() {
+        let [s0, _, _] = snapshots();
+        let d0 = diff_dump(0, 0, None, &s0).unwrap();
+        let other = diff_dump(3, 0, None, &s0).unwrap();
+        let mut m = d0.clone();
+        assert!(merge_stage_delta(&mut m, &other).is_err());
+    }
+
+    #[test]
+    fn delta_mass_counts_new_and_grown_cycles() {
+        let [s0, s1, _] = snapshots();
+        let d1 = diff_dump(0, 1, Some(&s0), &s1).unwrap();
+        // s1 added 50 cycles to an old node and 70 + 30 in new nodes.
+        assert_eq!(delta_mass(&d1), 150);
+    }
+
+    #[test]
+    fn frame_checksum_covers_freight() {
+        let [s0, _, _] = snapshots();
+        let d0 = seal_delta(diff_dump(0, 0, None, &s0).unwrap(), 0);
+        let frame = SummaryFrame {
+            src: 3,
+            seq: 0,
+            first_epoch: 0,
+            last_epoch: 4,
+            end: 5_000,
+            deltas: vec![d0],
+            sketches: vec![TierSketch {
+                tier: "app".into(),
+                max: 150,
+                buckets: vec![(9, 2)],
+            }],
+            leaf_mass: vec![(3, 200)],
+            gauges: vec![(3, LeafGauges::default())],
+            checksum: 0,
+        }
+        .seal();
+        assert!(frame.verify());
+        let mut bad = frame.clone();
+        bad.leaf_mass[0].1 += 1;
+        assert!(!bad.verify());
+        assert_eq!(frame.mass(), 200);
+    }
+}

@@ -12,39 +12,47 @@ use crate::context::CtxId;
 use std::collections::HashMap;
 use std::fmt;
 
-/// A 4-byte synopsis of a transaction context.
+/// A synopsis of a transaction context.
 ///
-/// The high byte carries the generating process id and the low 24 bits a
-/// per-process counter, so synopses from different stages never collide.
-/// The paper only requires that each stage can recognize the synopses it
-/// generated itself; embedding the process id is the simplest collision
-/// avoidance that stays within the paper's 4 bytes.
+/// The bits above 24 carry the generating process id and the low 24
+/// bits a per-process counter, so synopses from different stages never
+/// collide. The paper only requires that each stage can recognize the
+/// synopses it generated itself; embedding the process id is the
+/// simplest collision avoidance.
+///
+/// The raw value is held in a `u64` so synthetic fleet replication
+/// (thousands of process-remapped replicas) stays collision-free, but
+/// the packing formula is unchanged: for the paper's real deployments
+/// (process ids below 256) the numeric value is exactly the classic
+/// 4-byte `(proc << 24) | counter` word, which is why
+/// [`Synopsis::WIRE_BYTES`] still models the paper's 4-byte overhead.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
-pub struct Synopsis(pub u32);
+pub struct Synopsis(pub u64);
 
 impl Synopsis {
     /// Builds a synopsis from a process id and a local counter.
     ///
     /// # Panics
     ///
-    /// Panics if `counter` does not fit in 24 bits or `proc_id` in 8.
+    /// Panics if `counter` does not fit in 24 bits.
     pub fn new(proc_id: u32, counter: u32) -> Self {
-        assert!(proc_id < 0x100, "process id must fit in one byte");
         assert!(counter < 0x0100_0000, "synopsis counter overflow");
-        Synopsis((proc_id << 24) | counter)
+        Synopsis(((proc_id as u64) << 24) | counter as u64)
     }
 
     /// The process id embedded in this synopsis.
     pub fn proc_id(self) -> u32 {
-        self.0 >> 24
+        (self.0 >> 24) as u32
     }
 
     /// The per-process counter embedded in this synopsis.
     pub fn counter(self) -> u32 {
-        self.0 & 0x00ff_ffff
+        (self.0 & 0x00ff_ffff) as u32
     }
 
-    /// Wire size of one synopsis in bytes.
+    /// Wire size of one synopsis in bytes — the paper's 4-byte budget.
+    /// Process ids beyond the 8-bit field only arise from synthetic
+    /// fleet replication, never on a modelled wire.
     pub const WIRE_BYTES: u64 = 4;
 }
 
@@ -177,7 +185,7 @@ impl SynopsisTable {
     /// All minted `(raw synopsis, context)` pairs, sorted by context id
     /// — the canonical dump order shared by the serial and sharded
     /// analysis paths.
-    pub fn minted_sorted(&self) -> Vec<(u32, CtxId)> {
+    pub fn minted_sorted(&self) -> Vec<(u64, CtxId)> {
         let mut v: Vec<_> = self.by_ctx.iter().map(|(&c, &s)| (s.0, c)).collect();
         v.sort_by_key(|&(_, c)| c);
         v

@@ -230,7 +230,7 @@ mod legacy_writer {
         out.push('"');
     }
 
-    fn write_u32_list(xs: &[u32], out: &mut String) {
+    fn write_u32_list<T: std::fmt::Display>(xs: &[T], out: &mut String) {
         out.push('[');
         for (i, x) in xs.iter().enumerate() {
             if i > 0 {

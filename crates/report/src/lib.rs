@@ -27,6 +27,7 @@ pub mod table;
 pub mod tpcw;
 
 pub use live::{
-    diff_snapshots, render_incident, render_live_diff, render_live_snapshot, Hotspot, IncidentCard,
-    LagStats, LiveDiff, LiveSnapshot, ReplaySummary, ShrinkSummary, TierSlice, TopPath,
+    diff_snapshots, render_fed_topology, render_incident, render_live_diff, render_live_snapshot,
+    FedNodeView, FedTopologyView, Hotspot, IncidentCard, LagStats, LiveDiff, LiveSnapshot,
+    ReplaySummary, ShrinkSummary, TierSlice, TopPath,
 };

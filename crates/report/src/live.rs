@@ -407,9 +407,155 @@ pub fn render_incident(c: &IncidentCard) -> String {
     out
 }
 
+/// One node of the federation tree, as the root's operator sees it:
+/// liveness, lag, delivery progress, and children. Presentation data
+/// only — the collector crate fills it from its ledgers.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FedNodeView {
+    /// Display label (`root`, `region3`, `leaf17`).
+    pub label: String,
+    /// Whether the node is currently up.
+    pub alive: bool,
+    /// Whether the node's subtree finalized (or is running) with
+    /// missing mass.
+    pub degraded: bool,
+    /// Frames spooled/parked but not yet settled at this node.
+    pub lag_frames: u64,
+    /// Latest input epoch this node's data covers.
+    pub last_epoch: u64,
+    /// Profile mass delivered to the root from this subtree (for the
+    /// root node itself: total mass applied).
+    pub mass: u64,
+    /// Crash recoveries this node has performed.
+    pub recoveries: u64,
+    /// Child subtrees, in topology order.
+    pub children: Vec<FedNodeView>,
+}
+
+/// A point-in-time view of the whole federation tree.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FedTopologyView {
+    /// The global root and, beneath it, regionals and leaves.
+    pub root: FedNodeView,
+    /// Delivered/truth coverage in parts-per-million.
+    pub coverage_ppm: u64,
+    /// Latest input epoch the root has applied.
+    pub epoch: u64,
+}
+
+fn render_fed_node(out: &mut String, n: &FedNodeView, prefix: &str, last: bool, is_root: bool) {
+    let mut line = String::new();
+    if is_root {
+        let _ = write!(line, "{}", n.label);
+    } else {
+        let _ = write!(
+            line,
+            "{prefix}{} {}",
+            if last { "`-" } else { "|-" },
+            n.label
+        );
+    }
+    let _ = write!(
+        line,
+        "  mass {}  epoch {}  lag {}",
+        n.mass, n.last_epoch, n.lag_frames
+    );
+    if n.recoveries > 0 {
+        let _ = write!(line, "  recoveries {}", n.recoveries);
+    }
+    if !n.children.is_empty() {
+        let _ = write!(line, "  fan-in {}", n.children.len());
+    }
+    if !n.alive {
+        line.push_str("  DOWN");
+    }
+    if n.degraded {
+        line.push_str("  DEGRADED");
+    }
+    out.push_str(&line);
+    out.push('\n');
+    let child_prefix = if is_root {
+        String::new()
+    } else {
+        format!("{prefix}{}", if last { "   " } else { "|  " })
+    };
+    for (i, c) in n.children.iter().enumerate() {
+        render_fed_node(out, c, &child_prefix, i + 1 == n.children.len(), false);
+    }
+}
+
+/// Renders the federation topology as a deterministic ASCII tree (the
+/// golden-file surface for the federation tier).
+pub fn render_fed_topology(v: &FedTopologyView) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== federation @ epoch {} · coverage {}.{:04}% ==",
+        v.epoch,
+        v.coverage_ppm / 10_000,
+        v.coverage_ppm % 10_000
+    );
+    render_fed_node(&mut out, &v.root, "", true, true);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fed_topology_renders_tree_and_degradation() {
+        let v = FedTopologyView {
+            root: FedNodeView {
+                label: "root".into(),
+                alive: true,
+                mass: 1000,
+                last_epoch: 42,
+                children: vec![
+                    FedNodeView {
+                        label: "region0".into(),
+                        alive: true,
+                        mass: 600,
+                        last_epoch: 42,
+                        children: vec![FedNodeView {
+                            label: "leaf0".into(),
+                            alive: true,
+                            mass: 600,
+                            last_epoch: 42,
+                            recoveries: 1,
+                            ..FedNodeView::default()
+                        }],
+                        ..FedNodeView::default()
+                    },
+                    FedNodeView {
+                        label: "region1".into(),
+                        alive: true,
+                        mass: 400,
+                        last_epoch: 40,
+                        children: vec![FedNodeView {
+                            label: "leaf1".into(),
+                            alive: false,
+                            degraded: true,
+                            mass: 400,
+                            last_epoch: 40,
+                            ..FedNodeView::default()
+                        }],
+                        ..FedNodeView::default()
+                    },
+                ],
+                ..FedNodeView::default()
+            },
+            coverage_ppm: 909_091,
+            epoch: 42,
+        };
+        let txt = render_fed_topology(&v);
+        assert!(txt.starts_with("== federation @ epoch 42 · coverage 90.9091% =="));
+        assert!(txt.contains("root  mass 1000  epoch 42  lag 0  fan-in 2"));
+        assert!(txt.contains("|- region0"));
+        assert!(txt.contains("`- region1"));
+        assert!(txt.contains("|  `- leaf0  mass 600  epoch 42  lag 0  recoveries 1"));
+        assert!(txt.contains("   `- leaf1  mass 400  epoch 40  lag 0  DOWN  DEGRADED"));
+    }
 
     #[test]
     fn renders_every_section() {

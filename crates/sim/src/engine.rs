@@ -1041,8 +1041,9 @@ impl Sim {
                 msg.chain = info.chain;
                 self.threads[t.0 as usize].pending_overhead += info.cycles;
                 let delay = self.chans.send_delay(chan, msg.bytes + info.extra_bytes);
+                let now = self.now;
                 let verdict = match self.faults.as_mut() {
-                    Some(f) => f.send_verdict(chan),
+                    Some(f) => f.send_verdict_at(chan, now),
                     None => crate::fault::SendVerdict::default(),
                 };
                 if verdict.copies == 0 {

@@ -37,6 +37,21 @@ pub struct ChannelFaults {
     pub delay_cycles: Cycles,
 }
 
+/// A network partition window on one channel: every message sent on
+/// the channel inside `[from, until)` is lost, deterministically and
+/// regardless of the channel's probabilistic fault rates. Collector
+/// federation links use these to model a leaf or region dropping off
+/// the aggregation tree for a while.
+#[derive(Clone, Copy, Debug)]
+pub struct Partition {
+    /// Affected channel.
+    pub chan: u32,
+    /// Window start (inclusive, virtual time).
+    pub from: Cycles,
+    /// Window end (exclusive).
+    pub until: Cycles,
+}
+
 /// A temporary compute slowdown on one machine.
 #[derive(Clone, Copy, Debug)]
 pub struct Slowdown {
@@ -75,6 +90,7 @@ pub struct FaultPlan {
     default_faults: ChannelFaults,
     per_chan: HashMap<u32, ChannelFaults>,
     slowdowns: Vec<Slowdown>,
+    partitions: Vec<Partition>,
     crashes: Vec<(ProcId, Cycles)>,
 }
 
@@ -108,6 +124,25 @@ impl FaultPlan {
             factor,
         });
         self
+    }
+
+    /// Partitions `chan` for virtual times in `[from, until)`: every
+    /// send in the window is lost (no draw consumed beyond the usual
+    /// three — see [`FaultPlan::send_verdict_at`]).
+    pub fn partition(mut self, chan: ChanId, from: Cycles, until: Cycles) -> Self {
+        self.partitions.push(Partition {
+            chan: chan.0,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Whether `chan` is inside a partition window at `now`.
+    pub fn is_partitioned(&self, chan: ChanId, now: Cycles) -> bool {
+        self.partitions
+            .iter()
+            .any(|p| p.chan == chan.0 && p.from <= now && now < p.until)
     }
 
     /// Crashes every thread of `proc` at virtual time `at`.
@@ -155,6 +190,25 @@ impl FaultPlan {
                 0
             },
         }
+    }
+
+    /// [`FaultPlan::send_verdict`] plus partition windows: the fate of
+    /// one message sent on `chan` at virtual time `now`.
+    ///
+    /// Consumes exactly the same three draws as `send_verdict` whether
+    /// or not a partition applies, so adding or removing partition
+    /// windows never shifts the random stream consumed by the
+    /// probabilistic faults — a plan's drop/dup/delay schedule is
+    /// bit-stable under partition edits.
+    pub fn send_verdict_at(&mut self, chan: ChanId, now: Cycles) -> SendVerdict {
+        let v = self.send_verdict(chan);
+        if self.is_partitioned(chan, now) {
+            return SendVerdict {
+                copies: 0,
+                extra_delay: 0,
+            };
+        }
+        v
     }
 
     /// splitmix64 — small, seedable, and good enough for fault rolls.
@@ -212,6 +266,35 @@ mod tests {
             // Other channels use the (fault-free) default.
             assert_eq!(p.send_verdict(ChanId(6)), SendVerdict::default());
         }
+    }
+
+    #[test]
+    fn partition_window_drops_without_shifting_the_stream() {
+        let faults = ChannelFaults {
+            drop_p: 0.25,
+            dup_p: 0.25,
+            delay_p: 0.25,
+            delay_cycles: 500,
+        };
+        let mut plain = FaultPlan::new(11).default_channel_faults(faults);
+        let mut parted = FaultPlan::new(11)
+            .default_channel_faults(faults)
+            .partition(ChanId(2), 1_000, 2_000);
+        for i in 0..200u64 {
+            let now = i * 25;
+            let a = plain.send_verdict_at(ChanId(2), now);
+            let b = parted.send_verdict_at(ChanId(2), now);
+            if (1_000..2_000).contains(&now) {
+                assert_eq!(b.copies, 0, "sends inside the window are lost");
+            } else {
+                // Outside the window the verdicts are bit-identical:
+                // partition edits never shift the draw stream.
+                assert_eq!(a, b, "draw stream shifted at t={now}");
+            }
+        }
+        assert!(parted.is_partitioned(ChanId(2), 1_000));
+        assert!(!parted.is_partitioned(ChanId(2), 2_000));
+        assert!(!parted.is_partitioned(ChanId(3), 1_500));
     }
 
     #[test]

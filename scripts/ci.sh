@@ -36,6 +36,19 @@ cargo test -q -p whodunit-collector --test streaming_diff
 cargo test -q --test golden_collector
 cargo test -q --test golden_sentinel
 
+# The federation gates:
+# - differential: leaf/regional/global federation vs flat batch
+#   byte-identity over the 36-scenario matrix, plus fault scenarios
+#   (lossy uplinks, partitions, leaf/regional crash recovery,
+#   unrecoverable-leaf degraded finalize);
+# - properties: the summary-delta merge algebra (grouping invariance,
+#   associativity, mass conservation, sketch wire round-trip);
+# - golden: rendered federation topology mid-outage + final
+#   (regenerate intentionally with UPDATE_GOLDEN=1).
+cargo test -q -p whodunit-collector --test federation_diff
+cargo test -q -p whodunit-collector --test federation_props
+cargo test -q --test golden_federation
+
 cargo clippy --workspace -- -D warnings
 
 # Pipeline smoke: sweep worker counts {1, 2, 4} over a small fleet and
@@ -51,6 +64,12 @@ cargo run --release -q -p whodunit-bench --bin collectord -- --smoke --out targe
 # CCT fold, serializer byte-stability) plus a reduced streaming-ingest
 # run; fail on any self-check miss or streaming/batch divergence.
 cargo run --release -q -p whodunit-bench --bin hotpath -- --smoke --out target/BENCH_hotpath_smoke.json
+
+# Federation smoke: a 24-replica fleet across 4 leaves in 2 regions
+# through all four federation scenarios (clean, crash+recovery, lossy,
+# unrecoverable-degraded); fail on any divergence, ledger mass loss,
+# unbounded per-level residency, or a dishonest degraded finalize.
+cargo run --release -q -p whodunit-bench --bin federation -- --smoke --out target/BENCH_federation_smoke.json
 
 # Chaos smoke: the explorer's own pipeline check (find -> shrink ->
 # record -> replay on a planted defect), then a bounded fuzz sweep —
@@ -79,6 +98,12 @@ import glob, json, sys
 
 GATE_FIELDS = {
     "collectord": ["sweep", "lag"],
+    "federation": [
+        "byte_identical_clean",
+        "mass_loss_clean",
+        "recovery.latency_epochs",
+        "peak_resident.per_level",
+    ],
     "hotpath": ["ok"],
     "pipeline": ["sweep", "serial_fingerprint"],
     "sentinel": [
