@@ -223,13 +223,17 @@ pub fn run_federation(
     }
     let mut cursors = vec![0usize; streams.len()];
     for ge in 0..total {
+        // One round per global epoch, at most one batch per leaf —
+        // ingested serially or on the executor per `cfg.workers`.
+        let mut round: Vec<(usize, &EpochBatch)> = Vec::new();
         for (leaf, stream) in streams.iter().enumerate() {
             let cur = cursors[leaf];
             if cur < stream.len() && stream[cur].epoch == ge {
-                fed.feed(leaf, &stream[cur]);
+                round.push((leaf, &stream[cur]));
                 cursors[leaf] = cur + 1;
             }
         }
+        fed.feed_round(&round);
         fed.tick();
     }
     fed.finalize()

@@ -114,6 +114,97 @@ pub fn fleet_stream(
     (replica_header(hdr, replicas), out)
 }
 
+/// The shared scenario corpus of the differential and stress suites.
+///
+/// Every suite that sweeps the "36-scenario matrix" (6 seeds × 3
+/// schedule policies × clean/faulty) builds it from here —
+/// `core/tests/parallel_diff.rs`, `core/tests/thread_stress.rs`,
+/// `collector/tests/streaming_diff.rs`, `collector/tests/thread_stress.rs`,
+/// `collector/tests/federation_diff.rs`, `tests/golden_federation.rs`,
+/// and the `parallel` bench bin — instead of carrying per-file copies
+/// that can drift apart. A corpus change here intentionally moves
+/// every one of those suites at once.
+pub mod matrix {
+    use whodunit_apps::tpcw::{run_tpcw, TpcwConfig, TpcwFaults};
+    use whodunit_core::cost::CPU_HZ;
+    use whodunit_core::stitch::StageDump;
+    use whodunit_sim::fault::ChannelFaults;
+    use whodunit_sim::sched::SchedulePolicy;
+
+    /// The matrix seeds: 6 × [`schedules`] × clean/faulty = 36.
+    pub const SEEDS: [u64; 6] = [1, 2, 3, 5, 8, 13];
+
+    /// Worker counts every parallel execution surface is swept across
+    /// (1 is the serial reference; 3 and 8 are deliberately not
+    /// divisors/multiples of the 2-or-3-stage item counts).
+    pub const WORKER_SWEEP: [usize; 5] = [1, 2, 3, 4, 8];
+
+    /// The three schedule policies per seed.
+    pub fn schedules(seed: u64) -> [SchedulePolicy; 3] {
+        [
+            SchedulePolicy::Fifo,
+            SchedulePolicy::Random { seed: seed ^ 0xa5 },
+            SchedulePolicy::Perturb {
+                seed: seed ^ 0x5a,
+                swap_ppm: 200_000,
+            },
+        ]
+    }
+
+    /// The matrix fault plan: lossy/dup/laggy DB channel, lossy
+    /// frontend channel.
+    pub fn faults(seed: u64) -> TpcwFaults {
+        TpcwFaults {
+            seed: seed ^ 0xfa07,
+            db_chan: ChannelFaults {
+                drop_p: 0.02,
+                dup_p: 0.01,
+                delay_p: 0.05,
+                delay_cycles: CPU_HZ / 100,
+            },
+            front_chan: ChannelFaults {
+                drop_p: 0.01,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    /// One matrix scenario's TPC-W configuration.
+    pub fn scenario_cfg(seed: u64, sched: SchedulePolicy, faulty: bool) -> TpcwConfig {
+        TpcwConfig {
+            clients: 12,
+            duration: 25 * CPU_HZ,
+            warmup: 5 * CPU_HZ,
+            seed,
+            sched,
+            faults: faulty.then(|| faults(seed)),
+            step_budget: Some(2_000_000),
+            ..Default::default()
+        }
+    }
+
+    /// Runs one matrix scenario and returns its three stage dumps.
+    pub fn scenario_dumps(seed: u64, sched: SchedulePolicy, faulty: bool) -> Vec<StageDump> {
+        let report = run_tpcw(scenario_cfg(seed, sched, faulty));
+        assert_eq!(report.dumps.len(), 3, "squid, tomcat, mysql all dump");
+        report.dumps
+    }
+
+    /// The federation suites' smaller clean scenario (fan-in shapes
+    /// multiply the replica count, so each stack run is shorter).
+    pub fn federation_cfg(seed: u64) -> TpcwConfig {
+        TpcwConfig {
+            clients: 10,
+            duration: 20 * CPU_HZ,
+            warmup: 5 * CPU_HZ,
+            seed,
+            step_budget: Some(2_000_000),
+            ..Default::default()
+        }
+    }
+}
+
 /// Escapes a string for embedding in a JSON literal.
 pub fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")

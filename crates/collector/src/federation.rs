@@ -51,6 +51,9 @@ use whodunit_core::summary::{
 use whodunit_report::live::{FedNodeView, FedTopologyView};
 
 use crate::{Collector, CollectorConfig, CollectorOutput};
+use whodunit_core::exec::{self, StealPlan};
+
+use std::sync::Mutex;
 
 /// Fate of one message offered to an upstream link.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -113,6 +116,15 @@ pub struct FederationConfig {
     /// Drain ticks [`Federation::finalize`] grants before declaring
     /// still-missing subtrees degraded.
     pub deadline_ticks: u64,
+    /// OS threads for the per-leaf ingest phase of
+    /// [`Federation::feed_round`]. `1` keeps the serial reference path;
+    /// leaves own disjoint state, so any worker count is byte-identical
+    /// (DESIGN.md §14). The root collector's own fold parallelism is
+    /// configured separately through `collector.workers`.
+    pub workers: usize,
+    /// Steal-schedule perturbation for the ingest executor — sweepable
+    /// by the stress harness, inert for correctness.
+    pub steal: StealPlan,
     /// Configuration of the root's flat [`Collector`].
     pub collector: CollectorConfig,
 }
@@ -127,6 +139,8 @@ impl Default for FederationConfig {
             park_max: 8,
             spool_max: 64,
             deadline_ticks: 4096,
+            workers: 1,
+            steal: StealPlan::CANONICAL,
             collector: CollectorConfig::default(),
         }
     }
@@ -224,6 +238,13 @@ pub struct FederationStats {
     pub leaf_events_in: u64,
     /// Change events the root applied (compaction numerator).
     pub root_events_applied: u64,
+    /// Feed rounds whose leaf ingest ran on the parallel executor.
+    pub parallel_ingest_rounds: u64,
+    /// Work steals across parallel ingest rounds. Timing-dependent;
+    /// diagnostic only, never part of a fingerprint surface.
+    pub ingest_steals: u64,
+    /// Ingest worker panics recovered through the resync path.
+    pub ingest_panics: u64,
 }
 
 /// Everything a finished federation run hands back.
@@ -411,15 +432,33 @@ struct LeafNode {
     need_resync: bool,
 }
 
+/// Stats increments one leaf ingest produced, carried back to the
+/// shared [`FederationStats`] by the caller — in leaf order when the
+/// ingest phase ran in parallel, so the merged counters are
+/// schedule-independent.
+#[derive(Clone, Copy, Debug, Default)]
+struct IngestTally {
+    foreign_deltas: u64,
+    input_errors: u64,
+}
+
+impl IngestTally {
+    fn apply(self, stats: &mut FederationStats) {
+        stats.foreign_deltas += self.foreign_deltas;
+        stats.input_errors += self.input_errors;
+    }
+}
+
 impl LeafNode {
-    fn ingest(&mut self, batch: &EpochBatch, stats: &mut FederationStats) {
+    fn ingest(&mut self, batch: &EpochBatch) -> IngestTally {
+        let mut tally = IngestTally::default();
         for d in &batch.deltas {
             let Some(si) = self.stages.iter().position(|&g| g == d.stage) else {
-                stats.foreign_deltas += 1;
+                tally.foreign_deltas += 1;
                 continue;
             };
             if self.st.accs[si].apply(d).is_err() {
-                stats.input_errors += 1;
+                tally.input_errors += 1;
                 self.need_resync = true;
                 continue;
             }
@@ -433,6 +472,7 @@ impl LeafNode {
         self.st.gauges.last_epoch = self.st.gauges.last_epoch.max(batch.epoch);
         extend_interval(&mut self.st.interval, batch.epoch, batch.epoch);
         self.st.end = self.st.end.max(batch.end);
+        tally
     }
 
     /// Catches the input side up to the emitter mirror: per owned
@@ -1069,18 +1109,103 @@ impl Federation {
     /// only ingests while alive (missed input is recovered through the
     /// resync path, or honestly reported as missing coverage).
     pub fn feed(&mut self, leaf: usize, batch: &EpochBatch) {
+        if self.feed_truth(leaf, batch) {
+            self.leaves[leaf].ingest(batch).apply(&mut self.stats);
+        }
+    }
+
+    /// The serial prefix of any feed: ground truth, emitter mirror, and
+    /// liveness — shared state the parallel ingest phase must not
+    /// touch. Returns whether the leaf should actually ingest.
+    fn feed_truth(&mut self, leaf: usize, batch: &EpochBatch) -> bool {
         let mass: u64 = batch.deltas.iter().map(delta_mass).sum();
         self.truth[leaf] += mass;
         self.truth_epoch[leaf] = self.truth_epoch[leaf].max(batch.epoch);
         self.truth_end[leaf] = self.truth_end[leaf].max(batch.end);
         self.mirrors[leaf].advance(batch);
         self.stats.leaf_events_in += batch.events();
-        let l = &mut self.leaves[leaf];
-        if !l.alive {
+        if !self.leaves[leaf].alive {
             self.stats.missed_batches += 1;
+            return false;
+        }
+        true
+    }
+
+    /// Feeds one round — at most one batch per distinct leaf — with the
+    /// per-leaf ingest work executed on `cfg.workers` OS threads via
+    /// the deterministic work-stealing executor. Leaves own disjoint
+    /// state and tallies merge in leaf order, so any worker count and
+    /// steal schedule is byte-identical to serial [`Federation::feed`]
+    /// calls in leaf order (DESIGN.md §14).
+    ///
+    /// Panic policy: if an ingest worker panics, the round's leaves are
+    /// all marked for input resync — the next tick heals each of them
+    /// from its emitter mirror (the same catch-up diff path crash
+    /// recovery uses), so a lost increment degrades to lag, never to
+    /// silent mass loss.
+    pub fn feed_round(&mut self, round: &[(usize, &EpochBatch)]) {
+        let mut live: Vec<(usize, &EpochBatch)> = Vec::with_capacity(round.len());
+        for &(leaf, batch) in round {
+            if let Some(prev) = live.last() {
+                assert!(prev.0 < leaf, "one batch per leaf, ascending");
+            }
+            if self.feed_truth(leaf, batch) {
+                live.push((leaf, batch));
+            }
+        }
+        let (workers, plan) = (self.cfg.workers, self.cfg.steal);
+        if workers <= 1 || live.len() <= 1 {
+            for &(leaf, batch) in &live {
+                self.leaves[leaf].ingest(batch).apply(&mut self.stats);
+            }
             return;
         }
-        l.ingest(batch, &mut self.stats);
+        // Hand each worker exclusive access to its round entry's leaf.
+        // `live` is ascending by leaf index, so the zip below pairs
+        // each entry with exactly its own `&mut LeafNode`.
+        let mut want = live.iter().peekable();
+        let slots: Vec<Mutex<Option<(&mut LeafNode, &EpochBatch)>>> = self
+            .leaves
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, l)| {
+                if want.peek().is_some_and(|&&(leaf, _)| leaf == i) {
+                    let &(_, batch) = want.next().expect("peeked");
+                    Some(Mutex::new(Some((l, batch))))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        debug_assert_eq!(slots.len(), live.len());
+        let outcome = exec::run("fed-ingest", workers, plan, slots.len(), |i| {
+            let (l, b) = slots[i]
+                .lock()
+                .expect("ingest slot poisoned")
+                .take()
+                .expect("each leaf ingests exactly once");
+            l.ingest(b)
+        });
+        match outcome {
+            Ok((tallies, stats)) => {
+                self.stats.parallel_ingest_rounds += 1;
+                self.stats.ingest_steals += stats.steals;
+                for t in tallies {
+                    t.apply(&mut self.stats);
+                }
+            }
+            Err(_) => {
+                // A worker panicked mid-apply: the panicking leaf's
+                // accumulator may hold a partial batch, and other
+                // leaves' completion is schedule-dependent. Resync the
+                // whole round from the emitter mirrors — the catch-up
+                // diff repairs exactly whatever is missing.
+                self.stats.ingest_panics += 1;
+                for &(leaf, _) in &live {
+                    self.leaves[leaf].need_resync = true;
+                }
+            }
+        }
     }
 
     fn enqueue_msg(&mut self, link: u32, to: Dest, msg: FedMsg) {

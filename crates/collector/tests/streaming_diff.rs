@@ -15,63 +15,27 @@
 //! false`) — falling back to running the batch pipeline internally
 //! would make the comparison vacuous.
 //!
-//! Coverage mirrors `core/tests/parallel_diff.rs`: 6 seeds × 3
-//! schedule policies (fifo, random, perturb) × 2 fault plans (clean,
-//! faulty) = 36 scenarios. A subset additionally cross-checks that the
-//! epoch-chunked simulation run is bit-identical to the unchunked one,
-//! and one scenario sweeps epoch lengths and retention windows.
+//! Coverage mirrors `core/tests/parallel_diff.rs` through the shared
+//! corpus in `whodunit_bench::matrix`: 6 seeds × 3 schedule policies
+//! (fifo, random, perturb) × 2 fault plans (clean, faulty) = 36
+//! scenarios, each replayed through the collector at every worker
+//! count in [`matrix::WORKER_SWEEP`] and cross-validated against the
+//! batch pipeline swept over the same worker counts, all in one
+//! fingerprint table per scenario. A subset additionally cross-checks
+//! that the epoch-chunked simulation run is bit-identical to the
+//! unchunked one, and one scenario sweeps epoch lengths and retention
+//! windows.
 
-use whodunit_apps::tpcw::{run_tpcw, run_tpcw_streaming, TpcwConfig, TpcwFaults};
+use whodunit_apps::tpcw::{run_tpcw, run_tpcw_streaming, TpcwConfig};
+use whodunit_bench::matrix::{scenario_cfg, schedules, SEEDS, WORKER_SWEEP};
 use whodunit_collector::{Collector, CollectorConfig, CollectorOutput};
 use whodunit_core::cost::CPU_HZ;
 use whodunit_core::delta::RecordingSink;
-use whodunit_core::pipeline::{analyze, PipelineConfig, PipelineReport};
-use whodunit_sim::fault::ChannelFaults;
+use whodunit_core::exec::StealPlan;
+use whodunit_core::pipeline::{analyze, analyze_with, PipelineConfig, PipelineReport};
 use whodunit_sim::sched::SchedulePolicy;
 
-const SEEDS: [u64; 6] = [1, 2, 3, 5, 8, 13];
 const EPOCH_LEN: u64 = CPU_HZ;
-
-fn schedules(seed: u64) -> [SchedulePolicy; 3] {
-    [
-        SchedulePolicy::Fifo,
-        SchedulePolicy::Random { seed: seed ^ 0xa5 },
-        SchedulePolicy::Perturb {
-            seed: seed ^ 0x5a,
-            swap_ppm: 200_000,
-        },
-    ]
-}
-
-fn faults(seed: u64) -> TpcwFaults {
-    TpcwFaults {
-        seed: seed ^ 0xfa07,
-        db_chan: ChannelFaults {
-            drop_p: 0.02,
-            dup_p: 0.01,
-            delay_p: 0.05,
-            delay_cycles: CPU_HZ / 100,
-        },
-        front_chan: ChannelFaults {
-            drop_p: 0.01,
-            ..Default::default()
-        },
-        ..Default::default()
-    }
-}
-
-fn scenario_cfg(seed: u64, sched: SchedulePolicy, faulty: bool) -> TpcwConfig {
-    TpcwConfig {
-        clients: 12,
-        duration: 25 * CPU_HZ,
-        warmup: 5 * CPU_HZ,
-        seed,
-        sched,
-        faults: faulty.then(|| faults(seed)),
-        step_budget: Some(2_000_000),
-        ..Default::default()
-    }
-}
 
 /// Runs one scenario through the streaming path and returns the
 /// collector output plus the batch reference computed from the *same*
@@ -113,37 +77,94 @@ fn assert_byte_identical(batch: &PipelineReport, streamed: &PipelineReport, what
     );
 }
 
+/// One row of the cross-validation table: every (path, workers) cell's
+/// report fingerprint for one scenario. The table is the lock — a row
+/// whose cells disagree names exactly which path at which worker count
+/// diverged.
+fn cross_validate(what: &str, dumps: Vec<whodunit_core::stitch::StageDump>, outs: &[(usize, CollectorOutput)]) {
+    let mut cells: Vec<(String, u64)> = Vec::new();
+    for workers in WORKER_SWEEP {
+        let report = analyze_with(
+            dumps.clone(),
+            PipelineConfig { workers, shards: 32 },
+            StealPlan::CANONICAL,
+        )
+        .unwrap_or_else(|e| panic!("pipeline panicked: {what} workers={workers}: {e}"));
+        cells.push((format!("pipeline/w{workers}"), report.fingerprint()));
+    }
+    for (workers, out) in outs {
+        cells.push((format!("collector/w{workers}"), out.report.fingerprint()));
+    }
+    let reference = cells[0].1;
+    let table = cells
+        .iter()
+        .map(|(name, fp)| format!("  {name:<14} {fp:016x}"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(
+        cells.iter().all(|&(_, fp)| fp == reference),
+        "fingerprint table diverged: {what}\n{table}"
+    );
+}
+
 fn run_matrix(faulty: bool) {
     let mut scenarios = 0;
     for &seed in &SEEDS {
         for sched in schedules(seed) {
             scenarios += 1;
             let what = format!("seed={seed} sched={sched:?} faulty={faulty}");
-            let (out, batch) = run_scenario(
-                scenario_cfg(seed, sched, faulty),
-                EPOCH_LEN,
-                CollectorConfig::default(),
-            );
-            assert!(
-                !out.stats.used_fallback,
-                "incremental path bailed to batch fallback: {what}"
-            );
+
+            // One simulation run, recorded; every worker count replays
+            // the identical stream.
+            let mut sink = RecordingSink::default();
+            let report = run_tpcw_streaming(scenario_cfg(seed, sched, faulty), EPOCH_LEN, &mut sink);
+            let batch = analyze(report.dumps.clone(), PipelineConfig { workers: 1, shards: 32 });
             assert!(
                 !batch.profiles.is_empty(),
                 "scenario produced no profiles (vacuous): {what}"
             );
-            assert!(out.stats.batches > 1, "stream collapsed to one batch: {what}");
-            assert_byte_identical(&batch, &out.report, &what);
-            if !faulty {
-                assert_eq!(
-                    out.stats.pending_walks_at_flush, 0,
-                    "pending walks leaked on a clean run: {what}"
+
+            let mut outs = Vec::new();
+            for workers in WORKER_SWEEP {
+                let what = format!("{what} workers={workers}");
+                let mut c = Collector::with_header(
+                    &sink.header,
+                    CollectorConfig {
+                        workers,
+                        ..CollectorConfig::default()
+                    },
                 );
-                assert_eq!(
-                    out.stats.pending_edges_at_flush, 0,
-                    "pending edges leaked on a clean run: {what}"
+                for b in &sink.batches {
+                    assert!(c.enqueue(b.clone()), "unbounded queue refused a batch");
+                    c.drain();
+                }
+                let out = c.finalize();
+                assert!(
+                    !out.stats.used_fallback,
+                    "incremental path bailed to batch fallback: {what}"
                 );
+                assert!(out.stats.batches > 1, "stream collapsed to one batch: {what}");
+                if workers > 1 {
+                    assert!(
+                        out.stats.parallel_fold_batches > 0,
+                        "parallel fold path never engaged: {what}"
+                    );
+                    assert_eq!(out.stats.fold_panics, 0, "fold panicked: {what}");
+                }
+                assert_byte_identical(&batch, &out.report, &what);
+                if !faulty {
+                    assert_eq!(
+                        out.stats.pending_walks_at_flush, 0,
+                        "pending walks leaked on a clean run: {what}"
+                    );
+                    assert_eq!(
+                        out.stats.pending_edges_at_flush, 0,
+                        "pending edges leaked on a clean run: {what}"
+                    );
+                }
+                outs.push((workers, out));
             }
+            cross_validate(&what, report.dumps, &outs);
         }
     }
     assert_eq!(scenarios, 18);

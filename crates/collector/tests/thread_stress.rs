@@ -1,0 +1,226 @@
+//! Schedule-stress harness for the collector's parallel fold phase —
+//! the collector-side twin of `core/tests/thread_stress.rs`.
+//!
+//! Every matrix scenario from `whodunit_bench::matrix` is recorded
+//! once, then the identical delta stream is replayed through the
+//! online [`Collector`] at every worker count in
+//! [`matrix::WORKER_SWEEP`] under seeded steal-order perturbation.
+//! Every replay must finalize byte-identical to both the serial
+//! (`workers == 1`) collector and batch `pipeline::analyze` over the
+//! same run's dumps, on the incremental path (`used_fallback ==
+//! false`) with the parallel fold phase actually engaged.
+//!
+//! The panic half locks the fold degradation policy: an injected
+//! worker panic inside the `collector-fold` run must never deadlock or
+//! dump a partial report — the stream is marked broken, the panic is
+//! counted, and finalize degrades cleanly to the batch fallback whose
+//! bytes still match the reference.
+
+use whodunit_apps::tpcw::run_tpcw_streaming;
+use whodunit_bench::matrix::{scenario_cfg, schedules, SEEDS, WORKER_SWEEP};
+use whodunit_collector::{Collector, CollectorConfig, CollectorOutput};
+use whodunit_core::cost::CPU_HZ;
+use whodunit_core::delta::{EpochBatch, RecordingSink, StreamHeader};
+use whodunit_core::exec::StealPlan;
+use whodunit_core::pipeline::{analyze, PipelineConfig, PipelineReport};
+use whodunit_sim::sched::SchedulePolicy;
+
+const EPOCH_LEN: u64 = CPU_HZ;
+
+/// Byte-compares every deterministic output surface of two reports.
+fn assert_byte_identical(reference: &PipelineReport, got: &PipelineReport, what: &str) {
+    assert_eq!(
+        reference.stitched_text(),
+        got.stitched_text(),
+        "stitched text diverged: {what}"
+    );
+    assert_eq!(
+        reference.crosstalk_text(),
+        got.crosstalk_text(),
+        "crosstalk matrix diverged: {what}"
+    );
+    assert_eq!(
+        reference.dumps_json, got.dumps_json,
+        "dump JSON diverged: {what}"
+    );
+    assert_eq!(reference.dict, got.dict, "context dictionary diverged: {what}");
+    assert_eq!(
+        reference.fingerprint(),
+        got.fingerprint(),
+        "fingerprint diverged: {what}"
+    );
+}
+
+/// Replays a recorded stream through a fresh collector.
+fn replay(hdr: &StreamHeader, batches: &[EpochBatch], ccfg: CollectorConfig) -> CollectorOutput {
+    let mut c = Collector::with_header(hdr, ccfg);
+    for b in batches {
+        assert!(c.enqueue(b.clone()), "unbounded queue refused a batch");
+        c.drain();
+    }
+    c.finalize()
+}
+
+/// splitmix64, local copy for deterministic stress-seed derivation.
+fn exec_mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn stress_matrix(faulty: bool) {
+    let mut scenarios = 0;
+    for &seed in &SEEDS {
+        for sched in schedules(seed) {
+            scenarios += 1;
+            let what = format!("seed={seed} sched={sched:?} faulty={faulty}");
+
+            let mut sink = RecordingSink::default();
+            let report =
+                run_tpcw_streaming(scenario_cfg(seed, sched, faulty), EPOCH_LEN, &mut sink);
+            let batch = analyze(report.dumps, PipelineConfig { workers: 1, shards: 32 });
+            assert!(
+                !batch.profiles.is_empty(),
+                "scenario produced no profiles (vacuous): {what}"
+            );
+
+            // Serial collector reference.
+            let serial = replay(&sink.header, &sink.batches, CollectorConfig::default());
+            assert!(!serial.stats.used_fallback, "serial fallback: {what}");
+            assert_byte_identical(&batch, &serial.report, &format!("{what} serial"));
+
+            for workers in WORKER_SWEEP {
+                if workers == 1 {
+                    continue; // the serial reference above
+                }
+                let steal = exec_mix(seed ^ (workers as u64).wrapping_mul(0x5851_f42d)) | 1;
+                let what = format!("{what} workers={workers} steal={steal:#018x}");
+                let out = replay(
+                    &sink.header,
+                    &sink.batches,
+                    CollectorConfig {
+                        workers,
+                        steal: StealPlan::seeded(steal),
+                        ..CollectorConfig::default()
+                    },
+                );
+                assert!(
+                    !out.stats.used_fallback,
+                    "incremental path bailed to batch fallback: {what}"
+                );
+                assert!(
+                    out.stats.parallel_fold_batches > 0,
+                    "parallel fold path never engaged: {what}"
+                );
+                assert_eq!(out.stats.fold_panics, 0, "fold panicked: {what}");
+                assert_byte_identical(&batch, &out.report, &what);
+                assert_byte_identical(&serial.report, &out.report, &format!("{what} vs serial"));
+            }
+        }
+    }
+    assert_eq!(scenarios, 18);
+}
+
+#[test]
+fn clean_matrix_survives_steal_order_stress() {
+    stress_matrix(false);
+}
+
+#[test]
+fn faulty_matrix_survives_steal_order_stress() {
+    stress_matrix(true);
+}
+
+// ---------------------------------------------------------------------
+// Fold-panic degradation: broken stream, counted panic, byte-correct
+// fallback report — never a deadlock, never a partial dump.
+// ---------------------------------------------------------------------
+
+fn recorded(seed: u64) -> (StreamHeader, Vec<EpochBatch>, PipelineReport) {
+    let mut sink = RecordingSink::default();
+    let report = run_tpcw_streaming(
+        scenario_cfg(seed, SchedulePolicy::Fifo, false),
+        EPOCH_LEN,
+        &mut sink,
+    );
+    let batch = analyze(report.dumps, PipelineConfig { workers: 1, shards: 32 });
+    (sink.header, sink.batches, batch)
+}
+
+#[test]
+fn fold_panic_degrades_to_byte_correct_fallback() {
+    let (hdr, batches, batch) = recorded(1);
+    for workers in [2, 8] {
+        let what = format!("fold panic workers={workers}");
+        let out = replay(
+            &hdr,
+            &batches,
+            CollectorConfig {
+                workers,
+                steal: StealPlan {
+                    seed: 3,
+                    panic_at: Some(("collector-fold", 0)),
+                },
+                ..CollectorConfig::default()
+            },
+        );
+        assert!(out.stats.fold_panics >= 1, "injection never fired: {what}");
+        assert!(
+            out.stats.used_fallback,
+            "broken stream must take the batch fallback: {what}"
+        );
+        // The accumulators saw every delta, so the fallback rebuild is
+        // byte-identical to the batch reference — clean degradation.
+        assert_byte_identical(&batch, &out.report, &what);
+    }
+}
+
+#[test]
+fn late_group_fold_panic_also_degrades_cleanly() {
+    // Panic on a later group index: some groups complete first, their
+    // consumed state is discarded, and the fallback still rebuilds the
+    // exact reference bytes.
+    let (hdr, batches, batch) = recorded(2);
+    let out = replay(
+        &hdr,
+        &batches,
+        CollectorConfig {
+            workers: 4,
+            steal: StealPlan {
+                seed: 11,
+                panic_at: Some(("collector-fold", 2)),
+            },
+            ..CollectorConfig::default()
+        },
+    );
+    // Batches with fewer than 3 fold groups never hit item 2, so the
+    // stream may stay clean for a while — but a 12-client scenario
+    // folds many origins per epoch, so the injection must fire.
+    assert!(out.stats.fold_panics >= 1, "injection never fired");
+    assert!(out.stats.used_fallback);
+    assert_byte_identical(&batch, &out.report, "late-group fold panic");
+}
+
+#[test]
+fn serial_collector_ignores_steal_plan_panics() {
+    // workers == 1 never enters the parallel fold phase: the injected
+    // plan is inert and the stream stays on the incremental path.
+    let (hdr, batches, batch) = recorded(3);
+    let out = replay(
+        &hdr,
+        &batches,
+        CollectorConfig {
+            workers: 1,
+            steal: StealPlan {
+                seed: 3,
+                panic_at: Some(("collector-fold", 0)),
+            },
+            ..CollectorConfig::default()
+        },
+    );
+    assert_eq!(out.stats.fold_panics, 0);
+    assert_eq!(out.stats.parallel_fold_batches, 0);
+    assert!(!out.stats.used_fallback);
+    assert_byte_identical(&batch, &out.report, "serial with inert plan");
+}

@@ -1,0 +1,385 @@
+//! Deterministic work-stealing execution for the analysis tiers.
+//!
+//! Every parallel surface in the system (the phased pipeline, the
+//! collector's deferred fold groups, the federation's per-leaf ingest)
+//! funnels through [`run`]: `n` independent items executed by real
+//! scoped OS threads with per-worker deques and work stealing, results
+//! landing in per-item slots and merged in ascending item order. The
+//! determinism contract (DESIGN.md §14):
+//!
+//! 1. The item count is fixed by the input, never by the worker count.
+//! 2. Each item is a pure function of its inputs — workers share the
+//!    inputs read-only and never communicate through side effects.
+//! 3. Results are slotted by item index. *Which* worker computes an
+//!    item and *when* is scheduling noise; the merged output cannot
+//!    observe it.
+//!
+//! Steal ordering is therefore free to be adversarial, and the stress
+//! harness exploits that: a [`StealPlan`] seeds both the initial deque
+//! distribution and each thief's victim rotation, so the differential
+//! suites can sweep wildly different schedules and assert byte
+//! identity. `StealPlan::CANONICAL` (seed 0) reproduces the classic
+//! `item % workers` round-robin distribution.
+//!
+//! Panic policy: every item runs under `catch_unwind`. The first
+//! observed panic raises an abort flag that stops further claims; once
+//! all workers drain, the panic with the *lowest item index* is
+//! surfaced as a [`ShardPanic`] — a clean error, never a deadlock and
+//! never a partial result. `workers == 1` is the serial reference
+//! path: the same closure runs on the calling thread in ascending item
+//! order under the same panic policy.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A seeded schedule perturbation for [`run`], plus an optional
+/// deterministic panic injection — the chaos knobs of the thread-stress
+/// harness. Scheduling must never influence output, so any plan is
+/// safe to use in production; the harness sweeps many.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StealPlan {
+    /// Seeds the initial item→deque distribution and each thief's
+    /// victim rotation. `0` is the canonical schedule: item `i` starts
+    /// on deque `i % workers`, thieves scan victims in ring order.
+    pub seed: u64,
+    /// When `Some((label, item))`, the executor panics deterministically
+    /// in place of running item `item` of the run labelled `label` —
+    /// fault injection for the panic-propagation tests.
+    pub panic_at: Option<(&'static str, usize)>,
+}
+
+impl StealPlan {
+    /// The canonical (production) schedule: round-robin distribution,
+    /// ring-order stealing, no injected faults.
+    pub const CANONICAL: StealPlan = StealPlan {
+        seed: 0,
+        panic_at: None,
+    };
+
+    /// A perturbed schedule with no injected faults.
+    pub fn seeded(seed: u64) -> StealPlan {
+        StealPlan {
+            seed,
+            panic_at: None,
+        }
+    }
+}
+
+impl Default for StealPlan {
+    fn default() -> Self {
+        StealPlan::CANONICAL
+    }
+}
+
+/// A worker panic surfaced by [`run`]: which run, which item, and the
+/// panic payload (when it was a string).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardPanic {
+    /// The `label` the run was invoked with.
+    pub label: &'static str,
+    /// The lowest item index that panicked.
+    pub item: usize,
+    /// The panic payload, or a placeholder for non-string payloads.
+    pub message: String,
+}
+
+impl std::fmt::Display for ShardPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shard panic in {} at item {}: {}",
+            self.label, self.item, self.message
+        )
+    }
+}
+
+impl std::error::Error for ShardPanic {}
+
+/// Scheduling diagnostics for one [`run`]. Steal counts are
+/// timing-dependent and MUST stay out of every fingerprint surface —
+/// they exist for live snapshots and bench output only.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunStats {
+    /// OS threads actually spawned (0 on the serial path).
+    pub threads: usize,
+    /// Items executed.
+    pub items: usize,
+    /// Successful steals (items executed by a non-owner worker).
+    /// Nondeterministic; diagnostic only.
+    pub steals: u64,
+}
+
+/// splitmix64 — the repo's standard cheap seeded mixer.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The deque an item starts on: round-robin for the canonical seed, a
+/// seeded hash otherwise. Pure function of `(plan, item, workers)` —
+/// the *distribution* is deterministic even though execution order is
+/// not, which is what makes steal counts merely diagnostic.
+fn home_of(plan: StealPlan, item: usize, workers: usize) -> usize {
+    if plan.seed == 0 {
+        item % workers
+    } else {
+        (mix(plan.seed ^ (item as u64).wrapping_mul(0x9e37_79b9)) % workers as u64) as usize
+    }
+}
+
+struct Recorded<T> {
+    item: usize,
+    out: Result<T, String>,
+}
+
+/// Runs `f(0..n)` on up to `workers` scoped OS threads with seeded
+/// work stealing and returns the results in ascending item order.
+///
+/// See the module docs for the determinism contract and panic policy.
+/// `workers <= 1` (or `n <= 1`) executes serially on the calling
+/// thread — the reference path every parallel schedule must match
+/// byte-for-byte.
+pub fn run<T: Send>(
+    label: &'static str,
+    workers: usize,
+    plan: StealPlan,
+    n: usize,
+    f: impl Fn(usize) -> T + Sync,
+) -> Result<(Vec<T>, RunStats), ShardPanic> {
+    let call = |i: usize| -> Result<T, String> {
+        catch_unwind(AssertUnwindSafe(|| {
+            if plan.panic_at == Some((label, i)) {
+                panic!("injected fault: {label} item {i}");
+            }
+            f(i)
+        }))
+        .map_err(payload_text)
+    };
+
+    if workers <= 1 || n <= 1 {
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            match call(i) {
+                Ok(v) => out.push(v),
+                Err(message) => {
+                    return Err(ShardPanic {
+                        label,
+                        item: i,
+                        message,
+                    })
+                }
+            }
+        }
+        return Ok((
+            out,
+            RunStats {
+                threads: 0,
+                items: n,
+                steals: 0,
+            },
+        ));
+    }
+
+    let nw = workers.min(n);
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        (0..nw).map(|_| Mutex::new(VecDeque::new())).collect();
+    for i in 0..n {
+        queues[home_of(plan, i, nw)]
+            .lock()
+            .expect("deque poisoned")
+            .push_back(i);
+    }
+    let abort = AtomicBool::new(false);
+    let steals = AtomicU64::new(0);
+
+    let produced: Vec<Vec<Recorded<T>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..nw)
+            .map(|k| {
+                let queues = &queues;
+                let abort = &abort;
+                let steals = &steals;
+                let call = &call;
+                s.spawn(move || {
+                    let mut got: Vec<Recorded<T>> = Vec::new();
+                    let mut rot = mix(plan.seed ^ 0xd1f0 ^ k as u64);
+                    loop {
+                        if abort.load(Ordering::Acquire) {
+                            break;
+                        }
+                        // Own work first (front: ascending affinity),
+                        // then one seeded sweep over victims (back:
+                        // classic steal end). Each lock is released
+                        // before the next is taken — a guard held
+                        // across a second `lock()` would let two
+                        // empty-deque thieves deadlock on each other.
+                        let mut claimed = queues[k].lock().expect("deque poisoned").pop_front();
+                        if claimed.is_none() {
+                            rot = mix(rot);
+                            let start = (rot % nw as u64) as usize;
+                            for t in 0..nw {
+                                let v = (start + t) % nw;
+                                if v == k {
+                                    continue;
+                                }
+                                let stolen =
+                                    queues[v].lock().expect("deque poisoned").pop_back();
+                                if let Some(i) = stolen {
+                                    steals.fetch_add(1, Ordering::Relaxed);
+                                    claimed = Some(i);
+                                    break;
+                                }
+                            }
+                        }
+                        let Some(i) = claimed else {
+                            // Every deque empty: all items are done or
+                            // in flight on other workers. Nothing ever
+                            // re-enqueues, so exit — no wait, no
+                            // deadlock.
+                            break;
+                        };
+                        let out = call(i);
+                        if out.is_err() {
+                            abort.store(true, Ordering::Release);
+                            got.push(Recorded { item: i, out });
+                            break;
+                        }
+                        got.push(Recorded { item: i, out });
+                    }
+                    got
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("executor worker panicked outside catch_unwind"))
+            .collect()
+    });
+
+    let stats = RunStats {
+        threads: nw,
+        items: n,
+        steals: steals.load(Ordering::Relaxed),
+    };
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let mut first_panic: Option<(usize, String)> = None;
+    for rec in produced.into_iter().flatten() {
+        match rec.out {
+            Ok(v) => slots[rec.item] = Some(v),
+            Err(msg) => {
+                // Several workers can panic before the abort flag
+                // lands; surface the lowest item index so the error is
+                // schedule-independent whenever the panic set is.
+                if first_panic.as_ref().is_none_or(|(i, _)| rec.item < *i) {
+                    first_panic = Some((rec.item, msg));
+                }
+            }
+        }
+    }
+    if let Some((item, message)) = first_panic {
+        return Err(ShardPanic {
+            label,
+            item,
+            message,
+        });
+    }
+    let out: Vec<T> = slots
+        .into_iter()
+        .map(|s| s.expect("abort not raised, so every item completed"))
+        .collect();
+    Ok((out, stats))
+}
+
+fn payload_text(p: Box<dyn std::any::Any + Send>) -> String {
+    match p.downcast::<String>() {
+        Ok(s) => *s,
+        Err(p) => match p.downcast::<&str>() {
+            Ok(s) => (*s).to_owned(),
+            Err(_) => "non-string panic payload".to_owned(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn squares(workers: usize, plan: StealPlan, n: usize) -> Vec<usize> {
+        let (v, stats) = run("squares", workers, plan, n, |i| i * i).expect("no faults");
+        assert_eq!(stats.items, n);
+        v
+    }
+
+    #[test]
+    fn serial_matches_parallel_across_schedules() {
+        let want: Vec<usize> = (0..97).map(|i| i * i).collect();
+        assert_eq!(squares(1, StealPlan::CANONICAL, 97), want);
+        for workers in [2, 3, 4, 8] {
+            for seed in [0, 1, 7, 0xdead_beef] {
+                assert_eq!(squares(workers, StealPlan::seeded(seed), 97), want);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_runs() {
+        assert_eq!(squares(4, StealPlan::seeded(3), 0), Vec::<usize>::new());
+        assert_eq!(squares(4, StealPlan::seeded(3), 1), vec![0]);
+    }
+
+    #[test]
+    fn injected_panic_surfaces_clean_error() {
+        for workers in [1, 2, 4, 8] {
+            for item in [0, 5, 11] {
+                let plan = StealPlan {
+                    seed: 42,
+                    panic_at: Some(("faulty", item)),
+                };
+                let err = run("faulty", workers, plan, 12, |i| i).unwrap_err();
+                assert_eq!(err.label, "faulty");
+                assert_eq!(err.item, item, "workers={workers}");
+                assert!(err.message.contains("injected fault"), "{}", err.message);
+            }
+        }
+    }
+
+    #[test]
+    fn real_panic_in_item_closure_is_caught() {
+        let err = run("explode", 4, StealPlan::seeded(9), 8, |i| {
+            if i == 3 {
+                panic!("boom {i}");
+            }
+            i
+        })
+        .unwrap_err();
+        assert_eq!((err.label, err.item), ("explode", 3));
+        assert_eq!(err.message, "boom 3");
+    }
+
+    #[test]
+    fn panic_label_mismatch_does_not_fire() {
+        let plan = StealPlan {
+            seed: 0,
+            panic_at: Some(("other-run", 2)),
+        };
+        let (v, _) = run("this-run", 4, plan, 6, |i| i).expect("label gates injection");
+        assert_eq!(v, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn home_distribution_is_deterministic() {
+        for seed in [0, 1, 99] {
+            let plan = StealPlan::seeded(seed);
+            for i in 0..64 {
+                assert_eq!(home_of(plan, i, 5), home_of(plan, i, 5));
+                assert!(home_of(plan, i, 5) < 5);
+            }
+        }
+        // Canonical = round robin.
+        assert_eq!(home_of(StealPlan::CANONICAL, 7, 3), 1);
+    }
+}

@@ -46,6 +46,7 @@ pub mod crosstalk;
 pub mod delta;
 pub mod dumpjson;
 pub mod events;
+pub mod exec;
 pub mod frame;
 pub mod hash;
 pub mod ids;
@@ -73,12 +74,14 @@ pub use delta::{
     diff_dump, DeltaSink, EpochBatch, RecordedResync, ResyncSource, StageAccumulator, StageDelta,
     StreamHeader,
 };
+pub use exec::{RunStats, ShardPanic, StealPlan};
 pub use frame::{FrameId, FrameKind, FrameTable, SharedFrameTable};
 pub use hash::{fnv1a, Fnv64};
 pub use ids::{ChanId, LockId, LockMode, ProcId, ThreadId};
 pub use oracle::{check_all, check_capture, CaptureEvidence, Evidence, ProgressState, Violation};
 pub use pipeline::{
-    analyze, replicate_fleet, OriginProfile, PhaseTiming, PipelineConfig, PipelineReport,
+    analyze, analyze_with, replicate_fleet, OriginProfile, PhaseTiming, PipelineConfig,
+    PipelineReport,
 };
 pub use profiler::{Whodunit, WhodunitConfig};
 pub use repro::{repro_from_json, repro_to_json, ChaosRepro, FaultEntry, ReproWindow};

@@ -16,12 +16,18 @@
 //!    ascending item order — never in completion order.
 //!
 //! `workers == 1` *is* the serial path: the same item functions run on
-//! the calling thread in the same item order. The differential suite
-//! (`crates/core/tests/parallel_diff.rs`) holds the two paths to byte
-//! equality over seeds × schedules × fault plans, and DESIGN.md §9
-//! records the invariants a future contributor must preserve.
+//! the calling thread in the same item order. Parallel counts execute
+//! on real scoped OS threads with seeded work stealing via
+//! [`crate::exec::run`]; [`analyze_with`] additionally accepts a
+//! [`StealPlan`] so the stress harness can perturb steal order and
+//! inject deterministic shard panics. The differential suites
+//! (`crates/core/tests/parallel_diff.rs`, `thread_stress.rs`) hold all
+//! paths to byte equality over seeds × schedules × fault plans ×
+//! worker counts, and DESIGN.md §9/§14 record the invariants a future
+//! contributor must preserve.
 
 use crate::cct::{Cct, CctNodeId, Metrics};
+use crate::exec::{self, ShardPanic, StealPlan};
 use crate::context::{
     ContextAtom, ContextShard, ShardedContextTable, ShardedCtxId, TransactionContext,
 };
@@ -77,6 +83,9 @@ pub struct PhaseTiming {
     /// function of the input dumps; the bench derives the
     /// critical-path model speedup from these.
     pub item_work: Vec<u64>,
+    /// Items executed by a non-owner worker (work stealing). Timing-
+    /// dependent; NOT part of the deterministic output.
+    pub steals: u64,
 }
 
 /// One stitched per-transaction profile: every stage's CCT work that
@@ -134,8 +143,26 @@ pub struct PipelineReport {
     pub timings: Vec<PhaseTiming>,
 }
 
-/// Runs every phase of the analysis over `dumps`.
+/// Runs every phase of the analysis over `dumps` under the canonical
+/// schedule, propagating any worker panic (with the executor's clean
+/// [`ShardPanic`] message) — the legacy entry point.
 pub fn analyze(dumps: Vec<StageDump>, cfg: PipelineConfig) -> PipelineReport {
+    match analyze_with(dumps, cfg, StealPlan::CANONICAL) {
+        Ok(report) => report,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Runs every phase of the analysis over `dumps` under a specific
+/// steal schedule. The schedule can never change the report — the
+/// thread-stress harness sweeps plans to prove it — but a panicking
+/// shard (organic, or injected via [`StealPlan::panic_at`]) surfaces
+/// here as a clean [`ShardPanic`] instead of a partial report.
+pub fn analyze_with(
+    dumps: Vec<StageDump>,
+    cfg: PipelineConfig,
+    plan: StealPlan,
+) -> Result<PipelineReport, ShardPanic> {
     let workers = cfg.workers.max(1);
     let shards = cfg.shards.max(1);
     let stages = &dumps;
@@ -163,14 +190,14 @@ pub fn analyze(dumps: Vec<StageDump>, cfg: PipelineConfig) -> PipelineReport {
         .collect();
 
     // Phase: validate. Per stage, check indices and rebuild every CCT.
-    let (validated, t) = timed_phase("validate", workers, n_stages, |si| {
+    let (validated, t) = timed_phase("validate", workers, plan, n_stages, |si| {
         let d = &stages[si];
         let work = 1
             + d.frames.len() as u64
             + d.contexts.len() as u64
             + d.ccts.iter().map(|c| c.nodes.len() as u64).sum::<u64>();
         (d.validate(), work)
-    });
+    })?;
     timings.push(t);
     let valid: Vec<bool> = validated.iter().map(|r| r.is_ok()).collect();
     let warnings: Vec<(usize, StitchError)> = validated
@@ -183,7 +210,7 @@ pub fn analyze(dumps: Vec<StageDump>, cfg: PipelineConfig) -> PipelineReport {
     // hash. Each shard scans all valid stages in order and keeps the
     // entries it owns, so shard contents (and last-insert-wins on
     // duplicates) match the serial stage-order scan exactly.
-    let (index, t) = timed_phase("index", workers, shards, |j| {
+    let (index, t) = timed_phase("index", workers, plan, shards, |j| {
         let mut map: HashMap<u64, (usize, u32)> = HashMap::new();
         let mut kept = 0u64;
         for (si, d) in stages.iter().enumerate() {
@@ -198,7 +225,7 @@ pub fn analyze(dumps: Vec<StageDump>, cfg: PipelineConfig) -> PipelineReport {
             }
         }
         (map, 1 + kept)
-    });
+    })?;
     timings.push(t);
     let resolve = |raw: u64| -> Option<(usize, u32)> {
         index[syn_shard(raw, shards)].get(&raw).copied()
@@ -206,7 +233,7 @@ pub fn analyze(dumps: Vec<StageDump>, cfg: PipelineConfig) -> PipelineReport {
 
     // Phase: stitch. Per stage, resolve every context's origin and
     // classify remote contexts into request/unresolved edges.
-    let (stitched, t) = timed_phase("stitch", workers, n_stages, |si| {
+    let (stitched, t) = timed_phase("stitch", workers, plan, n_stages, |si| {
         let mut origins: Vec<OriginKey> = Vec::new();
         let mut edges: Vec<RequestEdge> = Vec::new();
         let mut unresolved: Vec<UnresolvedEdge> = Vec::new();
@@ -236,7 +263,7 @@ pub fn analyze(dumps: Vec<StageDump>, cfg: PipelineConfig) -> PipelineReport {
         }
         let work = 1 + origins.len() as u64;
         ((origins, edges, unresolved), work)
-    });
+    })?;
     timings.push(t);
     let origins: Vec<Vec<OriginKey>> = stitched.iter().map(|(o, _, _)| o.clone()).collect();
     let mut edges: Vec<RequestEdge> = stitched.iter().flat_map(|(_, e, _)| e.clone()).collect();
@@ -248,7 +275,7 @@ pub fn analyze(dumps: Vec<StageDump>, cfg: PipelineConfig) -> PipelineReport {
     // Phase: annotate. Per stage, rebuild each CCT over global frame
     // ids and tag it with its origin, the origin's global context
     // value, and the dictionary shard that value hashes to.
-    let (annotated, t) = timed_phase("annotate", workers, n_stages, |si| {
+    let (annotated, t) = timed_phase("annotate", workers, plan, n_stages, |si| {
         let mut anns: Vec<CctAnnotation> = Vec::new();
         let mut work = 1u64;
         if valid[si] {
@@ -268,14 +295,14 @@ pub fn analyze(dumps: Vec<StageDump>, cfg: PipelineConfig) -> PipelineReport {
             }
         }
         (anns, work)
-    });
+    })?;
     timings.push(t);
 
     // Phase: profiles. Per dictionary shard, merge the CCTs of every
     // annotation the shard owns (scan in (stage, cct) order so merge
     // order is fixed) and intern the origin values into the shard's
     // slice of the global dictionary.
-    let (profile_parts, t) = timed_phase("profiles", workers, shards, |j| {
+    let (profile_parts, t) = timed_phase("profiles", workers, plan, shards, |j| {
         let mut shard = ContextShard::default();
         let mut acc: BTreeMap<OriginKey, (u32, BTreeSet<usize>, Cct)> = BTreeMap::new();
         let mut work = 1u64;
@@ -303,7 +330,7 @@ pub fn analyze(dumps: Vec<StageDump>, cfg: PipelineConfig) -> PipelineReport {
             })
             .collect();
         ((shard, profiles), work)
-    });
+    })?;
     timings.push(t);
     let mut dict_parts = Vec::new();
     let mut profiles = Vec::new();
@@ -317,7 +344,7 @@ pub fn analyze(dumps: Vec<StageDump>, cfg: PipelineConfig) -> PipelineReport {
     // Phase: crosstalk-map. Per stage, resolve each recorded pair and
     // waiter through the origin walk and tag it with the shard its
     // waiter origin hashes to.
-    let (ct_maps, t) = timed_phase("crosstalk-map", workers, n_stages, |si| {
+    let (ct_maps, t) = timed_phase("crosstalk-map", workers, plan, n_stages, |si| {
         let mut pairs: Vec<(usize, OriginKey, OriginKey, WaitStats)> = Vec::new();
         let mut waiters: Vec<(usize, OriginKey, WaitStats)> = Vec::new();
         let mut work = 1u64;
@@ -350,13 +377,13 @@ pub fn analyze(dumps: Vec<StageDump>, cfg: PipelineConfig) -> PipelineReport {
             work += (d.crosstalk_pairs.len() + d.crosstalk_waiters.len()) as u64;
         }
         ((pairs, waiters), work)
-    });
+    })?;
     timings.push(t);
 
     // Phase: crosstalk-reduce. Per shard, accumulate the rows the
     // shard owns; keys are disjoint across shards (a waiter origin
     // lives in exactly one), so the final from_parts merge is lossless.
-    let (ct_parts, t) = timed_phase("crosstalk-reduce", workers, shards, |j| {
+    let (ct_parts, t) = timed_phase("crosstalk-reduce", workers, plan, shards, |j| {
         let mut pair_acc: BTreeMap<(OriginKey, OriginKey), WaitStats> = BTreeMap::new();
         let mut waiter_acc: BTreeMap<OriginKey, WaitStats> = BTreeMap::new();
         let mut work = 1u64;
@@ -385,18 +412,18 @@ pub fn analyze(dumps: Vec<StageDump>, cfg: PipelineConfig) -> PipelineReport {
             waiters: waiter_acc.into_iter().collect(),
         };
         (m, work)
-    });
+    })?;
     timings.push(t);
     let matrix = CrosstalkMatrix::from_parts(ct_parts);
 
     // Phase: serialize. Per stage, render the dump's JSON; the serial
     // concatenation below reproduces dumpjson::to_json byte-for-byte
     // because that format is itself a per-dump concatenation.
-    let (jsons, t) = timed_phase("serialize", workers, n_stages, |si| {
+    let (jsons, t) = timed_phase("serialize", workers, plan, n_stages, |si| {
         let j = dumpjson::dump_to_json(&stages[si]);
         let work = 1 + j.len() as u64;
         (j, work)
-    });
+    })?;
     timings.push(t);
     let mut dumps_json = String::from("[\n");
     for (i, j) in jsons.iter().enumerate() {
@@ -407,7 +434,7 @@ pub fn analyze(dumps: Vec<StageDump>, cfg: PipelineConfig) -> PipelineReport {
     }
     dumps_json.push_str("\n]\n");
 
-    PipelineReport {
+    Ok(PipelineReport {
         workers,
         shards,
         stages: dumps,
@@ -420,7 +447,7 @@ pub fn analyze(dumps: Vec<StageDump>, cfg: PipelineConfig) -> PipelineReport {
         dict,
         dumps_json,
         timings,
-    }
+    })
 }
 
 struct CctAnnotation {
@@ -428,6 +455,20 @@ struct CctAnnotation {
     value: TransactionContext,
     dict_shard: usize,
     cct: Cct,
+}
+
+/// The shard a minted synopsis routes to — the pure routing function
+/// behind the index phase, exposed so property tests can pin
+/// shard-assignment stability under input permutation.
+pub fn shard_of_syn(raw: u64, shards: usize) -> usize {
+    syn_shard(raw, shards.max(1))
+}
+
+/// The dictionary shard an origin key routes to — the pure routing
+/// function behind the profiles/crosstalk-reduce phases, exposed for
+/// the same property tests as [`shard_of_syn`].
+pub fn shard_of_origin(k: OriginKey, shards: usize) -> usize {
+    origin_shard(k, shards.max(1))
 }
 
 /// FNV-1a over a synopsis value, reduced to a shard index.
@@ -539,57 +580,26 @@ fn rebuild_global(remap: &[u32], d: &crate::stitch::DumpCct) -> Cct {
     cct
 }
 
-/// Runs `f` over items `0..n` on the fixed worker pool and returns the
+/// Runs `f` over items `0..n` on real worker threads and returns the
 /// results in item order, along with the phase timing.
 ///
-/// Items are assigned statically: item `i` runs on worker `i %
-/// workers`, each worker processing its items in ascending order. The
-/// assignment is a pure function of `(n, workers)`, and results are
-/// slotted by item index, so neither thread scheduling nor completion
-/// order can influence the output.
+/// Execution goes through [`exec::run`]: per-worker deques seeded by
+/// `plan`, work stealing, results slotted by item index. Scheduling
+/// can influence only the diagnostic `wall_ns`/`steals` fields, never
+/// the results. A panicking item aborts the phase and surfaces as a
+/// clean [`ShardPanic`] carrying the phase name and item index.
 fn timed_phase<T: Send>(
     phase: &'static str,
     workers: usize,
+    plan: StealPlan,
     n: usize,
     f: impl Fn(usize) -> (T, u64) + Sync,
-) -> (Vec<T>, PhaseTiming) {
+) -> Result<(Vec<T>, PhaseTiming), ShardPanic> {
     let start = Instant::now();
-    let mut slots: Vec<Option<(T, u64)>> = Vec::with_capacity(n);
-    if workers <= 1 || n <= 1 {
-        // The serial reference path: same item functions, same order.
-        for i in 0..n {
-            slots.push(Some(f(i)));
-        }
-    } else {
-        slots.resize_with(n, || None);
-        let nw = workers.min(n);
-        let produced: Vec<Vec<(usize, (T, u64))>> = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..nw)
-                .map(|k| {
-                    let f = &f;
-                    s.spawn(move || {
-                        (k..n)
-                            .step_by(nw)
-                            .map(|i| (i, f(i)))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("pipeline worker panicked"))
-                .collect()
-        });
-        for batch in produced {
-            for (i, r) in batch {
-                slots[i] = Some(r);
-            }
-        }
-    }
+    let (pairs, stats) = exec::run(phase, workers, plan, n, f)?;
     let mut results = Vec::with_capacity(n);
     let mut item_work = Vec::with_capacity(n);
-    for s in slots {
-        let (r, w) = s.expect("every item produced");
+    for (r, w) in pairs {
         results.push(r);
         item_work.push(w);
     }
@@ -597,8 +607,9 @@ fn timed_phase<T: Send>(
         phase,
         wall_ns: u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
         item_work,
+        steals: stats.steals,
     };
-    (results, t)
+    Ok((results, t))
 }
 
 impl PipelineReport {

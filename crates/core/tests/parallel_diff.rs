@@ -19,61 +19,15 @@
 //!
 //! Coverage: 6 seeds × 3 schedule policies (fifo, random, perturb) × 2
 //! fault plans (clean, faulty) = 36 scenarios (≥ 32 required by the
-//! acceptance gate).
+//! acceptance gate), each analyzed at every worker count in
+//! [`matrix::WORKER_SWEEP`]. The scenario corpus itself is shared with
+//! the other differential suites via `whodunit_bench::matrix`.
 
-use whodunit_apps::tpcw::{run_tpcw, TpcwConfig, TpcwFaults};
-use whodunit_core::cost::CPU_HZ;
+use whodunit_apps::tpcw::run_tpcw;
+use whodunit_bench::matrix::{self, scenario_dumps, schedules, SEEDS, WORKER_SWEEP};
 use whodunit_core::dumpjson;
 use whodunit_core::pipeline::{analyze, PipelineConfig};
 use whodunit_core::stitch::{StageDump, Stitched};
-use whodunit_sim::fault::ChannelFaults;
-use whodunit_sim::sched::SchedulePolicy;
-
-const SEEDS: [u64; 6] = [1, 2, 3, 5, 8, 13];
-
-fn schedules(seed: u64) -> [SchedulePolicy; 3] {
-    [
-        SchedulePolicy::Fifo,
-        SchedulePolicy::Random { seed: seed ^ 0xa5 },
-        SchedulePolicy::Perturb {
-            seed: seed ^ 0x5a,
-            swap_ppm: 200_000,
-        },
-    ]
-}
-
-fn faults(seed: u64) -> TpcwFaults {
-    TpcwFaults {
-        seed: seed ^ 0xfa07,
-        db_chan: ChannelFaults {
-            drop_p: 0.02,
-            dup_p: 0.01,
-            delay_p: 0.05,
-            delay_cycles: CPU_HZ / 100,
-        },
-        front_chan: ChannelFaults {
-            drop_p: 0.01,
-            ..Default::default()
-        },
-        ..Default::default()
-    }
-}
-
-fn scenario_dumps(seed: u64, sched: SchedulePolicy, faulty: bool) -> Vec<StageDump> {
-    let cfg = TpcwConfig {
-        clients: 12,
-        duration: 25 * CPU_HZ,
-        warmup: 5 * CPU_HZ,
-        seed,
-        sched,
-        faults: faulty.then(|| faults(seed)),
-        step_budget: Some(2_000_000),
-        ..Default::default()
-    };
-    let report = run_tpcw(cfg);
-    assert_eq!(report.dumps.len(), 3, "squid, tomcat, mysql all dump");
-    report.dumps
-}
 
 /// Byte-compares every deterministic output surface of two reports.
 fn assert_byte_identical(
@@ -154,7 +108,10 @@ fn run_matrix(faulty: bool) {
                 !serial.profiles.is_empty(),
                 "scenario produced no profiles (vacuous): {what}"
             );
-            for workers in [2, 4, 7] {
+            for workers in WORKER_SWEEP {
+                if workers == 1 {
+                    continue; // `serial` above is the workers=1 run.
+                }
                 let par = analyze(dumps.clone(), PipelineConfig { workers, shards: 32 });
                 assert_byte_identical(&serial, &par, &format!("{what} workers={workers}"));
             }
@@ -185,16 +142,11 @@ fn faulty_runs_exercise_unresolved_and_warning_paths() {
     // assert the faulty matrix is not vacuously identical to clean.
     let mut any_faults_seen = false;
     for &seed in &SEEDS {
-        let cfg = TpcwConfig {
-            clients: 12,
-            duration: 25 * CPU_HZ,
-            warmup: 5 * CPU_HZ,
+        let report = run_tpcw(matrix::scenario_cfg(
             seed,
-            faults: Some(faults(seed)),
-            step_budget: Some(2_000_000),
-            ..Default::default()
-        };
-        let report = run_tpcw(cfg);
+            whodunit_sim::sched::SchedulePolicy::Fifo,
+            true,
+        ));
         if report.dropped_msgs + report.delayed_msgs + report.duplicated_msgs > 0 {
             any_faults_seen = true;
             break;

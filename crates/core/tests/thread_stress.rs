@@ -1,0 +1,244 @@
+//! Schedule-stress harness for the pipeline's OS-thread execution.
+//!
+//! The differential suite (`parallel_diff.rs`) locks worker-count
+//! invariance under the canonical schedule; this suite attacks the
+//! *scheduling* axis. Every matrix scenario from
+//! `whodunit_bench::matrix` is analyzed at every worker count in
+//! [`matrix::WORKER_SWEEP`] under seeded steal-order perturbation —
+//! scrambled initial deque distributions and per-thief victim
+//! rotations — and the report fingerprint must match the serial
+//! reference byte-for-byte every time (DESIGN.md §14).
+//!
+//! The second half locks the panic policy: a deterministically
+//! injected worker panic (`StealPlan::panic_at`) must surface from
+//! `analyze_with` as a clean [`ShardPanic`] naming the phase and item,
+//! never a deadlock, never a partial report. Property tests then pin
+//! the two pure foundations the contract rests on: steal-order
+//! invariance of the executor itself, and shard-assignment stability
+//! under item permutation.
+
+use proptest::prelude::*;
+use whodunit_bench::matrix::{scenario_dumps, schedules, SEEDS, WORKER_SWEEP};
+use whodunit_core::exec::{self, StealPlan};
+use whodunit_core::pipeline::{
+    analyze_with, shard_of_origin, shard_of_syn, PipelineConfig, PipelineReport,
+};
+use whodunit_core::stitch::StageDump;
+use whodunit_sim::sched::SchedulePolicy;
+
+/// Byte-compares every deterministic output surface of two reports.
+fn assert_byte_identical(serial: &PipelineReport, stressed: &PipelineReport, what: &str) {
+    assert_eq!(
+        serial.stitched_text(),
+        stressed.stitched_text(),
+        "stitched text diverged: {what}"
+    );
+    assert_eq!(
+        serial.crosstalk_text(),
+        stressed.crosstalk_text(),
+        "crosstalk matrix diverged: {what}"
+    );
+    assert_eq!(
+        serial.dumps_json, stressed.dumps_json,
+        "dump JSON diverged: {what}"
+    );
+    assert_eq!(serial.dict, stressed.dict, "context dictionary diverged: {what}");
+    assert_eq!(
+        serial.fingerprint(),
+        stressed.fingerprint(),
+        "fingerprint diverged: {what}"
+    );
+}
+
+fn analyze_ok(dumps: Vec<StageDump>, workers: usize, plan: StealPlan, what: &str) -> PipelineReport {
+    analyze_with(dumps, PipelineConfig { workers, shards: 32 }, plan)
+        .unwrap_or_else(|e| panic!("unexpected shard panic: {what}: {e}"))
+}
+
+/// Two adversarial steal seeds per (scenario, worker count): both far
+/// from the canonical round-robin, different from each other, and
+/// deterministic so a failure reproduces.
+fn stress_seeds(seed: u64, workers: usize) -> [u64; 2] {
+    let base = exec_mix(seed ^ (workers as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    [base | 1, exec_mix(base) | 1]
+}
+
+/// splitmix64, local copy — the executor's mixer is private and this
+/// only needs *some* deterministic scrambling.
+fn exec_mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn stress_matrix(faulty: bool) {
+    let mut scenarios = 0;
+    for &seed in &SEEDS {
+        for sched in schedules(seed) {
+            scenarios += 1;
+            let what = format!("seed={seed} sched={sched:?} faulty={faulty}");
+            let dumps = scenario_dumps(seed, sched, faulty);
+            let reference = analyze_ok(dumps.clone(), 1, StealPlan::CANONICAL, &what);
+            assert!(
+                !reference.profiles.is_empty(),
+                "scenario produced no profiles (vacuous): {what}"
+            );
+            for workers in WORKER_SWEEP {
+                if workers == 1 {
+                    continue; // the reference above
+                }
+                for steal in stress_seeds(seed, workers) {
+                    let what = format!("{what} workers={workers} steal={steal:#018x}");
+                    let stressed =
+                        analyze_ok(dumps.clone(), workers, StealPlan::seeded(steal), &what);
+                    assert_byte_identical(&reference, &stressed, &what);
+                }
+            }
+        }
+    }
+    assert_eq!(scenarios, 18);
+}
+
+#[test]
+fn clean_matrix_survives_steal_order_stress() {
+    stress_matrix(false);
+}
+
+#[test]
+fn faulty_matrix_survives_steal_order_stress() {
+    stress_matrix(true);
+}
+
+// ---------------------------------------------------------------------
+// Panic propagation: an injected worker panic surfaces as a clean,
+// phase-labelled error on every worker count — never a deadlock and
+// never a partial report.
+// ---------------------------------------------------------------------
+
+/// Phases guaranteed non-empty for any 3-dump scenario: validate and
+/// index run per dump, stitch and serialize per shard, profiles per
+/// origin.
+const PANIC_PHASES: [&str; 5] = ["validate", "index", "stitch", "profiles", "serialize"];
+
+#[test]
+fn injected_phase_panic_surfaces_clean_error_on_every_worker_count() {
+    let dumps = scenario_dumps(1, SchedulePolicy::Fifo, false);
+    for phase in PANIC_PHASES {
+        for workers in [1, 2, 4, 8] {
+            let plan = StealPlan {
+                seed: 0xfa11,
+                panic_at: Some((phase, 0)),
+            };
+            let err = analyze_with(
+                dumps.clone(),
+                PipelineConfig { workers, shards: 32 },
+                plan,
+            )
+            .expect_err("injected panic must not produce a report");
+            assert_eq!(err.label, phase, "wrong phase surfaced (workers={workers})");
+            assert_eq!(err.item, 0, "wrong item surfaced (workers={workers})");
+            assert!(
+                err.message.contains("injected fault"),
+                "payload lost: {} (workers={workers})",
+                err.message
+            );
+        }
+    }
+}
+
+#[test]
+fn late_item_panic_reports_the_panicking_item() {
+    // Item 2 of the validate phase (the third dump): earlier items
+    // complete, the error still names the right one.
+    let dumps = scenario_dumps(2, SchedulePolicy::Fifo, false);
+    for workers in [1, 3, 8] {
+        let plan = StealPlan {
+            seed: 7,
+            panic_at: Some(("validate", 2)),
+        };
+        let err = analyze_with(
+            dumps.clone(),
+            PipelineConfig { workers, shards: 32 },
+            plan,
+        )
+        .expect_err("injected panic must not produce a report");
+        assert_eq!((err.label, err.item), ("validate", 2), "workers={workers}");
+    }
+}
+
+#[test]
+fn panic_in_one_run_does_not_poison_the_next() {
+    // The executor holds no global state: a panicked analysis followed
+    // by a clean one on the same dumps yields the reference bytes.
+    let dumps = scenario_dumps(3, SchedulePolicy::Fifo, false);
+    let reference = analyze_ok(dumps.clone(), 1, StealPlan::CANONICAL, "reference");
+    let plan = StealPlan {
+        seed: 5,
+        panic_at: Some(("stitch", 0)),
+    };
+    analyze_with(dumps.clone(), PipelineConfig { workers: 4, shards: 32 }, plan)
+        .expect_err("injection fires");
+    let after = analyze_ok(dumps, 4, StealPlan::seeded(5), "post-panic rerun");
+    assert_byte_identical(&reference, &after, "post-panic rerun");
+}
+
+// ---------------------------------------------------------------------
+// Property tests: the pure foundations of the determinism contract.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Steal-order invariance of the executor: any (workers, seed)
+    /// schedule over any item set returns exactly the serial map.
+    #[test]
+    fn executor_output_is_schedule_invariant(
+        case in (
+            proptest::collection::vec(0u64..1 << 48, 0..80),
+            1usize..9,
+            0u64..1 << 32,
+        )
+    ) {
+        let (items, workers, steal) = case;
+        let f = |i: usize| exec_mix(items[i]) ^ (i as u64);
+        let want: Vec<u64> = (0..items.len()).map(f).collect();
+        let (got, stats) = exec::run("prop", workers, StealPlan::seeded(steal), items.len(), f)
+            .expect("no faults injected");
+        prop_assert_eq!(&got, &want, "workers={} steal={:#x}", workers, steal);
+        prop_assert_eq!(stats.items, items.len());
+    }
+
+    /// Shard assignment is a pure per-key function: permuting the item
+    /// stream never moves any key to a different shard, and every
+    /// shard index is in range. This is what lets the index/profiles
+    /// phases partition work before seeing the data.
+    #[test]
+    fn shard_assignment_is_stable_under_permutation(
+        case in (
+            proptest::collection::vec((0usize..7, 0u32..1 << 20), 1..120),
+            1usize..64,
+            0u64..1 << 32,
+        )
+    ) {
+        let (keys, shards, perm_seed) = case;
+        let assigned: Vec<usize> = keys.iter().map(|&k| shard_of_origin(k, shards)).collect();
+        let syn_assigned: Vec<usize> =
+            keys.iter().map(|&(a, b)| shard_of_syn((a as u64) << 32 | b as u64, shards)).collect();
+        for (&s, &t) in assigned.iter().zip(&syn_assigned) {
+            prop_assert!(s < shards && t < shards);
+        }
+        // A seeded Fisher-Yates permutation of the same keys.
+        let mut order: Vec<usize> = (0..keys.len()).collect();
+        let mut r = perm_seed;
+        for i in (1..order.len()).rev() {
+            r = exec_mix(r);
+            order.swap(i, (r % (i as u64 + 1)) as usize);
+        }
+        for &i in &order {
+            prop_assert_eq!(shard_of_origin(keys[i], shards), assigned[i]);
+            let (a, b) = keys[i];
+            prop_assert_eq!(shard_of_syn((a as u64) << 32 | b as u64, shards), syn_assigned[i]);
+        }
+    }
+}

@@ -24,6 +24,15 @@ cargo test --workspace -q -- --test-threads=1
 cargo test -q -p whodunit-core --test parallel_diff
 cargo test -q --test golden_report
 
+# The thread-stress gates (DESIGN.md §14): every matrix scenario across
+# worker counts {1,2,3,4,8} under seeded steal-order perturbation must
+# stay byte-identical on both the pipeline and collector paths, and an
+# injected worker panic must surface as a clean phase-labelled error
+# (pipeline) or a counted, byte-correct fallback (collector folds) —
+# never a deadlock, never a partial report.
+cargo test -q -p whodunit-core --test thread_stress
+cargo test -q -p whodunit-collector --test thread_stress
+
 # The streaming-collector gates:
 # - differential: streaming collector vs batch pipeline byte-identity
 #   over the same 36-scenario matrix (end-state lock), plus the
@@ -54,6 +63,11 @@ cargo clippy --workspace -- -D warnings
 # Pipeline smoke: sweep worker counts {1, 2, 4} over a small fleet and
 # fail on any serial/parallel divergence.
 cargo run --release -q -p whodunit-bench --bin pipeline -- --smoke --out target/BENCH_pipeline_smoke.json
+
+# Parallel-execution smoke: the OS-thread sweep with steal-schedule
+# stress; fails on any byte divergence, and on a sub-1.5x best wall
+# speedup when the host has >= 4 cores.
+cargo run --release -q -p whodunit-bench --bin parallel -- --smoke --out target/BENCH_parallel_smoke.json
 
 # Collector smoke: ingest a staggered 12-replica delta stream at two
 # retention windows; fail on any streaming/batch divergence, leaked
@@ -105,6 +119,7 @@ GATE_FIELDS = {
         "peak_resident.per_level",
     ],
     "hotpath": ["ok"],
+    "parallel": ["wall_speedup", "host_cores", "byte_identical"],
     "pipeline": ["sweep", "serial_fingerprint"],
     "sentinel": [
         "false_repros",

@@ -20,7 +20,8 @@
 
 use std::path::PathBuf;
 use whodunit::apps::federation::{fan_in_topology, fleet_epochs, leaf_stream, replica_header};
-use whodunit::apps::tpcw::{run_tpcw_streaming, TpcwConfig};
+use whodunit::apps::tpcw::run_tpcw_streaming;
+use whodunit_bench::matrix::federation_cfg;
 use whodunit::collector::federation::{CleanLinks, FedNodeId, Federation, FederationConfig};
 use whodunit::core::cost::CPU_HZ;
 use whodunit::core::delta::RecordingSink;
@@ -68,16 +69,8 @@ fn check_golden(name: &str, got: &str) {
 
 #[test]
 fn golden_federation_topology() {
-    let cfg = TpcwConfig {
-        clients: 10,
-        duration: 20 * CPU_HZ,
-        warmup: 5 * CPU_HZ,
-        seed: 1,
-        step_budget: Some(2_000_000),
-        ..TpcwConfig::default()
-    };
     let mut sink = RecordingSink::default();
-    run_tpcw_streaming(cfg, CPU_HZ, &mut sink);
+    run_tpcw_streaming(federation_cfg(1), CPU_HZ, &mut sink);
 
     // Six replicas across two regions of two leaves each.
     let replicas = 6;
