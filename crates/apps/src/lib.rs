@@ -18,6 +18,11 @@
 //! materializes sampled chaos scenarios (schedule policy + fault plan)
 //! onto the [`tpcw`] assembly and checks the
 //! [`whodunit_core::oracle`]s after each run.
+//!
+//! [`zoo`] steps beyond the paper's subjects: a topology zoo (fan-out
+//! graph, pub/sub bus, write-through cache pair) with time-varying
+//! load shapes, built to exercise black-box inference stitching
+//! (`whodunit-infer`) and its ground-truth scoring.
 
 #![warn(missing_docs)]
 
@@ -33,3 +38,4 @@ pub mod rtconf;
 pub mod sedasrv;
 pub mod sentinel;
 pub mod tpcw;
+pub mod zoo;

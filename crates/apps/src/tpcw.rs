@@ -427,6 +427,11 @@ pub struct TpcwConfig {
     /// defect for exercising the chaos explorer's livelock oracle.
     /// Requires a `step_budget`, or the run never terminates.
     pub livelock_pair: bool,
+    /// Records the per-channel send/recv event log (plus ground-truth
+    /// pairings) for black-box inference. Pure observation: enabling
+    /// it never changes the run (see the engine's comm-log test), so
+    /// the batch fingerprint is unaffected.
+    pub comm_log: bool,
 }
 
 /// Fault knobs for the 3-tier assembly, resolved into a
@@ -467,6 +472,7 @@ impl Default for TpcwConfig {
             sched: SchedulePolicy::Fifo,
             step_budget: None,
             livelock_pair: false,
+            comm_log: false,
         }
     }
 }
@@ -525,6 +531,10 @@ pub struct TpcwReport {
     /// (squid, tomcat, mysql) straight from the simulator — the
     /// denominator of profile-mass conservation checks.
     pub compute_truth: Vec<u64>,
+    /// The comm event log (with ground truth) when
+    /// [`TpcwConfig::comm_log`] was set. Procs are squid=0, tomcat=1,
+    /// mysql=2, clients=3; clients are the marked origin tier.
+    pub comm: Option<whodunit_core::blackbox::CommLog>,
 }
 
 /// The planted livelock defect: two threads ping-ponging over
@@ -588,6 +598,9 @@ fn run_tpcw_inner(
     let tomcat_proc = sim.add_process("tomcat", tomcat_pr.rt.clone());
     let mysql_proc = sim.add_process("mysql", mysql_pr.rt.clone());
     let client_proc = sim.add_unprofiled_process("clients");
+    if cfg.comm_log {
+        sim.mark_comm_origin(client_proc);
+    }
 
     let db: DbHandles = build_dbserver(
         &mut sim,
@@ -700,6 +713,7 @@ fn run_tpcw_inner(
         None => sim.run_until_outcome(cfg.duration),
         Some((epoch_len, sink)) => sim.run_streaming(cfg.duration, epoch_len, sink),
     };
+    let comm = sim.take_comm_log();
 
     let compute_truth = vec![
         sim.proc_compute_cycles(squid_proc),
@@ -754,6 +768,7 @@ fn run_tpcw_inner(
         delayed_msgs,
         outcome,
         compute_truth,
+        comm,
     }
 }
 
@@ -909,6 +924,30 @@ mod tests {
             "retries keep the site serving: {}",
             r.throughput_per_min
         );
+    }
+
+    #[test]
+    fn comm_log_covers_every_recv_without_changing_the_run() {
+        let mut cfg = TpcwConfig {
+            clients: 15,
+            duration: 60 * CPU_HZ,
+            warmup: 10 * CPU_HZ,
+            comm_log: true,
+            ..TpcwConfig::default()
+        };
+        let on = run_tpcw(cfg.clone());
+        cfg.comm_log = false;
+        let off = run_tpcw(cfg);
+        // Observation only: the run is bit-identical either way.
+        assert_eq!(on.throughput_per_min, off.throughput_per_min);
+        assert_eq!(on.db_served, off.db_served);
+        assert_eq!(on.compute_truth, off.compute_truth);
+        let log = on.comm.expect("comm log requested");
+        assert!(off.comm.is_none());
+        // Ground truth attributes every recv to one send and one root.
+        assert!(log.recv_count() > 1000, "recvs {}", log.recv_count());
+        assert_eq!(log.truth_pairs().len(), log.recv_count());
+        assert_eq!(log.truth_origins().len(), log.recv_count());
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Chaos-explorer oracles over the topology zoo: every zoo member
+//! must hold the same invariants the TPC-W assembly does — profile
+//! mass conservation, honest fault accounting, bounded progress —
+//! under clean runs, fault storms, backend crashes, and the planted
+//! livelock defect.
+
+use whodunit_apps::zoo::{run_zoo_scenario, zoo_space, zoo_workload, Topology, ZOO_HORIZON};
+use whodunit_core::cost::CPU_HZ;
+use whodunit_core::repro::{ChaosRepro, FaultEntry};
+
+fn base_repro(seed: u64) -> ChaosRepro {
+    let mut r = ChaosRepro {
+        seed,
+        policy: "fifo".into(),
+        workload: zoo_workload(),
+        faults: Vec::new(),
+        violation: None,
+        window: None,
+    };
+    r.set_knob("clients", 8);
+    r.set_knob("duration", 15 * CPU_HZ);
+    r.set_knob("warmup", 4 * CPU_HZ);
+    r
+}
+
+#[test]
+fn clean_scenarios_pass_every_oracle_on_all_topologies() {
+    for t in Topology::ALL {
+        let r = base_repro(3);
+        let a = run_zoo_scenario(t, &r);
+        assert_eq!(
+            a.violations,
+            vec![],
+            "{}: clean run violates nothing",
+            t.name()
+        );
+        let b = run_zoo_scenario(t, &r);
+        assert_eq!(
+            a.fingerprint,
+            b.fingerprint,
+            "{}: bit-identical replay",
+            t.name()
+        );
+    }
+}
+
+#[test]
+fn fault_storms_conserve_profile_mass_on_all_topologies() {
+    for t in Topology::ALL {
+        let mut r = base_repro(7);
+        r.faults = vec![
+            FaultEntry::Drop {
+                chan: "front".into(),
+                ppm: 20_000,
+            },
+            FaultEntry::Dup {
+                chan: "backbone".into(),
+                ppm: 30_000,
+            },
+            FaultEntry::Delay {
+                chan: "backbone".into(),
+                ppm: 80_000,
+                cycles: CPU_HZ / 100,
+            },
+        ];
+        let res = run_zoo_scenario(t, &r);
+        assert_eq!(
+            res.violations,
+            vec![],
+            "{}: mass conservation and fault accounting hold under storm",
+            t.name()
+        );
+        let (dropped, duped, delayed) = res.faults_seen;
+        assert!(
+            dropped + duped + delayed > 0,
+            "{}: the storm actually touched the wire",
+            t.name()
+        );
+    }
+}
+
+#[test]
+fn backend_crash_degrades_without_oracle_violations() {
+    // The crashable backend dies mid-run; RPC timeouts turn the loss
+    // into client-visible errors instead of a stalled simulation, and
+    // every oracle still holds.
+    for t in Topology::ALL {
+        let mut r = base_repro(11);
+        let role = match t {
+            Topology::Fanout => "svc",
+            Topology::PubSub => "sub",
+            Topology::CacheWt => "store",
+        };
+        r.faults = vec![FaultEntry::Crash {
+            proc: role.into(),
+            at: 8 * CPU_HZ,
+        }];
+        let res = run_zoo_scenario(t, &r);
+        assert_eq!(res.violations, vec![], "{}: crash run stays clean", t.name());
+        assert!(
+            !res.outcome.contains("deadlock"),
+            "{}: timeouts prevent a stall, got {}",
+            t.name(),
+            res.outcome
+        );
+    }
+}
+
+#[test]
+fn planted_livelock_is_caught_on_every_topology() {
+    for t in Topology::ALL {
+        let mut r = base_repro(5);
+        r.set_knob("livelock_pair", 1);
+        r.set_knob("step_budget", 10_000);
+        let res = run_zoo_scenario(t, &r);
+        assert!(
+            res.has_violation("progress"),
+            "{}: got {:?}",
+            t.name(),
+            res.violations
+        );
+        assert!(
+            res.outcome.contains("livelock"),
+            "{}: outcome {}",
+            t.name(),
+            res.outcome
+        );
+    }
+}
+
+#[test]
+fn zoo_space_declares_the_faultable_surface() {
+    for t in Topology::ALL {
+        let s = zoo_space(t);
+        assert_eq!(s.channels, vec!["front".to_string(), "backbone".into()]);
+        assert_eq!(s.crashable.len(), 1);
+        assert_eq!(s.slowable, s.crashable);
+        assert_eq!(s.horizon, ZOO_HORIZON);
+    }
+}

@@ -191,6 +191,27 @@ pub mod matrix {
         report.dumps
     }
 
+    /// The 12-scenario inference slice of the matrix: the 6 seeds ×
+    /// clean/faulty under Fifo, each with the passive comm-event log
+    /// enabled so black-box inference (`whodunit-infer`) has a trace
+    /// to stitch and score. Fifo only: the inference suites measure
+    /// attribution quality against message-level ground truth, and the
+    /// fault axis (drops, dups, delays) already supplies the pairing
+    /// ambiguity that the schedule axis would add; the full 36-way
+    /// product stays with the byte-identity suites.
+    pub fn inference_slice() -> Vec<(String, TpcwConfig)> {
+        let mut out = Vec::new();
+        for faulty in [false, true] {
+            for seed in SEEDS {
+                let mut cfg = scenario_cfg(seed, SchedulePolicy::Fifo, faulty);
+                cfg.comm_log = true;
+                let kind = if faulty { "faulty" } else { "clean" };
+                out.push((format!("tpcw/{kind}/s{seed}"), cfg));
+            }
+        }
+        out
+    }
+
     /// The federation suites' smaller clean scenario (fan-in shapes
     /// multiply the replica count, so each stack run is shorter).
     pub fn federation_cfg(seed: u64) -> TpcwConfig {

@@ -25,6 +25,10 @@
 //!   (the discrete-event simulator, the instruction emulator) drive.
 //! - **Post-mortem stitching** ([`stitch`]): joining per-stage profiles
 //!   into one end-to-end transactional profile (§5, Figure 7).
+//! - **Black-box communication logs** ([`blackbox`]): the passive
+//!   send/recv trace + ground truth that the `whodunit-infer` crate
+//!   scores its synopsis-free inference against, and the
+//!   [`blackbox::TierVisibility`] knob for hybrid deployments.
 //! - **Invariant oracles** ([`oracle`]): the properties a transactional
 //!   profile must uphold under any fault plan and schedule — mass
 //!   conservation, dictionary consistency, stitch completeness, fault
@@ -39,6 +43,7 @@
 
 #![warn(missing_docs)]
 
+pub mod blackbox;
 pub mod cct;
 pub mod context;
 pub mod cost;
@@ -64,6 +69,7 @@ pub mod summary;
 pub mod synopsis;
 pub mod txt;
 
+pub use blackbox::{CommEvent, CommEventId, CommKind, CommLog, CommRecorder, CommTag, CommTruth, TierVisibility};
 pub use cct::{Cct, CctNodeId, Metrics};
 pub use context::{
     ContextAtom, ContextPolicy, ContextShard, ContextTable, CtxId, ShardedContextTable,
@@ -78,7 +84,10 @@ pub use exec::{RunStats, ShardPanic, StealPlan};
 pub use frame::{FrameId, FrameKind, FrameTable, SharedFrameTable};
 pub use hash::{fnv1a, Fnv64};
 pub use ids::{ChanId, LockId, LockMode, ProcId, ThreadId};
-pub use oracle::{check_all, check_capture, CaptureEvidence, Evidence, ProgressState, Violation};
+pub use oracle::{
+    check_all, check_capture, check_inference, CaptureEvidence, Evidence, InferenceEvidence,
+    InferenceScore, ProgressState, Violation,
+};
 pub use pipeline::{
     analyze, analyze_with, replicate_fleet, OriginProfile, PhaseTiming, PipelineConfig,
     PipelineReport,

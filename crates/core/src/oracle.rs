@@ -184,6 +184,17 @@ pub enum Violation {
         /// Why the repro is false.
         detail: String,
     },
+    /// Black-box inference scoring does not hold up: the claimed
+    /// correct mass exceeds what ground truth contains, or a reported
+    /// precision/recall/F1 rate disagrees with the counts it was
+    /// supposedly computed from. Scores must be derived, never
+    /// fabricated.
+    InferenceAccounting {
+        /// Which metric family: `"pairs"` or `"origins"`.
+        metric: &'static str,
+        /// Why the score is unsound.
+        detail: String,
+    },
 }
 
 impl Violation {
@@ -200,6 +211,7 @@ impl Violation {
             Violation::FederationCoverage { .. } => "federation-coverage",
             Violation::Progress { .. } => "progress",
             Violation::FalseRepro { .. } => "false-repro",
+            Violation::InferenceAccounting { .. } => "inference-accounting",
         }
     }
 }
@@ -253,6 +265,9 @@ impl fmt::Display for Violation {
             Violation::Progress { detail } => write!(f, "progress: {detail}"),
             Violation::FalseRepro { dimension, detail } => {
                 write!(f, "false-repro: [{dimension}] {detail}")
+            }
+            Violation::InferenceAccounting { metric, detail } => {
+                write!(f, "inference-accounting: [{metric}] {detail}")
             }
         }
     }
@@ -308,6 +323,97 @@ pub fn check_capture(ev: &CaptureEvidence) -> Vec<Violation> {
             &mut out,
             "replay did not re-trip the recorded dimension".into(),
         );
+    }
+    out
+}
+
+/// Precision/recall arithmetic in parts-per-million. An empty
+/// denominator is vacuously perfect: asserting nothing asserts nothing
+/// false, and a truth set with nothing to find is fully found.
+pub fn ppm(num: u64, den: u64) -> u64 {
+    num.saturating_mul(1_000_000)
+        .checked_div(den)
+        .unwrap_or(1_000_000)
+}
+
+/// Harmonic mean of two ppm rates (the F1 of a ppm precision/recall).
+pub fn f1_ppm(precision_ppm: u64, recall_ppm: u64) -> u64 {
+    (2 * precision_ppm.saturating_mul(recall_ppm))
+        .checked_div(precision_ppm + recall_ppm)
+        .unwrap_or(0)
+}
+
+/// One scored inference metric family (message pairings, or request
+/// origins): the raw counts plus the rates that were *reported* from
+/// them. The oracle recomputes the rates; a mismatch means the score
+/// was fabricated rather than derived.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InferenceScore {
+    /// Items the inference asserted (pairings or origin attributions).
+    pub asserted: u64,
+    /// Items ground truth contains.
+    pub truth: u64,
+    /// Asserted items that match ground truth.
+    pub correct: u64,
+    /// Precision the scorer reported, ppm.
+    pub reported_precision_ppm: u64,
+    /// Recall the scorer reported, ppm.
+    pub reported_recall_ppm: u64,
+    /// F1 the scorer reported, ppm.
+    pub reported_f1_ppm: u64,
+}
+
+/// Everything the inference-scoring oracle may inspect about one
+/// scored scenario.
+#[derive(Clone, Debug, Default)]
+pub struct InferenceEvidence {
+    /// Message-pairing scores (recv → send attribution).
+    pub pairs: InferenceScore,
+    /// Origin scores (recv → transaction-root attribution).
+    pub origins: InferenceScore,
+}
+
+/// The inference-scoring oracle: inferred mass may never exceed ground
+/// truth (`correct <= truth`, `correct <= asserted`), and every
+/// reported rate must equal the one recomputed from the counts. An
+/// inference pass that peeked at the truth tables — or a scorer that
+/// rounded itself up — fails here. Returns all violations found.
+pub fn check_inference(ev: &InferenceEvidence) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (metric, s) in [("pairs", &ev.pairs), ("origins", &ev.origins)] {
+        let flag = |out: &mut Vec<Violation>, detail: String| {
+            out.push(Violation::InferenceAccounting { metric, detail });
+        };
+        if s.correct > s.asserted {
+            flag(
+                &mut out,
+                format!("{} correct but only {} asserted", s.correct, s.asserted),
+            );
+        }
+        if s.correct > s.truth {
+            flag(
+                &mut out,
+                format!(
+                    "inferred mass exceeds ground truth: {} correct, {} true items",
+                    s.correct, s.truth
+                ),
+            );
+        }
+        let precision = ppm(s.correct, s.asserted);
+        let recall = ppm(s.correct, s.truth);
+        let f1 = f1_ppm(precision, recall);
+        for (name, reported, actual) in [
+            ("precision", s.reported_precision_ppm, precision),
+            ("recall", s.reported_recall_ppm, recall),
+            ("f1", s.reported_f1_ppm, f1),
+        ] {
+            if reported != actual {
+                flag(
+                    &mut out,
+                    format!("reported {name} {reported} ppm, counts imply {actual} ppm"),
+                );
+            }
+        }
     }
     out
 }
@@ -746,6 +852,62 @@ mod tests {
         assert!(check_capture(&no_retrip)[0]
             .to_string()
             .contains("re-trip"));
+    }
+
+    fn honest_score(asserted: u64, truth: u64, correct: u64) -> InferenceScore {
+        let p = ppm(correct, asserted);
+        let r = ppm(correct, truth);
+        InferenceScore {
+            asserted,
+            truth,
+            correct,
+            reported_precision_ppm: p,
+            reported_recall_ppm: r,
+            reported_f1_ppm: f1_ppm(p, r),
+        }
+    }
+
+    #[test]
+    fn honest_inference_scores_pass() {
+        let ev = InferenceEvidence {
+            pairs: honest_score(90, 100, 85),
+            origins: honest_score(80, 100, 70),
+        };
+        assert_eq!(check_inference(&ev), vec![]);
+        // Degenerate but honest: nothing asserted, nothing true.
+        let ev = InferenceEvidence {
+            pairs: honest_score(0, 0, 0),
+            origins: honest_score(0, 50, 0),
+        };
+        assert_eq!(check_inference(&ev), vec![]);
+    }
+
+    #[test]
+    fn inferred_mass_may_not_exceed_truth() {
+        let mut ev = InferenceEvidence {
+            pairs: honest_score(90, 100, 85),
+            origins: honest_score(80, 100, 70),
+        };
+        ev.pairs.truth = 80; // claims 85 correct out of 80 true items
+        ev.pairs.reported_recall_ppm = ppm(85, 80);
+        ev.pairs.reported_f1_ppm = f1_ppm(ev.pairs.reported_precision_ppm, ev.pairs.reported_recall_ppm);
+        let v = check_inference(&ev);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind(), "inference-accounting");
+        assert!(v[0].to_string().contains("exceeds ground truth"));
+    }
+
+    #[test]
+    fn fabricated_rates_are_flagged() {
+        let mut ev = InferenceEvidence {
+            pairs: honest_score(90, 100, 85),
+            origins: honest_score(80, 100, 70),
+        };
+        ev.origins.reported_f1_ppm += 10_000; // rounded itself up
+        let v = check_inference(&ev);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].to_string().contains("reported f1"));
+        assert!(v[0].to_string().contains("[origins]"));
     }
 
     #[test]

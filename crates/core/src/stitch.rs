@@ -17,6 +17,7 @@
 //! minting stage's dump is absent) surface as explicit
 //! [`UnresolvedEdge`]s instead of silently vanishing.
 
+use crate::blackbox::TierVisibility;
 use crate::cct::{Cct, CctNodeId};
 use crate::context::{ContextAtom, TransactionContext};
 use crate::synopsis::Synopsis;
@@ -153,6 +154,12 @@ pub enum StitchError {
     },
     /// The JSON is well-formed but does not describe a stage dump.
     Schema(String),
+    /// The stage is deliberately opaque ([`TierVisibility::Opaque`]):
+    /// its dump is withheld by policy, not lost or corrupt. Distinct
+    /// from the malformed-dump variants so black-box inference fallback
+    /// triggers precisely on the tiers configured for it, never on
+    /// corrupt-dump heuristics.
+    Opaque,
 }
 
 impl fmt::Display for StitchError {
@@ -177,6 +184,9 @@ impl fmt::Display for StitchError {
                 write!(f, "malformed JSON at byte {offset}: {msg}")
             }
             StitchError::Schema(msg) => write!(f, "dump schema violation: {msg}"),
+            StitchError::Opaque => {
+                write!(f, "tier is opaque by policy (no dump exported)")
+            }
         }
     }
 }
@@ -392,10 +402,27 @@ impl Stitched {
     /// (retrievable via [`Stitched::warnings`]) instead of panicking:
     /// a partial, faulty run must still stitch.
     pub fn new(stages: Vec<StageDump>) -> Self {
+        let vis = vec![TierVisibility::Cooperating; stages.len()];
+        Self::new_with_visibility(stages, &vis)
+    }
+
+    /// [`Stitched::new`] with a per-stage visibility policy (hybrid
+    /// deployments). An [`TierVisibility::Opaque`] stage's dump is
+    /// withheld from the index — no synopsis it minted resolves, and
+    /// none of its contexts contribute request edges — and the stage is
+    /// reported as a [`StitchError::Opaque`] warning so downstream
+    /// black-box inference knows exactly which tiers to fill in.
+    /// Stages past the end of `vis` default to cooperating.
+    pub fn new_with_visibility(stages: Vec<StageDump>, vis: &[TierVisibility]) -> Self {
         let mut minted = HashMap::new();
         let mut valid = Vec::with_capacity(stages.len());
         let mut warnings = Vec::new();
         for (si, d) in stages.iter().enumerate() {
+            if vis.get(si) == Some(&TierVisibility::Opaque) {
+                valid.push(false);
+                warnings.push((si, StitchError::Opaque));
+                continue;
+            }
             match d.validate() {
                 Ok(()) => {
                     valid.push(true);
@@ -420,6 +447,18 @@ impl Stitched {
     /// Validation failures of skipped stages: `(stage index, error)`.
     pub fn warnings(&self) -> &[(usize, StitchError)] {
         &self.warnings
+    }
+
+    /// Stage indices withheld by visibility policy — exactly the stages
+    /// whose warning is [`StitchError::Opaque`], never corrupt or
+    /// missing dumps. This is the precise trigger for inference
+    /// fallback.
+    pub fn opaque_stages(&self) -> Vec<usize> {
+        self.warnings
+            .iter()
+            .filter(|(_, e)| *e == StitchError::Opaque)
+            .map(|&(si, _)| si)
+            .collect()
     }
 
     /// Whether stage `si` passed validation and is part of the index.
@@ -712,6 +751,44 @@ mod tests {
         // The origin walk still finds the true entry stage via the
         // chain head, which stage 0 did mint.
         assert_eq!(st.origin(1, 1), (0, 1));
+    }
+
+    #[test]
+    fn opaque_tier_is_distinct_from_corrupt_dump() {
+        // Stage 0 cooperates; stage 1 is opaque by policy; stage 2 is
+        // genuinely corrupt. The warnings must tell them apart so
+        // inference fallback triggers only on stage 1.
+        let s0 = dump_with_ctx(0, vec![DumpAtom::Path(vec![0, 1])], vec![(100, 1)]);
+        let s1 = dump_with_ctx(1, vec![DumpAtom::Remote(vec![100])], vec![(200, 1)]);
+        let s2 = StageDump {
+            proc: 2,
+            stage_name: "corrupt".into(),
+            ccts: vec![DumpCct { ctx: 9, nodes: vec![] }],
+            ..Default::default()
+        };
+        let vis = [
+            TierVisibility::Cooperating,
+            TierVisibility::Opaque,
+            TierVisibility::Cooperating,
+        ];
+        let st = Stitched::new_with_visibility(vec![s0, s1, s2], &vis);
+        assert!(st.stage_valid(0));
+        assert!(!st.stage_valid(1));
+        assert!(!st.stage_valid(2));
+        assert_eq!(st.opaque_stages(), vec![1]);
+        assert_eq!(st.warnings()[0], (1, StitchError::Opaque));
+        assert!(matches!(st.warnings()[1], (2, StitchError::ContextOutOfRange { .. })));
+        // The opaque stage's synopses are withheld even though its dump
+        // is well-formed.
+        assert_eq!(st.resolve(200), None);
+        assert_eq!(st.resolve(100), Some((0, 1)));
+        // Full visibility (the default constructor) indexes everything.
+        let s0 = dump_with_ctx(0, vec![DumpAtom::Path(vec![0, 1])], vec![(100, 1)]);
+        let s1 = dump_with_ctx(1, vec![DumpAtom::Remote(vec![100])], vec![(200, 1)]);
+        let st = Stitched::new(vec![s0, s1]);
+        assert!(st.stage_valid(1));
+        assert_eq!(st.resolve(200), Some((1, 1)));
+        assert!(st.opaque_stages().is_empty());
     }
 
     #[test]

@@ -1,0 +1,46 @@
+//! Black-box inference stitching.
+//!
+//! Whodunit's synopsis machinery gives exact transaction paths —
+//! *when every tier cooperates*. This crate is the other half of the
+//! deployment story: tiers that will not (or cannot) carry synopses
+//! are profiled from the outside, using only what a passive network
+//! tap records — per-channel send/recv timestamps, endpoints, and
+//! per-thread event order. The approach follows the black-box
+//! tracing line of work (vPath-style timing windows plus the
+//! synchronous-worker nesting assumption): nominate a producing send
+//! for every observed recv, propagate transaction roots along
+//! per-thread causal order, and attach an honest per-edge confidence
+//! instead of pretending certainty.
+//!
+//! The crate splits into three layers, in strict dependency order:
+//!
+//! * [`pair`] — recv → send nomination from timing alone. The core
+//!   quantity is a recv's **ambiguity**: how many sends fall inside
+//!   its feasible delay window. Confidence is `1/ambiguity`, and the
+//!   ambiguity-1 subset is the provably-correct core that the
+//!   property tests pin (widening the window can only shrink it).
+//! * [`stitch`] — the nesting walk: origin-tier classification,
+//!   root minting, per-thread inheritance, proc-graph edges. Also
+//!   [`stitch::hybrid_stitch`], where cooperating tiers contribute
+//!   exact synopsis pairings and the opaque remainder is inferred —
+//!   the degradation between full Whodunit and full black-box is a
+//!   dial, not a cliff.
+//! * [`score`] — precision/recall/F1 against simulator ground truth,
+//!   in the integer ppm arithmetic the core oracle
+//!   ([`whodunit_core::oracle::check_inference`]) recomputes.
+//!
+//! Separation of concerns is enforced by signatures: everything under
+//! [`pair`] and [`stitch::infer_stitch`] takes bare
+//! [`CommEvent`](whodunit_core::blackbox::CommEvent)s and *cannot*
+//! read ground truth; only [`score`] (the referee) and
+//! [`stitch::hybrid_stitch`] (where truth legitimately models the
+//! synopsis riding a delivered message) see a
+//! [`CommLog`](whodunit_core::blackbox::CommLog)'s truth tables.
+
+pub mod pair;
+pub mod score;
+pub mod stitch;
+
+pub use pair::{infer_pairs, InferredPair, PairSource, Pairing, PairingConfig};
+pub use score::{evidence, score_confident_pairs, score_origins, score_pairs};
+pub use stitch::{hybrid_stitch, infer_stitch, InferredEdge, InferredOrigin, InferredStitch};

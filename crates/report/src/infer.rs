@@ -1,0 +1,105 @@
+//! Rendering of black-box inference sweeps.
+//!
+//! `whodunit-infer` scores every (scenario, visibility) cell as a set
+//! of [`InferenceScore`]s; this module lays those out as the aligned
+//! summary table the `infer` bench prints and the golden suite pins.
+//! Plain data in, text out: the view depends only on the core score
+//! types, not on the inference crate.
+
+use whodunit_core::oracle::InferenceScore;
+
+use crate::table;
+
+/// One scored (scenario, visibility) row of an inference sweep.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InferRow {
+    /// Scenario label (`topology/fault-arm/shape` or `tpcw/arm/seed`).
+    pub scenario: String,
+    /// Visibility configuration the log was stitched under.
+    pub vis: String,
+    /// Observed recv events in the scenario's comm log.
+    pub recvs: u64,
+    /// Message-pairing score (recv → send).
+    pub pairs: InferenceScore,
+    /// Origin score (recv → transaction root).
+    pub origins: InferenceScore,
+    /// The full-confidence pairing subset (ambiguity exactly 1).
+    pub confident: InferenceScore,
+}
+
+/// Formats a ppm rate as a fixed three-decimal fraction. Integer
+/// arithmetic end to end, so the rendering is bit-stable everywhere.
+fn frac(ppm: u64) -> String {
+    format!("{}.{:03}", ppm / 1_000_000, (ppm % 1_000_000) / 1_000)
+}
+
+/// Renders an inference sweep as the canonical summary table: one row
+/// per (scenario, visibility) cell, F1 for both metric families, and
+/// the precision/recall of the certain subset.
+pub fn render_infer(rows: &[InferRow]) -> String {
+    let mut out = String::from("== black-box inference vs ground truth ==\n");
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.clone(),
+                r.vis.clone(),
+                r.recvs.to_string(),
+                frac(r.pairs.reported_f1_ppm),
+                frac(r.origins.reported_f1_ppm),
+                frac(r.confident.reported_precision_ppm),
+                frac(r.confident.reported_recall_ppm),
+            ]
+        })
+        .collect();
+    out.push_str(&table::render(
+        &[
+            "scenario",
+            "visibility",
+            "recvs",
+            "pairs F1",
+            "origins F1",
+            "certain P",
+            "certain R",
+        ],
+        &cells,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn score(asserted: u64, truth: u64, correct: u64) -> InferenceScore {
+        use whodunit_core::oracle::{f1_ppm, ppm};
+        let p = ppm(correct, asserted);
+        let r = ppm(correct, truth);
+        InferenceScore {
+            asserted,
+            truth,
+            correct,
+            reported_precision_ppm: p,
+            reported_recall_ppm: r,
+            reported_f1_ppm: f1_ppm(p, r),
+        }
+    }
+
+    #[test]
+    fn renders_fixed_point_rates() {
+        let rows = vec![InferRow {
+            scenario: "fanout/clean/steady".into(),
+            vis: "blackbox".into(),
+            recvs: 128,
+            pairs: score(128, 128, 128),
+            origins: score(128, 128, 96),
+            confident: score(100, 128, 100),
+        }];
+        let doc = render_infer(&rows);
+        assert!(doc.contains("fanout/clean/steady"));
+        assert!(doc.contains("1.000"), "perfect pairs F1 renders as 1.000");
+        assert!(doc.contains("0.750"), "origins precision 96/128");
+        assert!(doc.contains("0.781"), "certain recall 100/128");
+        assert!(doc.lines().count() >= 3, "header, rule, one row");
+    }
+}

@@ -14,12 +14,15 @@
 //! - [`json`]: profile dump/load, the paper's "writes the profile data
 //!   to disk … final presentation phase";
 //! - [`live`]: point-in-time snapshots of the streaming collector
-//!   (top-k paths, tier breakdowns, crosstalk hotspots, lag).
+//!   (top-k paths, tier breakdowns, crosstalk hotspots, lag);
+//! - [`infer`]: the black-box inference sweep summary (per-scenario
+//!   precision/recall/F1 across visibility configurations).
 
 #![warn(missing_docs)]
 
 pub mod crosstalk;
 pub mod diff;
+pub mod infer;
 pub mod json;
 pub mod live;
 pub mod render;

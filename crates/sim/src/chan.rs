@@ -10,6 +10,7 @@
 use crate::time::Cycles;
 use std::any::Any;
 use std::collections::VecDeque;
+use whodunit_core::blackbox::CommTag;
 use whodunit_core::ids::{ChanId, ThreadId};
 use whodunit_core::synopsis::SynChain;
 
@@ -29,6 +30,11 @@ pub struct Msg {
     /// Payload cloner, present only for [`Msg::replayable`] messages;
     /// the fault layer needs it to duplicate deliveries.
     clone_fn: Option<CloneFn>,
+    /// Ground-truth tag stamped by the engine when passive comm
+    /// logging is enabled. Pure observation bookkeeping: applications
+    /// and runtimes never see it, so it cannot perturb a run. A
+    /// duplicated delivery keeps the tag — one send, two true recvs.
+    pub(crate) tag: Option<CommTag>,
 }
 
 impl Msg {
@@ -39,6 +45,7 @@ impl Msg {
             bytes,
             chain: None,
             clone_fn: None,
+            tag: None,
         }
     }
 
@@ -59,6 +66,7 @@ impl Msg {
             bytes,
             chain: None,
             clone_fn: Some(clone_box::<T>),
+            tag: None,
         }
     }
 
@@ -71,6 +79,7 @@ impl Msg {
             bytes: self.bytes,
             chain: self.chain.clone(),
             clone_fn: self.clone_fn,
+            tag: self.tag,
         })
     }
 
@@ -99,6 +108,7 @@ impl Msg {
             bytes,
             chain,
             clone_fn,
+            tag,
         } = self;
         match data.downcast::<T>() {
             Ok(b) => Ok(*b),
@@ -107,6 +117,7 @@ impl Msg {
                 bytes,
                 chain,
                 clone_fn,
+                tag,
             }),
         }
     }

@@ -28,6 +28,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::fmt;
 use std::rc::Rc;
+use whodunit_core::blackbox::{CommLog, CommRecorder};
 use whodunit_core::delta::{diff_dump, DeltaSink, EpochBatch, StreamHeader, StreamStage};
 use whodunit_core::frame::{shared_frame_table, FrameId, SharedFrameTable};
 use whodunit_core::ids::{ChanId, LockId, LockMode, ProcId, ThreadId};
@@ -360,6 +361,11 @@ pub struct Sim {
     spin_total: u64,
     /// Per-thread resume counts since virtual time last advanced.
     spin: HashMap<ThreadId, u64>,
+    /// Passive communication-log recorder ([`Sim::enable_comm_log`]).
+    /// `None` (the default) records nothing; when present it only
+    /// observes sends/recvs — it draws no randomness and schedules no
+    /// events, so enabling it never changes a run's behaviour.
+    comm: Option<CommRecorder>,
 }
 
 impl Default for Sim {
@@ -388,6 +394,47 @@ impl Sim {
             step_budget: None,
             spin_total: 0,
             spin: HashMap::new(),
+            comm: None,
+        }
+    }
+
+    /// Enables passive communication logging: from now on every send
+    /// and every application-level recv is recorded into a
+    /// [`CommLog`], together with the simulator-known ground truth
+    /// (which send produced each recv, and which transaction root each
+    /// message serves). Idempotent.
+    pub fn enable_comm_log(&mut self) {
+        if self.comm.is_none() {
+            self.comm = Some(CommRecorder::new());
+        }
+    }
+
+    /// Marks `p` as an external origin process for the comm log's
+    /// ground truth: every send from its threads mints a fresh
+    /// transaction root (e.g. each client request). Implies
+    /// [`Sim::enable_comm_log`].
+    pub fn mark_comm_origin(&mut self, p: ProcId) {
+        self.enable_comm_log();
+        self.comm
+            .as_mut()
+            .expect("just enabled")
+            .mark_origin_proc(p.0);
+    }
+
+    /// Takes the recorded communication log, ending recording.
+    /// `None` if [`Sim::enable_comm_log`] was never called.
+    pub fn take_comm_log(&mut self) -> Option<CommLog> {
+        self.comm.take().map(|r| r.finish())
+    }
+
+    /// Records an application-level recv when comm logging is enabled.
+    /// Untagged messages (sent before logging was enabled) are skipped.
+    fn record_recv(&mut self, chan: ChanId, t: ThreadId, msg: &Msg) {
+        if let Some(rec) = self.comm.as_mut() {
+            if let Some(tag) = msg.tag {
+                let proc = self.threads[t.0 as usize].proc;
+                rec.on_recv(self.now, chan.0, proc.0, t.0, msg.bytes, tag);
+            }
         }
     }
 
@@ -908,6 +955,7 @@ impl Sim {
 
     fn on_deliver(&mut self, chan: ChanId, msg: Msg) {
         if let Some((t, msg)) = self.chans.deliver(chan, msg) {
+            self.record_recv(chan, t, &msg);
             let overhead = self.rt_of(t).borrow_mut().on_recv(t, msg.chain.as_ref());
             self.threads[t.0 as usize].pending_overhead += overhead;
             self.threads[t.0 as usize].state = TState::Ready;
@@ -1039,6 +1087,12 @@ impl Sim {
                     rt.borrow_mut().on_send(t, &th.stack)
                 };
                 msg.chain = info.chain;
+                if let Some(rec) = self.comm.as_mut() {
+                    // A sender-side tap sees every send, including ones
+                    // the wire later drops.
+                    let proc = self.threads[t.0 as usize].proc;
+                    msg.tag = Some(rec.on_send(self.now, chan.0, proc.0, t.0, msg.bytes));
+                }
                 self.threads[t.0 as usize].pending_overhead += info.cycles;
                 let delay = self.chans.send_delay(chan, msg.bytes + info.extra_bytes);
                 let now = self.now;
@@ -1070,6 +1124,7 @@ impl Sim {
             }
             Op::Recv(chan) => match self.chans.recv(chan, t) {
                 Some(msg) => {
+                    self.record_recv(chan, t, &msg);
                     let rt = self.rt_of(t);
                     let oh = rt.borrow_mut().on_recv(t, msg.chain.as_ref());
                     self.threads[t.0 as usize].pending_overhead += oh;
@@ -1081,6 +1136,7 @@ impl Sim {
             },
             Op::RecvTimeout(chan, timeout) => match self.chans.recv(chan, t) {
                 Some(msg) => {
+                    self.record_recv(chan, t, &msg);
                     let rt = self.rt_of(t);
                     let oh = rt.borrow_mut().on_recv(t, msg.chain.as_ref());
                     self.threads[t.0 as usize].pending_overhead += oh;
@@ -1545,6 +1601,72 @@ mod tests {
         assert_eq!(sim.now(), 1_000_000);
         sim.run_to_idle();
         assert_eq!(sim.now(), 10_000_000);
+    }
+
+    #[test]
+    fn comm_log_records_pairs_without_perturbing_the_run() {
+        use whodunit_core::blackbox::CommKind;
+        fn run(record: bool) -> (Cycles, Vec<String>, Option<CommLog>) {
+            let mut sim = Sim::default();
+            let m = sim.add_machine(1);
+            let client = sim.add_unprofiled_process("client");
+            let server = sim.add_unprofiled_process("server");
+            let req = sim.add_channel(500, 2);
+            let rsp = sim.add_channel(500, 2);
+            if record {
+                sim.mark_comm_origin(client);
+            }
+            let l = log();
+            sim.spawn(
+                server,
+                m,
+                "srv",
+                Script::new(
+                    vec![
+                        Op::Recv(req),
+                        Op::Compute(1000),
+                        Op::Send(rsp, Msg::new(8u32, 50)),
+                    ],
+                    l.clone(),
+                ),
+            );
+            sim.spawn(
+                client,
+                m,
+                "cli",
+                Script::new(
+                    vec![Op::Send(req, Msg::new(7u32, 100)), Op::Recv(rsp)],
+                    l.clone(),
+                ),
+            );
+            sim.run_to_idle();
+            let v = l.borrow().clone();
+            let comm = sim.take_comm_log();
+            (sim.now(), v, comm)
+        }
+        let (t_off, log_off, comm_off) = run(false);
+        let (t_on, log_on, comm_on) = run(true);
+        // Observation only: the run is bit-identical either way.
+        assert_eq!(t_off, t_on);
+        assert_eq!(log_off, log_on);
+        assert!(comm_off.is_none());
+        let comm = comm_on.expect("recording was enabled");
+        assert_eq!(comm.send_count(), 2);
+        assert_eq!(comm.recv_count(), 2);
+        // The client's request is the sole root; the reply inherits it.
+        assert_eq!(comm.truth.roots.len(), 1);
+        let origins = comm.truth_origins();
+        assert!(origins.values().all(|&o| o == comm.truth.roots[0]));
+        // Each recv pairs the send on its own channel.
+        let pairs = comm.truth_pairs();
+        for (&recv, &send) in &pairs {
+            let r = comm.events[recv as usize];
+            let s = comm.events[send as usize];
+            assert_eq!(r.kind, CommKind::Recv);
+            assert_eq!(s.kind, CommKind::Send);
+            assert_eq!(r.chan, s.chan);
+            assert!(r.at >= s.at + 500, "delivery respects channel latency");
+        }
     }
 
     #[test]

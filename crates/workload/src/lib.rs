@@ -8,14 +8,18 @@
 //! - [`tpcw`]: the TPC-W online-bookstore workload of §8.4: the 14
 //!   interaction types, the browsing-mix interaction distribution, and
 //!   think times.
+//! - [`shapes`]: time-varying load envelopes (flash crowd, diurnal)
+//!   applied to the topology-zoo clients.
 //!
 //! All sampling is seeded (`rand::SmallRng`), keeping every experiment
 //! deterministic.
 
 #![warn(missing_docs)]
 
+pub mod shapes;
 pub mod tpcw;
 pub mod webtrace;
 
+pub use shapes::LoadShape;
 pub use tpcw::{Interaction, Mix, TpcwMix};
 pub use webtrace::{WebRequest, WebTrace, WebTraceConfig};

@@ -1,0 +1,128 @@
+//! Time-varying load shapes for the topology zoo.
+//!
+//! A [`LoadShape`] turns a virtual timestamp into a ppm multiplier on
+//! client think times — smaller multiplier, hotter load. All the
+//! arithmetic is integer (cycles and ppm), so a shape evaluates
+//! identically on every platform and the simulations stay
+//! bit-deterministic.
+
+/// How offered load varies over a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadShape {
+    /// Constant think times for the whole run.
+    Steady,
+    /// A flash crowd: inside `[at, at + len)` think times are scaled
+    /// by `surge_ppm` (e.g. `200_000` ⇒ 5× the request rate); steady
+    /// elsewhere.
+    FlashCrowd {
+        /// Surge start (virtual cycles).
+        at: u64,
+        /// Surge length (virtual cycles).
+        len: u64,
+        /// Think-time multiplier during the surge, ppm (< 1e6 means
+        /// *more* load).
+        surge_ppm: u64,
+    },
+    /// A diurnal cycle: the think multiplier traces a triangle wave
+    /// between `hi_ppm` (trough traffic, long thinks) at phase 0 and
+    /// `lo_ppm` (peak traffic, short thinks) at half-period.
+    Diurnal {
+        /// Full period of the cycle (virtual cycles).
+        period: u64,
+        /// Think multiplier at peak load, ppm.
+        lo_ppm: u64,
+        /// Think multiplier at trough load, ppm.
+        hi_ppm: u64,
+    },
+}
+
+impl LoadShape {
+    /// The think-time multiplier at virtual time `now`, in ppm.
+    pub fn think_scale_ppm(&self, now: u64) -> u64 {
+        match *self {
+            LoadShape::Steady => 1_000_000,
+            LoadShape::FlashCrowd { at, len, surge_ppm } => {
+                if now >= at && now < at.saturating_add(len) {
+                    surge_ppm
+                } else {
+                    1_000_000
+                }
+            }
+            LoadShape::Diurnal {
+                period,
+                lo_ppm,
+                hi_ppm,
+            } => {
+                if period == 0 {
+                    return 1_000_000;
+                }
+                let half = (period / 2).max(1);
+                let phase = now % period;
+                let (span, from) = (hi_ppm.abs_diff(lo_ppm), hi_ppm.min(lo_ppm));
+                // Triangle: hi at phase 0, lo at half, back to hi.
+                let toward_lo = half.abs_diff(phase);
+                if hi_ppm >= lo_ppm {
+                    from + span * toward_lo / half
+                } else {
+                    from + span * (half - toward_lo.min(half)) / half
+                }
+            }
+        }
+    }
+
+    /// Applies the shape to a base think time.
+    pub fn scale_think(&self, base: u64, now: u64) -> u64 {
+        // Never let a think collapse to zero — a zero sleep would stall
+        // the closed loop at one virtual instant.
+        (base.saturating_mul(self.think_scale_ppm(now)) / 1_000_000).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_is_identity() {
+        assert_eq!(LoadShape::Steady.scale_think(1000, 0), 1000);
+        assert_eq!(LoadShape::Steady.scale_think(1000, u64::MAX), 1000);
+    }
+
+    #[test]
+    fn flash_crowd_surges_inside_window_only() {
+        let s = LoadShape::FlashCrowd {
+            at: 100,
+            len: 50,
+            surge_ppm: 200_000,
+        };
+        assert_eq!(s.scale_think(1000, 99), 1000);
+        assert_eq!(s.scale_think(1000, 100), 200);
+        assert_eq!(s.scale_think(1000, 149), 200);
+        assert_eq!(s.scale_think(1000, 150), 1000);
+    }
+
+    #[test]
+    fn diurnal_peaks_at_half_period_and_wraps() {
+        let s = LoadShape::Diurnal {
+            period: 1000,
+            lo_ppm: 250_000,
+            hi_ppm: 1_000_000,
+        };
+        assert_eq!(s.think_scale_ppm(0), 1_000_000);
+        assert_eq!(s.think_scale_ppm(500), 250_000);
+        assert_eq!(s.think_scale_ppm(1000), 1_000_000);
+        // Monotone down toward the peak, monotone up after it.
+        assert!(s.think_scale_ppm(250) > s.think_scale_ppm(400));
+        assert!(s.think_scale_ppm(600) < s.think_scale_ppm(900));
+    }
+
+    #[test]
+    fn thinks_never_collapse_to_zero() {
+        let s = LoadShape::FlashCrowd {
+            at: 0,
+            len: 100,
+            surge_ppm: 0,
+        };
+        assert_eq!(s.scale_think(1000, 50), 1);
+    }
+}

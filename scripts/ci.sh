@@ -58,6 +58,20 @@ cargo test -q -p whodunit-collector --test federation_diff
 cargo test -q -p whodunit-collector --test federation_props
 cargo test -q --test golden_federation
 
+# The black-box inference gates (DESIGN.md §15):
+# - properties: inference is a pure function of the event set
+#   (deterministic, permutation-invariant), the ambiguity-1 subset is
+#   always correct and only shrinks as the modelled jitter window
+#   widens, full visibility reproduces ground truth exactly;
+# - scenarios: the TPC-W inference slice + topology zoo under the
+#   blackbox/hybrid/full visibility ladder, with the comm log proven
+#   observation-only;
+# - golden: the rendered inference sweep table (regenerate
+#   intentionally with UPDATE_GOLDEN=1).
+cargo test -q -p whodunit-infer --test properties
+cargo test -q -p whodunit-infer --test scenarios
+cargo test -q --test golden_infer
+
 cargo clippy --workspace -- -D warnings
 
 # Pipeline smoke: sweep worker counts {1, 2, 4} over a small fleet and
@@ -84,6 +98,13 @@ cargo run --release -q -p whodunit-bench --bin hotpath -- --smoke --out target/B
 # unrecoverable-degraded); fail on any divergence, ledger mass loss,
 # unbounded per-level residency, or a dishonest degraded finalize.
 cargo run --release -q -p whodunit-bench --bin federation -- --smoke --out target/BENCH_federation_smoke.json
+
+# Inference smoke: a reduced scenario corpus (TPC-W slice + zoo) under
+# the three visibility configs; fail if any clean scenario's pairs or
+# origins F1 drops below 0.95, on any accounting-oracle violation, on
+# a non-exact full-visibility stitch, or if enabling the comm log
+# perturbs the batch fingerprint.
+cargo run --release -q -p whodunit-bench --bin infer -- --smoke --out target/BENCH_infer_smoke.json
 
 # Chaos smoke: the explorer's own pipeline check (find -> shrink ->
 # record -> replay on a planted defect), then a bounded fuzz sweep —
@@ -119,6 +140,12 @@ GATE_FIELDS = {
         "peak_resident.per_level",
     ],
     "hotpath": ["ok"],
+    "infer": [
+        "scenarios",
+        "clean_min_f1_ppm",
+        "batch.identical_output",
+        "ok",
+    ],
     "parallel": ["wall_speedup", "host_cores", "byte_identical"],
     "pipeline": ["sweep", "serial_fingerprint"],
     "sentinel": [

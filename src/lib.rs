@@ -19,6 +19,9 @@
 //! - [`report`] — rendering of transactional profiles and tables.
 //! - [`collector`] — the online streaming collector tier: incremental
 //!   stitching, bounded-memory aggregation, live queries.
+//! - [`infer`] — black-box inference stitching: recovering request
+//!   origins from bare send/recv timing when tiers can't cooperate,
+//!   scored against simulator ground truth.
 //!
 //! See `examples/quickstart.rs` for a first end-to-end run.
 
@@ -26,6 +29,7 @@ pub use whodunit_apps as apps;
 pub use whodunit_baselines as baselines;
 pub use whodunit_collector as collector;
 pub use whodunit_core as core;
+pub use whodunit_infer as infer;
 pub use whodunit_report as report;
 pub use whodunit_sim as sim;
 pub use whodunit_vm as vm;
