@@ -14,7 +14,9 @@
 //!
 //! A separate lag scenario ingests the stream through a bounded queue
 //! with a polling budget, recording throttles and peak depth while
-//! still requiring byte-identity.
+//! still requiring byte-identity. A wire scenario ships the same
+//! stream as binary frames through `enqueue_wire` (DESIGN.md §16) and
+//! holds it to the same byte-identity bar.
 //!
 //! Results go to `BENCH_collector.json`. Modes:
 //!
@@ -30,6 +32,7 @@ use whodunit_collector::{Collector, CollectorConfig, CollectorOutput};
 use whodunit_core::cost::CPU_HZ;
 use whodunit_core::delta::RecordingSink;
 use whodunit_core::pipeline::{analyze, replicate_fleet, PipelineConfig, PipelineReport};
+use whodunit_core::wire;
 
 struct Args {
     replicas: usize,
@@ -131,6 +134,7 @@ fn write_json(
     reference: &PipelineReport,
     rows: &[SweepRow],
     lag: &(usize, usize, CollectorOutput, bool),
+    wire: &(u64, f64, bool),
 ) {
     let mut j = String::from("{\n");
     j.push_str("  \"bench\": \"collectord\",\n");
@@ -169,8 +173,13 @@ fn write_json(
     j.push_str("  ],\n");
     let (max_queue, poll_every, out, lag_identical) = lag;
     j.push_str(&format!(
-        "  \"lag\": {{\"max_queue\": {}, \"poll_every\": {}, \"throttled\": {}, \"peak_queued\": {}, \"identical_output\": {}}}\n",
+        "  \"lag\": {{\"max_queue\": {}, \"poll_every\": {}, \"throttled\": {}, \"peak_queued\": {}, \"identical_output\": {}}},\n",
         max_queue, poll_every, out.stats.throttled, out.stats.peak_queued, lag_identical
+    ));
+    let (wire_bytes, wire_events_per_s, wire_identical) = wire;
+    j.push_str(&format!(
+        "  \"wire\": {{\"frames\": {}, \"bytes\": {}, \"ingest_events_per_s\": {:.0}, \"identical_output\": {}}}\n",
+        info.epochs, wire_bytes, wire_events_per_s, wire_identical
     ));
     j.push_str("}\n");
     write_json_file(path, &j);
@@ -296,6 +305,37 @@ fn main() -> ExitCode {
     );
     ok &= lag_identical && lag_out.stats.throttled > 0;
 
+    // Wire scenario: the same stream shipped as binary frames through
+    // `enqueue_wire` — the deployment shape, where the emitter edge
+    // encodes and the collector never sees a struct. Byte-identity and
+    // a clean wire error counter are both asserted.
+    let t = Instant::now();
+    let mut c = Collector::new(CollectorConfig::default());
+    c.start_wire(&wire::encode_header(&fleet_hdr))
+        .expect("header frame decodes");
+    let mut wire_bytes = 0u64;
+    for b in &stream {
+        let frame = wire::encode_batch(b);
+        wire_bytes += frame.len() as u64;
+        assert!(
+            c.enqueue_wire(&frame).expect("clean frame decodes"),
+            "unbounded queue refused a frame"
+        );
+        c.drain();
+    }
+    let wire_ingest_ms = t.elapsed().as_secs_f64() * 1e3;
+    let wire_out = c.finalize();
+    let wire_identical = identical(&reference, &wire_out.report)
+        && !wire_out.stats.used_fallback
+        && wire_out.stats.wire_errors == 0
+        && wire_out.stats.wire_frames == stream.len() as u64;
+    let wire_events_per_s = stream_events as f64 / (wire_ingest_ms / 1e3).max(1e-9);
+    println!(
+        "wire: {} frames, {} bytes  ingest {:8.1} ms ({:9.0} ev/s)  identical={}",
+        wire_out.stats.wire_frames, wire_bytes, wire_ingest_ms, wire_events_per_s, wire_identical
+    );
+    ok &= wire_identical;
+
     write_json(
         &args.out,
         &args,
@@ -308,11 +348,12 @@ fn main() -> ExitCode {
         &reference,
         &rows,
         &(max_queue, poll_every, lag_out, lag_identical),
+        &(wire_bytes, wire_events_per_s, wire_identical),
     );
     println!("wrote {}", args.out);
 
     if !ok {
-        eprintln!("FAIL: divergence, leaked pending state, or eviction never engaged");
+        eprintln!("FAIL: divergence (batch, lag, or wire path), leaked pending state, or eviction never engaged");
         return ExitCode::FAILURE;
     }
     println!("all windows byte-identical to batch; eviction engaged; no pending state leaked");

@@ -53,6 +53,17 @@ use whodunit_core::shm::{FlowDetector, FlowEvent, Loc, MemEvent};
 /// 48 replicas). The full run must beat 2x this on the same scenario.
 const BASELINE_EVENTS_PER_S: f64 = 2_052_189.0;
 
+/// The struct-path ingest rate recorded after the hot-path overhaul
+/// (`BENCH_hotpath.json` ingest sweep, same 48-replica scenario). The
+/// wire apply path — columns streamed straight into the accumulators'
+/// dense layouts, transport integrity settled once by the envelope
+/// digest — must beat 2x this.
+const WIRE_BASELINE_EVENTS_PER_S: f64 = 6_200_000.0;
+
+/// Wire frames must be at most this fraction of the legacy JSON edge
+/// encoding of the same stream.
+const WIRE_MAX_JSON_FRACTION: f64 = 0.2;
+
 struct Args {
     replicas: usize,
     clients: u32,
@@ -388,6 +399,138 @@ fn main() -> ExitCode {
         rows.push(row);
     }
 
+    // Wire codec (DESIGN.md §16): encode and decode rates over the
+    // same fleet stream, the direct-to-accumulator apply rate, frame
+    // size against the legacy JSON edge encoding, and one full
+    // collector run ingesting through `enqueue_wire` — all
+    // byte-checked.
+    let frames: Vec<Vec<u8>> = stream.iter().map(whodunit_core::encode_batch).collect();
+    let wire_frame_bytes: u64 = frames.iter().map(|f| f.len() as u64).sum();
+
+    let mut encode_best_ms = f64::INFINITY;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        for b in &stream {
+            std::hint::black_box(whodunit_core::encode_batch(b));
+        }
+        encode_best_ms = encode_best_ms.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let encode_events_per_s = stream_events as f64 / (encode_best_ms / 1e3).max(1e-9);
+
+    let mut decode_best_ms = f64::INFINITY;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        for f in &frames {
+            std::hint::black_box(whodunit_core::decode_batch(f).expect("own frame decodes"));
+        }
+        decode_best_ms = decode_best_ms.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let decode_events_per_s = stream_events as f64 / (decode_best_ms / 1e3).max(1e-9);
+    let decode_exact = frames
+        .iter()
+        .zip(&stream)
+        .all(|(f, b)| matches!(whodunit_core::decode_batch(f), Ok((back, n)) if back == *b && n == f.len()));
+    println!(
+        "wire enc   {:>9} bytes  {:8.1} ms ({:9.0} ev/s)",
+        wire_frame_bytes, encode_best_ms, encode_events_per_s
+    );
+    println!(
+        "wire dec   {:>9} bytes  {:8.1} ms ({:9.0} ev/s)  exact={}",
+        wire_frame_bytes, decode_best_ms, decode_events_per_s, decode_exact
+    );
+
+    // Struct-path reference accumulators for the apply self-check.
+    use whodunit_core::delta::StageAccumulator;
+    let mut struct_accs: Vec<StageAccumulator> =
+        fleet_hdr.stages.iter().map(StageAccumulator::new).collect();
+    for b in &stream {
+        for d in &b.deltas {
+            struct_accs[d.stage].apply(d).expect("clean stream applies");
+        }
+    }
+    let struct_dumps: Vec<_> = struct_accs.iter().map(|a| a.to_dump()).collect();
+
+    let mut apply_best_ms = f64::INFINITY;
+    let mut apply_identical = true;
+    for _ in 0..REPS {
+        let mut accs: Vec<StageAccumulator> =
+            fleet_hdr.stages.iter().map(StageAccumulator::new).collect();
+        let mut applied_events = 0u64;
+        let t = Instant::now();
+        for f in &frames {
+            let info = whodunit_core::apply_batch(&mut accs, f).expect("clean frame applies");
+            applied_events += info.events;
+        }
+        apply_best_ms = apply_best_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        apply_identical &= applied_events == stream_events
+            && accs
+                .iter()
+                .zip(&struct_dumps)
+                .all(|(a, d)| a.to_dump() == *d);
+    }
+    let wire_ingest_events_per_s = stream_events as f64 / (apply_best_ms / 1e3).max(1e-9);
+    let wire_speedup = wire_ingest_events_per_s / WIRE_BASELINE_EVENTS_PER_S;
+    println!(
+        "wire apply {:>9} events {:8.1} ms ({:9.0} ev/s)  identical={}  ({:.2}x the {:.1}M ev/s struct baseline)",
+        stream_events,
+        apply_best_ms,
+        wire_ingest_events_per_s,
+        apply_identical,
+        wire_speedup,
+        WIRE_BASELINE_EVENTS_PER_S / 1e6
+    );
+
+    // Frame size against the legacy JSON edge encoding of the stream.
+    let json_edge_bytes: u64 = stream
+        .iter()
+        .map(|b| whodunit_core::batch_to_json(b).len() as u64)
+        .sum();
+    let bytes_per_event = wire_frame_bytes as f64 / (stream_events as f64).max(1.0);
+    let json_bytes_per_event = json_edge_bytes as f64 / (stream_events as f64).max(1.0);
+    let compression_vs_json = json_edge_bytes as f64 / (wire_frame_bytes as f64).max(1.0);
+    let size_ok =
+        wire_frame_bytes as f64 <= WIRE_MAX_JSON_FRACTION * json_edge_bytes as f64;
+    println!(
+        "wire size  {:.2} B/event vs {:.2} B/event JSON ({:.1}x smaller, gate <= {:.1}x: {})",
+        bytes_per_event,
+        json_bytes_per_event,
+        compression_vs_json,
+        WIRE_MAX_JSON_FRACTION,
+        size_ok
+    );
+
+    // Full collector ingest through the wire: header frame, every
+    // batch frame, finalized report byte-compared.
+    let mut wc = Collector::new(CollectorConfig::default());
+    wc.start_wire(&whodunit_core::wire::encode_header(&fleet_hdr))
+        .expect("header frame decodes");
+    let t = Instant::now();
+    for f in &frames {
+        assert!(
+            wc.enqueue_wire(f).expect("clean wire frame decodes"),
+            "unbounded queue refused a frame"
+        );
+        wc.drain();
+    }
+    let wire_collector_ms = t.elapsed().as_secs_f64() * 1e3;
+    let wout = wc.finalize();
+    let wire_collector_identical =
+        identical(&reference, &wout.report) && !wout.stats.used_fallback && wout.stats.wire_errors == 0;
+    println!(
+        "wire e2e   {:>9} events {:8.1} ms ({:9.0} ev/s)  identical={}",
+        stream_events,
+        wire_collector_ms,
+        stream_events as f64 / (wire_collector_ms / 1e3).max(1e-9),
+        wire_collector_identical
+    );
+
+    // Hard gates (smoke included): the apply path is a pure in-memory
+    // pass, so unlike the end-to-end collector gate it holds its 2x
+    // margin even on slow shared runners; the size gate is exact.
+    let wire_throughput_ok = wire_speedup >= 2.0;
+    let wire_ok =
+        decode_exact && apply_identical && wire_collector_identical && size_ok && wire_throughput_ok;
+
     let gate_row = rows.last().expect("at least one window");
     let speedup = gate_row.events_per_s / BASELINE_EVENTS_PER_S;
     let throughput_ok = if args.smoke {
@@ -406,7 +549,7 @@ fn main() -> ExitCode {
 
     let micros_ok = flow.ok && intern.ok && cct.ok && ser.ok;
     let ingest_ok = rows.iter().all(|r| r.identical);
-    let ok = micros_ok && ingest_ok && throughput_ok;
+    let ok = micros_ok && ingest_ok && throughput_ok && wire_ok;
 
     let mut j = String::from("{\n");
     j.push_str("  \"bench\": \"hotpath\",\n");
@@ -463,6 +606,27 @@ fn main() -> ExitCode {
         speedup
     ));
     j.push_str("  },\n");
+    j.push_str("  \"wire\": {\n");
+    j.push_str(&format!(
+        "    \"frame_bytes\": {}, \"json_edge_bytes\": {},\n",
+        wire_frame_bytes, json_edge_bytes
+    ));
+    j.push_str(&format!(
+        "    \"bytes_per_event\": {:.3}, \"json_bytes_per_event\": {:.3}, \"compression_vs_json\": {:.2},\n",
+        bytes_per_event, json_bytes_per_event, compression_vs_json
+    ));
+    j.push_str(&format!(
+        "    \"encode_events_per_s\": {:.0}, \"decode_events_per_s\": {:.0}, \"ingest_events_per_s\": {:.0},\n",
+        encode_events_per_s, decode_events_per_s, wire_ingest_events_per_s
+    ));
+    j.push_str(&format!(
+        "    \"baseline_events_per_s\": {:.0}, \"speedup_vs_baseline\": {:.2},\n",
+        WIRE_BASELINE_EVENTS_PER_S, wire_speedup
+    ));
+    j.push_str(&format!(
+        "    \"decode_exact\": {decode_exact}, \"apply_identical\": {apply_identical}, \"collector_identical\": {wire_collector_identical}, \"size_ok\": {size_ok}, \"ok\": {wire_ok}\n",
+    ));
+    j.push_str("  },\n");
     j.push_str(&format!("  \"ok\": {}\n", ok));
     j.push_str("}\n");
     write_json_file(&args.out, &j);
@@ -470,7 +634,7 @@ fn main() -> ExitCode {
 
     if !ok {
         eprintln!(
-            "FAIL: micro self-check ({micros_ok}), ingest identity ({ingest_ok}), or throughput gate ({throughput_ok})"
+            "FAIL: micro self-check ({micros_ok}), ingest identity ({ingest_ok}), throughput gate ({throughput_ok}), or wire gate ({wire_ok})"
         );
         return ExitCode::FAILURE;
     }

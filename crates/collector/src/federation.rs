@@ -48,6 +48,7 @@ use whodunit_core::sketch::QuantileSketch;
 use whodunit_core::summary::{
     delta_mass, empty_delta, merge_stage_delta, seal_delta, LeafGauges, SummaryFrame, TierSketch,
 };
+use whodunit_core::wire;
 use whodunit_report::live::{FedNodeView, FedTopologyView};
 
 use crate::{Collector, CollectorConfig, CollectorOutput};
@@ -125,6 +126,11 @@ pub struct FederationConfig {
     /// Steal-schedule perturbation for the ingest executor — sweepable
     /// by the stress harness, inert for correctness.
     pub steal: StealPlan,
+    /// Ship [`SummaryFrame`]s over the links as compact columnar wire
+    /// frames ([`whodunit_core::wire::encode_summary`]) instead of
+    /// in-memory structs. Byte-identical output either way; `false`
+    /// keeps the legacy struct links for differential runs.
+    pub wire_links: bool,
     /// Configuration of the root's flat [`Collector`].
     pub collector: CollectorConfig,
 }
@@ -141,6 +147,7 @@ impl Default for FederationConfig {
             deadline_ticks: 4096,
             workers: 1,
             steal: StealPlan::CANONICAL,
+            wire_links: true,
             collector: CollectorConfig::default(),
         }
     }
@@ -245,6 +252,22 @@ pub struct FederationStats {
     pub ingest_steals: u64,
     /// Ingest worker panics recovered through the resync path.
     pub ingest_panics: u64,
+    /// Leaf-uplink frame payload bytes in the legacy JSON edge
+    /// encoding (the "before" of the compression story; counted per
+    /// transmission, including retransmits).
+    pub leaf_link_json_bytes: u64,
+    /// Leaf-uplink frame payload bytes in the columnar wire encoding.
+    pub leaf_link_wire_bytes: u64,
+    /// Regional-uplink frame payload bytes in the legacy JSON edge
+    /// encoding.
+    pub regional_link_json_bytes: u64,
+    /// Regional-uplink frame payload bytes in the columnar wire
+    /// encoding.
+    pub regional_link_wire_bytes: u64,
+    /// Wire frames a receiver could not decode (envelope or body
+    /// damage). The frame is dropped; the sender's RTO retransmit
+    /// heals the link, exactly like a lost frame.
+    pub wire_decode_errors: u64,
 }
 
 /// Everything a finished federation run hands back.
@@ -915,6 +938,10 @@ enum Dest {
 #[derive(Clone, Debug)]
 enum FedMsg {
     Frame(SummaryFrame),
+    /// A frame serialized as a [`whodunit_core::wire`] summary frame —
+    /// what actually travels when [`FederationConfig::wire_links`] is
+    /// on. Decoded (and envelope-verified) at the receiving end.
+    FrameBytes(Vec<u8>),
     Ack(u64),
 }
 
@@ -1209,6 +1236,28 @@ impl Federation {
     }
 
     fn enqueue_msg(&mut self, link: u32, to: Dest, msg: FedMsg) {
+        // Serialize frames at the sender. Both encodings are metered
+        // per transmission so one run yields the before/after link-byte
+        // story; the columnar bytes are what actually travels when
+        // `wire_links` is on.
+        let msg = if let FedMsg::Frame(f) = msg {
+            let bytes = wire::encode_summary(&f);
+            let json_len = wire::summary_to_json(&f).len() as u64;
+            if (link as usize) < self.leaves.len() {
+                self.stats.leaf_link_json_bytes += json_len;
+                self.stats.leaf_link_wire_bytes += bytes.len() as u64;
+            } else {
+                self.stats.regional_link_json_bytes += json_len;
+                self.stats.regional_link_wire_bytes += bytes.len() as u64;
+            }
+            if self.cfg.wire_links {
+                FedMsg::FrameBytes(bytes)
+            } else {
+                FedMsg::Frame(f)
+            }
+        } else {
+            msg
+        };
         let v = self.policy.verdict(link, self.now);
         let is_ack = matches!(msg, FedMsg::Ack(_));
         if v.copies == 0 {
@@ -1378,6 +1427,19 @@ impl Federation {
                 break;
             }
             let (to, msg) = self.queue.remove(&key).expect("key just observed");
+            // Wire frames decode (with envelope verification) at the
+            // receiving end; damage drops the frame and the sender's
+            // RTO retransmit heals the link.
+            let msg = match msg {
+                FedMsg::FrameBytes(b) => match wire::decode_summary(&b) {
+                    Ok((f, _)) => FedMsg::Frame(f),
+                    Err(_) => {
+                        self.stats.wire_decode_errors += 1;
+                        continue;
+                    }
+                },
+                other => other,
+            };
             match (to, msg) {
                 (Dest::Region { region, slot }, FedMsg::Frame(f)) => {
                     if !self.regions[region].alive {

@@ -72,6 +72,7 @@ use whodunit_core::frame::FrameId;
 use whodunit_core::pipeline::{analyze, OriginProfile, PipelineConfig, PipelineReport};
 use whodunit_core::stitch::{ctx_string_of, DumpAtom, DumpNode, RequestEdge, StageDump, UnresolvedEdge};
 use whodunit_core::synopsis::{SynChain, Synopsis};
+use whodunit_core::wire::{self, WireError};
 use whodunit_report::live::{Hotspot, LagStats, LiveSnapshot, ThreadingStats, TierSlice, TopPath};
 
 pub use federation::{
@@ -226,6 +227,15 @@ pub struct CollectorStats {
     /// so finalize falls back to the batch pipeline — a clean,
     /// byte-correct report, never a deadlock or partial dump.
     pub fold_panics: u64,
+    /// Binary wire frames accepted by [`Collector::enqueue_wire`].
+    pub wire_frames: u64,
+    /// Total encoded bytes of the accepted wire frames.
+    pub wire_bytes: u64,
+    /// Wire frames rejected before ingest (bad magic/version/kind,
+    /// truncation, envelope checksum, malformed body). The frame is
+    /// dropped like a lost batch, so the §12 seq-gap machinery heals
+    /// the stream on the next good frame.
+    pub wire_errors: u64,
 }
 
 /// What [`Collector::finalize`] returns: the batch-identical report
@@ -717,6 +727,38 @@ impl Collector {
         self.stats.peak_queued = self.stats.peak_queued.max(depth);
         self.stats.cycle_peak_queued = self.stats.cycle_peak_queued.max(depth);
         true
+    }
+
+    /// Installs the stream header from its binary wire frame
+    /// ([`whodunit_core::wire::encode_header`]). The wire twin of
+    /// [`Collector::start`].
+    pub fn start_wire(&mut self, frame: &[u8]) -> Result<(), WireError> {
+        let (header, _) = wire::decode_header(frame)?;
+        self.start(&header);
+        Ok(())
+    }
+
+    /// Offers a binary wire frame to the ingest queue — the wire twin
+    /// of [`Collector::enqueue`]. The envelope (magic, version, kind,
+    /// length, FNV digest) is verified before any decode; a damaged
+    /// frame is counted in [`CollectorStats::wire_errors`] and dropped,
+    /// which the self-healing machinery then treats exactly like a
+    /// lost batch (reorder-buffer park on the next good frame, bounded
+    /// resync if the hole cannot be healed). `Ok(false)` means the
+    /// frame decoded but the queue was full (the frame was **not**
+    /// accepted).
+    pub fn enqueue_wire(&mut self, frame: &[u8]) -> Result<bool, WireError> {
+        match wire::decode_batch(frame) {
+            Ok((batch, consumed)) => {
+                self.stats.wire_frames += 1;
+                self.stats.wire_bytes += consumed as u64;
+                Ok(self.enqueue(batch))
+            }
+            Err(e) => {
+                self.stats.wire_errors += 1;
+                Err(e)
+            }
+        }
     }
 
     /// Processes one queued batch; returns whether one was processed.

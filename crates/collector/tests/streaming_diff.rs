@@ -542,6 +542,193 @@ fn stalled_stage_is_flagged_by_the_watchdog_and_finalizes_degraded() {
     );
 }
 
+// ---------------------------------------------------------------------
+// Binary wire ingest (DESIGN.md §16): the same scenarios shipped as
+// columnar wire frames must finalize to the same bytes, and damage at
+// the *byte* level — truncation, bit flips, reordering of encoded
+// frames — must be caught by the envelope checks and healed by the
+// same quarantine/resync machinery the delta-level tests above lock.
+// ---------------------------------------------------------------------
+
+use whodunit_core::wire::{encode_batch, encode_header};
+
+/// Ingests pre-encoded wire frames while advancing the resync
+/// reference with the corresponding clean batch (the wire twin of
+/// [`ingest_damaged`]). Returns the output plus the count of frames
+/// the codec rejected.
+fn ingest_wire(
+    header: &StreamHeader,
+    clean: &[EpochBatch],
+    frames: &[Vec<u8>],
+    ccfg: CollectorConfig,
+) -> (CollectorOutput, u64) {
+    let mut c = Collector::new(ccfg);
+    c.start_wire(&encode_header(header)).expect("header frame decodes");
+    let shared = Rc::new(RefCell::new(RecordedResync::new(header)));
+    c.set_resync_source(Box::new(SharedResync(shared.clone())));
+    let mut rejected = 0u64;
+    for (i, f) in frames.iter().enumerate() {
+        if let Some(orig) = clean.get(i) {
+            shared.borrow_mut().advance(orig);
+        }
+        match c.enqueue_wire(f) {
+            Ok(accepted) => assert!(accepted, "unbounded queue refused a frame"),
+            Err(_) => rejected += 1,
+        }
+        c.drain();
+    }
+    (c.finalize(), rejected)
+}
+
+/// Picks a mid-stream batch index where *every* stage in the batch has
+/// at least `lookahead` follow-up frames — so dropping the whole batch
+/// (what an undecodable wire frame becomes) is guaranteed to overflow
+/// a `lookahead - 1` reorder buffer into a resync on every stage.
+fn pick_batch_site(batches: &[EpochBatch], lookahead: usize) -> usize {
+    let mid = batches.len() / 2;
+    for bi in mid..batches.len().saturating_sub(lookahead + 1) {
+        if batches[bi].deltas.is_empty() {
+            continue;
+        }
+        let ok = batches[bi].deltas.iter().all(|d| {
+            batches[bi + 1..]
+                .iter()
+                .take(lookahead)
+                .filter(|b| b.deltas.iter().any(|x| x.stage == d.stage))
+                .count()
+                == lookahead
+        });
+        if ok {
+            return bi;
+        }
+    }
+    panic!("no batch site with {lookahead} follow-up frames on every stage");
+}
+
+/// The full 36-scenario matrix shipped over the wire: encode every
+/// recorded batch, ingest through [`Collector::enqueue_wire`], and
+/// byte-compare against the batch pipeline — the wire transport must
+/// be invisible in the final report.
+fn run_wire_matrix(faulty: bool) {
+    let mut scenarios = 0;
+    for &seed in &SEEDS {
+        for sched in schedules(seed) {
+            scenarios += 1;
+            let what = format!("seed={seed} sched={sched:?} faulty={faulty} wire");
+            let mut sink = RecordingSink::default();
+            let report =
+                run_tpcw_streaming(scenario_cfg(seed, sched, faulty), EPOCH_LEN, &mut sink);
+            let batch = analyze(report.dumps, PipelineConfig { workers: 1, shards: 32 });
+
+            let mut c = Collector::new(CollectorConfig::default());
+            c.start_wire(&encode_header(&sink.header)).expect("header frame decodes");
+            let mut wire_bytes = 0u64;
+            for b in &sink.batches {
+                let f = encode_batch(b);
+                wire_bytes += f.len() as u64;
+                assert!(
+                    c.enqueue_wire(&f).expect("clean wire frame decodes"),
+                    "unbounded queue refused a frame: {what}"
+                );
+                c.drain();
+            }
+            let out = c.finalize();
+            assert!(!out.stats.used_fallback, "wire ingest fell back: {what}");
+            assert_eq!(out.stats.wire_frames, sink.batches.len() as u64, "{what}");
+            assert_eq!(out.stats.wire_bytes, wire_bytes, "{what}");
+            assert_eq!(out.stats.wire_errors, 0, "{what}");
+            assert_byte_identical(&batch, &out.report, &what);
+        }
+    }
+    assert_eq!(scenarios, 18);
+}
+
+#[test]
+fn wire_clean_streams_match_batch_byte_for_byte() {
+    run_wire_matrix(false);
+}
+
+#[test]
+fn wire_faulty_streams_match_batch_byte_for_byte() {
+    run_wire_matrix(true);
+}
+
+#[test]
+fn wire_bitflipped_frame_is_rejected_and_healed() {
+    let (header, batches, reference) = recorded_scenario();
+    let lookahead = 3;
+    let bi = pick_batch_site(&batches, lookahead);
+    let mut frames: Vec<Vec<u8>> = batches.iter().map(encode_batch).collect();
+    // Flip one payload bit mid-body: the envelope digest must catch it.
+    let at = frames[bi].len() / 2;
+    frames[bi][at] ^= 0x10;
+
+    let (out, rejected) = ingest_wire(
+        &header,
+        &batches,
+        &frames,
+        CollectorConfig {
+            quarantine: QuarantinePolicy {
+                reorder_buffer: lookahead - 1,
+                ..QuarantinePolicy::default()
+            },
+            ..CollectorConfig::default()
+        },
+    );
+    assert_eq!(rejected, 1, "exactly the flipped frame is rejected");
+    assert_eq!(out.stats.wire_errors, 1);
+    assert!(!out.stats.used_fallback, "healed, not fallen back");
+    assert!(out.stats.resyncs >= 1, "dropped frame must resync");
+    assert_byte_identical(&reference, &out.report, "wire bit flip");
+}
+
+#[test]
+fn wire_truncated_frame_is_rejected_and_healed() {
+    let (header, batches, reference) = recorded_scenario();
+    let lookahead = 3;
+    let bi = pick_batch_site(&batches, lookahead);
+    let mut frames: Vec<Vec<u8>> = batches.iter().map(encode_batch).collect();
+    // Cut the frame short — the wire signature of a torn write.
+    let keep = frames[bi].len() * 2 / 3;
+    frames[bi].truncate(keep);
+
+    let (out, rejected) = ingest_wire(
+        &header,
+        &batches,
+        &frames,
+        CollectorConfig {
+            quarantine: QuarantinePolicy {
+                reorder_buffer: lookahead - 1,
+                ..QuarantinePolicy::default()
+            },
+            ..CollectorConfig::default()
+        },
+    );
+    assert_eq!(rejected, 1);
+    assert_eq!(out.stats.wire_errors, 1);
+    assert!(!out.stats.used_fallback);
+    assert!(out.stats.resyncs >= 1);
+    assert_byte_identical(&reference, &out.report, "wire truncation");
+}
+
+#[test]
+fn wire_reordered_frames_park_and_heal() {
+    let (header, batches, reference) = recorded_scenario();
+    let bi = pick_batch_site(&batches, 1);
+    let mut frames: Vec<Vec<u8>> = batches.iter().map(encode_batch).collect();
+    // Swap two adjacent encoded frames: both decode, the early one
+    // parks on the seq gap, and the late one fills the hole.
+    frames.swap(bi, bi + 1);
+
+    let (out, rejected) = ingest_wire(&header, &batches, &frames, CollectorConfig::default());
+    assert_eq!(rejected, 0, "reordered frames still decode");
+    assert_eq!(out.stats.wire_errors, 0);
+    assert!(!out.stats.used_fallback);
+    assert!(out.stats.healed_frames >= 1, "park/heal path never engaged");
+    assert_eq!(out.stats.resyncs, 0, "reorder heals without resync");
+    assert_byte_identical(&reference, &out.report, "wire reorder");
+}
+
 #[test]
 fn cycle_peak_queue_gauge_resets_between_drain_cycles() {
     let (header, batches, reference) = recorded_scenario();

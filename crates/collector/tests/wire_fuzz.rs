@@ -1,0 +1,279 @@
+//! Randomized damage fuzzing of the binary wire ingest path — the
+//! adversarial extension of the PR 6 damage matrix in
+//! `streaming_diff.rs`, now at the *byte* level (DESIGN.md §16):
+//!
+//! - **Never panic**: arbitrary truncation, bit flips, duplicated and
+//!   reordered frames, and outright garbage buffers must come back as
+//!   `Err(WireError)` or heal — never unwind, never abort.
+//! - **Never silently corrupt**: whenever the finalized report differs
+//!   from the clean reference, the damage must be visible in the stats
+//!   (`wire_errors`, quarantine counters, resyncs, degraded markers).
+//!   A frame the codec rejects is a dropped batch; the §12 seq-gap
+//!   machinery takes it from there.
+//! - **Detection**: every byte-corrupted frame fed to
+//!   [`Collector::enqueue_wire`] is individually rejected by the
+//!   envelope (magic/version/length/FNV digest) or body validation —
+//!   corruption cannot ride a valid-looking frame into the
+//!   accumulators.
+//! - **Reorder/duplicate transparency**: damage that only permutes or
+//!   repeats intact frames heals to byte-identity through the park,
+//!   dedup, and resync paths.
+//!
+//! One recorded TPC-W scenario is encoded once and shared across all
+//! cases; each case derives a fresh damage plan from its proptest seed.
+
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::OnceLock;
+use whodunit_apps::tpcw::run_tpcw_streaming;
+use whodunit_bench::matrix::scenario_cfg;
+use whodunit_collector::{Collector, CollectorConfig, CollectorOutput, QuarantinePolicy};
+use whodunit_core::cost::CPU_HZ;
+use whodunit_core::delta::{EpochBatch, RecordedResync, RecordingSink, ResyncSource, StreamHeader};
+use whodunit_core::pipeline::{analyze, PipelineConfig};
+use whodunit_core::stitch::StageDump;
+use whodunit_core::wire::{encode_batch, encode_header};
+use whodunit_sim::sched::SchedulePolicy;
+
+/// One recorded clean scenario, encoded, with its reference surfaces.
+struct Scenario {
+    header: StreamHeader,
+    batches: Vec<EpochBatch>,
+    frames: Vec<Vec<u8>>,
+    stitched: String,
+    dumps_json: String,
+    fingerprint: u64,
+}
+
+static SCENARIO: OnceLock<Scenario> = OnceLock::new();
+
+fn scenario() -> &'static Scenario {
+    SCENARIO.get_or_init(|| {
+        let cfg = scenario_cfg(2, SchedulePolicy::Fifo, false);
+        let mut sink = RecordingSink::default();
+        let report = run_tpcw_streaming(cfg, CPU_HZ, &mut sink);
+        let reference = analyze(report.dumps, PipelineConfig { workers: 1, shards: 32 });
+        let frames = sink.batches.iter().map(encode_batch).collect();
+        Scenario {
+            header: sink.header,
+            batches: sink.batches,
+            frames,
+            stitched: reference.stitched_text(),
+            dumps_json: reference.dumps_json.clone(),
+            fingerprint: reference.fingerprint(),
+        }
+    })
+}
+
+#[derive(Clone)]
+struct SharedResync(Rc<RefCell<RecordedResync>>);
+
+impl ResyncSource for SharedResync {
+    fn snapshot(&self, stage: usize) -> Option<(StageDump, u64)> {
+        self.0.borrow().snapshot(stage)
+    }
+}
+
+/// Deterministic xorshift64* stream for damage plans.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Feeds `frames` through the wire ingest with the resync reference
+/// advanced in lockstep against the *clean* stream, and returns the
+/// output plus the number of frames the codec rejected.
+fn ingest(frames: &[Vec<u8>]) -> (CollectorOutput, u64) {
+    let s = scenario();
+    let mut c = Collector::new(CollectorConfig {
+        quarantine: QuarantinePolicy {
+            reorder_buffer: 2,
+            ..QuarantinePolicy::default()
+        },
+        ..CollectorConfig::default()
+    });
+    c.start_wire(&encode_header(&s.header)).expect("header frame decodes");
+    let shared = Rc::new(RefCell::new(RecordedResync::new(&s.header)));
+    c.set_resync_source(Box::new(SharedResync(shared.clone())));
+    // The emitter mirror is always at least as current as anything the
+    // damaged stream could carry: advance it fully first.
+    for b in &s.batches {
+        shared.borrow_mut().advance(b);
+    }
+    let mut rejected = 0u64;
+    for f in frames {
+        match c.enqueue_wire(f) {
+            Ok(accepted) => assert!(accepted, "unbounded queue refused a frame"),
+            Err(_) => rejected += 1,
+        }
+        c.drain();
+    }
+    (c.finalize(), rejected)
+}
+
+/// Whether the finalized report matches the clean reference on every
+/// locked surface.
+fn identical(out: &CollectorOutput) -> bool {
+    let s = scenario();
+    out.report.fingerprint() == s.fingerprint
+        && out.report.stitched_text() == s.stitched
+        && out.report.dumps_json == s.dumps_json
+}
+
+/// Whether the stats make the damage visible — the "never silently
+/// corrupt" half of the contract.
+fn visible(out: &CollectorOutput) -> bool {
+    let st = &out.stats;
+    st.wire_errors > 0
+        || st.quarantined > 0
+        || st.resyncs > 0
+        || st.healed_frames > 0
+        || st.dup_frames > 0
+        || st.dropped_frames > 0
+        || st.seq_gaps > 0
+        || st.delta_errors > 0
+        || st.stalls > 0
+        || st.used_fallback
+        || !st.degraded.is_empty()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary mixed damage plans: corrupting ops (truncate, bit
+    /// flip, garbage injection) must each be rejected at the envelope,
+    /// and any divergence from the reference must be visible in the
+    /// stats. Never a panic.
+    #[test]
+    fn damaged_wire_streams_never_panic_or_silently_corrupt(seed in any::<u64>()) {
+        let s = scenario();
+        let mut r = Rng::new(seed);
+        let mut frames = s.frames.clone();
+        let mut corrupted = 0u64;
+        for _ in 0..1 + r.below(3) {
+            match r.below(5) {
+                0 => {
+                    // Truncate: cut at least one byte, keep at least one.
+                    let i = r.below(frames.len() as u64) as usize;
+                    let len = frames[i].len();
+                    frames[i].truncate(1 + r.below(len as u64 - 1) as usize);
+                    corrupted += 1;
+                }
+                1 => {
+                    // Flip one bit anywhere in the frame.
+                    let i = r.below(frames.len() as u64) as usize;
+                    let at = r.below(frames[i].len() as u64) as usize;
+                    frames[i][at] ^= 1 << r.below(8);
+                    corrupted += 1;
+                }
+                2 => {
+                    // Swap two adjacent frames.
+                    let i = r.below(frames.len() as u64 - 1) as usize;
+                    frames.swap(i, i + 1);
+                }
+                3 => {
+                    // Duplicate a frame in place.
+                    let i = r.below(frames.len() as u64) as usize;
+                    let f = frames[i].clone();
+                    frames.insert(i + 1, f);
+                }
+                _ => {
+                    // Inject garbage, sometimes wearing the real magic.
+                    let mut g: Vec<u8> =
+                        (0..1 + r.below(64)).map(|_| r.next() as u8).collect();
+                    if r.below(2) == 0 && g.len() >= 4 {
+                        g[0] = b'W';
+                        g[1] = b'D';
+                        g[2] = b'W';
+                        g[3] = 1;
+                    }
+                    let i = r.below(frames.len() as u64) as usize;
+                    frames.insert(i, g);
+                    corrupted += 1;
+                }
+            }
+        }
+
+        let (out, rejected) = ingest(&frames);
+        prop_assert_eq!(out.stats.wire_errors, rejected, "error count drifted");
+        prop_assert!(
+            rejected >= corrupted.min(1),
+            "corrupting damage went undetected: {} ops, {} rejections",
+            corrupted,
+            rejected
+        );
+        if !identical(&out) {
+            prop_assert!(
+                visible(&out),
+                "report diverged with clean stats: {:?}",
+                out.stats
+            );
+        }
+    }
+
+    /// Damage that only permutes or repeats intact frames is fully
+    /// transparent: the report heals to byte-identity through park,
+    /// dedup, and resync — no wire errors at all.
+    #[test]
+    fn reordered_and_duplicated_wire_frames_heal_to_identity(seed in any::<u64>()) {
+        let s = scenario();
+        let mut r = Rng::new(seed);
+        let mut frames = s.frames.clone();
+        for _ in 0..1 + r.below(3) {
+            if r.below(2) == 0 {
+                let i = r.below(frames.len() as u64 - 1) as usize;
+                frames.swap(i, i + 1);
+            } else {
+                let i = r.below(frames.len() as u64) as usize;
+                let f = frames[i].clone();
+                frames.insert(i + 1, f);
+            }
+        }
+
+        let (out, rejected) = ingest(&frames);
+        prop_assert_eq!(rejected, 0u64, "intact frames must decode");
+        prop_assert_eq!(out.stats.wire_errors, 0u64);
+        prop_assert!(!out.stats.used_fallback, "healed, not fallen back");
+        prop_assert!(identical(&out), "reorder/dup damage leaked into the report");
+    }
+
+    /// Raw garbage buffers — any length, any contents, with or without
+    /// a valid-looking envelope prefix — never panic the ingest and
+    /// never count as accepted frames.
+    #[test]
+    fn garbage_buffers_are_rejected_without_panicking(seed in any::<u64>()) {
+        let mut r = Rng::new(seed);
+        let mut c = Collector::new(CollectorConfig::default());
+        c.start_wire(&encode_header(&scenario().header)).expect("header decodes");
+        for _ in 0..16 {
+            let mut g: Vec<u8> = (0..r.below(128)).map(|_| r.next() as u8).collect();
+            if r.below(3) == 0 && g.len() >= 9 {
+                g[0] = b'W';
+                g[1] = b'D';
+                g[2] = b'W';
+                g[3] = 1;
+                g[4] = 2;
+            }
+            prop_assert!(c.enqueue_wire(&g).is_err(), "garbage decoded as a frame");
+        }
+        prop_assert_eq!(c.stats().wire_frames, 0u64);
+        prop_assert_eq!(c.stats().wire_errors, 16u64);
+    }
+}

@@ -287,6 +287,12 @@ pub struct LeafGauges {
 
 /// One federation frame: the merged increment a node ships upstream,
 /// plus its operational freight.
+///
+/// The byte form the federation links actually ship is the columnar
+/// binary codec in [`crate::wire`] ([`crate::wire::encode_summary`] /
+/// [`crate::wire::decode_summary`]); this struct is the in-memory
+/// form, and its [`SummaryFrame::checksum`] stays the end-to-end
+/// content digest on both encodings.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct SummaryFrame {
     /// Emitting node id (unique per link).

@@ -1,0 +1,2351 @@
+//! The versioned columnar binary wire format of the streaming tier.
+//!
+//! Everything the streaming and federation tiers ship between processes
+//! — stream headers, per-epoch delta batches, federation summary
+//! frames, quantile-sketch digests, chaos repro bundles — has exactly
+//! one binary encoding, defined here (DESIGN.md §16). The format is
+//! built from three layers:
+//!
+//! 1. **Primitives**: LEB128 varints (little-endian base-128), length-
+//!    prefixed UTF-8 strings, and zigzag **delta-of-delta** columns
+//!    ([`DodWriter`]/[`DodReader`]) for integer sequences that are
+//!    nearly arithmetic (sorted ctx ids, bucket indices). The DoD
+//!    residuals are computed in `i128`, so the column codec round-trips
+//!    *arbitrary* `u64` sequences — monotonicity makes it small, but is
+//!    never required for correctness.
+//! 2. **Sections**: one varint-packed array per *field* (all ctx ids,
+//!    then all costs, then all timestamps …) instead of one struct per
+//!    event, so a decoder runs tight homogeneous loops and an encoder
+//!    never pads.
+//! 3. **The frame envelope**: `"WDW"` magic, a version byte, a kind
+//!    byte, a `u32` little-endian body length, the body, and a trailing
+//!    FNV-1a digest of the body. [`open_frame`] verifies all five
+//!    before a single body byte is parsed, so damaged input surfaces as
+//!    a typed [`WireError`] — never a panic, never a silent
+//!    misparse — and slots into the collector's §12 quarantine /
+//!    resync machinery like any other lost or corrupt delta.
+//!
+//! Decoding offers two paths. [`decode_batch`] materializes the
+//! [`EpochBatch`] structs (the differential-testing path: the struct
+//! codecs must round-trip bit-exactly, `decode(encode(b)) == b`).
+//! [`apply_batch`] is the ingest hot path: it streams the columns
+//! **directly into [`StageAccumulator`]'s dense Vec-by-ctx-id
+//! layouts**, never materializing per-event structs — and because the
+//! envelope digest already authenticated every body byte, it skips the
+//! per-delta lane-checksum recompute that dominates the struct apply
+//! path.
+//!
+//! The hand-rolled byte packing that previously accumulated in
+//! [`crate::sketch`] (`to_wire`/`from_wire` sparse buckets),
+//! [`crate::summary`] (frame freight), and [`crate::repro`] (bundle
+//! files) now rides on these primitives: [`encode_sketch`],
+//! [`encode_summary`], and [`encode_repro`].
+
+use crate::delta::{CctDelta, EpochBatch, StageAccumulator, StageDelta, StreamHeader, StreamStage};
+use crate::dumpjson::esc;
+use crate::hash::fnv1a;
+use crate::repro::{ChaosRepro, FaultEntry, ReproWindow};
+use crate::sketch::QuantileSketch;
+use crate::stitch::{DumpAtom, DumpContext, DumpCrosstalkPair, DumpCrosstalkWaiter, DumpNode};
+use crate::summary::{LeafGauges, SummaryFrame, TierSketch};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The three magic bytes every wire frame starts with.
+pub const WIRE_MAGIC: [u8; 3] = *b"WDW";
+
+/// The format version this build encodes and accepts. A frame carrying
+/// any other version is rejected with [`WireError::BadVersion`] before
+/// its body is touched (version negotiation is pinned in DESIGN.md §16:
+/// there is exactly one live version per deployment epoch; mixed fleets
+/// quarantine foreign frames and resync rather than guess).
+pub const WIRE_VERSION: u8 = 1;
+
+/// Frame kind: a [`StreamHeader`].
+pub const KIND_HEADER: u8 = 1;
+/// Frame kind: an [`EpochBatch`] of stage deltas.
+pub const KIND_BATCH: u8 = 2;
+/// Frame kind: a federation [`SummaryFrame`].
+pub const KIND_SUMMARY: u8 = 3;
+/// Frame kind: a [`ChaosRepro`] bundle.
+pub const KIND_REPRO: u8 = 4;
+/// Frame kind: a [`QuantileSketch`] digest.
+pub const KIND_SKETCH: u8 = 5;
+
+/// Bytes of envelope before the body (magic + version + kind + length).
+pub const ENVELOPE_HEAD: usize = 9;
+/// Bytes of envelope after the body (the FNV-1a digest).
+pub const ENVELOPE_TAIL: usize = 8;
+
+/// Why a wire frame could not be decoded. Every variant is a *detected*
+/// failure: the decoder never panics and never returns partially
+/// misparsed data.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WireError {
+    /// The buffer does not start with [`WIRE_MAGIC`].
+    BadMagic,
+    /// The frame carries an unsupported format version.
+    BadVersion(u8),
+    /// The frame kind is not the one the caller expected.
+    BadKind {
+        /// The kind the caller asked [`open_frame`] for.
+        expected: u8,
+        /// The kind byte the frame carried.
+        got: u8,
+    },
+    /// The buffer ends before the frame does.
+    Truncated,
+    /// The body's FNV-1a digest does not match the stored trailer.
+    Checksum,
+    /// The envelope verified but the body violates the format (a
+    /// version-logic bug or a deliberately crafted frame — random
+    /// damage is caught by [`WireError::Checksum`] first).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "wire frame: bad magic"),
+            WireError::BadVersion(v) => write!(f, "wire frame: unsupported version {v}"),
+            WireError::BadKind { expected, got } => {
+                write!(f, "wire frame: kind {got} where {expected} was expected")
+            }
+            WireError::Truncated => write!(f, "wire frame: truncated"),
+            WireError::Checksum => write!(f, "wire frame: body checksum mismatch"),
+            WireError::Malformed(what) => write!(f, "wire frame: malformed body: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------------
+// Varint / string / column primitives
+// ---------------------------------------------------------------------
+
+/// Appends `v` as a LEB128 varint (7 value bits per byte, little-endian
+/// groups, high bit = continuation).
+pub fn put_u64(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(b);
+            return;
+        }
+        buf.push(b | 0x80);
+    }
+}
+
+/// Appends `v` as a LEB128 varint (shared encoding with [`put_u64`]).
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    put_u64(buf, v as u64);
+}
+
+fn put_u128(buf: &mut Vec<u8>, mut v: u128) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(b);
+            return;
+        }
+        buf.push(b | 0x80);
+    }
+}
+
+/// Appends `s` as a varint byte length followed by its UTF-8 bytes.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u64(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn zigzag(v: i128) -> u128 {
+    ((v << 1) ^ (v >> 127)) as u128
+}
+
+fn unzigzag(v: u128) -> i128 {
+    ((v >> 1) as i128) ^ -((v & 1) as i128)
+}
+
+/// A zero-copy cursor over one frame body.
+///
+/// Every read is bounds-checked and returns a typed [`WireError`]; a
+/// `Reader` can therefore be driven over arbitrary bytes (the fuzz
+/// suites do) without panicking.
+#[derive(Clone, Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A cursor over `buf`, positioned at its start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Reads one raw byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.buf.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads a LEB128 varint into a `u64`, rejecting encodings that
+    /// overflow 64 bits.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8()?;
+            if shift == 63 && (b & 0x7f) > 1 {
+                return Err(WireError::Malformed("varint overflows u64"));
+            }
+            v |= ((b & 0x7f) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(WireError::Malformed("varint too long"));
+            }
+        }
+    }
+
+    /// Reads a LEB128 varint and narrows it to `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        as_u32(self.u64()?)
+    }
+
+    fn u128(&mut self) -> Result<u128, WireError> {
+        let mut v = 0u128;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8()?;
+            if shift == 126 && (b & 0x7f) > 3 {
+                return Err(WireError::Malformed("varint overflows u128"));
+            }
+            v |= ((b & 0x7f) as u128) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 126 {
+                return Err(WireError::Malformed("varint too long"));
+            }
+        }
+    }
+
+    /// Reads a `u64` stored as 8 raw little-endian bytes (used for the
+    /// stored end-to-end checksums, which must round-trip even when
+    /// they do not match their content).
+    pub fn fixed_u64(&mut self) -> Result<u64, WireError> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    /// Borrows the next `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a length-prefixed UTF-8 string, borrowing the bytes.
+    pub fn str(&mut self) -> Result<&'a str, WireError> {
+        let n = self.count()?;
+        let b = self.bytes(n)?;
+        std::str::from_utf8(b).map_err(|_| WireError::Malformed("string is not UTF-8"))
+    }
+
+    /// Reads an element count and sanity-bounds it against the bytes
+    /// left in the frame (every counted element occupies at least one
+    /// byte), so a hostile length field cannot trigger a huge
+    /// allocation before the mismatch is noticed.
+    pub fn count(&mut self) -> Result<usize, WireError> {
+        let n = self.u64()?;
+        if n > self.remaining() as u64 {
+            return Err(WireError::Malformed("count exceeds frame size"));
+        }
+        Ok(n as usize)
+    }
+}
+
+fn as_u32(v: u64) -> Result<u32, WireError> {
+    u32::try_from(v).map_err(|_| WireError::Malformed("value overflows u32"))
+}
+
+fn as_usize(v: u64) -> Result<usize, WireError> {
+    usize::try_from(v).map_err(|_| WireError::Malformed("value overflows usize"))
+}
+
+/// `Option<u32>` on the wire as `value + 1` with `None -> 0` (the same
+/// convention the delta lane checksums use).
+fn opt_u32(v: u64) -> Result<Option<u32>, WireError> {
+    if v == 0 {
+        Ok(None)
+    } else {
+        as_u32(v - 1).map(Some)
+    }
+}
+
+fn put_opt_u32(buf: &mut Vec<u8>, v: Option<u32>) {
+    put_u64(buf, v.map_or(0, |x| x as u64 + 1));
+}
+
+/// Streaming delta-of-delta column encoder.
+///
+/// The first value is stored raw, the second as a zigzag first
+/// difference, and every later value as the zigzag difference *of*
+/// differences — near-arithmetic sequences (sorted ids, timestamps)
+/// collapse to runs of single `0x00` bytes. Differences are taken in
+/// `i128`, so any `u64` sequence round-trips exactly.
+#[derive(Clone, Debug, Default)]
+pub struct DodWriter {
+    n: u64,
+    prev: u64,
+    prev_d: i128,
+}
+
+impl DodWriter {
+    /// A fresh column encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the next column value to `buf`.
+    pub fn push(&mut self, buf: &mut Vec<u8>, v: u64) {
+        if self.n == 0 {
+            put_u64(buf, v);
+        } else {
+            let d = v as i128 - self.prev as i128;
+            let resid = if self.n == 1 { d } else { d - self.prev_d };
+            put_u128(buf, zigzag(resid));
+            self.prev_d = d;
+        }
+        self.prev = v;
+        self.n += 1;
+    }
+}
+
+/// Streaming decoder for a [`DodWriter`] column. All arithmetic is
+/// checked: a crafted residual that walks the value out of `u64` range
+/// is a [`WireError::Malformed`], never a wrap or a panic.
+#[derive(Clone, Debug, Default)]
+pub struct DodReader {
+    n: u64,
+    prev: u64,
+    prev_d: i128,
+}
+
+impl DodReader {
+    /// A fresh column decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the next column value.
+    pub fn next(&mut self, r: &mut Reader<'_>) -> Result<u64, WireError> {
+        let v = if self.n == 0 {
+            r.u64()?
+        } else {
+            let resid = unzigzag(r.u128()?);
+            let d = if self.n == 1 {
+                resid
+            } else {
+                self.prev_d
+                    .checked_add(resid)
+                    .ok_or(WireError::Malformed("delta-of-delta overflow"))?
+            };
+            let val = (self.prev as i128)
+                .checked_add(d)
+                .ok_or(WireError::Malformed("delta-of-delta overflow"))?;
+            if !(0..=u64::MAX as i128).contains(&val) {
+                return Err(WireError::Malformed("column value out of u64 range"));
+            }
+            self.prev_d = d;
+            val as u64
+        };
+        self.prev = v;
+        self.n += 1;
+        Ok(v)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frame envelope
+// ---------------------------------------------------------------------
+
+/// Starts a frame of `kind` in `buf`: magic, version, kind, and a
+/// length placeholder. Returns the body-start offset to hand back to
+/// [`end_frame`]. Body bytes are appended directly to `buf` in between.
+pub fn begin_frame(buf: &mut Vec<u8>, kind: u8) -> usize {
+    buf.extend_from_slice(&WIRE_MAGIC);
+    buf.push(WIRE_VERSION);
+    buf.push(kind);
+    buf.extend_from_slice(&[0u8; 4]);
+    buf.len()
+}
+
+/// Finishes the frame opened at `body_start`: backpatches the body
+/// length and appends the FNV-1a digest of the body bytes.
+pub fn end_frame(buf: &mut Vec<u8>, body_start: usize) {
+    let body_len = buf.len() - body_start;
+    assert!(body_len <= u32::MAX as usize, "wire frame body over 4 GiB");
+    let lenb = (body_len as u32).to_le_bytes();
+    buf[body_start - 4..body_start].copy_from_slice(&lenb);
+    let digest = fnv1a(&buf[body_start..]);
+    buf.extend_from_slice(&digest.to_le_bytes());
+}
+
+/// Verifies the envelope of the frame at the start of `buf` — magic,
+/// version, expected kind, length, and body digest, in that order —
+/// and returns a body [`Reader`] plus the total frame size (so callers
+/// can walk concatenated frames). No body byte is interpreted before
+/// the digest matches.
+pub fn open_frame(buf: &[u8], kind: u8) -> Result<(Reader<'_>, usize), WireError> {
+    if buf.len() < ENVELOPE_HEAD {
+        return Err(WireError::Truncated);
+    }
+    if buf[..3] != WIRE_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    if buf[3] != WIRE_VERSION {
+        return Err(WireError::BadVersion(buf[3]));
+    }
+    if buf[4] != kind {
+        return Err(WireError::BadKind {
+            expected: kind,
+            got: buf[4],
+        });
+    }
+    let len = u32::from_le_bytes(buf[5..9].try_into().expect("4-byte slice")) as usize;
+    let total = ENVELOPE_HEAD
+        .checked_add(len)
+        .and_then(|t| t.checked_add(ENVELOPE_TAIL))
+        .ok_or(WireError::Truncated)?;
+    if buf.len() < total {
+        return Err(WireError::Truncated);
+    }
+    let body = &buf[ENVELOPE_HEAD..ENVELOPE_HEAD + len];
+    let stored = u64::from_le_bytes(
+        buf[ENVELOPE_HEAD + len..total]
+            .try_into()
+            .expect("8-byte slice"),
+    );
+    if fnv1a(body) != stored {
+        return Err(WireError::Checksum);
+    }
+    Ok((Reader::new(body), total))
+}
+
+// ---------------------------------------------------------------------
+// Stage-delta section (shared by batch and summary frames)
+// ---------------------------------------------------------------------
+
+const ATOM_FRAME: u8 = 1;
+const ATOM_PATH: u8 = 2;
+const ATOM_REMOTE: u8 = 3;
+
+// Per-delta section-presence flags. Steady-state deltas are sparse —
+// most epochs bring no new interned frames, contexts, or synopses, and
+// often no crosstalk — so every section is gated behind a bit and
+// empty sections cost nothing. `F_CHECKSUM` marks a stored checksum
+// that differs from the canonical [`StageDelta::compute_checksum`] of
+// the content (a corrupt emitter, preserved verbatim for the struct
+// path to quarantine); clean deltas omit the 8 bytes and the decoder
+// re-derives the canonical value.
+const F_FRAMES: u64 = 1 << 0;
+const F_CONTEXTS: u64 = 1 << 1;
+const F_SYNOPSES: u64 = 1 << 2;
+const F_CCTS: u64 = 1 << 3;
+const F_PAIRS: u64 = 1 << 4;
+const F_WAITERS: u64 = 1 << 5;
+const F_PIGGYBACK: u64 = 1 << 6;
+const F_MESSAGES: u64 = 1 << 7;
+const F_CHECKSUM: u64 = 1 << 8;
+const F_ALL: u64 = (1 << 9) - 1;
+
+fn put_atom(buf: &mut Vec<u8>, a: &DumpAtom) {
+    match a {
+        DumpAtom::Frame(f) => {
+            buf.push(ATOM_FRAME);
+            put_u32(buf, *f);
+        }
+        DumpAtom::Path(p) => {
+            buf.push(ATOM_PATH);
+            put_u64(buf, p.len() as u64);
+            for &f in p {
+                put_u32(buf, f);
+            }
+        }
+        DumpAtom::Remote(chain) => {
+            buf.push(ATOM_REMOTE);
+            put_u64(buf, chain.len() as u64);
+            for &s in chain {
+                put_u64(buf, s);
+            }
+        }
+    }
+}
+
+fn get_atom(r: &mut Reader<'_>) -> Result<DumpAtom, WireError> {
+    match r.u8()? {
+        ATOM_FRAME => Ok(DumpAtom::Frame(r.u32()?)),
+        ATOM_PATH => {
+            let n = r.count()?;
+            let mut p = Vec::with_capacity(n);
+            for _ in 0..n {
+                p.push(r.u32()?);
+            }
+            Ok(DumpAtom::Path(p))
+        }
+        ATOM_REMOTE => {
+            let n = r.count()?;
+            let mut c = Vec::with_capacity(n);
+            for _ in 0..n {
+                c.push(r.u64()?);
+            }
+            Ok(DumpAtom::Remote(c))
+        }
+        _ => Err(WireError::Malformed("unknown context atom tag")),
+    }
+}
+
+/// Appends one delta's columnar section to a frame body. Layout (all
+/// varints unless noted): stage, seq, section-presence flags; then
+/// only the sections whose flag bit is set — frame strings; contexts
+/// (tagged atoms — inherently ragged, so row-encoded); synopsis ctx
+/// column (DoD) + raw column; CCT header columns (ctx DoD, baseline
+/// sizes, new-node counts, grown counts) followed by the node field
+/// columns across *all* CCTs (frame+1, parent+1, samples, cycles,
+/// calls) and the grown field columns (index, Δsamples, Δcycles,
+/// Δcalls); crosstalk pair columns (waiter DoD, holder, count, wait);
+/// waiter columns; piggyback bytes; messages; and — only when it
+/// differs from the canonical recomputable value — the stored
+/// end-to-end checksum as 8 raw bytes (a wrong checksum must
+/// round-trip verbatim: the struct path revalidates it, which is what
+/// the damage matrix locks).
+/// Builds the per-frame interned string table over a run of deltas:
+/// every distinct `new_frames` string, in first-use order. Delta frame
+/// sections then reference strings by table index, so a fleet of
+/// replicas interning the same frame names pays each name's bytes once
+/// per wire frame instead of once per stage.
+fn collect_dict(deltas: &[StageDelta]) -> (Vec<&str>, HashMap<&str, u64>) {
+    let mut table = Vec::new();
+    let mut dict = HashMap::new();
+    for d in deltas {
+        for f in &d.new_frames {
+            let s = f.as_str();
+            if !dict.contains_key(s) {
+                dict.insert(s, table.len() as u64);
+                table.push(s);
+            }
+        }
+    }
+    (table, dict)
+}
+
+/// Appends a [`collect_dict`] string table: count, then the strings.
+fn put_dict(buf: &mut Vec<u8>, table: &[&str]) {
+    put_u64(buf, table.len() as u64);
+    for s in table {
+        put_str(buf, s);
+    }
+}
+
+/// Reads a frame's string table back as borrowed slices of the frame
+/// body — deltas copy out only the strings they actually intern.
+fn get_dict<'a>(r: &mut Reader<'a>) -> Result<Vec<&'a str>, WireError> {
+    let n = r.count()?;
+    let mut table = Vec::with_capacity(n);
+    for _ in 0..n {
+        table.push(r.str()?);
+    }
+    Ok(table)
+}
+
+pub(crate) fn put_delta(buf: &mut Vec<u8>, d: &StageDelta, dict: &HashMap<&str, u64>) {
+    let mut flags = 0u64;
+    if !d.new_frames.is_empty() {
+        flags |= F_FRAMES;
+    }
+    if !d.new_contexts.is_empty() {
+        flags |= F_CONTEXTS;
+    }
+    if !d.new_synopses.is_empty() {
+        flags |= F_SYNOPSES;
+    }
+    if !d.ccts.is_empty() {
+        flags |= F_CCTS;
+    }
+    if !d.pairs.is_empty() {
+        flags |= F_PAIRS;
+    }
+    if !d.waiters.is_empty() {
+        flags |= F_WAITERS;
+    }
+    if d.piggyback_bytes != 0 {
+        flags |= F_PIGGYBACK;
+    }
+    if d.messages != 0 {
+        flags |= F_MESSAGES;
+    }
+    if d.checksum != d.compute_checksum() {
+        flags |= F_CHECKSUM;
+    }
+    put_u64(buf, d.stage as u64);
+    put_u64(buf, d.seq);
+    put_u64(buf, flags);
+    if flags & F_FRAMES != 0 {
+        put_u64(buf, d.new_frames.len() as u64);
+        for f in &d.new_frames {
+            put_u64(buf, dict[f.as_str()]);
+        }
+    }
+    if flags & F_CONTEXTS != 0 {
+        put_u64(buf, d.new_contexts.len() as u64);
+        for c in &d.new_contexts {
+            put_u64(buf, c.atoms.len() as u64);
+            for a in &c.atoms {
+                put_atom(buf, a);
+            }
+        }
+    }
+    if flags & F_SYNOPSES != 0 {
+        put_u64(buf, d.new_synopses.len() as u64);
+        let mut w = DodWriter::new();
+        for &(_, ctx) in &d.new_synopses {
+            w.push(buf, ctx as u64);
+        }
+        for &(raw, _) in &d.new_synopses {
+            put_u64(buf, raw);
+        }
+    }
+    if flags & F_CCTS != 0 {
+        put_u64(buf, d.ccts.len() as u64);
+        let mut w = DodWriter::new();
+        for c in &d.ccts {
+            w.push(buf, c.ctx as u64);
+        }
+        for c in &d.ccts {
+            put_u64(buf, c.nodes_before as u64);
+        }
+        for c in &d.ccts {
+            put_u64(buf, c.new_nodes.len() as u64);
+        }
+        for c in &d.ccts {
+            put_u64(buf, c.grown.len() as u64);
+        }
+        for c in &d.ccts {
+            for n in &c.new_nodes {
+                put_opt_u32(buf, n.frame);
+            }
+        }
+        for c in &d.ccts {
+            for n in &c.new_nodes {
+                put_opt_u32(buf, n.parent);
+            }
+        }
+        for c in &d.ccts {
+            for n in &c.new_nodes {
+                put_u64(buf, n.samples);
+            }
+        }
+        for c in &d.ccts {
+            for n in &c.new_nodes {
+                put_u64(buf, n.cycles);
+            }
+        }
+        for c in &d.ccts {
+            for n in &c.new_nodes {
+                put_u64(buf, n.calls);
+            }
+        }
+        for c in &d.ccts {
+            for &(i, ..) in &c.grown {
+                put_u64(buf, i as u64);
+            }
+        }
+        for c in &d.ccts {
+            for &(_, s, ..) in &c.grown {
+                put_u64(buf, s);
+            }
+        }
+        for c in &d.ccts {
+            for &(_, _, cy, _) in &c.grown {
+                put_u64(buf, cy);
+            }
+        }
+        for c in &d.ccts {
+            for &(.., ca) in &c.grown {
+                put_u64(buf, ca);
+            }
+        }
+    }
+    if flags & F_PAIRS != 0 {
+        put_u64(buf, d.pairs.len() as u64);
+        let mut w = DodWriter::new();
+        for p in &d.pairs {
+            w.push(buf, p.waiter as u64);
+        }
+        for p in &d.pairs {
+            put_u64(buf, p.holder as u64);
+        }
+        for p in &d.pairs {
+            put_u64(buf, p.count);
+        }
+        for p in &d.pairs {
+            put_u64(buf, p.total_wait);
+        }
+    }
+    if flags & F_WAITERS != 0 {
+        put_u64(buf, d.waiters.len() as u64);
+        let mut w = DodWriter::new();
+        for x in &d.waiters {
+            w.push(buf, x.waiter as u64);
+        }
+        for x in &d.waiters {
+            put_u64(buf, x.count);
+        }
+        for x in &d.waiters {
+            put_u64(buf, x.total_wait);
+        }
+    }
+    if flags & F_PIGGYBACK != 0 {
+        put_u64(buf, d.piggyback_bytes);
+    }
+    if flags & F_MESSAGES != 0 {
+        put_u64(buf, d.messages);
+    }
+    if flags & F_CHECKSUM != 0 {
+        buf.extend_from_slice(&d.checksum.to_le_bytes());
+    }
+}
+
+/// Parses one delta section back into a [`StageDelta`] (the struct /
+/// differential-testing path; [`apply_batch`] is the hot path).
+pub(crate) fn get_delta(r: &mut Reader<'_>, table: &[&str]) -> Result<StageDelta, WireError> {
+    let stage = as_usize(r.u64()?)?;
+    let seq = r.u64()?;
+    let flags = r.u64()?;
+    if flags & !F_ALL != 0 {
+        return Err(WireError::Malformed("unknown delta section flag"));
+    }
+    let mut new_frames = Vec::new();
+    if flags & F_FRAMES != 0 {
+        let nf = r.count()?;
+        new_frames.reserve(nf);
+        for _ in 0..nf {
+            let i = as_usize(r.u64()?)?;
+            let s = *table
+                .get(i)
+                .ok_or(WireError::Malformed("frame string index out of range"))?;
+            new_frames.push(s.to_owned());
+        }
+    }
+    let mut new_contexts = Vec::new();
+    if flags & F_CONTEXTS != 0 {
+        let ncx = r.count()?;
+        new_contexts.reserve(ncx);
+        for _ in 0..ncx {
+            let na = r.count()?;
+            let mut atoms = Vec::with_capacity(na);
+            for _ in 0..na {
+                atoms.push(get_atom(r)?);
+            }
+            new_contexts.push(DumpContext { atoms });
+        }
+    }
+    let mut new_synopses = Vec::new();
+    if flags & F_SYNOPSES != 0 {
+        let ns = r.count()?;
+        let mut syn_ctx = Vec::with_capacity(ns);
+        let mut dr = DodReader::new();
+        for _ in 0..ns {
+            syn_ctx.push(as_u32(dr.next(r)?)?);
+        }
+        new_synopses.reserve(ns);
+        for &ctx in &syn_ctx {
+            new_synopses.push((r.u64()?, ctx));
+        }
+    }
+    let ccts = if flags & F_CCTS != 0 {
+        get_cct_section(r)?
+    } else {
+        Vec::new()
+    };
+    let mut pairs = Vec::new();
+    if flags & F_PAIRS != 0 {
+        let np = r.count()?;
+        let mut waiter_col = Vec::with_capacity(np);
+        let mut dr = DodReader::new();
+        for _ in 0..np {
+            waiter_col.push(as_u32(dr.next(r)?)?);
+        }
+        let mut holder_col = Vec::with_capacity(np);
+        for _ in 0..np {
+            holder_col.push(r.u32()?);
+        }
+        let mut count_col = Vec::with_capacity(np);
+        for _ in 0..np {
+            count_col.push(r.u64()?);
+        }
+        pairs.reserve(np);
+        for i in 0..np {
+            pairs.push(DumpCrosstalkPair {
+                waiter: waiter_col[i],
+                holder: holder_col[i],
+                count: count_col[i],
+                total_wait: r.u64()?,
+            });
+        }
+    }
+    let mut waiters = Vec::new();
+    if flags & F_WAITERS != 0 {
+        let nw = r.count()?;
+        let mut wwaiter_col = Vec::with_capacity(nw);
+        let mut dr = DodReader::new();
+        for _ in 0..nw {
+            wwaiter_col.push(as_u32(dr.next(r)?)?);
+        }
+        let mut wcount_col = Vec::with_capacity(nw);
+        for _ in 0..nw {
+            wcount_col.push(r.u64()?);
+        }
+        waiters.reserve(nw);
+        for i in 0..nw {
+            waiters.push(DumpCrosstalkWaiter {
+                waiter: wwaiter_col[i],
+                count: wcount_col[i],
+                total_wait: r.u64()?,
+            });
+        }
+    }
+    let piggyback_bytes = if flags & F_PIGGYBACK != 0 { r.u64()? } else { 0 };
+    let messages = if flags & F_MESSAGES != 0 { r.u64()? } else { 0 };
+    let checksum = if flags & F_CHECKSUM != 0 {
+        Some(r.fixed_u64()?)
+    } else {
+        None
+    };
+    let mut d = StageDelta {
+        stage,
+        seq,
+        new_frames,
+        new_contexts,
+        new_synopses,
+        ccts,
+        pairs,
+        waiters,
+        piggyback_bytes,
+        messages,
+        checksum: 0,
+    };
+    d.checksum = checksum.unwrap_or_else(|| d.compute_checksum());
+    Ok(d)
+}
+
+/// Reads the CCT header columns and node/grown field columns back into
+/// per-context [`CctDelta`]s.
+fn get_cct_section(r: &mut Reader<'_>) -> Result<Vec<CctDelta>, WireError> {
+    let nc = r.count()?;
+    let mut ctx_col = Vec::with_capacity(nc);
+    let mut dr = DodReader::new();
+    for _ in 0..nc {
+        ctx_col.push(as_u32(dr.next(r)?)?);
+    }
+    let mut before_col = Vec::with_capacity(nc);
+    for _ in 0..nc {
+        before_col.push(r.u32()?);
+    }
+    let mut nnew = Vec::with_capacity(nc);
+    let mut total_new = 0u64;
+    for _ in 0..nc {
+        let n = r.u64()?;
+        if n > r.remaining() as u64 {
+            return Err(WireError::Malformed("count exceeds frame size"));
+        }
+        total_new += n;
+        nnew.push(as_usize(n)?);
+    }
+    let mut ngrown = Vec::with_capacity(nc);
+    let mut total_grown = 0u64;
+    for _ in 0..nc {
+        let n = r.u64()?;
+        if n > r.remaining() as u64 {
+            return Err(WireError::Malformed("count exceeds frame size"));
+        }
+        total_grown += n;
+        ngrown.push(as_usize(n)?);
+    }
+    if total_new > r.remaining() as u64 || total_grown > r.remaining() as u64 {
+        return Err(WireError::Malformed("count exceeds frame size"));
+    }
+    let (total_new, total_grown) = (total_new as usize, total_grown as usize);
+    let mut frame_col = Vec::with_capacity(total_new);
+    for _ in 0..total_new {
+        frame_col.push(opt_u32(r.u64()?)?);
+    }
+    let mut parent_col = Vec::with_capacity(total_new);
+    for _ in 0..total_new {
+        parent_col.push(opt_u32(r.u64()?)?);
+    }
+    let mut samples_col = Vec::with_capacity(total_new);
+    for _ in 0..total_new {
+        samples_col.push(r.u64()?);
+    }
+    let mut cycles_col = Vec::with_capacity(total_new);
+    for _ in 0..total_new {
+        cycles_col.push(r.u64()?);
+    }
+    let mut calls_col = Vec::with_capacity(total_new);
+    for _ in 0..total_new {
+        calls_col.push(r.u64()?);
+    }
+    let mut gidx_col = Vec::with_capacity(total_grown);
+    for _ in 0..total_grown {
+        gidx_col.push(r.u32()?);
+    }
+    let mut gs_col = Vec::with_capacity(total_grown);
+    for _ in 0..total_grown {
+        gs_col.push(r.u64()?);
+    }
+    let mut gcy_col = Vec::with_capacity(total_grown);
+    for _ in 0..total_grown {
+        gcy_col.push(r.u64()?);
+    }
+    let mut ccts = Vec::with_capacity(nc);
+    let (mut ni, mut gi) = (0usize, 0usize);
+    for k in 0..nc {
+        let mut new_nodes = Vec::with_capacity(nnew[k]);
+        for _ in 0..nnew[k] {
+            new_nodes.push(DumpNode {
+                frame: frame_col[ni],
+                parent: parent_col[ni],
+                samples: samples_col[ni],
+                cycles: cycles_col[ni],
+                calls: calls_col[ni],
+            });
+            ni += 1;
+        }
+        let mut grown = Vec::with_capacity(ngrown[k]);
+        for _ in 0..ngrown[k] {
+            grown.push((gidx_col[gi], gs_col[gi], gcy_col[gi], r.u64()?));
+            gi += 1;
+        }
+        ccts.push(CctDelta {
+            ctx: ctx_col[k],
+            nodes_before: before_col[k],
+            new_nodes,
+            grown,
+        });
+    }
+    Ok(ccts)
+}
+
+// ---------------------------------------------------------------------
+// Frame codecs: header, batch, summary, sketch, repro
+// ---------------------------------------------------------------------
+
+/// Encodes a [`StreamHeader`] as a [`KIND_HEADER`] frame.
+pub fn encode_header(h: &StreamHeader) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    let body = begin_frame(&mut buf, KIND_HEADER);
+    put_u64(&mut buf, h.stages.len() as u64);
+    for s in &h.stages {
+        put_u64(&mut buf, s.proc as u64);
+        put_str(&mut buf, &s.stage_name);
+    }
+    end_frame(&mut buf, body);
+    buf
+}
+
+/// Decodes a [`KIND_HEADER`] frame, returning the header and the total
+/// frame size consumed from `buf`.
+pub fn decode_header(buf: &[u8]) -> Result<(StreamHeader, usize), WireError> {
+    let (mut r, consumed) = open_frame(buf, KIND_HEADER)?;
+    let n = r.count()?;
+    let mut stages = Vec::with_capacity(n);
+    for _ in 0..n {
+        stages.push(StreamStage {
+            proc: r.u32()?,
+            stage_name: r.str()?.to_owned(),
+        });
+    }
+    if r.remaining() != 0 {
+        return Err(WireError::Malformed("trailing bytes in header body"));
+    }
+    Ok((StreamHeader { stages }, consumed))
+}
+
+/// Encodes an [`EpochBatch`] as a [`KIND_BATCH`] frame.
+pub fn encode_batch(b: &EpochBatch) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(256);
+    let body = begin_frame(&mut buf, KIND_BATCH);
+    put_u64(&mut buf, b.epoch);
+    put_u64(&mut buf, b.seq);
+    put_u64(&mut buf, b.end);
+    let (table, dict) = collect_dict(&b.deltas);
+    put_dict(&mut buf, &table);
+    put_u64(&mut buf, b.deltas.len() as u64);
+    for d in &b.deltas {
+        put_delta(&mut buf, d, &dict);
+    }
+    end_frame(&mut buf, body);
+    buf
+}
+
+/// Decodes a [`KIND_BATCH`] frame into the [`EpochBatch`] structs (the
+/// differential-testing path; ingest uses [`apply_batch`]), returning
+/// the batch and the total frame size consumed.
+pub fn decode_batch(buf: &[u8]) -> Result<(EpochBatch, usize), WireError> {
+    let (mut r, consumed) = open_frame(buf, KIND_BATCH)?;
+    let epoch = r.u64()?;
+    let seq = r.u64()?;
+    let end = r.u64()?;
+    let table = get_dict(&mut r)?;
+    let n = r.count()?;
+    let mut deltas = Vec::with_capacity(n);
+    for _ in 0..n {
+        deltas.push(get_delta(&mut r, &table)?);
+    }
+    if r.remaining() != 0 {
+        return Err(WireError::Malformed("trailing bytes in batch body"));
+    }
+    Ok((
+        EpochBatch {
+            epoch,
+            seq,
+            end,
+            deltas,
+        },
+        consumed,
+    ))
+}
+
+/// Appends a sparse bucket list (ascending indices) as an index DoD
+/// column plus a count column — the shared tail of the sketch and
+/// summary codecs.
+pub(crate) fn put_buckets(buf: &mut Vec<u8>, buckets: &[(u32, u64)]) {
+    put_u64(buf, buckets.len() as u64);
+    let mut w = DodWriter::new();
+    for &(b, _) in buckets {
+        w.push(buf, b as u64);
+    }
+    for &(_, c) in buckets {
+        put_u64(buf, c);
+    }
+}
+
+/// Reads a [`put_buckets`] bucket list back.
+pub(crate) fn get_buckets(r: &mut Reader<'_>) -> Result<Vec<(u32, u64)>, WireError> {
+    let n = r.count()?;
+    let mut idx = Vec::with_capacity(n);
+    let mut dr = DodReader::new();
+    for _ in 0..n {
+        idx.push(as_u32(dr.next(r)?)?);
+    }
+    let mut out = Vec::with_capacity(n);
+    for &b in &idx {
+        out.push((b, r.u64()?));
+    }
+    Ok(out)
+}
+
+/// Encodes a federation [`SummaryFrame`] as a [`KIND_SUMMARY`] frame —
+/// the byte form the federation links ship. Deltas reuse the batch
+/// delta section; freight (sketches, leaf mass, gauges) is columnar.
+pub fn encode_summary(f: &SummaryFrame) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(256);
+    let body = begin_frame(&mut buf, KIND_SUMMARY);
+    put_u64(&mut buf, f.src as u64);
+    put_u64(&mut buf, f.seq);
+    put_u64(&mut buf, f.first_epoch);
+    put_u64(&mut buf, f.last_epoch);
+    put_u64(&mut buf, f.end);
+    let (table, dict) = collect_dict(&f.deltas);
+    put_dict(&mut buf, &table);
+    put_u64(&mut buf, f.deltas.len() as u64);
+    for d in &f.deltas {
+        put_delta(&mut buf, d, &dict);
+    }
+    put_u64(&mut buf, f.sketches.len() as u64);
+    for s in &f.sketches {
+        put_str(&mut buf, &s.tier);
+        put_u64(&mut buf, s.max);
+        put_buckets(&mut buf, &s.buckets);
+    }
+    put_u64(&mut buf, f.leaf_mass.len() as u64);
+    let mut w = DodWriter::new();
+    for &(leaf, _) in &f.leaf_mass {
+        w.push(&mut buf, leaf as u64);
+    }
+    for &(_, m) in &f.leaf_mass {
+        put_u64(&mut buf, m);
+    }
+    put_u64(&mut buf, f.gauges.len() as u64);
+    let mut w = DodWriter::new();
+    for &(leaf, _) in &f.gauges {
+        w.push(&mut buf, leaf as u64);
+    }
+    for &(_, g) in &f.gauges {
+        put_u64(&mut buf, g.last_epoch);
+    }
+    for &(_, g) in &f.gauges {
+        put_u64(&mut buf, g.events);
+    }
+    for &(_, g) in &f.gauges {
+        put_u64(&mut buf, g.mass);
+    }
+    for &(_, g) in &f.gauges {
+        put_u64(&mut buf, g.lag_frames);
+    }
+    for &(_, g) in &f.gauges {
+        put_u64(&mut buf, g.checkpoints);
+    }
+    for &(_, g) in &f.gauges {
+        put_u64(&mut buf, g.recoveries);
+    }
+    buf.extend_from_slice(&f.checksum.to_le_bytes());
+    end_frame(&mut buf, body);
+    buf
+}
+
+/// Decodes a [`KIND_SUMMARY`] frame, returning the frame and the total
+/// bytes consumed. The stored end-to-end checksum round-trips verbatim;
+/// callers still run [`SummaryFrame::verify`] as on the struct path.
+pub fn decode_summary(buf: &[u8]) -> Result<(SummaryFrame, usize), WireError> {
+    let (mut r, consumed) = open_frame(buf, KIND_SUMMARY)?;
+    let src = r.u32()?;
+    let seq = r.u64()?;
+    let first_epoch = r.u64()?;
+    let last_epoch = r.u64()?;
+    let end = r.u64()?;
+    let table = get_dict(&mut r)?;
+    let nd = r.count()?;
+    let mut deltas = Vec::with_capacity(nd);
+    for _ in 0..nd {
+        deltas.push(get_delta(&mut r, &table)?);
+    }
+    let nsk = r.count()?;
+    let mut sketches = Vec::with_capacity(nsk);
+    for _ in 0..nsk {
+        let tier = r.str()?.to_owned();
+        let max = r.u64()?;
+        let buckets = get_buckets(&mut r)?;
+        sketches.push(TierSketch { tier, max, buckets });
+    }
+    let nlm = r.count()?;
+    let mut leaf_col = Vec::with_capacity(nlm);
+    let mut dr = DodReader::new();
+    for _ in 0..nlm {
+        leaf_col.push(as_u32(dr.next(&mut r)?)?);
+    }
+    let mut leaf_mass = Vec::with_capacity(nlm);
+    for &leaf in &leaf_col {
+        leaf_mass.push((leaf, r.u64()?));
+    }
+    let ng = r.count()?;
+    let mut gleaf_col = Vec::with_capacity(ng);
+    let mut dr = DodReader::new();
+    for _ in 0..ng {
+        gleaf_col.push(as_u32(dr.next(&mut r)?)?);
+    }
+    let mut gauges: Vec<(u32, LeafGauges)> = gleaf_col
+        .iter()
+        .map(|&leaf| (leaf, LeafGauges::default()))
+        .collect();
+    for g in &mut gauges {
+        g.1.last_epoch = r.u64()?;
+    }
+    for g in &mut gauges {
+        g.1.events = r.u64()?;
+    }
+    for g in &mut gauges {
+        g.1.mass = r.u64()?;
+    }
+    for g in &mut gauges {
+        g.1.lag_frames = r.u64()?;
+    }
+    for g in &mut gauges {
+        g.1.checkpoints = r.u64()?;
+    }
+    for g in &mut gauges {
+        g.1.recoveries = r.u64()?;
+    }
+    let checksum = r.fixed_u64()?;
+    if r.remaining() != 0 {
+        return Err(WireError::Malformed("trailing bytes in summary body"));
+    }
+    Ok((
+        SummaryFrame {
+            src,
+            seq,
+            first_epoch,
+            last_epoch,
+            end,
+            deltas,
+            sketches,
+            leaf_mass,
+            gauges,
+            checksum,
+        },
+        consumed,
+    ))
+}
+
+/// Encodes a [`QuantileSketch`] digest (its sparse wire form) as a
+/// [`KIND_SKETCH`] frame.
+pub fn encode_sketch(s: &QuantileSketch) -> Vec<u8> {
+    let (max, buckets) = s.to_wire();
+    let mut buf = Vec::with_capacity(64);
+    let body = begin_frame(&mut buf, KIND_SKETCH);
+    put_u64(&mut buf, max);
+    put_buckets(&mut buf, &buckets);
+    end_frame(&mut buf, body);
+    buf
+}
+
+/// Decodes a [`KIND_SKETCH`] frame back into a sketch that merges and
+/// queries bit-identically to the encoded one.
+pub fn decode_sketch(buf: &[u8]) -> Result<(QuantileSketch, usize), WireError> {
+    let (mut r, consumed) = open_frame(buf, KIND_SKETCH)?;
+    let max = r.u64()?;
+    let buckets = get_buckets(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(WireError::Malformed("trailing bytes in sketch body"));
+    }
+    Ok((QuantileSketch::from_wire(max, &buckets), consumed))
+}
+
+const FAULT_DROP: u8 = 1;
+const FAULT_DUP: u8 = 2;
+const FAULT_DELAY: u8 = 3;
+const FAULT_CRASH: u8 = 4;
+const FAULT_SLOWDOWN: u8 = 5;
+
+/// Encodes a [`ChaosRepro`] bundle as a [`KIND_REPRO`] frame — the
+/// binary sibling of [`crate::repro::repro_to_json`], for embedding
+/// repro bundles in wire streams (the JSON form stays the on-disk
+/// format).
+pub fn encode_repro(rep: &ChaosRepro) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(128);
+    let body = begin_frame(&mut buf, KIND_REPRO);
+    put_u64(&mut buf, rep.seed);
+    put_str(&mut buf, &rep.policy);
+    put_u64(&mut buf, rep.workload.len() as u64);
+    for (k, v) in &rep.workload {
+        put_str(&mut buf, k);
+        put_u64(&mut buf, *v);
+    }
+    put_u64(&mut buf, rep.faults.len() as u64);
+    for f in &rep.faults {
+        match f {
+            FaultEntry::Drop { chan, ppm } => {
+                buf.push(FAULT_DROP);
+                put_str(&mut buf, chan);
+                put_u64(&mut buf, *ppm);
+            }
+            FaultEntry::Dup { chan, ppm } => {
+                buf.push(FAULT_DUP);
+                put_str(&mut buf, chan);
+                put_u64(&mut buf, *ppm);
+            }
+            FaultEntry::Delay { chan, ppm, cycles } => {
+                buf.push(FAULT_DELAY);
+                put_str(&mut buf, chan);
+                put_u64(&mut buf, *ppm);
+                put_u64(&mut buf, *cycles);
+            }
+            FaultEntry::Crash { proc, at } => {
+                buf.push(FAULT_CRASH);
+                put_str(&mut buf, proc);
+                put_u64(&mut buf, *at);
+            }
+            FaultEntry::Slowdown {
+                machine,
+                from,
+                until,
+                factor,
+            } => {
+                buf.push(FAULT_SLOWDOWN);
+                put_str(&mut buf, machine);
+                put_u64(&mut buf, *from);
+                put_u64(&mut buf, *until);
+                put_u64(&mut buf, *factor);
+            }
+        }
+    }
+    match &rep.violation {
+        Some(v) => {
+            buf.push(1);
+            put_str(&mut buf, v);
+        }
+        None => buf.push(0),
+    }
+    match &rep.window {
+        Some(w) => {
+            buf.push(1);
+            put_u64(&mut buf, w.epoch_len);
+            put_u64(&mut buf, w.start);
+            put_u64(&mut buf, w.end);
+            put_str(&mut buf, &w.dimension);
+        }
+        None => buf.push(0),
+    }
+    end_frame(&mut buf, body);
+    buf
+}
+
+/// Decodes a [`KIND_REPRO`] frame, returning the bundle and the total
+/// bytes consumed.
+pub fn decode_repro(buf: &[u8]) -> Result<(ChaosRepro, usize), WireError> {
+    let (mut r, consumed) = open_frame(buf, KIND_REPRO)?;
+    let seed = r.u64()?;
+    let policy = r.str()?.to_owned();
+    let nw = r.count()?;
+    let mut workload = Vec::with_capacity(nw);
+    for _ in 0..nw {
+        let k = r.str()?.to_owned();
+        workload.push((k, r.u64()?));
+    }
+    let nf = r.count()?;
+    let mut faults = Vec::with_capacity(nf);
+    for _ in 0..nf {
+        faults.push(match r.u8()? {
+            FAULT_DROP => FaultEntry::Drop {
+                chan: r.str()?.to_owned(),
+                ppm: r.u64()?,
+            },
+            FAULT_DUP => FaultEntry::Dup {
+                chan: r.str()?.to_owned(),
+                ppm: r.u64()?,
+            },
+            FAULT_DELAY => FaultEntry::Delay {
+                chan: r.str()?.to_owned(),
+                ppm: r.u64()?,
+                cycles: r.u64()?,
+            },
+            FAULT_CRASH => FaultEntry::Crash {
+                proc: r.str()?.to_owned(),
+                at: r.u64()?,
+            },
+            FAULT_SLOWDOWN => FaultEntry::Slowdown {
+                machine: r.str()?.to_owned(),
+                from: r.u64()?,
+                until: r.u64()?,
+                factor: r.u64()?,
+            },
+            _ => return Err(WireError::Malformed("unknown fault tag")),
+        });
+    }
+    let violation = match r.u8()? {
+        0 => None,
+        1 => Some(r.str()?.to_owned()),
+        _ => return Err(WireError::Malformed("bad option tag")),
+    };
+    let window = match r.u8()? {
+        0 => None,
+        1 => Some(ReproWindow {
+            epoch_len: r.u64()?,
+            start: r.u64()?,
+            end: r.u64()?,
+            dimension: r.str()?.to_owned(),
+        }),
+        _ => return Err(WireError::Malformed("bad option tag")),
+    };
+    if r.remaining() != 0 {
+        return Err(WireError::Malformed("trailing bytes in repro body"));
+    }
+    Ok((
+        ChaosRepro {
+            seed,
+            policy,
+            workload,
+            faults,
+            violation,
+            window,
+        },
+        consumed,
+    ))
+}
+
+// ---------------------------------------------------------------------
+// The ingest fast path: columns straight into the accumulator
+// ---------------------------------------------------------------------
+
+/// What [`apply_batch`] learned about the frame it applied.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct WireBatchInfo {
+    /// Epoch index the batch covers.
+    pub epoch: u64,
+    /// Global batch sequence number.
+    pub seq: u64,
+    /// Virtual time at the end of the epoch.
+    pub end: u64,
+    /// Total change events applied (matches [`EpochBatch::events`]).
+    pub events: u64,
+    /// Total frame bytes consumed from the buffer.
+    pub consumed: usize,
+}
+
+/// Reusable column scratch so a stream of batches allocates once, not
+/// once per delta.
+#[derive(Default)]
+struct ApplyScratch {
+    syn_ctx: Vec<u32>,
+    cct_ctx: Vec<u32>,
+    cct_new: Vec<usize>,
+    cct_grown: Vec<usize>,
+    cct_start: Vec<usize>,
+    grown_idx: Vec<u32>,
+    key_a: Vec<u32>,
+    key_b: Vec<u32>,
+    val_a: Vec<u64>,
+}
+
+/// Decodes a [`KIND_BATCH`] frame **directly into** the per-stage
+/// accumulators — the ingest hot path. No [`StageDelta`] or
+/// [`EpochBatch`] is materialized: each column is streamed straight
+/// into the accumulator's dense Vec-by-ctx-id layout.
+///
+/// Sequence numbers and structural baselines (CCT sizes, growth
+/// targets, synopsis re-mints) are still validated, but the per-delta
+/// lane-checksum recompute of [`StageAccumulator::apply`] is skipped:
+/// the envelope's byte digest — verified by [`open_frame`] before any
+/// parsing — already authenticated the transport. Unlike the struct
+/// path, a mid-frame error is **not** transactional: the accumulators
+/// may hold a prefix of the batch and must be discarded (the collector
+/// keeps its own quarantine mirror for that; the benches only feed
+/// this path verified-clean streams).
+pub fn apply_batch(
+    accs: &mut [StageAccumulator],
+    buf: &[u8],
+) -> Result<WireBatchInfo, WireError> {
+    let (mut r, consumed) = open_frame(buf, KIND_BATCH)?;
+    let epoch = r.u64()?;
+    let seq = r.u64()?;
+    let end = r.u64()?;
+    let table = get_dict(&mut r)?;
+    let nd = r.count()?;
+    let mut events = 0u64;
+    let mut scratch = ApplyScratch::default();
+    for _ in 0..nd {
+        events += apply_delta(accs, &mut r, &mut scratch, &table)?;
+    }
+    if r.remaining() != 0 {
+        return Err(WireError::Malformed("trailing bytes in batch body"));
+    }
+    Ok(WireBatchInfo {
+        epoch,
+        seq,
+        end,
+        events,
+        consumed,
+    })
+}
+
+fn apply_delta(
+    accs: &mut [StageAccumulator],
+    r: &mut Reader<'_>,
+    sc: &mut ApplyScratch,
+    table: &[&str],
+) -> Result<u64, WireError> {
+    let stage = as_usize(r.u64()?)?;
+    if stage >= accs.len() {
+        return Err(WireError::Malformed("stage index out of range"));
+    }
+    let seq = r.u64()?;
+    let acc = &mut accs[stage];
+    if seq != acc.next_seq {
+        return Err(WireError::Malformed("sequence gap on fast apply"));
+    }
+    let flags = r.u64()?;
+    if flags & !F_ALL != 0 {
+        return Err(WireError::Malformed("unknown delta section flag"));
+    }
+    let mut events = 0u64;
+
+    // Intern-table tails.
+    if flags & F_FRAMES != 0 {
+        let nf = r.count()?;
+        acc.frames.reserve(nf);
+        for _ in 0..nf {
+            let i = as_usize(r.u64()?)?;
+            let s = *table
+                .get(i)
+                .ok_or(WireError::Malformed("frame string index out of range"))?;
+            acc.frames.push(s.to_owned());
+        }
+        events += nf as u64;
+    }
+    if flags & F_CONTEXTS != 0 {
+        let ncx = r.count()?;
+        acc.contexts.reserve(ncx);
+        for _ in 0..ncx {
+            let na = r.count()?;
+            let mut atoms = Vec::with_capacity(na);
+            for _ in 0..na {
+                atoms.push(get_atom(r)?);
+            }
+            acc.contexts.push(DumpContext { atoms });
+        }
+        events += ncx as u64;
+    }
+
+    // Synopses: ctx column, then raw column applied in place.
+    if flags & F_SYNOPSES != 0 {
+        let ns = r.count()?;
+        sc.syn_ctx.clear();
+        let mut dr = DodReader::new();
+        for _ in 0..ns {
+            sc.syn_ctx.push(as_u32(dr.next(r)?)?);
+        }
+        for i in 0..ns {
+            let raw = r.u64()?;
+            let ctx = sc.syn_ctx[i] as usize;
+            if acc.synopses.len() <= ctx {
+                acc.synopses.resize(ctx + 1, None);
+            }
+            if acc.synopses[ctx].is_some() {
+                return Err(WireError::Malformed("synopsis re-minted for a context"));
+            }
+            acc.synopses[ctx] = Some(raw);
+        }
+        events += ns as u64;
+    }
+
+    // CCT header columns, baseline validation, placeholder extension.
+    let nc = if flags & F_CCTS != 0 { r.count()? } else { 0 };
+    sc.cct_ctx.clear();
+    let mut dr = DodReader::new();
+    for _ in 0..nc {
+        sc.cct_ctx.push(as_u32(dr.next(r)?)?);
+    }
+    sc.cct_start.clear();
+    for k in 0..nc {
+        let before = as_usize(r.u64()?)?;
+        let i = sc.cct_ctx[k] as usize;
+        if acc.ccts.len() <= i {
+            acc.ccts.resize_with(i + 1, || None);
+        }
+        let nodes = acc.ccts[i].get_or_insert_with(Vec::new);
+        if nodes.len() != before {
+            return Err(WireError::Malformed("CCT baseline size mismatch"));
+        }
+        sc.cct_start.push(before);
+    }
+    sc.cct_new.clear();
+    let mut total_new = 0u64;
+    for k in 0..nc {
+        let n = r.u64()?;
+        if n > r.remaining() as u64 {
+            return Err(WireError::Malformed("count exceeds frame size"));
+        }
+        total_new += n;
+        let n = as_usize(n)?;
+        sc.cct_new.push(n);
+        let nodes = acc.ccts[sc.cct_ctx[k] as usize]
+            .as_mut()
+            .expect("cct slot initialized above");
+        nodes.resize(
+            sc.cct_start[k] + n,
+            DumpNode {
+                frame: None,
+                parent: None,
+                samples: 0,
+                cycles: 0,
+                calls: 0,
+            },
+        );
+    }
+    sc.cct_grown.clear();
+    let mut total_grown = 0u64;
+    for _ in 0..nc {
+        let n = r.u64()?;
+        if n > r.remaining() as u64 {
+            return Err(WireError::Malformed("count exceeds frame size"));
+        }
+        total_grown += n;
+        sc.cct_grown.push(as_usize(n)?);
+    }
+    events += total_new + total_grown;
+
+    // Node field columns, filled in place across all CCTs.
+    for k in 0..nc {
+        let nodes = acc.ccts[sc.cct_ctx[k] as usize]
+            .as_mut()
+            .expect("cct slot initialized above");
+        for j in 0..sc.cct_new[k] {
+            nodes[sc.cct_start[k] + j].frame = opt_u32(r.u64()?)?;
+        }
+    }
+    for k in 0..nc {
+        let nodes = acc.ccts[sc.cct_ctx[k] as usize]
+            .as_mut()
+            .expect("cct slot initialized above");
+        for j in 0..sc.cct_new[k] {
+            nodes[sc.cct_start[k] + j].parent = opt_u32(r.u64()?)?;
+        }
+    }
+    for k in 0..nc {
+        let nodes = acc.ccts[sc.cct_ctx[k] as usize]
+            .as_mut()
+            .expect("cct slot initialized above");
+        for j in 0..sc.cct_new[k] {
+            nodes[sc.cct_start[k] + j].samples = r.u64()?;
+        }
+    }
+    for k in 0..nc {
+        let nodes = acc.ccts[sc.cct_ctx[k] as usize]
+            .as_mut()
+            .expect("cct slot initialized above");
+        for j in 0..sc.cct_new[k] {
+            nodes[sc.cct_start[k] + j].cycles = r.u64()?;
+        }
+    }
+    for k in 0..nc {
+        let nodes = acc.ccts[sc.cct_ctx[k] as usize]
+            .as_mut()
+            .expect("cct slot initialized above");
+        for j in 0..sc.cct_new[k] {
+            nodes[sc.cct_start[k] + j].calls = r.u64()?;
+        }
+    }
+
+    // Grown columns: indices first (validated against the baseline),
+    // then the three increment columns folded in place.
+    sc.grown_idx.clear();
+    for _ in 0..total_grown {
+        sc.grown_idx.push(r.u32()?);
+    }
+    {
+        let mut g = 0usize;
+        for k in 0..nc {
+            for _ in 0..sc.cct_grown[k] {
+                if sc.grown_idx[g] as usize >= sc.cct_start[k] {
+                    return Err(WireError::Malformed("CCT growth targets a missing node"));
+                }
+                g += 1;
+            }
+        }
+    }
+    let mut g = 0usize;
+    for k in 0..nc {
+        let nodes = acc.ccts[sc.cct_ctx[k] as usize]
+            .as_mut()
+            .expect("cct slot initialized above");
+        for _ in 0..sc.cct_grown[k] {
+            nodes[sc.grown_idx[g] as usize].samples += r.u64()?;
+            g += 1;
+        }
+    }
+    let mut g = 0usize;
+    for k in 0..nc {
+        let nodes = acc.ccts[sc.cct_ctx[k] as usize]
+            .as_mut()
+            .expect("cct slot initialized above");
+        for _ in 0..sc.cct_grown[k] {
+            nodes[sc.grown_idx[g] as usize].cycles += r.u64()?;
+            g += 1;
+        }
+    }
+    let mut g = 0usize;
+    for k in 0..nc {
+        let nodes = acc.ccts[sc.cct_ctx[k] as usize]
+            .as_mut()
+            .expect("cct slot initialized above");
+        for _ in 0..sc.cct_grown[k] {
+            nodes[sc.grown_idx[g] as usize].calls += r.u64()?;
+            g += 1;
+        }
+    }
+
+    // Crosstalk pair columns.
+    let np = if flags & F_PAIRS != 0 { r.count()? } else { 0 };
+    sc.key_a.clear();
+    sc.key_b.clear();
+    sc.val_a.clear();
+    let mut dr = DodReader::new();
+    for _ in 0..np {
+        sc.key_a.push(as_u32(dr.next(r)?)?);
+    }
+    for _ in 0..np {
+        sc.key_b.push(r.u32()?);
+    }
+    for _ in 0..np {
+        sc.val_a.push(r.u64()?);
+    }
+    for i in 0..np {
+        let e = acc
+            .pairs
+            .entry((sc.key_a[i], sc.key_b[i]))
+            .or_insert((0, 0));
+        e.0 += sc.val_a[i];
+        e.1 += r.u64()?;
+    }
+    events += np as u64;
+
+    // Crosstalk waiter columns.
+    let nw = if flags & F_WAITERS != 0 { r.count()? } else { 0 };
+    sc.key_a.clear();
+    sc.val_a.clear();
+    let mut dr = DodReader::new();
+    for _ in 0..nw {
+        sc.key_a.push(as_u32(dr.next(r)?)?);
+    }
+    for _ in 0..nw {
+        sc.val_a.push(r.u64()?);
+    }
+    for i in 0..nw {
+        let e = acc.waiters.entry(sc.key_a[i]).or_insert((0, 0));
+        e.0 += sc.val_a[i];
+        e.1 += r.u64()?;
+    }
+    events += nw as u64;
+
+    if flags & F_PIGGYBACK != 0 {
+        acc.piggyback_bytes += r.u64()?;
+    }
+    if flags & F_MESSAGES != 0 {
+        acc.messages += r.u64()?;
+    }
+    // A divergent stored end-to-end checksum, when present: transport
+    // integrity was already settled by the envelope digest, so it is
+    // skipped, not recomputed.
+    if flags & F_CHECKSUM != 0 {
+        let _stored = r.fixed_u64()?;
+    }
+    acc.next_seq += 1;
+    Ok(events)
+}
+
+// ---------------------------------------------------------------------
+// JSON edge encoding (the legacy form and the compression baseline)
+// ---------------------------------------------------------------------
+
+fn atom_to_json(a: &DumpAtom, out: &mut String) {
+    match a {
+        DumpAtom::Frame(f) => {
+            out.push_str("{\"Frame\":");
+            out.push_str(&f.to_string());
+            out.push('}');
+        }
+        DumpAtom::Path(p) => {
+            out.push_str("{\"Path\":[");
+            for (i, f) in p.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&f.to_string());
+            }
+            out.push_str("]}");
+        }
+        DumpAtom::Remote(chain) => {
+            out.push_str("{\"Remote\":[");
+            for (i, s) in chain.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&s.to_string());
+            }
+            out.push_str("]}");
+        }
+    }
+}
+
+fn opt_to_json(v: Option<u32>, out: &mut String) {
+    match v {
+        Some(x) => out.push_str(&x.to_string()),
+        None => out.push_str("null"),
+    }
+}
+
+fn delta_to_json(d: &StageDelta, out: &mut String) {
+    out.push_str(&format!("{{\"stage\":{},\"seq\":{}", d.stage, d.seq));
+    out.push_str(",\"new_frames\":[");
+    for (i, f) in d.new_frames.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        esc(f, out);
+    }
+    out.push_str("],\"new_contexts\":[");
+    for (i, c) in d.new_contexts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"atoms\":[");
+        for (j, a) in c.atoms.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            atom_to_json(a, out);
+        }
+        out.push_str("]}");
+    }
+    out.push_str("],\"new_synopses\":[");
+    for (i, &(raw, ctx)) in d.new_synopses.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("[{raw},{ctx}]"));
+    }
+    out.push_str("],\"ccts\":[");
+    for (i, c) in d.ccts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"ctx\":{},\"nodes_before\":{},\"new_nodes\":[",
+            c.ctx, c.nodes_before
+        ));
+        for (j, n) in c.new_nodes.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"frame\":");
+            opt_to_json(n.frame, out);
+            out.push_str(",\"parent\":");
+            opt_to_json(n.parent, out);
+            out.push_str(&format!(
+                ",\"samples\":{},\"cycles\":{},\"calls\":{}}}",
+                n.samples, n.cycles, n.calls
+            ));
+        }
+        out.push_str("],\"grown\":[");
+        for (j, &(node, s, cy, ca)) in c.grown.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{node},{s},{cy},{ca}]"));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("],\"pairs\":[");
+    for (i, p) in d.pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"waiter\":{},\"holder\":{},\"count\":{},\"total_wait\":{}}}",
+            p.waiter, p.holder, p.count, p.total_wait
+        ));
+    }
+    out.push_str("],\"waiters\":[");
+    for (i, w) in d.waiters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"waiter\":{},\"count\":{},\"total_wait\":{}}}",
+            w.waiter, w.count, w.total_wait
+        ));
+    }
+    out.push_str(&format!(
+        "],\"piggyback_bytes\":{},\"messages\":{},\"checksum\":{}}}",
+        d.piggyback_bytes, d.messages, d.checksum
+    ));
+}
+
+/// The JSON edge encoding of an [`EpochBatch`] — the legacy wire form
+/// kept for differential testing, and the honest baseline the
+/// `bytes_per_event` compression gate divides against (same field set,
+/// same [`crate::dumpjson`] house style as the stage dumps).
+pub fn batch_to_json(b: &EpochBatch) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str(&format!(
+        "{{\"epoch\":{},\"seq\":{},\"end\":{},\"deltas\":[",
+        b.epoch, b.seq, b.end
+    ));
+    for (i, d) in b.deltas.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        delta_to_json(d, &mut out);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// The JSON edge encoding of a federation [`SummaryFrame`] — the
+/// legacy link form the federation byte counters compare the binary
+/// codec against.
+pub fn summary_to_json(f: &SummaryFrame) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str(&format!(
+        "{{\"src\":{},\"seq\":{},\"first_epoch\":{},\"last_epoch\":{},\"end\":{},\"deltas\":[",
+        f.src, f.seq, f.first_epoch, f.last_epoch, f.end
+    ));
+    for (i, d) in f.deltas.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        delta_to_json(d, &mut out);
+    }
+    out.push_str("],\"sketches\":[");
+    for (i, s) in f.sketches.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"tier\":");
+        esc(&s.tier, &mut out);
+        out.push_str(&format!(",\"max\":{},\"buckets\":[", s.max));
+        for (j, &(b, c)) in s.buckets.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{b},{c}]"));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("],\"leaf_mass\":[");
+    for (i, &(leaf, m)) in f.leaf_mass.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("[{leaf},{m}]"));
+    }
+    out.push_str("],\"gauges\":[");
+    for (i, &(leaf, g)) in f.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "[{leaf},{{\"last_epoch\":{},\"events\":{},\"mass\":{},\"lag_frames\":{},\"checkpoints\":{},\"recoveries\":{}}}]",
+            g.last_epoch, g.events, g.mass, g.lag_frames, g.checkpoints, g.recoveries
+        ));
+    }
+    out.push_str(&format!("],\"checksum\":{}}}", f.checksum));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::diff_dump;
+    use crate::stitch::{DumpCct, StageDump};
+    use crate::summary::seal_delta;
+
+    fn node(frame: Option<u32>, parent: Option<u32>, cycles: u64) -> DumpNode {
+        DumpNode {
+            frame,
+            parent,
+            samples: cycles / 100,
+            cycles,
+            calls: 1,
+        }
+    }
+
+    fn base_dump() -> StageDump {
+        StageDump {
+            proc: 1,
+            stage_name: "app".into(),
+            frames: vec!["main".into(), "handle \"x\"".into()],
+            contexts: vec![
+                DumpContext { atoms: vec![] },
+                DumpContext {
+                    atoms: vec![
+                        DumpAtom::Frame(1),
+                        DumpAtom::Path(vec![0, 1]),
+                        DumpAtom::Remote(vec![0x0100_0001, u64::MAX]),
+                    ],
+                },
+            ],
+            ccts: vec![DumpCct {
+                ctx: 1,
+                nodes: vec![node(None, None, 100), node(Some(1), Some(0), 300)],
+            }],
+            synopses: vec![(0x0100_0001, 1)],
+            crosstalk_pairs: vec![DumpCrosstalkPair {
+                waiter: 1,
+                holder: 0,
+                count: 2,
+                total_wait: 50,
+            }],
+            crosstalk_waiters: vec![DumpCrosstalkWaiter {
+                waiter: 1,
+                count: 4,
+                total_wait: 50,
+            }],
+            piggyback_bytes: 8,
+            messages: 2,
+        }
+    }
+
+    fn grown_dump() -> StageDump {
+        let mut d = base_dump();
+        d.frames.push("query".into());
+        d.contexts.push(DumpContext {
+            atoms: vec![DumpAtom::Remote(vec![0x0100_0001])],
+        });
+        d.ccts[0].nodes[1].samples += 2;
+        d.ccts[0].nodes[1].cycles += 120;
+        d.ccts[0].nodes.push(node(Some(2), Some(1), 40));
+        d.ccts.insert(
+            0,
+            DumpCct {
+                ctx: 0,
+                nodes: vec![node(None, None, 10)],
+            },
+        );
+        d.synopses.push((0x0100_0002, 2));
+        d.crosstalk_pairs[0].count += 1;
+        d.crosstalk_pairs[0].total_wait += 25;
+        d.crosstalk_waiters.push(DumpCrosstalkWaiter {
+            waiter: 2,
+            count: 1,
+            total_wait: 0,
+        });
+        d.piggyback_bytes += 4;
+        d.messages += 1;
+        d
+    }
+
+    fn sample_batches() -> (StreamHeader, Vec<EpochBatch>) {
+        let header = StreamHeader {
+            stages: vec![StreamStage {
+                proc: 1,
+                stage_name: "app".into(),
+            }],
+        };
+        let a = base_dump();
+        let b = grown_dump();
+        let d0 = diff_dump(0, 0, None, &a).unwrap();
+        let d1 = diff_dump(0, 1, Some(&a), &b).unwrap();
+        let batches = vec![
+            EpochBatch {
+                epoch: 0,
+                seq: 0,
+                end: 100,
+                deltas: vec![d0],
+            },
+            EpochBatch {
+                epoch: 1,
+                seq: 1,
+                end: 200,
+                deltas: vec![d1],
+            },
+        ];
+        (header, batches)
+    }
+
+    #[test]
+    fn varints_round_trip() {
+        let mut buf = Vec::new();
+        let vals = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for &v in &vals {
+            put_u64(&mut buf, v);
+        }
+        let mut r = Reader::new(&buf);
+        for &v in &vals {
+            assert_eq!(r.u64().unwrap(), v);
+        }
+        assert_eq!(r.remaining(), 0);
+        // An 11-byte continuation run cannot be a u64.
+        let mut r = Reader::new(&[0x80; 11]);
+        assert!(r.u64().is_err());
+        // Varint value bits past 64 are rejected, not truncated.
+        let mut r = Reader::new(&[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02]);
+        assert!(r.u64().is_err());
+    }
+
+    #[test]
+    fn dod_round_trips_arbitrary_sequences() {
+        let seqs: &[&[u64]] = &[
+            &[],
+            &[0],
+            &[u64::MAX],
+            &[1, 2, 3, 4, 5],
+            &[5, 4, 3, 0, u64::MAX, 0, u64::MAX],
+            &[100, 100, 100, 7, 9, 11, 13],
+        ];
+        for seq in seqs {
+            let mut buf = Vec::new();
+            let mut w = DodWriter::new();
+            for &v in *seq {
+                w.push(&mut buf, v);
+            }
+            let mut r = Reader::new(&buf);
+            let mut dr = DodReader::new();
+            for &v in *seq {
+                assert_eq!(dr.next(&mut r).unwrap(), v, "seq {seq:?}");
+            }
+            assert_eq!(r.remaining(), 0);
+        }
+        // An arithmetic run costs one byte per element after the head.
+        let mut buf = Vec::new();
+        let mut w = DodWriter::new();
+        for v in (1000..1100).map(|x| x * 8) {
+            w.push(&mut buf, v);
+        }
+        assert!(buf.len() <= 2 + 2 + 98, "dod run not compact: {}", buf.len());
+    }
+
+    #[test]
+    fn envelope_rejects_damage() {
+        let (header, _) = sample_batches();
+        let frame = encode_header(&header);
+        assert_eq!(decode_header(&frame).unwrap().0, header);
+
+        let mut bad = frame.clone();
+        bad[0] = b'X';
+        assert_eq!(decode_header(&bad), Err(WireError::BadMagic));
+        let mut bad = frame.clone();
+        bad[3] = 9;
+        assert_eq!(decode_header(&bad), Err(WireError::BadVersion(9)));
+        assert_eq!(
+            open_frame(&frame, KIND_BATCH).unwrap_err(),
+            WireError::BadKind {
+                expected: KIND_BATCH,
+                got: KIND_HEADER
+            }
+        );
+        for cut in [0, 5, frame.len() - 1] {
+            assert_eq!(
+                decode_header(&frame[..cut]),
+                Err(WireError::Truncated),
+                "cut {cut}"
+            );
+        }
+        // Every single-bit flip in the body or trailer is detected.
+        for byte in ENVELOPE_HEAD..frame.len() {
+            let mut bad = frame.clone();
+            bad[byte] ^= 0x40;
+            assert_eq!(decode_header(&bad), Err(WireError::Checksum), "byte {byte}");
+        }
+    }
+
+    #[test]
+    fn batch_round_trip_is_exact() {
+        let (_, batches) = sample_batches();
+        for b in &batches {
+            let frame = encode_batch(b);
+            let (back, consumed) = decode_batch(&frame).unwrap();
+            assert_eq!(&back, b);
+            assert_eq!(consumed, frame.len());
+        }
+        // Concatenated frames parse in sequence via `consumed`.
+        let stream: Vec<u8> = batches.iter().flat_map(encode_batch).collect();
+        let mut at = 0;
+        for b in &batches {
+            let (back, consumed) = decode_batch(&stream[at..]).unwrap();
+            assert_eq!(&back, b);
+            at += consumed;
+        }
+        assert_eq!(at, stream.len());
+    }
+
+    #[test]
+    fn bad_stored_checksum_round_trips_for_the_struct_path() {
+        // A delta whose *end-to-end* checksum is wrong must survive the
+        // wire unchanged so the accumulator still quarantines it.
+        let (_, mut batches) = sample_batches();
+        batches[0].deltas[0].checksum ^= 1;
+        let frame = encode_batch(&batches[0]);
+        let (back, _) = decode_batch(&frame).unwrap();
+        assert_eq!(back, batches[0]);
+    }
+
+    #[test]
+    fn apply_batch_matches_struct_apply() {
+        let (header, batches) = sample_batches();
+        let mut fast: Vec<StageAccumulator> =
+            header.stages.iter().map(StageAccumulator::new).collect();
+        let mut slow: Vec<StageAccumulator> =
+            header.stages.iter().map(StageAccumulator::new).collect();
+        let mut events = 0;
+        for b in &batches {
+            let frame = encode_batch(b);
+            let info = apply_batch(&mut fast, &frame).unwrap();
+            assert_eq!(
+                (info.epoch, info.seq, info.end, info.consumed),
+                (b.epoch, b.seq, b.end, frame.len())
+            );
+            events += info.events;
+            for d in &b.deltas {
+                slow[d.stage].apply(d).unwrap();
+            }
+        }
+        assert_eq!(events, batches.iter().map(|b| b.events()).sum::<u64>());
+        for (f, s) in fast.iter().zip(&slow) {
+            assert_eq!(f.to_dump(), s.to_dump());
+            assert_eq!(f.next_seq(), s.next_seq());
+        }
+    }
+
+    #[test]
+    fn apply_batch_rejects_inconsistent_frames() {
+        let (header, batches) = sample_batches();
+        let mk = || -> Vec<StageAccumulator> {
+            header.stages.iter().map(StageAccumulator::new).collect()
+        };
+        // Sequence gap: the second batch cannot apply first.
+        let mut accs = mk();
+        assert!(apply_batch(&mut accs, &encode_batch(&batches[1])).is_err());
+        // Stage out of range.
+        let mut b = batches[0].clone();
+        b.deltas[0].stage = 7;
+        assert!(apply_batch(&mut mk(), &encode_batch(&b)).is_err());
+        // Baseline mismatch.
+        let mut b = batches[1].clone();
+        b.deltas[0].ccts[0].nodes_before += 1;
+        let mut accs = mk();
+        apply_batch(&mut accs, &encode_batch(&batches[0])).unwrap();
+        assert!(apply_batch(&mut accs, &encode_batch(&b)).is_err());
+    }
+
+    #[test]
+    fn summary_round_trip_is_exact() {
+        let (_, batches) = sample_batches();
+        let mut sk = QuantileSketch::new();
+        for v in [3u64, 90, 90, 4000, 1 << 40] {
+            sk.record(v);
+        }
+        let frame = SummaryFrame {
+            src: 3,
+            seq: 5,
+            first_epoch: 0,
+            last_epoch: 4,
+            end: 5_000,
+            deltas: vec![seal_delta(batches[0].deltas[0].clone(), 0)],
+            sketches: vec![TierSketch::of("app", &sk)],
+            leaf_mass: vec![(3, 200), (9, 50)],
+            gauges: vec![
+                (
+                    3,
+                    LeafGauges {
+                        last_epoch: 4,
+                        events: 100,
+                        mass: 200,
+                        lag_frames: 1,
+                        checkpoints: 2,
+                        recoveries: 0,
+                    },
+                ),
+                (9, LeafGauges::default()),
+            ],
+            checksum: 0,
+        }
+        .seal();
+        let bytes = encode_summary(&frame);
+        let (back, consumed) = decode_summary(&bytes).unwrap();
+        assert_eq!(back, frame);
+        assert_eq!(consumed, bytes.len());
+        assert!(back.verify());
+    }
+
+    #[test]
+    fn sketch_frame_round_trips_bit_identically() {
+        let mut s = QuantileSketch::new();
+        for v in [0u64, 3, 3, 99, 1 << 20, u64::MAX] {
+            s.record(v);
+        }
+        let (back, _) = decode_sketch(&encode_sketch(&s)).unwrap();
+        assert_eq!(back.count(), s.count());
+        assert_eq!(back.max(), s.max());
+        for q in [0u64, 500_000, 990_000, 1_000_000] {
+            assert_eq!(back.quantile_ppm(q), s.quantile_ppm(q));
+        }
+    }
+
+    #[test]
+    fn repro_frame_round_trips() {
+        let rep = ChaosRepro {
+            seed: 0xF00D,
+            policy: "perturb:7:250000".into(),
+            workload: vec![("clients".into(), 40)],
+            faults: vec![
+                FaultEntry::Drop {
+                    chan: "db".into(),
+                    ppm: 50_000,
+                },
+                FaultEntry::Delay {
+                    chan: "db".into(),
+                    ppm: 100_000,
+                    cycles: 24_000_000,
+                },
+                FaultEntry::Crash {
+                    proc: "mysql".into(),
+                    at: 240_000_000_000,
+                },
+                FaultEntry::Dup {
+                    chan: "front".into(),
+                    ppm: 1,
+                },
+                FaultEntry::Slowdown {
+                    machine: "mysql".into(),
+                    from: 1,
+                    until: 2,
+                    factor: 3,
+                },
+            ],
+            violation: Some("mass-conservation".into()),
+            window: Some(ReproWindow {
+                epoch_len: 2_400_000_000,
+                start: 17,
+                end: 23,
+                dimension: "slo-latency".into(),
+            }),
+        };
+        let (back, _) = decode_repro(&encode_repro(&rep)).unwrap();
+        assert_eq!(back, rep);
+        // None variants too.
+        let plain = ChaosRepro::default();
+        let (back, _) = decode_repro(&encode_repro(&plain)).unwrap();
+        assert_eq!(back, plain);
+    }
+
+    #[test]
+    fn wire_beats_json_by_the_gate_margin() {
+        let (_, batches) = sample_batches();
+        for b in &batches {
+            let wire = encode_batch(b).len();
+            let json = batch_to_json(b).len();
+            assert!(
+                wire * 5 <= json,
+                "wire {wire} vs json {json}: under 5x even on a tiny batch"
+            );
+        }
+    }
+
+    #[test]
+    fn fuzzed_bodies_never_panic() {
+        // Valid envelope, adversarial bodies: every outcome must be a
+        // typed error or a successful parse, never a panic.
+        let mut seed = 0x1234_5678_9abc_def0u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for len in 0..64 {
+            for _ in 0..32 {
+                let mut buf = Vec::new();
+                let body = begin_frame(&mut buf, KIND_BATCH);
+                for _ in 0..len {
+                    buf.push(rng() as u8);
+                }
+                end_frame(&mut buf, body);
+                let _ = decode_batch(&buf);
+                let mut accs = vec![StageAccumulator::new(&StreamStage {
+                    proc: 1,
+                    stage_name: "app".into(),
+                })];
+                let _ = apply_batch(&mut accs, &buf);
+            }
+        }
+    }
+}

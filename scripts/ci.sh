@@ -45,6 +45,17 @@ cargo test -q -p whodunit-collector --test streaming_diff
 cargo test -q --test golden_collector
 cargo test -q --test golden_sentinel
 
+# The binary wire-format gates (DESIGN.md §16):
+# - properties: decode(encode(delta)) == delta for arbitrary deltas,
+#   batches, and summary frames, plus the golden frame hex dump
+#   (regenerate intentionally with UPDATE_GOLDEN=1);
+# - fuzz: randomized truncation / bit flips / reordering / garbage
+#   injection over encoded streams — damaged frames are rejected by the
+#   envelope and healed by the §12 quarantine machinery, never a panic,
+#   never a silent divergence.
+cargo test -q -p whodunit-core --test wire_props
+cargo test -q -p whodunit-collector --test wire_fuzz
+
 # The federation gates:
 # - differential: leaf/regional/global federation vs flat batch
 #   byte-identity over the 36-scenario matrix, plus fault scenarios
@@ -85,12 +96,17 @@ cargo run --release -q -p whodunit-bench --bin parallel -- --smoke --out target/
 
 # Collector smoke: ingest a staggered 12-replica delta stream at two
 # retention windows; fail on any streaming/batch divergence, leaked
-# pending state, or a resident peak that reaches the origin total.
+# pending state, or a resident peak that reaches the origin total. The
+# wire scenario replays the stream as binary frames through
+# enqueue_wire and holds the same byte-identity bar.
 cargo run --release -q -p whodunit-bench --bin collectord -- --smoke --out target/BENCH_collector_smoke.json
 
 # Hot-path smoke: microbench self-checks (flow table, context intern,
 # CCT fold, serializer byte-stability) plus a reduced streaming-ingest
-# run; fail on any self-check miss or streaming/batch divergence.
+# run; fail on any self-check miss or streaming/batch divergence. The
+# binary wire format rides two hard gates here: ingest-through-wire
+# must clear 2x the recorded 6.2M ev/s struct-apply baseline, and
+# frames must pack to <= 0.2x the JSON edge encoding per event.
 cargo run --release -q -p whodunit-bench --bin hotpath -- --smoke --out target/BENCH_hotpath_smoke.json
 
 # Federation smoke: a 24-replica fleet across 4 leaves in 2 regions
@@ -132,14 +148,25 @@ python3 - <<'EOF'
 import glob, json, sys
 
 GATE_FIELDS = {
-    "collectord": ["sweep", "lag"],
+    "collectord": ["sweep", "lag", "wire.identical_output"],
     "federation": [
         "byte_identical_clean",
         "mass_loss_clean",
         "recovery.latency_epochs",
         "peak_resident.per_level",
+        "wire_links.leaf_wire_bytes",
+        "wire_links.regional_wire_bytes",
+        "wire_links.compression_vs_json",
     ],
-    "hotpath": ["ok"],
+    "hotpath": [
+        "ok",
+        "wire.bytes_per_event",
+        "wire.encode_events_per_s",
+        "wire.decode_events_per_s",
+        "wire.compression_vs_json",
+        "wire.ingest_events_per_s",
+        "wire.speedup_vs_baseline",
+    ],
     "infer": [
         "scenarios",
         "clean_min_f1_ppm",
