@@ -184,6 +184,9 @@ fn main() -> ExitCode {
 
     let regions = regions_of(args.leaves, args.regions);
     let fed_cfg = FederationConfig {
+        // The link-byte before/after comparison is what this bench
+        // records into BENCH_federation.json.
+        meter_links: true,
         collector: CollectorConfig::default(),
         ..FederationConfig::default()
     };

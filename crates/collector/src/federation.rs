@@ -131,6 +131,13 @@ pub struct FederationConfig {
     /// in-memory structs. Byte-identical output either way; `false`
     /// keeps the legacy struct links for differential runs.
     pub wire_links: bool,
+    /// Meter every link transmission in both encodings
+    /// (`*_link_json_bytes` vs `*_link_wire_bytes`) for the
+    /// before/after compression story. Rendering the legacy JSON on
+    /// every send — retransmits included — costs far more than the
+    /// wire encode itself, so the comparison is off by default and
+    /// switched on by the `federation` bench that records it.
+    pub meter_links: bool,
     /// Configuration of the root's flat [`Collector`].
     pub collector: CollectorConfig,
 }
@@ -148,6 +155,7 @@ impl Default for FederationConfig {
             workers: 1,
             steal: StealPlan::CANONICAL,
             wire_links: true,
+            meter_links: false,
             collector: CollectorConfig::default(),
         }
     }
@@ -254,15 +262,17 @@ pub struct FederationStats {
     pub ingest_panics: u64,
     /// Leaf-uplink frame payload bytes in the legacy JSON edge
     /// encoding (the "before" of the compression story; counted per
-    /// transmission, including retransmits).
+    /// transmission, including retransmits — only when
+    /// [`FederationConfig::meter_links`] is on, zero otherwise).
     pub leaf_link_json_bytes: u64,
-    /// Leaf-uplink frame payload bytes in the columnar wire encoding.
+    /// Leaf-uplink frame payload bytes in the columnar wire encoding
+    /// (metered under the same `meter_links` gate).
     pub leaf_link_wire_bytes: u64,
     /// Regional-uplink frame payload bytes in the legacy JSON edge
-    /// encoding.
+    /// encoding (gated by `meter_links`).
     pub regional_link_json_bytes: u64,
     /// Regional-uplink frame payload bytes in the columnar wire
-    /// encoding.
+    /// encoding (gated by `meter_links`).
     pub regional_link_wire_bytes: u64,
     /// Wire frames a receiver could not decode (envelope or body
     /// damage). The frame is dropped; the sender's RTO retransmit
@@ -1236,22 +1246,27 @@ impl Federation {
     }
 
     fn enqueue_msg(&mut self, link: u32, to: Dest, msg: FedMsg) {
-        // Serialize frames at the sender. Both encodings are metered
-        // per transmission so one run yields the before/after link-byte
-        // story; the columnar bytes are what actually travels when
-        // `wire_links` is on.
+        // Serialize frames at the sender; the columnar bytes are what
+        // actually travels when `wire_links` is on. With `meter_links`,
+        // both encodings are additionally metered per transmission so
+        // one run yields the before/after link-byte story — the JSON
+        // render is costly, so it never happens unless asked for.
         let msg = if let FedMsg::Frame(f) = msg {
-            let bytes = wire::encode_summary(&f);
-            let json_len = wire::summary_to_json(&f).len() as u64;
-            if (link as usize) < self.leaves.len() {
-                self.stats.leaf_link_json_bytes += json_len;
-                self.stats.leaf_link_wire_bytes += bytes.len() as u64;
-            } else {
-                self.stats.regional_link_json_bytes += json_len;
-                self.stats.regional_link_wire_bytes += bytes.len() as u64;
+            let bytes = (self.cfg.wire_links || self.cfg.meter_links)
+                .then(|| wire::encode_summary(&f));
+            if self.cfg.meter_links {
+                let wire_len = bytes.as_ref().expect("encoded for metering").len() as u64;
+                let json_len = wire::summary_to_json(&f).len() as u64;
+                if (link as usize) < self.leaves.len() {
+                    self.stats.leaf_link_json_bytes += json_len;
+                    self.stats.leaf_link_wire_bytes += wire_len;
+                } else {
+                    self.stats.regional_link_json_bytes += json_len;
+                    self.stats.regional_link_wire_bytes += wire_len;
+                }
             }
             if self.cfg.wire_links {
-                FedMsg::FrameBytes(bytes)
+                FedMsg::FrameBytes(bytes.expect("encoded when wire_links is on"))
             } else {
                 FedMsg::Frame(f)
             }

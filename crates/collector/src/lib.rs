@@ -746,13 +746,16 @@ impl Collector {
     /// lost batch (reorder-buffer park on the next good frame, bounded
     /// resync if the hole cannot be healed). `Ok(false)` means the
     /// frame decoded but the queue was full (the frame was **not**
-    /// accepted).
+    /// accepted, and is not counted in [`CollectorStats::wire_frames`]).
     pub fn enqueue_wire(&mut self, frame: &[u8]) -> Result<bool, WireError> {
         match wire::decode_batch(frame) {
             Ok((batch, consumed)) => {
-                self.stats.wire_frames += 1;
-                self.stats.wire_bytes += consumed as u64;
-                Ok(self.enqueue(batch))
+                let accepted = self.enqueue(batch);
+                if accepted {
+                    self.stats.wire_frames += 1;
+                    self.stats.wire_bytes += consumed as u64;
+                }
+                Ok(accepted)
             }
             Err(e) => {
                 self.stats.wire_errors += 1;

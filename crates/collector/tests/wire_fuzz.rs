@@ -30,9 +30,11 @@ use whodunit_apps::tpcw::run_tpcw_streaming;
 use whodunit_bench::matrix::scenario_cfg;
 use whodunit_collector::{Collector, CollectorConfig, CollectorOutput, QuarantinePolicy};
 use whodunit_core::cost::CPU_HZ;
-use whodunit_core::delta::{EpochBatch, RecordedResync, RecordingSink, ResyncSource, StreamHeader};
+use whodunit_core::delta::{
+    CctDelta, EpochBatch, RecordedResync, RecordingSink, ResyncSource, StageDelta, StreamHeader,
+};
 use whodunit_core::pipeline::{analyze, PipelineConfig};
-use whodunit_core::stitch::StageDump;
+use whodunit_core::stitch::{DumpNode, StageDump};
 use whodunit_core::wire::{encode_batch, encode_header};
 use whodunit_sim::sched::SchedulePolicy;
 
@@ -252,6 +254,61 @@ proptest! {
         prop_assert_eq!(out.stats.wire_errors, 0u64);
         prop_assert!(!out.stats.used_fallback, "healed, not fallen back");
         prop_assert!(identical(&out), "reorder/dup damage leaked into the report");
+    }
+
+    /// A checksum-valid frame whose CCT section repeats a ctx id —
+    /// with a *smaller* new-node count the second time, so a naive
+    /// decoder would shrink a Vec below ranges it already planned to
+    /// fill — is rejected as malformed body damage: counted, dropped,
+    /// never a panic, never a silent corruption.
+    #[test]
+    fn duplicate_cct_ctx_frames_quarantine_without_panicking(extra in 0u32..4) {
+        let node = |cycles: u64| DumpNode {
+            frame: None,
+            parent: None,
+            samples: 1,
+            cycles,
+            calls: 1,
+        };
+        let mut d = StageDelta {
+            stage: 0,
+            seq: 0,
+            new_frames: vec![],
+            new_contexts: vec![],
+            new_synopses: vec![],
+            ccts: vec![
+                CctDelta {
+                    ctx: 1,
+                    nodes_before: 0,
+                    new_nodes: vec![node(100), node(200)],
+                    grown: vec![],
+                },
+                CctDelta {
+                    ctx: 1,
+                    nodes_before: 0,
+                    new_nodes: (0..1 + extra as u64).map(node).collect(),
+                    grown: vec![],
+                },
+            ],
+            pairs: vec![],
+            waiters: vec![],
+            piggyback_bytes: 0,
+            messages: 0,
+            checksum: 0,
+        };
+        d.checksum = d.compute_checksum();
+        let frame = encode_batch(&EpochBatch {
+            epoch: 0,
+            seq: 0,
+            end: 100,
+            deltas: vec![d],
+        });
+        let mut c = Collector::new(CollectorConfig::default());
+        c.start_wire(&encode_header(&scenario().header)).expect("header decodes");
+        prop_assert!(c.enqueue_wire(&frame).is_err(), "duplicate-ctx frame decoded");
+        c.drain();
+        prop_assert_eq!(c.stats().wire_errors, 1u64);
+        prop_assert_eq!(c.stats().wire_frames, 0u64);
     }
 
     /// Raw garbage buffers — any length, any contents, with or without

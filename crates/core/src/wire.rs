@@ -863,7 +863,13 @@ fn get_cct_section(r: &mut Reader<'_>) -> Result<Vec<CctDelta>, WireError> {
     let mut ctx_col = Vec::with_capacity(nc);
     let mut dr = DodReader::new();
     for _ in 0..nc {
-        ctx_col.push(as_u32(dr.next(r)?)?);
+        let ctx = as_u32(dr.next(r)?)?;
+        // One CCT per context, sorted by ctx — same rule [`apply_batch`]
+        // enforces, so both decode paths reject identical frames.
+        if ctx_col.last().is_some_and(|&prev| prev >= ctx) {
+            return Err(WireError::Malformed("CCT ctx column not strictly increasing"));
+        }
+        ctx_col.push(ctx);
     }
     let mut before_col = Vec::with_capacity(nc);
     for _ in 0..nc {
@@ -1531,7 +1537,15 @@ fn apply_delta(
     sc.cct_ctx.clear();
     let mut dr = DodReader::new();
     for _ in 0..nc {
-        sc.cct_ctx.push(as_u32(dr.next(r)?)?);
+        let ctx = as_u32(dr.next(r)?)?;
+        // diff_dump emits at most one CCT per context, sorted by ctx.
+        // A repeated id would let a later, smaller resize shrink a
+        // range an earlier entry's column fills still index — so the
+        // column must be strictly increasing before anything mutates.
+        if sc.cct_ctx.last().is_some_and(|&prev| prev >= ctx) {
+            return Err(WireError::Malformed("CCT ctx column not strictly increasing"));
+        }
+        sc.cct_ctx.push(ctx);
     }
     sc.cct_start.clear();
     for k in 0..nc {
@@ -2204,6 +2218,55 @@ mod tests {
         let mut accs = mk();
         apply_batch(&mut accs, &encode_batch(&batches[0])).unwrap();
         assert!(apply_batch(&mut accs, &encode_batch(&b)).is_err());
+    }
+
+    #[test]
+    fn duplicate_cct_ctx_is_rejected_before_any_mutation() {
+        // A checksum-valid frame whose CCT section lists the same ctx
+        // twice with a smaller new-node count the second time: the
+        // second resize would shrink the Vec below the range the first
+        // entry's column fills index. Both decode paths must reject
+        // the frame as malformed — never panic.
+        let mut d = StageDelta {
+            stage: 0,
+            seq: 0,
+            new_frames: vec![],
+            new_contexts: vec![],
+            new_synopses: vec![],
+            ccts: vec![
+                CctDelta {
+                    ctx: 1,
+                    nodes_before: 0,
+                    new_nodes: vec![node(None, None, 100), node(Some(0), Some(0), 200)],
+                    grown: vec![],
+                },
+                CctDelta {
+                    ctx: 1,
+                    nodes_before: 0,
+                    new_nodes: vec![node(None, None, 300)],
+                    grown: vec![],
+                },
+            ],
+            pairs: vec![],
+            waiters: vec![],
+            piggyback_bytes: 0,
+            messages: 0,
+            checksum: 0,
+        };
+        d.checksum = d.compute_checksum();
+        let frame = encode_batch(&EpochBatch {
+            epoch: 0,
+            seq: 0,
+            end: 100,
+            deltas: vec![d],
+        });
+        let expected = WireError::Malformed("CCT ctx column not strictly increasing");
+        let mut accs = vec![StageAccumulator::new(&StreamStage {
+            proc: 1,
+            stage_name: "app".into(),
+        })];
+        assert_eq!(apply_batch(&mut accs, &frame).unwrap_err(), expected);
+        assert_eq!(decode_batch(&frame).unwrap_err(), expected);
     }
 
     #[test]

@@ -114,16 +114,24 @@ fn arb_delta(r: &mut Rng) -> StageDelta {
         new_synopses: (0..r.below(5))
             .map(|_| (r.extreme(), r.extreme() as u32))
             .collect(),
-        ccts: (0..r.below(4))
-            .map(|_| CctDelta {
-                ctx: r.extreme() as u32,
-                nodes_before: r.below(1000) as u32,
-                new_nodes: (0..r.below(5)).map(|_| arb_node(r)).collect(),
-                grown: (0..r.below(5))
-                    .map(|_| (r.below(1000) as u32, r.extreme(), r.extreme(), r.extreme()))
-                    .collect(),
-            })
-            .collect(),
+        ccts: {
+            // One CCT per context, sorted by ctx — the documented
+            // `StageDelta::ccts` invariant, which both decode paths
+            // enforce (a repeated id could shrink ranges mid-apply).
+            let mut ctx: Vec<u32> = (0..r.below(4)).map(|_| r.extreme() as u32).collect();
+            ctx.sort_unstable();
+            ctx.dedup();
+            ctx.into_iter()
+                .map(|ctx| CctDelta {
+                    ctx,
+                    nodes_before: r.below(1000) as u32,
+                    new_nodes: (0..r.below(5)).map(|_| arb_node(r)).collect(),
+                    grown: (0..r.below(5))
+                        .map(|_| (r.below(1000) as u32, r.extreme(), r.extreme(), r.extreme()))
+                        .collect(),
+                })
+                .collect()
+        },
         pairs: (0..r.below(4))
             .map(|_| DumpCrosstalkPair {
                 waiter: r.extreme() as u32,
